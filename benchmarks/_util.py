@@ -1,0 +1,63 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench module regenerates one paper artifact (table / figure /
+worked example), prints the rows in the paper's shape and persists them to
+``benchmarks/results/`` so ``EXPERIMENTS.md`` can reference stable outputs.
+"""
+
+from __future__ import annotations
+
+import random
+from pathlib import Path
+from typing import Iterable, List, Sequence
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def write_result(name: str, lines: Iterable[str]) -> Path:
+    """Persist (and echo) one experiment's output table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    text = "\n".join(lines) + "\n"
+    path.write_text(text)
+    print()
+    print(text)
+    return path
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> List[str]:
+    """Fixed-width text table (paper-style)."""
+    rows = [tuple(str(cell) for cell in row) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    lines = [fmt.format(*headers), fmt.format(*("-" * w for w in widths))]
+    lines.extend(fmt.format(*row) for row in rows)
+    return lines
+
+
+def random_tp_pair(seed: int, letters: Sequence[str], p_letters: Sequence[str] | None = None):
+    """A random satisfiable (T, P) pair — the generic workload generator."""
+    from repro.logic import land, lnot, lor, var
+    from repro.sat import is_satisfiable
+
+    rng = random.Random(seed)
+
+    def formula(pool, max_clauses):
+        parts = []
+        for _ in range(rng.randint(1, max_clauses)):
+            lits = []
+            for _ in range(rng.randint(1, 3)):
+                name = rng.choice(list(pool))
+                atom = var(name)
+                lits.append(atom if rng.random() < 0.5 else lnot(atom))
+            parts.append(lor(*lits))
+        return land(*parts)
+
+    while True:
+        t = formula(letters, 3)
+        p = formula(p_letters or letters, 2)
+        if is_satisfiable(t) and is_satisfiable(p):
+            return t, p

@@ -1,0 +1,89 @@
+"""E11 — the advice-taking machines of Theorems 2.2/2.3, run end to end.
+
+Offline: compile the polynomial-size query-equivalent advice for Dalal's
+operator on the Theorem 3.6 family.  Online: decide 3-SAT instances through
+one entailment query each, validated against brute force.  Also measures
+the (deliberately unsound) naive model check against the query-equivalent
+advice — the observable query-vs-logical gap.
+"""
+
+import random
+
+import pytest
+
+from repro.complexity import DalalAdviceMachine, decide_sat_by_gfuv_reduction
+from repro.hardness import gfuv_family
+from repro.threesat import is_satisfiable_brute, pi_max
+
+from _util import format_table, write_result
+
+
+def _universe(size, seed=0):
+    rng = random.Random(seed)
+    return tuple(rng.sample(pi_max(3), size))
+
+
+def _instances(universe, seed, count):
+    rng = random.Random(seed)
+    chosen = [frozenset(), frozenset(universe)]
+    while len(chosen) < count:
+        size = rng.randint(1, len(universe))
+        chosen.append(frozenset(rng.sample(list(universe), size)))
+    return chosen
+
+
+def test_regenerate_advice_table():
+    lines = ["E11: advice-taking machine on the Theorem 3.6 family (n = 3)", ""]
+    rows = []
+    for size in (2, 3, 4):
+        machine = DalalAdviceMachine(3, _universe(size, seed=size))
+        instances = _instances(machine.family.universe, seed=size, count=6)
+        correct = sum(
+            1
+            for pi in instances
+            if machine.decide(pi) == is_satisfiable_brute(pi, 3)
+        )
+        naive_wrong = sum(
+            1
+            for pi in instances
+            if machine.model_check_against_advice(pi)
+            != machine.model_check_semantics(pi)
+        )
+        rows.append(
+            [size, machine.advice_size(), f"{correct}/{len(instances)}", naive_wrong]
+        )
+        assert correct == len(instances)
+    lines += format_table(
+        ["|universe|", "advice |A(n)|", "decisions correct", "naive model-checks wrong"],
+        rows,
+    )
+    lines.append("")
+    lines.append(
+        "The advice decides every instance via one entailment query; naive"
+        " model checking against the query-equivalent advice is unsound —"
+        " the Dalal query-YES/logical-NO cell of Table 3, executed."
+    )
+    write_result("advice_machine.txt", lines)
+
+
+def test_gfuv_reduction_correct():
+    universe = _universe(3, seed=9)
+    family = gfuv_family.build(3, universe)
+    for pi in _instances(universe, seed=9, count=5):
+        assert decide_sat_by_gfuv_reduction(family, pi) == is_satisfiable_brute(pi, 3)
+
+
+def test_bench_online_decision(benchmark):
+    machine = DalalAdviceMachine(3, _universe(3, seed=1))
+    pi = frozenset(machine.family.universe[:2])
+    expected = is_satisfiable_brute(pi, 3)
+    answer = benchmark(lambda: machine.decide(pi))
+    assert answer == expected
+
+
+def test_bench_offline_compilation(benchmark):
+    universe = _universe(2, seed=2)
+    machine = benchmark.pedantic(
+        lambda: DalalAdviceMachine(3, universe), rounds=3, iterations=1
+    )
+    assert machine.advice_size() > 0

@@ -1,0 +1,80 @@
+"""E2 — Fig. 2: containment between the model sets of the six model-based
+operators.
+
+The paper's Fig. 2 is a containment diagram; we verify every provable arrow
+on a corpus of random (T, P) pairs, and report how often each containment is
+*strict* (which shows the arrows are not equalities) plus observed
+incomparabilities for the non-arrow pairs.
+"""
+
+import pytest
+
+from repro.revision import MODEL_BASED_NAMES, revise
+
+from _util import format_table, random_tp_pair, write_result
+
+ARROWS = [
+    ("dalal", "satoh"),
+    ("dalal", "forbus"),
+    ("dalal", "weber"),
+    ("forbus", "winslett"),
+    ("satoh", "winslett"),
+    ("satoh", "weber"),
+    ("borgida", "winslett"),
+]
+
+SAMPLES = 120
+LETTERS = ["a", "b", "c", "d"]
+
+
+def _corpus():
+    results = []
+    for seed in range(SAMPLES):
+        t, p = random_tp_pair(seed, LETTERS)
+        results.append(
+            {name: revise(t, p, name).model_set for name in MODEL_BASED_NAMES}
+        )
+    return results
+
+
+def test_regenerate_fig2():
+    corpus = _corpus()
+    lines = [f"E2: Fig. 2 containment lattice over {SAMPLES} random (T, P) pairs", ""]
+    rows = []
+    for small, large in ARROWS:
+        violations = sum(1 for r in corpus if not r[small] <= r[large])
+        strict = sum(1 for r in corpus if r[small] < r[large])
+        rows.append([f"{small} ⊆ {large}", violations, strict])
+        assert violations == 0, (small, large)
+    lines += format_table(["arrow", "violations", "strict cases"], rows)
+
+    # Pairs with no arrow: show observed incomparability (both directions
+    # violated at least once across the corpus) or one-sided trends.
+    lines.append("")
+    lines.append("Non-arrow pairs (observed relationship across corpus):")
+    rows = []
+    arrow_set = {frozenset(a) for a in ARROWS}
+    names = list(MODEL_BASED_NAMES)
+    for i, x in enumerate(names):
+        for y in names[i + 1:]:
+            if frozenset((x, y)) in arrow_set:
+                continue
+            x_not_in_y = sum(1 for r in corpus if not r[x] <= r[y])
+            y_not_in_x = sum(1 for r in corpus if not r[y] <= r[x])
+            rows.append([f"{x} vs {y}", x_not_in_y, y_not_in_x])
+    lines += format_table(
+        ["pair", f"#({0} ⊄ {1})".format("left", "right"), "#(right ⊄ left)"], rows
+    )
+    write_result("fig2_containment.txt", lines)
+
+
+def test_bench_containment_round(benchmark):
+    """Time one full six-operator comparison on a fixed instance."""
+    t, p = random_tp_pair(0, LETTERS)
+
+    def round_trip():
+        return {name: revise(t, p, name).model_set for name in MODEL_BASED_NAMES}
+
+    results = benchmark(round_trip)
+    for small, large in ARROWS:
+        assert results[small] <= results[large]

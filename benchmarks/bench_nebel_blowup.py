@@ -1,0 +1,53 @@
+"""E6 — Nebel's example: |W(T1, P1)| = 2^m.
+
+Measures the possible-world count and the explicit GFUV representation size
+on Nebel's family, cross-checking the closed form against the generic
+maximal-consistent-subset search at small m.
+"""
+
+import pytest
+
+from repro.hardness import nebel_family
+from repro.revision import possible_worlds
+
+from _util import format_table, write_result
+
+
+def test_regenerate_blowup_table():
+    lines = ["E6: Nebel's family — exponential possible-world count", ""]
+    rows = []
+    for m in (1, 2, 3, 4, 6, 8, 10):
+        theory, p = nebel_family.build(m)
+        input_size = theory.size() + p.size()
+        expected = nebel_family.expected_world_count(m)
+        if m <= 4:
+            measured = len(possible_worlds(theory, p))
+            assert measured == expected, m
+            measured_str = str(measured)
+        else:
+            measured_str = "(closed form)"
+        explicit = nebel_family.explicit_representation_size(m)
+        rows.append([m, input_size, expected, measured_str, explicit])
+    lines += format_table(
+        ["m", "|T1|+|P1|", "2^m worlds", "search", "explicit |T'|"], rows
+    )
+    lines.append("")
+    lines.append(
+        "Input grows linearly with m; the explicit representation grows as"
+        " m·2^m — Winslett's 'naive storage organisation' observation."
+    )
+    write_result("nebel_blowup.txt", lines)
+
+
+@pytest.mark.parametrize("m", [2, 3, 4])
+def test_bench_world_search(benchmark, m):
+    theory, p = nebel_family.build(m)
+    worlds = benchmark.pedantic(
+        lambda: possible_worlds(theory, p), rounds=3, iterations=1
+    )
+    assert len(worlds) == nebel_family.expected_world_count(m)
+
+
+def test_bench_explicit_representation(benchmark):
+    size = benchmark(lambda: nebel_family.explicit_representation_size(8))
+    assert size > 1 << 8

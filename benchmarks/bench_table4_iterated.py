@@ -1,0 +1,182 @@
+"""E5 — Table 4: compactability of iterated revision.
+
+Regenerates the YES/NO grid, certifies every YES construction on a sample
+sequence, measures representation growth with the number of revisions m
+(linear for the Section 5/6 constructions), and measures the minimal-DNF
+cost on the Theorem 6.5 family for the logical-equivalence NO cells.
+"""
+
+import pytest
+
+from repro.compact import (
+    bounded_iterated,
+    dalal_iterated,
+    is_query_equivalent_to,
+    weber_iterated,
+    widtio_iterated,
+)
+from repro.hardness import iterated_family
+from repro.logic import Theory, parse
+from repro.minimize import TruthTable, minimal_dnf_cost
+from repro.revision import get_operator, revise_iterated
+from repro.threesat import pi_max
+
+from _util import format_table, write_result
+
+#: The paper's Table 4 (operator -> (general-logical, general-query,
+#: bounded-logical, bounded-query)).
+PAPER_TABLE4 = {
+    "gfuv/nebel": ("NO", "NO", "NO", "NO"),
+    "winslett/borgida": ("NO", "NO", "NO", "YES"),
+    "forbus": ("NO", "NO", "NO", "YES"),
+    "satoh": ("NO", "NO", "NO", "YES"),
+    "dalal": ("NO", "YES", "NO", "YES"),
+    "weber": ("NO", "YES", "NO", "YES"),
+    "widtio": ("YES", "YES", "YES", "YES"),
+}
+
+T_TEXT = "a & b & c"
+UPDATES = ["~a", "~b", "a | b", "~c"]
+
+
+def test_table4_grid():
+    refs = {
+        "gfuv/nebel": ("Th 3.7", "Th 3.1", "Th 4.1", "Th 4.1"),
+        "winslett/borgida": ("Th 3.7", "Th 3.2", "Th 6.5", "Cor 6.4"),
+        "forbus": ("Th 3.7", "Th 3.3", "Th 6.5", "Cor 6.4"),
+        "satoh": ("Th 3.7", "Th 3.2", "Th 6.5", "Cor 6.4"),
+        "dalal": ("Th 3.6", "Th 5.1", "Th 6.5", "Th 5.1"),
+        "weber": ("Th 3.6", "Cor 5.2", "Th 6.5", "Cor 5.2"),
+        "widtio": ("def.", "def.", "def.", "def."),
+    }
+    lines = ["E5: Table 4 — is the iteratively revised knowledge base compactable?", ""]
+    rows = []
+    for op, cells in PAPER_TABLE4.items():
+        annotated = [f"{cell} ({ref})" for cell, ref in zip(cells, refs[op])]
+        rows.append([op] + annotated)
+    lines += format_table(
+        ["formalism", "general/logical", "general/query", "bounded/logical", "bounded/query"],
+        rows,
+    )
+    write_result("table4_grid.txt", lines)
+
+
+def test_table4_yes_cells_certified_and_sized():
+    t = parse(T_TEXT)
+    updates = [parse(u) for u in UPDATES[:2]]
+    lines = ["E5: Table 4 YES cells — certification + growth in m", ""]
+
+    rows = []
+    rep = dalal_iterated(t, updates)
+    ok = is_query_equivalent_to(rep, revise_iterated(t, updates, "dalal"))
+    rows.append(["dalal", "Thm 5.1 (Φ_m)", rep.size(), "ok" if ok else "FAIL"])
+    assert ok
+
+    rep = weber_iterated(t, updates)
+    ok = is_query_equivalent_to(rep, revise_iterated(t, updates, "weber"))
+    rows.append(["weber", "formula (10)", rep.size(), "ok" if ok else "FAIL"])
+    assert ok
+
+    for name in ("winslett", "borgida", "forbus", "satoh"):
+        rep = bounded_iterated(name, t, updates)
+        ok = is_query_equivalent_to(rep, revise_iterated(t, updates, name))
+        rows.append([name, "formulas (12)-(16)", rep.size(), "ok" if ok else "FAIL"])
+        assert ok, name
+
+    theory = Theory.parse_many("a", "b", "c")
+    rep = widtio_iterated(theory, updates)
+    ground = get_operator("widtio").iterate(theory, updates)
+    ok = rep.projected_models() == ground.model_set
+    rows.append(["widtio", "revised theory", rep.size(), "ok" if ok else "FAIL"])
+    assert ok
+    lines += format_table(["operator", "construction", "|T'| (m=2)", "verified"], rows)
+
+    # --- growth in m -----------------------------------------------------------
+    # Uniform two-letter updates, so per-step increments are comparable
+    # (the block added per step depends on |V(P^i)|, which Theorem 6.1
+    # treats as the constant k).
+    lines.append("")
+    lines.append("Representation size vs number of revisions m (linear shape):")
+    all_updates = [parse(u) for u in ("~a | ~b", "a | ~b", "~a | b", "a | b")]
+    ms = (1, 2, 3, 4)
+    growth_rows = []
+    growth_rows.append(
+        ["dalal Φ_m"] + [dalal_iterated(t, all_updates[:m]).size() for m in ms]
+    )
+    growth_rows.append(
+        ["weber (10)"] + [weber_iterated(t, all_updates[:m]).size() for m in ms]
+    )
+    for name in ("winslett", "borgida", "forbus", "satoh"):
+        growth_rows.append(
+            [f"{name} (12)-(16)"]
+            + [bounded_iterated(name, t, all_updates[:m]).size() for m in ms]
+        )
+    lines += format_table(["construction"] + [f"m={m}" for m in ms], growth_rows)
+
+    # Linear shape: per-step increments are bounded by a constant that
+    # depends on k = |V(P^i)| (here 2) but not on m — no multiplicative
+    # growth.  (Borgida legitimately alternates between a tiny conjunct on
+    # consistent steps and a full Winslett block otherwise.)
+    for row in growth_rows:
+        sizes = row[1:]
+        increments = [sizes[i + 1] - sizes[i] for i in range(len(sizes) - 1)]
+        assert max(increments) <= 150, row[0]
+        assert sizes[3] <= sizes[0] + 3 * 150, row[0]
+    write_result("table4_yes_cells.txt", lines)
+
+
+def test_table4_no_cells_blowup():
+    """Theorem 6.5: no logical compactability — minimal-DNF cost on the
+    iterated family, against the (query-equivalent) Φ_m size."""
+    lines = [
+        "E5: Table 4 NO cells — Theorem 6.5 family",
+        "",
+        "minimal-DNF cost of T * P¹ * ... * P^n (logical target) vs Φ_m size:",
+        "(u = 8 is the full pi_max(3): the first universe with unsatisfiable",
+        " clause subsets, where the logical target jumps)",
+    ]
+    rows = []
+    pool = pi_max(3)
+    for u in (2, 4, 8):
+        family = iterated_family.build(3, tuple(pool[:u]))
+        updates = list(family.p_formulas)
+        ground = get_operator("dalal").iterate(family.t_formula, updates)
+        table = TruthTable.of_models(ground.model_set, ground.alphabet)
+        terms, literals = minimal_dnf_cost(table)
+        phi = dalal_iterated(family.t_formula, updates)
+        rows.append(
+            [u, family.t_formula.size() + sum(p.size() for p in updates),
+             phi.size(), f"{terms}t/{literals}l"]
+        )
+    lines += format_table(
+        ["|universe|", "input size", "query |Φ_m|", "logical minDNF"], rows
+    )
+    write_result("table4_no_cells.txt", lines)
+
+
+def test_bench_dalal_iterated(benchmark):
+    t = parse(T_TEXT)
+    updates = [parse(u) for u in UPDATES[:3]]
+    rep = benchmark.pedantic(
+        lambda: dalal_iterated(t, updates), rounds=3, iterations=1
+    )
+    assert rep.metadata["steps"] == 3
+
+
+def test_bench_weber_iterated(benchmark):
+    t = parse(T_TEXT)
+    updates = [parse(u) for u in UPDATES[:3]]
+    rep = benchmark.pedantic(
+        lambda: weber_iterated(t, updates), rounds=3, iterations=1
+    )
+    assert rep.metadata["steps"] == 3
+
+
+@pytest.mark.parametrize("name", ["winslett", "forbus", "satoh"])
+def test_bench_bounded_iterated(benchmark, name):
+    t = parse(T_TEXT)
+    updates = [parse(u) for u in UPDATES[:3]]
+    rep = benchmark.pedantic(
+        lambda: bounded_iterated(name, t, updates), rounds=3, iterations=1
+    )
+    assert rep.metadata["steps"] == 3

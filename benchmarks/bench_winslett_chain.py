@@ -1,0 +1,41 @@
+"""E7 — Winslett's chain example: exponential worlds with constant-size P.
+
+``T2`` is the cascade theory; ``P2 = z_m`` has size 1 for every ``m``, yet
+``|W(T2, P2)| = 2^(m+1) - 1`` — the observation Theorem 4.1 turns into the
+bounded-case non-compactability of GFUV.
+"""
+
+import pytest
+
+from repro.hardness import winslett_chain
+from repro.revision import possible_worlds
+
+from _util import format_table, write_result
+
+
+def test_regenerate_chain_table():
+    lines = ["E7: Winslett's chain — exponential worlds, constant-size P", ""]
+    rows = []
+    for m in (1, 2, 3, 4, 6, 8):
+        theory, p = winslett_chain.build(m)
+        expected = winslett_chain.expected_world_count(m)
+        if m <= 4:
+            measured = len(possible_worlds(theory, p))
+            assert measured == expected, m
+            measured_str = str(measured)
+        else:
+            measured_str = "(closed form)"
+        rows.append([m, theory.size(), p.size(), expected, measured_str])
+    lines += format_table(
+        ["m", "|T2|", "|P2|", "2^(m+1)-1 worlds", "search"], rows
+    )
+    write_result("winslett_chain.txt", lines)
+
+
+@pytest.mark.parametrize("m", [2, 3])
+def test_bench_chain_world_search(benchmark, m):
+    theory, p = winslett_chain.build(m)
+    worlds = benchmark.pedantic(
+        lambda: possible_worlds(theory, p), rounds=3, iterations=1
+    )
+    assert len(worlds) == winslett_chain.expected_world_count(m)

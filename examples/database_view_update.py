@@ -1,0 +1,91 @@
+"""Belief revision as database update: a tiny personnel database.
+
+The paper's introduction traces one motivation to the database community:
+updating a database that contains *incomplete* information (null values,
+views).  This example models a four-person department as a propositional
+theory with integrity constraints and pushes updates through different
+operators, showing why the choice matters:
+
+* formula-based WIDTIO deletes cautiously (throws out anything doubtful);
+* GFUV keeps all maximal consistent "possible databases" — at exponential
+  representation cost;
+* model-based Dalal changes a minimal *number* of facts.
+
+Run:  python examples/database_view_update.py
+"""
+
+from repro import KnowledgeBase, OPERATORS
+from repro.logic import Theory, parse
+from repro.revision import possible_worlds
+
+
+def show(title: str, models) -> None:
+    print(f"  {title}")
+    for model in sorted(models, key=sorted):
+        inside = ", ".join(sorted(model)) or "(empty)"
+        print(f"    {{{inside}}}")
+
+
+def main() -> None:
+    # Facts: who is assigned to project x / project y.
+    # Constraint: anyone on both projects must be a manager.
+    base = Theory.parse_many(
+        "alice_x",            # Alice works on project X
+        "alice_y",            # ... and on project Y
+        "bob_x",              # Bob works on project X
+        "alice_x & alice_y -> alice_mgr",  # integrity constraint
+        "alice_mgr",          # Alice is a manager
+    )
+
+    # The update: an audit reveals Alice is NOT a manager.  Revision treats
+    # every belief — integrity constraints included — as up for grabs, so a
+    # constraint that must *survive* the repair has to travel inside the new
+    # formula P (a classic point in the database-update literature).
+    audit = parse("~alice_mgr")
+    update = parse("~alice_mgr & (alice_x & alice_y -> alice_mgr)")
+
+    print("Initial database:")
+    for member in base:
+        print(f"  {member}")
+    print(f"\nAudit finding: {audit}")
+    print(f"Update with protected constraint: {update}\n")
+
+    # --- formula-based views of the repaired database ----------------------
+    worlds = possible_worlds(base, update)
+    print(f"GFUV keeps {len(worlds)} possible databases (maximal consistent subsets):")
+    for world in worlds:
+        print("  " + " | ".join(str(f) for f in world))
+
+    widtio_kb = KnowledgeBase(base, operator="widtio")
+    widtio_kb.revise(update)
+    print("\nWIDTIO (When In Doubt Throw It Out):")
+    print(f"  bob_x still recorded?      {widtio_kb.ask('bob_x')}")
+    print(f"  alice_x still recorded?    {widtio_kb.ask('alice_x')}")
+
+    # --- model-based repair -------------------------------------------------
+    dalal_kb = KnowledgeBase(base, operator="dalal")
+    dalal_kb.revise(update)
+    print("\nDalal (change a minimum number of facts):")
+    show("repaired database states:", dalal_kb.models())
+    print(f"  bob_x survives?            {dalal_kb.ask('bob_x')}")
+    print(f"  alice keeps some project?  {dalal_kb.ask('alice_x | alice_y')}")
+    print(f"  constraint holds?          "
+          f"{dalal_kb.ask('alice_x & alice_y -> alice_mgr')}")
+
+    # Without protection, minimal change simply drops the constraint:
+    naive_kb = KnowledgeBase(base, operator="dalal")
+    naive_kb.revise(audit)
+    print("\nSame repair with the bare audit fact (constraint unprotected):")
+    show("repaired database states:", naive_kb.models())
+    print(f"  constraint holds?          "
+          f"{naive_kb.ask('alice_x & alice_y -> alice_mgr')}")
+
+    # --- compare all model-based operators ---------------------------------
+    print("\nModels of the repaired database (protected update), per operator:")
+    for name in ("winslett", "borgida", "forbus", "satoh", "dalal", "weber"):
+        result = OPERATORS[name].revise(base, update)
+        print(f"  {name:9s}: {len(result.model_set)} models")
+
+
+if __name__ == "__main__":
+    main()

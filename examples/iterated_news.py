@@ -1,0 +1,70 @@
+"""Iterated revision: a stream of news bulletins about a power grid.
+
+A monitoring station believes all four substations are up.  Bulletins
+arrive one at a time; each is a small formula (the bounded-|P| case of the
+paper).  The example demonstrates the engineering moral of Section 8:
+
+* delay incorporation, keep the whole bulletin sequence;
+* compile once with the *iterated* constructions (Theorem 5.1 / formulas
+  (10), (16)) — whose size grows linearly in the number of bulletins —
+  instead of re-applying the single-step construction m times (exponential).
+
+Run:  python examples/iterated_news.py
+"""
+
+from repro import KnowledgeBase
+from repro.compact import dalal_iterated, weber_iterated
+from repro.logic import parse
+
+
+BULLETINS = [
+    "~s1 | ~s2",        # fault somewhere in the northern pair
+    "~s3",              # substation 3 confirmed down
+    "s1 | s3",          # at least one of 1, 3 back online
+    "~s2 | ~s4",        # overload in the southern pair
+]
+
+
+def main() -> None:
+    initial = "s1 & s2 & s3 & s4"
+
+    print("Initial belief: all substations up:", initial)
+    print()
+
+    kb = KnowledgeBase(initial, operator="dalal")
+    for i, bulletin in enumerate(BULLETINS, start=1):
+        kb.revise(bulletin)
+        print(f"Bulletin {i}: {bulletin}")
+
+    print("\nAfter all bulletins (Dalal, exact semantics):")
+    for model in sorted(kb.models(), key=sorted):
+        up = ", ".join(sorted(model)) or "(none)"
+        print(f"  up: {up}")
+
+    print("\nQueries:")
+    for query in ("s4", "~s3", "s1 | s2"):
+        print(f"  {query:8s} -> {kb.ask(query)}")
+
+    # --- the size story -----------------------------------------------------
+    print("\nSize of the compiled representation vs number of bulletins:")
+    print(f"  {'m':>2} {'Dalal Φ_m':>10} {'Weber (10)':>10} {'explicit':>9}")
+    t = parse(initial)
+    for m in range(1, len(BULLETINS) + 1):
+        updates = [parse(b) for b in BULLETINS[:m]]
+        phi = dalal_iterated(t, updates)
+        web = weber_iterated(t, updates)
+        snapshot = KnowledgeBase(initial, operator="dalal")
+        for b in BULLETINS[:m]:
+            snapshot.revise(b)
+        explicit = snapshot._semantics().formula().size()
+        print(f"  {m:>2} {phi.size():>10} {web.size():>10} {explicit:>9}")
+
+    print(
+        "\nΦ_m grows linearly in m (one alphabet copy + one distance circuit"
+        "\nper bulletin); the naive m-fold single-step construction would"
+        "\nmultiply instead (Section 5)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""repro — a reproduction of Cadoli, Donini, Liberatore & Schaerf,
+"The Size of a Revised Knowledge Base" (PODS 1995 / AIJ 115, 1999).
+
+The library implements, from scratch:
+
+* a propositional-logic core and a DPLL SAT solver (:mod:`repro.logic`,
+  :mod:`repro.sat`);
+* all nine belief revision / update operators the paper classifies
+  (:mod:`repro.revision`): GFUV, Nebel, WIDTIO, Winslett, Borgida, Forbus,
+  Satoh, Dalal, Weber;
+* every positive compactability construction (:mod:`repro.compact`):
+  Theorems 3.4 and 3.5, formulas (5)-(10) and (12)-(16), with the circuit
+  machinery of :mod:`repro.circuits`;
+* every negative-result reduction family (:mod:`repro.hardness`) and the
+  advice-taking machines built on them (:mod:`repro.complexity`);
+* a user-facing :class:`~repro.kb.KnowledgeBase` with delayed revisions and
+  the offline-compile / online-query split (:mod:`repro.kb`).
+
+Quickstart::
+
+    from repro import KnowledgeBase
+
+    kb = KnowledgeBase("g | b", operator="dalal")   # someone is in
+    kb.revise("~g")                                 # George walks out
+    assert kb.ask("b")                              # it was Bill
+"""
+
+from .compact import (
+    CompactRepresentation,
+    dalal_compact,
+    dalal_iterated,
+    is_logically_equivalent_to,
+    is_query_equivalent_to,
+    minimum_distance,
+    omega_exact,
+    weber_compact,
+    weber_iterated,
+)
+from .kb import KnowledgeBase
+from .logic import Formula, Theory, land, lnot, lor, parse, var
+from .revision import (
+    OPERATORS,
+    RevisionResult,
+    get_operator,
+    revise,
+    revise_iterated,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompactRepresentation",
+    "Formula",
+    "KnowledgeBase",
+    "OPERATORS",
+    "RevisionResult",
+    "Theory",
+    "dalal_compact",
+    "dalal_iterated",
+    "get_operator",
+    "is_logically_equivalent_to",
+    "is_query_equivalent_to",
+    "land",
+    "lnot",
+    "lor",
+    "minimum_distance",
+    "omega_exact",
+    "parse",
+    "revise",
+    "revise_iterated",
+    "var",
+    "weber_compact",
+    "weber_iterated",
+    "__version__",
+]

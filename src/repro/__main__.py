@@ -1,0 +1,7 @@
+"""``python -m repro`` — see :mod:`repro.cli`."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

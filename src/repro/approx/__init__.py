@@ -1,0 +1,19 @@
+"""Approximate compilation companions (Horn bounds — Kautz–Selman)."""
+
+from .horn import (
+    horn_clauses_of_models,
+    horn_glb_models,
+    horn_lub_formula,
+    horn_lub_models,
+    intersection_closure,
+    is_intersection_closed,
+)
+
+__all__ = [
+    "horn_clauses_of_models",
+    "horn_glb_models",
+    "horn_lub_formula",
+    "horn_lub_models",
+    "intersection_closure",
+    "is_intersection_closed",
+]

@@ -1,0 +1,132 @@
+"""Horn approximations (Kautz–Selman), as discussed in Section 2.3.
+
+The paper credits Kautz and Selman with the first use of non-uniform
+complexity for non-compactability: a polynomial-size *Horn upper bound*
+(least Horn theory entailed by a formula, a.k.a. the Horn LUB) would imply
+NP ⊆ P/poly.  This module implements exact Horn bounds at small alphabet
+sizes, as a companion observable to the revision results:
+
+* a theory is Horn-representable iff its model set is **closed under
+  intersection** (bitwise AND of models);
+* the Horn LUB's models are therefore the *intersection closure* of the
+  model set;
+* the greatest Horn lower bound(s) sit below: maximal intersection-closed
+  subsets of the model set.
+
+Functions take and return model sets (the library's ground-truth currency),
+plus renderers to Horn clause sets.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from ..logic.formula import Formula, Var, big_and, big_or, land, lnot, lor
+from ..logic.interpretation import Interpretation
+
+ModelSet = FrozenSet[Interpretation]
+
+
+def is_intersection_closed(models: Iterable[Interpretation]) -> bool:
+    """Whether a model set is closed under pairwise intersection."""
+    model_list = [frozenset(m) for m in models]
+    model_set = set(model_list)
+    for left, right in combinations(model_list, 2):
+        if left & right not in model_set:
+            return False
+    return True
+
+
+def intersection_closure(models: Iterable[Interpretation]) -> ModelSet:
+    """The least intersection-closed superset — the Horn LUB's model set."""
+    closed: Set[Interpretation] = {frozenset(m) for m in models}
+    frontier = list(closed)
+    while frontier:
+        new: Set[Interpretation] = set()
+        for fresh in frontier:
+            for existing in closed:
+                meet = fresh & existing
+                if meet not in closed and meet not in new:
+                    new.add(meet)
+        closed |= new
+        frontier = list(new)
+    return frozenset(closed)
+
+
+def horn_lub_models(models: Iterable[Interpretation]) -> ModelSet:
+    """Models of the Horn least upper bound (weakest Horn consequence)."""
+    return intersection_closure(models)
+
+
+def horn_glb_models(models: Iterable[Interpretation]) -> List[ModelSet]:
+    """All greatest Horn lower bounds: maximal intersection-closed subsets.
+
+    Exponential search — small model sets only (this mirrors the
+    intractability Kautz–Selman's compilation is trying to amortise).
+    """
+    model_list = [frozenset(m) for m in models]
+    count = len(model_list)
+    best: List[FrozenSet[Interpretation]] = []
+    # Enumerate subsets largest-first; keep maximal closed ones.
+    masks = sorted(range(1 << count), key=lambda m: -bin(m).count("1"))
+    for mask in masks:
+        subset = frozenset(
+            model_list[i] for i in range(count) if mask >> i & 1
+        )
+        if any(subset <= kept for kept in best):
+            continue
+        if is_intersection_closed(subset):
+            best.append(subset)
+    return [frozenset(s) for s in best]
+
+
+def horn_clauses_of_models(
+    models: Iterable[Interpretation], alphabet: Sequence[str]
+) -> List[Formula]:
+    """A Horn clause set whose models (over ``alphabet``) are exactly the
+    given intersection-closed set.
+
+    Construction: for every interpretation *not* in the set, the set is
+    separated by either a definite clause or a negative clause; we emit the
+    standard canonical Horn axiomatisation: for each model-set-violating
+    implication pattern, a clause ``(⋀ body) -> head`` or ``¬(⋀ body)``.
+    Exponential in ``|alphabet|``; exact for small alphabets.
+    """
+    names = sorted(alphabet)
+    model_set = {frozenset(m) for m in models}
+    if not is_intersection_closed(model_set):
+        raise ValueError("model set is not intersection-closed (not Horn)")
+    clauses: List[Formula] = []
+    # For each subset B of letters (clause body), the intersection of all
+    # models containing B determines the entailed heads.
+    for size in range(len(names) + 1):
+        for body in combinations(names, size):
+            body_set = frozenset(body)
+            containing = [m for m in model_set if body_set <= m]
+            if not containing:
+                # body is impossible: negative clause ¬(b1 & ... & bk).
+                clause = lnot(land(*(Var(b) for b in body)))
+                clauses.append(clause)
+                continue
+            meet = frozenset.intersection(*containing)
+            for head in meet - body_set:
+                clauses.append(
+                    lor(*([lnot(Var(b)) for b in body] + [Var(head)]))
+                )
+    # Deduplicate while preserving order.
+    seen: Set[Formula] = set()
+    unique: List[Formula] = []
+    for clause in clauses:
+        if clause not in seen:
+            seen.add(clause)
+            unique.append(clause)
+    return unique
+
+
+def horn_lub_formula(
+    models: Iterable[Interpretation], alphabet: Sequence[str]
+) -> Formula:
+    """The Horn LUB as a conjunction of Horn clauses."""
+    closure = horn_lub_models(models)
+    return big_and(horn_clauses_of_models(closure, alphabet))

@@ -1,0 +1,5 @@
+"""Reduced ordered binary decision diagrams (the Section 7 data structure)."""
+
+from .robdd import FALSE_NODE, TRUE_NODE, Bdd
+
+__all__ = ["Bdd", "FALSE_NODE", "TRUE_NODE"]

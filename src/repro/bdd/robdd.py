@@ -1,0 +1,293 @@
+"""Reduced Ordered Binary Decision Diagrams (ROBDDs).
+
+Section 7 of the paper generalises the non-compactability results from
+propositional formulas to *any* data structure admitting a polynomial-time
+model-checking algorithm (Definition 7.1 / Theorem 7.1).  ROBDDs are the
+canonical such structure: model checking walks one path (linear time), and
+equivalence is pointer equality.  This module is a complete from-scratch
+implementation — hash-consed nodes, the ``apply`` algorithm, restriction,
+model counting and enumeration — used by :mod:`repro.compact.datastructure`
+to represent revised knowledge bases and by the E12 ablation benchmark to
+measure *data-structure* sizes on the reduction families.
+
+Nodes are integers into a shared table per :class:`Bdd` manager;
+``0`` and ``1`` are the terminals.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+
+from ..logic.formula import (
+    And,
+    Bottom,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Top,
+    Var,
+    Xor,
+)
+
+#: Terminal node ids.
+FALSE_NODE = 0
+TRUE_NODE = 1
+
+
+class Bdd:
+    """An ROBDD manager over a fixed variable order."""
+
+    def __init__(self, order: Sequence[str]) -> None:
+        if len(set(order)) != len(order):
+            raise ValueError("variable order must not repeat letters")
+        self.order: Tuple[str, ...] = tuple(order)
+        self._level: Dict[str, int] = {name: i for i, name in enumerate(self.order)}
+        # node id -> (level, low, high); terminals live at pseudo-level inf.
+        self._nodes: List[Tuple[int, int, int]] = [
+            (len(self.order), FALSE_NODE, FALSE_NODE),  # 0: FALSE
+            (len(self.order), TRUE_NODE, TRUE_NODE),  # 1: TRUE
+        ]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._apply_cache: Dict[Tuple[str, int, int], int] = {}
+
+    # -- node primitives -----------------------------------------------------
+
+    def _make(self, level: int, low: int, high: int) -> int:
+        if low == high:
+            return low  # reduction rule 1: redundant test
+        key = (level, low, high)
+        existing = self._unique.get(key)
+        if existing is not None:
+            return existing  # reduction rule 2: shared subgraph
+        node = len(self._nodes)
+        self._nodes.append(key)
+        self._unique[key] = node
+        return node
+
+    def var(self, name: str) -> int:
+        """The BDD of a single letter."""
+        level = self._level.get(name)
+        if level is None:
+            raise ValueError(f"letter {name!r} not in the manager's order")
+        return self._make(level, FALSE_NODE, TRUE_NODE)
+
+    def level_of(self, node: int) -> int:
+        return self._nodes[node][0]
+
+    def cofactors(self, node: int) -> Tuple[int, int]:
+        """``(low, high)`` children of an internal node."""
+        _, low, high = self._nodes[node]
+        return low, high
+
+    def node_count(self, node: int) -> int:
+        """Number of reachable nodes (the standard BDD size measure)."""
+        seen = {FALSE_NODE, TRUE_NODE}
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            _, low, high = self._nodes[current]
+            stack.extend((low, high))
+        return len(seen)
+
+    # -- boolean operations ----------------------------------------------------
+
+    def apply_not(self, node: int) -> int:
+        return self._apply("not", node, node)
+
+    def apply_and(self, left: int, right: int) -> int:
+        return self._apply("and", left, right)
+
+    def apply_or(self, left: int, right: int) -> int:
+        return self._apply("or", left, right)
+
+    def apply_xor(self, left: int, right: int) -> int:
+        return self._apply("xor", left, right)
+
+    def _terminal(self, op: str, left: int, right: int) -> Optional[int]:
+        if op == "not":
+            if left == TRUE_NODE:
+                return FALSE_NODE
+            if left == FALSE_NODE:
+                return TRUE_NODE
+            return None
+        if op == "and":
+            if left == FALSE_NODE or right == FALSE_NODE:
+                return FALSE_NODE
+            if left == TRUE_NODE:
+                return right
+            if right == TRUE_NODE:
+                return left
+            if left == right:
+                return left
+            return None
+        if op == "or":
+            if left == TRUE_NODE or right == TRUE_NODE:
+                return TRUE_NODE
+            if left == FALSE_NODE:
+                return right
+            if right == FALSE_NODE:
+                return left
+            if left == right:
+                return left
+            return None
+        if op == "xor":
+            if left == right:
+                return FALSE_NODE
+            if left == FALSE_NODE:
+                return right
+            if right == FALSE_NODE:
+                return left
+            return None
+        raise ValueError(f"unknown operation {op!r}")
+
+    def _apply(self, op: str, left: int, right: int) -> int:
+        terminal = self._terminal(op, left, right)
+        if terminal is not None:
+            return terminal
+        key = (op, left, right)
+        cached = self._apply_cache.get(key)
+        if cached is not None:
+            return cached
+        l_level, l_low, l_high = self._nodes[left]
+        r_level, r_low, r_high = self._nodes[right]
+        level = min(l_level, r_level)
+        if op == "not":
+            low = self._apply("not", l_low, l_low)
+            high = self._apply("not", l_high, l_high)
+            result = self._make(l_level, low, high)
+        else:
+            left_low, left_high = (
+                (l_low, l_high) if l_level == level else (left, left)
+            )
+            right_low, right_high = (
+                (r_low, r_high) if r_level == level else (right, right)
+            )
+            low = self._apply(op, left_low, right_low)
+            high = self._apply(op, left_high, right_high)
+            result = self._make(level, low, high)
+        self._apply_cache[key] = result
+        return result
+
+    # -- formula conversion -------------------------------------------------------
+
+    def from_formula(self, formula: Formula) -> int:
+        """Compile a formula to an ROBDD node (letters must be in order)."""
+        if isinstance(formula, Top):
+            return TRUE_NODE
+        if isinstance(formula, Bottom):
+            return FALSE_NODE
+        if isinstance(formula, Var):
+            return self.var(formula.name)
+        if isinstance(formula, Not):
+            return self.apply_not(self.from_formula(formula.operand))
+        if isinstance(formula, And):
+            result = TRUE_NODE
+            for child in formula.operands:
+                result = self.apply_and(result, self.from_formula(child))
+            return result
+        if isinstance(formula, Or):
+            result = FALSE_NODE
+            for child in formula.operands:
+                result = self.apply_or(result, self.from_formula(child))
+            return result
+        if isinstance(formula, Implies):
+            return self.apply_or(
+                self.apply_not(self.from_formula(formula.antecedent)),
+                self.from_formula(formula.consequent),
+            )
+        if isinstance(formula, Iff):
+            return self.apply_not(
+                self.apply_xor(
+                    self.from_formula(formula.left), self.from_formula(formula.right)
+                )
+            )
+        if isinstance(formula, Xor):
+            return self.apply_xor(
+                self.from_formula(formula.left), self.from_formula(formula.right)
+            )
+        raise TypeError(f"unknown formula node {formula!r}")
+
+    # -- semantics ---------------------------------------------------------------
+
+    def evaluate(self, node: int, model: FrozenSet[str] | set) -> bool:
+        """Model checking — one root-to-terminal walk (the poly-time ``ASK``
+        of Definition 7.1)."""
+        current = node
+        while current not in (FALSE_NODE, TRUE_NODE):
+            level, low, high = self._nodes[current]
+            current = high if self.order[level] in model else low
+        return current == TRUE_NODE
+
+    def count_models(self, node: int) -> int:
+        """Number of satisfying assignments over the full order.
+
+        Standard weighted count: a skipped level doubles the count, so the
+        contribution of child ``c`` of a node at level ``l`` is
+        ``count(c) * 2^(level(c) - l - 1)``.
+        """
+        cache: Dict[int, int] = {}
+
+        def walk(current: int) -> int:
+            if current == FALSE_NODE:
+                return 0
+            if current == TRUE_NODE:
+                return 1
+            if current in cache:
+                return cache[current]
+            level, low, high = self._nodes[current]
+            low_models = walk(low) << (self.level_of(low) - level - 1)
+            high_models = walk(high) << (self.level_of(high) - level - 1)
+            result = low_models + high_models
+            cache[current] = result
+            return result
+
+        return walk(node) << self.level_of(node)
+
+    def models(self, node: int) -> Iterator[FrozenSet[str]]:
+        """Enumerate all satisfying assignments over the full order."""
+
+        def walk(current: int, from_level: int, chosen: List[str]) -> Iterator[FrozenSet[str]]:
+            level = self.level_of(current)
+            free = self.order[from_level:level]
+            if current == FALSE_NODE:
+                return
+            if current == TRUE_NODE:
+                for mask in range(1 << len(free)):
+                    extra = [free[i] for i in range(len(free)) if mask >> i & 1]
+                    yield frozenset(chosen + extra)
+                return
+            _, low, high = self._nodes[current]
+            for mask in range(1 << len(free)):
+                extra = [free[i] for i in range(len(free)) if mask >> i & 1]
+                yield from walk(low, level + 1, chosen + extra)
+                yield from walk(high, level + 1, chosen + extra + [self.order[level]])
+
+        yield from walk(node, 0, [])
+
+    def restrict(self, node: int, name: str, value: bool) -> int:
+        """Cofactor: fix one letter to a constant."""
+        target = self._level.get(name)
+        if target is None:
+            raise ValueError(f"letter {name!r} not in the manager's order")
+        cache: Dict[int, int] = {}
+
+        def walk(current: int) -> int:
+            level = self.level_of(current)
+            if level > target:
+                return current
+            if current in cache:
+                return cache[current]
+            _, low, high = self._nodes[current]
+            if level == target:
+                result = high if value else low
+            else:
+                result = self._make(level, walk(low), walk(high))
+            cache[current] = result
+            return result
+
+        return walk(node)

@@ -1,0 +1,23 @@
+"""Counting circuits rendered as propositional formulas.
+
+The star of the show is :func:`repro.circuits.exa.exa` — the polynomial-size
+``EXA(k, X, Y, W)`` exact-Hamming-distance formula of Theorem 3.4.
+"""
+
+from .builder import CircuitBuilder, const_bits
+from .cardinality import at_least, at_most, exactly, exactly_pairwise
+from .exa import atmost, distance_bits, distance_less_than, exa, exa_plain
+
+__all__ = [
+    "CircuitBuilder",
+    "at_least",
+    "at_most",
+    "atmost",
+    "const_bits",
+    "distance_bits",
+    "distance_less_than",
+    "exa",
+    "exa_plain",
+    "exactly",
+    "exactly_pairwise",
+]

@@ -1,0 +1,174 @@
+"""Circuit-to-formula builder.
+
+Theorem 3.4 of the paper represents a Hamming-distance circuit as "a
+polynomial size propositional formula using literals from X ∪ Y, log n
+literals representing k, and a polynomial number of new atoms W representing
+the internal nodes of the circuit".  :class:`CircuitBuilder` implements that
+translation: every internal wire receives a fresh letter defined by a
+two-sided equivalence ``w <-> gate(inputs)``, so the auxiliary letters are
+*functionally determined* by the circuit inputs.  Consequently conjoining
+``definitions()`` to any formula preserves query equivalence over the
+original alphabet and preserves model counts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from ..logic.formula import FALSE, TRUE, Formula, Var, iff, land, lnot, lor, xor
+
+
+class CircuitBuilder:
+    """Allocates wire letters and records their gate definitions."""
+
+    def __init__(self, prefix: str = "_w", avoid: Iterable[str] = ()) -> None:
+        self._prefix = prefix
+        self._avoid = set(avoid)
+        self._counter = 0
+        self._definitions: List[Formula] = []
+        self.wire_names: List[str] = []
+
+    def _fresh_name(self) -> str:
+        while True:
+            name = f"{self._prefix}{self._counter}"
+            self._counter += 1
+            if name not in self._avoid:
+                self._avoid.add(name)
+                self.wire_names.append(name)
+                return name
+
+    def wire(self, expr: Formula) -> Formula:
+        """Create a wire letter defined as ``expr``; returns the wire.
+
+        Constants pass through undefined — no letter is wasted on them.
+        """
+        if isinstance(expr, (type(TRUE), type(FALSE))):
+            return expr
+        if isinstance(expr, Var):
+            return expr
+        name = self._fresh_name()
+        wire_var = Var(name)
+        self._definitions.append(iff(wire_var, expr))
+        return wire_var
+
+    def definitions(self) -> Formula:
+        """The conjunction of all gate definitions recorded so far."""
+        return land(*self._definitions)
+
+    def definition_count(self) -> int:
+        return len(self._definitions)
+
+    # -- arithmetic building blocks ------------------------------------------
+
+    def half_adder(self, a: Formula, b: Formula) -> Tuple[Formula, Formula]:
+        """Return ``(sum, carry)`` wires for one-bit addition."""
+        return self.wire(xor(a, b)), self.wire(land(a, b))
+
+    def full_adder(self, a: Formula, b: Formula, c: Formula) -> Tuple[Formula, Formula]:
+        """Return ``(sum, carry)`` wires for three-input addition."""
+        s1, c1 = self.half_adder(a, b)
+        s2, c2 = self.half_adder(s1, c)
+        return s2, self.wire(lor(c1, c2))
+
+    def add(self, left: Sequence[Formula], right: Sequence[Formula]) -> List[Formula]:
+        """Ripple-carry addition of two little-endian bit vectors."""
+        width = max(len(left), len(right))
+        a_bits = list(left) + [FALSE] * (width - len(left))
+        b_bits = list(right) + [FALSE] * (width - len(right))
+        out: List[Formula] = []
+        carry: Formula = FALSE
+        for a_bit, b_bit in zip(a_bits, b_bits):
+            total, carry = self.full_adder(a_bit, b_bit, carry)
+            out.append(total)
+        out.append(carry)
+        return _trim(out)
+
+    def popcount(self, bits: Sequence[Formula]) -> List[Formula]:
+        """Binary count (little-endian wire vector) of true inputs.
+
+        Divide-and-conquer adder tree: O(n) gates, O(log n) output bits —
+        the polynomial circuit Theorem 3.4 relies on.
+        """
+        bits = list(bits)
+        if not bits:
+            return [FALSE]
+        if len(bits) == 1:
+            return [bits[0]]
+        mid = len(bits) // 2
+        return self.add(self.popcount(bits[:mid]), self.popcount(bits[mid:]))
+
+    # -- comparators -------------------------------------------------------------
+
+    def equals_const(self, number: Sequence[Formula], value: int) -> Formula:
+        """Formula asserting the wire vector equals the constant ``value``."""
+        if value < 0:
+            return FALSE
+        if value >> len(number):
+            return FALSE  # constant needs more bits than the vector has
+        parts: List[Formula] = []
+        for position, bit in enumerate(number):
+            if value >> position & 1:
+                parts.append(bit)
+            else:
+                parts.append(lnot(bit))
+        return land(*parts)
+
+    def less_than_const(self, number: Sequence[Formula], value: int) -> Formula:
+        """Formula asserting the wire vector is strictly below ``value``."""
+        if value <= 0:
+            return FALSE
+        if value > (1 << len(number)) - 1:
+            return TRUE
+        # number < value  iff  exists a bit position where value has 1,
+        # number has 0, and they agree above it.
+        options: List[Formula] = []
+        for position in reversed(range(len(number))):
+            if not (value >> position & 1):
+                continue
+            higher_agree = [
+                number[j] if (value >> j & 1) else lnot(number[j])
+                for j in range(position + 1, len(number))
+            ]
+            options.append(land(*higher_agree, lnot(number[position])))
+        return lor(*options)
+
+    def less_than(self, left: Sequence[Formula], right: Sequence[Formula]) -> Formula:
+        """Wire asserting ``left < right`` (unsigned little-endian vectors).
+
+        Ripple comparison from the most significant bit downward.
+        """
+        width = max(len(left), len(right))
+        a_bits = list(left) + [FALSE] * (width - len(left))
+        b_bits = list(right) + [FALSE] * (width - len(right))
+        result: Formula = FALSE  # equal so far => not less
+        # Process from LSB: lt_k = (a_k < b_k) or (a_k == b_k and lt_{k-1})
+        for a_bit, b_bit in zip(a_bits, b_bits):
+            bit_less = land(lnot(a_bit), b_bit)
+            bit_equal = iff(a_bit, b_bit)
+            result = self.wire(lor(bit_less, land(bit_equal, result)))
+        return result
+
+
+def _trim(bits: List[Formula]) -> List[Formula]:
+    """Drop constant-FALSE high bits (keep at least one bit)."""
+    while len(bits) > 1 and bits[-1] is FALSE:
+        bits.pop()
+    return bits
+
+
+def const_bits(value: int, width: int | None = None) -> List[Formula]:
+    """Little-endian constant bit vector for ``value``."""
+    if value < 0:
+        raise ValueError("only non-negative constants")
+    bits: List[Formula] = []
+    remaining = value
+    while remaining:
+        bits.append(TRUE if remaining & 1 else FALSE)
+        remaining >>= 1
+    if not bits:
+        bits.append(FALSE)
+    if width is not None:
+        if len(bits) > width:
+            raise ValueError(f"{value} does not fit in {width} bits")
+        bits.extend([FALSE] * (width - len(bits)))
+    return bits

@@ -1,0 +1,68 @@
+"""Cardinality constraints over letter sets.
+
+Built on the same counter circuitry as :mod:`repro.circuits.exa`.  These are
+used by tests (independent cross-checks of the EXA semantics) and by the
+workload generators in the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from ..logic.formula import FALSE, TRUE, Formula, Var, land, lnot, lor
+from .builder import CircuitBuilder
+
+
+def _wires(builder: CircuitBuilder, letters: Sequence[str]) -> List[Formula]:
+    return [Var(name) for name in letters]
+
+
+def exactly(k: int, letters: Sequence[str], prefix: str = "_card") -> Formula:
+    """Exactly ``k`` of ``letters`` are true (circuit encoding, aux letters)."""
+    if k < 0 or k > len(letters):
+        return FALSE
+    builder = CircuitBuilder(prefix=prefix, avoid=letters)
+    count = builder.popcount(_wires(builder, letters))
+    return land(builder.definitions(), builder.equals_const(count, k))
+
+
+def at_most(k: int, letters: Sequence[str], prefix: str = "_card") -> Formula:
+    """At most ``k`` of ``letters`` are true."""
+    if k < 0:
+        return FALSE
+    if k >= len(letters):
+        return TRUE
+    builder = CircuitBuilder(prefix=prefix, avoid=letters)
+    count = builder.popcount(_wires(builder, letters))
+    return land(builder.definitions(), builder.less_than_const(count, k + 1))
+
+
+def at_least(k: int, letters: Sequence[str], prefix: str = "_card") -> Formula:
+    """At least ``k`` of ``letters`` are true."""
+    if k <= 0:
+        return TRUE
+    if k > len(letters):
+        return FALSE
+    builder = CircuitBuilder(prefix=prefix, avoid=letters)
+    count = builder.popcount(_wires(builder, letters))
+    return land(builder.definitions(), lnot(builder.less_than_const(count, k)))
+
+
+def exactly_pairwise(k: int, letters: Sequence[str]) -> Formula:
+    """Auxiliary-free exactly-``k`` by subset enumeration (exponential).
+
+    Kept as an independent oracle for tests and the size-ablation bench.
+    """
+    from itertools import combinations
+
+    if k < 0 or k > len(letters):
+        return FALSE
+    options: List[Formula] = []
+    for chosen in combinations(letters, k):
+        chosen_set = set(chosen)
+        parts = [
+            Var(name) if name in chosen_set else lnot(Var(name))
+            for name in letters
+        ]
+        options.append(land(*parts))
+    return lor(*options)

@@ -1,0 +1,170 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands:
+
+* ``revise``  — revise a theory with one or more formulas, print the models
+  (and optionally the compiled representation's size);
+* ``ask``     — decide ``T * P1 * ... * Pm |= Q``;
+* ``compile`` — print the compact representation of the revision;
+* ``operators`` — list the available operators and their Table 3/4 rows.
+
+Examples::
+
+    python -m repro revise -o dalal "g | b" "~g"
+    python -m repro ask -o winslett "g | b" "~g" --query b
+    python -m repro compile -o weber "a & b & c" "~a | ~b"
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .compact.representation import CompactRepresentation
+from .kb.knowledge_base import _COMPILERS, KnowledgeBase
+from .logic.parser import ParseError, parse
+from .revision.registry import FORMULA_BASED_NAMES, MODEL_BASED_NAMES, OPERATORS
+
+#: Table 3/4 one-line summaries per operator (general / bounded, single /
+#: iterated), used by the ``operators`` subcommand.
+_SUMMARY = {
+    "gfuv": "not compactable in any case (Thms 3.1, 4.1)",
+    "nebel": "not compactable in any case (GFUV generalisation)",
+    "widtio": "always logically compactable (size <= |T| + |P|)",
+    "winslett": "bounded |P|: logical (5) / iterated query (16)",
+    "borgida": "bounded |P|: logical (Cor 4.4) / iterated query",
+    "forbus": "bounded |P|: logical (6) / iterated query (14)",
+    "satoh": "bounded |P|: logical (7) / iterated query (13, corrected)",
+    "dalal": "query-compactable, single (Thm 3.4) and iterated (Thm 5.1)",
+    "weber": "query-compactable, single (Thm 3.5) and iterated (form. 10)",
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Belief revision with size-aware compilation "
+        "(Cadoli-Donini-Liberatore-Schaerf, PODS'95).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("theory", help="initial knowledge base (formula text)")
+        p.add_argument("updates", nargs="+", help="revision formulas, in order")
+        p.add_argument(
+            "-o",
+            "--operator",
+            default="dalal",
+            choices=sorted(OPERATORS),
+            help="revision operator (default: dalal)",
+        )
+
+    p_revise = sub.add_parser("revise", help="revise and print the models")
+    add_common(p_revise)
+    p_revise.add_argument(
+        "--show-size",
+        action="store_true",
+        help="also print the compiled representation's size when available",
+    )
+
+    p_ask = sub.add_parser("ask", help="decide T * P1 * ... * Pm |= Q")
+    add_common(p_ask)
+    p_ask.add_argument("--query", required=True, help="query formula")
+    p_ask.add_argument(
+        "--via",
+        default="auto",
+        choices=["auto", "compiled", "semantics"],
+        help="decision route (default: auto)",
+    )
+
+    p_compile = sub.add_parser(
+        "compile", help="print the compact representation of the revision"
+    )
+    add_common(p_compile)
+
+    sub.add_parser("operators", help="list operators and compactability rows")
+    return parser
+
+
+def _fmt_model(model) -> str:
+    return "{" + ", ".join(sorted(model)) + "}"
+
+
+def _cmd_revise(args: argparse.Namespace) -> int:
+    kb = KnowledgeBase(args.theory, operator=args.operator)
+    for update in args.updates:
+        kb.revise(update)
+    print(f"operator : {kb.operator_name}")
+    print(f"alphabet : {', '.join(kb.alphabet())}")
+    print("models   :")
+    for model in sorted(kb.models(), key=sorted):
+        print(f"  {_fmt_model(model)}")
+    if args.show_size and kb.operator_name in _COMPILERS:
+        rep = kb.compile()
+        print(f"compiled : |T'| = {rep.size()} ({rep.equivalence} equivalence)")
+    return 0
+
+
+def _cmd_ask(args: argparse.Namespace) -> int:
+    kb = KnowledgeBase(args.theory, operator=args.operator)
+    for update in args.updates:
+        kb.revise(update)
+    answer = kb.ask(args.query, via=args.via)
+    print("yes" if answer else "no")
+    return 0 if answer else 1
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    kb = KnowledgeBase(args.theory, operator=args.operator)
+    for update in args.updates:
+        kb.revise(update)
+    rep: CompactRepresentation = kb.compile()
+    print(f"operator    : {rep.operator}")
+    print(f"equivalence : {rep.equivalence}")
+    print(f"size |T'|   : {rep.size()}")
+    print(f"new letters : {rep.new_letter_count()}")
+    print(f"formula     : {rep.formula}")
+    return 0
+
+
+def _cmd_operators(_: argparse.Namespace) -> int:
+    print("model-based   :", ", ".join(MODEL_BASED_NAMES))
+    print("formula-based :", ", ".join(FORMULA_BASED_NAMES))
+    print()
+    for name in sorted(OPERATORS):
+        print(f"  {name:9s} {_SUMMARY[name]}")
+    return 0
+
+
+_COMMANDS = {
+    "revise": _cmd_revise,
+    "ask": _cmd_ask,
+    "compile": _cmd_compile,
+    "operators": _cmd_operators,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ParseError as error:
+        print(f"parse error: {error}", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe: exit quietly, POSIX-style.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,82 @@
+"""Compact representations of revised knowledge bases (the paper's
+positive results).
+
+Single revision, unbounded ``|P|`` (query equivalence — Table 3):
+
+* :func:`dalal_compact` — Theorem 3.4
+* :func:`weber_compact` — Theorem 3.5
+* :func:`widtio_compact` — trivial
+
+Single revision, bounded ``|P|`` (logical equivalence — Table 3):
+
+* :data:`BOUNDED_CONSTRUCTIONS` — formulas (5)–(9) and Corollary 4.4
+
+Iterated revision (query equivalence — Table 4):
+
+* :func:`dalal_iterated` — Theorem 5.1 (``Φ_m``)
+* :func:`weber_iterated` — formula (10)
+* :func:`bounded_iterated` — formulas (12)–(16) for Winslett / Borgida /
+  Forbus / Satoh (bounded ``|P^i|``)
+* :func:`widtio_iterated`
+"""
+
+from .bounded import (
+    BOUNDED_CONSTRUCTIONS,
+    borgida_bounded,
+    dalal_bounded,
+    delta_exact,
+    forbus_bounded,
+    satoh_bounded,
+    weber_bounded,
+    winslett_bounded,
+)
+from .dalal import dalal_compact, minimum_distance
+from .iterated import dalal_iterated, omegas_iterated, weber_iterated
+from .qbf import (
+    borgida_bounded_query,
+    bounded_iterated,
+    f_subset,
+    forbus_bounded_query,
+    satoh_bounded_query,
+    winslett_bounded_query,
+)
+from .representation import (
+    LOGICAL,
+    QUERY,
+    CompactRepresentation,
+    is_logically_equivalent_to,
+    is_query_equivalent_to,
+)
+from .weber import omega_exact, weber_compact
+from .widtio import widtio_compact, widtio_iterated
+
+__all__ = [
+    "BOUNDED_CONSTRUCTIONS",
+    "CompactRepresentation",
+    "LOGICAL",
+    "QUERY",
+    "borgida_bounded",
+    "borgida_bounded_query",
+    "bounded_iterated",
+    "dalal_bounded",
+    "dalal_compact",
+    "dalal_iterated",
+    "delta_exact",
+    "f_subset",
+    "forbus_bounded",
+    "forbus_bounded_query",
+    "is_logically_equivalent_to",
+    "is_query_equivalent_to",
+    "minimum_distance",
+    "omega_exact",
+    "omegas_iterated",
+    "satoh_bounded",
+    "satoh_bounded_query",
+    "weber_bounded",
+    "weber_compact",
+    "weber_iterated",
+    "widtio_compact",
+    "widtio_iterated",
+    "winslett_bounded",
+    "winslett_bounded_query",
+]

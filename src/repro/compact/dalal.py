@@ -1,0 +1,79 @@
+"""Dalal's query-compact representation (Theorem 3.4).
+
+``T *D P`` is query-equivalent to::
+
+    T[X/Y] ∧ P ∧ EXA(k, X, Y, W)
+
+where ``X`` is the alphabet of ``T`` and ``P``, ``Y`` a fresh copy of ``X``
+holding the chosen model of ``T``, ``W`` the circuit wires of the exact-
+Hamming-distance formula, and ``k = k_{T,P}`` the minimum distance between
+models of ``T`` and models of ``P``.
+
+The minimum distance is computed *effectively* (the "effective procedures"
+the paper promises for its compactability results): ``k`` is the least value
+for which ``T[X/Y] ∧ P ∧ EXA(k, X, Y, W)`` is satisfiable — each probe is
+one SAT call on a polynomial-size formula.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..circuits.exa import exa
+from ..logic.formula import Formula, FormulaLike, as_formula, fresh_names, land
+from ..logic.theory import Theory, TheoryLike
+from ..sat import is_satisfiable
+from .representation import QUERY, CompactRepresentation
+
+
+def _prepare(theory: TheoryLike, new_formula: FormulaLike) -> Tuple[Formula, Formula, List[str]]:
+    theory = Theory.coerce(theory)
+    formula = as_formula(new_formula)
+    t_formula = theory.conjunction()
+    alphabet = sorted(t_formula.variables() | formula.variables())
+    return t_formula, formula, alphabet
+
+
+def minimum_distance(
+    theory: TheoryLike, new_formula: FormulaLike
+) -> int:
+    """``k_{T,P}`` via SAT probes on the Theorem 3.4 formula.
+
+    Raises ``ValueError`` when ``T`` or ``P`` is unsatisfiable (the paper
+    sets those cases aside; see Section 2.2.2).
+    """
+    t_formula, p_formula, alphabet = _prepare(theory, new_formula)
+    y_names = fresh_names("y_", len(alphabet), avoid=alphabet)
+    renamed_t = t_formula.rename(dict(zip(alphabet, y_names)))
+    base = land(renamed_t, p_formula)
+    for k in range(len(alphabet) + 1):
+        probe = land(base, exa(k, alphabet, y_names, prefix="_kprobe"))
+        if is_satisfiable(probe):
+            return k
+    raise ValueError("T or P is unsatisfiable: k_{T,P} undefined")
+
+
+def dalal_compact(
+    theory: TheoryLike,
+    new_formula: FormulaLike,
+    k: Optional[int] = None,
+) -> CompactRepresentation:
+    """Theorem 3.4: the query-equivalent representation of ``T *D P``.
+
+    ``k`` may be supplied when already known (e.g. during iterated
+    revision); otherwise it is computed by :func:`minimum_distance`.
+    """
+    t_formula, p_formula, alphabet = _prepare(theory, new_formula)
+    if k is None:
+        k = minimum_distance(t_formula, p_formula)
+    y_names = fresh_names("y_", len(alphabet), avoid=alphabet)
+    renamed_t = t_formula.rename(dict(zip(alphabet, y_names)))
+    distance = exa(k, alphabet, y_names, prefix="_exa")
+    representation = land(renamed_t, p_formula, distance)
+    return CompactRepresentation(
+        representation,
+        query_alphabet=alphabet,
+        equivalence=QUERY,
+        operator="dalal",
+        metadata={"k": k, "y_names": tuple(y_names)},
+    )

@@ -1,0 +1,64 @@
+"""Weber's query-compact representation (Theorem 3.5).
+
+``T *Web P`` is query-equivalent to ``T[Ω/Z] ∧ P`` where
+``Ω = ∪ δ(T, P)`` is the set of letters occurring in some inclusion-minimal
+difference between a model of ``T`` and a model of ``P``, and ``Z`` is a
+fresh copy of ``Ω``.  The representation "increases the size of T only
+by — at most — the length of P" (paper, end of Section 3.1): it is *linear*.
+
+Computing ``Ω`` itself is expensive (that does not affect the *size* claim,
+which is the paper's subject).  Two routes are provided:
+
+* :func:`omega_exact` — by model enumeration (exact; small alphabets);
+* passing a precomputed ``omega`` to :func:`weber_compact`.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional, Tuple
+
+from ..logic.formula import Formula, FormulaLike, as_formula, fresh_names, land
+from ..logic.theory import Theory, TheoryLike
+from ..revision.distances import omega as omega_from_models
+from ..sat import models as sat_models
+from .representation import QUERY, CompactRepresentation
+
+
+def omega_exact(theory: TheoryLike, new_formula: FormulaLike) -> FrozenSet[str]:
+    """``Ω = ∪ δ(T,P)`` by full model enumeration over ``V(T) ∪ V(P)``."""
+    theory = Theory.coerce(theory)
+    formula = as_formula(new_formula)
+    alphabet = sorted(theory.variables() | formula.variables())
+    t_models = frozenset(sat_models(theory.conjunction(), alphabet))
+    p_models = frozenset(sat_models(formula, alphabet))
+    if not t_models or not p_models:
+        raise ValueError("T or P is unsatisfiable: Ω undefined")
+    return omega_from_models(t_models, p_models)
+
+
+def weber_compact(
+    theory: TheoryLike,
+    new_formula: FormulaLike,
+    omega: Optional[Iterable[str]] = None,
+) -> CompactRepresentation:
+    """Theorem 3.5: the query-equivalent representation ``T[Ω/Z] ∧ P``."""
+    theory = Theory.coerce(theory)
+    formula = as_formula(new_formula)
+    t_formula = theory.conjunction()
+    alphabet = sorted(t_formula.variables() | formula.variables())
+    omega_letters = sorted(
+        omega_exact(theory, formula) if omega is None else set(omega)
+    )
+    z_names = fresh_names("z_", len(omega_letters), avoid=alphabet)
+    renamed_t = t_formula.rename(dict(zip(omega_letters, z_names)))
+    representation = land(renamed_t, formula)
+    return CompactRepresentation(
+        representation,
+        query_alphabet=alphabet,
+        equivalence=QUERY,
+        operator="weber",
+        metadata={
+            "omega": tuple(omega_letters),
+            "z_names": tuple(z_names),
+        },
+    )

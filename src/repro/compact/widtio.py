@@ -1,0 +1,52 @@
+"""WIDTIO compaction — trivially logically compactable (Section 3).
+
+``T *Wid P = (∩ W(T,P)) ∪ {P}`` is a sub-theory of ``T`` plus ``P``, so its
+size never exceeds ``|T| + |P|``; the first row of Tables 3 and 4 is YES
+everywhere.  This module just packages the revised theory's conjunction as a
+:class:`~repro.compact.representation.CompactRepresentation`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..logic.formula import FormulaLike, as_formula
+from ..logic.theory import Theory, TheoryLike
+from ..revision.formula_based import WidtioOperator
+from .representation import LOGICAL, CompactRepresentation
+
+
+def widtio_compact(theory: TheoryLike, new_formula: FormulaLike) -> CompactRepresentation:
+    """Logically-equivalent representation of ``T *Wid P`` (size-bounded)."""
+    theory = Theory.coerce(theory)
+    formula = as_formula(new_formula)
+    revised = WidtioOperator().revised_theory(theory, formula)
+    alphabet = sorted(theory.variables() | formula.variables())
+    return CompactRepresentation(
+        revised.conjunction(),
+        query_alphabet=alphabet,
+        equivalence=LOGICAL,
+        operator="widtio",
+        metadata={"member_count": len(revised)},
+    )
+
+
+def widtio_iterated(
+    theory: TheoryLike, new_formulas: Sequence[FormulaLike]
+) -> CompactRepresentation:
+    """Iterated WIDTIO: thread the revised theory through the sequence."""
+    theory = Theory.coerce(theory)
+    operator = WidtioOperator()
+    alphabet = set(theory.variables())
+    current = theory
+    for raw in new_formulas:
+        formula = as_formula(raw)
+        alphabet |= formula.variables()
+        current = operator.revised_theory(current, formula)
+    return CompactRepresentation(
+        current.conjunction(),
+        query_alphabet=sorted(alphabet),
+        equivalence=LOGICAL,
+        operator="widtio",
+        metadata={"member_count": len(current), "steps": len(new_formulas)},
+    )

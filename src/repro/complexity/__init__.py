@@ -1,0 +1,5 @@
+"""Non-uniform complexity machinery: executable advice-taking machines."""
+
+from .advice import DalalAdviceMachine, decide_sat_by_gfuv_reduction
+
+__all__ = ["DalalAdviceMachine", "decide_sat_by_gfuv_reduction"]

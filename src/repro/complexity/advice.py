@@ -1,0 +1,90 @@
+"""Advice-taking machines (Theorems 2.2, 2.3, 7.1–7.3), made executable.
+
+The non-compactability proofs all follow one schema: *if* a compact
+representation ``T'_n`` of ``T_n * P_n`` existed, an advice-taking Turing
+machine with advice ``A(n) = T'_n`` would decide 3-SAT_n — collapsing the
+polynomial hierarchy.  The machines themselves are perfectly concrete; this
+module runs them in the two directions that are actually executable:
+
+* :class:`DalalAdviceMachine` — Dalal *is* query-compactable (Theorem 3.4),
+  so the advice exists: the offline phase compiles
+  ``A(n) = T[X/Y] ∧ P ∧ EXA(k,X,Y,W)`` for the Theorem 3.6 family, and the
+  online phase decides any ``pi`` of size ``n`` by one entailment query
+  against the advice.  It also demonstrates, on the same advice, why query
+  equivalence is *not* enough for the Theorem 2.3 machine: direct model
+  checking ``C_pi |= A(n)`` gives wrong answers, because the advice has
+  auxiliary letters (this is precisely the Dalal row of Table 3:
+  query-YES / logical-NO).
+
+* :func:`decide_sat_by_gfuv_reduction` — the Theorem 3.1 reduction run
+  forwards: decide ``pi`` through ``T_n *GFUV P_n |= Q_pi`` (the oracle the
+  hypothetical machine would consult).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from ..compact.dalal import dalal_compact
+from ..compact.representation import CompactRepresentation
+from ..logic.formula import Formula, cube, lnot
+from ..hardness.dalal_weber_family import DalalWeberFamily, build as build_dw
+from ..hardness.gfuv_family import GfuvFamily, decide_sat_via_revision
+from ..revision.registry import revise
+from ..threesat.instances import Clause3
+
+
+class DalalAdviceMachine:
+    """Theorem 2.2-style machine with *real* advice for Dalal's operator.
+
+    Offline (`__init__`): build the Theorem 3.6 family member for size ``n``
+    and compile the polynomial-size advice ``A(n)`` by Theorem 3.4.
+
+    Online (:meth:`decide`): given an instance ``pi`` of the family's clause
+    universe, compute ``C_pi`` in polynomial time and answer one entailment
+    query: ``pi`` is satisfiable iff the advice does *not* entail
+    ``¬cube(C_pi)`` (i.e. iff ``C_pi`` remains a possible model).
+    """
+
+    def __init__(self, n: int, universe: Optional[Sequence[Clause3]] = None) -> None:
+        self.family: DalalWeberFamily = build_dw(n, universe)
+        self.advice: CompactRepresentation = dalal_compact(
+            self.family.t_formula, self.family.p_formula
+        )
+
+    def advice_size(self) -> int:
+        """``|A(n)|`` — polynomial in ``n`` (the compactability claim)."""
+        return self.advice.size()
+
+    def decide(self, pi: Iterable[Clause3]) -> bool:
+        """Decide satisfiability of ``pi`` via one query to the advice."""
+        c_pi = self.family.c_pi(pi)
+        exclusion = lnot(cube(c_pi, self.family.alphabet))
+        return not self.advice.entails(exclusion)
+
+    def model_check_against_advice(self, pi: Iterable[Clause3]) -> bool:
+        """Direct model checking ``C_pi |= A(n)`` — deliberately *unsound*.
+
+        The advice is only query-equivalent: it constrains auxiliary letters
+        (``Y``, ``W``) that ``C_pi`` leaves false, so this check can disagree
+        with ``C_pi |= T_n *D P_n``.  Exposed to demonstrate the
+        query-vs-logical gap of Theorem 3.6.
+        """
+        c_pi = self.family.c_pi(pi)
+        return self.advice.formula.evaluate(c_pi)
+
+    def model_check_semantics(self, pi: Iterable[Clause3]) -> bool:
+        """Ground truth ``C_pi |= T_n *D P_n`` (exponential-time oracle)."""
+        result = revise(self.family.t_formula, self.family.p_formula, "dalal")
+        return result.satisfies(self.family.c_pi(pi))
+
+
+def decide_sat_by_gfuv_reduction(family: GfuvFamily, pi: Iterable[Clause3]) -> bool:
+    """Theorem 3.1 run forwards: ``pi`` satisfiable iff
+    ``T_n *GFUV P_n |= Q_pi``.
+
+    This is the oracle call of the hypothetical Theorem 2.2 machine; no
+    compact advice can exist for GFUV unless NP ⊆ coNP/poly, so the oracle
+    here is the exact (exponential) engine.
+    """
+    return decide_sat_via_revision(family, pi)

@@ -1,0 +1,28 @@
+"""The non-compactability reduction families of the paper's negative results.
+
+Each module builds the ``(T_n, P_n)`` pairs of one proof and exposes the
+per-instance artifacts (``Q_pi``, ``W_pi``, ``M_pi``, ``C_pi``); the test
+suite verifies the claimed iff-reductions against brute-force 3-SAT for
+feasible ``n``, and the benchmark harness measures the size blow-up of
+explicit representations on these families (Tables 3/4 NO cells).
+"""
+
+from . import (
+    bounded_gfuv,
+    dalal_weber_family,
+    forbus_family,
+    gfuv_family,
+    iterated_family,
+    nebel_family,
+    winslett_chain,
+)
+
+__all__ = [
+    "bounded_gfuv",
+    "dalal_weber_family",
+    "forbus_family",
+    "gfuv_family",
+    "iterated_family",
+    "nebel_family",
+    "winslett_chain",
+]

@@ -1,0 +1,45 @@
+"""The Theorem 4.1 reduction: GFUV stays non-compactable even when
+``|P| <= k``.
+
+Given the Theorem 3.1 pair ``(T_n, P_n)``, a single fresh atom ``s`` moves
+all the complexity of ``P_n`` into the theory::
+
+    T'_n = { f ∧ (¬s ∨ P_n)  :  f ∈ T_n }  ∪  { ¬s }
+    P'_n = s
+
+For every query ``Q`` over ``V(T_n) ∪ V(P_n)``:
+``T'_n *GFUV P'_n |= Q``  iff  ``T_n *GFUV P_n |= Q`` — so a compact
+representation for the bounded case would also compact the unbounded case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..logic.formula import Formula, Var, land, lnot, lor
+from ..logic.theory import Theory
+from .gfuv_family import GfuvFamily
+
+
+@dataclass(frozen=True)
+class BoundedGfuvFamily:
+    """The transformed pair ``(T'_n, P'_n)`` with ``|P'_n| = 1``."""
+
+    base: GfuvFamily
+    theory: Theory
+    p_formula: Formula
+
+
+def transform(base: GfuvFamily, switch_name: str = "s") -> BoundedGfuvFamily:
+    """Apply the Theorem 4.1 construction to a Theorem 3.1 family member."""
+    switch = Var(switch_name)
+    used = base.theory.variables() | base.p_formula.variables()
+    if switch_name in used:
+        raise ValueError(f"switch letter {switch_name!r} collides with the family")
+    guarded = [
+        land(member, lor(lnot(switch), base.p_formula))
+        for member in base.theory
+    ]
+    theory = Theory(guarded + [lnot(switch)])
+    return BoundedGfuvFamily(base, theory, switch)

@@ -1,0 +1,93 @@
+"""The Theorem 3.6 reduction family: Dalal's and Weber's operators are not
+*logically* compactable (although they are query-compactable).
+
+Construction (paper, proof of Theorem 3.6)::
+
+    L   = B_n ∪ Y ∪ C           (Y a copy of B_n, C guards for the universe)
+    Φ_n = ⋀_i (b_i ≢ y_i)
+    Γ_n = ⋀_j (γ_j ∨ ¬c_j)
+    T_n = Φ_n ∧ Γ_n
+    P_n = ⋀_i (¬b_i ∧ ¬y_i)
+
+For every instance ``pi`` of the clause universe, with
+``C_pi = {c_i : γ_i ∈ pi}``:
+
+    ``pi`` satisfiable   iff   ``C_pi |= T_n *D P_n``
+                         iff   ``C_pi |= T_n *Web P_n``
+
+The same ``T_n`` (with ``Γ_n`` written ``c_i → γ_i``) and the *sequence*
+``P^i_n = ¬b_i ∧ ¬y_i`` power the Theorem 6.5 iterated family in
+:mod:`repro.hardness.iterated_family`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Sequence, Tuple
+
+from ..logic.formula import Formula, Var, big_and, land, lnot, lor, xor
+from ..threesat.instances import Clause3, atom_names, clause_formula, pi_max
+
+
+@dataclass(frozen=True)
+class DalalWeberFamily:
+    """One member ``(T_n, P_n)`` of the Theorem 3.6 family."""
+
+    n: int
+    universe: Tuple[Clause3, ...]
+    t_formula: Formula
+    p_formula: Formula
+    c_names: Tuple[str, ...]
+    y_names: Tuple[str, ...]
+
+    def c_pi(self, pi: Iterable[Clause3]) -> FrozenSet[str]:
+        """The interpretation ``C_pi`` (guards of the clauses of ``pi``)."""
+        pi_set = frozenset(pi)
+        foreign = pi_set - frozenset(self.universe)
+        if foreign:
+            raise ValueError(f"instance clauses outside the universe: {sorted(foreign)}")
+        return frozenset(
+            self.c_names[i]
+            for i, clause in enumerate(self.universe)
+            if clause in pi_set
+        )
+
+    @property
+    def alphabet(self) -> Tuple[str, ...]:
+        return tuple(
+            sorted(
+                set(atom_names(self.n))
+                | set(self.y_names)
+                | set(self.c_names)
+            )
+        )
+
+
+def build(n: int, universe: Sequence[Clause3] | None = None) -> DalalWeberFamily:
+    """Construct the Theorem 3.6 pair over ``universe`` (default
+    ``pi_max(n)``)."""
+    if universe is None:
+        universe = pi_max(n)
+    universe = tuple(universe)
+    if not universe:
+        raise ValueError("clause universe must be non-empty")
+    b_names = atom_names(n)
+    y_names = tuple(f"yb{i}" for i in range(1, n + 1))
+    c_names = tuple(f"c{i}" for i in range(1, len(universe) + 1))
+
+    phi = big_and(xor(Var(b), Var(y)) for b, y in zip(b_names, y_names))
+    gamma = big_and(
+        lor(clause_formula(universe[j]), lnot(Var(c_names[j])))
+        for j in range(len(universe))
+    )
+    t_formula = land(phi, gamma)
+    p_formula = big_and(
+        land(lnot(Var(b)), lnot(Var(y))) for b, y in zip(b_names, y_names)
+    )
+    return DalalWeberFamily(n, universe, t_formula, p_formula, c_names, y_names)
+
+
+def expected_k(family: DalalWeberFamily) -> int:
+    """``k_{T_n, P_n} = n`` (paper: every model of T_n makes exactly ``n``
+    atoms of ``B_n ∪ Y`` true; every model of P_n makes them all false)."""
+    return family.n

@@ -1,0 +1,100 @@
+"""The Theorem 3.3 reduction family for Forbus' operator.
+
+For each ``n`` the construction uses an ``(n+2) × m`` matrix of guard atoms
+``c^j_i`` (row ``i``, clause ``j``), all rows forced equal::
+
+    U_n = ⋀_j ⋀_{i=2..n+2} (c^j_i ≡ c^j_1)
+    T_n = U_n ∧ ⋀ B_n ∧ r                       (theory {U_n} ∪ B_n ∪ {r})
+    P_n = [ (⋀_i ¬b_i ∧ ¬r) ∨ ⋀_j (c^j_1 → γ_j) ] ∧ U_n
+
+The replication makes distances work out so that, with
+``M_pi = ⋃_{i=1..n+2} {c^j_i : γ_j ∈ pi}``:
+
+    ``pi`` unsatisfiable   iff   ``M_pi |= T_n *F P_n``
+
+and correspondingly ``T_n *F P_n |= Q_pi`` iff ``pi`` is satisfiable, where
+``Q_pi`` is the clause excluding exactly ``M_pi``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Sequence, Tuple
+
+from ..logic.formula import Formula, Var, big_and, big_or, iff, implies, land, lnot, lor
+from ..threesat.instances import Clause3, atom_names, clause_formula, pi_max
+
+
+@dataclass(frozen=True)
+class ForbusFamily:
+    """One member ``(T_n, P_n)`` of the Theorem 3.3 family."""
+
+    n: int
+    universe: Tuple[Clause3, ...]
+    t_formula: Formula
+    p_formula: Formula
+    #: guard matrix: ``c_matrix[i][j]`` = atom name of row ``i``, clause ``j``
+    c_matrix: Tuple[Tuple[str, ...], ...]
+
+    def m_pi(self, pi: Iterable[Clause3]) -> FrozenSet[str]:
+        """``M_pi``: all rows of the guard columns of ``pi``'s clauses."""
+        pi_set = frozenset(pi)
+        foreign = pi_set - frozenset(self.universe)
+        if foreign:
+            raise ValueError(f"instance clauses outside the universe: {sorted(foreign)}")
+        selected: List[str] = []
+        for j, clause in enumerate(self.universe):
+            if clause in pi_set:
+                selected.extend(row[j] for row in self.c_matrix)
+        return frozenset(selected)
+
+    def q_pi(self, pi: Iterable[Clause3]) -> Formula:
+        """``Q_pi``: the clause satisfied by every interpretation but
+        ``M_pi`` (paper, proof of Theorem 3.3)."""
+        pi_set = frozenset(pi)
+        literals: List[Formula] = []
+        for j, clause in enumerate(self.universe):
+            for row in self.c_matrix:
+                atom = Var(row[j])
+                literals.append(lnot(atom) if clause in pi_set else atom)
+        literals.extend(Var(b) for b in atom_names(self.n))
+        literals.append(Var("r"))
+        return big_or(literals)
+
+    @property
+    def alphabet(self) -> Tuple[str, ...]:
+        names = set(atom_names(self.n)) | {"r"}
+        for row in self.c_matrix:
+            names |= set(row)
+        return tuple(sorted(names))
+
+
+def build(n: int, universe: Sequence[Clause3] | None = None) -> ForbusFamily:
+    """Construct the Theorem 3.3 pair over ``universe`` (default
+    ``pi_max(n)``)."""
+    if universe is None:
+        universe = pi_max(n)
+    universe = tuple(universe)
+    if not universe:
+        raise ValueError("clause universe must be non-empty")
+    b_names = atom_names(n)
+    rows = n + 2
+    c_matrix = tuple(
+        tuple(f"c{i}_{j}" for j in range(1, len(universe) + 1))
+        for i in range(1, rows + 1)
+    )
+    equal_rows = big_and(
+        iff(Var(c_matrix[i][j]), Var(c_matrix[0][j]))
+        for j in range(len(universe))
+        for i in range(1, rows)
+    )
+    t_formula = land(
+        equal_rows, *(Var(b) for b in b_names), Var("r")
+    )
+    all_false = land(*(lnot(Var(b)) for b in b_names), lnot(Var("r")))
+    guards = big_and(
+        implies(Var(c_matrix[0][j]), clause_formula(universe[j]))
+        for j in range(len(universe))
+    )
+    p_formula = land(lor(all_false, guards), equal_rows)
+    return ForbusFamily(n, universe, t_formula, p_formula, c_matrix)

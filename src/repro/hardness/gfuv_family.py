@@ -1,0 +1,135 @@
+"""The Theorem 3.1 reduction family for GFUV (and, via Theorem 3.2, for
+Borgida, Satoh and Winslett).
+
+For each size ``n`` the construction produces a pair ``(T_n, P_n)`` of
+polynomial size such that, for every 3-SAT instance ``pi ⊆ pi_max(n)``,
+
+    ``pi`` is satisfiable   iff   ``T_n *GFUV P_n |= Q_pi``
+
+where ``Q_pi = (⋀ W_pi) → r`` and
+``W_pi = {c_i : γ_i ∈ pi} ∪ {d_i : γ_i ∉ pi}``.
+
+Construction (paper, proof of Theorem 3.1)::
+
+    L   = B_n ∪ C ∪ D ∪ {r}
+    T_n = C ∪ D ∪ B_n ∪ {r}                      (a theory of atoms)
+    P_n = [ (⋀_i ¬b_i ∧ ¬r)  ∨  ⋀_j (c_j → γ_j) ]  ∧  ⋀_j (c_j ≢ d_j)
+
+``pi_max(n)`` explodes as ``8·C(n,3)``, so executable checks use either
+``n = 3`` (8 clauses) or a *reduced clause universe* — any subset of
+``pi_max(n)`` works, since the proof only needs ``pi ⊆ universe``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from ..logic.formula import Formula, Var, big_and, implies, land, lnot, lor, xor
+from ..logic.theory import Theory
+from ..sat import entails as sat_entails
+from ..sat import models as sat_models
+from ..threesat.instances import Clause3, atom_names, clause_formula, pi_max
+
+
+@dataclass(frozen=True)
+class GfuvFamily:
+    """One member ``(T_n, P_n)`` of the Theorem 3.1 family."""
+
+    n: int
+    universe: Tuple[Clause3, ...]
+    theory: Theory
+    p_formula: Formula
+    c_names: Tuple[str, ...]
+    d_names: Tuple[str, ...]
+
+    def w_pi(self, pi: Iterable[Clause3]) -> List[str]:
+        """``W_pi``: guard atoms selecting exactly the clauses of ``pi``."""
+        pi_set = frozenset(pi)
+        self._check_instance(pi_set)
+        selected: List[str] = []
+        for index, clause in enumerate(self.universe):
+            selected.append(
+                self.c_names[index] if clause in pi_set else self.d_names[index]
+            )
+        return selected
+
+    def q_pi(self, pi: Iterable[Clause3]) -> Formula:
+        """``Q_pi = (⋀ W_pi) → r``."""
+        return implies(big_and(Var(name) for name in self.w_pi(pi)), Var("r"))
+
+    def _check_instance(self, pi: FrozenSet[Clause3]) -> None:
+        foreign = pi - frozenset(self.universe)
+        if foreign:
+            raise ValueError(f"instance clauses outside the universe: {sorted(foreign)}")
+
+
+def build(n: int, universe: Sequence[Clause3] | None = None) -> GfuvFamily:
+    """Construct ``(T_n, P_n)`` over ``universe`` (default ``pi_max(n)``)."""
+    if universe is None:
+        universe = pi_max(n)
+    universe = tuple(universe)
+    if not universe:
+        raise ValueError("clause universe must be non-empty")
+    b_names = atom_names(n)
+    c_names = tuple(f"c{i}" for i in range(1, len(universe) + 1))
+    d_names = tuple(f"d{i}" for i in range(1, len(universe) + 1))
+    atoms = [Var(name) for name in (*c_names, *d_names, *b_names, "r")]
+    theory = Theory(atoms)
+
+    all_b_false = land(*(lnot(Var(b)) for b in b_names), lnot(Var("r")))
+    guards = big_and(
+        implies(Var(c_names[j]), clause_formula(universe[j]))
+        for j in range(len(universe))
+    )
+    exclusivity = big_and(
+        xor(Var(c_names[j]), Var(d_names[j])) for j in range(len(universe))
+    )
+    p_formula = land(lor(all_b_false, guards), exclusivity)
+    return GfuvFamily(n, universe, theory, p_formula, c_names, d_names)
+
+
+def atomic_possible_worlds(theory: Theory, p_formula: Formula) -> List[FrozenSet[str]]:
+    """``W(T, P)`` for a theory of *atoms*, via projected model enumeration.
+
+    For atomic ``T`` every subset consistent with ``P`` is of the form
+    ``T ∩ N`` for a model ``N`` of ``P``, so
+    ``W(T, P) = max⊆ { T ∩ N : N |= P }`` — computable by enumerating the
+    models of ``P`` projected onto ``V(T)``, instead of the generic
+    ``2^|T|`` subset search.  This is how the Theorem 3.1 checks stay
+    feasible at ``n = 3`` (``|T_n| = 20`` atoms).
+    """
+    atom_set: Set[str] = set()
+    for member in theory:
+        if not isinstance(member, Var):
+            raise ValueError("atomic_possible_worlds requires a theory of atoms")
+        atom_set.add(member.name)
+    alphabet = sorted(atom_set | p_formula.variables())
+    intersections = {
+        frozenset(model & atom_set)
+        for model in sat_models(p_formula, alphabet)
+    }
+    from ..logic.interpretation import max_subset
+
+    return max_subset(intersections)
+
+
+def gfuv_entails(theory: Theory, p_formula: Formula, query: Formula) -> bool:
+    """``T *GFUV P |= Q`` for an atomic theory, via the world shortcut."""
+    worlds = atomic_possible_worlds(theory, p_formula)
+    if not worlds:
+        return True  # P unsatisfiable: everything follows
+    for world in worlds:
+        world_formula = land(*(Var(name) for name in sorted(world)))
+        if not sat_entails(land(world_formula, p_formula), query):
+            return False
+    return True
+
+
+def decide_sat_via_revision(family: GfuvFamily, pi: Iterable[Clause3]) -> bool:
+    """The Theorem 3.1 equivalence, run forwards: decide satisfiability of
+    ``pi`` by asking the revised knowledge base.
+
+    Returns ``True`` (satisfiable) iff ``T_n *GFUV P_n |= Q_pi``.
+    """
+    return gfuv_entails(family.theory, family.p_formula, family.q_pi(pi))

@@ -1,0 +1,72 @@
+"""The Theorem 6.5 family: iterated *bounded* revision is not logically
+compactable for any of the six model-based operators.
+
+An unbounded number of constant-size revisions simulates one unbounded
+revision::
+
+    T_n   = Φ_n ∧ Γ_n            Φ_n = ⋀_i (b_i ≢ y_i)
+                                 Γ_n = ⋀_j (c_j → γ_j)
+    P^i_n = ¬b_i ∧ ¬y_i          (i = 1..n — each of constant size)
+
+With ``C_pi = {c_i : γ_i ∈ pi}``:
+
+    ``pi`` satisfiable   iff   ``C_pi |= T_n * P¹_n * ... * P^n_n``
+
+for every ``* ∈ {*B, *D, *F, *S, *Web, *Win}`` — the proof shows the six
+operators coincide on this family step by step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Sequence, Tuple
+
+from ..logic.formula import Formula, Var, big_and, implies, land, lnot, xor
+from ..threesat.instances import Clause3, atom_names, clause_formula, pi_max
+
+
+@dataclass(frozen=True)
+class IteratedFamily:
+    """One member ``(T_n, P¹_n..P^n_n)`` of the Theorem 6.5 family."""
+
+    n: int
+    universe: Tuple[Clause3, ...]
+    t_formula: Formula
+    p_formulas: Tuple[Formula, ...]
+    c_names: Tuple[str, ...]
+    y_names: Tuple[str, ...]
+
+    def c_pi(self, pi: Iterable[Clause3]) -> FrozenSet[str]:
+        """The interpretation ``C_pi``."""
+        pi_set = frozenset(pi)
+        foreign = pi_set - frozenset(self.universe)
+        if foreign:
+            raise ValueError(f"instance clauses outside the universe: {sorted(foreign)}")
+        return frozenset(
+            self.c_names[i]
+            for i, clause in enumerate(self.universe)
+            if clause in pi_set
+        )
+
+
+def build(n: int, universe: Sequence[Clause3] | None = None) -> IteratedFamily:
+    """Construct the Theorem 6.5 family member over ``universe``."""
+    if universe is None:
+        universe = pi_max(n)
+    universe = tuple(universe)
+    if not universe:
+        raise ValueError("clause universe must be non-empty")
+    b_names = atom_names(n)
+    y_names = tuple(f"yb{i}" for i in range(1, n + 1))
+    c_names = tuple(f"c{i}" for i in range(1, len(universe) + 1))
+
+    phi = big_and(xor(Var(b), Var(y)) for b, y in zip(b_names, y_names))
+    gamma = big_and(
+        implies(Var(c_names[j]), clause_formula(universe[j]))
+        for j in range(len(universe))
+    )
+    t_formula = land(phi, gamma)
+    p_formulas = tuple(
+        land(lnot(Var(b)), lnot(Var(y))) for b, y in zip(b_names, y_names)
+    )
+    return IteratedFamily(n, universe, t_formula, p_formulas, c_names, y_names)

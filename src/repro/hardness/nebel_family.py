@@ -1,0 +1,56 @@
+"""Nebel's exponential-worlds example (Section 3.1).
+
+``T1 = {x1, ..., xm, y1, ..., ym}``,  ``P1 = ⋀_i (x_i ≢ y_i)``.
+
+``W(T1, P1)`` contains ``2^m`` distinct theories — one per choice of
+``x_i`` vs ``y_i`` for each ``i`` — so the explicit disjunction-of-worlds
+representation of ``T1 *GFUV P1`` is exponential in ``|T1| + |P1|``.
+This family powers the E6 blow-up benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..logic.formula import Formula, Var, big_and, big_or, land, xor
+from ..logic.theory import Theory
+
+
+def build(m: int) -> Tuple[Theory, Formula]:
+    """``(T1, P1)`` for the given ``m >= 1``."""
+    if m < 1:
+        raise ValueError("m must be at least 1")
+    xs = [Var(f"x{i}") for i in range(1, m + 1)]
+    ys = [Var(f"y{i}") for i in range(1, m + 1)]
+    theory = Theory(xs + ys)
+    formula = big_and(xor(x, y) for x, y in zip(xs, ys))
+    return theory, formula
+
+
+def expected_world_count(m: int) -> int:
+    """``|W(T1, P1)| = 2^m``."""
+    return 1 << m
+
+
+def explicit_worlds(m: int) -> List[Theory]:
+    """The ``2^m`` possible worlds, constructed directly (not by search).
+
+    World for bitmask ``mask``: keep ``x_i`` when bit ``i`` is 0, else
+    ``y_i``.  Used to cross-check the generic ``possible_worlds`` search and
+    to measure the explicit representation size without paying the search
+    cost at large ``m``.
+    """
+    worlds: List[Theory] = []
+    for mask in range(1 << m):
+        members = []
+        for i in range(1, m + 1):
+            members.append(Var(f"y{i}") if mask >> (i - 1) & 1 else Var(f"x{i}"))
+        worlds.append(Theory(members))
+    return worlds
+
+
+def explicit_representation_size(m: int) -> int:
+    """``|(∨_W ∧W) ∧ P1|`` — the naive GFUV representation size."""
+    _, formula = build(m)
+    disjunction = big_or(world.conjunction() for world in explicit_worlds(m))
+    return land(disjunction, formula).size()

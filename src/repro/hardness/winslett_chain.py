@@ -1,0 +1,60 @@
+"""Winslett's chain example (Section 3.1).
+
+``T2`` couples each pair ``(x_i, y_i)`` to a cascade letter ``z_i``::
+
+    T2 = { x1, y1, z1 ≡ (¬x1 ∨ ¬y1),
+           x2, y2, z2 ≡ (z1 ∧ (¬x2 ∨ ¬y2)),
+           ...,
+           xm, ym, zm ≡ (z_{m-1} ∧ (¬xm ∨ ¬ym)) }
+    P2 = zm
+
+``|W(T2, P2)|`` is exponential in ``m`` although ``|P2|`` does **not**
+depend on ``m`` — the example showing that bounding ``|P|`` does not rescue
+GFUV (Theorem 4.1 turns this observation into a reduction).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..logic.formula import Formula, Var, iff, land, lnot, lor
+from ..logic.theory import Theory
+
+
+def build(m: int) -> Tuple[Theory, Formula]:
+    """``(T2, P2)`` for the given ``m >= 1``."""
+    if m < 1:
+        raise ValueError("m must be at least 1")
+    members = []
+    previous_z: Formula | None = None
+    for i in range(1, m + 1):
+        x = Var(f"x{i}")
+        y = Var(f"y{i}")
+        z = Var(f"z{i}")
+        members.append(x)
+        members.append(y)
+        pair_broken = lor(lnot(x), lnot(y))
+        if previous_z is None:
+            members.append(iff(z, pair_broken))
+        else:
+            members.append(iff(z, land(previous_z, pair_broken)))
+        previous_z = z
+    return Theory(members), Var(f"z{m}")
+
+
+def expected_world_count(m: int) -> int:
+    """``|W(T2, P2)| = 2^(m+1) - 1``.
+
+    Two kinds of maximal subsets exist (cross-checked against the generic
+    ``possible_worlds`` search in the tests):
+
+    * keep all ``m`` definitions — then ``z_m`` forces every pair broken,
+      one binary choice per pair: ``2^m`` worlds;
+    * drop exactly one definition ``z_i ≡ ...`` (the *largest* broken link)
+      — pairs up to ``i`` stay complete, pairs above ``i`` each lose one
+      member: ``2^(m-i)`` worlds for each ``i``.
+
+    Total ``2^m + Σ_{i=1..m} 2^(m-i) = 2^(m+1) - 1`` — exponential in ``m``
+    even though ``|P2|`` is constant, which is the point of the example.
+    """
+    return (1 << (m + 1)) - 1

@@ -1,0 +1,5 @@
+"""Public knowledge-base API (the paper's offline/online query pipeline)."""
+
+from .knowledge_base import KnowledgeBase
+
+__all__ = ["KnowledgeBase"]

@@ -1,0 +1,174 @@
+"""User-facing knowledge base with revision, querying and compilation.
+
+This is the API a downstream user adopts.  It packages the paper's
+engineering moral (Section 8):
+
+* revisions can be **delayed** — the base stores ``T`` and the pending
+  sequence ``P¹..P^m`` and incorporates them only when a query arrives
+  ("a reasonable strategy seems to be to delay revisions and incorporate
+  them when T * P¹ * ... * P^m is accessed");
+* the formulas ``P¹..P^m`` are **kept even after incorporation** — the
+  compact iterated representations need the whole sequence;
+* query answering follows the **two-subtask split** of the introduction:
+  (1) compile a representation ``T'`` off-line, (2) answer ``T' |= Q``
+  with ordinary entailment machinery.
+
+Compilation strategy per operator (from Tables 3 and 4):
+
+========  =======================================  ====================
+operator  representation                            equivalence
+========  =======================================  ====================
+dalal     Theorem 5.1 ``Φ_m``                       query
+weber     formula (10)                              query
+winslett  formulas (12)/(16)                        query (bounded |P|)
+borgida   Borgida variant of (12)/(16)              query (bounded |P|)
+forbus    formula (14) iterated                     query (bounded |P|)
+satoh     corrected formula (13) iterated           query (bounded |P|)
+widtio    revised theory itself                     logical
+gfuv      none — falls back to exact semantics      (not compactable)
+nebel     none — falls back to exact semantics      (not compactable)
+========  =======================================  ====================
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..compact.iterated import dalal_iterated, weber_iterated
+from ..compact.qbf import bounded_iterated
+from ..compact.representation import CompactRepresentation
+from ..compact.widtio import widtio_iterated
+from ..logic.formula import Formula, FormulaLike, as_formula
+from ..logic.parser import parse
+from ..logic.theory import Theory, TheoryLike
+from ..revision.base import RevisionResult
+from ..revision.registry import get_operator
+
+#: Operators with an iterated compact compilation route.
+_COMPILERS = {
+    "dalal": lambda theory, updates: dalal_iterated(theory, updates),
+    "weber": lambda theory, updates: weber_iterated(theory, updates),
+    "winslett": lambda theory, updates: bounded_iterated("winslett", theory, updates),
+    "borgida": lambda theory, updates: bounded_iterated("borgida", theory, updates),
+    "forbus": lambda theory, updates: bounded_iterated("forbus", theory, updates),
+    "satoh": lambda theory, updates: bounded_iterated("satoh", theory, updates),
+    "widtio": lambda theory, updates: widtio_iterated(theory, updates),
+}
+
+
+class KnowledgeBase:
+    """A propositional knowledge base with a chosen revision operator.
+
+    >>> kb = KnowledgeBase("g | b", operator="dalal")
+    >>> kb.revise("~g")
+    >>> kb.ask("b")
+    True
+    """
+
+    def __init__(
+        self,
+        theory: TheoryLike | str,
+        operator: str = "dalal",
+        eager: bool = False,
+    ) -> None:
+        """``eager=True`` incorporates every revision immediately (exact
+        semantics); the default delays them until a query arrives."""
+        if isinstance(theory, str):
+            theory = Theory([parse(theory)])
+        self._theory = Theory.coerce(theory)
+        self._operator = get_operator(operator)
+        self._eager = eager
+        self._pending: List[Formula] = []
+        self._cached_result: Optional[RevisionResult] = None
+        self._cached_compilation: Optional[CompactRepresentation] = None
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def operator_name(self) -> str:
+        return self._operator.name
+
+    @property
+    def theory(self) -> Theory:
+        """The original theory (never mutated by revisions)."""
+        return self._theory
+
+    @property
+    def pending_revisions(self) -> Tuple[Formula, ...]:
+        """The stored revision sequence ``P¹..P^m`` (kept after
+        incorporation, as Section 8 advises)."""
+        return tuple(self._pending)
+
+    # -- revision --------------------------------------------------------------
+
+    def revise(self, new_formula: FormulaLike | str) -> None:
+        """Queue (or eagerly incorporate) one more revision."""
+        formula = parse(new_formula) if isinstance(new_formula, str) else as_formula(
+            new_formula
+        )
+        self._pending.append(formula)
+        self._cached_compilation = None
+        if self._eager:
+            self._cached_result = self._semantics()
+        else:
+            self._cached_result = None
+
+    # -- the two-subtask pipeline -------------------------------------------------
+
+    def _semantics(self) -> RevisionResult:
+        if self._cached_result is None:
+            self._cached_result = self._operator.iterate(self._theory, self._pending)
+        return self._cached_result
+
+    def compile(self) -> CompactRepresentation:
+        """Subtask 1: compute a representation ``T'`` of ``T * P¹ * ... * P^m``.
+
+        Uses the operator's compact construction when one exists
+        (Tables 3/4); raises ``ValueError`` for GFUV/Nebel, which are not
+        compactable — callers fall back to :meth:`ask` which uses exact
+        semantics.
+        """
+        compiler = _COMPILERS.get(self._operator.name)
+        if compiler is None:
+            raise ValueError(
+                f"operator {self._operator.name!r} admits no compact "
+                "representation (Tables 3/4 of the paper)"
+            )
+        if not self._pending:
+            raise ValueError("nothing to compile: no revisions queued")
+        if self._cached_compilation is None:
+            self._cached_compilation = compiler(self._theory, list(self._pending))
+        return self._cached_compilation
+
+    def ask(self, query: FormulaLike | str, via: str = "auto") -> bool:
+        """Subtask 2: decide ``T * P¹ * ... * P^m |= Q``.
+
+        ``via``:
+            * ``"auto"`` — compiled representation when available, exact
+              semantics otherwise;
+            * ``"compiled"`` — force the compact route;
+            * ``"semantics"`` — force exact model enumeration.
+        """
+        formula = parse(query) if isinstance(query, str) else as_formula(query)
+        if via not in ("auto", "compiled", "semantics"):
+            raise ValueError("via must be 'auto', 'compiled' or 'semantics'")
+        if via == "semantics" or not self._pending:
+            return self._semantics().entails(formula)
+        if via == "compiled":
+            return self.compile().entails(formula)
+        if self._operator.name in _COMPILERS:
+            return self.compile().entails(formula)
+        return self._semantics().entails(formula)
+
+    def holds_in(self, model) -> bool:
+        """Model checking ``M |= T * P¹ * ... * P^m`` (exact semantics —
+        query-equivalent compilations are unsound for this, as the Dalal
+        row of Table 3 shows)."""
+        return self._semantics().satisfies(model)
+
+    def models(self):
+        """The model set of the current (revised) knowledge base."""
+        return self._semantics().model_set
+
+    def alphabet(self) -> Tuple[str, ...]:
+        return self._semantics().alphabet

@@ -1,0 +1,103 @@
+"""Propositional logic substrate.
+
+Public surface:
+
+* :mod:`repro.logic.formula` — AST, constructors, substitution, size;
+* :mod:`repro.logic.parser` — text syntax;
+* :mod:`repro.logic.nnf` / :mod:`repro.logic.cnf` — normal forms;
+* :mod:`repro.logic.simplify` — local simplification;
+* :mod:`repro.logic.theory` — finite sets of formulas (syntax-sensitive);
+* :mod:`repro.logic.interpretation` — models as sets of letters.
+"""
+
+from .formula import (
+    FALSE,
+    TRUE,
+    And,
+    Bottom,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Top,
+    Var,
+    Xor,
+    as_formula,
+    big_and,
+    big_or,
+    cube,
+    fresh_names,
+    iff,
+    implies,
+    land,
+    literal,
+    lnot,
+    lor,
+    var,
+    variables,
+    xor,
+)
+from .interpretation import (
+    Interpretation,
+    all_interpretations,
+    hamming_distance,
+    interp,
+    max_subset,
+    min_subset,
+    restrict,
+    symmetric_difference,
+)
+from .nnf import is_nnf, to_nnf
+from .cnf import clauses_formula, to_cnf_distributive, tseitin
+from .parser import ParseError, parse
+from .printer import to_str
+from .simplify import simplify
+from .theory import Theory
+
+__all__ = [
+    "FALSE",
+    "TRUE",
+    "And",
+    "Bottom",
+    "Formula",
+    "Iff",
+    "Implies",
+    "Interpretation",
+    "Not",
+    "Or",
+    "ParseError",
+    "Theory",
+    "Top",
+    "Var",
+    "Xor",
+    "all_interpretations",
+    "as_formula",
+    "big_and",
+    "big_or",
+    "clauses_formula",
+    "cube",
+    "fresh_names",
+    "hamming_distance",
+    "iff",
+    "implies",
+    "interp",
+    "is_nnf",
+    "land",
+    "literal",
+    "lnot",
+    "lor",
+    "max_subset",
+    "min_subset",
+    "parse",
+    "restrict",
+    "simplify",
+    "symmetric_difference",
+    "to_cnf_distributive",
+    "to_nnf",
+    "to_str",
+    "tseitin",
+    "var",
+    "variables",
+    "xor",
+]

@@ -1,0 +1,237 @@
+"""CNF conversion: distributive (equivalence-preserving) and Tseitin.
+
+Two conversions are provided because the paper distinguishes exactly these two
+regimes:
+
+* :func:`to_cnf_distributive` preserves *logical equivalence* (criterion (2)
+  of the paper) but may blow up exponentially;
+* :func:`tseitin` preserves only *query equivalence over the original
+  alphabet* (criterion (1)): it introduces fresh definitional letters, stays
+  linear in size, and every model of the original formula extends uniquely to
+  a model of the translation.
+
+Clauses are represented as frozensets of literals; a literal is a pair
+``(name, positive)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from .formula import (
+    FALSE,
+    TRUE,
+    And,
+    Bottom,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Top,
+    Var,
+    Xor,
+    big_and,
+    big_or,
+    land,
+    literal,
+    lnot,
+    lor,
+)
+from .nnf import to_nnf
+
+Literal = Tuple[str, bool]
+Clause = FrozenSet[Literal]
+ClauseSet = List[Clause]
+
+
+def negate_literal(lit: Literal) -> Literal:
+    """The complementary literal."""
+    name, positive = lit
+    return (name, not positive)
+
+
+def clause_formula(clause: Iterable[Literal]) -> Formula:
+    """Render one clause as a disjunction of literals."""
+    return big_or(literal(name, positive) for name, positive in sorted(clause))
+
+
+def clauses_formula(clauses: Iterable[Iterable[Literal]]) -> Formula:
+    """Render a clause set as a conjunction of disjunctions."""
+    return big_and(clause_formula(clause) for clause in clauses)
+
+
+def _simplify_clauses(clauses: Iterable[Iterable[Literal]]) -> ClauseSet | None:
+    """Drop tautological clauses and duplicates; ``None`` marks an empty
+    clause (unsatisfiable input)."""
+    out: dict[Clause, None] = {}
+    for raw in clauses:
+        clause = frozenset(raw)
+        if any(negate_literal(lit) in clause for lit in clause):
+            continue
+        if not clause:
+            return None
+        out[clause] = None
+    return list(out)
+
+
+def to_cnf_distributive(formula: Formula) -> ClauseSet:
+    """Equivalence-preserving CNF by distribution over the NNF.
+
+    Exponential in the worst case — use only on small formulas (tests, the
+    bounded-|P| constructions) or when logical equivalence is required.
+    The constant ``FALSE`` yields ``[frozenset()]`` (the empty clause); a
+    valid formula yields ``[]``.  Other unsatisfiable inputs may surface as
+    complementary unit clauses rather than the empty clause.
+    """
+    nnf = to_nnf(formula)
+    clauses = _distribute(nnf)
+    simplified = _simplify_clauses(clauses)
+    if simplified is None:
+        return [frozenset()]
+    return simplified
+
+
+def _distribute(formula: Formula) -> List[FrozenSet[Literal]]:
+    if isinstance(formula, Top):
+        return []
+    if isinstance(formula, Bottom):
+        return [frozenset()]
+    if isinstance(formula, Var):
+        return [frozenset([(formula.name, True)])]
+    if isinstance(formula, Not):
+        operand = formula.operand
+        if not isinstance(operand, Var):  # pragma: no cover - guaranteed by NNF
+            raise ValueError("input must be in NNF")
+        return [frozenset([(operand.name, False)])]
+    if isinstance(formula, And):
+        result: List[FrozenSet[Literal]] = []
+        for op in formula.operands:
+            result.extend(_distribute(op))
+        return result
+    if isinstance(formula, Or):
+        # Fold the cross-product left to right, pruning tautologies eagerly.
+        acc: List[FrozenSet[Literal]] = [frozenset()]
+        for op in formula.operands:
+            op_clauses = _distribute(op)
+            new_acc: List[FrozenSet[Literal]] = []
+            seen: Set[Clause] = set()
+            for left in acc:
+                for right in op_clauses:
+                    merged = left | right
+                    if any(negate_literal(lit) in merged for lit in merged):
+                        continue
+                    if merged not in seen:
+                        seen.add(merged)
+                        new_acc.append(merged)
+            acc = new_acc
+            if not acc:
+                # Every merge was tautological: this disjunct is valid.
+                return []
+        return acc
+    raise ValueError("input must be in NNF")
+
+
+class TseitinResult:
+    """Outcome of a Tseitin transformation.
+
+    Attributes:
+        clauses: CNF clause set, equisatisfiable with the input and
+            query-equivalent over the input's alphabet.
+        root: literal asserting the whole formula (already included in
+            ``clauses`` as a unit clause).
+        aux_names: the fresh definitional letters introduced, in order.
+        alphabet: the original formula's letters.
+    """
+
+    def __init__(
+        self,
+        clauses: ClauseSet,
+        root: Literal,
+        aux_names: List[str],
+        alphabet: FrozenSet[str],
+    ) -> None:
+        self.clauses = clauses
+        self.root = root
+        self.aux_names = aux_names
+        self.alphabet = alphabet
+
+    def formula(self) -> Formula:
+        """The clause set as a single conjunction (over extended alphabet)."""
+        return clauses_formula(self.clauses)
+
+
+def tseitin(formula: Formula, prefix: str = "_t") -> TseitinResult:
+    """Tseitin transformation of ``formula``.
+
+    Every non-literal subformula receives a fresh definitional letter with
+    full (two-sided) defining clauses, so auxiliary letters are functionally
+    determined by the original ones: the translation is *query equivalent*
+    to the input over the input's alphabet, and model counts over the
+    original alphabet are preserved.
+    """
+    nnf = to_nnf(formula)
+    alphabet = nnf.variables()
+    counter = [0]
+    aux_names: List[str] = []
+    clauses: ClauseSet = []
+    cache: Dict[Formula, Literal] = {}
+
+    def fresh() -> str:
+        while True:
+            name = f"{prefix}{counter[0]}"
+            counter[0] += 1
+            if name not in alphabet:
+                aux_names.append(name)
+                return name
+
+    def encode(node: Formula) -> Literal:
+        if node in cache:
+            return cache[node]
+        result: Literal
+        if isinstance(node, Var):
+            result = (node.name, True)
+        elif isinstance(node, Not):
+            inner = node.operand
+            if not isinstance(inner, Var):  # pragma: no cover - NNF guarantee
+                raise ValueError("input must be in NNF")
+            result = (inner.name, False)
+        elif isinstance(node, (And, Or)):
+            child_lits = [encode(child) for child in node.operands]
+            gate = fresh()
+            gate_lit: Literal = (gate, True)
+            neg_gate = (gate, False)
+            if isinstance(node, And):
+                # gate -> child_i ; (child_1 & ... & child_k) -> gate
+                for lit in child_lits:
+                    clauses.append(frozenset([neg_gate, lit]))
+                clauses.append(
+                    frozenset([gate_lit] + [negate_literal(lit) for lit in child_lits])
+                )
+            else:
+                # child_i -> gate ; gate -> (child_1 | ... | child_k)
+                for lit in child_lits:
+                    clauses.append(frozenset([negate_literal(lit), gate_lit]))
+                clauses.append(frozenset([neg_gate] + child_lits))
+            result = gate_lit
+        elif isinstance(node, Top):
+            gate = fresh()
+            clauses.append(frozenset([(gate, True)]))
+            result = (gate, True)
+        elif isinstance(node, Bottom):
+            gate = fresh()
+            clauses.append(frozenset([(gate, False)]))
+            result = (gate, True)
+        else:  # pragma: no cover - NNF guarantee
+            raise ValueError("input must be in NNF")
+        cache[node] = result
+        return result
+
+    root = encode(nnf)
+    clauses.append(frozenset([root]))
+    return TseitinResult(clauses, root, aux_names, alphabet)
+
+
+def cnf_size(clauses: Sequence[Clause]) -> int:
+    """Total number of literal occurrences — the paper's ``|W|`` for CNF."""
+    return sum(len(clause) for clause in clauses)

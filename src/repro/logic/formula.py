@@ -1,0 +1,553 @@
+"""Immutable propositional-formula AST.
+
+This module is the foundation of the whole reproduction.  It follows the
+conventions of Section 2 of the paper:
+
+* an *interpretation* (model) is identified with the set of letters mapped to
+  true (see :mod:`repro.logic.interpretation`);
+* the *size* ``|W|`` of a formula is the number of distinct *occurrences* of
+  propositional variables in it (paper, Section 2: "the number of distinct
+  occurrences of propositional variables in W");
+* ``P[X/Y]`` denotes simultaneous substitution of the letters ``X`` by the
+  formulas ``Y`` (paper, Section 2) — implemented by :meth:`Formula.substitute`;
+* the connectives used by the paper are negation, conjunction, disjunction,
+  implication ``x -> y`` (shorthand for ``¬x ∨ y``), equivalence ``x ≡ y`` and
+  non-equivalence ``x ≢ y`` (xor).
+
+Formulas are hash-consed-ish immutable trees.  ``And``/``Or`` are n-ary.
+Convenience constructors (:func:`land`, :func:`lor`, ...) flatten nested
+connectives and fold constants, which keeps the representation small without
+changing logical content.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, Mapping, Sequence, Tuple, Union
+
+
+class Formula:
+    """Base class of all propositional formulas.
+
+    Instances are immutable and hashable; equality is structural.  All
+    user-facing construction should go through :func:`var`, :func:`land`,
+    :func:`lor`, :func:`lnot`, :func:`implies`, :func:`iff`, :func:`xor`
+    or the operator overloads (``&``, ``|``, ``~``, ``>>`` for implication,
+    ``^`` for xor).
+    """
+
+    __slots__ = ("_hash", "_vars", "_size")
+
+    # -- construction -----------------------------------------------------
+
+    def __init__(self) -> None:
+        self._hash: int | None = None
+        self._vars: FrozenSet[str] | None = None
+        self._size: int | None = None
+
+    # -- operator overloads ------------------------------------------------
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return land(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return lor(self, other)
+
+    def __invert__(self) -> "Formula":
+        return lnot(self)
+
+    def __rshift__(self, other: "Formula") -> "Formula":
+        return implies(self, other)
+
+    def __xor__(self, other: "Formula") -> "Formula":
+        return xor(self, other)
+
+    # -- structural protocol ------------------------------------------------
+
+    def _key(self) -> tuple:
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Formula):
+            return NotImplemented
+        if type(self) is not type(other):
+            return False
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((type(self).__name__, self._key()))
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self._key()!r})"
+
+    def __str__(self) -> str:
+        from .printer import to_str
+
+        return to_str(self)
+
+    # -- core queries -------------------------------------------------------
+
+    def children(self) -> Tuple["Formula", ...]:
+        """Immediate subformulas (empty for atoms and constants)."""
+        return ()
+
+    def variables(self) -> FrozenSet[str]:
+        """The alphabet ``V(F)``: set of letters occurring in the formula."""
+        if self._vars is None:
+            acc: set[str] = set()
+            stack: list[Formula] = [self]
+            while stack:
+                node = stack.pop()
+                if isinstance(node, Var):
+                    acc.add(node.name)
+                else:
+                    stack.extend(node.children())
+            self._vars = frozenset(acc)
+        return self._vars
+
+    def size(self) -> int:
+        """Paper's size measure ``|W|``: number of variable *occurrences*."""
+        if self._size is None:
+            total = 0
+            stack: list[Formula] = [self]
+            while stack:
+                node = stack.pop()
+                if isinstance(node, Var):
+                    total += 1
+                else:
+                    stack.extend(node.children())
+            self._size = total
+        return self._size
+
+    def node_count(self) -> int:
+        """Number of AST nodes — a secondary size measure used in benches."""
+        total = 0
+        stack: list[Formula] = [self]
+        while stack:
+            node = stack.pop()
+            total += 1
+            stack.extend(node.children())
+        return total
+
+    def evaluate(self, model: Iterable[str]) -> bool:
+        """Evaluate under the interpretation that makes exactly ``model`` true.
+
+        ``model`` is any iterable of letter names (the set mapped to true);
+        letters of the formula not listed are false, mirroring the paper's
+        identification of interpretations with sets of letters.
+        """
+        true_set = model if isinstance(model, (set, frozenset)) else frozenset(model)
+        return self._eval(true_set)
+
+    def _eval(self, true_set) -> bool:
+        raise NotImplementedError
+
+    def substitute(self, mapping: Mapping[str, "Formula"]) -> "Formula":
+        """Simultaneous substitution ``P[X/Y]`` (paper, Section 2).
+
+        Every occurrence of a letter ``x`` in ``mapping`` is replaced by
+        ``mapping[x]`` *simultaneously* — replacements are not re-substituted.
+        """
+        if not mapping:
+            return self
+        return self._subst(dict(mapping))
+
+    def _subst(self, mapping: Dict[str, "Formula"]) -> "Formula":
+        raise NotImplementedError
+
+    def rename(self, mapping: Mapping[str, str]) -> "Formula":
+        """Substitution restricted to letter-for-letter renaming."""
+        return self.substitute({old: Var(new) for old, new in mapping.items()})
+
+    def negate_letters(self, letters: Iterable[str]) -> "Formula":
+        """The paper's ``F[H/H̄]``: replace each letter in ``letters`` by its
+        negation (Section 4, Proposition 4.2)."""
+        return self.substitute({name: Not(Var(name)) for name in letters})
+
+    def iter_subformulas(self) -> Iterator["Formula"]:
+        """Yield every node of the AST (pre-order, may repeat shared nodes)."""
+        stack: list[Formula] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children())
+
+
+class _Constant(Formula):
+    """Shared implementation of the two truth constants."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool) -> None:
+        super().__init__()
+        self.value = value
+
+    def _key(self) -> tuple:
+        return (self.value,)
+
+    def _eval(self, true_set) -> bool:
+        return self.value
+
+    def _subst(self, mapping: Dict[str, Formula]) -> Formula:
+        return self
+
+
+class Top(_Constant):
+    """The valid formula ``⊤`` (paper's special letter for validity)."""
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__(True)
+
+
+class Bottom(_Constant):
+    """The unsatisfiable formula ``⊥`` (paper's special letter for falsity)."""
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__(False)
+
+
+#: Module-level singletons — always use these rather than constructing anew.
+TRUE: Top = Top()
+FALSE: Bottom = Bottom()
+
+
+class Var(Formula):
+    """A propositional letter."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        super().__init__()
+        if not name:
+            raise ValueError("variable name must be non-empty")
+        self.name = name
+
+    def _key(self) -> tuple:
+        return (self.name,)
+
+    def _eval(self, true_set) -> bool:
+        return self.name in true_set
+
+    def _subst(self, mapping: Dict[str, Formula]) -> Formula:
+        return mapping.get(self.name, self)
+
+
+class Not(Formula):
+    """Negation ``¬F``."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Formula) -> None:
+        super().__init__()
+        self.operand = operand
+
+    def _key(self) -> tuple:
+        return (self.operand,)
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.operand,)
+
+    def _eval(self, true_set) -> bool:
+        return not self.operand._eval(true_set)
+
+    def _subst(self, mapping: Dict[str, Formula]) -> Formula:
+        return Not(self.operand._subst(mapping))
+
+
+class _Nary(Formula):
+    """Shared implementation of the n-ary connectives ``And`` and ``Or``."""
+
+    __slots__ = ("operands",)
+
+    def __init__(self, operands: Iterable[Formula]) -> None:
+        super().__init__()
+        self.operands: Tuple[Formula, ...] = tuple(operands)
+
+    def _key(self) -> tuple:
+        return self.operands
+
+    def children(self) -> Tuple[Formula, ...]:
+        return self.operands
+
+
+class And(_Nary):
+    """N-ary conjunction.  ``And(())`` is valid (empty conjunction)."""
+
+    __slots__ = ()
+
+    def _eval(self, true_set) -> bool:
+        return all(op._eval(true_set) for op in self.operands)
+
+    def _subst(self, mapping: Dict[str, Formula]) -> Formula:
+        return And(op._subst(mapping) for op in self.operands)
+
+
+class Or(_Nary):
+    """N-ary disjunction.  ``Or(())`` is unsatisfiable (empty disjunction)."""
+
+    __slots__ = ()
+
+    def _eval(self, true_set) -> bool:
+        return any(op._eval(true_set) for op in self.operands)
+
+    def _subst(self, mapping: Dict[str, Formula]) -> Formula:
+        return Or(op._subst(mapping) for op in self.operands)
+
+
+class Implies(Formula):
+    """Implication ``F -> G`` (paper's shorthand for ``¬F ∨ G``)."""
+
+    __slots__ = ("antecedent", "consequent")
+
+    def __init__(self, antecedent: Formula, consequent: Formula) -> None:
+        super().__init__()
+        self.antecedent = antecedent
+        self.consequent = consequent
+
+    def _key(self) -> tuple:
+        return (self.antecedent, self.consequent)
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.antecedent, self.consequent)
+
+    def _eval(self, true_set) -> bool:
+        return (not self.antecedent._eval(true_set)) or self.consequent._eval(true_set)
+
+    def _subst(self, mapping: Dict[str, Formula]) -> Formula:
+        return Implies(self.antecedent._subst(mapping), self.consequent._subst(mapping))
+
+
+class Iff(Formula):
+    """Equivalence ``F ≡ G`` (paper's ``(F ∧ G) ∨ (¬F ∧ ¬G)``)."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Formula, right: Formula) -> None:
+        super().__init__()
+        self.left = left
+        self.right = right
+
+    def _key(self) -> tuple:
+        return (self.left, self.right)
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.left, self.right)
+
+    def _eval(self, true_set) -> bool:
+        return self.left._eval(true_set) == self.right._eval(true_set)
+
+    def _subst(self, mapping: Dict[str, Formula]) -> Formula:
+        return Iff(self.left._subst(mapping), self.right._subst(mapping))
+
+
+class Xor(Formula):
+    """Non-equivalence ``F ≢ G`` (paper's ``(F ∨ G) ∧ (¬F ∨ ¬G)``)."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Formula, right: Formula) -> None:
+        super().__init__()
+        self.left = left
+        self.right = right
+
+    def _key(self) -> tuple:
+        return (self.left, self.right)
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.left, self.right)
+
+    def _eval(self, true_set) -> bool:
+        return self.left._eval(true_set) != self.right._eval(true_set)
+
+    def _subst(self, mapping: Dict[str, Formula]) -> Formula:
+        return Xor(self.left._subst(mapping), self.right._subst(mapping))
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors
+# ---------------------------------------------------------------------------
+
+FormulaLike = Union[Formula, str, bool]
+
+
+def as_formula(value: FormulaLike) -> Formula:
+    """Coerce a string (parsed as formula text), bool, or formula.
+
+    A plain letter name like ``"a"`` parses to the letter itself, so string
+    coercion is a strict generalisation of treating strings as atoms.
+    """
+    if isinstance(value, Formula):
+        return value
+    if isinstance(value, str):
+        from .parser import parse
+
+        return parse(value)
+    if isinstance(value, bool):
+        return TRUE if value else FALSE
+    raise TypeError(f"cannot interpret {value!r} as a formula")
+
+
+def var(name: str) -> Var:
+    """Create the propositional letter ``name``."""
+    return Var(name)
+
+
+def variables(names: Iterable[str]) -> Tuple[Var, ...]:
+    """Create a tuple of letters from an iterable of names."""
+    return tuple(Var(name) for name in names)
+
+
+def lnot(operand: FormulaLike) -> Formula:
+    """Negation with constant folding and double-negation elimination."""
+    operand = as_formula(operand)
+    if operand is TRUE or isinstance(operand, Top):
+        return FALSE
+    if operand is FALSE or isinstance(operand, Bottom):
+        return TRUE
+    if isinstance(operand, Not):
+        return operand.operand
+    return Not(operand)
+
+
+def land(*operands: FormulaLike) -> Formula:
+    """N-ary conjunction; flattens nested ``And`` and folds constants.
+
+    ``land()`` with no arguments is ``TRUE`` (the empty conjunction), matching
+    the paper's convention that an empty theory is valid.
+    """
+    flat: list[Formula] = []
+    for raw in operands:
+        operand = as_formula(raw)
+        if isinstance(operand, Bottom):
+            return FALSE
+        if isinstance(operand, Top):
+            continue
+        if isinstance(operand, And):
+            flat.extend(operand.operands)
+        else:
+            flat.append(operand)
+    if not flat:
+        return TRUE
+    if len(flat) == 1:
+        return flat[0]
+    return And(flat)
+
+
+def lor(*operands: FormulaLike) -> Formula:
+    """N-ary disjunction; flattens nested ``Or`` and folds constants."""
+    flat: list[Formula] = []
+    for raw in operands:
+        operand = as_formula(raw)
+        if isinstance(operand, Top):
+            return TRUE
+        if isinstance(operand, Bottom):
+            continue
+        if isinstance(operand, Or):
+            flat.extend(operand.operands)
+        else:
+            flat.append(operand)
+    if not flat:
+        return FALSE
+    if len(flat) == 1:
+        return flat[0]
+    return Or(flat)
+
+
+def implies(antecedent: FormulaLike, consequent: FormulaLike) -> Formula:
+    """Implication with constant folding."""
+    antecedent = as_formula(antecedent)
+    consequent = as_formula(consequent)
+    if isinstance(antecedent, Top):
+        return consequent
+    if isinstance(antecedent, Bottom):
+        return TRUE
+    if isinstance(consequent, Top):
+        return TRUE
+    if isinstance(consequent, Bottom):
+        return lnot(antecedent)
+    return Implies(antecedent, consequent)
+
+
+def iff(left: FormulaLike, right: FormulaLike) -> Formula:
+    """Equivalence with constant folding."""
+    left = as_formula(left)
+    right = as_formula(right)
+    if isinstance(left, Top):
+        return right
+    if isinstance(right, Top):
+        return left
+    if isinstance(left, Bottom):
+        return lnot(right)
+    if isinstance(right, Bottom):
+        return lnot(left)
+    return Iff(left, right)
+
+
+def xor(left: FormulaLike, right: FormulaLike) -> Formula:
+    """Non-equivalence (exclusive or) with constant folding."""
+    left = as_formula(left)
+    right = as_formula(right)
+    if isinstance(left, Bottom):
+        return right
+    if isinstance(right, Bottom):
+        return left
+    if isinstance(left, Top):
+        return lnot(right)
+    if isinstance(right, Top):
+        return lnot(left)
+    return Xor(left, right)
+
+
+def literal(name: str, positive: bool) -> Formula:
+    """The literal ``name`` or ``¬name``."""
+    atom = Var(name)
+    return atom if positive else Not(atom)
+
+
+def cube(model: Iterable[str], alphabet: Iterable[str]) -> Formula:
+    """The conjunction of literals pinning down ``model`` over ``alphabet``.
+
+    The unique model (over ``alphabet``) of the returned formula is exactly
+    the interpretation that makes ``model ∩ alphabet`` true and the rest of
+    ``alphabet`` false.
+    """
+    true_set = frozenset(model)
+    parts = [literal(name, name in true_set) for name in sorted(alphabet)]
+    return land(*parts)
+
+
+def big_and(formulas: Iterable[FormulaLike]) -> Formula:
+    """Conjunction of an iterable (paper's ``∧T`` for a theory ``T``)."""
+    return land(*formulas)
+
+
+def big_or(formulas: Iterable[FormulaLike]) -> Formula:
+    """Disjunction of an iterable."""
+    return lor(*formulas)
+
+
+def fresh_names(prefix: str, count: int, avoid: Iterable[str] = ()) -> list[str]:
+    """Generate ``count`` letter names starting with ``prefix`` that do not
+    collide with any name in ``avoid``.
+
+    Compact constructions in the paper repeatedly need "new sets of letters
+    one-to-one with X" (e.g. Y in Theorem 3.4, Z in Theorem 3.5); this helper
+    manufactures them deterministically.
+    """
+    avoid_set = set(avoid)
+    names: list[str] = []
+    index = 0
+    while len(names) < count:
+        candidate = f"{prefix}{index}"
+        if candidate not in avoid_set:
+            names.append(candidate)
+            avoid_set.add(candidate)
+        index += 1
+    return names

@@ -1,0 +1,86 @@
+"""Negation normal form.
+
+NNF pushes negations to the atoms and rewrites ``->``, ``<->`` and ``^`` in
+terms of ``&``, ``|`` and literals.  It is the entry point for both CNF
+conversions in :mod:`repro.logic.cnf` and keeps formula blow-up linear except
+for ``<->``/``^`` which double their operands (unavoidable without new
+letters — exactly the paper's point about query vs logical equivalence).
+"""
+
+from __future__ import annotations
+
+from .formula import (
+    FALSE,
+    TRUE,
+    And,
+    Bottom,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Top,
+    Var,
+    Xor,
+    land,
+    lnot,
+    lor,
+)
+
+
+def to_nnf(formula: Formula) -> Formula:
+    """Return an NNF formula logically equivalent to ``formula``.
+
+    The result contains only ``And``, ``Or``, ``Var``, ``Not(Var)`` and the
+    constants.
+    """
+    return _nnf(formula, positive=True)
+
+
+def is_nnf(formula: Formula) -> bool:
+    """Check that a formula is in negation normal form."""
+    if isinstance(formula, (Var, Top, Bottom)):
+        return True
+    if isinstance(formula, Not):
+        return isinstance(formula.operand, Var)
+    if isinstance(formula, (And, Or)):
+        return all(is_nnf(child) for child in formula.children())
+    return False
+
+
+def _nnf(formula: Formula, positive: bool) -> Formula:
+    if isinstance(formula, Top):
+        return TRUE if positive else FALSE
+    if isinstance(formula, Bottom):
+        return FALSE if positive else TRUE
+    if isinstance(formula, Var):
+        return formula if positive else Not(formula)
+    if isinstance(formula, Not):
+        return _nnf(formula.operand, not positive)
+    if isinstance(formula, And):
+        parts = [_nnf(op, positive) for op in formula.operands]
+        return land(*parts) if positive else lor(*parts)
+    if isinstance(formula, Or):
+        parts = [_nnf(op, positive) for op in formula.operands]
+        return lor(*parts) if positive else land(*parts)
+    if isinstance(formula, Implies):
+        if positive:
+            return lor(_nnf(formula.antecedent, False), _nnf(formula.consequent, True))
+        return land(_nnf(formula.antecedent, True), _nnf(formula.consequent, False))
+    if isinstance(formula, Iff):
+        left_pos = _nnf(formula.left, True)
+        left_neg = _nnf(formula.left, False)
+        right_pos = _nnf(formula.right, True)
+        right_neg = _nnf(formula.right, False)
+        if positive:
+            return lor(land(left_pos, right_pos), land(left_neg, right_neg))
+        return lor(land(left_pos, right_neg), land(left_neg, right_pos))
+    if isinstance(formula, Xor):
+        left_pos = _nnf(formula.left, True)
+        left_neg = _nnf(formula.left, False)
+        right_pos = _nnf(formula.right, True)
+        right_neg = _nnf(formula.right, False)
+        if positive:
+            return lor(land(left_pos, right_neg), land(left_neg, right_pos))
+        return lor(land(left_pos, right_pos), land(left_neg, right_neg))
+    raise TypeError(f"unknown formula node {formula!r}")

@@ -1,0 +1,170 @@
+"""Recursive-descent parser for the library's formula syntax.
+
+Grammar (loosest binding first)::
+
+    iff      := implies ( "<->" implies )*
+    implies  := xor ( "->" implies )?          # right-associative
+    xor      := or ( "^" or )*                 # left-associative
+    or       := and ( "|" and )*
+    and      := unary ( "&" unary )*
+    unary    := "~" unary | atom
+    atom     := "true" | "false" | NAME | "(" iff ")"
+
+``NAME`` is ``[A-Za-z_][A-Za-z0-9_']*`` — primes are allowed so that paper
+notation like ``x'`` can be typed directly.  ``!`` is accepted as a synonym
+for ``~``, ``<=>`` for ``<->``, and ``=>`` for ``->``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple
+
+from .formula import FALSE, TRUE, Formula, Var, iff, implies, land, lnot, lor, xor
+
+
+class ParseError(ValueError):
+    """Raised when the input text is not a well-formed formula."""
+
+
+class _Token(NamedTuple):
+    kind: str
+    text: str
+    pos: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<iff><->|<=>)
+  | (?P<implies>->|=>)
+  | (?P<xor>\^)
+  | (?P<or>\|)
+  | (?P<and>&)
+  | (?P<not>~|!)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<name>[A-Za-z_][A-Za-z0-9_']*)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r} at position {pos}")
+        kind = match.lastgroup
+        assert kind is not None
+        if kind != "ws":
+            tokens.append(_Token(kind, match.group(), pos))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[_Token], source: str) -> None:
+        self._tokens = tokens
+        self._source = source
+        self._index = 0
+
+    def _peek(self) -> _Token | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _advance(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError(f"unexpected end of input in {self._source!r}")
+        self._index += 1
+        return token
+
+    def _accept(self, kind: str) -> bool:
+        token = self._peek()
+        if token is not None and token.kind == kind:
+            self._index += 1
+            return True
+        return False
+
+    def parse(self) -> Formula:
+        result = self._iff()
+        leftover = self._peek()
+        if leftover is not None:
+            raise ParseError(
+                f"unexpected token {leftover.text!r} at position {leftover.pos}"
+            )
+        return result
+
+    def _iff(self) -> Formula:
+        result = self._implies()
+        while self._accept("iff"):
+            result = iff(result, self._implies())
+        return result
+
+    def _implies(self) -> Formula:
+        antecedent = self._xor()
+        if self._accept("implies"):
+            return implies(antecedent, self._implies())
+        return antecedent
+
+    def _xor(self) -> Formula:
+        result = self._or()
+        while self._accept("xor"):
+            result = xor(result, self._or())
+        return result
+
+    def _or(self) -> Formula:
+        parts = [self._and()]
+        while self._accept("or"):
+            parts.append(self._and())
+        if len(parts) == 1:
+            return parts[0]
+        return lor(*parts)
+
+    def _and(self) -> Formula:
+        parts = [self._unary()]
+        while self._accept("and"):
+            parts.append(self._unary())
+        if len(parts) == 1:
+            return parts[0]
+        return land(*parts)
+
+    def _unary(self) -> Formula:
+        if self._accept("not"):
+            return lnot(self._unary())
+        return self._atom()
+
+    def _atom(self) -> Formula:
+        token = self._advance()
+        if token.kind == "lparen":
+            inner = self._iff()
+            if not self._accept("rparen"):
+                raise ParseError(f"missing ')' at position {token.pos}")
+            return inner
+        if token.kind == "name":
+            lowered = token.text.lower()
+            if lowered == "true":
+                return TRUE
+            if lowered == "false":
+                return FALSE
+            return Var(token.text)
+        raise ParseError(
+            f"unexpected token {token.text!r} at position {token.pos}"
+        )
+
+
+def parse(text: str) -> Formula:
+    """Parse ``text`` into a :class:`~repro.logic.formula.Formula`.
+
+    >>> from repro.logic.parser import parse
+    >>> str(parse("a & (b | ~c)"))
+    'a & (b | ~c)'
+    """
+    tokens = _tokenize(text)
+    if not tokens:
+        raise ParseError("empty input")
+    return _Parser(tokens, text).parse()

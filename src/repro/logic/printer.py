@@ -1,0 +1,114 @@
+"""Pretty-printer for formulas.
+
+Produces a concrete syntax that :mod:`repro.logic.parser` parses back,
+round-tripping structurally (`parse(to_str(f)) == f` up to n-ary flattening).
+
+Concrete syntax:
+
+* ``~``  negation
+* ``&``  conjunction
+* ``|``  disjunction
+* ``->`` implication (right-associative)
+* ``<->`` equivalence
+* ``^``  non-equivalence (xor)
+* ``true`` / ``false`` constants
+
+Precedence (tightest first): ``~``, ``&``, ``|``, ``^``, ``->``, ``<->``.
+"""
+
+from __future__ import annotations
+
+from .formula import (
+    And,
+    Bottom,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Top,
+    Var,
+    Xor,
+)
+
+# Precedence levels; a child is parenthesised when its level is looser than
+# (or, for non-associative operators, equal to) the context it appears in.
+_PREC_IFF = 0
+_PREC_IMPLIES = 1
+_PREC_XOR = 2
+_PREC_OR = 3
+_PREC_AND = 4
+_PREC_NOT = 5
+_PREC_ATOM = 6
+
+
+def to_str(formula: Formula) -> str:
+    """Render ``formula`` in the library's concrete syntax."""
+    return _render(formula, 0)
+
+
+def _level(formula: Formula) -> int:
+    if isinstance(formula, (Var, Top, Bottom)):
+        return _PREC_ATOM
+    if isinstance(formula, Not):
+        return _PREC_NOT
+    if isinstance(formula, And):
+        return _PREC_AND
+    if isinstance(formula, Or):
+        return _PREC_OR
+    if isinstance(formula, Xor):
+        return _PREC_XOR
+    if isinstance(formula, Implies):
+        return _PREC_IMPLIES
+    if isinstance(formula, Iff):
+        return _PREC_IFF
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def _render(formula: Formula, context: int) -> str:
+    level = _level(formula)
+
+    if isinstance(formula, Var):
+        text = formula.name
+    elif isinstance(formula, Top):
+        text = "true"
+    elif isinstance(formula, Bottom):
+        text = "false"
+    elif isinstance(formula, Not):
+        text = "~" + _render(formula.operand, _PREC_NOT)
+    elif isinstance(formula, And):
+        if not formula.operands:
+            text = "true"
+        else:
+            text = " & ".join(_render(op, _PREC_AND) for op in formula.operands)
+    elif isinstance(formula, Or):
+        if not formula.operands:
+            text = "false"
+        else:
+            text = " | ".join(_render(op, _PREC_OR) for op in formula.operands)
+    elif isinstance(formula, Xor):
+        # Non-associative in the grammar: parenthesise nested xor on the left.
+        text = (
+            _render(formula.left, _PREC_XOR + 1)
+            + " ^ "
+            + _render(formula.right, _PREC_XOR + 1)
+        )
+    elif isinstance(formula, Implies):
+        # Right-associative: the consequent may be another implication.
+        text = (
+            _render(formula.antecedent, _PREC_IMPLIES + 1)
+            + " -> "
+            + _render(formula.consequent, _PREC_IMPLIES)
+        )
+    elif isinstance(formula, Iff):
+        text = (
+            _render(formula.left, _PREC_IFF + 1)
+            + " <-> "
+            + _render(formula.right, _PREC_IFF + 1)
+        )
+    else:  # pragma: no cover - exhaustive above
+        raise TypeError(f"unknown formula node {formula!r}")
+
+    if level < context:
+        return "(" + text + ")"
+    return text

@@ -1,0 +1,87 @@
+"""Light-weight formula simplification.
+
+The rewrites here are purely local and equivalence-preserving: constant
+folding, double-negation elimination, flattening, idempotence and
+complement detection inside a single ``And``/``Or`` node.  They are used to
+keep the compact constructions readable (the paper itself remarks after
+Theorem 4.6 that "all representations can be simplified by omitting ...
+disjuncts which are inconsistent with P").
+"""
+
+from __future__ import annotations
+
+from .formula import (
+    FALSE,
+    TRUE,
+    And,
+    Bottom,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Top,
+    Var,
+    Xor,
+    iff,
+    implies,
+    land,
+    lnot,
+    lor,
+    xor,
+)
+
+
+def simplify(formula: Formula) -> Formula:
+    """Bottom-up local simplification; logically equivalent to the input."""
+    if isinstance(formula, (Var, Top, Bottom)):
+        return formula
+    if isinstance(formula, Not):
+        return lnot(simplify(formula.operand))
+    if isinstance(formula, And):
+        return _simplify_nary(formula, is_and=True)
+    if isinstance(formula, Or):
+        return _simplify_nary(formula, is_and=False)
+    if isinstance(formula, Implies):
+        return implies(simplify(formula.antecedent), simplify(formula.consequent))
+    if isinstance(formula, Iff):
+        left = simplify(formula.left)
+        right = simplify(formula.right)
+        if left == right:
+            return TRUE
+        if left == lnot(right):
+            return FALSE
+        return iff(left, right)
+    if isinstance(formula, Xor):
+        left = simplify(formula.left)
+        right = simplify(formula.right)
+        if left == right:
+            return FALSE
+        if left == lnot(right):
+            return TRUE
+        return xor(left, right)
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def _simplify_nary(formula: Formula, is_and: bool) -> Formula:
+    combine = land if is_and else lor
+    absorbing = FALSE if is_and else TRUE
+    seen: list[Formula] = []
+    seen_set: set[Formula] = set()
+    for child in formula.children():
+        reduced = simplify(child)
+        # combine() handles flattening/constants; collect for complement check.
+        flattened = (
+            reduced.children()
+            if (is_and and isinstance(reduced, And))
+            or (not is_and and isinstance(reduced, Or))
+            else (reduced,)
+        )
+        for part in flattened:
+            if part in seen_set:
+                continue
+            if lnot(part) in seen_set:
+                return absorbing
+            seen.append(part)
+            seen_set.add(part)
+    return combine(*seen)

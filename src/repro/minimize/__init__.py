@@ -1,0 +1,21 @@
+"""Exact two-level minimisation (Quine–McCluskey + Petrick)."""
+
+from .qm import (
+    covers,
+    implicant_formula,
+    minimal_dnf,
+    minimal_dnf_cost,
+    minimal_dnf_of_formula,
+    prime_implicants,
+)
+from .truth_table import TruthTable
+
+__all__ = [
+    "TruthTable",
+    "covers",
+    "implicant_formula",
+    "minimal_dnf",
+    "minimal_dnf_cost",
+    "minimal_dnf_of_formula",
+    "prime_implicants",
+]

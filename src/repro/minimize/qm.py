@@ -1,0 +1,141 @@
+"""Exact two-level minimisation: Quine–McCluskey + Petrick's method.
+
+The paper's non-compactability results concern "the size of the smallest
+formula logically equivalent to T * P" — a quantity with no efficient
+algorithm (that is the point).  For the benchmark harness we need a
+*measurable* proxy at small alphabet sizes; exact minimal DNF is the
+classical choice: it is a genuine lower-bound-ish witness of representation
+blow-up (an exponential minimal DNF does not prove an exponential minimal
+formula, but a polynomial one disproves it — and the growth *trend* across
+the proof families is the observable the experiments report).
+
+Implicants are encoded as ``(value_bits, care_mask)`` pairs: position ``i``
+is fixed to ``value_bits>>i & 1`` when ``care_mask>>i & 1`` else don't-care.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from ..logic.formula import FALSE, TRUE, Formula, Var, big_or, land, lnot
+from .truth_table import TruthTable
+
+Implicant = Tuple[int, int]
+
+
+def prime_implicants(num_vars: int, minterms: FrozenSet[int]) -> List[Implicant]:
+    """All prime implicants of the function given by ``minterms``."""
+    if not minterms:
+        return []
+    full_mask = (1 << num_vars) - 1
+    current: Set[Implicant] = {(term, full_mask) for term in minterms}
+    primes: Set[Implicant] = set()
+    while current:
+        merged_away: Set[Implicant] = set()
+        next_level: Set[Implicant] = set()
+        # Group by care mask; two implicants merge when they share the mask
+        # and differ in exactly one cared bit.
+        by_mask: Dict[int, List[int]] = {}
+        for value, mask in current:
+            by_mask.setdefault(mask, []).append(value)
+        for mask, values in by_mask.items():
+            value_set = set(values)
+            for value in values:
+                for bit in range(num_vars):
+                    probe = 1 << bit
+                    if not mask & probe:
+                        continue
+                    partner = value ^ probe
+                    if partner in value_set and value < partner:
+                        new_mask = mask & ~probe
+                        next_level.add((value & new_mask, new_mask))
+                        merged_away.add((value, mask))
+                        merged_away.add((partner, mask))
+        primes |= current - merged_away
+        current = next_level
+    return sorted(primes)
+
+
+def covers(implicant: Implicant, minterm: int) -> bool:
+    """Whether an implicant covers a minterm."""
+    value, mask = implicant
+    return (minterm & mask) == value
+
+
+def _petrick_min_cover(
+    primes: Sequence[Implicant], minterms: FrozenSet[int]
+) -> List[Implicant]:
+    """Exact minimum-cardinality cover via Petrick's method.
+
+    Represents the product-of-sums as a set of sums (frozensets of prime
+    indices), multiplies out with absorption, then picks a smallest product
+    (ties broken by fewest total fixed letters, then lexicographically,
+    for determinism).
+    """
+    if not minterms:
+        return []
+    products: Set[FrozenSet[int]] = {frozenset()}
+    for minterm in sorted(minterms):
+        covering = [i for i, prime in enumerate(primes) if covers(prime, minterm)]
+        if not covering:  # pragma: no cover - primes always cover their minterms
+            raise RuntimeError("minterm not covered by any prime implicant")
+        new_products: Set[FrozenSet[int]] = set()
+        for product in products:
+            for index in covering:
+                new_products.add(product | {index})
+        # Absorption: drop supersets.
+        pruned: Set[FrozenSet[int]] = set()
+        for candidate in sorted(new_products, key=len):
+            if not any(kept <= candidate and kept != candidate for kept in pruned):
+                pruned.add(candidate)
+        products = pruned
+    def cost(product: FrozenSet[int]) -> tuple:
+        literal_count = sum(bin(primes[i][1]).count("1") for i in product)
+        return (len(product), literal_count, tuple(sorted(product)))
+
+    best = min(products, key=cost)
+    return [primes[i] for i in sorted(best)]
+
+
+def implicant_formula(implicant: Implicant, alphabet: Sequence[str]) -> Formula:
+    """Render one implicant as a conjunction of literals."""
+    value, mask = implicant
+    parts: List[Formula] = []
+    for position, name in enumerate(alphabet):
+        if not mask >> position & 1:
+            continue
+        atom = Var(name)
+        parts.append(atom if value >> position & 1 else lnot(atom))
+    return land(*parts)
+
+
+def minimal_dnf(table: TruthTable) -> Formula:
+    """An exact minimum-term DNF for the tabulated function."""
+    if table.is_contradiction:
+        return FALSE
+    if table.is_tautology:
+        return TRUE
+    primes = prime_implicants(len(table.alphabet), table.minterms)
+    chosen = _petrick_min_cover(primes, table.minterms)
+    return big_or(implicant_formula(imp, table.alphabet) for imp in chosen)
+
+
+def minimal_dnf_of_formula(
+    formula: Formula, alphabet: Sequence[str] | None = None
+) -> Formula:
+    """Exact minimal DNF of a formula (tabulates first; small alphabets only)."""
+    return minimal_dnf(TruthTable.of_formula(formula, alphabet))
+
+
+def minimal_dnf_cost(table: TruthTable) -> Tuple[int, int]:
+    """``(number of terms, number of literal occurrences)`` of the minimal DNF.
+
+    This is the size measure the blow-up benchmarks report.
+    """
+    if table.is_contradiction or table.is_tautology:
+        return (0, 0)
+    primes = prime_implicants(len(table.alphabet), table.minterms)
+    chosen = _petrick_min_cover(primes, table.minterms)
+    literals = sum(bin(mask).count("1") for _, mask in chosen)
+    return (len(chosen), literals)

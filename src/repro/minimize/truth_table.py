@@ -1,0 +1,86 @@
+"""Truth tables over a fixed, sorted alphabet.
+
+A truth table is the list of minterm indices (bitmask over the sorted
+alphabet; bit ``i`` = truth of the ``i``-th letter) on which the formula is
+true.  This is the exchange format for the exact minimisation in
+:mod:`repro.minimize.qm`, which the benchmark harness uses as a measurable
+stand-in for "the smallest formula logically equivalent to T * P".
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from ..logic.formula import Formula
+
+
+class TruthTable:
+    """Semantics of a formula over an explicit alphabet."""
+
+    def __init__(self, alphabet: Sequence[str], minterms: Iterable[int]) -> None:
+        self.alphabet: Tuple[str, ...] = tuple(sorted(alphabet))
+        self.minterms: FrozenSet[int] = frozenset(minterms)
+        upper = 1 << len(self.alphabet)
+        for term in self.minterms:
+            if not (0 <= term < upper):
+                raise ValueError(f"minterm {term} out of range for {self.alphabet}")
+
+    @staticmethod
+    def of_formula(formula: Formula, alphabet: Sequence[str] | None = None) -> "TruthTable":
+        """Tabulate ``formula`` (default alphabet: its own letters)."""
+        names = tuple(sorted(alphabet if alphabet is not None else formula.variables()))
+        minterms: Set[int] = set()
+        for mask in range(1 << len(names)):
+            model = {names[i] for i in range(len(names)) if mask >> i & 1}
+            if formula.evaluate(model):
+                minterms.add(mask)
+        return TruthTable(names, minterms)
+
+    @staticmethod
+    def of_models(
+        models: Iterable[Iterable[str]], alphabet: Sequence[str]
+    ) -> "TruthTable":
+        """Tabulate an explicit model set over ``alphabet``."""
+        names = tuple(sorted(alphabet))
+        position = {name: i for i, name in enumerate(names)}
+        minterms: Set[int] = set()
+        for model in models:
+            mask = 0
+            for name in model:
+                index = position.get(name)
+                if index is None:
+                    raise ValueError(f"model letter {name!r} outside alphabet")
+                mask |= 1 << index
+            minterms.add(mask)
+        return TruthTable(names, minterms)
+
+    def model_of(self, minterm: int) -> FrozenSet[str]:
+        """The interpretation encoded by a minterm index."""
+        return frozenset(
+            self.alphabet[i] for i in range(len(self.alphabet)) if minterm >> i & 1
+        )
+
+    def models(self) -> List[FrozenSet[str]]:
+        """All models as letter sets, sorted by minterm index."""
+        return [self.model_of(term) for term in sorted(self.minterms)]
+
+    # -- predicates ------------------------------------------------------------
+
+    @property
+    def is_contradiction(self) -> bool:
+        return not self.minterms
+
+    @property
+    def is_tautology(self) -> bool:
+        return len(self.minterms) == 1 << len(self.alphabet)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TruthTable):
+            return NotImplemented
+        return self.alphabet == other.alphabet and self.minterms == other.minterms
+
+    def __hash__(self) -> int:
+        return hash((self.alphabet, self.minterms))
+
+    def __repr__(self) -> str:
+        return f"TruthTable(alphabet={self.alphabet}, minterms={sorted(self.minterms)})"

@@ -1,0 +1,58 @@
+"""Belief revision operators — the paper's primary objects of study."""
+
+from .agm import contract, counterfactual, expand
+from .base import RevisionOperator, RevisionResult
+from .distances import delta, k_global, k_pointwise, mu, omega
+from .formula_based import (
+    GfuvOperator,
+    NebelOperator,
+    WidtioOperator,
+    possible_worlds,
+)
+from .model_based import (
+    BorgidaOperator,
+    DalalOperator,
+    ForbusOperator,
+    ModelBasedOperator,
+    SatohOperator,
+    WeberOperator,
+    WinslettOperator,
+)
+from .registry import (
+    FORMULA_BASED_NAMES,
+    MODEL_BASED_NAMES,
+    OPERATORS,
+    get_operator,
+    revise,
+    revise_iterated,
+)
+
+__all__ = [
+    "BorgidaOperator",
+    "DalalOperator",
+    "FORMULA_BASED_NAMES",
+    "ForbusOperator",
+    "GfuvOperator",
+    "MODEL_BASED_NAMES",
+    "ModelBasedOperator",
+    "NebelOperator",
+    "OPERATORS",
+    "RevisionOperator",
+    "RevisionResult",
+    "SatohOperator",
+    "WeberOperator",
+    "WidtioOperator",
+    "WinslettOperator",
+    "contract",
+    "counterfactual",
+    "delta",
+    "expand",
+    "get_operator",
+    "k_global",
+    "k_pointwise",
+    "mu",
+    "omega",
+    "possible_worlds",
+    "revise",
+    "revise_iterated",
+]

@@ -1,0 +1,76 @@
+"""AGM companions: expansion, contraction, and counterfactual queries.
+
+The paper frames belief revision inside the Alchourrón–Gärdenfors–Makinson
+theory (reference [1]) and builds GFUV on Ginsberg's counterfactuals
+(reference [15]).  This module provides the standard derived operations on
+top of any revision operator:
+
+* **expansion** ``T + P``: plain conjunction (no consistency maintenance);
+* **contraction** ``T ÷ P`` via the *Harper identity*:
+  ``M(T ÷ P) = M(T) ∪ M(T * ¬P)`` — stop believing ``P`` while keeping as
+  much of ``T`` as the underlying revision preserves;
+* the *Levi identity* ``T * P = (T ÷ ¬P) + P`` — holds when the underlying
+  operator is an AGM revision (Dalal's is the classic example; asserted in
+  the tests);
+* **counterfactuals** ``T > P ⇒ Q`` ("if P were true, would Q hold?"):
+  ``T * P |= Q``, with the operator chosen per Ginsberg (GFUV) or any other.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from ..logic.formula import FormulaLike, as_formula, lnot
+from ..logic.theory import Theory, TheoryLike
+from ..sat import models as sat_models
+from .base import RevisionResult
+from .registry import get_operator
+
+
+def expand(theory: TheoryLike, new_formula: FormulaLike) -> RevisionResult:
+    """AGM expansion ``T + P``: conjunction, possibly inconsistent."""
+    theory = Theory.coerce(theory)
+    formula = as_formula(new_formula)
+    alphabet = sorted(theory.variables() | formula.variables())
+    t_models = frozenset(sat_models(theory.conjunction(), alphabet))
+    p_models = frozenset(sat_models(formula, alphabet))
+    return RevisionResult("expansion", alphabet, t_models & p_models)
+
+
+def contract(
+    theory: TheoryLike, formula: FormulaLike, operator: str = "dalal"
+) -> RevisionResult:
+    """AGM contraction ``T ÷ P`` by the Harper identity.
+
+    ``M(T ÷ P) = M(T) ∪ M(T * ¬P)``: the contracted base keeps every old
+    possibility and adds the closest ``¬P`` worlds, so ``P`` is no longer
+    believed but everything independent of ``P`` survives.
+    """
+    theory = Theory.coerce(theory)
+    formula = as_formula(formula)
+    revised = get_operator(operator).revise(theory, lnot(formula))
+    alphabet = tuple(sorted(set(revised.alphabet) | theory.variables()))
+    op = get_operator(operator)
+    t_models = op._extend_models(
+        frozenset(sat_models(theory.conjunction(), sorted(theory.variables()))),
+        sorted(theory.variables()),
+        alphabet,
+    )
+    revised_models = op._extend_models(revised.model_set, revised.alphabet, alphabet)
+    return RevisionResult(f"contract[{operator}]", alphabet, t_models | revised_models)
+
+
+def counterfactual(
+    theory: TheoryLike,
+    antecedent: FormulaLike,
+    consequent: FormulaLike,
+    operator: str = "gfuv",
+) -> bool:
+    """Evaluate the counterfactual "if ``antecedent`` then ``consequent``".
+
+    Ginsberg's semantics (the paper's reference [15]): the conditional holds
+    iff ``T * antecedent |= consequent``.  Default operator is GFUV —
+    Ginsberg's own — but any registered operator may be used.
+    """
+    result = get_operator(operator).revise(theory, antecedent)
+    return result.entails(as_formula(consequent))

@@ -1,0 +1,182 @@
+"""Common infrastructure for revision operators.
+
+Every operator produces a :class:`RevisionResult`: the *ground-truth* model
+set of ``T * P`` over the alphabet ``V(T) ∪ V(P)``, computed directly from
+the operator's definition by model enumeration.  This is deliberately the
+exponential-but-exact semantics: the compact constructions of
+:mod:`repro.compact` are verified *against* it, and the benchmark harness
+measures the gap between the two — which is precisely the paper's subject.
+
+Conventions for the degenerate cases the paper sets aside (Section 2.2.2
+assumes both ``T`` and ``P`` satisfiable "as far as compactness is
+concerned"):
+
+* ``P`` unsatisfiable  →  the result is unsatisfiable (no models);
+* ``T`` unsatisfiable  →  the result is ``P`` (the standard Eiter–Gottlob
+  convention: with nothing to preserve, adopt the new information).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..logic.formula import Formula, FormulaLike, as_formula, big_or, cube
+from ..logic.interpretation import Interpretation
+from ..logic.theory import Theory, TheoryLike
+from ..sat import models as sat_models
+
+
+class RevisionResult:
+    """The semantics of one revision: a model set over an explicit alphabet.
+
+    Attributes:
+        operator_name: name of the operator that produced this result.
+        alphabet: the letters the models range over (``V(T) ∪ V(P)`` for a
+            single revision).
+        model_set: frozenset of interpretations (each a frozenset of letters).
+    """
+
+    def __init__(
+        self,
+        operator_name: str,
+        alphabet: Iterable[str],
+        model_set: Iterable[Interpretation],
+    ) -> None:
+        self.operator_name = operator_name
+        self.alphabet: Tuple[str, ...] = tuple(sorted(set(alphabet)))
+        self.model_set: FrozenSet[Interpretation] = frozenset(
+            frozenset(m) for m in model_set
+        )
+        alphabet_set = set(self.alphabet)
+        for model in self.model_set:
+            if not model <= alphabet_set:
+                raise ValueError(
+                    f"model {sorted(model)} uses letters outside {self.alphabet}"
+                )
+
+    # -- queries ---------------------------------------------------------------
+
+    def is_consistent(self) -> bool:
+        """Whether ``T * P`` has any model."""
+        return bool(self.model_set)
+
+    def satisfies(self, model: Iterable[str]) -> bool:
+        """Model checking ``M |= T * P`` (M given over the result alphabet)."""
+        return frozenset(model) & frozenset(self.alphabet) in self.model_set
+
+    def entails(self, query: FormulaLike) -> bool:
+        """Entailment ``T * P |= Q`` for a query over the result alphabet.
+
+        Vacuously true when the result is inconsistent, as in the paper.
+        """
+        formula = as_formula(query)
+        extra = formula.variables() - set(self.alphabet)
+        if extra:
+            raise ValueError(
+                f"query letters {sorted(extra)} outside result alphabet"
+            )
+        return all(formula.evaluate(model) for model in self.model_set)
+
+    def formula(self) -> Formula:
+        """The *explicit* propositional representation: one cube per model.
+
+        This is the "completely naive storage organisation" Winslett speaks
+        of — the benchmarks measure its size against the compact ones.
+        """
+        return big_or(
+            cube(model, self.alphabet) for model in sorted(self.model_set, key=sorted)
+        )
+
+    def restricted_to(self, alphabet: Iterable[str]) -> FrozenSet[Interpretation]:
+        """Model set projected onto a sub-alphabet."""
+        keep = frozenset(alphabet)
+        return frozenset(model & keep for model in self.model_set)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RevisionResult):
+            return NotImplemented
+        return self.alphabet == other.alphabet and self.model_set == other.model_set
+
+    def __repr__(self) -> str:
+        shown = ", ".join(
+            "{" + ", ".join(sorted(m)) + "}" for m in sorted(self.model_set, key=sorted)
+        )
+        return f"RevisionResult[{self.operator_name}]({shown})"
+
+
+class RevisionOperator(ABC):
+    """Abstract base for the paper's revision/update operators."""
+
+    #: short lower-case identifier (e.g. ``"dalal"``).
+    name: str = "abstract"
+    #: whether the operator is sensitive to the syntactic form of ``T``.
+    syntax_sensitive: bool = False
+
+    @abstractmethod
+    def revise(self, theory: TheoryLike, new_formula: FormulaLike) -> RevisionResult:
+        """Compute the ground-truth semantics of ``T * P``."""
+
+    def iterate(
+        self, theory: TheoryLike, new_formulas: Sequence[FormulaLike]
+    ) -> RevisionResult:
+        """``T * P1 * ... * Pm`` (left-associative, as in Section 2.2.3).
+
+        Model-based operators override :meth:`_revise_models` and this driver
+        threads the model set through the sequence, extending the alphabet
+        when later formulas introduce new letters (an old model then splits
+        over the unconstrained new letters, exactly as logical equivalence
+        over the enlarged alphabet dictates).
+        """
+        theory = Theory.coerce(theory)
+        if not new_formulas:
+            alphabet = sorted(theory.variables())
+            return RevisionResult(
+                self.name, alphabet, sat_models(theory.conjunction(), alphabet)
+            )
+        result = self.revise(theory, new_formulas[0])
+        for formula in new_formulas[1:]:
+            result = self.revise_result(result, formula)
+        return result
+
+    def revise_result(
+        self, previous: RevisionResult, new_formula: FormulaLike
+    ) -> RevisionResult:
+        """Revise an already-revised knowledge base once more.
+
+        Default: unsupported (formula-based operators produce *sets of
+        theories* whose further revision the paper does not define; their
+        Table 4 entries follow from the single-revision results).
+        """
+        raise NotImplementedError(
+            f"operator {self.name!r} does not support iterated revision"
+        )
+
+    # -- shared helpers -----------------------------------------------------------
+
+    @staticmethod
+    def _alphabet(theory: Theory, new_formula: Formula) -> Tuple[str, ...]:
+        return tuple(sorted(theory.variables() | new_formula.variables()))
+
+    @staticmethod
+    def _models_of(formula: Formula, alphabet: Sequence[str]) -> FrozenSet[Interpretation]:
+        return frozenset(sat_models(formula, alphabet))
+
+    @staticmethod
+    def _extend_models(
+        model_set: FrozenSet[Interpretation],
+        old_alphabet: Sequence[str],
+        new_alphabet: Sequence[str],
+    ) -> FrozenSet[Interpretation]:
+        """Lift a model set to a larger alphabet (new letters unconstrained)."""
+        fresh = sorted(set(new_alphabet) - set(old_alphabet))
+        if not fresh:
+            return model_set
+        lifted: set[Interpretation] = set()
+        for model in model_set:
+            for mask in range(1 << len(fresh)):
+                extra = frozenset(
+                    fresh[i] for i in range(len(fresh)) if mask >> i & 1
+                )
+                lifted.add(model | extra)
+        return frozenset(lifted)

@@ -1,0 +1,73 @@
+"""The proximity measures underlying the model-based operators (Section 2.2.2).
+
+Pointwise measures (used by Winslett, Borgida, Forbus):
+
+* ``mu(M, P) = min⊆ { M △ N | N ∈ M(P) }``
+* ``k_{M,P}`` — minimum cardinality over ``mu(M, P)``
+
+Global measures (used by Satoh, Dalal, Weber):
+
+* ``delta(T, P) = min⊆ ∪_{M ∈ M(T)} mu(M, P)``
+* ``k_{T,P}``  — minimum cardinality over ``delta(T, P)``
+* ``Omega = ∪ delta(T, P)`` — every letter occurring in some minimal
+  difference
+
+All functions work on explicit model sets; the compact constructions in
+:mod:`repro.compact` additionally provide SAT-based routes to ``k_{T,P}``
+and ``Omega`` that avoid full enumeration.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Set
+
+from ..logic.interpretation import Interpretation, min_subset
+
+ModelSet = FrozenSet[Interpretation]
+
+
+def mu(model: Interpretation, p_models: Iterable[Interpretation]) -> List[FrozenSet[str]]:
+    """``mu(M, P)``: inclusion-minimal symmetric differences from ``M`` to
+    models of ``P``."""
+    differences = [model ^ n for n in p_models]
+    return min_subset(differences)
+
+
+def k_pointwise(model: Interpretation, p_models: Iterable[Interpretation]) -> int:
+    """``k_{M,P}``: the minimum cardinality of ``M △ N`` over ``N |= P``."""
+    sizes = [len(model ^ n) for n in p_models]
+    if not sizes:
+        raise ValueError("P has no models")
+    return min(sizes)
+
+
+def delta(t_models: Iterable[Interpretation], p_models: Iterable[Interpretation]) -> List[FrozenSet[str]]:
+    """``delta(T, P)``: global inclusion-minimal differences."""
+    p_list = list(p_models)
+    union: List[FrozenSet[str]] = []
+    for model in t_models:
+        union.extend(mu(model, p_list))
+    return min_subset(union)
+
+
+def k_global(t_models: Iterable[Interpretation], p_models: Iterable[Interpretation]) -> int:
+    """``k_{T,P}``: minimum Hamming distance between models of T and of P."""
+    p_list = list(p_models)
+    best: int | None = None
+    for model in t_models:
+        candidate = k_pointwise(model, p_list)
+        if best is None or candidate < best:
+            best = candidate
+            if best == 0:
+                break
+    if best is None:
+        raise ValueError("T has no models")
+    return best
+
+
+def omega(t_models: Iterable[Interpretation], p_models: Iterable[Interpretation]) -> FrozenSet[str]:
+    """``Omega = ∪ delta(T,P)`` — Weber's set of letters to forget."""
+    letters: Set[str] = set()
+    for diff in delta(t_models, p_models):
+        letters |= diff
+    return frozenset(letters)

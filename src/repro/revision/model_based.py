@@ -1,0 +1,178 @@
+"""Model-based revision/update operators (Section 2.2.2).
+
+Six operators, all obeying "irrelevance of syntax": they see only the model
+sets of ``T`` and ``P``.
+
+Pointwise (update-style — proximity judged per model of ``T``):
+
+* :class:`WinslettOperator` — inclusion-minimal differences per model;
+* :class:`BorgidaOperator`  — Winslett when ``T ∧ P`` inconsistent, else
+  simply ``T ∧ P``;
+* :class:`ForbusOperator`   — cardinality-minimal differences per model.
+
+Global (revision-style — proximity judged against all models of ``T``):
+
+* :class:`SatohOperator` — inclusion-minimal differences overall;
+* :class:`DalalOperator` — cardinality-minimal differences overall;
+* :class:`WeberOperator` — differences confined to ``Omega``, the union of
+  all inclusion-minimal differences.
+
+Every ``revise`` computes the ground-truth model set by enumeration; the
+containment relations among the six results (paper Fig. 2) are asserted by
+``tests/test_revision_containment.py``.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Sequence, Set, Tuple
+
+from ..logic.formula import FormulaLike, as_formula
+from ..logic.interpretation import Interpretation
+from ..logic.theory import Theory, TheoryLike
+from .base import RevisionOperator, RevisionResult
+from .distances import delta, k_global, k_pointwise, mu, omega
+
+ModelSet = FrozenSet[Interpretation]
+
+
+class ModelBasedOperator(RevisionOperator):
+    """Shared driver: enumerate models, delegate the selection rule."""
+
+    syntax_sensitive = False
+
+    def revise(self, theory: TheoryLike, new_formula: FormulaLike) -> RevisionResult:
+        theory = Theory.coerce(theory)
+        formula = as_formula(new_formula)
+        alphabet = self._alphabet(theory, formula)
+        t_models = self._models_of(theory.conjunction(), alphabet)
+        p_models = self._models_of(formula, alphabet)
+        selected = self._select(t_models, p_models)
+        return RevisionResult(self.name, alphabet, selected)
+
+    def revise_result(
+        self, previous: RevisionResult, new_formula: FormulaLike
+    ) -> RevisionResult:
+        formula = as_formula(new_formula)
+        alphabet = tuple(sorted(set(previous.alphabet) | formula.variables()))
+        t_models = self._extend_models(previous.model_set, previous.alphabet, alphabet)
+        p_models = self._models_of(formula, alphabet)
+        selected = self._select(t_models, p_models)
+        return RevisionResult(self.name, alphabet, selected)
+
+    def _select(self, t_models: ModelSet, p_models: ModelSet) -> ModelSet:
+        """Apply the operator's selection rule (degenerate cases shared)."""
+        if not p_models:
+            return frozenset()
+        if not t_models:
+            return p_models
+        return self._select_nondegenerate(t_models, p_models)
+
+    def _select_nondegenerate(self, t_models: ModelSet, p_models: ModelSet) -> ModelSet:
+        raise NotImplementedError
+
+
+class WinslettOperator(ModelBasedOperator):
+    """Winslett's Possible Models Approach (update).
+
+    ``M(T ◇ P) = { N |= P : ∃M |= T, M △ N ∈ mu(M, P) }``.
+    """
+
+    name = "winslett"
+
+    def _select_nondegenerate(self, t_models: ModelSet, p_models: ModelSet) -> ModelSet:
+        p_list = list(p_models)
+        selected: Set[Interpretation] = set()
+        for model in t_models:
+            minimal = set(map(frozenset, mu(model, p_list)))
+            for candidate in p_list:
+                if model ^ candidate in minimal:
+                    selected.add(candidate)
+        return frozenset(selected)
+
+
+class BorgidaOperator(ModelBasedOperator):
+    """Borgida's operator: ``T ∧ P`` when consistent, else Winslett."""
+
+    name = "borgida"
+
+    def _select_nondegenerate(self, t_models: ModelSet, p_models: ModelSet) -> ModelSet:
+        both = t_models & p_models
+        if both:
+            return both
+        return WinslettOperator()._select_nondegenerate(t_models, p_models)
+
+
+class ForbusOperator(ModelBasedOperator):
+    """Forbus' operator: per-model cardinality minimisation.
+
+    ``M(T ◇ P) = { N |= P : ∃M |= T, |M △ N| = k_{M,P} }``.
+    """
+
+    name = "forbus"
+
+    def _select_nondegenerate(self, t_models: ModelSet, p_models: ModelSet) -> ModelSet:
+        p_list = list(p_models)
+        selected: Set[Interpretation] = set()
+        for model in t_models:
+            threshold = k_pointwise(model, p_list)
+            for candidate in p_list:
+                if len(model ^ candidate) == threshold:
+                    selected.add(candidate)
+        return frozenset(selected)
+
+
+class SatohOperator(ModelBasedOperator):
+    """Satoh's operator: global inclusion-minimal differences.
+
+    ``M(T * P) = { N |= P : ∃M |= T, N △ M ∈ delta(T, P) }``.
+    """
+
+    name = "satoh"
+
+    def _select_nondegenerate(self, t_models: ModelSet, p_models: ModelSet) -> ModelSet:
+        minimal = set(map(frozenset, delta(t_models, p_models)))
+        selected: Set[Interpretation] = set()
+        for candidate in p_models:
+            for model in t_models:
+                if candidate ^ model in minimal:
+                    selected.add(candidate)
+                    break
+        return frozenset(selected)
+
+
+class DalalOperator(ModelBasedOperator):
+    """Dalal's operator: global cardinality-minimal differences.
+
+    ``M(T * P) = { N |= P : ∃M |= T, |N △ M| = k_{T,P} }``.
+    """
+
+    name = "dalal"
+
+    def _select_nondegenerate(self, t_models: ModelSet, p_models: ModelSet) -> ModelSet:
+        threshold = k_global(t_models, p_models)
+        selected: Set[Interpretation] = set()
+        for candidate in p_models:
+            for model in t_models:
+                if len(candidate ^ model) == threshold:
+                    selected.add(candidate)
+                    break
+        return frozenset(selected)
+
+
+class WeberOperator(ModelBasedOperator):
+    """Weber's operator: differences confined to ``Omega = ∪ delta(T,P)``.
+
+    ``M(T * P) = { N |= P : ∃M |= T, N △ M ⊆ Omega }``.
+    """
+
+    name = "weber"
+
+    def _select_nondegenerate(self, t_models: ModelSet, p_models: ModelSet) -> ModelSet:
+        allowed = omega(t_models, p_models)
+        selected: Set[Interpretation] = set()
+        for candidate in p_models:
+            for model in t_models:
+                if candidate ^ model <= allowed:
+                    selected.add(candidate)
+                    break
+        return frozenset(selected)

@@ -1,0 +1,65 @@
+"""Operator registry and the top-level :func:`revise` convenience function."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..logic.formula import FormulaLike
+from ..logic.theory import TheoryLike
+from .base import RevisionOperator, RevisionResult
+from .formula_based import GfuvOperator, NebelOperator, WidtioOperator
+from .model_based import (
+    BorgidaOperator,
+    DalalOperator,
+    ForbusOperator,
+    SatohOperator,
+    WeberOperator,
+    WinslettOperator,
+)
+
+#: All operators of the paper, keyed by name.
+OPERATORS: Dict[str, RevisionOperator] = {
+    op.name: op
+    for op in (
+        GfuvOperator(),
+        NebelOperator(),
+        WidtioOperator(),
+        WinslettOperator(),
+        BorgidaOperator(),
+        ForbusOperator(),
+        SatohOperator(),
+        DalalOperator(),
+        WeberOperator(),
+    )
+}
+
+#: The six model-based operators (Fig. 2 of the paper relates exactly these).
+MODEL_BASED_NAMES = ("winslett", "borgida", "forbus", "satoh", "dalal", "weber")
+
+#: The formula-based (syntax-sensitive) operators.
+FORMULA_BASED_NAMES = ("gfuv", "nebel", "widtio")
+
+
+def get_operator(name: str) -> RevisionOperator:
+    """Look up an operator by name (case-insensitive)."""
+    try:
+        return OPERATORS[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(OPERATORS))
+        raise ValueError(f"unknown operator {name!r}; known: {known}") from None
+
+
+def revise(
+    theory: TheoryLike, new_formula: FormulaLike, operator: str = "dalal"
+) -> RevisionResult:
+    """Revise ``theory`` with ``new_formula`` under the named operator."""
+    return get_operator(operator).revise(theory, new_formula)
+
+
+def revise_iterated(
+    theory: TheoryLike,
+    new_formulas: Sequence[FormulaLike],
+    operator: str = "dalal",
+) -> RevisionResult:
+    """``T * P1 * ... * Pm`` under the named operator."""
+    return get_operator(operator).iterate(theory, new_formulas)

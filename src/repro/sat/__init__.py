@@ -1,0 +1,33 @@
+"""SAT substrate: DPLL solver, model enumeration, formula-level interface."""
+
+from .dimacs import read_dimacs, write_dimacs
+from .enumerate import count_models as count_cnf_models
+from .enumerate import enumerate_models
+from .interface import (
+    count_models,
+    entails,
+    equivalent,
+    is_satisfiable,
+    is_valid,
+    models,
+    query_equivalent,
+    satisfies,
+)
+from .solver import CnfInstance, Solver
+
+__all__ = [
+    "CnfInstance",
+    "Solver",
+    "count_cnf_models",
+    "count_models",
+    "entails",
+    "enumerate_models",
+    "equivalent",
+    "is_satisfiable",
+    "is_valid",
+    "models",
+    "query_equivalent",
+    "read_dimacs",
+    "satisfies",
+    "write_dimacs",
+]

@@ -1,0 +1,49 @@
+"""DIMACS CNF import/export for the SAT substrate."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, TextIO
+
+from .solver import CnfInstance
+
+
+def write_dimacs(instance: CnfInstance, stream: TextIO, comment: str = "") -> None:
+    """Serialise a :class:`CnfInstance` in DIMACS ``cnf`` format."""
+    if comment:
+        for line in comment.splitlines():
+            stream.write(f"c {line}\n")
+    stream.write(f"p cnf {instance.num_vars} {len(instance.clauses)}\n")
+    for clause in instance.clauses:
+        stream.write(" ".join(str(lit) for lit in clause) + " 0\n")
+
+
+def read_dimacs(stream: TextIO) -> CnfInstance:
+    """Parse DIMACS ``cnf`` into a :class:`CnfInstance`.
+
+    Tolerant of comments, blank lines and clauses spanning several lines.
+    """
+    instance = CnfInstance()
+    declared_vars = 0
+    pending: List[int] = []
+    for raw_line in stream:
+        line = raw_line.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise ValueError(f"malformed problem line: {line!r}")
+            declared_vars = int(parts[2])
+            continue
+        for token in line.split():
+            lit = int(token)
+            if lit == 0:
+                instance.add_clause(pending)
+                pending = []
+            else:
+                pending.append(lit)
+    if pending:
+        instance.add_clause(pending)
+    if declared_vars > instance.num_vars:
+        instance.num_vars = declared_vars
+    return instance

@@ -1,0 +1,63 @@
+"""Model enumeration over CNF instances, with projection.
+
+Enumeration uses the classic blocking-clause loop: solve, emit the model
+restricted to the projection variables, add the clause forbidding that
+projection, repeat.  With projection this enumerates each *projected* model
+exactly once, which is what the revision semantics need (models over
+``V(T) ∪ V(P)`` of a Tseitin-translated formula, ignoring auxiliary
+definitional letters).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .solver import CnfInstance, Solver
+
+
+def enumerate_models(
+    instance: CnfInstance,
+    projection: Optional[Sequence[int]] = None,
+    limit: Optional[int] = None,
+) -> Iterator[Tuple[int, ...]]:
+    """Yield models of ``instance`` projected onto ``projection`` variables.
+
+    Each yielded value is a tuple of signed literals covering exactly the
+    projection variables (sorted by variable index).  Without projection,
+    full models over all variables are produced.
+
+    ``limit`` caps the number of models (useful as a guard in tests).
+    """
+    if instance.has_empty_clause:
+        return
+    solver = Solver(instance)
+    if projection is None:
+        proj_vars: List[int] = list(range(1, instance.num_vars + 1))
+    else:
+        proj_vars = sorted(set(projection))
+    produced = 0
+    while solver.solve():
+        model = solver.model()
+        value = {abs(lit): lit > 0 for lit in model}
+        projected = tuple(
+            var if value.get(var, False) else -var for var in proj_vars
+        )
+        yield projected
+        produced += 1
+        if limit is not None and produced >= limit:
+            return
+        if not proj_vars:
+            return  # a single empty projection: exactly one projected model
+        solver.add_clause([-lit for lit in projected])
+
+
+def count_models(
+    instance: CnfInstance,
+    projection: Optional[Sequence[int]] = None,
+    limit: Optional[int] = None,
+) -> int:
+    """Count projected models (up to ``limit`` if given)."""
+    total = 0
+    for _ in enumerate_models(instance, projection, limit):
+        total += 1
+    return total

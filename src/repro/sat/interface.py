@@ -1,0 +1,183 @@
+"""Formula-level SAT interface.
+
+This is the decision-procedure layer the rest of the library uses: formulas
+go in, truth comes out.  Internally every query is Tseitin-translated to CNF
+(query-equivalent over the original letters — the library eats its own
+dog food) and handed to the DPLL solver.
+
+All functions take an optional ``alphabet``: the set of letters the models
+range over.  The paper's semantics always evaluates models over
+``V(T) ∪ V(P)``; passing a larger alphabet adds unconstrained letters, which
+doubles model counts per extra letter — the helpers here make that explicit
+rather than implicit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..logic.cnf import tseitin
+from ..logic.formula import Formula, land, lnot
+from ..logic.interpretation import Interpretation
+from .enumerate import enumerate_models
+from .solver import CnfInstance, Solver
+
+
+class _Encoding:
+    """Mapping between letter names and solver variable indices."""
+
+    def __init__(self) -> None:
+        self.instance = CnfInstance()
+        self.index_of: Dict[str, int] = {}
+        self.name_of: Dict[int, str] = {}
+
+    def var(self, name: str) -> int:
+        existing = self.index_of.get(name)
+        if existing is not None:
+            return existing
+        index = self.instance.new_var()
+        self.index_of[name] = index
+        self.name_of[index] = name
+        return index
+
+    def add_formula(self, formula: Formula) -> None:
+        result = tseitin(formula, prefix="_sat")
+        # Auxiliary letters must be fresh per formula: rename on the fly.
+        rename: Dict[str, str] = {}
+        for aux in result.aux_names:
+            rename[aux] = f"_sat{self.instance.num_vars}_{aux}"
+        for clause in result.clauses:
+            ints = []
+            for name, positive in clause:
+                actual = rename.get(name, name)
+                index = self.var(actual)
+                ints.append(index if positive else -index)
+            self.instance.add_clause(ints)
+
+
+def _encode(formulas: Iterable[Formula]) -> _Encoding:
+    encoding = _Encoding()
+    for formula in formulas:
+        encoding.add_formula(formula)
+    return encoding
+
+
+def is_satisfiable(formula: Formula) -> bool:
+    """Decide satisfiability of ``formula``."""
+    encoding = _encode([formula])
+    if encoding.instance.has_empty_clause:
+        return False
+    return Solver(encoding.instance).solve()
+
+
+def is_valid(formula: Formula) -> bool:
+    """Decide validity (truth in all interpretations)."""
+    return not is_satisfiable(lnot(formula))
+
+
+def entails(premise: Formula, conclusion: Formula) -> bool:
+    """Decide ``premise |= conclusion`` via unsatisfiability of
+    ``premise ∧ ¬conclusion``."""
+    return not is_satisfiable(land(premise, lnot(conclusion)))
+
+
+def equivalent(left: Formula, right: Formula) -> bool:
+    """Decide logical equivalence (criterion (2) of the paper)."""
+    return entails(left, right) and entails(right, left)
+
+
+def query_equivalent(
+    left: Formula,
+    right: Formula,
+    alphabet: Optional[Iterable[str]] = None,
+) -> bool:
+    """Decide query equivalence over ``alphabet`` (criterion (1)).
+
+    ``left`` and ``right`` are query-equivalent over an alphabet ``A`` when
+    they have the same models *projected onto A* — equivalently, the same
+    entailed formulas over ``A``.  Defaults to the union of both formulas'
+    letters minus nothing, i.e. the caller should normally pass
+    ``V(T) ∪ V(P)`` explicitly; without an alphabet this degenerates to
+    comparing projections onto the *shared* original letters.
+    """
+    if alphabet is None:
+        alphabet = left.variables() | right.variables()
+    names = sorted(set(alphabet))
+    left_models = set(models(left, names))
+    right_models = set(models(right, names))
+    return left_models == right_models
+
+
+#: Work bound for the brute-force enumeration fast path (mask count times
+#: formula node count); above it, SAT enumeration with blocking clauses wins.
+_BRUTE_FORCE_BUDGET = 24_000_000
+
+
+def models(
+    formula: Formula,
+    alphabet: Optional[Iterable[str]] = None,
+    limit: Optional[int] = None,
+) -> Iterator[Interpretation]:
+    """Enumerate models of ``formula`` projected onto ``alphabet``.
+
+    Each model is a frozenset of the alphabet letters assigned true (the
+    paper's representation).  Default alphabet: the formula's own letters.
+
+    Two engines, chosen by a cost estimate: direct truth-table sweep for
+    small alphabets (dense model sets make one solver call per model far
+    slower than 2^n evaluations), SAT with blocking clauses otherwise.
+    """
+    if alphabet is None:
+        names = sorted(formula.variables())
+    else:
+        names = sorted(set(alphabet))
+    extra_letters = formula.variables() - set(names)
+    if not extra_letters:
+        work = (1 << len(names)) * max(formula.node_count(), 1)
+        if len(names) <= 20 and work <= _BRUTE_FORCE_BUDGET:
+            yield from _models_brute_force(formula, names, limit)
+            return
+    encoding = _encode([formula])
+    # Ensure every projection letter exists in the encoding even when the
+    # formula does not mention it (unconstrained letters double the models).
+    projection = [encoding.var(name) for name in names]
+    for projected in enumerate_models(encoding.instance, projection, limit):
+        yield frozenset(
+            encoding.name_of[lit] for lit in projected if lit > 0
+        )
+
+
+def _models_brute_force(
+    formula: Formula, names: List[str], limit: Optional[int]
+) -> Iterator[Interpretation]:
+    """Truth-table sweep over the (small) alphabet."""
+    produced = 0
+    count = len(names)
+    for mask in range(1 << count):
+        model = frozenset(names[i] for i in range(count) if mask >> i & 1)
+        if formula.evaluate(model):
+            yield model
+            produced += 1
+            if limit is not None and produced >= limit:
+                return
+
+
+def count_models(
+    formula: Formula,
+    alphabet: Optional[Iterable[str]] = None,
+    limit: Optional[int] = None,
+) -> int:
+    """Count models of ``formula`` over ``alphabet``."""
+    total = 0
+    for _ in models(formula, alphabet, limit):
+        total += 1
+    return total
+
+
+def satisfies(model: Iterable[str], formula: Formula) -> bool:
+    """Model checking ``M |= F`` — direct evaluation, polynomial time.
+
+    This is the operation Definition 7.1's ``ASK`` algorithm performs; kept
+    here so callers treat it symmetrically with :func:`entails`.
+    """
+    return formula.evaluate(frozenset(model))

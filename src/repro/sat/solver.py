@@ -1,0 +1,309 @@
+"""A from-scratch DPLL SAT solver with two-watched-literals.
+
+The solver operates on integer literals in the usual DIMACS convention:
+variables are ``1..n`` and the literal ``-v`` is the negation of ``v``.
+Features:
+
+* two-watched-literal unit propagation,
+* conflict-driven branching-order scores (a light VSIDS variant: bump the
+  variables of conflicting clauses and decay periodically),
+* optional assumption literals (used by the incremental model-enumeration
+  layer),
+* deterministic behaviour — no randomness, so every test and benchmark is
+  reproducible.
+
+This is the substrate standing in for the abstract NP/coNP oracles of the
+paper: every entailment test ``T * P |= Q``, consistency check inside
+``W(T,P)``, and equivalence verification runs through here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class CnfInstance:
+    """A mutable CNF instance over variables ``1..num_vars``."""
+
+    def __init__(self, num_vars: int = 0) -> None:
+        self.num_vars = num_vars
+        self.clauses: List[List[int]] = []
+        self._contradiction = False
+
+    def new_var(self) -> int:
+        """Allocate and return a fresh variable index."""
+        self.num_vars += 1
+        return self.num_vars
+
+    def add_clause(self, clause: Iterable[int]) -> None:
+        """Add a clause; tautologies are dropped, the empty clause recorded."""
+        seen: set[int] = set()
+        out: List[int] = []
+        for lit in clause:
+            if lit == 0:
+                raise ValueError("literal 0 is reserved")
+            var = abs(lit)
+            if var > self.num_vars:
+                self.num_vars = var
+            if -lit in seen:
+                return  # tautology
+            if lit not in seen:
+                seen.add(lit)
+                out.append(lit)
+        if not out:
+            self._contradiction = True
+        self.clauses.append(out)
+
+    def extend(self, clauses: Iterable[Iterable[int]]) -> None:
+        for clause in clauses:
+            self.add_clause(clause)
+
+    @property
+    def has_empty_clause(self) -> bool:
+        return self._contradiction
+
+
+class Solver:
+    """DPLL with watched literals over a :class:`CnfInstance` snapshot.
+
+    The instance is copied at construction: adding clauses to the original
+    afterwards does not affect the solver.  For the incremental patterns the
+    library needs (blocking clauses during enumeration), create the solver
+    once and call :meth:`add_clause` on it directly.
+    """
+
+    def __init__(self, instance: CnfInstance) -> None:
+        self.num_vars = instance.num_vars
+        self.clauses: List[List[int]] = [list(c) for c in instance.clauses]
+        self._unsat_forever = instance.has_empty_clause
+        # assignment[v] in (-1 unassigned, 0 false, 1 true)
+        self._assign: List[int] = [-1] * (self.num_vars + 1)
+        self._level: List[int] = [0] * (self.num_vars + 1)
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._activity: List[float] = [0.0] * (self.num_vars + 1)
+        self._watches: Dict[int, List[int]] = {}
+        self._init_watches()
+
+    # -- construction helpers -------------------------------------------------
+
+    def _init_watches(self) -> None:
+        self._units: List[int] = []
+        for index, clause in enumerate(self.clauses):
+            self._watch_clause(index, clause)
+
+    def _watch_clause(self, index: int, clause: List[int]) -> None:
+        if not clause:
+            self._unsat_forever = True
+            return
+        if len(clause) == 1:
+            self._units.append(clause[0])
+            return
+        for lit in clause[:2]:
+            self._watches.setdefault(-lit, []).append(index)
+
+    def add_clause(self, clause: Iterable[int]) -> None:
+        """Add a clause incrementally (solver must be at decision level 0)."""
+        self._backtrack_to(0)
+        out: List[int] = []
+        seen: set[int] = set()
+        for lit in clause:
+            var = abs(lit)
+            if var > self.num_vars:
+                self._grow(var)
+            if -lit in seen:
+                return
+            if lit not in seen:
+                seen.add(lit)
+                out.append(lit)
+        self.clauses.append(out)
+        self._watch_clause(len(self.clauses) - 1, out)
+
+    def _grow(self, new_num_vars: int) -> None:
+        extra = new_num_vars - self.num_vars
+        self._assign.extend([-1] * extra)
+        self._level.extend([0] * extra)
+        self._activity.extend([0.0] * extra)
+        self.num_vars = new_num_vars
+
+    # -- assignment primitives --------------------------------------------------
+
+    def _value(self, lit: int) -> int:
+        """-1 unassigned, 1 satisfied, 0 falsified."""
+        val = self._assign[abs(lit)]
+        if val < 0:
+            return -1
+        return val if lit > 0 else 1 - val
+
+    def _enqueue(self, lit: int) -> bool:
+        val = self._value(lit)
+        if val == 0:
+            return False
+        if val == 1:
+            return True
+        var = abs(lit)
+        self._assign[var] = 1 if lit > 0 else 0
+        self._level[var] = len(self._trail_lim)
+        self._trail.append(lit)
+        return True
+
+    def _propagate(self, queue_start: int) -> Optional[List[int]]:
+        """Unit propagation from trail position ``queue_start``.
+
+        Returns a conflicting clause, or ``None`` on success.
+        """
+        head = queue_start
+        while head < len(self._trail):
+            lit = self._trail[head]
+            head += 1
+            watch_list = self._watches.get(lit)
+            if not watch_list:
+                continue
+            keep: List[int] = []
+            conflict: Optional[List[int]] = None
+            position = 0
+            while position < len(watch_list):
+                clause_index = watch_list[position]
+                position += 1
+                clause = self.clauses[clause_index]
+                # Normalise: make clause[1] the falsified watch (-lit).
+                if clause[0] == -lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                if self._value(clause[0]) == 1:
+                    keep.append(clause_index)
+                    continue
+                moved = False
+                for alt in range(2, len(clause)):
+                    if self._value(clause[alt]) != 0:
+                        clause[1], clause[alt] = clause[alt], clause[1]
+                        self._watches.setdefault(-clause[1], []).append(clause_index)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                keep.append(clause_index)
+                if not self._enqueue(clause[0]):
+                    conflict = clause
+                    keep.extend(watch_list[position:])
+                    break
+            watch_list[:] = keep
+            if conflict is not None:
+                return conflict
+        return None
+
+    def _backtrack_to(self, level: int) -> None:
+        if len(self._trail_lim) <= level:
+            return
+        boundary = self._trail_lim[level]
+        for lit in reversed(self._trail[boundary:]):
+            self._assign[abs(lit)] = -1
+        del self._trail[boundary:]
+        del self._trail_lim[level:]
+
+    # -- branching heuristic -----------------------------------------------------
+
+    def _bump_clause(self, clause: Sequence[int]) -> None:
+        for lit in clause:
+            self._activity[abs(lit)] += 1.0
+
+    def _decay(self) -> None:
+        self._activity = [a * 0.9 for a in self._activity]
+
+    def _pick_branch(self) -> int:
+        best_var = 0
+        best_activity = -1.0
+        for var in range(1, self.num_vars + 1):
+            if self._assign[var] < 0 and self._activity[var] > best_activity:
+                best_var = var
+                best_activity = self._activity[var]
+        return best_var
+
+    # -- main search ----------------------------------------------------------------
+
+    def solve(self, assumptions: Sequence[int] = ()) -> bool:
+        """Decide satisfiability under the given assumption literals."""
+        if self._unsat_forever:
+            return False
+        self._backtrack_to(0)
+        # Level-0 units (original unit clauses).
+        for lit in self._units:
+            if not self._enqueue(lit):
+                return False
+        if self._propagate(0) is not None:
+            return False
+        root = len(self._trail)
+
+        # Assumption level.
+        self._trail_lim.append(len(self._trail))
+        for lit in assumptions:
+            if abs(lit) > self.num_vars:
+                self._grow(abs(lit))
+            if not self._enqueue(lit):
+                self._backtrack_to(0)
+                return False
+        if self._propagate(root) is not None:
+            self._backtrack_to(0)
+            return False
+
+        conflicts = 0
+        while True:
+            branch_var = self._pick_branch()
+            if branch_var == 0:
+                return True  # all assigned, no conflict
+            # Try positive phase first (deterministic).
+            self._trail_lim.append(len(self._trail))
+            queue_start = len(self._trail)
+            self._enqueue(branch_var)
+            while True:
+                conflict = self._propagate(queue_start)
+                if conflict is None:
+                    break
+                self._bump_clause(conflict)
+                conflicts += 1
+                if conflicts % 256 == 0:
+                    self._decay()
+                # Chronological backtracking with phase flip.
+                flipped = self._flip_last_decision()
+                if flipped is None:
+                    self._backtrack_to(0)
+                    return False
+                queue_start = flipped
+
+    def _flip_last_decision(self) -> Optional[int]:
+        """Undo the deepest decision still on its first phase and flip it.
+
+        Decisions are recorded implicitly: level ``i`` starts at trail index
+        ``self._trail_lim[i]`` and the decision literal sits at that index.
+        Levels whose decision was already flipped are popped.  Returns the
+        trail position propagation should restart from, or ``None`` when only
+        the assumption level remains.
+        """
+        while len(self._trail_lim) > 1:
+            level = len(self._trail_lim) - 1
+            boundary = self._trail_lim[level]
+            decision = self._trail[boundary] if boundary < len(self._trail) else None
+            self._backtrack_to(level)
+            if decision is None:
+                continue
+            if decision > 0:
+                # First phase was positive; try negative now at same depth.
+                self._trail_lim.append(len(self._trail))
+                position = len(self._trail)
+                if self._enqueue(-decision):
+                    return position
+                # Cannot even enqueue: continue unwinding.
+                self._backtrack_to(level)
+            # decision < 0 means both phases exhausted: keep unwinding.
+        return None
+
+    def model(self) -> List[int]:
+        """The satisfying assignment from the last successful :meth:`solve`.
+
+        Unassigned variables (possible when the formula does not constrain
+        them) default to false.
+        """
+        out: List[int] = []
+        for var in range(1, self.num_vars + 1):
+            value = self._assign[var]
+            out.append(var if value == 1 else -var)
+        return out

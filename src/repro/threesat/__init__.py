@@ -1,0 +1,35 @@
+"""3-SAT instance machinery (Definition 2.5)."""
+
+from .instances import (
+    Clause3,
+    Instance,
+    all_instances,
+    atom_names,
+    canonical_clause,
+    clause_formula,
+    clause_index,
+    instance_formula,
+    is_satisfiable_brute,
+    is_satisfiable_dpll,
+    m_max,
+    pi_max,
+    random_instance,
+    satisfying_assignments,
+)
+
+__all__ = [
+    "Clause3",
+    "Instance",
+    "all_instances",
+    "atom_names",
+    "canonical_clause",
+    "clause_formula",
+    "clause_index",
+    "instance_formula",
+    "is_satisfiable_brute",
+    "is_satisfiable_dpll",
+    "m_max",
+    "pi_max",
+    "random_instance",
+    "satisfying_assignments",
+]

@@ -1,0 +1,140 @@
+"""3-SAT machinery following Definition 2.5 of the paper.
+
+The non-compactability proofs partition 3-SAT by instance size: all formulas
+of ``3-SAT_n`` are built on the atom set ``B_n = {b_1, ..., b_n}``, and
+``pi_max(n)`` is the set of *all* three-literal clauses over ``B_n`` (with
+three distinct variables), of which there are ``m_max(n) = 8·C(n,3) = Θ(n³)``.
+Every instance ``pi ⊆ pi_max(n)`` is a subset of those clauses; the reduction
+families index guard letters ``c_i`` / ``d_i`` by the canonical clause order
+defined here.
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import combinations, product
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+from ..logic.formula import Formula, Var, big_and, big_or, literal
+
+#: A literal over B_n: (atom name, polarity).
+Lit = Tuple[str, bool]
+#: A three-literal clause in canonical form: tuple sorted by atom index.
+Clause3 = Tuple[Lit, Lit, Lit]
+#: An instance of 3-SAT_n: a frozenset of canonical clauses.
+Instance = FrozenSet[Clause3]
+
+
+def atom_names(n: int) -> List[str]:
+    """``B_n = {b1, ..., bn}``."""
+    return [f"b{i}" for i in range(1, n + 1)]
+
+
+def canonical_clause(lits: Iterable[Lit]) -> Clause3:
+    """Canonicalise a clause: sort literals by atom index, check arity."""
+    lits = list(lits)
+    if len(lits) != 3:
+        raise ValueError("three-literal clauses only")
+    names = [name for name, _ in lits]
+    if len(set(names)) != 3:
+        raise ValueError("the three literals must use distinct atoms")
+    for name in names:
+        if not (name.startswith("b") and name[1:].isdigit()):
+            raise ValueError(f"atom {name!r} is not of the form b<i>")
+    return tuple(sorted(lits, key=lambda lit: int(lit[0][1:])))  # type: ignore[return-value]
+
+
+def pi_max(n: int) -> List[Clause3]:
+    """All three-literal clauses over ``B_n``, in canonical order.
+
+    Order: variable triples lexicographically by index, then the eight
+    polarity patterns in binary-counter order (positive = 0 first).
+    """
+    if n < 3:
+        return []
+    names = atom_names(n)
+    out: List[Clause3] = []
+    for triple in combinations(range(n), 3):
+        for signs in product((True, False), repeat=3):
+            out.append(
+                tuple((names[i], sign) for i, sign in zip(triple, signs))  # type: ignore[arg-type]
+            )
+    return out
+
+
+def m_max(n: int) -> int:
+    """``m_max(n)`` — number of clauses of ``pi_max(n)`` (= 8·C(n,3))."""
+    if n < 3:
+        return 0
+    return 8 * (n * (n - 1) * (n - 2) // 6)
+
+
+def clause_index(n: int) -> Dict[Clause3, int]:
+    """Canonical index ``gamma_i -> i`` (1-based, as in the paper)."""
+    return {clause: i for i, clause in enumerate(pi_max(n), start=1)}
+
+
+def clause_formula(clause: Clause3) -> Formula:
+    """Render one clause as a disjunction of literals."""
+    return big_or(literal(name, positive) for name, positive in clause)
+
+
+def instance_formula(instance: Iterable[Clause3]) -> Formula:
+    """Render an instance (set of clauses) as a conjunction."""
+    return big_and(clause_formula(clause) for clause in sorted(instance))
+
+
+def random_instance(n: int, m: int, rng: random.Random) -> Instance:
+    """A random instance of 3-SAT_n with ``m`` distinct clauses."""
+    pool = pi_max(n)
+    if m > len(pool):
+        raise ValueError(f"only {len(pool)} distinct clauses exist for n={n}")
+    return frozenset(rng.sample(pool, m))
+
+
+def all_instances(n: int, max_clauses: int | None = None) -> Iterable[Instance]:
+    """Every instance of 3-SAT_n (optionally capped in clause count).
+
+    Exponential in ``m_max(n)`` — usable only for n = 3 (``m_max = 8``).
+    """
+    pool = pi_max(n)
+    limit = len(pool) if max_clauses is None else min(max_clauses, len(pool))
+    for size in range(limit + 1):
+        for chosen in combinations(pool, size):
+            yield frozenset(chosen)
+
+
+def satisfying_assignments(instance: Iterable[Clause3], n: int) -> List[FrozenSet[str]]:
+    """All models of the instance over ``B_n``, by brute force."""
+    names = atom_names(n)
+    clauses = list(instance)
+    out: List[FrozenSet[str]] = []
+    for mask in range(1 << n):
+        model = frozenset(names[i] for i in range(n) if mask >> i & 1)
+        if all(
+            any((name in model) == positive for name, positive in clause)
+            for clause in clauses
+        ):
+            out.append(model)
+    return out
+
+
+def is_satisfiable_brute(instance: Iterable[Clause3], n: int) -> bool:
+    """Brute-force satisfiability over ``B_n`` (n small)."""
+    names = atom_names(n)
+    clauses = list(instance)
+    for mask in range(1 << n):
+        model = {names[i] for i in range(n) if mask >> i & 1}
+        if all(
+            any((name in model) == positive for name, positive in clause)
+            for clause in clauses
+        ):
+            return True
+    return False
+
+
+def is_satisfiable_dpll(instance: Iterable[Clause3]) -> bool:
+    """Satisfiability via the library's own SAT solver."""
+    from ..sat import is_satisfiable
+
+    return is_satisfiable(instance_formula(instance))

@@ -1,0 +1,110 @@
+"""Tests for the AGM companion operations (expansion, contraction,
+counterfactuals) and the Harper/Levi identities."""
+
+import pytest
+
+from repro.logic import Theory, interp, parse
+from repro.revision import revise
+from repro.revision.agm import contract, counterfactual, expand
+
+
+class TestExpansion:
+    def test_consistent_expansion(self):
+        result = expand(parse("a | b"), parse("~a"))
+        assert result.model_set == {frozenset({"b"})}
+
+    def test_inconsistent_expansion_is_empty(self):
+        result = expand(parse("a"), parse("~a"))
+        assert not result.is_consistent()
+
+    def test_expansion_with_new_letters(self):
+        result = expand(parse("a"), parse("b"))
+        assert result.model_set == {frozenset({"a", "b"})}
+
+
+class TestContraction:
+    def test_contraction_gives_up_belief(self):
+        # T believes a & b; contracting a must leave a underivable.
+        result = contract(parse("a & b"), parse("a"), operator="dalal")
+        assert not result.entails(parse("a"))
+
+    def test_contraction_keeps_independent_beliefs(self):
+        # b is independent of a under Dalal's minimal change: it survives.
+        result = contract(parse("a & b"), parse("a"), operator="dalal")
+        assert result.entails(parse("b"))
+
+    def test_vacuity(self):
+        # Contracting something not believed changes nothing (AGM vacuity).
+        t = parse("a")
+        result = contract(t, parse("b"), operator="dalal")
+        from repro.sat import models as sat_models
+
+        expected = set(sat_models(t, result.alphabet))
+        assert result.model_set == expected
+
+    def test_inclusion(self):
+        # AGM inclusion: T ÷ P is weaker than T (more models).
+        t = parse("a & b & c")
+        result = contract(t, parse("a"), operator="dalal")
+        from repro.sat import models as sat_models
+
+        t_models = set(sat_models(t, result.alphabet))
+        assert t_models <= result.model_set
+
+    def test_harper_identity_shape(self):
+        # M(T ÷ P) = M(T) ∪ M(T * ¬P), directly.
+        t = parse("a & b")
+        p = parse("a")
+        contracted = contract(t, p, operator="dalal")
+        revised = revise(t, parse("~a"), "dalal")
+        from repro.sat import models as sat_models
+
+        t_models = set(sat_models(t, contracted.alphabet))
+        assert contracted.model_set == t_models | set(revised.model_set)
+
+
+class TestLeviIdentity:
+    @pytest.mark.parametrize(
+        "t_text,p_text",
+        [
+            ("a & b & c", "~a"),
+            ("a & (b | c)", "~b & ~c"),
+            ("(a -> b) & a", "~b"),
+            ("a & b", "a"),
+        ],
+    )
+    def test_levi_identity_for_dalal(self, t_text, p_text):
+        # T * P = (T ÷ ¬P) + P for an AGM revision operator (Dalal).
+        t = parse(t_text)
+        p = parse(p_text)
+        direct = revise(t, p, "dalal")
+        contracted = contract(t, parse(f"~({p_text})"), operator="dalal")
+        via_levi = expand(
+            Theory([contracted.formula()]), p
+        )
+        assert via_levi.restricted_to(direct.alphabet) == frozenset(
+            direct.model_set
+        )
+
+
+class TestCounterfactuals:
+    def test_ginsberg_example_style(self):
+        # T = {a, b}; "if ~b were the case, would a still hold?" — yes:
+        # the only maximal subset consistent with ~b is {a}.
+        t = Theory.parse_many("a", "b")
+        assert counterfactual(t, "~b", "a", operator="gfuv")
+
+    def test_syntax_sensitivity_carries_over(self):
+        # With T = {a, a -> b} the same counterfactual fails (worlds {a} and
+        # {a -> b} disagree on a).
+        t = Theory.parse_many("a", "a -> b")
+        assert not counterfactual(t, "~b", "a", operator="gfuv")
+
+    def test_model_based_counterfactual(self):
+        assert counterfactual(parse("g | b"), "~g", "b", operator="dalal")
+        assert not counterfactual(parse("g | b"), "~g", "b", operator="winslett")
+
+    def test_counterfactual_with_entailed_antecedent(self):
+        # If the antecedent already holds, the conditional reduces to T |= Q.
+        t = parse("a & b")
+        assert counterfactual(t, "a", "b", operator="dalal")

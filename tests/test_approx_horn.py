@@ -1,0 +1,160 @@
+"""Tests for the Horn approximation module (Kautz-Selman companion)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.approx import (
+    horn_clauses_of_models,
+    horn_glb_models,
+    horn_lub_formula,
+    horn_lub_models,
+    intersection_closure,
+    is_intersection_closed,
+)
+from repro.logic import all_interpretations, parse
+from repro.sat import entails, equivalent
+
+
+def models_of(text, names):
+    f = parse(text)
+    return frozenset(
+        frozenset(m) for m in all_interpretations(names) if f.evaluate(m)
+    )
+
+
+class TestClosure:
+    def test_closed_detection(self):
+        assert is_intersection_closed([frozenset("a"), frozenset()])
+        assert not is_intersection_closed([frozenset("a"), frozenset("b")])
+
+    def test_closure_adds_meets(self):
+        closed = intersection_closure([frozenset("ab"), frozenset("bc")])
+        assert frozenset("b") in closed
+        assert len(closed) == 3
+
+    def test_closure_idempotent(self):
+        base = [frozenset("ab"), frozenset("bc"), frozenset("ac")]
+        once = intersection_closure(base)
+        twice = intersection_closure(once)
+        assert once == twice
+        assert is_intersection_closed(once)
+
+    def test_horn_formula_is_closed(self):
+        # Models of a Horn formula are intersection-closed (classic fact).
+        horn = models_of("(a -> b) & (a & b -> c)", ["a", "b", "c"])
+        assert is_intersection_closed(horn)
+
+    def test_disjunction_not_closed(self):
+        disj = models_of("a | b", ["a", "b"])
+        assert not is_intersection_closed(disj)
+
+    @given(
+        st.sets(
+            st.sets(st.sampled_from(["a", "b", "c"])).map(frozenset),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_closure_is_least_property(self, models):
+        closed = intersection_closure(models)
+        assert is_intersection_closed(closed)
+        assert frozenset(models) <= closed
+        # Least: every element is a finite meet of original models.
+        for element in closed:
+            overlapping = [m for m in models if element <= m]
+            assert overlapping
+            meet = frozenset.intersection(*overlapping)
+            assert meet == element
+
+
+class TestHornLub:
+    def test_lub_of_disjunction(self):
+        # LUB of a|b adds the empty model (a & b's meet is {}, wait: models
+        # {a},{b},{ab}; meets add {}).
+        lub = horn_lub_models(models_of("a | b", ["a", "b"]))
+        assert lub == frozenset(
+            {frozenset(), frozenset("a"), frozenset("b"), frozenset("ab")}
+        )
+
+    def test_lub_formula_entailed(self):
+        # F |= LUB(F): the LUB is a weakening.
+        f = parse("a | b")
+        lub = horn_lub_formula(models_of("a | b", ["a", "b"]), ["a", "b"])
+        assert entails(f, lub)
+
+    def test_lub_of_horn_is_itself(self):
+        f = parse("(a -> b) & a")
+        models = models_of("(a -> b) & a", ["a", "b"])
+        lub = horn_lub_formula(models, ["a", "b"])
+        assert equivalent(f, lub)
+
+    def test_clauses_reject_non_closed(self):
+        with pytest.raises(ValueError):
+            horn_clauses_of_models([frozenset("a"), frozenset("b")], ["a", "b"])
+
+    def test_clauses_capture_exact_models(self):
+        closed = intersection_closure(models_of("a | b", ["a", "b"]))
+        clauses = horn_clauses_of_models(closed, ["a", "b"])
+        from repro.logic import big_and
+
+        theory = big_and(clauses)
+        recovered = frozenset(
+            frozenset(m)
+            for m in all_interpretations(["a", "b"])
+            if theory.evaluate(m)
+        )
+        assert recovered == closed
+
+    def test_empty_model_set_yields_false(self):
+        clauses = horn_clauses_of_models([], ["a"])
+        from repro.logic import big_and
+
+        assert not any(
+            big_and(clauses).evaluate(m) for m in all_interpretations(["a"])
+        )
+
+
+class TestHornGlb:
+    def test_glb_of_disjunction(self):
+        # Maximal closed subsets of {a},{b},{ab}: {{a},{ab}}, {{b},{ab}},
+        # and... {{a},{b}} not closed; {{ab},{a},{b}} not closed.
+        glbs = horn_glb_models(models_of("a | b", ["a", "b"]))
+        as_sets = {frozenset(g) for g in glbs}
+        assert frozenset({frozenset("a"), frozenset("ab")}) in as_sets
+        assert frozenset({frozenset("b"), frozenset("ab")}) in as_sets
+
+    def test_glb_of_horn_is_itself(self):
+        models = models_of("a -> b", ["a", "b"])
+        glbs = horn_glb_models(models)
+        assert len(glbs) == 1
+        assert glbs[0] == models
+
+    @given(
+        st.sets(
+            st.sets(st.sampled_from(["a", "b", "c"])).map(frozenset),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_glb_maximal_closed_property(self, models):
+        glbs = horn_glb_models(models)
+        for glb in glbs:
+            assert is_intersection_closed(glb)
+            assert glb <= frozenset(models)
+            # Maximality: adding any other model breaks closure.
+            for extra in frozenset(models) - glb:
+                assert not is_intersection_closed(glb | {extra})
+
+
+class TestRevisionIntegration:
+    def test_horn_lub_of_revised_base(self):
+        # Revising can produce non-Horn results; the LUB recovers a Horn
+        # over-approximation that every revised model satisfies.
+        from repro.revision import revise
+
+        result = revise(parse("a & b & c"), parse("~a | ~b"), "dalal")
+        lub = horn_lub_formula(result.model_set, result.alphabet)
+        for model in result.model_set:
+            assert lub.evaluate(model)

@@ -1,0 +1,200 @@
+"""Tests for the ROBDD package and the Section 7 data-structure interface."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import FALSE_NODE, TRUE_NODE, Bdd
+from repro.compact.datastructure import (
+    BddRepresentation,
+    bdd_of_formula,
+    bdd_of_revision,
+)
+from repro.logic import FALSE, TRUE, all_interpretations, land, lnot, lor, parse, var
+from repro.revision import revise
+
+
+def brute_models(formula, names):
+    return {
+        frozenset(m) for m in all_interpretations(names) if formula.evaluate(m)
+    }
+
+
+class TestBddBasics:
+    def test_terminals(self):
+        bdd = Bdd(["a"])
+        assert bdd.from_formula(TRUE) == TRUE_NODE
+        assert bdd.from_formula(FALSE) == FALSE_NODE
+
+    def test_single_var(self):
+        bdd = Bdd(["a"])
+        node = bdd.var("a")
+        assert bdd.evaluate(node, {"a"})
+        assert not bdd.evaluate(node, set())
+
+    def test_unknown_letter_rejected(self):
+        bdd = Bdd(["a"])
+        with pytest.raises(ValueError):
+            bdd.var("z")
+        with pytest.raises(ValueError):
+            bdd.restrict(TRUE_NODE, "z", True)
+
+    def test_duplicate_order_rejected(self):
+        with pytest.raises(ValueError):
+            Bdd(["a", "a"])
+
+    def test_canonicity_same_function_same_node(self):
+        bdd = Bdd(["a", "b"])
+        left = bdd.from_formula(parse("a -> b"))
+        right = bdd.from_formula(parse("~a | b"))
+        assert left == right  # pointer equality == logical equivalence
+
+    def test_canonicity_tautology(self):
+        bdd = Bdd(["a", "b"])
+        assert bdd.from_formula(parse("a | ~a")) == TRUE_NODE
+        assert bdd.from_formula(parse("(a & b) | ~(a & b)")) == TRUE_NODE
+
+    def test_contradiction(self):
+        bdd = Bdd(["a"])
+        assert bdd.from_formula(parse("a & ~a")) == FALSE_NODE
+
+    def test_node_count_reduction(self):
+        # x1 <-> y1 ordered interleaved stays small.
+        bdd = Bdd(["x", "y"])
+        node = bdd.from_formula(parse("x <-> y"))
+        assert bdd.node_count(node) <= 5  # 3 internal + 2 terminals
+
+
+class TestBddSemantics:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "a & b",
+            "a | b & c",
+            "(a ^ b) -> c",
+            "(a <-> b) & (b <-> c)",
+            "~(a & (b | ~c))",
+        ],
+    )
+    def test_evaluate_matches_formula(self, text):
+        f = parse(text)
+        names = sorted(f.variables())
+        bdd = Bdd(names)
+        node = bdd.from_formula(f)
+        for m in all_interpretations(names):
+            assert bdd.evaluate(node, m) == f.evaluate(m), m
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [("a & b", 1), ("a | b", 3), ("a ^ b", 2), ("a -> a", 4)],
+    )
+    def test_count_models(self, text, expected):
+        f = parse(text)
+        bdd = Bdd(["a", "b"])
+        node = bdd.from_formula(f)
+        assert bdd.count_models(node) == expected
+
+    def test_count_models_with_skipped_levels(self):
+        bdd = Bdd(["a", "b", "c", "d"])
+        node = bdd.from_formula(parse("b"))  # levels a, c, d skipped
+        assert bdd.count_models(node) == 8
+
+    def test_models_enumeration(self):
+        f = parse("a ^ b")
+        bdd = Bdd(["a", "b", "c"])
+        node = bdd.from_formula(f)
+        assert set(bdd.models(node)) == brute_models(f, ["a", "b", "c"])
+
+    def test_restrict(self):
+        f = parse("(a & b) | c")
+        bdd = Bdd(["a", "b", "c"])
+        node = bdd.from_formula(f)
+        restricted = bdd.restrict(node, "a", True)
+        expected = parse("b | c")
+        for m in all_interpretations(["b", "c"]):
+            assert bdd.evaluate(restricted, m) == expected.evaluate(m)
+
+    def test_restrict_to_false(self):
+        bdd = Bdd(["a", "b"])
+        node = bdd.from_formula(parse("a & b"))
+        assert bdd.restrict(node, "a", False) == FALSE_NODE
+
+    @given(
+        st.lists(
+            st.sampled_from(["p", "q", "r", "~p", "~q", "~r"]),
+            min_size=1,
+            max_size=3,
+        ).map(lambda lits: parse(" | ".join(lits)))
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_clause_property(self, f):
+        names = ["p", "q", "r"]
+        bdd = Bdd(names)
+        node = bdd.from_formula(f)
+        assert set(bdd.models(node)) == brute_models(f, names)
+
+    @given(st.integers(min_value=0, max_value=255))
+    @settings(max_examples=80, deadline=None)
+    def test_arbitrary_3var_function(self, bitmask):
+        # Build the function as a DNF of minterms, compile, compare counts.
+        names = ["a", "b", "c"]
+        minterm_cubes = []
+        for i in range(8):
+            if bitmask >> i & 1:
+                lits = [
+                    var(names[j]) if i >> j & 1 else lnot(var(names[j]))
+                    for j in range(3)
+                ]
+                minterm_cubes.append(land(*lits))
+        f = lor(*minterm_cubes)
+        bdd = Bdd(names)
+        node = bdd.from_formula(f)
+        assert bdd.count_models(node) == bin(bitmask).count("1")
+
+
+class TestOrderSensitivity:
+    def test_interleaved_vs_separated(self):
+        # The classic (x1<->y1) & (x2<->y2) & (x3<->y3): linear with
+        # interleaved order, exponential with separated order.
+        f = parse("(x1 <-> y1) & (x2 <-> y2) & (x3 <-> y3)")
+        interleaved = Bdd(["x1", "y1", "x2", "y2", "x3", "y3"])
+        separated = Bdd(["x1", "x2", "x3", "y1", "y2", "y3"])
+        small = interleaved.node_count(interleaved.from_formula(f))
+        large = separated.node_count(separated.from_formula(f))
+        assert small < large
+
+
+class TestDataStructureRepresentation:
+    def test_bdd_of_revision_ask_matches_ground_truth(self):
+        t = parse("a & b & c")
+        p = parse("(~a & ~b & ~d) | (~c & b & (a ^ d))")
+        result = revise(t, p, "dalal")
+        rep = bdd_of_revision(result)
+        for m in all_interpretations(result.alphabet):
+            assert rep.ask(m) == result.satisfies(m)
+
+    def test_size_positive_and_counts(self):
+        result = revise(parse("a & b"), parse("~a"), "dalal")
+        rep = bdd_of_revision(result)
+        assert rep.size() >= 2
+        assert rep.count_models() == len(result.model_set)
+
+    def test_order_mismatch_rejected(self):
+        result = revise(parse("a & b"), parse("~a"), "dalal")
+        with pytest.raises(ValueError):
+            bdd_of_revision(result, order=["a", "b", "z"])
+
+    def test_bdd_of_formula(self):
+        rep = bdd_of_formula(parse("a -> b"))
+        assert rep.ask({"a", "b"})
+        assert not rep.ask({"a"})
+
+    def test_ask_is_definition_7_1(self):
+        # ASK must agree with the exact semantics for every interpretation
+        # of every operator on a fixed instance.
+        t = parse("a & b & c")
+        p = parse("~a | ~b")
+        for name in ("winslett", "forbus", "satoh", "dalal", "weber"):
+            result = revise(t, p, name)
+            rep = bdd_of_revision(result)
+            for m in all_interpretations(result.alphabet):
+                assert rep.ask(m) == result.satisfies(m), name

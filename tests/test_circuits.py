@@ -1,0 +1,263 @@
+"""Tests for the circuit substrate: builders, EXA, cardinality."""
+
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import (
+    CircuitBuilder,
+    at_least,
+    at_most,
+    atmost,
+    const_bits,
+    distance_less_than,
+    exa,
+    exa_plain,
+    exactly,
+    exactly_pairwise,
+)
+from repro.logic import FALSE, TRUE, Formula, Var, land, var
+from repro.sat import count_models, is_satisfiable, models
+
+
+def bits_value(model, bit_wires) -> int:
+    """Decode a little-endian wire vector under a model."""
+    total = 0
+    for position, wire in enumerate(bit_wires):
+        if wire.evaluate(model):
+            total += 1 << position
+    return total
+
+
+class TestBuilder:
+    def test_wire_defines_letter(self):
+        builder = CircuitBuilder()
+        w = builder.wire(var("a") & var("b"))
+        defs = builder.definitions()
+        assert w.variables() <= defs.variables()
+        # definitions force w == a&b
+        assert defs.evaluate({"a", "b", w.variables().pop()} if False else {"a", "b"} | w.variables())
+        assert not defs.evaluate({"a"} | w.variables())
+
+    def test_constants_passthrough(self):
+        builder = CircuitBuilder()
+        assert builder.wire(TRUE) is TRUE
+        assert builder.wire(FALSE) is FALSE
+        assert builder.definition_count() == 0
+
+    def test_avoid_collisions(self):
+        builder = CircuitBuilder(prefix="x", avoid=["x0", "x1"])
+        w = builder.wire(var("a") | var("b"))
+        assert w == Var("x2")
+
+    def test_popcount_small(self):
+        # popcount of constants: check by SAT-free evaluation.
+        builder = CircuitBuilder()
+        inputs = [var("i0"), var("i1"), var("i2")]
+        count = builder.popcount(inputs)
+        defs = builder.definitions()
+        for true_inputs in [set(), {"i0"}, {"i0", "i2"}, {"i0", "i1", "i2"}]:
+            # Find the unique extension of true_inputs to the wires.
+            for m in models(land(defs, *(
+                Var(n) if n in true_inputs else ~Var(n) for n in ["i0", "i1", "i2"]
+            ))):
+                assert bits_value(m, count) == len(true_inputs)
+
+    def test_add_matches_arithmetic(self):
+        builder = CircuitBuilder()
+        for a_val in range(4):
+            for b_val in range(4):
+                total_bits = builder.add(const_bits(a_val, 2), const_bits(b_val, 2))
+                assert bits_value(set(), total_bits) == a_val + b_val
+
+    def test_equals_const(self):
+        builder = CircuitBuilder()
+        assert builder.equals_const(const_bits(5, 3), 5).evaluate(set())
+        assert not builder.equals_const(const_bits(5, 3), 4).evaluate(set())
+        assert builder.equals_const(const_bits(1, 1), 2) == FALSE
+
+    def test_less_than_const(self):
+        builder = CircuitBuilder()
+        for value in range(8):
+            for bound in range(10):
+                f = builder.less_than_const(const_bits(value, 3), bound)
+                assert f.evaluate(set()) == (value < bound), (value, bound)
+
+    def test_less_than_vectors(self):
+        for a_val in range(8):
+            for b_val in range(8):
+                builder = CircuitBuilder()
+                out = builder.less_than(const_bits(a_val, 3), const_bits(b_val, 3))
+                f = land(builder.definitions(), out)
+                assert is_satisfiable(f) == (a_val < b_val), (a_val, b_val)
+
+    def test_const_bits(self):
+        assert [b is TRUE for b in const_bits(5, 4)] == [True, False, True, False]
+        with pytest.raises(ValueError):
+            const_bits(9, 3)
+        with pytest.raises(ValueError):
+            const_bits(-1)
+
+
+def _exa_models(k, n):
+    xs = [f"x{i}" for i in range(n)]
+    ys = [f"y{i}" for i in range(n)]
+    formula = exa(k, xs, ys)
+    return xs, ys, set(models(formula, alphabet=xs + ys))
+
+
+class TestExa:
+    @pytest.mark.parametrize("n,k", [(1, 0), (1, 1), (2, 1), (3, 0), (3, 2), (4, 4), (4, 2)])
+    def test_exact_distance_semantics(self, n, k):
+        xs, ys, found = _exa_models(k, n)
+        expected = set()
+        for x_mask in range(1 << n):
+            for y_mask in range(1 << n):
+                if bin(x_mask ^ y_mask).count("1") == k:
+                    m = frozenset(
+                        [xs[i] for i in range(n) if x_mask >> i & 1]
+                        + [ys[i] for i in range(n) if y_mask >> i & 1]
+                    )
+                    expected.add(m)
+        assert found == expected
+
+    def test_out_of_range_k(self):
+        assert exa(5, ["x0"], ["y0"]) == FALSE
+        assert exa(-1, ["x0"], ["y0"]) == FALSE
+
+    def test_unique_extension_to_aux(self):
+        # Model count over the full alphabet equals count of (X,Y) pairs at
+        # distance k: the W letters are functionally determined.
+        n, k = 3, 1
+        xs = [f"x{i}" for i in range(n)]
+        ys = [f"y{i}" for i in range(n)]
+        formula = exa(k, xs, ys)
+        full = count_models(formula, alphabet=sorted(formula.variables()))
+        pairs = sum(
+            1
+            for xm in range(1 << n)
+            for ym in range(1 << n)
+            if bin(xm ^ ym).count("1") == k
+        )
+        assert full == pairs
+
+    def test_matches_plain_variant(self):
+        n = 3
+        xs = [f"x{i}" for i in range(n)]
+        ys = [f"y{i}" for i in range(n)]
+        for k in range(n + 1):
+            circuit = set(models(exa(k, xs, ys), alphabet=xs + ys))
+            plain = set(models(exa_plain(k, xs, ys), alphabet=xs + ys))
+            assert circuit == plain, k
+
+    def test_polynomial_size_growth(self):
+        sizes = []
+        for n in [4, 8, 16, 32]:
+            xs = [f"x{i}" for i in range(n)]
+            ys = [f"y{i}" for i in range(n)]
+            sizes.append(exa(n // 2, xs, ys).size())
+        # Size roughly linear in n for the counter: quadrupling n from 8 to 32
+        # must grow size far less than the 4^2 a quadratic would allow;
+        # certainly not exponentially.
+        assert sizes[3] < sizes[1] * 8
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            exa(1, ["x0", "x1"], ["y0"])
+        with pytest.raises(ValueError):
+            exa(1, ["x0"], ["x0"])
+        with pytest.raises(ValueError):
+            exa(1, ["x0", "x0"], ["y0", "y1"])
+
+    def test_atmost(self):
+        n = 3
+        xs = [f"x{i}" for i in range(n)]
+        ys = [f"y{i}" for i in range(n)]
+        for k in range(n + 1):
+            found = set(models(atmost(k, xs, ys), alphabet=xs + ys))
+            expected = set()
+            for xm in range(1 << n):
+                for ym in range(1 << n):
+                    if bin(xm ^ ym).count("1") <= k:
+                        expected.add(
+                            frozenset(
+                                [xs[i] for i in range(n) if xm >> i & 1]
+                                + [ys[i] for i in range(n) if ym >> i & 1]
+                            )
+                        )
+            assert found == expected, k
+
+
+class TestDistanceComparison:
+    def test_distance_less_than(self):
+        # Two independent pairs over 2 bits each.
+        xl, yl = ["a0", "a1"], ["b0", "b1"]
+        xr, yr = ["c0", "c1"], ["d0", "d1"]
+        defs, lt_wire = distance_less_than(xl, yl, xr, yr)
+        formula = land(defs, lt_wire)
+        # dist(a,b)=0 < dist(c,d)=1 should be satisfiable with fixed letters.
+        fixed = land(
+            ~Var("a0"), ~Var("a1"), ~Var("b0"), ~Var("b1"),
+            Var("c0"), ~Var("c1"), ~Var("d0"), ~Var("d1"),
+        )
+        assert is_satisfiable(land(formula, fixed))
+        # dist 1 < dist 0 unsatisfiable.
+        fixed_bad = land(
+            Var("a0"), ~Var("a1"), ~Var("b0"), ~Var("b1"),
+            ~Var("c0"), ~Var("c1"), ~Var("d0"), ~Var("d1"),
+        )
+        assert not is_satisfiable(land(formula, fixed_bad))
+
+    def test_exhaustive_2bit(self):
+        xl, yl = ["a0", "a1"], ["b0", "b1"]
+        xr, yr = ["c0", "c1"], ["d0", "d1"]
+        defs, lt_wire = distance_less_than(xl, yl, xr, yr)
+        for am in range(4):
+            for bm in range(4):
+                for cm in range(4):
+                    for dm in range(4):
+                        truth = set()
+                        for letters, mask in ((xl, am), (yl, bm), (xr, cm), (yr, dm)):
+                            truth |= {letters[i] for i in range(2) if mask >> i & 1}
+                        expected = bin(am ^ bm).count("1") < bin(cm ^ dm).count("1")
+                        got = is_satisfiable(
+                            land(
+                                defs,
+                                lt_wire,
+                                *(
+                                    Var(n) if n in truth else ~Var(n)
+                                    for n in xl + yl + xr + yr
+                                ),
+                            )
+                        )
+                        assert got == expected
+
+
+class TestCardinality:
+    @pytest.mark.parametrize("k", [0, 1, 2, 3])
+    def test_exactly(self, k):
+        letters = ["p", "q", "r"]
+        found = set(models(exactly(k, letters), alphabet=letters))
+        expected = {
+            frozenset(combo) for combo in combinations(letters, k)
+        } if k <= 3 else set()
+        assert found == expected
+
+    def test_exactly_out_of_range(self):
+        assert exactly(4, ["p"]) == FALSE
+
+    @pytest.mark.parametrize("k", [0, 1, 2, 3])
+    def test_at_most_at_least_partition(self, k):
+        letters = ["p", "q", "r"]
+        le = set(models(at_most(k, letters), alphabet=letters))
+        ge = set(models(at_least(k + 1, letters), alphabet=letters))
+        assert le | ge == set(models(TRUE, alphabet=letters))
+        assert le & ge == set()
+
+    def test_pairwise_oracle_matches(self):
+        letters = ["p", "q", "r", "s"]
+        for k in range(5):
+            circuit = set(models(exactly(k, letters), alphabet=letters))
+            plain = set(models(exactly_pairwise(k, letters), alphabet=letters))
+            assert circuit == plain

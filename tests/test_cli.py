@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestRevise:
+    def test_office_example(self, capsys):
+        code = main(["revise", "-o", "dalal", "g | b", "~g"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "{b}" in out
+        assert "dalal" in out
+
+    def test_multiple_updates(self, capsys):
+        code = main(["revise", "-o", "dalal", "a & b & c", "~a", "~b"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "{c}" in out
+
+    def test_show_size(self, capsys):
+        code = main(["revise", "-o", "weber", "a & b", "~a", "--show-size"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "|T'|" in out
+
+    def test_show_size_silent_for_gfuv(self, capsys):
+        code = main(["revise", "-o", "gfuv", "a", "~a", "--show-size"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "compiled" not in out
+
+
+class TestAsk:
+    def test_yes(self, capsys):
+        code = main(["ask", "-o", "dalal", "g | b", "~g", "--query", "b"])
+        assert code == 0
+        assert capsys.readouterr().out.strip() == "yes"
+
+    def test_no(self, capsys):
+        code = main(["ask", "-o", "winslett", "g | b", "~g", "--query", "b"])
+        assert code == 1
+        assert capsys.readouterr().out.strip() == "no"
+
+    def test_via_semantics(self, capsys):
+        code = main(
+            ["ask", "-o", "dalal", "a & b", "~a", "--query", "b", "--via", "semantics"]
+        )
+        assert code == 0
+
+
+class TestCompile:
+    def test_compile_dalal(self, capsys):
+        code = main(["compile", "-o", "dalal", "a & b & c", "~a | ~b"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "query" in out
+        assert "size" in out
+
+    def test_compile_gfuv_fails_cleanly(self, capsys):
+        code = main(["compile", "-o", "gfuv", "a", "~a"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "no compact representation" in err
+
+
+class TestMisc:
+    def test_operators_listing(self, capsys):
+        code = main(["operators"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for name in ("dalal", "weber", "gfuv", "widtio"):
+            assert name in out
+
+    def test_parse_error(self, capsys):
+        code = main(["revise", "a &", "~a"])
+        assert code == 2
+        assert "parse error" in capsys.readouterr().err
+
+    def test_unknown_operator_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["revise", "-o", "nonsense", "a", "~a"])

@@ -1,0 +1,250 @@
+"""Tests for the iterated compact representations (Theorem 5.1, formula (10),
+formulas (12)-(16)) against the ground-truth iterated semantics."""
+
+import random
+
+import pytest
+
+from repro.compact import (
+    borgida_bounded_query,
+    bounded_iterated,
+    dalal_iterated,
+    forbus_bounded_query,
+    is_query_equivalent_to,
+    omegas_iterated,
+    satoh_bounded_query,
+    weber_iterated,
+    widtio_iterated,
+    winslett_bounded_query,
+)
+from repro.logic import Theory, interp, land, lnot, lor, parse, var
+from repro.revision import get_operator, revise_iterated
+from repro.sat import is_satisfiable
+
+
+def _random_sequence(seed: int, letters=("a", "b", "c", "d"), steps=2, p_width=2):
+    """A satisfiable theory plus a sequence of small satisfiable updates."""
+    rng = random.Random(seed)
+
+    def clause(pool, width):
+        lits = []
+        for _ in range(rng.randint(1, width)):
+            name = rng.choice(pool)
+            atom = var(name)
+            lits.append(atom if rng.random() < 0.5 else lnot(atom))
+        return lor(*lits)
+
+    while True:
+        t = land(*(clause(list(letters), 3) for _ in range(rng.randint(1, 3))))
+        if is_satisfiable(t):
+            break
+    updates = []
+    pool = list(letters[:p_width + 1])
+    while len(updates) < steps:
+        p = clause(pool, p_width)
+        if is_satisfiable(p):
+            updates.append(p)
+    return t, updates
+
+
+class TestDalalIterated:
+    def test_single_step_matches_theorem34(self):
+        t = parse("a & b & c")
+        p = parse("(~a & ~b & ~d) | (~c & b & (a ^ d))")
+        representation = dalal_iterated(t, [p])
+        assert is_query_equivalent_to(representation, revise_iterated(t, [p], "dalal"))
+        assert representation.metadata["ks"] == (1,)
+
+    def test_two_steps(self):
+        t = parse("a & b & c")
+        p1 = parse("~a")
+        p2 = parse("~b")
+        representation = dalal_iterated(t, [p1, p2])
+        ground = revise_iterated(t, [p1, p2], "dalal")
+        assert is_query_equivalent_to(representation, ground)
+        assert representation.metadata["ks"] == (1, 1)
+
+    def test_three_steps_with_new_letters(self):
+        t = parse("a & b")
+        ps = [parse("~a"), parse("c"), parse("~b | ~c")]
+        representation = dalal_iterated(t, ps)
+        ground = revise_iterated(t, ps, "dalal")
+        assert is_query_equivalent_to(representation, ground)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_sequences(self, seed):
+        t, updates = _random_sequence(seed)
+        representation = dalal_iterated(t, updates)
+        ground = revise_iterated(t, updates, "dalal")
+        assert is_query_equivalent_to(representation, ground)
+
+    def test_linear_growth_in_m(self):
+        # |Φ_m| grows linearly with m (one alphabet copy + EXA per step),
+        # not exponentially as the naive m-fold Theorem 3.4 would.
+        t = parse("a & b & c")
+        updates = [parse("~a"), parse("a"), parse("~b"), parse("b")]
+        sizes = [
+            dalal_iterated(t, updates[:m]).size() for m in (1, 2, 3, 4)
+        ]
+        increments = [sizes[i + 1] - sizes[i] for i in range(3)]
+        assert max(increments) <= 2 * min(increments) + 16
+
+    def test_supplied_ks(self):
+        t = parse("a & b")
+        ps = [parse("~a")]
+        representation = dalal_iterated(t, ps, ks=[1])
+        assert is_query_equivalent_to(representation, revise_iterated(t, ps, "dalal"))
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ValueError):
+            dalal_iterated(parse("a"), [])
+
+
+class TestWeberIterated:
+    def test_paper_section5_example(self):
+        # T = x1&...&x5, P1 = ~x1|~x2, P2 = ~x5; models after both steps:
+        # {x1,x3,x4}, {x2,x3,x4}, {x3,x4}.
+        t = parse("x1 & x2 & x3 & x4 & x5")
+        p1 = parse("~x1 | ~x2")
+        p2 = parse("~x5")
+        omegas = omegas_iterated(t, [p1, p2])
+        assert omegas == [frozenset({"x1", "x2"}), frozenset({"x5"})]
+        representation = weber_iterated(t, [p1, p2])
+        ground = revise_iterated(t, [p1, p2], "weber")
+        assert ground.model_set == {
+            interp(["x1", "x3", "x4"]),
+            interp(["x2", "x3", "x4"]),
+            interp(["x3", "x4"]),
+        }
+        assert is_query_equivalent_to(representation, ground)
+
+    def test_single_step_matches_theorem35(self):
+        t = parse("a & b & c")
+        p = parse("(~a & ~b & ~d) | (~c & b & (a ^ d))")
+        representation = weber_iterated(t, [p])
+        assert is_query_equivalent_to(representation, revise_iterated(t, [p], "weber"))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_sequences(self, seed):
+        t, updates = _random_sequence(seed)
+        representation = weber_iterated(t, updates)
+        ground = revise_iterated(t, updates, "weber")
+        assert is_query_equivalent_to(representation, ground)
+
+    def test_linear_size(self):
+        # Formula (10) has size <= |T| + sum |P^i| (pure renaming).
+        t = parse("x1 & x2 & x3 & x4 & x5")
+        ps = [parse("~x1 | ~x2"), parse("~x5")]
+        representation = weber_iterated(t, ps)
+        assert representation.size() <= t.size() + sum(p.size() for p in ps)
+
+
+class TestBoundedQuerySingle:
+    """Formulas (12), (13), (14) for a single revision."""
+
+    def test_winslett_formula12_paper_example(self):
+        # Section 6 example: T = x1..x5 all true, P = ~x1.
+        t = parse("x1 & x2 & x3 & x4 & x5")
+        p = parse("~x1")
+        representation = winslett_bounded_query(t, p)
+        ground = revise_iterated(t, [p], "winslett")
+        assert ground.model_set == {interp(["x2", "x3", "x4", "x5"])}
+        assert is_query_equivalent_to(representation, ground)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_winslett_random(self, seed):
+        t, (p,) = _random_sequence(seed, steps=1)
+        representation = winslett_bounded_query(t, p)
+        assert is_query_equivalent_to(representation, revise_iterated(t, [p], "winslett"))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_borgida_random(self, seed):
+        t, (p,) = _random_sequence(seed, steps=1)
+        representation = borgida_bounded_query(t, p)
+        assert is_query_equivalent_to(representation, revise_iterated(t, [p], "borgida"))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_forbus_random(self, seed):
+        t, (p,) = _random_sequence(seed, steps=1)
+        representation = forbus_bounded_query(t, p)
+        assert is_query_equivalent_to(representation, revise_iterated(t, [p], "forbus"))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_satoh_random(self, seed):
+        t, (p,) = _random_sequence(seed, steps=1)
+        representation = satoh_bounded_query(t, p)
+        assert is_query_equivalent_to(representation, revise_iterated(t, [p], "satoh"))
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            bounded_iterated("dalal", parse("a"), [parse("~a")])
+
+
+class TestBoundedQueryIterated:
+    """Formulas (15)/(16) and analogues, over sequences."""
+
+    @pytest.mark.parametrize("name", ["winslett", "borgida", "forbus", "satoh"])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_two_step_sequences(self, name, seed):
+        t, updates = _random_sequence(seed, steps=2, p_width=2)
+        representation = bounded_iterated(name, t, updates)
+        ground = revise_iterated(t, updates, name)
+        assert is_query_equivalent_to(representation, ground), name
+
+    @pytest.mark.parametrize("name", ["winslett", "forbus"])
+    def test_three_step_sequence(self, name):
+        t = parse("a & b & c")
+        updates = [parse("~a"), parse("~b"), parse("a | b")]
+        representation = bounded_iterated(name, t, updates)
+        ground = revise_iterated(t, updates, name)
+        assert is_query_equivalent_to(representation, ground)
+
+    def test_winslett_linear_growth_in_m(self):
+        # Theorem 6.1: size polynomial in |T| + m.  Our realisation adds a
+        # constant-size block per step.
+        t = parse("a & b & c")
+        updates = [parse("~a"), parse("a"), parse("~a"), parse("a")]
+        sizes = [
+            bounded_iterated("winslett", t, updates[:m]).size()
+            for m in (1, 2, 3, 4)
+        ]
+        increments = [sizes[i + 1] - sizes[i] for i in range(3)]
+        assert max(increments) <= 2 * min(increments) + 16
+
+    def test_satoh_linear_growth_after_correction(self):
+        # With the corrected formula (13) (feasibility bits instead of
+        # in-formula T copies) iterated Satoh adds a bounded-size block per
+        # step, matching Theorem 6.2.
+        t = parse("a & b & c")
+        updates = [parse("~a"), parse("a"), parse("~a"), parse("a")]
+        sizes = [
+            bounded_iterated("satoh", t, updates[:m]).size() for m in (1, 2, 3, 4)
+        ]
+        increments = [sizes[i + 1] - sizes[i] for i in range(3)]
+        assert max(increments) <= 2 * min(increments) + 16
+
+    def test_satoh_formula13_literal_counterexample(self):
+        # The instance on which the literal transcription of formula (13)
+        # fails (documented in compact.qbf.satoh_step): T = ~a | d, P = a.
+        t = parse("~a | d")
+        p = parse("a")
+        representation = satoh_bounded_query(t, p)
+        ground = revise_iterated(t, [p], "satoh")
+        assert ground.model_set == {frozenset({"a", "d"})}
+        assert is_query_equivalent_to(representation, ground)
+
+
+class TestWidtioIterated:
+    def test_matches_ground_truth(self):
+        t = Theory.parse_many("a", "b", "c")
+        updates = [parse("~a"), parse("~b")]
+        representation = widtio_iterated(t, updates)
+        ground = get_operator("widtio").iterate(t, updates)
+        assert representation.projected_models() == ground.model_set
+
+    def test_size_stays_bounded(self):
+        t = Theory.parse_many("a", "b", "c", "d")
+        updates = [parse("~a"), parse("~b"), parse("~c")]
+        representation = widtio_iterated(t, updates)
+        total_input = t.size() + sum(p.size() for p in updates)
+        assert representation.size() <= total_input

@@ -1,0 +1,261 @@
+"""Tests for the single-revision compact representations (Theorems 3.4, 3.5;
+formulas (5)-(9); Corollary 4.4) against the ground-truth semantics."""
+
+import random
+
+import pytest
+
+from repro.compact import (
+    BOUNDED_CONSTRUCTIONS,
+    borgida_bounded,
+    dalal_bounded,
+    dalal_compact,
+    delta_exact,
+    forbus_bounded,
+    is_logically_equivalent_to,
+    is_query_equivalent_to,
+    minimum_distance,
+    omega_exact,
+    satoh_bounded,
+    weber_bounded,
+    weber_compact,
+    widtio_compact,
+    winslett_bounded,
+)
+from repro.logic import Theory, interp, land, lnot, lor, parse, var
+from repro.revision import revise
+from repro.sat import is_satisfiable
+
+ALPHABET = ["a", "b", "c", "d"]
+
+
+def _random_pair(seed: int, letters=ALPHABET, p_letters=None):
+    rng = random.Random(seed)
+
+    def formula(pool, clauses):
+        parts = []
+        for _ in range(rng.randint(1, clauses)):
+            lits = []
+            for _ in range(rng.randint(1, 3)):
+                name = rng.choice(pool)
+                atom = var(name)
+                lits.append(atom if rng.random() < 0.5 else lnot(atom))
+            parts.append(lor(*lits))
+        return land(*parts)
+
+    while True:
+        t = formula(letters, 3)
+        p = formula(p_letters or letters, 2)
+        if is_satisfiable(t) and is_satisfiable(p):
+            return t, p
+
+
+class TestMinimumDistance:
+    def test_paper_example(self):
+        # Section 2.2.2 example: k_{T,P} = 1.
+        t = parse("a & b & c")
+        p = parse("(~a & ~b & ~d) | (~c & b & (a ^ d))")
+        assert minimum_distance(t, p) == 1
+
+    def test_consistent_pair_distance_zero(self):
+        assert minimum_distance(parse("a"), parse("a | b")) == 0
+
+    def test_total_flip(self):
+        assert minimum_distance(parse("a & b"), parse("~a & ~b")) == 2
+
+    def test_section4_example(self):
+        assert minimum_distance(parse("a & b & c & d & e"), parse("~a | ~b")) == 1
+
+    def test_unsatisfiable_raises(self):
+        with pytest.raises(ValueError):
+            minimum_distance(parse("a & ~a"), parse("b"))
+        with pytest.raises(ValueError):
+            minimum_distance(parse("a"), parse("b & ~b"))
+
+
+class TestOmega:
+    def test_paper_example(self):
+        t = parse("a & b & c")
+        p = parse("(~a & ~b & ~d) | (~c & b & (a ^ d))")
+        assert omega_exact(t, p) == frozenset("abc")
+
+    def test_section4_example(self):
+        assert omega_exact(
+            parse("a & b & c & d & e"), parse("~a | ~b")
+        ) == frozenset("ab")
+
+    def test_consistent_pair_empty_omega(self):
+        assert omega_exact(parse("a"), parse("a | b")) == frozenset()
+
+
+class TestDalalTheorem34:
+    def test_paper_example_query_equivalent(self):
+        t = parse("a & b & c")
+        p = parse("(~a & ~b & ~d) | (~c & b & (a ^ d))")
+        representation = dalal_compact(t, p)
+        ground = revise(t, p, "dalal")
+        assert is_query_equivalent_to(representation, ground)
+        assert representation.metadata["k"] == 1
+
+    def test_uses_new_letters(self):
+        representation = dalal_compact(parse("a & b"), parse("~a"))
+        assert representation.new_letter_count() > 0
+        assert representation.equivalence == "query"
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_instances(self, seed):
+        t, p = _random_pair(seed)
+        representation = dalal_compact(t, p)
+        assert is_query_equivalent_to(representation, revise(t, p, "dalal"))
+
+    def test_entailment_pipeline(self):
+        # The two-subtask split of the introduction: compile then query.
+        t = parse("a & b & c")
+        p = parse("(~a & ~b & ~d) | (~c & b & (a ^ d))")
+        representation = dalal_compact(t, p)
+        ground = revise(t, p, "dalal")
+        for query in (parse("a & b"), parse("~c"), parse("c | d"), parse("~d")):
+            assert representation.entails(query) == ground.entails(query)
+
+    def test_polynomial_size(self):
+        # Size grows polynomially in the number of letters.
+        sizes = []
+        for n in (4, 8, 16):
+            letters = [f"x{i}" for i in range(n)]
+            t = land(*(var(x) for x in letters))
+            p = lnot(var(letters[0]))
+            sizes.append(dalal_compact(t, p).size())
+        assert sizes[2] < sizes[1] * 6  # far from exponential doubling
+
+
+class TestWeberTheorem35:
+    def test_paper_example_query_equivalent(self):
+        t = parse("a & b & c")
+        p = parse("(~a & ~b & ~d) | (~c & b & (a ^ d))")
+        representation = weber_compact(t, p)
+        assert is_query_equivalent_to(representation, revise(t, p, "weber"))
+        assert set(representation.metadata["omega"]) == set("abc")
+
+    def test_linear_size(self):
+        # |T[Ω/Z] ∧ P| <= |T| + |P| exactly (renaming adds nothing).
+        t = parse("a & b & c & d & e")
+        p = parse("~a | ~b")
+        representation = weber_compact(t, p)
+        assert representation.size() <= t.size() + p.size()
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_instances(self, seed):
+        t, p = _random_pair(seed)
+        representation = weber_compact(t, p)
+        assert is_query_equivalent_to(representation, revise(t, p, "weber"))
+
+    def test_supplied_omega(self):
+        t = parse("a & b & c & d & e")
+        p = parse("~a | ~b")
+        representation = weber_compact(t, p, omega={"a", "b"})
+        assert is_query_equivalent_to(representation, revise(t, p, "weber"))
+
+
+class TestBoundedConstructions:
+    """Formulas (5)-(9): logically equivalent, bounded |P|."""
+
+    def test_winslett_formula5_paper_example(self):
+        # Section 4.1 example: T = a&b&c&d&e, P = ~a|~b for Forbus; the text
+        # also gives Winslett's result implicitly through Fig. 2 relations.
+        t = parse("a & b & c & d & e")
+        p = parse("~a | ~b")
+        representation = winslett_bounded(t, p)
+        assert is_logically_equivalent_to(representation, revise(t, p, "winslett"))
+
+    def test_forbus_formula6_paper_example(self):
+        t = parse("a & b & c & d & e")
+        p = parse("~a | ~b")
+        representation = forbus_bounded(t, p)
+        ground = revise(t, p, "forbus")
+        assert is_logically_equivalent_to(representation, ground)
+        assert ground.model_set == {interp("acde"), interp("bcde")}
+
+    def test_satoh_formula7_paper_example(self):
+        t = parse("a & b & c & d & e")
+        p = parse("~a | ~b")
+        representation = satoh_bounded(t, p)
+        assert is_logically_equivalent_to(representation, revise(t, p, "satoh"))
+        assert set(representation.metadata["delta"]) == {("a",), ("b",)}
+
+    def test_dalal_formula8_paper_example(self):
+        t = parse("a & b & c & d & e")
+        p = parse("~a | ~b")
+        representation = dalal_bounded(t, p)
+        assert is_logically_equivalent_to(representation, revise(t, p, "dalal"))
+        assert representation.metadata["k"] == 1
+
+    def test_weber_formula9_paper_example(self):
+        t = parse("a & b & c & d & e")
+        p = parse("~a | ~b")
+        representation = weber_bounded(t, p)
+        ground = revise(t, p, "weber")
+        assert is_logically_equivalent_to(representation, ground)
+        # Weber admits the third model {c,d,e} (paper, end of Section 4.2).
+        assert interp("cde") in ground.model_set
+
+    def test_borgida_consistent_case(self):
+        t = parse("a & b")
+        p = parse("a")
+        representation = borgida_bounded(t, p)
+        assert representation.metadata["consistent"] is True
+        assert is_logically_equivalent_to(representation, revise(t, p, "borgida"))
+
+    def test_borgida_inconsistent_case(self):
+        t = parse("a & b & c & d & e")
+        p = parse("~a & ~b")
+        representation = borgida_bounded(t, p)
+        assert representation.metadata["consistent"] is False
+        assert is_logically_equivalent_to(representation, revise(t, p, "borgida"))
+
+    @pytest.mark.parametrize("name", sorted(BOUNDED_CONSTRUCTIONS))
+    @pytest.mark.parametrize("seed", range(8))
+    def test_all_bounded_constructions_random(self, name, seed):
+        # P over a 2-letter sub-alphabet: the bounded-case assumption.
+        t, p = _random_pair(seed, p_letters=["a", "b"])
+        construct = BOUNDED_CONSTRUCTIONS[name]
+        representation = construct(t, p)
+        assert is_logically_equivalent_to(representation, revise(t, p, name)), name
+
+    @pytest.mark.parametrize("name", sorted(BOUNDED_CONSTRUCTIONS))
+    def test_size_linear_in_T(self, name):
+        # With |V(P)| fixed, representation size grows linearly with |T|.
+        # The distance measures are supplied precomputed (for T = all-true
+        # and P = ~x0 | ~x1 they are k=1, δ={{x0},{x1}}, Ω={x0,x1}) so the
+        # test measures representation size, not the cost of the measure.
+        kwargs = {
+            "dalal": {"k": 1},
+            "satoh": {"delta": [frozenset({"x0"}), frozenset({"x1"})]},
+            "weber": {"omega": {"x0", "x1"}},
+        }.get(name, {})
+        sizes = []
+        for n in (4, 8, 16):
+            letters = [f"x{i}" for i in range(n)]
+            t = land(*(var(x) for x in letters))
+            p = parse("~x0 | ~x1")
+            sizes.append(BOUNDED_CONSTRUCTIONS[name](t, p, **kwargs).size())
+        growth_1 = sizes[1] - sizes[0]
+        growth_2 = sizes[2] - sizes[1]
+        assert growth_2 <= 2 * growth_1 + 8  # affine growth, allow rounding
+
+
+class TestWidtio:
+    def test_compact_logically_equivalent(self):
+        t = Theory.parse_many("a", "b", "a -> c")
+        p = parse("~b")
+        representation = widtio_compact(t, p)
+        assert is_logically_equivalent_to(representation, revise(t, p, "widtio"))
+
+    def test_size_bound(self):
+        t = Theory.parse_many("a", "b", "a -> c", "c -> b")
+        p = parse("~b & ~c")
+        representation = widtio_compact(t, p)
+        assert representation.size() <= t.size() + p.size()
+
+    def test_delta_exact_unsat_raises(self):
+        with pytest.raises(ValueError):
+            delta_exact(parse("a & ~a"), parse("b"))

@@ -1,0 +1,77 @@
+"""Tests for the executable advice-taking machines (Theorems 2.2/2.3)."""
+
+import random
+
+import pytest
+
+from repro.complexity import DalalAdviceMachine, decide_sat_by_gfuv_reduction
+from repro.hardness import gfuv_family
+from repro.threesat import is_satisfiable_brute, pi_max
+
+
+def small_universe(n=3, size=3, seed=0):
+    rng = random.Random(seed)
+    return tuple(rng.sample(pi_max(n), size))
+
+
+def instances_over(universe, seed=0, count=6):
+    rng = random.Random(seed)
+    chosen = [frozenset(), frozenset(universe)]
+    while len(chosen) < count:
+        size = rng.randint(1, len(universe))
+        chosen.append(frozenset(rng.sample(list(universe), size)))
+    return chosen
+
+
+class TestDalalAdviceMachine:
+    @pytest.fixture(scope="class")
+    def machine(self):
+        return DalalAdviceMachine(3, small_universe(size=3, seed=1))
+
+    def test_decides_satisfiability(self, machine):
+        for pi in instances_over(machine.family.universe, seed=1):
+            expected = is_satisfiable_brute(pi, 3)
+            assert machine.decide(pi) == expected, sorted(pi)
+
+    def test_advice_is_polynomial_size(self):
+        # Advice size grows polynomially with the universe size.
+        sizes = []
+        for size in (2, 3, 4):
+            machine = DalalAdviceMachine(3, small_universe(size=size, seed=2))
+            sizes.append(machine.advice_size())
+        assert sizes[2] < 4 * sizes[0]
+
+    def test_model_checking_semantics_matches_decide(self, machine):
+        # Ground-truth model checking agrees with the advice pipeline.
+        for pi in instances_over(machine.family.universe, seed=3, count=4):
+            assert machine.model_check_semantics(pi) == machine.decide(pi)
+
+    def test_query_rep_unsound_for_model_checking(self, machine):
+        # The query-equivalent advice constrains auxiliary letters, so naive
+        # model checking C_pi |= A(n) diverges from the semantics — the
+        # query-YES / logical-NO gap of the Dalal row of Table 3.
+        disagreements = 0
+        for pi in instances_over(machine.family.universe, seed=4, count=6):
+            naive = machine.model_check_against_advice(pi)
+            truth = machine.model_check_semantics(pi)
+            if naive != truth:
+                disagreements += 1
+        assert disagreements > 0
+
+    def test_advice_only_depends_on_size(self, machine):
+        # The advice was compiled before seeing any instance; deciding two
+        # different instances reuses the same advice object.
+        pis = instances_over(machine.family.universe, seed=5, count=3)
+        advice_before = machine.advice
+        for pi in pis:
+            machine.decide(pi)
+        assert machine.advice is advice_before
+
+
+class TestGfuvReduction:
+    def test_decides_satisfiability(self):
+        universe = small_universe(size=4, seed=6)
+        family = gfuv_family.build(3, universe)
+        for pi in instances_over(universe, seed=6):
+            expected = is_satisfiable_brute(pi, 3)
+            assert decide_sat_by_gfuv_reduction(family, pi) == expected

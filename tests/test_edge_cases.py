@@ -1,0 +1,248 @@
+"""Edge-case and failure-injection sweep across the library.
+
+Complements the per-module suites with the awkward inputs: degenerate
+formulas, empty theories, unsatisfiable components, foreign letters, and
+API misuse that must fail loudly rather than silently.
+"""
+
+import io
+
+import pytest
+
+from repro.compact import (
+    CompactRepresentation,
+    dalal_compact,
+    is_query_equivalent_to,
+    weber_compact,
+)
+from repro.logic import (
+    FALSE,
+    TRUE,
+    Theory,
+    as_formula,
+    cube,
+    land,
+    lnot,
+    lor,
+    parse,
+    to_str,
+    var,
+)
+from repro.logic.cnf import cnf_size, negate_literal, to_cnf_distributive, tseitin
+from repro.revision import RevisionResult, get_operator, revise
+from repro.sat import CnfInstance, Solver, is_satisfiable, models, read_dimacs
+
+
+class TestFormulaEdgeCases:
+    def test_as_formula_rejects_junk(self):
+        with pytest.raises(TypeError):
+            as_formula(3.14)
+        with pytest.raises(TypeError):
+            as_formula(None)
+
+    def test_as_formula_bool(self):
+        assert as_formula(True) is TRUE
+        assert as_formula(False) is FALSE
+
+    def test_as_formula_parses_strings(self):
+        assert as_formula("a & b") == land(var("a"), var("b"))
+
+    def test_cube_over_empty_alphabet(self):
+        assert cube(set(), []) == TRUE
+
+    def test_iter_subformulas_counts(self):
+        f = parse("a & (b | c)")
+        nodes = list(f.iter_subformulas())
+        assert len(nodes) == 5
+
+    def test_deeply_nested_formula(self):
+        f = var("x0")
+        for i in range(1, 120):
+            f = lor(land(f, var(f"x{i}")), var(f"x{i}"))
+        assert f.size() > 0
+        assert f.evaluate({f"x{i}" for i in range(120)})
+
+    def test_printer_constants(self):
+        assert to_str(TRUE) == "true"
+        assert to_str(FALSE) == "false"
+
+    def test_equality_across_types(self):
+        assert var("a") != land(var("a"), var("a"))
+        assert var("a") != "a"
+        assert not (var("a") == 5)
+
+
+class TestCnfEdgeCases:
+    def test_negate_literal(self):
+        assert negate_literal(("a", True)) == ("a", False)
+
+    def test_cnf_size(self):
+        clauses = to_cnf_distributive(parse("(a | b) & c"))
+        assert cnf_size(clauses) == 3
+
+    def test_tseitin_of_constant(self):
+        result = tseitin(TRUE)
+        assert is_satisfiable(result.formula())
+        result = tseitin(FALSE)
+        assert not is_satisfiable(result.formula())
+
+    def test_tseitin_of_literal(self):
+        result = tseitin(parse("~a"))
+        found = set(models(result.formula(), alphabet=["a"]))
+        assert found == {frozenset()}
+
+    def test_tseitin_avoids_alphabet_collision(self):
+        # A user letter named like an aux letter must not be captured.
+        f = parse("_t0 & a")
+        result = tseitin(f)
+        found = set(models(result.formula(), alphabet=["_t0", "a"]))
+        assert found == {frozenset({"_t0", "a"})}
+
+
+class TestSolverEdgeCases:
+    def test_duplicate_literals_in_clause(self):
+        inst = CnfInstance(1)
+        inst.add_clause([1, 1, 1])
+        solver = Solver(inst)
+        assert solver.solve()
+        assert solver.model() == [1]
+
+    def test_zero_literal_rejected(self):
+        inst = CnfInstance(1)
+        with pytest.raises(ValueError):
+            inst.add_clause([0])
+
+    def test_solver_snapshot_isolation(self):
+        inst = CnfInstance(1)
+        inst.add_clause([1])
+        solver = Solver(inst)
+        inst.add_clause([-1])  # added after snapshot: must not affect solver
+        assert solver.solve()
+
+    def test_repeated_solve_stable(self):
+        inst = CnfInstance(3)
+        inst.add_clause([1, 2])
+        inst.add_clause([-2, 3])
+        solver = Solver(inst)
+        answers = {solver.solve() for _ in range(5)}
+        assert answers == {True}
+
+    def test_malformed_dimacs(self):
+        with pytest.raises(ValueError):
+            read_dimacs(io.StringIO("p cnf\n1 0\n"))
+
+    def test_models_limit_zero_edge(self):
+        found = list(models(parse("a"), limit=1))
+        assert len(found) == 1
+
+    def test_models_of_contradiction(self):
+        assert list(models(parse("a & ~a"))) == []
+
+    def test_models_empty_alphabet(self):
+        # TRUE over the empty alphabet has exactly the empty model.
+        assert list(models(TRUE, alphabet=[])) == [frozenset()]
+
+
+class TestRevisionResultEdgeCases:
+    def test_model_outside_alphabet_rejected(self):
+        with pytest.raises(ValueError):
+            RevisionResult("test", ["a"], [frozenset({"z"})])
+
+    def test_formula_of_empty_result(self):
+        result = RevisionResult("test", ["a"], [])
+        assert result.formula() == FALSE
+
+    def test_satisfies_ignores_foreign_letters(self):
+        result = RevisionResult("test", ["a"], [frozenset({"a"})])
+        assert result.satisfies({"a", "zzz"})
+
+    def test_equality(self):
+        left = RevisionResult("x", ["a"], [frozenset({"a"})])
+        right = RevisionResult("y", ["a"], [frozenset({"a"})])
+        assert left == right  # operator name is provenance, not identity
+
+    def test_restricted_to(self):
+        result = RevisionResult("t", ["a", "b"], [frozenset({"a", "b"})])
+        assert result.restricted_to(["a"]) == frozenset({frozenset({"a"})})
+
+
+class TestOperatorEdgeCases:
+    @pytest.mark.parametrize("name", ["gfuv", "widtio"])
+    def test_empty_theory(self, name):
+        result = revise(Theory([]), parse("a"), name)
+        assert result.model_set == {frozenset({"a"})}
+
+    def test_revision_with_tautology(self):
+        result = revise(parse("a & b"), TRUE, "dalal")
+        assert result.model_set == {frozenset({"a", "b"})}
+
+    def test_revision_with_same_formula(self):
+        result = revise(parse("a"), parse("a"), "satoh")
+        assert result.model_set == {frozenset({"a"})}
+
+    def test_tautological_theory(self):
+        result = revise(TRUE, parse("a"), "weber")
+        assert result.model_set == {frozenset({"a"})}
+
+    def test_winslett_on_single_model_theory_equals_dalal_sometimes(self):
+        # With one model of T, pointwise == global for inclusion operators.
+        t = parse("a & b & c")
+        p = parse("~a | ~b")
+        assert revise(t, p, "winslett").model_set == revise(t, p, "satoh").model_set
+
+    def test_operator_metadata(self):
+        assert get_operator("gfuv").syntax_sensitive
+        assert not get_operator("dalal").syntax_sensitive
+
+
+class TestCompactRepresentationEdgeCases:
+    def test_logical_rep_rejects_new_letters(self):
+        with pytest.raises(ValueError):
+            CompactRepresentation(
+                parse("a & z"), ["a"], "logical", "test"
+            )
+
+    def test_bad_equivalence_tag(self):
+        with pytest.raises(ValueError):
+            CompactRepresentation(parse("a"), ["a"], "psychic", "test")
+
+    def test_entails_rejects_foreign_query(self):
+        rep = dalal_compact(parse("a"), parse("a | b"))
+        with pytest.raises(ValueError):
+            rep.entails(parse("zzz"))
+
+    def test_query_equivalence_detects_alphabet_mismatch(self):
+        rep = dalal_compact(parse("a"), parse("a"))
+        ground = revise(parse("a & b"), parse("a"), "dalal")
+        assert not is_query_equivalent_to(rep, ground)
+
+    def test_weber_compact_with_wrong_omega_diverges(self):
+        # Failure injection: a wrong Ω produces a representation that the
+        # certification helper correctly rejects.
+        t = parse("a & b & c & d & e")
+        p = parse("~a | ~b")
+        wrong = weber_compact(t, p, omega={"c"})
+        ground = revise(t, p, "weber")
+        assert not is_query_equivalent_to(wrong, ground)
+
+    def test_repr_mentions_operator(self):
+        rep = weber_compact(parse("a & b"), parse("~a"))
+        assert "weber" in repr(rep)
+
+
+class TestTheoryEdgeCases:
+    def test_parse_many_empty(self):
+        assert len(Theory.parse_many()) == 0
+
+    def test_iteration_order_stable(self):
+        t = Theory.parse_many("c", "a", "b")
+        assert [str(f) for f in t] == ["c", "a", "b"]
+
+    def test_without_self_is_empty(self):
+        t = Theory.parse_many("a", "b")
+        assert len(t.without(t)) == 0
+
+    def test_contains(self):
+        t = Theory.parse_many("a -> b")
+        assert parse("a -> b") in t
+        assert parse("a") not in t

@@ -1,0 +1,275 @@
+"""Tests for the non-compactability reduction families.
+
+Each theorem's construction promises an iff between 3-SAT satisfiability
+and a revision-level question; these tests check the iff against brute-force
+satisfiability on small clause universes.
+"""
+
+import random
+
+import pytest
+
+from repro.hardness import (
+    bounded_gfuv,
+    dalal_weber_family,
+    forbus_family,
+    gfuv_family,
+    iterated_family,
+    nebel_family,
+    winslett_chain,
+)
+from repro.logic import Theory, land, parse
+from repro.revision import get_operator, possible_worlds, revise
+from repro.threesat import is_satisfiable_brute, pi_max
+
+
+def small_universe(n=3, size=4, seed=0):
+    """A reduced clause universe (subset of pi_max(n)) for fast checks."""
+    rng = random.Random(seed)
+    return tuple(rng.sample(pi_max(n), size))
+
+
+def instances_over(universe, seed=0, count=8):
+    """Some instances pi ⊆ universe: empty, full, and random subsets."""
+    rng = random.Random(seed)
+    chosen = [frozenset(), frozenset(universe)]
+    while len(chosen) < count:
+        size = rng.randint(1, len(universe))
+        chosen.append(frozenset(rng.sample(list(universe), size)))
+    return chosen
+
+
+class TestNebelFamily:
+    @pytest.mark.parametrize("m", [1, 2, 3])
+    def test_world_count_matches_generic_search(self, m):
+        theory, p = nebel_family.build(m)
+        worlds = possible_worlds(theory, p)
+        assert len(worlds) == nebel_family.expected_world_count(m)
+
+    @pytest.mark.parametrize("m", [1, 2, 3])
+    def test_explicit_worlds_match_search(self, m):
+        theory, p = nebel_family.build(m)
+        generic = {frozenset(w.formulas()) for w in possible_worlds(theory, p)}
+        direct = {frozenset(w.formulas()) for w in nebel_family.explicit_worlds(m)}
+        assert generic == direct
+
+    def test_exponential_size_growth(self):
+        sizes = [nebel_family.explicit_representation_size(m) for m in (2, 4, 6)]
+        # Doubling m should (far) more than double the size.
+        assert sizes[1] > 3 * sizes[0]
+        assert sizes[2] > 3 * sizes[1]
+
+    def test_input_size_polynomial(self):
+        theory, p = nebel_family.build(8)
+        assert theory.size() + p.size() < 100
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            nebel_family.build(0)
+
+
+class TestWinslettChain:
+    @pytest.mark.parametrize("m", [1, 2, 3])
+    def test_world_count_matches_generic_search(self, m):
+        theory, p = winslett_chain.build(m)
+        worlds = possible_worlds(theory, p)
+        assert len(worlds) == winslett_chain.expected_world_count(m)
+
+    def test_p_size_constant(self):
+        for m in (1, 4, 8):
+            _, p = winslett_chain.build(m)
+            assert p.size() == 1
+
+    def test_theory_size_linear(self):
+        t4, _ = winslett_chain.build(4)
+        t8, _ = winslett_chain.build(8)
+        assert t8.size() <= 2 * t4.size() + 4
+
+
+class TestGfuvFamilyTheorem31:
+    def test_construction_sizes_polynomial(self):
+        family = gfuv_family.build(3)
+        assert len(family.universe) == 8
+        # |T_n| + |P_n| polynomial in n (here: linear in the universe size).
+        total = family.theory.size() + family.p_formula.size()
+        assert total < 300
+
+    def test_w_pi_partitions_guards(self):
+        family = gfuv_family.build(3, small_universe(size=4))
+        pi = frozenset(family.universe[:2])
+        w = family.w_pi(pi)
+        assert set(w) == {"c1", "c2", "d3", "d4"}
+
+    def test_rejects_foreign_clauses(self):
+        family = gfuv_family.build(3, small_universe(size=2))
+        foreign = pi_max(3)[-1]
+        if foreign not in family.universe:
+            with pytest.raises(ValueError):
+                family.q_pi({foreign})
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_theorem31_iff_reduced_universe(self, seed):
+        universe = small_universe(n=3, size=4, seed=seed)
+        family = gfuv_family.build(3, universe)
+        for pi in instances_over(universe, seed=seed, count=6):
+            expected = is_satisfiable_brute(pi, 3)
+            decided = gfuv_family.decide_sat_via_revision(family, pi)
+            assert decided == expected, f"pi={sorted(pi)}"
+
+    def test_theorem31_iff_full_universe_n3(self):
+        family = gfuv_family.build(3)
+        for pi in instances_over(family.universe, seed=7, count=5):
+            expected = is_satisfiable_brute(pi, 3)
+            assert gfuv_family.decide_sat_via_revision(family, pi) == expected
+
+    def test_atomic_worlds_requires_atoms(self):
+        with pytest.raises(ValueError):
+            gfuv_family.atomic_possible_worlds(
+                Theory.parse_many("a & b"), parse("a")
+            )
+
+    def test_atomic_worlds_match_generic_search(self):
+        # Cross-check the model-projection shortcut against the generic
+        # subset search on a small atomic theory.
+        theory = Theory.parse_many("a", "b", "c")
+        p = parse("~a | ~b")
+        shortcut = {
+            frozenset(w) for w in gfuv_family.atomic_possible_worlds(theory, p)
+        }
+        generic = {
+            frozenset(v.name for v in w.formulas())
+            for w in possible_worlds(theory, p)
+        }
+        assert shortcut == generic
+
+
+class TestForbusFamilyTheorem33:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_model_checking_iff(self, seed):
+        universe = small_universe(n=3, size=3, seed=seed)
+        family = forbus_family.build(3, universe)
+        result = revise(family.t_formula, family.p_formula, "forbus")
+        for pi in instances_over(universe, seed=seed, count=5):
+            if not pi:
+                continue  # M_pi = {} is also the all-b-false model; skip edge
+            expected_unsat = not is_satisfiable_brute(pi, 3)
+            assert result.satisfies(family.m_pi(pi)) == expected_unsat, sorted(pi)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_entailment_iff(self, seed):
+        universe = small_universe(n=3, size=3, seed=seed)
+        family = forbus_family.build(3, universe)
+        result = revise(family.t_formula, family.p_formula, "forbus")
+        for pi in instances_over(universe, seed=seed + 10, count=4):
+            if not pi:
+                continue
+            expected_sat = is_satisfiable_brute(pi, 3)
+            assert result.entails(family.q_pi(pi)) == expected_sat, sorted(pi)
+
+    def test_guard_matrix_shape(self):
+        family = forbus_family.build(3, small_universe(size=3))
+        assert len(family.c_matrix) == 5  # n + 2 rows
+        assert all(len(row) == 3 for row in family.c_matrix)
+
+    def test_sizes_polynomial(self):
+        family = forbus_family.build(3)
+        total = family.t_formula.size() + family.p_formula.size()
+        assert total < 1500
+
+
+class TestDalalWeberFamilyTheorem36:
+    @pytest.mark.parametrize("operator", ["dalal", "weber"])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_model_checking_iff(self, operator, seed):
+        universe = small_universe(n=3, size=4, seed=seed)
+        family = dalal_weber_family.build(3, universe)
+        result = revise(family.t_formula, family.p_formula, operator)
+        for pi in instances_over(universe, seed=seed, count=6):
+            expected = is_satisfiable_brute(pi, 3)
+            assert result.satisfies(family.c_pi(pi)) == expected, sorted(pi)
+
+    def test_k_equals_n(self):
+        from repro.compact import minimum_distance
+
+        family = dalal_weber_family.build(3, small_universe(size=3))
+        assert minimum_distance(family.t_formula, family.p_formula) == (
+            dalal_weber_family.expected_k(family)
+        )
+
+    def test_dalal_models_subset_of_weber(self):
+        family = dalal_weber_family.build(3, small_universe(size=3))
+        dalal = revise(family.t_formula, family.p_formula, "dalal")
+        weber = revise(family.t_formula, family.p_formula, "weber")
+        assert dalal.model_set <= weber.model_set
+
+    def test_sizes_polynomial(self):
+        family = dalal_weber_family.build(3)
+        total = family.t_formula.size() + family.p_formula.size()
+        assert total < 500
+
+
+class TestBoundedGfuvTheorem41:
+    def test_p_prime_has_constant_size(self):
+        base = gfuv_family.build(3, small_universe(size=2))
+        family = bounded_gfuv.transform(base)
+        assert family.p_formula.size() == 1
+
+    def test_query_equivalence_with_unbounded_case(self):
+        # T'_n *GFUV P'_n |= Q iff T_n *GFUV P_n |= Q for Q over the old
+        # alphabet — checked via the generic possible-worlds engine.
+        from repro.revision import GfuvOperator
+
+        base = gfuv_family.build(3, small_universe(size=2))
+        family = bounded_gfuv.transform(base)
+        op = GfuvOperator()
+        primed = op.revise(family.theory, family.p_formula)
+        for pi in instances_over(base.universe, seed=3, count=4):
+            q = base.q_pi(pi)
+            original = gfuv_family.gfuv_entails(base.theory, base.p_formula, q)
+            assert primed.entails(q) == original, sorted(pi)
+
+    def test_theorem41_decides_sat(self):
+        from repro.revision import GfuvOperator
+
+        base = gfuv_family.build(3, small_universe(size=2, seed=5))
+        family = bounded_gfuv.transform(base)
+        primed = GfuvOperator().revise(family.theory, family.p_formula)
+        for pi in instances_over(base.universe, seed=5, count=4):
+            expected = is_satisfiable_brute(pi, 3)
+            assert primed.entails(base.q_pi(pi)) == expected, sorted(pi)
+
+    def test_switch_collision_rejected(self):
+        base = gfuv_family.build(3, small_universe(size=2))
+        with pytest.raises(ValueError):
+            bounded_gfuv.transform(base, switch_name="r")
+
+
+class TestIteratedFamilyTheorem65:
+    @pytest.mark.parametrize("operator", ["dalal", "weber", "winslett", "forbus", "satoh", "borgida"])
+    def test_model_checking_iff_small_universe(self, operator):
+        universe = small_universe(n=3, size=3, seed=2)
+        family = iterated_family.build(3, universe)
+        op = get_operator(operator)
+        result = op.iterate(family.t_formula, list(family.p_formulas))
+        for pi in instances_over(universe, seed=2, count=5):
+            expected = is_satisfiable_brute(pi, 3)
+            assert result.satisfies(family.c_pi(pi)) == expected, (
+                operator,
+                sorted(pi),
+            )
+
+    def test_all_operators_coincide_on_family(self):
+        # The Theorem 6.5 proof shows the model sets coincide step by step.
+        universe = small_universe(n=3, size=3, seed=4)
+        family = iterated_family.build(3, universe)
+        results = {
+            name: get_operator(name)
+            .iterate(family.t_formula, list(family.p_formulas))
+            .model_set
+            for name in ("dalal", "weber", "winslett", "forbus", "satoh", "borgida")
+        }
+        assert len(set(map(frozenset, results.values()))) == 1
+
+    def test_each_p_constant_size(self):
+        family = iterated_family.build(4, small_universe(n=4, size=3))
+        assert all(p.size() == 2 for p in family.p_formulas)

@@ -1,0 +1,130 @@
+"""Tests for the user-facing KnowledgeBase API."""
+
+import pytest
+
+from repro import KnowledgeBase
+from repro.logic import Theory, parse
+
+
+class TestOfficeScenario:
+    """The paper's introductory example, through the public API."""
+
+    def test_revision_concludes_bill(self):
+        kb = KnowledgeBase("g | b", operator="dalal")
+        kb.revise("~g")
+        assert kb.ask("b")
+        assert kb.ask("~g")
+
+    def test_update_does_not_conclude_bill(self):
+        kb = KnowledgeBase("g | b", operator="winslett")
+        kb.revise("~g")
+        assert not kb.ask("b")
+        assert kb.ask("~g")
+
+
+class TestPipeline:
+    def test_delayed_revisions_accumulate(self):
+        kb = KnowledgeBase("a & b & c")
+        kb.revise("~a")
+        kb.revise("~b")
+        assert kb.pending_revisions == (parse("~a"), parse("~b"))
+        assert kb.ask("c")
+        assert kb.ask("~a & ~b")
+
+    def test_original_theory_preserved(self):
+        kb = KnowledgeBase("a & b")
+        kb.revise("~a")
+        assert kb.theory == Theory([parse("a & b")])
+
+    def test_eager_mode_same_answers(self):
+        lazy = KnowledgeBase("a & b & c", operator="satoh")
+        eager = KnowledgeBase("a & b & c", operator="satoh", eager=True)
+        for update in ("~a", "~b"):
+            lazy.revise(update)
+            eager.revise(update)
+        for query in ("c", "~a", "a | c"):
+            assert lazy.ask(query) == eager.ask(query)
+
+    @pytest.mark.parametrize(
+        "operator", ["dalal", "weber", "winslett", "borgida", "forbus", "satoh", "widtio"]
+    )
+    def test_compiled_matches_semantics(self, operator):
+        kb = KnowledgeBase("a & b & c", operator=operator)
+        kb.revise("~a")
+        kb.revise("~b | ~c")
+        for query in ("a", "~a", "b | c", "c -> b", "~b"):
+            assert kb.ask(query, via="compiled") == kb.ask(query, via="semantics"), (
+                operator,
+                query,
+            )
+
+    def test_compile_returns_representation(self):
+        kb = KnowledgeBase("a & b & c", operator="dalal")
+        kb.revise("~a")
+        rep = kb.compile()
+        assert rep.operator == "dalal"
+        assert rep.size() > 0
+        # Cached on repeat calls.
+        assert kb.compile() is rep
+
+    def test_compile_cache_invalidated_by_revision(self):
+        kb = KnowledgeBase("a & b", operator="dalal")
+        kb.revise("~a")
+        first = kb.compile()
+        kb.revise("~b")
+        assert kb.compile() is not first
+
+    def test_gfuv_not_compilable(self):
+        kb = KnowledgeBase(Theory.parse_many("a", "b"), operator="gfuv")
+        kb.revise("~b")
+        with pytest.raises(ValueError):
+            kb.compile()
+        # But exact-semantics querying still works.
+        assert kb.ask("a")
+
+    def test_compile_without_revisions_rejected(self):
+        kb = KnowledgeBase("a", operator="dalal")
+        with pytest.raises(ValueError):
+            kb.compile()
+
+    def test_ask_before_any_revision(self):
+        kb = KnowledgeBase("a & b")
+        assert kb.ask("a")
+        assert not kb.ask("~b")
+
+    def test_invalid_via_rejected(self):
+        kb = KnowledgeBase("a")
+        with pytest.raises(ValueError):
+            kb.ask("a", via="telepathy")
+
+
+class TestModelChecking:
+    def test_holds_in(self):
+        kb = KnowledgeBase("a & b & c", operator="dalal")
+        kb.revise("~a")
+        assert kb.holds_in({"b", "c"})
+        assert not kb.holds_in({"a", "b", "c"})
+
+    def test_models_and_alphabet(self):
+        kb = KnowledgeBase("a & b", operator="dalal")
+        kb.revise("~a")
+        assert kb.models() == frozenset({frozenset({"b"})})
+        assert kb.alphabet() == ("a", "b")
+
+
+class TestOperatorDifferencesThroughApi:
+    def test_paper_example_all_operators(self):
+        t = "a & b & c"
+        p = "(~a & ~b & ~d) | (~c & b & (a ^ d))"
+        expected_counts = {
+            "winslett": 3,
+            "borgida": 3,
+            "forbus": 2,
+            "satoh": 2,
+            "dalal": 1,
+            "weber": 4,
+        }
+        for operator, count in expected_counts.items():
+            kb = KnowledgeBase(t, operator=operator)
+            kb.revise(p)
+            assert len(kb.models()) == count, operator

@@ -1,0 +1,196 @@
+"""Unit tests for the formula AST: construction, evaluation, substitution."""
+
+import pytest
+
+from repro.logic import (
+    FALSE,
+    TRUE,
+    And,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Var,
+    Xor,
+    cube,
+    fresh_names,
+    iff,
+    implies,
+    land,
+    lnot,
+    lor,
+    var,
+    xor,
+)
+
+a, b, c = var("a"), var("b"), var("c")
+
+
+class TestConstruction:
+    def test_var_identity(self):
+        assert Var("a") == Var("a")
+        assert Var("a") != Var("b")
+        assert hash(Var("a")) == hash(Var("a"))
+
+    def test_var_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Var("")
+
+    def test_land_flattens(self):
+        result = land(a, land(b, c))
+        assert isinstance(result, And)
+        assert result.operands == (a, b, c)
+
+    def test_lor_flattens(self):
+        result = lor(lor(a, b), c)
+        assert isinstance(result, Or)
+        assert result.operands == (a, b, c)
+
+    def test_land_identity_and_absorbing(self):
+        assert land() == TRUE
+        assert land(a) == a
+        assert land(a, TRUE) == a
+        assert land(a, FALSE) == FALSE
+
+    def test_lor_identity_and_absorbing(self):
+        assert lor() == FALSE
+        assert lor(a) == a
+        assert lor(a, FALSE) == a
+        assert lor(a, TRUE) == TRUE
+
+    def test_lnot_folds(self):
+        assert lnot(TRUE) == FALSE
+        assert lnot(FALSE) == TRUE
+        assert lnot(lnot(a)) == a
+
+    def test_implies_folds(self):
+        assert implies(TRUE, a) == a
+        assert implies(FALSE, a) == TRUE
+        assert implies(a, TRUE) == TRUE
+        assert implies(a, FALSE) == lnot(a)
+
+    def test_iff_xor_fold(self):
+        assert iff(TRUE, a) == a
+        assert iff(FALSE, a) == lnot(a)
+        assert xor(FALSE, a) == a
+        assert xor(TRUE, a) == lnot(a)
+
+    def test_operator_overloads(self):
+        assert (a & b) == land(a, b)
+        assert (a | b) == lor(a, b)
+        assert (~a) == lnot(a)
+        assert (a >> b) == implies(a, b)
+        assert (a ^ b) == xor(a, b)
+
+    def test_string_coercion(self):
+        assert land("a", "b") == land(a, b)
+
+
+class TestEvaluation:
+    def test_var(self):
+        assert a.evaluate({"a"})
+        assert not a.evaluate(set())
+
+    def test_connectives(self):
+        f = (a & b) | ~c
+        assert f.evaluate({"a", "b", "c"})
+        assert f.evaluate(set())
+        assert not f.evaluate({"c"})
+        assert not f.evaluate({"a", "c"})
+
+    def test_implies(self):
+        f = a >> b
+        assert f.evaluate(set())
+        assert f.evaluate({"b"})
+        assert f.evaluate({"a", "b"})
+        assert not f.evaluate({"a"})
+
+    def test_iff_xor(self):
+        assert Iff(a, b).evaluate(set())
+        assert Iff(a, b).evaluate({"a", "b"})
+        assert not Iff(a, b).evaluate({"a"})
+        assert Xor(a, b).evaluate({"a"})
+        assert not Xor(a, b).evaluate({"a", "b"})
+
+    def test_constants(self):
+        assert TRUE.evaluate(set())
+        assert not FALSE.evaluate({"a"})
+
+    def test_extra_letters_in_model_ignored(self):
+        assert (a & ~b).evaluate({"a", "z"})
+
+
+class TestSizeAndVars:
+    def test_paper_size_counts_occurrences(self):
+        # |W| = number of distinct occurrences of variables (paper Section 2).
+        f = a & (a | b)
+        assert f.size() == 3
+
+    def test_size_of_constants_is_zero(self):
+        assert TRUE.size() == 0
+        assert (a >> a).size() == 2
+
+    def test_variables(self):
+        f = (a & b) | (~a ^ c)
+        assert f.variables() == frozenset({"a", "b", "c"})
+
+    def test_node_count(self):
+        assert a.node_count() == 1
+        assert (a & b).node_count() == 3
+
+
+class TestSubstitution:
+    def test_simple(self):
+        f = a & b
+        assert f.substitute({"a": c}) == (c & b)
+
+    def test_simultaneous_not_sequential(self):
+        # x := y, y := x simultaneously swaps, it must not chain.
+        x, y = var("x"), var("y")
+        f = x & y
+        swapped = f.substitute({"x": y, "y": x})
+        assert swapped == (y & x)
+
+    def test_paper_example(self):
+        # Q = x1 & (x2 | ~x3); Q[{x1,x3}/{y1,~y3}] = y1 & (x2 | ~~y3)
+        x1, x2, x3 = var("x1"), var("x2"), var("x3")
+        y1, y3 = var("y1"), var("y3")
+        q = x1 & (x2 | Not(x3))
+        result = q.substitute({"x1": y1, "x3": Not(y3)})
+        assert result == land(y1, lor(x2, Not(Not(y3))))
+
+    def test_substitute_by_formula(self):
+        f = a >> b
+        result = f.substitute({"a": b & c})
+        assert result == implies(b & c, b)
+
+    def test_rename(self):
+        f = a & ~b
+        assert f.rename({"a": "x", "b": "y"}) == (var("x") & ~var("y"))
+
+    def test_negate_letters_proposition_4_2(self):
+        # Proposition 4.2: M |= F iff M △ H |= F[H/H̄].
+        f = var("x1") & (var("x2") | ~var("x3"))
+        h = {"x2", "x3"}
+        flipped = f.negate_letters(h)
+        model = frozenset({"x1"})
+        assert f.evaluate(model)
+        assert flipped.evaluate(model ^ frozenset(h))
+
+    def test_empty_mapping_returns_self(self):
+        f = a & b
+        assert f.substitute({}) is f
+
+
+class TestHelpers:
+    def test_cube_unique_model(self):
+        f = cube({"a", "c"}, ["a", "b", "c"])
+        assert f.evaluate({"a", "c"})
+        assert not f.evaluate({"a"})
+        assert not f.evaluate({"a", "b", "c"})
+
+    def test_fresh_names_avoid_collisions(self):
+        names = fresh_names("y", 3, avoid={"y0", "y2"})
+        assert names == ["y1", "y3", "y4"]
+        assert len(set(names)) == 3

@@ -1,0 +1,188 @@
+"""Tests for NNF, distributive CNF and Tseitin conversions."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.logic import (
+    FALSE,
+    TRUE,
+    Formula,
+    all_interpretations,
+    clauses_formula,
+    is_nnf,
+    land,
+    lnot,
+    lor,
+    parse,
+    simplify,
+    to_cnf_distributive,
+    to_nnf,
+    tseitin,
+    var,
+)
+
+
+def brute_equivalent(f: Formula, g: Formula) -> bool:
+    alphabet = sorted(f.variables() | g.variables())
+    return all(
+        f.evaluate(m) == g.evaluate(m) for m in all_interpretations(alphabet)
+    )
+
+
+# Random formula strategy over a tiny alphabet.
+_names = st.sampled_from(["p", "q", "r", "s"])
+
+
+def _formulas(max_depth: int = 4):
+    leaves = st.one_of(
+        _names.map(var),
+        st.just(TRUE),
+        st.just(FALSE),
+    )
+
+    def extend(children):
+        return st.one_of(
+            children.map(lnot),
+            st.tuples(children, children).map(lambda t: land(*t)),
+            st.tuples(children, children).map(lambda t: lor(*t)),
+            st.tuples(children, children).map(lambda t: t[0] >> t[1]),
+            st.tuples(children, children).map(lambda t: t[0] ^ t[1]),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=8)
+
+
+class TestNnf:
+    def test_simple(self):
+        f = parse("~(a & b)")
+        nnf = to_nnf(f)
+        assert is_nnf(nnf)
+        assert brute_equivalent(f, nnf)
+
+    def test_implication_unfolds(self):
+        f = parse("a -> b")
+        assert to_nnf(f) == parse("~a | b")
+
+    def test_xor_unfolds(self):
+        f = parse("a ^ b")
+        assert brute_equivalent(f, to_nnf(f))
+        assert is_nnf(to_nnf(f))
+
+    def test_nested_negation(self):
+        f = parse("~(a -> ~(b <-> c))")
+        nnf = to_nnf(f)
+        assert is_nnf(nnf)
+        assert brute_equivalent(f, nnf)
+
+    @given(_formulas())
+    @settings(max_examples=150, deadline=None)
+    def test_nnf_equivalent_property(self, f):
+        nnf = to_nnf(f)
+        assert is_nnf(nnf)
+        assert brute_equivalent(f, nnf)
+
+
+class TestDistributiveCnf:
+    def test_already_cnf(self):
+        f = parse("(a | b) & c")
+        clauses = to_cnf_distributive(f)
+        assert brute_equivalent(f, clauses_formula(clauses))
+
+    def test_dnf_input(self):
+        f = parse("(a & b) | (c & d)")
+        clauses = to_cnf_distributive(f)
+        assert brute_equivalent(f, clauses_formula(clauses))
+
+    def test_unsat_input_stays_unsat(self):
+        f = parse("a & ~a")
+        clauses = to_cnf_distributive(f)
+        assert brute_equivalent(f, clauses_formula(clauses))
+
+    def test_false_constant_yields_empty_clause(self):
+        assert to_cnf_distributive(FALSE) == [frozenset()]
+
+    def test_valid_yields_no_clauses(self):
+        f = parse("a | ~a")
+        assert to_cnf_distributive(f) == []
+
+    @given(_formulas())
+    @settings(max_examples=100, deadline=None)
+    def test_equivalence_property(self, f):
+        clauses = to_cnf_distributive(f)
+        assert brute_equivalent(f, clauses_formula(clauses))
+
+
+class TestTseitin:
+    def test_query_equivalence_over_original_alphabet(self):
+        f = parse("(a ^ b) -> (c <-> a)")
+        result = tseitin(f)
+        g = result.formula()
+        alphabet = sorted(f.variables())
+        # Projection of g's models onto the original alphabet equals f's models.
+        full_alpha = sorted(g.variables())
+        f_models = {
+            frozenset(m)
+            for m in all_interpretations(alphabet)
+            if f.evaluate(m)
+        }
+        g_models_projected = {
+            frozenset(m) & frozenset(alphabet)
+            for m in all_interpretations(full_alpha)
+            if g.evaluate(m)
+        }
+        assert f_models == g_models_projected
+
+    def test_aux_functionally_determined(self):
+        # Every model of f extends to exactly one model of the translation.
+        f = parse("(a & b) | ~c")
+        result = tseitin(f)
+        g = result.formula()
+        alphabet = sorted(f.variables())
+        full_alpha = sorted(g.variables())
+        extension_counts = {}
+        for m in all_interpretations(full_alpha):
+            if g.evaluate(m):
+                key = frozenset(m) & frozenset(alphabet)
+                extension_counts[key] = extension_counts.get(key, 0) + 1
+        assert all(count == 1 for count in extension_counts.values())
+
+    def test_linear_size(self):
+        # Tseitin of an n-ary xor chain stays linear, unlike distribution.
+        parts = var("x0")
+        for i in range(1, 12):
+            parts = parts ^ var(f"x{i}")
+        result = tseitin(parts)
+        total_literals = sum(len(c) for c in result.clauses)
+        assert total_literals < 2000
+
+    @given(_formulas())
+    @settings(max_examples=60, deadline=None)
+    def test_equisatisfiable_property(self, f):
+        result = tseitin(f)
+        g = result.formula()
+        f_sat = any(
+            f.evaluate(m) for m in all_interpretations(sorted(f.variables()))
+        )
+        g_sat = any(
+            g.evaluate(m) for m in all_interpretations(sorted(g.variables()))
+        )
+        assert f_sat == g_sat
+
+
+class TestSimplify:
+    def test_idempotence_collapse(self):
+        assert simplify(parse("a & a")) == var("a")
+
+    def test_complement_collapse(self):
+        assert simplify(parse("a & ~a & b")) == FALSE
+        assert simplify(parse("a | ~a | b")) == TRUE
+
+    def test_iff_same(self):
+        assert simplify(parse("a <-> a")) == TRUE
+        assert simplify(parse("a ^ a")) == FALSE
+
+    @given(_formulas())
+    @settings(max_examples=150, deadline=None)
+    def test_equivalence_property(self, f):
+        assert brute_equivalent(f, simplify(f))

@@ -1,0 +1,118 @@
+"""Tests for the formula parser and printer round-trip."""
+
+import pytest
+
+from repro.logic import (
+    FALSE,
+    TRUE,
+    Iff,
+    Implies,
+    ParseError,
+    Xor,
+    land,
+    lnot,
+    lor,
+    parse,
+    to_str,
+    var,
+)
+
+a, b, c, d = var("a"), var("b"), var("c"), var("d")
+
+
+class TestParsing:
+    def test_atom(self):
+        assert parse("a") == a
+
+    def test_constants(self):
+        assert parse("true") == TRUE
+        assert parse("false") == FALSE
+        assert parse("TRUE") == TRUE
+
+    def test_negation(self):
+        assert parse("~a") == lnot(a)
+        assert parse("!a") == lnot(a)
+        assert parse("~~a") == a  # constructor folds double negation
+
+    def test_and_or(self):
+        assert parse("a & b & c") == land(a, b, c)
+        assert parse("a | b | c") == lor(a, b, c)
+
+    def test_precedence_and_binds_tighter(self):
+        assert parse("a | b & c") == lor(a, land(b, c))
+
+    def test_parentheses(self):
+        assert parse("(a | b) & c") == land(lor(a, b), c)
+
+    def test_implication_right_associative(self):
+        assert parse("a -> b -> c") == Implies(a, Implies(b, c))
+
+    def test_implies_synonym(self):
+        assert parse("a => b") == Implies(a, b)
+
+    def test_iff(self):
+        assert parse("a <-> b") == Iff(a, b)
+        assert parse("a <=> b") == Iff(a, b)
+
+    def test_xor(self):
+        assert parse("a ^ b") == Xor(a, b)
+
+    def test_xor_binds_tighter_than_implies(self):
+        assert parse("a ^ b -> c") == Implies(Xor(a, b), c)
+
+    def test_or_binds_tighter_than_xor(self):
+        assert parse("a | b ^ c") == Xor(lor(a, b), c)
+
+    def test_primed_names(self):
+        assert parse("x' & x''") == land(var("x'"), var("x''"))
+
+    def test_underscore_and_digits(self):
+        assert parse("_t0 | b12") == lor(var("_t0"), var("b12"))
+
+    def test_paper_example_formula(self):
+        # P = (~a & ~b & ~d) | (~c & b & (a ^ d)) from Section 2.2.2
+        p = parse("(~a & ~b & ~d) | (~c & b & (a ^ d))")
+        assert p.variables() == frozenset("abcd")
+        assert p.evaluate({"a", "b"})  # N1 = {a,b}
+        assert p.evaluate({"c"})  # N2
+        assert p.evaluate({"b", "d"})  # N3
+        assert p.evaluate(set())  # N4
+        assert not p.evaluate({"a", "b", "c", "d"})
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text",
+        ["", "a &", "& a", "(a", "a)", "a b", "a ~ b", "->", "a @ b"],
+    )
+    def test_malformed(self, text):
+        with pytest.raises(ParseError):
+            parse(text)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "a",
+            "~a",
+            "a & b",
+            "a | b & c",
+            "(a | b) & c",
+            "a -> b -> c",
+            "a <-> b",
+            "a ^ b",
+            "~(a & b) | ~c",
+            "(a ^ b) -> (c <-> d)",
+            "a & (b | ~c) & d",
+        ],
+    )
+    def test_parse_print_parse(self, text):
+        first = parse(text)
+        printed = to_str(first)
+        second = parse(printed)
+        assert first == second
+
+    def test_print_uses_minimal_parens(self):
+        assert to_str(parse("a & b | c")) == "a & b | c"
+        assert to_str(parse("(a | b) & c")) == "(a | b) & c"

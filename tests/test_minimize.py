@@ -1,0 +1,134 @@
+"""Tests for truth tables and exact Quine-McCluskey/Petrick minimisation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.logic import FALSE, TRUE, all_interpretations, parse, var
+from repro.minimize import (
+    TruthTable,
+    covers,
+    minimal_dnf,
+    minimal_dnf_cost,
+    minimal_dnf_of_formula,
+    prime_implicants,
+)
+from repro.sat import equivalent
+
+
+class TestTruthTable:
+    def test_of_formula(self):
+        table = TruthTable.of_formula(parse("a & b"))
+        assert table.alphabet == ("a", "b")
+        assert table.minterms == {3}
+
+    def test_wider_alphabet(self):
+        table = TruthTable.of_formula(parse("a"), alphabet=["a", "b"])
+        assert table.minterms == {1, 3}
+
+    def test_of_models(self):
+        table = TruthTable.of_models([{"a"}, set()], ["a", "b"])
+        assert table.minterms == {0, 1}
+
+    def test_of_models_rejects_foreign_letter(self):
+        with pytest.raises(ValueError):
+            TruthTable.of_models([{"z"}], ["a"])
+
+    def test_model_round_trip(self):
+        table = TruthTable.of_formula(parse("a ^ b"))
+        models = table.models()
+        assert set(models) == {frozenset({"a"}), frozenset({"b"})}
+
+    def test_predicates(self):
+        assert TruthTable.of_formula(FALSE, ["a"]).is_contradiction
+        assert TruthTable.of_formula(TRUE, ["a"]).is_tautology
+
+    def test_out_of_range_minterm(self):
+        with pytest.raises(ValueError):
+            TruthTable(["a"], [2])
+
+
+class TestPrimeImplicants:
+    def test_single_minterm(self):
+        primes = prime_implicants(2, frozenset({3}))
+        assert primes == [(3, 3)]
+
+    def test_merging(self):
+        # f = a (minterms 1, 3 over alphabet (a, b)) -> prime a alone.
+        primes = prime_implicants(2, frozenset({1, 3}))
+        assert primes == [(1, 1)]
+
+    def test_classic_example(self):
+        # Classic QM example: minterms {0,1,2,5,6,7} over 3 vars has 6 primes
+        # of size 2 each... verify cover correctness semantically instead.
+        minterms = frozenset({0, 1, 2, 5, 6, 7})
+        primes = prime_implicants(3, minterms)
+        for term in minterms:
+            assert any(covers(p, term) for p in primes)
+        # No prime covers a non-minterm.
+        for term in set(range(8)) - minterms:
+            assert not any(covers(p, term) for p in primes)
+
+    def test_empty(self):
+        assert prime_implicants(3, frozenset()) == []
+
+
+class TestMinimalDnf:
+    def test_constants(self):
+        assert minimal_dnf(TruthTable.of_formula(FALSE, ["a"])) == FALSE
+        assert minimal_dnf(TruthTable.of_formula(TRUE, ["a"])) == TRUE
+
+    def test_equivalence(self):
+        f = parse("(a -> b) & (b -> c)")
+        g = minimal_dnf_of_formula(f)
+        assert equivalent(f, g)
+
+    def test_xor_needs_two_terms(self):
+        f = parse("a ^ b")
+        terms, literals = minimal_dnf_cost(TruthTable.of_formula(f))
+        assert terms == 2
+        assert literals == 4
+
+    def test_simplifies_redundancy(self):
+        # a&b | a&~b minimises to the single term a.
+        f = parse("(a & b) | (a & ~b)")
+        g = minimal_dnf_of_formula(f)
+        assert g == var("a")
+
+    def test_cost_of_constants(self):
+        assert minimal_dnf_cost(TruthTable.of_formula(TRUE, ["a"])) == (0, 0)
+
+    @given(
+        st.integers(min_value=0, max_value=255),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_minimal_dnf_equivalent_property(self, bitmask):
+        # Arbitrary 3-variable function given by its output column.
+        minterms = frozenset(i for i in range(8) if bitmask >> i & 1)
+        table = TruthTable(("a", "b", "c"), minterms)
+        g = minimal_dnf(table)
+        for mask in range(8):
+            model = {name for i, name in enumerate(("a", "b", "c")) if mask >> i & 1}
+            assert g.evaluate(model) == (mask in minterms)
+
+    @given(st.integers(min_value=0, max_value=255))
+    @settings(max_examples=60, deadline=None)
+    def test_minimality_against_brute_force(self, bitmask):
+        # For 3 variables, verify no DNF with fewer terms exists by checking
+        # the chosen cover size against exhaustive search over prime subsets.
+        minterms = frozenset(i for i in range(8) if bitmask >> i & 1)
+        if not minterms or len(minterms) == 8:
+            return
+        table = TruthTable(("a", "b", "c"), minterms)
+        terms, _ = minimal_dnf_cost(table)
+        primes = prime_implicants(3, minterms)
+        from itertools import combinations
+
+        best = None
+        for size in range(1, len(primes) + 1):
+            for subset in combinations(primes, size):
+                if all(any(covers(p, t) for p in subset) for t in minterms):
+                    best = size
+                    break
+            if best is not None:
+                break
+        assert terms == best

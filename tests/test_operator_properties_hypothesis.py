@@ -1,0 +1,101 @@
+"""Hypothesis-driven properties of the revision operators.
+
+Random-formula analogues of the seeded suites: the strategies generate
+arbitrary (satisfiable) formulas over a 3-letter alphabet and assert the
+paper's structural facts on whatever comes out.
+"""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.logic import FALSE, TRUE, all_interpretations, land, lnot, lor, var
+from repro.revision import MODEL_BASED_NAMES, revise
+from repro.sat import is_satisfiable, models as sat_models
+
+NAMES = ["a", "b", "c"]
+
+
+def _formulas(max_leaves: int = 6):
+    leaves = st.sampled_from(NAMES).map(var)
+
+    def extend(children):
+        return st.one_of(
+            children.map(lnot),
+            st.tuples(children, children).map(lambda t: land(*t)),
+            st.tuples(children, children).map(lambda t: lor(*t)),
+            st.tuples(children, children).map(lambda t: t[0] >> t[1]),
+            st.tuples(children, children).map(lambda t: t[0] ^ t[1]),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=max_leaves)
+
+
+satisfiable_formulas = _formulas().filter(is_satisfiable)
+
+
+@given(t=satisfiable_formulas, p=satisfiable_formulas)
+@settings(max_examples=40, deadline=None)
+def test_success_postulate(t, p):
+    """T * P |= P for every model-based operator."""
+    for name in MODEL_BASED_NAMES:
+        result = revise(t, p, name)
+        for model in result.model_set:
+            assert p.evaluate(model), name
+
+
+@given(t=satisfiable_formulas, p=satisfiable_formulas)
+@settings(max_examples=40, deadline=None)
+def test_consistency_preservation(t, p):
+    """T, P satisfiable => T * P satisfiable (all model-based operators)."""
+    for name in MODEL_BASED_NAMES:
+        assert revise(t, p, name).is_consistent(), name
+
+
+@given(t=satisfiable_formulas, p=satisfiable_formulas)
+@settings(max_examples=30, deadline=None)
+def test_fig2_arrows(t, p):
+    results = {name: revise(t, p, name).model_set for name in MODEL_BASED_NAMES}
+    assert results["dalal"] <= results["satoh"]
+    assert results["dalal"] <= results["forbus"]
+    assert results["satoh"] <= results["winslett"]
+    assert results["forbus"] <= results["winslett"]
+    assert results["satoh"] <= results["weber"]
+    assert results["borgida"] <= results["winslett"]
+
+
+@given(t=satisfiable_formulas, p=satisfiable_formulas)
+@settings(max_examples=30, deadline=None)
+def test_revision_operators_conjunction_on_consistent(t, p):
+    assume(is_satisfiable(land(t, p)))
+    alphabet = sorted(t.variables() | p.variables())
+    expected = set(sat_models(land(t, p), alphabet))
+    for name in ("borgida", "satoh", "dalal", "weber"):
+        assert revise(t, p, name).model_set == expected, name
+
+
+@given(t=satisfiable_formulas, p=satisfiable_formulas)
+@settings(max_examples=25, deadline=None)
+def test_dalal_compact_query_equivalent(t, p):
+    """Theorem 3.4 holds on arbitrary random formulas, not just CNF-ish."""
+    from repro.compact import dalal_compact, is_query_equivalent_to
+
+    representation = dalal_compact(t, p)
+    assert is_query_equivalent_to(representation, revise(t, p, "dalal"))
+
+
+@given(t=satisfiable_formulas, p=satisfiable_formulas)
+@settings(max_examples=25, deadline=None)
+def test_weber_compact_query_equivalent(t, p):
+    from repro.compact import is_query_equivalent_to, weber_compact
+
+    representation = weber_compact(t, p)
+    assert is_query_equivalent_to(representation, revise(t, p, "weber"))
+
+
+@given(t=satisfiable_formulas, p=satisfiable_formulas)
+@settings(max_examples=15, deadline=None)
+def test_bounded_constructions_logically_equivalent(t, p):
+    from repro.compact import BOUNDED_CONSTRUCTIONS, is_logically_equivalent_to
+
+    for name, construct in BOUNDED_CONSTRUCTIONS.items():
+        representation = construct(t, p)
+        assert is_logically_equivalent_to(representation, revise(t, p, name)), name

@@ -1,0 +1,170 @@
+"""Tests for the formula-based operators: GFUV, WIDTIO, Nebel."""
+
+import pytest
+
+from repro.logic import Theory, interp, parse
+from repro.revision import (
+    GfuvOperator,
+    NebelOperator,
+    WidtioOperator,
+    possible_worlds,
+    revise,
+)
+from repro.sat import equivalent
+
+
+class TestPossibleWorlds:
+    def test_paper_syntax_sensitivity_example(self):
+        # T1 = {a, b}, T2 = {a, a -> b}, P = ~b (Section 2.2.1).
+        t1 = Theory.parse_many("a", "b")
+        t2 = Theory.parse_many("a", "a -> b")
+        p = parse("~b")
+
+        w1 = possible_worlds(t1, p)
+        assert len(w1) == 1
+        assert w1[0] == Theory.parse_many("a")
+
+        w2 = possible_worlds(t2, p)
+        assert len(w2) == 2
+        assert set(w2) == {Theory.parse_many("a"), Theory.parse_many("a -> b")}
+
+    def test_consistent_P_keeps_whole_theory(self):
+        t = Theory.parse_many("a", "b")
+        assert possible_worlds(t, parse("a")) == [t]
+
+    def test_unsatisfiable_P_empty(self):
+        assert possible_worlds(Theory.parse_many("a"), parse("b & ~b")) == []
+
+    def test_inconsistent_member_never_kept(self):
+        t = Theory.parse_many("a & ~a", "b")
+        worlds = possible_worlds(t, parse("c"))
+        assert worlds == [Theory.parse_many("b")]
+
+    def test_worlds_are_maximal(self):
+        t = Theory.parse_many("a", "b", "~a | ~b")
+        worlds = possible_worlds(t, parse("true"))
+        # Each pair is consistent; the whole theory is not.
+        assert all(len(w) == 2 for w in worlds)
+        assert len(worlds) == 3
+
+
+class TestGfuv:
+    def test_paper_example_t1(self):
+        result = revise(Theory.parse_many("a", "b"), parse("~b"), "gfuv")
+        assert result.model_set == {frozenset({"a"})}
+
+    def test_paper_example_t2_weaker(self):
+        result = revise(Theory.parse_many("a", "a -> b"), parse("~b"), "gfuv")
+        # T2 * P = ~b: models {} and {a} over alphabet {a, b}.
+        assert result.model_set == {frozenset(), frozenset({"a"})}
+
+    def test_syntax_sensitivity(self):
+        p = parse("~b")
+        r1 = revise(Theory.parse_many("a", "b"), p, "gfuv")
+        r2 = revise(Theory.parse_many("a", "a -> b"), p, "gfuv")
+        assert r1.model_set != r2.model_set
+
+    def test_consistent_case_is_conjunction(self):
+        t = Theory.parse_many("g | b")
+        result = revise(t, parse("~g"), "gfuv")
+        assert result.model_set == {frozenset({"b"})}
+
+    def test_revised_formula_explicit_size(self):
+        # Nebel's example at m=2: W(T1,P1) has 4 worlds.
+        t = Theory.parse_many("x1", "x2", "y1", "y2")
+        p = parse("(x1 ^ y1) & (x2 ^ y2)")
+        worlds = possible_worlds(t, p)
+        assert len(worlds) == 4
+        op = GfuvOperator()
+        explicit = op.revised_formula(t, p)
+        result = op.revise(t, p)
+        assert set(result.model_set) == {
+            frozenset({"x1", "x2"}),
+            frozenset({"x1", "y2"}),
+            frozenset({"y1", "x2"}),
+            frozenset({"y1", "y2"}),
+        }
+        assert equivalent(explicit, result.formula())
+
+    def test_entailment_defined_on_all_worlds(self):
+        # T * P |= Q iff every possible world (with P) entails Q.
+        t = Theory.parse_many("a", "b")
+        result = revise(t, parse("~a | ~b"), "gfuv")
+        # Worlds: {a}, {b}; in both, a | b holds.
+        assert result.entails(parse("a | b"))
+        assert not result.entails(parse("a"))
+
+
+class TestWidtio:
+    def test_paper_example_t1(self):
+        # Same result as GFUV on T1.
+        result = revise(Theory.parse_many("a", "b"), parse("~b"), "widtio")
+        assert result.model_set == {frozenset({"a"})}
+
+    def test_paper_example_t2(self):
+        # Intersection of {a} and {a -> b} is empty: result is just ~b.
+        result = revise(Theory.parse_many("a", "a -> b"), parse("~b"), "widtio")
+        assert result.model_set == {frozenset(), frozenset({"a"})}
+
+    def test_size_bound(self):
+        # |T *Wid P| <= |T| + |P| — the paper's observation in Section 3.
+        op = WidtioOperator()
+        t = Theory.parse_many("a", "b", "a -> c", "c -> b")
+        p = parse("~b & ~c")
+        revised = op.revised_theory(t, p)
+        assert revised.size() <= t.size() + p.size()
+
+    def test_revised_theory_contains_P(self):
+        op = WidtioOperator()
+        t = Theory.parse_many("a", "b")
+        p = parse("~a")
+        revised = op.revised_theory(t, p)
+        assert p in revised
+
+    def test_widtio_weaker_than_gfuv(self):
+        # WIDTIO keeps less: its model set contains GFUV's.
+        t = Theory.parse_many("a", "a -> b", "c")
+        p = parse("~b")
+        gfuv_models = revise(t, p, "gfuv").model_set
+        widtio_models = revise(t, p, "widtio").model_set
+        assert gfuv_models <= widtio_models
+
+    def test_iterate_threads_theory(self):
+        op = WidtioOperator()
+        result = op.iterate(Theory.parse_many("a", "b"), [parse("~a"), parse("~b")])
+        assert result.model_set == {frozenset()}
+
+
+class TestNebel:
+    def test_single_class_equals_gfuv(self):
+        t = Theory.parse_many("a", "a -> b", "c")
+        p = parse("~b")
+        nebel = NebelOperator().revise(t, p)
+        gfuv = GfuvOperator().revise(t, p)
+        assert nebel.model_set == gfuv.model_set
+
+    def test_priorities_change_outcome(self):
+        # High priority {b}, low priority {a}; P = ~a | ~b forces dropping one.
+        high = Theory.parse_many("b")
+        low = Theory.parse_many("a")
+        p = parse("~a | ~b")
+        result = NebelOperator().revise_prioritized([high, low], p)
+        # b must be kept (higher priority), a dropped.
+        assert result.model_set == {frozenset({"b"})}
+
+    def test_reversed_priorities(self):
+        high = Theory.parse_many("a")
+        low = Theory.parse_many("b")
+        p = parse("~a | ~b")
+        result = NebelOperator().revise_prioritized([high, low], p)
+        assert result.model_set == {frozenset({"a"})}
+
+    def test_unsatisfiable_P(self):
+        result = NebelOperator().revise(Theory.parse_many("a"), parse("b & ~b"))
+        assert not result.is_consistent()
+
+    def test_iterated_unsupported(self):
+        with pytest.raises(NotImplementedError):
+            NebelOperator().iterate(Theory.parse_many("a"), [parse("~a"), parse("a")])
+        with pytest.raises(NotImplementedError):
+            GfuvOperator().iterate(Theory.parse_many("a"), [parse("~a"), parse("a")])

@@ -1,0 +1,225 @@
+"""Tests for the six model-based operators on the paper's worked example.
+
+Section 2.2.2 of the paper works one example end-to-end (Tables 1 and 2):
+
+    T = a & b & c
+    P = (~a & ~b & ~d) | (~c & b & (a ^ d))
+
+with models M1 = {a,b,c,d}, M2 = {a,b,c} of T, and N1 = {a,b}, N2 = {c},
+N3 = {b,d}, N4 = {} of P.  The stated outcomes are:
+
+    Winslett, Borgida: {N1, N2, N3}
+    Forbus:            {N1, N3}
+    Satoh:             {N1, N2}
+    Dalal:             {N1}
+    Weber:             {N1, N2, N3, N4}
+"""
+
+import pytest
+
+from repro.logic import Theory, interp, parse
+from repro.revision import (
+    delta,
+    k_global,
+    k_pointwise,
+    mu,
+    omega,
+    revise,
+)
+
+T_TEXT = "a & b & c"
+P_TEXT = "(~a & ~b & ~d) | (~c & b & (a ^ d))"
+
+M1 = interp("abcd")
+M2 = interp("abc")
+N1 = interp("ab")
+N2 = interp("c")
+N3 = interp("bd")
+N4 = interp("")
+
+T_MODELS = frozenset({M1, M2})
+P_MODELS = frozenset({N1, N2, N3, N4})
+
+
+@pytest.fixture(scope="module")
+def T():
+    return parse(T_TEXT)
+
+
+@pytest.fixture(scope="module")
+def P():
+    return parse(P_TEXT)
+
+
+class TestModelSetsOfExample:
+    def test_models_of_T(self, T):
+        assert set(
+            m for m in [M1, M2, N1, N2, N3, N4] if T.evaluate(m)
+        ) == {M1, M2}
+
+    def test_models_of_P(self, P):
+        for n in (N1, N2, N3, N4):
+            assert P.evaluate(n)
+        assert not P.evaluate(M1)
+        assert not P.evaluate(M2)
+
+
+class TestDistanceMeasures:
+    """Tables 1 and 2 of the paper."""
+
+    def test_table1_symmetric_differences(self):
+        # Row M1.
+        assert M1 ^ N1 == frozenset("cd")
+        assert M1 ^ N2 == frozenset("abd")
+        assert M1 ^ N3 == frozenset("ac")
+        assert M1 ^ N4 == frozenset("abcd")
+        # Row M2.
+        assert M2 ^ N1 == frozenset("c")
+        assert M2 ^ N2 == frozenset("ab")
+        assert M2 ^ N3 == frozenset("acd")
+        assert M2 ^ N4 == frozenset("abc")
+
+    def test_table2_cardinalities(self):
+        assert [len(M1 ^ n) for n in (N1, N2, N3, N4)] == [2, 3, 2, 4]
+        assert [len(M2 ^ n) for n in (N1, N2, N3, N4)] == [1, 2, 3, 3]
+
+    def test_mu_M1(self):
+        assert set(mu(M1, P_MODELS)) == {
+            frozenset("cd"),
+            frozenset("abd"),
+            frozenset("ac"),
+        }
+
+    def test_mu_M2(self):
+        assert set(mu(M2, P_MODELS)) == {frozenset("c"), frozenset("ab")}
+
+    def test_k_pointwise(self):
+        assert k_pointwise(M1, P_MODELS) == 2
+        assert k_pointwise(M2, P_MODELS) == 1
+
+    def test_delta(self):
+        assert set(delta(T_MODELS, P_MODELS)) == {
+            frozenset("c"),
+            frozenset("ab"),
+        }
+
+    def test_k_global(self):
+        assert k_global(T_MODELS, P_MODELS) == 1
+
+    def test_omega(self):
+        assert omega(T_MODELS, P_MODELS) == frozenset("abc")
+
+    def test_mu_empty_p_raises(self):
+        with pytest.raises(ValueError):
+            k_pointwise(M1, [])
+
+
+class TestPaperOutcomes:
+    def test_winslett(self, T, P):
+        assert revise(T, P, "winslett").model_set == {N1, N2, N3}
+
+    def test_borgida_same_as_winslett_here(self, T, P):
+        assert revise(T, P, "borgida").model_set == {N1, N2, N3}
+
+    def test_forbus(self, T, P):
+        assert revise(T, P, "forbus").model_set == {N1, N3}
+
+    def test_satoh(self, T, P):
+        assert revise(T, P, "satoh").model_set == {N1, N2}
+
+    def test_dalal(self, T, P):
+        assert revise(T, P, "dalal").model_set == {N1}
+
+    def test_weber_selects_everything_here(self, T, P):
+        assert revise(T, P, "weber").model_set == {N1, N2, N3, N4}
+
+
+class TestSectionFourExample:
+    """The running example of Sections 4.1/4.2:
+    T = a&b&c&d&e, P = ~a | ~b."""
+
+    def test_forbus_models(self):
+        result = revise(parse("a & b & c & d & e"), parse("~a | ~b"), "forbus")
+        assert result.model_set == {interp("acde"), interp("bcde")}
+
+    def test_satoh_and_dalal_models(self):
+        T = parse("a & b & c & d & e")
+        P = parse("~a | ~b")
+        assert revise(T, P, "satoh").model_set == {interp("acde"), interp("bcde")}
+        assert revise(T, P, "dalal").model_set == {interp("acde"), interp("bcde")}
+
+    def test_weber_adds_third_model(self):
+        result = revise(parse("a & b & c & d & e"), parse("~a | ~b"), "weber")
+        assert result.model_set == {
+            interp("acde"),
+            interp("bcde"),
+            interp("cde"),
+        }
+
+    def test_winslett_example_section6(self):
+        # Section 6 example: same T, P = ~a; unique result model {b,c,d,e}.
+        result = revise(parse("a & b & c & d & e"), parse("~a"), "winslett")
+        assert result.model_set == {interp("bcde")}
+
+
+class TestDegenerateCases:
+    def test_unsatisfiable_P_gives_no_models(self):
+        for name in ("winslett", "borgida", "forbus", "satoh", "dalal", "weber"):
+            result = revise(parse("a"), parse("b & ~b"), name)
+            assert not result.is_consistent()
+
+    def test_unsatisfiable_T_gives_P(self):
+        for name in ("winslett", "borgida", "forbus", "satoh", "dalal", "weber"):
+            result = revise(parse("a & ~a"), parse("b"), name)
+            assert result.model_set == {
+                frozenset({"b"}),
+                frozenset({"a", "b"}),
+            }
+
+    def test_consistent_case_for_revision_operators(self):
+        # "A fundamental property of revision is that if T ∧ P is not
+        # contradictory then the result of revising T with P is simply T ∧ P."
+        T = parse("g | b")
+        P = parse("~g")
+        for name in ("borgida", "satoh", "dalal", "weber"):
+            result = revise(T, P, name)
+            assert result.model_set == {frozenset({"b"})}, name
+
+    def test_update_differs_on_consistent_case(self):
+        # The office example: update does NOT conclude Bill is in the office.
+        T = parse("g | b")
+        P = parse("~g")
+        result = revise(T, P, "winslett")
+        assert result.model_set == {frozenset(), frozenset({"b"})}
+
+
+class TestRevisionResultApi:
+    def test_entails(self, T, P):
+        result = revise(T, P, "dalal")
+        assert result.entails(parse("a & b"))
+        assert not result.entails(parse("c"))
+
+    def test_entails_rejects_foreign_letters(self, T, P):
+        result = revise(T, P, "dalal")
+        with pytest.raises(ValueError):
+            result.entails(parse("z"))
+
+    def test_inconsistent_result_entails_everything(self):
+        result = revise(parse("a"), parse("a & ~a"), "dalal")
+        assert result.entails(parse("a"))
+        assert result.entails(parse("~a"))
+
+    def test_satisfies(self, T, P):
+        result = revise(T, P, "forbus")
+        assert result.satisfies(N1)
+        assert not result.satisfies(N2)
+
+    def test_formula_round_trip(self, T, P):
+        from repro.sat import models
+
+        result = revise(T, P, "satoh")
+        explicit = result.formula()
+        assert set(models(explicit, result.alphabet)) == set(result.model_set)
+
+    def test_repr_stable(self, T, P):
+        assert "dalal" in repr(revise(T, P, "dalal"))

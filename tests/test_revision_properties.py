@@ -1,0 +1,252 @@
+"""Property-based tests of the revision operators.
+
+Covers:
+* Fig. 2 containments between the six model-based operators;
+* Proposition 2.1 (a model of T always has a revised model within V(P));
+* the success postulate T * P |= P;
+* irrelevance of syntax for model-based operators;
+* the revision-vs-update distinction on consistent inputs.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.logic import Theory, land, lnot, lor, parse, var
+from repro.revision import MODEL_BASED_NAMES, OPERATORS, revise
+from repro.sat import models as sat_models
+
+ALPHABET = ["a", "b", "c", "d"]
+
+
+def _random_formula(rng: random.Random, letters, clauses=3, width=3):
+    """A random satisfiable-ish CNF-like formula."""
+    parts = []
+    for _ in range(rng.randint(1, clauses)):
+        lits = []
+        for _ in range(rng.randint(1, width)):
+            name = rng.choice(letters)
+            atom = var(name)
+            lits.append(atom if rng.random() < 0.5 else lnot(atom))
+        parts.append(lor(*lits))
+    return land(*parts)
+
+
+def _random_pair(seed: int):
+    rng = random.Random(seed)
+    while True:
+        t = _random_formula(rng, ALPHABET)
+        p = _random_formula(rng, ALPHABET)
+        from repro.sat import is_satisfiable
+
+        if is_satisfiable(t) and is_satisfiable(p):
+            return t, p
+
+
+# Provable arrows of Fig. 2: (subset, superset).
+FIG2_CONTAINMENTS = [
+    ("dalal", "satoh"),
+    ("dalal", "forbus"),
+    ("dalal", "weber"),
+    ("forbus", "winslett"),
+    ("satoh", "winslett"),
+    ("satoh", "weber"),
+    ("borgida", "winslett"),
+]
+
+
+class TestFig2Containments:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_all_arrows_on_random_instances(self, seed):
+        t, p = _random_pair(seed)
+        results = {name: revise(t, p, name).model_set for name in MODEL_BASED_NAMES}
+        for small, large in FIG2_CONTAINMENTS:
+            assert results[small] <= results[large], (
+                f"{small} ⊄ {large} on T={t}, P={p}"
+            )
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_all_results_within_P(self, seed):
+        t, p = _random_pair(seed)
+        alphabet = sorted(t.variables() | p.variables())
+        p_models = set(sat_models(p, alphabet))
+        for name in MODEL_BASED_NAMES:
+            assert revise(t, p, name).model_set <= p_models
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_nonempty_when_T_and_P_satisfiable(self, seed):
+        t, p = _random_pair(seed)
+        for name in MODEL_BASED_NAMES:
+            assert revise(t, p, name).is_consistent(), name
+
+
+class TestProposition21:
+    """For every model M of T there is a model N of T * P with
+    M △ N ⊆ V(P).
+
+    Reproduction note: for the *pointwise* operators (Winslett, Forbus)
+    this holds unconditionally — inclusion/cardinality-minimal differences
+    never touch letters outside V(P), and every model of T contributes one.
+    For the *global* operators, and for Borgida on consistent inputs (where
+    it returns T ∧ P), the property can fail when T has several models
+    (e.g. T = (~a&~b)|(a&b), P = ~a: Dalal's k = 0 keeps only {} and the
+    T-model {a,b} has no revised model within V(P) = {a}).  The paper
+    invokes the proposition through Eiter-Gottlob's Lemma 6.1, whose
+    setting is a single-model T — under which it does hold for all six
+    operators; both readings are asserted below, plus Borgida on
+    inconsistent inputs (where it coincides with Winslett).
+    """
+
+    POINTWISE = ("winslett", "forbus")
+    GLOBAL = ("satoh", "dalal", "weber")
+
+    @pytest.mark.parametrize("seed", range(20))
+    @pytest.mark.parametrize("name", POINTWISE)
+    def test_pointwise_unconditional(self, seed, name):
+        t, p = _random_pair(seed)
+        alphabet = sorted(t.variables() | p.variables())
+        vp = p.variables()
+        result = revise(t, p, name)
+        if not result.is_consistent():
+            pytest.skip("degenerate instance")
+        for m in sat_models(t, alphabet):
+            assert any(
+                (m ^ n) <= vp for n in result.model_set
+            ), f"no close revised model for M={sorted(m)} under {name}"
+
+    @pytest.mark.parametrize("seed", range(20))
+    @pytest.mark.parametrize("name", MODEL_BASED_NAMES)
+    def test_single_model_T_all_operators(self, seed, name):
+        rng = random.Random(seed + 1000)
+        # T: a complete conjunction of literals — exactly one model.
+        m = frozenset(x for x in ALPHABET if rng.random() < 0.5)
+        t = land(*(var(x) if x in m else lnot(var(x)) for x in ALPHABET))
+        _, p = _random_pair(seed)
+        vp = p.variables()
+        result = revise(t, p, name)
+        assert result.is_consistent()
+        assert any((m ^ n) <= vp for n in result.model_set), name
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_borgida_on_inconsistent_inputs(self, seed):
+        from repro.sat import is_satisfiable
+
+        t, p = _random_pair(seed)
+        if is_satisfiable(land(t, p)):
+            pytest.skip("consistent pair: Borgida returns T ∧ P")
+        alphabet = sorted(t.variables() | p.variables())
+        vp = p.variables()
+        result = revise(t, p, "borgida")
+        for m in sat_models(t, alphabet):
+            assert any((m ^ n) <= vp for n in result.model_set)
+
+    def test_global_counterexample_documented(self):
+        # The concrete failure instance described in the docstring.
+        t = parse("(~a & ~b) | (a & b)")
+        p = parse("~a")
+        result = revise(t, p, "dalal")
+        assert result.model_set == {frozenset()}
+        m = frozenset({"a", "b"})
+        assert not any((m ^ n) <= p.variables() for n in result.model_set)
+
+
+class TestSuccessPostulate:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_result_entails_P(self, seed):
+        t, p = _random_pair(seed)
+        for name in OPERATORS:
+            if name == "nebel":
+                continue  # same engine as gfuv; skip for speed
+            result = revise(Theory.coerce(t), p, name)
+            assert result.entails(p), name
+
+
+class TestIrrelevanceOfSyntax:
+    @pytest.mark.parametrize("name", MODEL_BASED_NAMES)
+    def test_equivalent_presentations_same_result(self, name):
+        p = parse("~b")
+        t_one = Theory.parse_many("a & b")
+        t_two = Theory.parse_many("a", "b")
+        t_three = Theory.parse_many("a", "a -> b")
+        results = {
+            revise(t, p, name).model_set for t in (t_one, t_two, t_three)
+        }
+        assert len(results) == 1, f"{name} is syntax-sensitive"
+
+    def test_gfuv_is_syntax_sensitive(self):
+        p = parse("~b")
+        r_flat = revise(Theory.parse_many("a", "b"), p, "gfuv")
+        r_cond = revise(Theory.parse_many("a", "a -> b"), p, "gfuv")
+        assert r_flat.model_set != r_cond.model_set
+
+
+class TestRevisionVsUpdate:
+    """Revision operators return T ∧ P on consistent inputs; update
+    operators need not (Winslett's office example)."""
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_revision_consistent_case(self, seed):
+        t, p = _random_pair(seed)
+        from repro.sat import is_satisfiable
+
+        if not is_satisfiable(land(t, p)):
+            pytest.skip("inconsistent pair")
+        alphabet = sorted(t.variables() | p.variables())
+        conjunction_models = set(sat_models(land(t, p), alphabet))
+        for name in ("borgida", "dalal", "satoh", "weber"):
+            assert revise(t, p, name).model_set == conjunction_models, name
+
+    def test_update_keeps_per_model_results(self):
+        # Winslett on consistent input may strictly contain T ∧ P's models.
+        t = parse("g | b")
+        p = parse("~g")
+        winslett = revise(t, p, "winslett").model_set
+        assert frozenset() in winslett  # not a model of T ∧ P
+
+
+class TestIteratedSemantics:
+    def test_iterate_matches_manual_composition(self):
+        t = parse("a & b & c")
+        p1 = parse("~a")
+        p2 = parse("~b")
+        for name in MODEL_BASED_NAMES:
+            op = OPERATORS[name]
+            stepwise = op.revise_result(op.revise(t, p1), p2)
+            driver = op.iterate(t, [p1, p2])
+            assert stepwise == driver
+
+    def test_iterate_empty_sequence(self):
+        op = OPERATORS["dalal"]
+        result = op.iterate(parse("a | b"), [])
+        assert result.model_set == {
+            frozenset({"a"}),
+            frozenset({"b"}),
+            frozenset({"a", "b"}),
+        }
+
+    def test_alphabet_grows_with_new_letters(self):
+        op = OPERATORS["dalal"]
+        result = op.iterate(parse("a"), [parse("b")])
+        assert result.alphabet == ("a", "b")
+        # Dalal keeps a true (distance 0) and adopts b.
+        assert result.model_set == {frozenset({"a", "b"})}
+
+    def test_paper_section5_weber_example(self):
+        # T = x1..x5 all true; P1 = ~x1 | ~x2; P2 = ~x5 (Section 5 example).
+        t = parse("x1 & x2 & x3 & x4 & x5")
+        p1 = parse("~x1 | ~x2")
+        p2 = parse("~x5")
+        result = OPERATORS["weber"].iterate(t, [p1, p2])
+        assert result.model_set == {
+            frozenset({"x1", "x3", "x4"}),
+            frozenset({"x2", "x3", "x4"}),
+            frozenset({"x3", "x4"}),
+        }
+
+    def test_operator_registry_lookup(self):
+        from repro.revision import get_operator
+
+        assert get_operator("DALAL").name == "dalal"
+        with pytest.raises(ValueError):
+            get_operator("nonexistent")

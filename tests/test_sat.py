@@ -1,0 +1,252 @@
+"""Tests for the SAT substrate: solver, enumeration, formula interface."""
+
+import io
+
+from hypothesis import given, settings, strategies as st
+
+from repro.logic import FALSE, TRUE, all_interpretations, land, lnot, lor, parse, var
+from repro.sat import (
+    CnfInstance,
+    Solver,
+    count_models,
+    entails,
+    enumerate_models,
+    equivalent,
+    is_satisfiable,
+    is_valid,
+    models,
+    query_equivalent,
+    read_dimacs,
+    satisfies,
+    write_dimacs,
+)
+
+
+class TestSolverCore:
+    def test_trivial_sat(self):
+        inst = CnfInstance()
+        v = inst.new_var()
+        inst.add_clause([v])
+        assert Solver(inst).solve()
+
+    def test_trivial_unsat(self):
+        inst = CnfInstance()
+        v = inst.new_var()
+        inst.add_clause([v])
+        inst.add_clause([-v])
+        assert not Solver(inst).solve()
+
+    def test_empty_clause_unsat(self):
+        inst = CnfInstance()
+        inst.add_clause([])
+        assert not Solver(inst).solve()
+
+    def test_no_clauses_sat(self):
+        inst = CnfInstance(3)
+        assert Solver(inst).solve()
+
+    def test_unit_propagation_chain(self):
+        inst = CnfInstance(4)
+        inst.add_clause([1])
+        inst.add_clause([-1, 2])
+        inst.add_clause([-2, 3])
+        inst.add_clause([-3, 4])
+        solver = Solver(inst)
+        assert solver.solve()
+        assert set(solver.model()) == {1, 2, 3, 4}
+
+    def test_pigeonhole_2_into_1_unsat(self):
+        # Two pigeons, one hole.
+        inst = CnfInstance(2)
+        inst.add_clause([1])
+        inst.add_clause([2])
+        inst.add_clause([-1, -2])
+        assert not Solver(inst).solve()
+
+    def test_pigeonhole_3_into_2_unsat(self):
+        # p_{i,j}: pigeon i in hole j. vars: 1..6 as (i-1)*2 + j.
+        inst = CnfInstance(6)
+
+        def v(i, j):
+            return (i - 1) * 2 + j
+
+        for i in (1, 2, 3):
+            inst.add_clause([v(i, 1), v(i, 2)])
+        for j in (1, 2):
+            for i1 in (1, 2, 3):
+                for i2 in range(i1 + 1, 4):
+                    inst.add_clause([-v(i1, j), -v(i2, j)])
+        assert not Solver(inst).solve()
+
+    def test_assumptions(self):
+        inst = CnfInstance(2)
+        inst.add_clause([1, 2])
+        solver = Solver(inst)
+        assert solver.solve(assumptions=[-1])
+        assert 2 in solver.model()
+        assert solver.solve(assumptions=[-1, -2]) is False
+        # Solver usable again after failed assumptions.
+        assert solver.solve()
+
+    def test_incremental_blocking(self):
+        inst = CnfInstance(2)
+        inst.add_clause([1, 2])
+        solver = Solver(inst)
+        found = 0
+        while solver.solve():
+            found += 1
+            solver.add_clause([-lit for lit in solver.model()])
+        assert found == 3  # models over 2 vars satisfying x1 | x2
+
+    def test_tautological_clause_ignored(self):
+        inst = CnfInstance(1)
+        inst.add_clause([1, -1])
+        solver = Solver(inst)
+        assert solver.solve()
+
+
+class TestSolverAgainstBruteForce:
+    @given(
+        st.lists(
+            st.lists(
+                st.integers(min_value=1, max_value=5).flatmap(
+                    lambda v: st.sampled_from([v, -v])
+                ),
+                min_size=1,
+                max_size=4,
+            ),
+            min_size=0,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_matches_brute_force(self, clauses):
+        inst = CnfInstance(5)
+        for clause in clauses:
+            inst.add_clause(clause)
+        expected = any(
+            all(
+                any(
+                    (lit > 0) == bool(mask >> (abs(lit) - 1) & 1)
+                    for lit in clause
+                )
+                for clause in clauses
+            )
+            for mask in range(32)
+        )
+        assert Solver(inst).solve() == expected
+
+
+class TestEnumeration:
+    def test_enumerates_all(self):
+        inst = CnfInstance(2)
+        inst.add_clause([1, 2])
+        found = set(enumerate_models(inst))
+        assert found == {(1, -2), (-1, 2), (1, 2)}
+
+    def test_projection_collapses(self):
+        inst = CnfInstance(2)
+        inst.add_clause([1, 2])
+        found = set(enumerate_models(inst, projection=[1]))
+        assert found == {(1,), (-1,)}
+
+    def test_limit(self):
+        inst = CnfInstance(3)
+        found = list(enumerate_models(inst, limit=3))
+        assert len(found) == 3
+
+    def test_unsat_enumerates_nothing(self):
+        inst = CnfInstance(1)
+        inst.add_clause([1])
+        inst.add_clause([-1])
+        assert list(enumerate_models(inst)) == []
+
+
+class TestFormulaInterface:
+    def test_satisfiable(self):
+        assert is_satisfiable(parse("a & (b | ~a)"))
+        assert not is_satisfiable(parse("a & ~a"))
+        assert not is_satisfiable(FALSE)
+        assert is_satisfiable(TRUE)
+
+    def test_valid(self):
+        assert is_valid(parse("a | ~a"))
+        assert not is_valid(parse("a"))
+
+    def test_entails(self):
+        assert entails(parse("a & b"), parse("a"))
+        assert not entails(parse("a | b"), parse("a"))
+        assert entails(FALSE, parse("a"))
+        assert entails(parse("a"), TRUE)
+
+    def test_equivalent(self):
+        assert equivalent(parse("a -> b"), parse("~a | b"))
+        assert not equivalent(parse("a"), parse("b"))
+
+    def test_models_default_alphabet(self):
+        found = set(models(parse("a & (b | c)")))
+        assert found == {
+            frozenset("ab"),
+            frozenset("ac"),
+            frozenset("abc"),
+        }
+
+    def test_models_with_wider_alphabet(self):
+        found = set(models(parse("a"), alphabet=["a", "b"]))
+        assert found == {frozenset("a"), frozenset("ab")}
+
+    def test_models_match_brute_force_on_complex_formula(self):
+        f = parse("(a ^ b) -> (c <-> a) & ~(b & c)")
+        alphabet = sorted(f.variables())
+        expected = {
+            frozenset(m)
+            for m in all_interpretations(alphabet)
+            if f.evaluate(m)
+        }
+        assert set(models(f)) == expected
+
+    def test_count_models(self):
+        assert count_models(parse("a | b")) == 3
+        assert count_models(parse("a & ~a")) == 0
+        assert count_models(TRUE, alphabet=["a", "b"]) == 4
+
+    def test_query_equivalent_new_letters(self):
+        # b <-> a introduces letter b but projected on {a} both match.
+        assert query_equivalent(parse("a"), parse("a & (b <-> a)"), alphabet=["a"])
+        assert not query_equivalent(parse("a"), parse("~a"), alphabet=["a"])
+
+    def test_satisfies(self):
+        assert satisfies({"a"}, parse("a | b"))
+        assert not satisfies(set(), parse("a"))
+
+    @given(
+        st.lists(
+            st.sampled_from(["a", "b", "c", "~a", "~b", "~c"]),
+            min_size=1,
+            max_size=3,
+        ).map(lambda lits: parse(" | ".join(lits)))
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_sat_matches_truth_table(self, f):
+        expected = any(
+            f.evaluate(m) for m in all_interpretations(sorted(f.variables()))
+        )
+        assert is_satisfiable(f) == expected
+
+
+class TestDimacs:
+    def test_round_trip(self):
+        inst = CnfInstance(3)
+        inst.add_clause([1, -2])
+        inst.add_clause([2, 3])
+        buffer = io.StringIO()
+        write_dimacs(inst, buffer, comment="test")
+        buffer.seek(0)
+        parsed = read_dimacs(buffer)
+        assert parsed.num_vars == 3
+        assert parsed.clauses == [[1, -2], [2, 3]]
+
+    def test_read_multiline_clause(self):
+        text = "p cnf 3 1\n1 2\n3 0\n"
+        parsed = read_dimacs(io.StringIO(text))
+        assert parsed.clauses == [[1, 2, 3]]

@@ -1,0 +1,126 @@
+"""Tests for the 3-SAT machinery of Definition 2.5."""
+
+import random
+
+import pytest
+
+from repro.threesat import (
+    all_instances,
+    atom_names,
+    canonical_clause,
+    clause_formula,
+    clause_index,
+    instance_formula,
+    is_satisfiable_brute,
+    is_satisfiable_dpll,
+    m_max,
+    pi_max,
+    random_instance,
+    satisfying_assignments,
+)
+
+
+class TestPiMax:
+    def test_count_matches_formula(self):
+        # m_max(n) = 8 * C(n,3)
+        assert m_max(3) == 8
+        assert m_max(4) == 32
+        assert m_max(5) == 80
+        for n in (3, 4, 5):
+            assert len(pi_max(n)) == m_max(n)
+
+    def test_below_three_empty(self):
+        assert pi_max(2) == []
+        assert m_max(2) == 0
+
+    def test_all_clauses_distinct(self):
+        clauses = pi_max(4)
+        assert len(set(clauses)) == len(clauses)
+
+    def test_clauses_canonical(self):
+        for clause in pi_max(4):
+            names = [int(name[1:]) for name, _ in clause]
+            assert names == sorted(names)
+            assert len(set(names)) == 3
+
+    def test_clause_index_bijective(self):
+        index = clause_index(4)
+        assert len(index) == 32
+        assert sorted(index.values()) == list(range(1, 33))
+
+    def test_polynomial_growth(self):
+        # Theta(n^3): doubling n multiplies count by ~8.
+        assert m_max(10) == 8 * 120
+        assert m_max(20) == 8 * 1140
+
+
+class TestCanonicalClause:
+    def test_sorts_by_atom_index(self):
+        clause = canonical_clause([("b3", True), ("b1", False), ("b2", True)])
+        assert clause == (("b1", False), ("b2", True), ("b3", True))
+
+    def test_rejects_wrong_arity(self):
+        with pytest.raises(ValueError):
+            canonical_clause([("b1", True), ("b2", True)])
+
+    def test_rejects_repeated_atom(self):
+        with pytest.raises(ValueError):
+            canonical_clause([("b1", True), ("b1", False), ("b2", True)])
+
+    def test_rejects_foreign_atoms(self):
+        with pytest.raises(ValueError):
+            canonical_clause([("x", True), ("b1", False), ("b2", True)])
+
+
+class TestSatisfiability:
+    def test_empty_instance_satisfiable(self):
+        assert is_satisfiable_brute(frozenset(), 3)
+
+    def test_single_clause_satisfiable(self):
+        clause = canonical_clause([("b1", True), ("b2", True), ("b3", True)])
+        assert is_satisfiable_brute({clause}, 3)
+
+    def test_all_clauses_unsatisfiable(self):
+        # pi_max(3) contains every polarity pattern on (b1,b2,b3): no
+        # assignment satisfies all eight.
+        assert not is_satisfiable_brute(frozenset(pi_max(3)), 3)
+
+    def test_brute_matches_dpll_random(self):
+        rng = random.Random(7)
+        for _ in range(25):
+            instance = random_instance(4, rng.randint(0, 20), rng)
+            assert is_satisfiable_brute(instance, 4) == is_satisfiable_dpll(instance)
+
+    def test_satisfying_assignments_complete(self):
+        clause = canonical_clause([("b1", True), ("b2", False), ("b3", True)])
+        found = satisfying_assignments({clause}, 3)
+        assert len(found) == 7  # all but {b2}
+        assert frozenset({"b2"}) not in found
+
+    def test_formula_rendering(self):
+        clause = canonical_clause([("b1", True), ("b2", False), ("b3", True)])
+        f = clause_formula(clause)
+        assert f.evaluate({"b1"})
+        assert not f.evaluate({"b2"})
+        g = instance_formula({clause})
+        assert g.variables() == {"b1", "b2", "b3"}
+
+
+class TestGenerators:
+    def test_random_instance_distinct_clauses(self):
+        rng = random.Random(0)
+        instance = random_instance(5, 30, rng)
+        assert len(instance) == 30
+
+    def test_random_instance_too_many(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            random_instance(3, 9, rng)
+
+    def test_all_instances_n3_capped(self):
+        capped = list(all_instances(3, max_clauses=1))
+        # empty instance + 8 singletons
+        assert len(capped) == 9
+
+    def test_atom_names(self):
+        assert atom_names(3) == ["b1", "b2", "b3"]
