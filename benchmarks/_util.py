@@ -38,8 +38,20 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> Li
     return lines
 
 
-def random_tp_pair(seed: int, letters: Sequence[str], p_letters: Sequence[str] | None = None):
-    """A random satisfiable (T, P) pair — the generic workload generator."""
+def random_tp_pair(
+    seed: int,
+    letters: Sequence[str],
+    p_letters: Sequence[str] | None = None,
+    t_clauses: int = 3,
+    p_clauses: int = 2,
+):
+    """A random satisfiable (T, P) pair — the generic workload generator.
+
+    ``t_clauses`` / ``p_clauses`` bound the clause counts (drawn uniformly
+    from ``1..bound``); the defaults match the historical workload, while
+    the perf benchmark scales them with the alphabet so model sets stay in
+    the realistic hundreds rather than saturating ``2^n``.
+    """
     from repro.logic import land, lnot, lor, var
     from repro.sat import is_satisfiable
 
@@ -57,7 +69,7 @@ def random_tp_pair(seed: int, letters: Sequence[str], p_letters: Sequence[str] |
         return land(*parts)
 
     while True:
-        t = formula(letters, 3)
-        p = formula(p_letters or letters, 2)
+        t = formula(letters, t_clauses)
+        p = formula(p_letters or letters, p_clauses)
         if is_satisfiable(t) and is_satisfiable(p):
             return t, p

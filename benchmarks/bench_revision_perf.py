@@ -1,0 +1,266 @@
+"""E-perf — bitmask engine vs. frozenset engine on the six model-based operators.
+
+Times the full revision pipeline (model enumeration + selection) of both
+engines on the ``random_tp_pair`` workload across alphabet sizes, verifies
+the two engines return *identical* model sets on every timed instance, and
+writes:
+
+* ``BENCH_revision_perf.json`` (repo root) — machine-readable trajectory
+  data for later PRs: per-instance wall times, per-operator per-size median
+  speedups, and the workload parameters;
+* ``benchmarks/results/revision_perf.txt`` — the human-readable table.
+
+The old engine is :func:`repro.revision.reference.reference_revise` (the
+retained frozenset pipeline: per-interpretation evaluation, all-pairs
+``min⊆``); the new engine is the production :func:`repro.revision.revise`
+on the bitmask model-set engine.  Clause counts scale with the alphabet so
+model sets stay in the realistic hundreds instead of saturating ``2^n``;
+the frozenset engine is only timed up to ``--old-max-size`` (its Winslett
+and Satoh selections are quadratic in the model count and become minutes
+per instance beyond 12 letters).
+
+Run ``python benchmarks/bench_revision_perf.py`` from the repo root
+(``--quick`` for the CI smoke cap).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _util import format_table, random_tp_pair, write_result
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_revision_perf.json"
+
+OPERATORS = ("winslett", "borgida", "forbus", "satoh", "dalal", "weber")
+
+DEFAULT_SIZES = (6, 8, 10, 12, 14)
+DEFAULT_SEEDS = (0, 1, 2)
+DEFAULT_OLD_MAX_SIZE = 12
+
+
+# Workload shape.  WORKLOAD_SPEC goes into the JSON verbatim — keep the
+# strings in lockstep with the functions right below them, so later PRs can
+# regenerate comparable numbers from the recorded metadata.
+WORKLOAD_SPEC = {
+    "generator": "random_tp_pair",
+    "t_clauses": "max(3, (2 * size) // 3)",
+    "p_clauses": "max(2, size // 3)",
+    "model_count_floor": (
+        "1 << max(0, size - 4); candidate seeds scanned from seed * 1000 "
+        "until both T and P reach the floor"
+    ),
+}
+
+
+def _t_clauses(size: int) -> int:
+    return max(3, (2 * size) // 3)
+
+
+def _p_clauses(size: int) -> int:
+    return max(2, size // 3)
+
+
+def _model_floor(size: int) -> int:
+    return 1 << max(0, size - 4)
+
+
+def _workload(size: int, seed: int):
+    """A non-trivial (T, P) pair over ``size`` letters.
+
+    Clause counts scale with the alphabet, and candidate seeds (starting at
+    ``seed * 1000``) are scanned until both model sets reach the floor: the
+    random draw is bimodal (a 1-clause theory saturates ``2^n``, a
+    clause-heavy one leaves a handful of models), and the floor pins the
+    benchmark to the dense regime that the paper's enumeration semantics —
+    and the engines under comparison — actually have to work in.
+    """
+    from repro.sat import bit_models
+
+    letters = [f"v{i:02d}" for i in range(size)]
+    floor = _model_floor(size)
+    candidate = seed * 1000
+    while True:
+        t, p = random_tp_pair(
+            candidate,
+            letters,
+            t_clauses=_t_clauses(size),
+            p_clauses=_p_clauses(size),
+        )
+        if (
+            len(bit_models(t, letters)) >= floor
+            and len(bit_models(p, letters)) >= floor
+        ):
+            return t, p
+        candidate += 1
+
+
+def run_benchmark(sizes, seeds, old_max_size):
+    from repro.logic import Theory
+    from repro.revision import reference_revise, revise
+    from repro.sat import bit_models
+
+    records = []
+    for size in sizes:
+        for seed in seeds:
+            t, p = _workload(size, seed)
+            alphabet = sorted(t.variables() | p.variables())
+            t_count = len(bit_models(t, alphabet))
+            p_count = len(bit_models(p, alphabet))
+            for name in OPERATORS:
+                start = time.perf_counter()
+                result = revise(t, p, name)
+                new_seconds = time.perf_counter() - start
+
+                record = {
+                    "size": size,
+                    "seed": seed,
+                    "operator": name,
+                    "t_models": t_count,
+                    "p_models": p_count,
+                    "result_models": len(result.model_set),
+                    "new_s": new_seconds,
+                    "old_s": None,
+                    "speedup": None,
+                    "models_equal": None,
+                }
+                if size <= old_max_size:
+                    start = time.perf_counter()
+                    _, reference_set = reference_revise(Theory([t]), p, name)
+                    old_seconds = time.perf_counter() - start
+                    record["old_s"] = old_seconds
+                    record["speedup"] = (
+                        old_seconds / new_seconds if new_seconds > 0 else float("inf")
+                    )
+                    record["models_equal"] = result.model_set == reference_set
+                    if not record["models_equal"]:
+                        raise AssertionError(
+                            f"engine mismatch: size={size} seed={seed} op={name}"
+                        )
+                records.append(record)
+                shown = (
+                    f"{record['speedup']:.1f}x" if record["speedup"] else "old skipped"
+                )
+                print(
+                    f"  n={size:2d} seed={seed} {name:<9} "
+                    f"new={new_seconds:.4f}s ({shown})"
+                )
+    return records
+
+
+def summarise(records):
+    """Per-operator per-size median speedups (where the old engine ran)."""
+    summary = {}
+    for record in records:
+        if record["speedup"] is None:
+            continue
+        summary.setdefault(record["operator"], {}).setdefault(
+            str(record["size"]), []
+        ).append(record["speedup"])
+    return {
+        operator: {
+            size: {
+                "median_speedup": round(statistics.median(values), 2),
+                "min_speedup": round(min(values), 2),
+                "runs": len(values),
+            }
+            for size, values in by_size.items()
+        }
+        for operator, by_size in summary.items()
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=list(DEFAULT_SIZES),
+        help="alphabet sizes to benchmark",
+    )
+    parser.add_argument(
+        "--seeds", type=int, nargs="+", default=list(DEFAULT_SEEDS),
+        help="workload seeds per size",
+    )
+    parser.add_argument(
+        "--old-max-size", type=int, default=DEFAULT_OLD_MAX_SIZE,
+        help="largest alphabet on which the frozenset engine is timed",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke mode: tiny size cap, one seed",
+    )
+    parser.add_argument(
+        "--json-path", type=Path, default=JSON_PATH,
+        help="where to write the machine-readable results",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.sizes = [6]
+        args.seeds = [0]
+
+    records = run_benchmark(args.sizes, args.seeds, args.old_max_size)
+    summary = summarise(records)
+
+    payload = {
+        "benchmark": "revision_perf",
+        "description": (
+            "Six model-based operators, bitmask engine vs retained frozenset "
+            "engine, random_tp_pair workload with size-scaled clause counts"
+        ),
+        "workload": {
+            **WORKLOAD_SPEC,
+            "sizes": args.sizes,
+            "seeds": args.seeds,
+            "old_engine_max_size": args.old_max_size,
+        },
+        "engines": {
+            "old": "repro.revision.reference (frozenset models, all-pairs min-subset)",
+            "new": "repro.revision via repro.logic.bitmodels (bit-parallel tables)",
+        },
+        "models_verified_identical": all(
+            r["models_equal"] for r in records if r["models_equal"] is not None
+        ),
+        "results": records,
+        "summary": summary,
+    }
+    args.json_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.json_path}")
+
+    rows = []
+    for operator in OPERATORS:
+        for size in args.sizes:
+            cell = summary.get(operator, {}).get(str(size))
+            matching = [
+                r for r in records
+                if r["operator"] == operator and r["size"] == size
+            ]
+            new_median = statistics.median(r["new_s"] for r in matching)
+            old_runs = [r["old_s"] for r in matching if r["old_s"] is not None]
+            rows.append([
+                operator,
+                size,
+                f"{statistics.median(old_runs):.4f}" if old_runs else "-",
+                f"{new_median:.4f}",
+                f"{cell['median_speedup']:.1f}x" if cell else "-",
+            ])
+    lines = [
+        "E-perf: model-based revision, frozenset engine vs bitmask engine",
+        f"(median wall seconds over seeds {args.seeds}; "
+        f"old engine capped at {args.old_max_size} letters)",
+        "",
+    ]
+    lines += format_table(
+        ["operator", "letters", "old s", "new s", "speedup"], rows
+    )
+    write_result("revision_perf.txt", lines)
+    return payload
+
+
+if __name__ == "__main__":
+    main()

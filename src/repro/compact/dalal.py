@@ -12,7 +12,11 @@ models of ``T`` and models of ``P``.
 The minimum distance is computed *effectively* (the "effective procedures"
 the paper promises for its compactability results): ``k`` is the least value
 for which ``T[X/Y] ∧ P ∧ EXA(k, X, Y, W)`` is satisfiable — each probe is
-one SAT call on a polynomial-size formula.
+one SAT call on a polynomial-size formula.  Below the truth-table cutoff of
+the bitmask engine a faster route is taken: both formulas compile to
+``2^n``-bit model tables and ``k`` falls out of a Hamming-ball expansion
+(:func:`repro.logic.bitmodels.min_hamming_distance_tables`); the SAT-probe
+route remains the general-alphabet fallback.
 """
 
 from __future__ import annotations
@@ -20,6 +24,12 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..circuits.exa import exa
+from ..logic.bitmodels import (
+    _TABLE_MAX_LETTERS,
+    BitAlphabet,
+    min_hamming_distance_tables,
+    truth_table,
+)
 from ..logic.formula import Formula, FormulaLike, as_formula, fresh_names, land
 from ..logic.theory import Theory, TheoryLike
 from ..sat import is_satisfiable
@@ -43,6 +53,14 @@ def minimum_distance(
     sets those cases aside; see Section 2.2.2).
     """
     t_formula, p_formula, alphabet = _prepare(theory, new_formula)
+    if len(alphabet) <= _TABLE_MAX_LETTERS:
+        bit_alphabet = BitAlphabet(alphabet)
+        t_table = truth_table(t_formula, bit_alphabet)
+        p_table = truth_table(p_formula, bit_alphabet)
+        if not t_table or not p_table:
+            raise ValueError("T or P is unsatisfiable: k_{T,P} undefined")
+        k, _ = min_hamming_distance_tables(t_table, p_table, bit_alphabet)
+        return k
     y_names = fresh_names("y_", len(alphabet), avoid=alphabet)
     renamed_t = t_formula.rename(dict(zip(alphabet, y_names)))
     base = land(renamed_t, p_formula)

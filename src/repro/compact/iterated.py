@@ -27,11 +27,15 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from ..circuits.exa import exa
+from ..logic.bitmodels import (
+    _TABLE_MAX_LETTERS,
+    BitAlphabet,
+    min_hamming_distance_tables,
+)
 from ..logic.formula import Formula, FormulaLike, as_formula, fresh_names, land
 from ..logic.theory import Theory, TheoryLike
 from ..revision.registry import get_operator
-from ..sat import is_satisfiable
-from ..sat import models as sat_models
+from ..sat import bit_models, is_satisfiable
 from .representation import QUERY, CompactRepresentation
 
 
@@ -42,6 +46,46 @@ def _full_alphabet(theory: Theory, formulas: Sequence[Formula]) -> List[str]:
     return sorted(letters)
 
 
+def _iterated_ks_bit(
+    theory: Theory, formulas: Sequence[Formula]
+) -> List[int]:
+    """Per-step minimum distances via the bitmask revision chain.
+
+    ``k_i = k_{T *D P¹ ... *D P^{i-1}, P^i}`` over the growing alphabet;
+    letters introduced by later formulas are unconstrained on both sides of
+    every step, so these values coincide with the SAT-probe route on the
+    full-alphabet ``Φ_m`` formula.
+    """
+    operator = get_operator("dalal")
+    ks: List[int] = []
+    current = None
+    for i, formula in enumerate(formulas):
+        if current is None:
+            step_alphabet = BitAlphabet(theory.variables() | formula.variables())
+            t_bits = bit_models(theory.conjunction(), step_alphabet)
+        else:
+            step_alphabet = BitAlphabet(
+                set(current.alphabet) | formula.variables()
+            )
+            t_bits = current.bit_model_set.extend_to(step_alphabet)
+        p_bits = bit_models(formula, step_alphabet)
+        if not t_bits.masks or not p_bits.masks:
+            raise ValueError(
+                f"step {i + 1}: no reachable model (unsatisfiable input)"
+            )
+        k, _ = min_hamming_distance_tables(
+            t_bits.table(), p_bits.table(), step_alphabet
+        )
+        ks.append(k)
+        if i + 1 < len(formulas):
+            current = (
+                operator.revise(theory, formula)
+                if current is None
+                else operator.revise_result(current, formula)
+            )
+    return ks
+
+
 def dalal_iterated(
     theory: TheoryLike,
     new_formulas: Sequence[FormulaLike],
@@ -49,9 +93,11 @@ def dalal_iterated(
 ) -> CompactRepresentation:
     """Theorem 5.1: ``Φ_m``, query-equivalent to ``T *D P¹ *D ... *D P^m``.
 
-    ``ks`` may supply the per-step minimum distances; otherwise each ``k_i``
-    is found by probing satisfiability of the partial formula with
-    ``EXA(k, Y_i, Y_{i+1})`` for increasing ``k`` — one SAT call per probe.
+    ``ks`` may supply the per-step minimum distances; otherwise they are
+    computed by the bitmask engine's Hamming-ball chain when the alphabet
+    fits the truth-table encoding, and by probing satisfiability of the
+    partial formula with ``EXA(k, Y_i, Y_{i+1})`` for increasing ``k``
+    (one SAT call per probe) beyond the cutoff.
     """
     theory = Theory.coerce(theory)
     formulas = [as_formula(f) for f in new_formulas]
@@ -59,6 +105,8 @@ def dalal_iterated(
         raise ValueError("need at least one revising formula")
     alphabet = _full_alphabet(theory, formulas)
     m = len(formulas)
+    if ks is None and len(alphabet) <= _TABLE_MAX_LETTERS:
+        ks = _iterated_ks_bit(theory, formulas)
 
     # Fresh alphabet copies Y1..Ym (each one-to-one with X).
     used = list(alphabet)
@@ -118,9 +166,11 @@ def omegas_iterated(
     """The per-step ``Ω_i`` of Weber's iterated revision (ground truth).
 
     ``Ω_i`` is computed against the *result of the previous i-1 revisions*
-    by model enumeration over the growing alphabet.
+    by bitmask model enumeration over the growing alphabet; previous
+    results are carried as packed masks and lifted with the shifted
+    cross-product, never round-tripping through frozensets.
     """
-    from ..revision.distances import omega as omega_from_models
+    from ..revision.distances import omega_mask
 
     operator = get_operator("weber")
     theory = Theory.coerce(theory)
@@ -129,17 +179,17 @@ def omegas_iterated(
     current = None
     for i, formula in enumerate(formulas):
         if current is None:
-            alphabet = sorted(theory.variables() | formula.variables())
-            t_models = frozenset(sat_models(theory.conjunction(), alphabet))
+            step_alphabet = BitAlphabet(theory.variables() | formula.variables())
+            t_bits = bit_models(theory.conjunction(), step_alphabet)
         else:
-            alphabet = sorted(set(current.alphabet) | formula.variables())
-            t_models = operator._extend_models(
-                current.model_set, current.alphabet, alphabet
+            step_alphabet = BitAlphabet(
+                set(current.alphabet) | formula.variables()
             )
-        p_models = frozenset(sat_models(formula, alphabet))
-        if not t_models or not p_models:
+            t_bits = current.bit_model_set.extend_to(step_alphabet)
+        p_bits = bit_models(formula, step_alphabet)
+        if not t_bits.masks or not p_bits.masks:
             raise ValueError(f"step {i + 1}: T or P unsatisfiable, Ω undefined")
-        omegas.append(omega_from_models(t_models, p_models))
+        omegas.append(step_alphabet.set_of(omega_mask(t_bits.masks, p_bits.masks)))
         current = (
             operator.revise(theory, formula)
             if current is None

@@ -19,8 +19,10 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, Optional, Tuple
 
+from ..logic.bitmodels import BitModelSet
 from ..logic.formula import Formula, FormulaLike, as_formula
 from ..revision.base import RevisionResult
+from ..sat import bit_models
 from ..sat import entails as sat_entails
 from ..sat import models as sat_models
 
@@ -81,6 +83,16 @@ class CompactRepresentation:
         """Models of ``T'`` projected onto the query alphabet."""
         return frozenset(sat_models(self.formula, self.query_alphabet))
 
+    def projected_bit_models(self) -> BitModelSet:
+        """Models of ``T'`` projected onto the query alphabet, as masks.
+
+        The engine-level route used by the certification helpers: when the
+        representation introduces no new letters the projection is one
+        bit-parallel truth-table sweep; otherwise the SAT enumerator
+        projects away the fresh letters.
+        """
+        return bit_models(self.formula, self.query_alphabet)
+
     def __repr__(self) -> str:
         return (
             f"CompactRepresentation(operator={self.operator!r}, "
@@ -92,10 +104,17 @@ class CompactRepresentation:
 def is_query_equivalent_to(
     representation: CompactRepresentation, ground_truth: RevisionResult
 ) -> bool:
-    """Certify criterion (1) against the ground-truth model set."""
+    """Certify criterion (1) against the ground-truth model set.
+
+    Compared in mask form: both sides range over the same sorted alphabet,
+    so equality of the packed model sets is equality of the model sets.
+    """
     if set(representation.query_alphabet) != set(ground_truth.alphabet):
         return False
-    return representation.projected_models() == ground_truth.model_set
+    return (
+        representation.projected_bit_models().masks
+        == ground_truth.bit_model_set.masks
+    )
 
 
 def is_logically_equivalent_to(

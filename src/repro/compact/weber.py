@@ -17,23 +17,29 @@ from __future__ import annotations
 
 from typing import FrozenSet, Iterable, Optional, Tuple
 
+from ..logic.bitmodels import BitAlphabet
 from ..logic.formula import Formula, FormulaLike, as_formula, fresh_names, land
 from ..logic.theory import Theory, TheoryLike
-from ..revision.distances import omega as omega_from_models
-from ..sat import models as sat_models
+from ..revision.distances import omega_mask
+from ..sat import bit_models
 from .representation import QUERY, CompactRepresentation
 
 
 def omega_exact(theory: TheoryLike, new_formula: FormulaLike) -> FrozenSet[str]:
-    """``Ω = ∪ δ(T,P)`` by full model enumeration over ``V(T) ∪ V(P)``."""
+    """``Ω = ∪ δ(T,P)`` by full model enumeration over ``V(T) ∪ V(P)``.
+
+    Enumeration and the minimal-difference computation both run on the
+    bitmask engine: ``Ω`` is the OR of the global minimal XOR differences,
+    unpacked to letters only at the boundary.
+    """
     theory = Theory.coerce(theory)
     formula = as_formula(new_formula)
-    alphabet = sorted(theory.variables() | formula.variables())
-    t_models = frozenset(sat_models(theory.conjunction(), alphabet))
-    p_models = frozenset(sat_models(formula, alphabet))
-    if not t_models or not p_models:
+    alphabet = BitAlphabet(theory.variables() | formula.variables())
+    t_bits = bit_models(theory.conjunction(), alphabet)
+    p_bits = bit_models(formula, alphabet)
+    if not t_bits.masks or not p_bits.masks:
         raise ValueError("T or P is unsatisfiable: Ω undefined")
-    return omega_from_models(t_models, p_models)
+    return alphabet.set_of(omega_mask(t_bits.masks, p_bits.masks))
 
 
 def weber_compact(

@@ -4,6 +4,12 @@
 size never exceeds ``|T| + |P|``; the first row of Tables 3 and 4 is YES
 everywhere.  This module just packages the revised theory's conjunction as a
 :class:`~repro.compact.representation.CompactRepresentation`.
+
+The underlying ``W(T, P)`` computation and the certification of the
+representation against the ground truth both run on the bitmask engine:
+consistency probes over small alphabets are big-int table intersections
+(see :func:`repro.revision.formula_based.possible_worlds`) and model-set
+comparison happens in mask form.
 """
 
 from __future__ import annotations
@@ -27,7 +33,10 @@ def widtio_compact(theory: TheoryLike, new_formula: FormulaLike) -> CompactRepre
         query_alphabet=alphabet,
         equivalence=LOGICAL,
         operator="widtio",
-        metadata={"member_count": len(revised)},
+        metadata={
+            "member_count": len(revised),
+            "size_bound": theory.size() + formula.size(),
+        },
     )
 
 

@@ -7,8 +7,20 @@ Public surface:
 * :mod:`repro.logic.nnf` / :mod:`repro.logic.cnf` — normal forms;
 * :mod:`repro.logic.simplify` — local simplification;
 * :mod:`repro.logic.theory` — finite sets of formulas (syntax-sensitive);
-* :mod:`repro.logic.interpretation` — models as sets of letters.
+* :mod:`repro.logic.interpretation` — models as sets of letters;
+* :mod:`repro.logic.bitmodels` — the bitmask model-set engine (models as
+  ints, model sets as big-int truth tables).
 """
+
+from .bitmodels import (
+    BitAlphabet,
+    BitModelSet,
+    iter_set_bits,
+    max_subset_masks,
+    min_cardinality_masks,
+    min_subset_masks,
+    truth_table,
+)
 
 from .formula import (
     FALSE,
@@ -59,6 +71,8 @@ __all__ = [
     "FALSE",
     "TRUE",
     "And",
+    "BitAlphabet",
+    "BitModelSet",
     "Bottom",
     "Formula",
     "Iff",
@@ -83,12 +97,16 @@ __all__ = [
     "implies",
     "interp",
     "is_nnf",
+    "iter_set_bits",
     "land",
     "literal",
     "lnot",
     "lor",
     "max_subset",
+    "max_subset_masks",
+    "min_cardinality_masks",
     "min_subset",
+    "min_subset_masks",
     "parse",
     "restrict",
     "simplify",
@@ -96,6 +114,7 @@ __all__ = [
     "to_cnf_distributive",
     "to_nnf",
     "to_str",
+    "truth_table",
     "tseitin",
     "var",
     "variables",

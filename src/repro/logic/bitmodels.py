@@ -1,0 +1,622 @@
+"""Bitmask model-set engine: interpretations as ints, model sets as big-ints.
+
+The paper's semantic core manipulates *sets of interpretations* — the
+ground-truth model sets of ``T``, ``P`` and ``T * P`` — and the proximity
+measures between them (``M △ N``, ``|M △ N|``, ``min⊆``).  Representing an
+interpretation as a ``frozenset[str]`` makes every symmetric difference an
+allocation; this module packs the same semantics into machine integers at
+two levels:
+
+**Level 1 — interpretations as masks.**  A :class:`BitAlphabet` fixes a
+bijection between the (sorted) letters and bit indices, so an interpretation
+becomes an ``int`` whose bit ``i`` says whether letter ``i`` is true.  Then
+
+* ``M △ N``  is ``m ^ n`` (XOR),
+* ``|M △ N|`` is ``(m ^ n).bit_count()`` (popcount),
+* ``M ⊆ N``  is ``m & n == m``,
+
+and :func:`min_subset_masks` / :func:`max_subset_masks` find the
+inclusion-minimal/-maximal elements of a family by *size-sorted submask
+pruning*: candidates are visited in popcount order, so only the accepted
+antichain needs to be consulted — ``O(u·|antichain|)`` submask tests instead
+of the all-pairs ``O(u²)`` scan.
+
+**Level 2 — model sets as truth tables.**  Over ``n ≤ ~20`` letters a whole
+*set* of interpretations is a single big-int of ``2^n`` bits: bit ``j`` is
+set iff the interpretation with mask ``j`` is in the set.  In this encoding
+
+* a formula compiles to its truth-table column (:func:`truth_table`): each
+  variable contributes a precomputed periodic column (letter ``i`` is true
+  on blocks of ``2^i`` indices), and ``∧ / ∨ / ¬`` become ``& / | / ^full``
+  — one big-int expression evaluates the formula on *all* ``2^n``
+  interpretations at once;
+* XOR-translating every model by a fixed mask ``m`` (the map ``N ↦ N △ M``)
+  is a sequence of ``popcount(m)`` shift-and-merge steps
+  (:func:`xor_translate_table`);
+* the inclusion-minimal elements of a set are found by an upward
+  subset-sum closure in ``2n`` big-int operations
+  (:func:`minimal_elements_table`), and Hamming balls grow one ring at a
+  time via single-bit flips (:func:`min_hamming_distance_tables`).
+
+The big-int encoding costs ``2^n / 8`` bytes per table, so it is the engine
+of choice up to ``n ≈ 20`` letters (``_TABLE_MAX_LETTERS``: 1 MiB per
+table); beyond the cutoff the SAT blocking-clause enumerator produces mask
+lists and the Level-1 operations take over.  All callers in
+:mod:`repro.sat.interface` and :mod:`repro.revision` apply that cutoff
+automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .formula import And, Formula, Iff, Implies, Not, Or, Top, Var, Xor, _Constant
+
+#: Above this many letters the ``2^n``-bit truth-table encoding is no longer
+#: worthwhile (1 MiB per table at 23 letters); callers fall back to SAT
+#: enumeration plus the mask-list operations.
+_TABLE_MAX_LETTERS = 20
+
+#: For each byte value, the positions of its set bits — used to stream the
+#: set bits of a big-int without quadratic shifting.
+_BYTE_BITS: Tuple[Tuple[int, ...], ...] = tuple(
+    tuple(i for i in range(8) if value >> i & 1) for value in range(256)
+)
+
+
+def iter_set_bits(value: int) -> Iterator[int]:
+    """Yield the positions of the set bits of ``value``, ascending.
+
+    Streams via ``to_bytes`` so the cost is linear in the integer's width
+    plus the number of set bits (repeatedly shifting a ``2^n``-bit integer
+    would be quadratic).
+    """
+    if value < 0:
+        raise ValueError("negative value has no well-defined bit set")
+    if value == 0:
+        return
+    data = value.to_bytes((value.bit_length() + 7) // 8, "little")
+    byte_bits = _BYTE_BITS
+    for base, byte in enumerate(data):
+        if byte:
+            offset = base << 3
+            for position in byte_bits[byte]:
+                yield offset + position
+
+
+class BitAlphabet:
+    """A fixed bijection between letters and bit indices.
+
+    Letters are sorted, so the mapping is deterministic: bit ``i`` is the
+    ``i``-th letter in sorted order — the same convention as
+    :func:`repro.logic.interpretation.all_interpretations`, which makes the
+    mask enumeration order identical to the historical frozenset order.
+    """
+
+    __slots__ = ("letters", "_index", "_columns", "_lows", "_layers")
+
+    def __init__(self, letters: Iterable[str]) -> None:
+        if isinstance(letters, BitAlphabet):
+            letters = letters.letters
+        self.letters: Tuple[str, ...] = tuple(sorted(set(letters)))
+        self._index: Dict[str, int] = {
+            name: i for i, name in enumerate(self.letters)
+        }
+        self._columns: Dict[int, int] = {}
+        self._lows: Optional[List[int]] = None
+        self._layers: Optional[List[int]] = None
+
+    @classmethod
+    def coerce(cls, letters: "BitAlphabet | Iterable[str]") -> "BitAlphabet":
+        return letters if isinstance(letters, BitAlphabet) else cls(letters)
+
+    # -- basic protocol -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.letters)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.letters)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitAlphabet):
+            return NotImplemented
+        return self.letters == other.letters
+
+    def __hash__(self) -> int:
+        return hash(self.letters)
+
+    def __repr__(self) -> str:
+        return f"BitAlphabet({list(self.letters)!r})"
+
+    # -- letter/mask conversions --------------------------------------------
+
+    def bit(self, name: str) -> int:
+        """The bit index of ``name`` (raises ``ValueError`` if foreign)."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise ValueError(
+                f"letter {name!r} outside alphabet {list(self.letters)}"
+            ) from None
+
+    def mask_of(self, model: Iterable[str]) -> int:
+        """Pack an interpretation (iterable of true letters) into a mask."""
+        mask = 0
+        for name in model:
+            mask |= 1 << self.bit(name)
+        return mask
+
+    def set_of(self, mask: int) -> FrozenSet[str]:
+        """Unpack a mask into the paper's frozenset-of-letters form."""
+        letters = self.letters
+        out = []
+        while mask:
+            low = mask & -mask
+            out.append(letters[low.bit_length() - 1])
+            mask ^= low
+        return frozenset(out)
+
+    @property
+    def universe(self) -> int:
+        """The mask with every letter true."""
+        return (1 << len(self.letters)) - 1
+
+    @property
+    def table_bits(self) -> int:
+        """Width of a truth table over this alphabet: ``2^n``."""
+        return 1 << len(self.letters)
+
+    @property
+    def full_table(self) -> int:
+        """The all-ones truth table (the valid formula)."""
+        return (1 << self.table_bits) - 1
+
+    def all_masks(self) -> range:
+        """Every interpretation over the alphabet, in mask order."""
+        return range(self.table_bits)
+
+    # -- truth-table building blocks ----------------------------------------
+
+    def column(self, name: str) -> int:
+        """The truth-table column of letter ``name``.
+
+        Bit ``j`` of the column is set iff bit ``i`` of ``j`` is set (where
+        ``i`` is the letter's index): the periodic pattern of ``2^i`` zeros
+        followed by ``2^i`` ones, tiled across ``2^n`` bits by doubling.
+        """
+        i = self.bit(name)
+        cached = self._columns.get(i)
+        if cached is not None:
+            return cached
+        half = 1 << i
+        block = ((1 << half) - 1) << half
+        width = half << 1
+        total = self.table_bits
+        while width < total:
+            block |= block << width
+            width <<= 1
+        self._columns[i] = block
+        return block
+
+    def _low_masks(self) -> List[int]:
+        """For each bit ``i``, the table positions whose mask has bit ``i``
+        clear (complement of the letter's column)."""
+        if self._lows is None:
+            full = self.full_table
+            self._lows = [
+                full ^ self.column(self.letters[i])
+                for i in range(len(self.letters))
+            ]
+        return self._lows
+
+    def popcount_layers(self) -> List[int]:
+        """``layers[k]``: the table of all masks with popcount ``k``.
+
+        Built by the Pascal-triangle recurrence over bits: adding letter
+        ``i`` either leaves a mask alone or shifts it up by ``2^i`` table
+        positions while raising its popcount by one.
+        """
+        if self._layers is None:
+            layers = [1]
+            for i in range(len(self.letters)):
+                shift = 1 << i
+                grown = [layers[0]]
+                for k in range(1, len(layers)):
+                    grown.append(layers[k] | (layers[k - 1] << shift))
+                grown.append(layers[-1] << shift)
+                layers = grown
+            self._layers = layers
+        return self._layers
+
+
+def truth_table(formula: Formula, alphabet: "BitAlphabet | Iterable[str]") -> int:
+    """Compile ``formula`` to its ``2^n``-bit truth-table column.
+
+    Bit ``j`` of the result is the formula's value under the interpretation
+    with mask ``j``.  Connectives map to big-int operations (``∧ → &``,
+    ``∨ → |``, ``¬ → ^ full``), so one expression evaluates the formula on
+    every interpretation at once — this is the bit-parallel replacement for
+    ``2^n`` calls to :meth:`Formula.evaluate`.
+
+    Every letter of the formula must belong to the alphabet.
+    """
+    alphabet = BitAlphabet.coerce(alphabet)
+    full = alphabet.full_table
+    memo: Dict[int, int] = {}
+
+    def walk(node: Formula) -> int:
+        cached = memo.get(id(node))
+        if cached is not None:
+            return cached
+        if isinstance(node, Var):
+            result = alphabet.column(node.name)
+        elif isinstance(node, Not):
+            result = walk(node.operand) ^ full
+        elif isinstance(node, And):
+            result = full
+            for operand in node.operands:
+                result &= walk(operand)
+                if not result:
+                    break
+        elif isinstance(node, Or):
+            result = 0
+            for operand in node.operands:
+                result |= walk(operand)
+                if result == full:
+                    break
+        elif isinstance(node, Implies):
+            result = (walk(node.antecedent) ^ full) | walk(node.consequent)
+        elif isinstance(node, Iff):
+            result = walk(node.left) ^ walk(node.right) ^ full
+        elif isinstance(node, Xor):
+            result = walk(node.left) ^ walk(node.right)
+        elif isinstance(node, _Constant):
+            result = full if node.value else 0
+        else:
+            raise TypeError(f"cannot compile {type(node).__name__} to a truth table")
+        memo[id(node)] = result
+        return result
+
+    return walk(formula)
+
+
+# ---------------------------------------------------------------------------
+# Mask-list operations (Level 1) — work at any alphabet size
+# ---------------------------------------------------------------------------
+
+
+def min_subset_masks(masks: Iterable[int]) -> List[int]:
+    """Inclusion-minimal elements of a family of masks.
+
+    Size-sorted submask pruning: visit candidates in popcount order; a
+    candidate is minimal iff no already-accepted (hence no smaller) mask is
+    a submask of it.  Equal-popcount masks can only be submasks when equal,
+    which deduplication rules out, so checking the accepted antichain alone
+    is sound.
+    """
+    unique = sorted(set(masks), key=lambda m: m.bit_count())
+    minimal: List[int] = []
+    for candidate in unique:
+        for accepted in minimal:
+            if accepted & candidate == accepted:
+                break
+        else:
+            minimal.append(candidate)
+    return minimal
+
+
+def max_subset_masks(masks: Iterable[int]) -> List[int]:
+    """Inclusion-maximal elements of a family of masks (mirror pruning)."""
+    unique = sorted(set(masks), key=lambda m: m.bit_count(), reverse=True)
+    maximal: List[int] = []
+    for candidate in unique:
+        for accepted in maximal:
+            if accepted & candidate == candidate:
+                break
+        else:
+            maximal.append(candidate)
+    return maximal
+
+
+def min_cardinality_masks(masks: Iterable[int]) -> int:
+    """Minimum popcount over a non-empty family, short-circuiting at 0."""
+    best: Optional[int] = None
+    for mask in masks:
+        count = mask.bit_count()
+        if count == 0:
+            return 0
+        if best is None or count < best:
+            best = count
+    if best is None:
+        raise ValueError("min_cardinality_masks of an empty family")
+    return best
+
+
+# ---------------------------------------------------------------------------
+# Truth-table operations (Level 2) — bit-parallel over all 2^n interpretations
+# ---------------------------------------------------------------------------
+
+
+def table_of_masks(masks: Iterable[int]) -> int:
+    """The truth table (characteristic big-int) of a set of masks."""
+    table = 0
+    for mask in masks:
+        table |= 1 << mask
+    return table
+
+
+def xor_translate_table(table: int, mask: int, alphabet: BitAlphabet) -> int:
+    """The table of ``{ j ^ mask : j ∈ table }``.
+
+    XOR by a constant permutes the ``2^n`` table positions; per set bit of
+    ``mask`` it is a swap of the two half-periods, i.e. two shifts and a
+    merge.  This computes every symmetric difference ``M △ N`` against a
+    fixed ``M`` in ``popcount(mask) · O(2^n/w)`` word operations.
+    """
+    lows = alphabet._low_masks()
+    while mask:
+        low_bit = mask & -mask
+        i = low_bit.bit_length() - 1
+        half = 1 << i
+        low = lows[i]
+        table = ((table >> half) & low) | ((table & low) << half)
+        mask ^= low_bit
+    return table
+
+
+def upward_closure_table(table: int, alphabet: BitAlphabet) -> int:
+    """All supersets (including the elements themselves) of a set of masks.
+
+    One subset-sum pass per bit: a mask gains bit ``i`` by moving up
+    ``2^i`` table positions; a single sweep over the bits reaches every
+    superset because added bits commute.
+    """
+    lows = alphabet._low_masks()
+    for i in range(len(alphabet)):
+        table |= (table & lows[i]) << (1 << i)
+    return table
+
+
+def minimal_elements_table(table: int, alphabet: BitAlphabet) -> int:
+    """The inclusion-minimal elements of a set of masks, as a table.
+
+    A mask is non-minimal iff it is a *strict* superset of some element:
+    take every one-bit extension of the set, close it upward, and subtract.
+    ``2n`` big-int operations total — the fully bit-parallel counterpart of
+    :func:`min_subset_masks`.
+    """
+    lows = alphabet._low_masks()
+    strict = 0
+    for i in range(len(alphabet)):
+        strict |= (table & lows[i]) << (1 << i)
+    strict = upward_closure_table(strict, alphabet)
+    return table & ~strict
+
+
+def neighbors_table(table: int, alphabet: BitAlphabet) -> int:
+    """All masks at Hamming distance exactly 1 from some element."""
+    lows = alphabet._low_masks()
+    result = 0
+    for i in range(len(alphabet)):
+        half = 1 << i
+        low = lows[i]
+        result |= ((table >> half) & low) | ((table & low) << half)
+    return result
+
+
+def min_hamming_distance_tables(
+    left: int, right: int, alphabet: BitAlphabet
+) -> Tuple[int, int]:
+    """``(k, ball)``: the minimum Hamming distance between two non-empty
+    model tables, and the radius-``k`` ball around ``left``.
+
+    Grows the ball one ring at a time with single-bit flips; ``ball & right``
+    is then exactly the elements of ``right`` at distance ``k`` from
+    ``left`` (nothing closer exists by minimality).
+    """
+    if not left or not right:
+        raise ValueError("min Hamming distance of an empty model table")
+    ball = left
+    distance = 0
+    while not ball & right:
+        ball |= neighbors_table(ball, alphabet)
+        distance += 1
+        if distance > len(alphabet):
+            raise AssertionError("Hamming ball failed to cover the space")
+    return distance, ball
+
+
+# ---------------------------------------------------------------------------
+# BitModelSet
+# ---------------------------------------------------------------------------
+
+
+class BitModelSet:
+    """An immutable set of interpretations in mask form over a BitAlphabet.
+
+    This is the engine-level counterpart of ``frozenset[frozenset[str]]``:
+    ``masks`` is a frozenset of ints, and :meth:`table` lazily materialises
+    the ``2^n``-bit characteristic integer for the bit-parallel operations
+    (only meaningful below the table cutoff).
+    """
+
+    __slots__ = ("alphabet", "masks", "_table")
+
+    def __init__(
+        self,
+        alphabet: "BitAlphabet | Iterable[str]",
+        masks: Iterable[int] = (),
+    ) -> None:
+        self.alphabet = BitAlphabet.coerce(alphabet)
+        self.masks: FrozenSet[int] = (
+            masks if isinstance(masks, frozenset) else frozenset(masks)
+        )
+        self._table: Optional[int] = None
+        if self.masks:
+            universe = self.alphabet.universe
+            for mask in self.masks:
+                if mask < 0 or mask & ~universe:
+                    raise ValueError(
+                        f"mask {mask:#x} outside the {len(self.alphabet)}-letter alphabet"
+                    )
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_interpretations(
+        cls,
+        alphabet: "BitAlphabet | Iterable[str]",
+        models: Iterable[Iterable[str]],
+    ) -> "BitModelSet":
+        """Pack frozenset-style interpretations into masks."""
+        bit_alphabet = BitAlphabet.coerce(alphabet)
+        return cls(bit_alphabet, (bit_alphabet.mask_of(m) for m in models))
+
+    @classmethod
+    def from_table(
+        cls, alphabet: "BitAlphabet | Iterable[str]", table: int
+    ) -> "BitModelSet":
+        """Build from a truth table, caching it for later table ops."""
+        bit_alphabet = BitAlphabet.coerce(alphabet)
+        instance = cls(bit_alphabet, frozenset(iter_set_bits(table)))
+        instance._table = table
+        return instance
+
+    @classmethod
+    def from_formula(
+        cls, formula: Formula, alphabet: "BitAlphabet | Iterable[str]"
+    ) -> "BitModelSet":
+        """The model set of ``formula`` by bit-parallel truth-table sweep.
+
+        Requires the formula's letters to lie inside the alphabet and the
+        alphabet to be small enough for the table encoding; callers wanting
+        the SAT fallback should use :func:`repro.sat.bit_models` instead.
+        """
+        bit_alphabet = BitAlphabet.coerce(alphabet)
+        if len(bit_alphabet) > _TABLE_MAX_LETTERS:
+            raise ValueError(
+                f"{len(bit_alphabet)} letters exceed the table cutoff "
+                f"({_TABLE_MAX_LETTERS}); use repro.sat.bit_models"
+            )
+        return cls.from_table(bit_alphabet, truth_table(formula, bit_alphabet))
+
+    # -- views --------------------------------------------------------------
+
+    def table(self) -> int:
+        """The characteristic ``2^n``-bit integer (lazily cached)."""
+        if self._table is None:
+            self._table = table_of_masks(self.masks)
+        return self._table
+
+    def to_frozensets(self) -> FrozenSet[FrozenSet[str]]:
+        """Unpack to the paper's frozenset-of-frozensets representation."""
+        set_of = self.alphabet.set_of
+        return frozenset(set_of(mask) for mask in self.masks)
+
+    # -- set protocol -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.masks)
+
+    def __bool__(self) -> bool:
+        return bool(self.masks)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.masks)
+
+    def __contains__(self, mask: object) -> bool:
+        return mask in self.masks
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitModelSet):
+            return NotImplemented
+        return self.alphabet == other.alphabet and self.masks == other.masks
+
+    def __hash__(self) -> int:
+        return hash((self.alphabet, self.masks))
+
+    def __repr__(self) -> str:
+        shown = ", ".join(
+            "{" + ", ".join(sorted(m)) + "}"
+            for m in sorted(self.to_frozensets(), key=sorted)
+        )
+        return f"BitModelSet[{len(self.alphabet)} letters]({shown})"
+
+    # -- algebra ------------------------------------------------------------
+
+    def with_masks(self, masks: Iterable[int]) -> "BitModelSet":
+        """A sibling set over the same alphabet."""
+        return BitModelSet(self.alphabet, masks)
+
+    def intersection(self, other: "BitModelSet") -> "BitModelSet":
+        self._check_same_alphabet(other)
+        return BitModelSet(self.alphabet, self.masks & other.masks)
+
+    def union(self, other: "BitModelSet") -> "BitModelSet":
+        self._check_same_alphabet(other)
+        return BitModelSet(self.alphabet, self.masks | other.masks)
+
+    def min_subset(self) -> List[int]:
+        """Inclusion-minimal masks (table path under the cutoff)."""
+        if len(self.alphabet) <= _TABLE_MAX_LETTERS:
+            minimal = minimal_elements_table(self.table(), self.alphabet)
+            return list(iter_set_bits(minimal))
+        return min_subset_masks(self.masks)
+
+    def max_subset(self) -> List[int]:
+        """Inclusion-maximal masks."""
+        return max_subset_masks(self.masks)
+
+    def extend_to(self, new_alphabet: "BitAlphabet | Iterable[str]") -> "BitModelSet":
+        """Lift to a larger alphabet, new letters unconstrained.
+
+        The lift is a shifted cross-product: each mask is re-indexed into
+        the new bit positions, then OR-combined with every submask of the
+        fresh-letter mask (the ``2^f`` free completions).
+        """
+        new_alphabet = BitAlphabet.coerce(new_alphabet)
+        if new_alphabet.letters == self.alphabet.letters:
+            return self
+        positions = [new_alphabet.bit(name) for name in self.alphabet.letters]
+        old_in_new = 0
+        for position in positions:
+            old_in_new |= 1 << position
+        fresh = new_alphabet.universe ^ old_in_new
+        translated: List[int] = []
+        for mask in self.masks:
+            moved = 0
+            while mask:
+                low = mask & -mask
+                moved |= 1 << positions[low.bit_length() - 1]
+                mask ^= low
+            translated.append(moved)
+        lifted: set[int] = set()
+        submask = fresh
+        while True:
+            for moved in translated:
+                lifted.add(moved | submask)
+            if submask == 0:
+                break
+            submask = (submask - 1) & fresh
+        return BitModelSet(new_alphabet, lifted)
+
+    def restrict_to(self, alphabet: "BitAlphabet | Iterable[str]") -> "BitModelSet":
+        """Project onto a sub-alphabet (``M|S``, paper Section 6)."""
+        sub = BitAlphabet.coerce(alphabet)
+        positions = [self.alphabet.bit(name) for name in sub.letters]
+        projected: set[int] = set()
+        for mask in self.masks:
+            small = 0
+            for new_bit, old_bit in enumerate(positions):
+                if mask >> old_bit & 1:
+                    small |= 1 << new_bit
+            projected.add(small)
+        return BitModelSet(sub, projected)
+
+    def _check_same_alphabet(self, other: "BitModelSet") -> None:
+        if self.alphabet != other.alphabet:
+            raise ValueError("model sets range over different alphabets")

@@ -2,7 +2,18 @@
 
 from .agm import contract, counterfactual, expand
 from .base import RevisionOperator, RevisionResult
-from .distances import delta, k_global, k_pointwise, mu, omega
+from .distances import (
+    delta,
+    delta_masks,
+    k_global,
+    k_global_masks,
+    k_pointwise,
+    k_pointwise_masks,
+    mu,
+    mu_masks,
+    omega,
+    omega_mask,
+)
 from .formula_based import (
     GfuvOperator,
     NebelOperator,
@@ -17,6 +28,12 @@ from .model_based import (
     SatohOperator,
     WeberOperator,
     WinslettOperator,
+)
+from .reference import (
+    REFERENCE_OPERATOR_NAMES,
+    reference_models,
+    reference_revise,
+    reference_select,
 )
 from .registry import (
     FORMULA_BASED_NAMES,
@@ -37,6 +54,7 @@ __all__ = [
     "ModelBasedOperator",
     "NebelOperator",
     "OPERATORS",
+    "REFERENCE_OPERATOR_NAMES",
     "RevisionOperator",
     "RevisionResult",
     "SatohOperator",
@@ -46,13 +64,21 @@ __all__ = [
     "contract",
     "counterfactual",
     "delta",
+    "delta_masks",
     "expand",
     "get_operator",
     "k_global",
+    "k_global_masks",
     "k_pointwise",
+    "k_pointwise_masks",
     "mu",
+    "mu_masks",
     "omega",
+    "omega_mask",
     "possible_worlds",
+    "reference_models",
+    "reference_revise",
+    "reference_select",
     "revise",
     "revise_iterated",
 ]

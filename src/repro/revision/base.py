@@ -7,6 +7,12 @@ exponential-but-exact semantics: the compact constructions of
 :mod:`repro.compact` are verified *against* it, and the benchmark harness
 measures the gap between the two — which is precisely the paper's subject.
 
+Internally the result is backed by the bitmask engine
+(:mod:`repro.logic.bitmodels`): models are stored as packed ints, and the
+frozenset-of-frozensets :attr:`RevisionResult.model_set` view is
+materialised lazily at the API boundary, so existing consumers see the
+paper's representation while the operators stay allocation-free.
+
 Conventions for the degenerate cases the paper sets aside (Section 2.2.2
 assumes both ``T`` and ``P`` satisfiable "as far as compactness is
 concerned"):
@@ -19,11 +25,18 @@ concerned"):
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
 
+from ..logic.bitmodels import (
+    _TABLE_MAX_LETTERS,
+    BitAlphabet,
+    BitModelSet,
+    truth_table,
+)
 from ..logic.formula import Formula, FormulaLike, as_formula, big_or, cube
 from ..logic.interpretation import Interpretation
 from ..logic.theory import Theory, TheoryLike
+from ..sat import bit_models as sat_bit_models
 from ..sat import models as sat_models
 
 
@@ -34,48 +47,81 @@ class RevisionResult:
         operator_name: name of the operator that produced this result.
         alphabet: the letters the models range over (``V(T) ∪ V(P)`` for a
             single revision).
-        model_set: frozenset of interpretations (each a frozenset of letters).
+        model_set: frozenset of interpretations (each a frozenset of
+            letters) — a lazily materialised view of the bitmask-backed
+            model set, see :attr:`bit_model_set`.
     """
 
     def __init__(
         self,
         operator_name: str,
         alphabet: Iterable[str],
-        model_set: Iterable[Interpretation],
+        model_set: Union[BitModelSet, Iterable[Interpretation]],
     ) -> None:
         self.operator_name = operator_name
         self.alphabet: Tuple[str, ...] = tuple(sorted(set(alphabet)))
-        self.model_set: FrozenSet[Interpretation] = frozenset(
-            frozenset(m) for m in model_set
-        )
-        alphabet_set = set(self.alphabet)
-        for model in self.model_set:
-            if not model <= alphabet_set:
-                raise ValueError(
-                    f"model {sorted(model)} uses letters outside {self.alphabet}"
+        if isinstance(model_set, BitModelSet):
+            if model_set.alphabet.letters != self.alphabet:
+                model_set = BitModelSet.from_interpretations(
+                    self.alphabet, model_set.to_frozensets()
                 )
+            self._bits = model_set
+        else:
+            bit_alphabet = BitAlphabet(self.alphabet)
+            try:
+                self._bits = BitModelSet.from_interpretations(
+                    bit_alphabet, model_set
+                )
+            except ValueError as error:
+                raise ValueError(
+                    f"model uses letters outside {self.alphabet}: {error}"
+                ) from None
+        self._alphabet_set: FrozenSet[str] = frozenset(self.alphabet)
+        self._model_set: Optional[FrozenSet[Interpretation]] = None
+
+    # -- representations -------------------------------------------------------
+
+    @property
+    def bit_model_set(self) -> BitModelSet:
+        """The engine-level view: models as packed ints."""
+        return self._bits
+
+    @property
+    def model_set(self) -> FrozenSet[Interpretation]:
+        """The paper's view: frozenset of frozensets (lazily materialised)."""
+        if self._model_set is None:
+            self._model_set = self._bits.to_frozensets()
+        return self._model_set
 
     # -- queries ---------------------------------------------------------------
 
     def is_consistent(self) -> bool:
         """Whether ``T * P`` has any model."""
-        return bool(self.model_set)
+        return bool(self._bits.masks)
 
     def satisfies(self, model: Iterable[str]) -> bool:
         """Model checking ``M |= T * P`` (M given over the result alphabet)."""
-        return frozenset(model) & frozenset(self.alphabet) in self.model_set
+        restricted = frozenset(model) & self._alphabet_set
+        return self._bits.alphabet.mask_of(restricted) in self._bits.masks
 
     def entails(self, query: FormulaLike) -> bool:
         """Entailment ``T * P |= Q`` for a query over the result alphabet.
 
         Vacuously true when the result is inconsistent, as in the paper.
+        Below the truth-table cutoff the query compiles to one big-int
+        column and entailment is a single containment test of the model
+        table; larger alphabets fall back to per-model evaluation.
         """
         formula = as_formula(query)
-        extra = formula.variables() - set(self.alphabet)
+        extra = formula.variables() - self._alphabet_set
         if extra:
             raise ValueError(
                 f"query letters {sorted(extra)} outside result alphabet"
             )
+        if len(self.alphabet) <= _TABLE_MAX_LETTERS:
+            models_table = self._bits.table()
+            query_table = truth_table(formula, self._bits.alphabet)
+            return models_table & query_table == models_table
         return all(formula.evaluate(model) for model in self.model_set)
 
     def formula(self) -> Formula:
@@ -96,7 +142,10 @@ class RevisionResult:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, RevisionResult):
             return NotImplemented
-        return self.alphabet == other.alphabet and self.model_set == other.model_set
+        return (
+            self.alphabet == other.alphabet
+            and self._bits.masks == other._bits.masks
+        )
 
     def __repr__(self) -> str:
         shown = ", ".join(
@@ -132,7 +181,9 @@ class RevisionOperator(ABC):
         if not new_formulas:
             alphabet = sorted(theory.variables())
             return RevisionResult(
-                self.name, alphabet, sat_models(theory.conjunction(), alphabet)
+                self.name,
+                alphabet,
+                self._bit_models_of(theory.conjunction(), alphabet),
             )
         result = self.revise(theory, new_formulas[0])
         for formula in new_formulas[1:]:
@@ -163,20 +214,25 @@ class RevisionOperator(ABC):
         return frozenset(sat_models(formula, alphabet))
 
     @staticmethod
+    def _bit_models_of(
+        formula: Formula, alphabet: "BitAlphabet | Sequence[str]"
+    ) -> BitModelSet:
+        """Engine-level model enumeration (bit-parallel under the cutoff)."""
+        return sat_bit_models(formula, alphabet)
+
+    @staticmethod
+    def _extend_bits(bits: BitModelSet, new_alphabet: "BitAlphabet | Sequence[str]") -> BitModelSet:
+        """Lift a bitmask model set to a larger alphabet."""
+        return bits.extend_to(BitAlphabet.coerce(new_alphabet))
+
+    @staticmethod
     def _extend_models(
         model_set: FrozenSet[Interpretation],
         old_alphabet: Sequence[str],
         new_alphabet: Sequence[str],
     ) -> FrozenSet[Interpretation]:
         """Lift a model set to a larger alphabet (new letters unconstrained)."""
-        fresh = sorted(set(new_alphabet) - set(old_alphabet))
-        if not fresh:
-            return model_set
-        lifted: set[Interpretation] = set()
-        for model in model_set:
-            for mask in range(1 << len(fresh)):
-                extra = frozenset(
-                    fresh[i] for i in range(len(fresh)) if mask >> i & 1
-                )
-                lifted.add(model | extra)
-        return frozenset(lifted)
+        if set(new_alphabet) == set(old_alphabet):
+            return frozenset(model_set)
+        bits = BitModelSet.from_interpretations(old_alphabet, model_set)
+        return bits.extend_to(BitAlphabet(new_alphabet)).to_frozensets()

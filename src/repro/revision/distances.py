@@ -12,18 +12,28 @@ Global measures (used by Satoh, Dalal, Weber):
 * ``Omega = ∪ delta(T, P)`` — every letter occurring in some minimal
   difference
 
-All functions work on explicit model sets; the compact constructions in
-:mod:`repro.compact` additionally provide SAT-based routes to ``k_{T,P}``
-and ``Omega`` that avoid full enumeration.
+Each measure exists in two forms: the frozenset form over explicit
+interpretations (the paper's notation, kept as the public API) and the
+``*_masks`` form over packed integers, where ``M △ N`` is ``m ^ n`` and
+``|M △ N|`` is a popcount — the representation the bitmask engine
+(:mod:`repro.logic.bitmodels`) and the model-based operators actually run
+on.  The compact constructions in :mod:`repro.compact` additionally provide
+SAT-based routes to ``k_{T,P}`` and ``Omega`` that avoid full enumeration.
 """
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, List, Set
+from typing import FrozenSet, Iterable, List, Optional, Set
 
+from ..logic.bitmodels import min_subset_masks
 from ..logic.interpretation import Interpretation, min_subset
 
 ModelSet = FrozenSet[Interpretation]
+
+
+# ---------------------------------------------------------------------------
+# Frozenset forms (the paper's notation)
+# ---------------------------------------------------------------------------
 
 
 def mu(model: Interpretation, p_models: Iterable[Interpretation]) -> List[FrozenSet[str]]:
@@ -34,11 +44,21 @@ def mu(model: Interpretation, p_models: Iterable[Interpretation]) -> List[Frozen
 
 
 def k_pointwise(model: Interpretation, p_models: Iterable[Interpretation]) -> int:
-    """``k_{M,P}``: the minimum cardinality of ``M △ N`` over ``N |= P``."""
-    sizes = [len(model ^ n) for n in p_models]
-    if not sizes:
+    """``k_{M,P}``: the minimum cardinality of ``M △ N`` over ``N |= P``.
+
+    Streams the models and short-circuits on distance 0 (``M`` itself a
+    model of ``P``): nothing can be closer.
+    """
+    best: Optional[int] = None
+    for n in p_models:
+        distance = len(model ^ n)
+        if distance == 0:
+            return 0
+        if best is None or distance < best:
+            best = distance
+    if best is None:
         raise ValueError("P has no models")
-    return min(sizes)
+    return best
 
 
 def delta(t_models: Iterable[Interpretation], p_models: Iterable[Interpretation]) -> List[FrozenSet[str]]:
@@ -71,3 +91,59 @@ def omega(t_models: Iterable[Interpretation], p_models: Iterable[Interpretation]
     for diff in delta(t_models, p_models):
         letters |= diff
     return frozenset(letters)
+
+
+# ---------------------------------------------------------------------------
+# Mask forms (interpretations packed into ints; the engine's hot path)
+# ---------------------------------------------------------------------------
+
+
+def mu_masks(model: int, p_masks: Iterable[int]) -> List[int]:
+    """``mu(M, P)`` over masks: ``M △ N`` is one XOR per model of ``P``."""
+    return min_subset_masks(model ^ n for n in p_masks)
+
+
+def k_pointwise_masks(model: int, p_masks: Iterable[int]) -> int:
+    """``k_{M,P}`` over masks (popcount of XOR, short-circuit at 0)."""
+    best: Optional[int] = None
+    for n in p_masks:
+        distance = (model ^ n).bit_count()
+        if distance == 0:
+            return 0
+        if best is None or distance < best:
+            best = distance
+    if best is None:
+        raise ValueError("P has no models")
+    return best
+
+
+def delta_masks(t_masks: Iterable[int], p_masks: Iterable[int]) -> List[int]:
+    """``delta(T, P)`` over masks."""
+    p_list = list(p_masks)
+    union: List[int] = []
+    for model in t_masks:
+        union.extend(mu_masks(model, p_list))
+    return min_subset_masks(union)
+
+
+def k_global_masks(t_masks: Iterable[int], p_masks: Iterable[int]) -> int:
+    """``k_{T,P}`` over masks."""
+    p_list = list(p_masks)
+    best: Optional[int] = None
+    for model in t_masks:
+        candidate = k_pointwise_masks(model, p_list)
+        if best is None or candidate < best:
+            best = candidate
+            if best == 0:
+                break
+    if best is None:
+        raise ValueError("T has no models")
+    return best
+
+
+def omega_mask(t_masks: Iterable[int], p_masks: Iterable[int]) -> int:
+    """``Omega`` over masks: OR of the global minimal differences."""
+    letters = 0
+    for diff in delta_masks(t_masks, p_masks):
+        letters |= diff
+    return letters

@@ -20,8 +20,9 @@ its members.  The central object is
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
+from ..logic.bitmodels import _TABLE_MAX_LETTERS, BitAlphabet, truth_table
 from ..logic.formula import Formula, FormulaLike, as_formula, big_or, land
 from ..logic.theory import Theory, TheoryLike
 from ..sat import is_satisfiable
@@ -36,17 +37,42 @@ def possible_worlds(theory: TheoryLike, new_formula: FormulaLike) -> List[Theory
     Exponential in ``|T|`` in the worst case — which is Nebel's and
     Winslett's observation about this semantics, and the benchmarks measure
     exactly this count.
+
+    Below the truth-table cutoff each member formula compiles once to its
+    big-int truth table and every consistency probe is an AND of tables
+    (non-zero iff satisfiable) instead of a Tseitin translation plus a DPLL
+    call per sub-theory.
     """
     theory = Theory.coerce(theory)
     formula = as_formula(new_formula)
-    if not is_satisfiable(formula):
+    letters = theory.variables() | formula.variables()
+    tables: Optional[dict] = None
+    p_table = 0
+    if len(letters) <= _TABLE_MAX_LETTERS:
+        alphabet = BitAlphabet(letters)
+        p_table = truth_table(formula, alphabet)
+        if not p_table:
+            return []
+        tables = {
+            member: truth_table(member, alphabet) for member in theory.formulas()
+        }
+    elif not is_satisfiable(formula):
         # No subset is consistent with P; W is empty.
         return []
     worlds: List[Theory] = []
     for candidate in theory.subsets():
         if any(set(candidate.formulas()) <= set(world.formulas()) for world in worlds):
             continue
-        if is_satisfiable(land(candidate.conjunction(), formula)):
+        if tables is not None:
+            joint = p_table
+            for member in candidate.formulas():
+                joint &= tables[member]
+                if not joint:
+                    break
+            consistent = bool(joint)
+        else:
+            consistent = is_satisfiable(land(candidate.conjunction(), formula))
+        if consistent:
             worlds.append(candidate)
     return worlds
 
@@ -67,7 +93,9 @@ class GfuvOperator(RevisionOperator):
         formula = as_formula(new_formula)
         alphabet = self._alphabet(theory, formula)
         symbolic = self.revised_formula(theory, formula)
-        return RevisionResult(self.name, alphabet, self._models_of(symbolic, alphabet))
+        return RevisionResult(
+            self.name, alphabet, self._bit_models_of(symbolic, alphabet)
+        )
 
     def revised_formula(self, theory: TheoryLike, new_formula: FormulaLike) -> Formula:
         """The explicit disjunction-of-worlds representation.
@@ -98,7 +126,9 @@ class WidtioOperator(RevisionOperator):
         alphabet = self._alphabet(theory, formula)
         revised = self.revised_theory(theory, formula)
         return RevisionResult(
-            self.name, alphabet, self._models_of(revised.conjunction(), alphabet)
+            self.name,
+            alphabet,
+            self._bit_models_of(revised.conjunction(), alphabet),
         )
 
     def revised_theory(self, theory: TheoryLike, new_formula: FormulaLike) -> Theory:
@@ -133,7 +163,7 @@ class WidtioOperator(RevisionOperator):
             current = self.revised_theory(current, formula)
         names = tuple(sorted(alphabet))
         return RevisionResult(
-            self.name, names, self._models_of(current.conjunction(), names)
+            self.name, names, self._bit_models_of(current.conjunction(), names)
         )
 
 
@@ -168,7 +198,9 @@ class NebelOperator(RevisionOperator):
         alphabet = tuple(sorted(alphabet_set))
         worlds = self.prioritized_worlds(class_list, formula)
         symbolic = land(big_or(world.conjunction() for world in worlds), formula)
-        return RevisionResult(self.name, alphabet, self._models_of(symbolic, alphabet))
+        return RevisionResult(
+            self.name, alphabet, self._bit_models_of(symbolic, alphabet)
+        )
 
     @staticmethod
     def prioritized_worlds(

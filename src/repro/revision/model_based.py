@@ -17,77 +17,147 @@ Global (revision-style — proximity judged against all models of ``T``):
 * :class:`WeberOperator` — differences confined to ``Omega``, the union of
   all inclusion-minimal differences.
 
-Every ``revise`` computes the ground-truth model set by enumeration; the
-containment relations among the six results (paper Fig. 2) are asserted by
-``tests/test_revision_containment.py``.
+Every ``revise`` computes the ground-truth model set by enumeration on the
+bitmask engine (:mod:`repro.logic.bitmodels`).  Below the truth-table
+cutoff the selection rules run *bit-parallel*: a model set is one big-int,
+``{M △ N : N |= P}`` is an XOR-translation of that integer, ``min⊆`` is a
+subset-sum closure, and Hamming balls grow by single-bit flips — so the
+per-model work is a handful of big-int operations instead of a Python loop
+over models of ``P``.  Above the cutoff the same rules run on packed masks
+(XOR + popcount per pair).  The retained frozenset semantics lives in
+:mod:`repro.revision.reference` and the hypothesis suite asserts both
+engines agree; the containment relations among the six results (paper
+Fig. 2) are asserted by ``tests/test_revision_containment.py``.
 """
 
 from __future__ import annotations
 
 from typing import FrozenSet, Iterable, Sequence, Set, Tuple
 
+from ..logic.bitmodels import (
+    _TABLE_MAX_LETTERS,
+    BitAlphabet,
+    BitModelSet,
+    iter_set_bits,
+    min_hamming_distance_tables,
+    minimal_elements_table,
+    xor_translate_table,
+)
 from ..logic.formula import FormulaLike, as_formula
 from ..logic.interpretation import Interpretation
 from ..logic.theory import Theory, TheoryLike
 from .base import RevisionOperator, RevisionResult
-from .distances import delta, k_global, k_pointwise, mu, omega
+from .distances import (
+    delta_masks,
+    k_global_masks,
+    k_pointwise_masks,
+    mu_masks,
+    omega_mask,
+)
 
 ModelSet = FrozenSet[Interpretation]
 
 
 class ModelBasedOperator(RevisionOperator):
-    """Shared driver: enumerate models, delegate the selection rule."""
+    """Shared driver: enumerate models bit-parallel, delegate the rule."""
 
     syntax_sensitive = False
 
     def revise(self, theory: TheoryLike, new_formula: FormulaLike) -> RevisionResult:
         theory = Theory.coerce(theory)
         formula = as_formula(new_formula)
-        alphabet = self._alphabet(theory, formula)
-        t_models = self._models_of(theory.conjunction(), alphabet)
-        p_models = self._models_of(formula, alphabet)
-        selected = self._select(t_models, p_models)
-        return RevisionResult(self.name, alphabet, selected)
+        alphabet = BitAlphabet(self._alphabet(theory, formula))
+        t_bits = self._bit_models_of(theory.conjunction(), alphabet)
+        p_bits = self._bit_models_of(formula, alphabet)
+        return RevisionResult(
+            self.name, alphabet.letters, self._select_bits(t_bits, p_bits)
+        )
 
     def revise_result(
         self, previous: RevisionResult, new_formula: FormulaLike
     ) -> RevisionResult:
         formula = as_formula(new_formula)
-        alphabet = tuple(sorted(set(previous.alphabet) | formula.variables()))
-        t_models = self._extend_models(previous.model_set, previous.alphabet, alphabet)
-        p_models = self._models_of(formula, alphabet)
-        selected = self._select(t_models, p_models)
-        return RevisionResult(self.name, alphabet, selected)
+        alphabet = BitAlphabet(set(previous.alphabet) | formula.variables())
+        t_bits = self._extend_bits(previous.bit_model_set, alphabet)
+        p_bits = self._bit_models_of(formula, alphabet)
+        return RevisionResult(
+            self.name, alphabet.letters, self._select_bits(t_bits, p_bits)
+        )
 
-    def _select(self, t_models: ModelSet, p_models: ModelSet) -> ModelSet:
+    def _select_bits(self, t_bits: BitModelSet, p_bits: BitModelSet) -> BitModelSet:
         """Apply the operator's selection rule (degenerate cases shared)."""
-        if not p_models:
-            return frozenset()
-        if not t_models:
-            return p_models
-        return self._select_nondegenerate(t_models, p_models)
+        if not p_bits.masks:
+            return p_bits.with_masks(())
+        if not t_bits.masks:
+            return p_bits
+        if len(p_bits.alphabet) <= _TABLE_MAX_LETTERS:
+            return p_bits.with_masks(self._select_tables(t_bits, p_bits))
+        return p_bits.with_masks(self._select_masks(t_bits.masks, p_bits.masks))
 
-    def _select_nondegenerate(self, t_models: ModelSet, p_models: ModelSet) -> ModelSet:
+    # -- selection rules, two encodings each --------------------------------
+
+    def _select_tables(
+        self, t_bits: BitModelSet, p_bits: BitModelSet
+    ) -> Iterable[int]:
+        """Bit-parallel selection on big-int truth tables (small alphabets)."""
         raise NotImplementedError
+
+    def _select_masks(
+        self, t_masks: FrozenSet[int], p_masks: FrozenSet[int]
+    ) -> Iterable[int]:
+        """Mask-at-a-time selection (any alphabet size)."""
+        raise NotImplementedError
+
+    # Kept for API compatibility with pre-bitmask callers/tests.
+    def _select(self, t_models: ModelSet, p_models: ModelSet) -> ModelSet:
+        """Frozenset boundary around :meth:`_select_bits`."""
+        letters: Set[str] = set()
+        for model in t_models:
+            letters |= model
+        for model in p_models:
+            letters |= model
+        alphabet = BitAlphabet(letters)
+        selected = self._select_bits(
+            BitModelSet.from_interpretations(alphabet, t_models),
+            BitModelSet.from_interpretations(alphabet, p_models),
+        )
+        return selected.to_frozensets()
 
 
 class WinslettOperator(ModelBasedOperator):
     """Winslett's Possible Models Approach (update).
 
     ``M(T ◇ P) = { N |= P : ∃M |= T, M △ N ∈ mu(M, P) }``.
+
+    Per model ``M`` of ``T``, the bit-parallel route XOR-translates the
+    whole ``P`` table by ``M`` (giving the table of differences), extracts
+    its inclusion-minimal elements with the subset-sum closure, and
+    translates back — ``N = M △ (M △ N)`` makes the selected models a
+    translation of the minimal-difference table.
     """
 
     name = "winslett"
 
-    def _select_nondegenerate(self, t_models: ModelSet, p_models: ModelSet) -> ModelSet:
-        p_list = list(p_models)
-        selected: Set[Interpretation] = set()
-        for model in t_models:
-            minimal = set(map(frozenset, mu(model, p_list)))
-            for candidate in p_list:
-                if model ^ candidate in minimal:
-                    selected.add(candidate)
-        return frozenset(selected)
+    def _select_tables(
+        self, t_bits: BitModelSet, p_bits: BitModelSet
+    ) -> Iterable[int]:
+        alphabet = t_bits.alphabet
+        p_table = p_bits.table()
+        selected = 0
+        for model in t_bits.masks:
+            diffs = xor_translate_table(p_table, model, alphabet)
+            minimal = minimal_elements_table(diffs, alphabet)
+            selected |= xor_translate_table(minimal, model, alphabet)
+        return iter_set_bits(selected)
+
+    def _select_masks(
+        self, t_masks: FrozenSet[int], p_masks: FrozenSet[int]
+    ) -> Iterable[int]:
+        p_list = list(p_masks)
+        selected: Set[int] = set()
+        for model in t_masks:
+            selected.update(model ^ diff for diff in mu_masks(model, p_list))
+        return selected
 
 
 class BorgidaOperator(ModelBasedOperator):
@@ -95,30 +165,74 @@ class BorgidaOperator(ModelBasedOperator):
 
     name = "borgida"
 
-    def _select_nondegenerate(self, t_models: ModelSet, p_models: ModelSet) -> ModelSet:
-        both = t_models & p_models
+    def _select_tables(
+        self, t_bits: BitModelSet, p_bits: BitModelSet
+    ) -> Iterable[int]:
+        both = t_bits.masks & p_bits.masks
         if both:
             return both
-        return WinslettOperator()._select_nondegenerate(t_models, p_models)
+        return WinslettOperator()._select_tables(t_bits, p_bits)
+
+    def _select_masks(
+        self, t_masks: FrozenSet[int], p_masks: FrozenSet[int]
+    ) -> Iterable[int]:
+        both = t_masks & p_masks
+        if both:
+            return both
+        return WinslettOperator()._select_masks(t_masks, p_masks)
 
 
 class ForbusOperator(ModelBasedOperator):
     """Forbus' operator: per-model cardinality minimisation.
 
     ``M(T ◇ P) = { N |= P : ∃M |= T, |M △ N| = k_{M,P} }``.
+
+    Bit-parallel: the difference table intersected with the cached
+    popcount-``k`` layer tables finds the first non-empty distance ring
+    without touching individual models of ``P``.
     """
 
     name = "forbus"
 
-    def _select_nondegenerate(self, t_models: ModelSet, p_models: ModelSet) -> ModelSet:
-        p_list = list(p_models)
-        selected: Set[Interpretation] = set()
-        for model in t_models:
-            threshold = k_pointwise(model, p_list)
-            for candidate in p_list:
-                if len(model ^ candidate) == threshold:
-                    selected.add(candidate)
-        return frozenset(selected)
+    def _select_tables(
+        self, t_bits: BitModelSet, p_bits: BitModelSet
+    ) -> Iterable[int]:
+        alphabet = t_bits.alphabet
+        p_table = p_bits.table()
+        layers = alphabet.popcount_layers()
+        selected = 0
+        for model in t_bits.masks:
+            diffs = xor_translate_table(p_table, model, alphabet)
+            for layer in layers:
+                ring = diffs & layer
+                if ring:
+                    selected |= xor_translate_table(ring, model, alphabet)
+                    break
+        return iter_set_bits(selected)
+
+    def _select_masks(
+        self, t_masks: FrozenSet[int], p_masks: FrozenSet[int]
+    ) -> Iterable[int]:
+        p_list = list(p_masks)
+        selected: Set[int] = set()
+        for model in t_masks:
+            threshold = k_pointwise_masks(model, p_list)
+            selected.update(
+                candidate
+                for candidate in p_list
+                if (model ^ candidate).bit_count() == threshold
+            )
+        return selected
+
+
+def _delta_table(t_bits: BitModelSet, p_bits: BitModelSet) -> int:
+    """``delta(T, P)`` as a truth table: minimal elements of all differences."""
+    alphabet = t_bits.alphabet
+    p_table = p_bits.table()
+    diffs = 0
+    for model in t_bits.masks:
+        diffs |= xor_translate_table(p_table, model, alphabet)
+    return minimal_elements_table(diffs, alphabet)
 
 
 class SatohOperator(ModelBasedOperator):
@@ -129,50 +243,99 @@ class SatohOperator(ModelBasedOperator):
 
     name = "satoh"
 
-    def _select_nondegenerate(self, t_models: ModelSet, p_models: ModelSet) -> ModelSet:
-        minimal = set(map(frozenset, delta(t_models, p_models)))
-        selected: Set[Interpretation] = set()
-        for candidate in p_models:
-            for model in t_models:
-                if candidate ^ model in minimal:
+    def _select_tables(
+        self, t_bits: BitModelSet, p_bits: BitModelSet
+    ) -> Iterable[int]:
+        alphabet = t_bits.alphabet
+        delta_tab = _delta_table(t_bits, p_bits)
+        reachable = 0
+        for model in t_bits.masks:
+            reachable |= xor_translate_table(delta_tab, model, alphabet)
+        return iter_set_bits(reachable & p_bits.table())
+
+    def _select_masks(
+        self, t_masks: FrozenSet[int], p_masks: FrozenSet[int]
+    ) -> Iterable[int]:
+        minimal = delta_masks(t_masks, p_masks)
+        selected: Set[int] = set()
+        for model in t_masks:
+            for diff in minimal:
+                candidate = model ^ diff
+                if candidate in p_masks:
                     selected.add(candidate)
-                    break
-        return frozenset(selected)
+        return selected
 
 
 class DalalOperator(ModelBasedOperator):
     """Dalal's operator: global cardinality-minimal differences.
 
     ``M(T * P) = { N |= P : ∃M |= T, |N △ M| = k_{T,P} }``.
+
+    Bit-parallel: grow the Hamming ball around the whole ``T`` table one
+    ring at a time; the first intersection with the ``P`` table is exactly
+    the selected model set.
     """
 
     name = "dalal"
 
-    def _select_nondegenerate(self, t_models: ModelSet, p_models: ModelSet) -> ModelSet:
-        threshold = k_global(t_models, p_models)
-        selected: Set[Interpretation] = set()
-        for candidate in p_models:
-            for model in t_models:
-                if len(candidate ^ model) == threshold:
-                    selected.add(candidate)
-                    break
-        return frozenset(selected)
+    def _select_tables(
+        self, t_bits: BitModelSet, p_bits: BitModelSet
+    ) -> Iterable[int]:
+        p_table = p_bits.table()
+        _, ball = min_hamming_distance_tables(
+            t_bits.table(), p_table, t_bits.alphabet
+        )
+        return iter_set_bits(ball & p_table)
+
+    def _select_masks(
+        self, t_masks: FrozenSet[int], p_masks: FrozenSet[int]
+    ) -> Iterable[int]:
+        threshold = k_global_masks(t_masks, p_masks)
+        t_list = list(t_masks)
+        return {
+            candidate
+            for candidate in p_masks
+            if any(
+                (candidate ^ model).bit_count() == threshold for model in t_list
+            )
+        }
 
 
 class WeberOperator(ModelBasedOperator):
     """Weber's operator: differences confined to ``Omega = ∪ delta(T,P)``.
 
     ``M(T * P) = { N |= P : ∃M |= T, N △ M ⊆ Omega }``.
+
+    Bit-parallel: closing the ``T`` table under single-bit flips of the
+    ``Omega`` letters yields every interpretation within an ``Omega``-
+    confined difference of ``T`` (flips commute, so one pass per letter
+    suffices); intersecting with the ``P`` table finishes the selection.
     """
 
     name = "weber"
 
-    def _select_nondegenerate(self, t_models: ModelSet, p_models: ModelSet) -> ModelSet:
-        allowed = omega(t_models, p_models)
-        selected: Set[Interpretation] = set()
-        for candidate in p_models:
-            for model in t_models:
-                if candidate ^ model <= allowed:
-                    selected.add(candidate)
-                    break
-        return frozenset(selected)
+    def _select_tables(
+        self, t_bits: BitModelSet, p_bits: BitModelSet
+    ) -> Iterable[int]:
+        alphabet = t_bits.alphabet
+        delta_tab = _delta_table(t_bits, p_bits)
+        allowed = 0
+        for diff in iter_set_bits(delta_tab):
+            allowed |= diff
+        reachable = t_bits.table()
+        while allowed:
+            low = allowed & -allowed
+            reachable |= xor_translate_table(reachable, low, alphabet)
+            allowed ^= low
+        return iter_set_bits(reachable & p_bits.table())
+
+    def _select_masks(
+        self, t_masks: FrozenSet[int], p_masks: FrozenSet[int]
+    ) -> Iterable[int]:
+        allowed = omega_mask(t_masks, p_masks)
+        t_list = list(t_masks)
+        return {
+            candidate
+            for candidate in p_masks
+            if any((candidate ^ model) & ~allowed == 0 for model in t_list)
+        }

@@ -1,0 +1,185 @@
+"""The retained frozenset reference engine for the model-based operators.
+
+This module preserves, verbatim in spirit, the pre-bitmask semantics
+pipeline: interpretations are ``frozenset[str]``, model enumeration calls
+:meth:`Formula.evaluate` once per interpretation, ``min⊆`` is the all-pairs
+scan, and each operator's selection rule manipulates frozensets.  It exists
+for two reasons:
+
+* **equivalence testing** — the hypothesis suite asserts that the bitmask
+  engine (:mod:`repro.logic.bitmodels` + :mod:`repro.revision.model_based`)
+  returns *identical* model sets on random ``(T, P)`` pairs;
+* **benchmarking** — ``benchmarks/bench_revision_perf.py`` times this
+  engine against the bitmask engine to document the speedup.
+
+Do not "optimise" this module: its value is being the slow, obviously
+correct baseline.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from ..logic.formula import Formula, FormulaLike, as_formula
+from ..logic.interpretation import Interpretation
+from ..logic.theory import Theory, TheoryLike
+
+ModelSet = FrozenSet[Interpretation]
+
+REFERENCE_OPERATOR_NAMES: Tuple[str, ...] = (
+    "winslett",
+    "borgida",
+    "forbus",
+    "satoh",
+    "dalal",
+    "weber",
+)
+
+
+def reference_models(formula: Formula, alphabet: Sequence[str]) -> ModelSet:
+    """Model enumeration by per-interpretation evaluation (the old engine)."""
+    names = sorted(set(alphabet))
+    count = len(names)
+    found: Set[Interpretation] = set()
+    for mask in range(1 << count):
+        model = frozenset(names[i] for i in range(count) if mask >> i & 1)
+        if formula.evaluate(model):
+            found.add(model)
+    return frozenset(found)
+
+
+def _min_subset(sets: Iterable[FrozenSet[str]]) -> List[FrozenSet[str]]:
+    """The original all-pairs ``min⊆`` scan."""
+    unique = list(dict.fromkeys(sets))
+    return [
+        candidate
+        for candidate in unique
+        if not any(other < candidate for other in unique)
+    ]
+
+
+def _mu(model: Interpretation, p_models: Sequence[Interpretation]) -> List[FrozenSet[str]]:
+    return _min_subset([model ^ n for n in p_models])
+
+
+def _k_pointwise(model: Interpretation, p_models: Sequence[Interpretation]) -> int:
+    sizes = [len(model ^ n) for n in p_models]
+    if not sizes:
+        raise ValueError("P has no models")
+    return min(sizes)
+
+
+def _delta(t_models: ModelSet, p_models: Sequence[Interpretation]) -> List[FrozenSet[str]]:
+    union: List[FrozenSet[str]] = []
+    for model in t_models:
+        union.extend(_mu(model, p_models))
+    return _min_subset(union)
+
+
+def _select_winslett(t_models: ModelSet, p_models: ModelSet) -> ModelSet:
+    p_list = list(p_models)
+    selected: Set[Interpretation] = set()
+    for model in t_models:
+        minimal = set(map(frozenset, _mu(model, p_list)))
+        for candidate in p_list:
+            if model ^ candidate in minimal:
+                selected.add(candidate)
+    return frozenset(selected)
+
+
+def _select_borgida(t_models: ModelSet, p_models: ModelSet) -> ModelSet:
+    both = t_models & p_models
+    if both:
+        return both
+    return _select_winslett(t_models, p_models)
+
+
+def _select_forbus(t_models: ModelSet, p_models: ModelSet) -> ModelSet:
+    p_list = list(p_models)
+    selected: Set[Interpretation] = set()
+    for model in t_models:
+        threshold = _k_pointwise(model, p_list)
+        for candidate in p_list:
+            if len(model ^ candidate) == threshold:
+                selected.add(candidate)
+    return frozenset(selected)
+
+
+def _select_satoh(t_models: ModelSet, p_models: ModelSet) -> ModelSet:
+    minimal = set(map(frozenset, _delta(t_models, list(p_models))))
+    selected: Set[Interpretation] = set()
+    for candidate in p_models:
+        for model in t_models:
+            if candidate ^ model in minimal:
+                selected.add(candidate)
+                break
+    return frozenset(selected)
+
+
+def _select_dalal(t_models: ModelSet, p_models: ModelSet) -> ModelSet:
+    p_list = list(p_models)
+    threshold = min(
+        min(len(candidate ^ model) for candidate in p_list) for model in t_models
+    )
+    selected: Set[Interpretation] = set()
+    for candidate in p_list:
+        for model in t_models:
+            if len(candidate ^ model) == threshold:
+                selected.add(candidate)
+                break
+    return frozenset(selected)
+
+
+def _select_weber(t_models: ModelSet, p_models: ModelSet) -> ModelSet:
+    allowed: Set[str] = set()
+    for diff in _delta(t_models, list(p_models)):
+        allowed |= diff
+    selected: Set[Interpretation] = set()
+    for candidate in p_models:
+        for model in t_models:
+            if candidate ^ model <= allowed:
+                selected.add(candidate)
+                break
+    return frozenset(selected)
+
+
+_SELECTORS = {
+    "winslett": _select_winslett,
+    "borgida": _select_borgida,
+    "forbus": _select_forbus,
+    "satoh": _select_satoh,
+    "dalal": _select_dalal,
+    "weber": _select_weber,
+}
+
+
+def reference_select(name: str, t_models: ModelSet, p_models: ModelSet) -> ModelSet:
+    """Apply operator ``name``'s selection rule, frozenset semantics.
+
+    Shares the engine's degenerate-case conventions: no models of ``P``
+    gives the empty result; no models of ``T`` gives ``P``.
+    """
+    if name not in _SELECTORS:
+        raise KeyError(f"unknown model-based operator {name!r}")
+    if not p_models:
+        return frozenset()
+    if not t_models:
+        return frozenset(p_models)
+    return _SELECTORS[name](frozenset(t_models), frozenset(p_models))
+
+
+def reference_revise(
+    theory: TheoryLike, new_formula: FormulaLike, name: str
+) -> Tuple[Tuple[str, ...], ModelSet]:
+    """``(alphabet, model set)`` of ``T * P`` via the frozenset pipeline.
+
+    Everything — enumeration, distances, selection — goes through the
+    retained frozenset code paths, making this the ground truth the bitmask
+    engine is verified against.
+    """
+    theory = Theory.coerce(theory)
+    formula = as_formula(new_formula)
+    alphabet = tuple(sorted(theory.variables() | formula.variables()))
+    t_models = reference_models(theory.conjunction(), alphabet)
+    p_models = reference_models(formula, alphabet)
+    return alphabet, reference_select(name, t_models, p_models)

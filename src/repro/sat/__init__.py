@@ -4,6 +4,7 @@ from .dimacs import read_dimacs, write_dimacs
 from .enumerate import count_models as count_cnf_models
 from .enumerate import enumerate_models
 from .interface import (
+    bit_models,
     count_models,
     entails,
     equivalent,
@@ -18,6 +19,7 @@ from .solver import CnfInstance, Solver
 __all__ = [
     "CnfInstance",
     "Solver",
+    "bit_models",
     "count_cnf_models",
     "count_models",
     "entails",

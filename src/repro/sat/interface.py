@@ -16,6 +16,13 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
+from ..logic.bitmodels import (
+    _TABLE_MAX_LETTERS,
+    BitAlphabet,
+    BitModelSet,
+    iter_set_bits,
+    truth_table,
+)
 from ..logic.cnf import tseitin
 from ..logic.formula import Formula, land, lnot
 from ..logic.interpretation import Interpretation
@@ -108,9 +115,24 @@ def query_equivalent(
     return left_models == right_models
 
 
-#: Work bound for the brute-force enumeration fast path (mask count times
+#: Work bound for the bit-parallel truth-table fast path (table width times
 #: formula node count); above it, SAT enumeration with blocking clauses wins.
-_BRUTE_FORCE_BUDGET = 24_000_000
+#: The bit-parallel sweep processes a machine word of interpretations per
+#: big-int word operation, so the budget is far above the old per-model
+#: evaluation bound.
+_BRUTE_FORCE_BUDGET = 1 << 28
+
+#: Truth tables take ``2^n`` bits; above this many letters the encoding is
+#: abandoned regardless of formula size (bitmodels' cutoff, shared so the
+#: engine layers always agree on which encoding is in use).
+_BIT_PARALLEL_MAX_LETTERS = _TABLE_MAX_LETTERS
+
+
+def _wants_bit_parallel(formula: Formula, names: Sequence[str]) -> bool:
+    if len(names) > _BIT_PARALLEL_MAX_LETTERS:
+        return False
+    work = (1 << len(names)) * max(formula.node_count(), 1)
+    return work <= _BRUTE_FORCE_BUDGET
 
 
 def models(
@@ -123,20 +145,27 @@ def models(
     Each model is a frozenset of the alphabet letters assigned true (the
     paper's representation).  Default alphabet: the formula's own letters.
 
-    Two engines, chosen by a cost estimate: direct truth-table sweep for
-    small alphabets (dense model sets make one solver call per model far
-    slower than 2^n evaluations), SAT with blocking clauses otherwise.
+    Two engines, chosen by a cost estimate: a bit-parallel truth-table
+    sweep for small alphabets (the formula compiles to one big-int column;
+    see :mod:`repro.logic.bitmodels`), SAT with blocking clauses otherwise.
+    The sweep yields masks in ascending order over the sorted alphabet —
+    the same deterministic order as the historical per-model evaluation.
     """
     if alphabet is None:
         names = sorted(formula.variables())
     else:
         names = sorted(set(alphabet))
     extra_letters = formula.variables() - set(names)
-    if not extra_letters:
-        work = (1 << len(names)) * max(formula.node_count(), 1)
-        if len(names) <= 20 and work <= _BRUTE_FORCE_BUDGET:
-            yield from _models_brute_force(formula, names, limit)
-            return
+    if not extra_letters and _wants_bit_parallel(formula, names):
+        bit_alphabet = BitAlphabet(names)
+        table = truth_table(formula, bit_alphabet)
+        produced = 0
+        for mask in iter_set_bits(table):
+            yield bit_alphabet.set_of(mask)
+            produced += 1
+            if limit is not None and produced >= limit:
+                return
+        return
     encoding = _encode([formula])
     # Ensure every projection letter exists in the encoding even when the
     # formula does not mention it (unconstrained letters double the models).
@@ -147,19 +176,37 @@ def models(
         )
 
 
-def _models_brute_force(
-    formula: Formula, names: List[str], limit: Optional[int]
-) -> Iterator[Interpretation]:
-    """Truth-table sweep over the (small) alphabet."""
-    produced = 0
-    count = len(names)
-    for mask in range(1 << count):
-        model = frozenset(names[i] for i in range(count) if mask >> i & 1)
-        if formula.evaluate(model):
-            yield model
-            produced += 1
-            if limit is not None and produced >= limit:
-                return
+def bit_models(
+    formula: Formula,
+    alphabet: "Optional[BitAlphabet | Iterable[str]]" = None,
+) -> BitModelSet:
+    """The model set of ``formula`` over ``alphabet`` in bitmask form.
+
+    This is the engine entry point used by the revision core: below the
+    truth-table cutoff the whole model set is produced by one bit-parallel
+    expression; above it (or when the formula mentions letters outside the
+    projection alphabet) the SAT blocking-clause enumerator fills the mask
+    set instead.
+    """
+    if alphabet is None:
+        bit_alphabet = BitAlphabet(formula.variables())
+    else:
+        bit_alphabet = BitAlphabet.coerce(alphabet)
+    extra_letters = formula.variables() - set(bit_alphabet.letters)
+    if not extra_letters and _wants_bit_parallel(formula, bit_alphabet.letters):
+        return BitModelSet.from_table(
+            bit_alphabet, truth_table(formula, bit_alphabet)
+        )
+    encoding = _encode([formula])
+    projection = [encoding.var(name) for name in bit_alphabet.letters]
+    masks = []
+    for projected in enumerate_models(encoding.instance, projection):
+        mask = 0
+        for lit in projected:
+            if lit > 0:
+                mask |= 1 << bit_alphabet.bit(encoding.name_of[lit])
+        masks.append(mask)
+    return BitModelSet(bit_alphabet, masks)
 
 
 def count_models(
