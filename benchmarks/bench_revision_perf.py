@@ -1,23 +1,28 @@
-"""E-perf — bitmask engine vs. frozenset engine on the six model-based operators.
+"""E-perf — the standing perf trajectory for the six model-based operators.
 
-Times the full revision pipeline (model enumeration + selection) of both
-engines on the ``random_tp_pair`` workload across alphabet sizes, verifies
-the two engines return *identical* model sets on every timed instance, and
-writes:
+Times the full revision pipeline (model enumeration + selection) on the
+``random_tp_pair`` workload across alphabet sizes and *appends* the run to
+``BENCH_revision_perf.json`` (repo root), keeping every earlier run intact:
+the file is a trajectory across PRs, not a snapshot.
 
-* ``BENCH_revision_perf.json`` (repo root) — machine-readable trajectory
-  data for later PRs: per-instance wall times, per-operator per-size median
-  speedups, and the workload parameters;
-* ``benchmarks/results/revision_perf.txt`` — the human-readable table.
+Engines compared, per instance:
 
-The old engine is :func:`repro.revision.reference.reference_revise` (the
-retained frozenset pipeline: per-interpretation evaluation, all-pairs
-``min⊆``); the new engine is the production :func:`repro.revision.revise`
-on the bitmask model-set engine.  Clause counts scale with the alphabet so
-model sets stay in the realistic hundreds instead of saturating ``2^n``;
-the frozenset engine is only timed up to ``--old-max-size`` (its Winslett
-and Satoh selections are quadratic in the model count and become minutes
-per instance beyond 12 letters).
+* ``new_s``   — the production dispatch (big-int tables <= 20 letters, the
+  sharded tier of :mod:`repro.logic.shards` up to 24);
+* ``sharded_s`` — the sharded tier *forced* (table cutoff dropped to 0), so
+  18–20-letter instances compare big-int vs sharded head-to-head;
+* ``pr1_s``   — the pre-sharding dispatch (shard tier disabled: big-int
+  tables <= 20, SAT enumeration + mask loops above), run in a killable
+  subprocess with a timeout at sharded sizes — "cannot complete" is a
+  recorded observation, not an inference;
+* ``old_s``   — the retained frozenset reference engine
+  (:func:`repro.revision.reference.reference_revise`), timed up to
+  ``--old-max-size`` and used to verify model sets bit-for-bit.
+
+``--batch`` additionally times :func:`repro.revision.revise_many` against
+the per-pair ``revise`` loop on a workload of shared theories and revising
+formulas.  ``--spot-check-size`` verifies the sharded tier against the SAT
+blocking-clause fallback on a sparse instance above the big-int cutoff.
 
 Run ``python benchmarks/bench_revision_perf.py`` from the repo root
 (``--quick`` for the CI smoke cap).
@@ -26,7 +31,9 @@ Run ``python benchmarks/bench_revision_perf.py`` from the repo root
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
+import multiprocessing
 import statistics
 import sys
 import time
@@ -44,6 +51,12 @@ OPERATORS = ("winslett", "borgida", "forbus", "satoh", "dalal", "weber")
 DEFAULT_SIZES = (6, 8, 10, 12, 14)
 DEFAULT_SEEDS = (0, 1, 2)
 DEFAULT_OLD_MAX_SIZE = 12
+DEFAULT_PR1_TIMEOUT = 120.0
+
+#: Alphabet sizes past the big-int cutoff use a bounded-density workload:
+#: the pointwise operators loop over models of T, so the model count — not
+#: the alphabet — is what must stay controlled while the table width grows.
+LARGE_SIZE_MIN = 21
 
 
 # Workload shape.  WORKLOAD_SPEC goes into the JSON verbatim — keep the
@@ -51,86 +64,224 @@ DEFAULT_OLD_MAX_SIZE = 12
 # regenerate comparable numbers from the recorded metadata.
 WORKLOAD_SPEC = {
     "generator": "random_tp_pair",
-    "t_clauses": "max(3, (2 * size) // 3)",
-    "p_clauses": "max(2, size // 3)",
+    "t_clauses": "max(3, (2 * size) // 3) below 21 letters; 2 * size above",
+    "p_clauses": "max(2, size // 3) below 21 letters; size above",
     "model_count_floor": (
-        "1 << max(0, size - 4); candidate seeds scanned from seed * 1000 "
-        "until both T and P reach the floor"
+        "1 << max(0, size - 4) below 21 letters (PR 1's dense regime); "
+        "1 << 10 at 21-22 and 1 << 8 above, with a cap of 4x the floor "
+        "(bounded density keeps the per-T-model loops of the pointwise "
+        "operators comparable across table widths); candidate seeds "
+        "scanned from seed * 1000 until both T and P land in range and, "
+        "at 21+ letters, V(T) u V(P) covers every letter (revise() runs "
+        "over the union, so sparse draws would shrink the real alphabet)"
     ),
 }
 
 
 def _t_clauses(size: int) -> int:
-    return max(3, (2 * size) // 3)
+    return max(3, (2 * size) // 3) if size < LARGE_SIZE_MIN else 2 * size
 
 
 def _p_clauses(size: int) -> int:
-    return max(2, size // 3)
+    return max(2, size // 3) if size < LARGE_SIZE_MIN else size
 
 
 def _model_floor(size: int) -> int:
-    return 1 << max(0, size - 4)
+    if size < LARGE_SIZE_MIN:
+        return 1 << max(0, size - 4)
+    return 1 << 10 if size <= 22 else 1 << 8
 
 
-def _workload(size: int, seed: int):
+def _model_cap(size: int):
+    return None if size < LARGE_SIZE_MIN else 4 * _model_floor(size)
+
+
+def _letters(size: int):
+    return [f"v{i:02d}" for i in range(size)]
+
+
+def _workload(size: int, seed: int, floor=None, cap=None, t_clauses=None,
+              p_clauses=None):
     """A non-trivial (T, P) pair over ``size`` letters.
 
     Clause counts scale with the alphabet, and candidate seeds (starting at
-    ``seed * 1000``) are scanned until both model sets reach the floor: the
-    random draw is bimodal (a 1-clause theory saturates ``2^n``, a
-    clause-heavy one leaves a handful of models), and the floor pins the
-    benchmark to the dense regime that the paper's enumeration semantics —
-    and the engines under comparison — actually have to work in.
+    ``seed * 1000``) are scanned until both model sets land between the
+    floor and the cap: the random draw is bimodal (a 1-clause theory
+    saturates ``2^n``, a clause-heavy one leaves a handful of models), and
+    the bounds pin the benchmark to the regime the engines under comparison
+    actually have to work in — dense below the big-int cutoff, bounded
+    density above it.
     """
     from repro.sat import bit_models
 
-    letters = [f"v{i:02d}" for i in range(size)]
-    floor = _model_floor(size)
+    letters = _letters(size)
+    floor = _model_floor(size) if floor is None else floor
+    cap = _model_cap(size) if cap is None else cap
     candidate = seed * 1000
     while True:
         t, p = random_tp_pair(
             candidate,
             letters,
-            t_clauses=_t_clauses(size),
-            p_clauses=_p_clauses(size),
+            t_clauses=_t_clauses(size) if t_clauses is None else t_clauses,
+            p_clauses=_p_clauses(size) if p_clauses is None else p_clauses,
         )
-        if (
-            len(bit_models(t, letters)) >= floor
-            and len(bit_models(p, letters)) >= floor
-        ):
-            return t, p
         candidate += 1
+        if size >= LARGE_SIZE_MIN and len(t.variables() | p.variables()) < size:
+            # Sparse random draws can skip letters entirely; revise() runs
+            # over V(T) u V(P), so a sharded-size record must actually
+            # mention every letter or the effective alphabet shrinks.
+            continue
+        t_count = bit_models(t, letters).count()
+        if floor <= t_count and (cap is None or t_count <= cap):
+            p_count = bit_models(p, letters).count()
+            if floor <= p_count and (cap is None or p_count <= cap):
+                return t, p, t_count, p_count
 
 
-def run_benchmark(sizes, seeds, old_max_size):
+def _masks_digest(result) -> str:
+    """Order-independent digest of a result's model masks (for comparing
+    across processes without shipping million-element sets)."""
+    digest = hashlib.sha256()
+    for mask in sorted(result.bit_model_set.iter_masks()):
+        digest.update(mask.to_bytes(8, "little"))
+    return digest.hexdigest()
+
+
+def _forced(table_max=None, shard_max=None):
+    """Temporarily retarget the engine dispatch (returns a restore thunk)."""
+    from repro.logic import bitmodels, shards
+
+    saved = (bitmodels._TABLE_MAX_LETTERS, shards.SHARD_MAX_LETTERS)
+    if table_max is not None:
+        bitmodels._TABLE_MAX_LETTERS = table_max
+    if shard_max is not None:
+        shards.SHARD_MAX_LETTERS = shard_max
+
+    def restore():
+        bitmodels._TABLE_MAX_LETTERS, shards.SHARD_MAX_LETTERS = saved
+
+    return restore
+
+
+def _time_revise(t, p, name):
+    from repro.revision import revise
+
+    start = time.perf_counter()
+    result = revise(t, p, name)
+    return time.perf_counter() - start, result
+
+
+def _pr1_worker(t, p, name, conn):
+    """Subprocess body: time the pre-sharding dispatch (shard tier off)."""
+    _forced(shard_max=0)
+    try:
+        seconds, result = _time_revise(t, p, name)
+        conn.send(
+            {
+                "seconds": seconds,
+                "models": result.model_count(),
+                "digest": _masks_digest(result),
+            }
+        )
+    except Exception as error:  # pragma: no cover - diagnostic path
+        conn.send({"error": repr(error)})
+    finally:
+        conn.close()
+
+
+def _run_pr1_with_timeout(t, p, name, timeout):
+    """The PR 1 engine in a killable subprocess: dict on completion,
+    ``None`` on timeout."""
+    parent, child = multiprocessing.Pipe(duplex=False)
+    process = multiprocessing.Process(
+        target=_pr1_worker, args=(t, p, name, child)
+    )
+    process.start()
+    child.close()
+    payload = None
+    if parent.poll(timeout):
+        payload = parent.recv()
+    process.join(timeout=1.0)
+    if process.is_alive():
+        process.terminate()
+        process.join()
+    parent.close()
+    return payload
+
+
+def run_benchmark(sizes, seeds, old_max_size, pr1_timeout, operators):
     from repro.logic import Theory
-    from repro.revision import reference_revise, revise
+    from repro.revision import reference_revise
+
     from repro.sat import bit_models
 
     records = []
     for size in sizes:
-        for seed in seeds:
-            t, p = _workload(size, seed)
-            alphabet = sorted(t.variables() | p.variables())
-            t_count = len(bit_models(t, alphabet))
-            p_count = len(bit_models(p, alphabet))
-            for name in OPERATORS:
-                start = time.perf_counter()
-                result = revise(t, p, name)
-                new_seconds = time.perf_counter() - start
-
+        size_seeds = seeds if size < LARGE_SIZE_MIN else seeds[:1]
+        for seed in size_seeds:
+            t, p, _, _ = _workload(size, seed)
+            # Counts recorded over V(T) u V(P) — the alphabet revise()
+            # actually runs on — matching the PR 1 trajectory entry; the
+            # workload floor above is over the full letter list, whose
+            # counts are inflated 2^k by any k unmentioned letters.
+            union = sorted(t.variables() | p.variables())
+            t_count = bit_models(t, union).count()
+            p_count = bit_models(p, union).count()
+            for name in operators:
+                new_seconds, result = _time_revise(t, p, name)
+                result_count = result.model_count()
                 record = {
                     "size": size,
                     "seed": seed,
                     "operator": name,
+                    "effective_letters": len(union),
                     "t_models": t_count,
                     "p_models": p_count,
-                    "result_models": len(result.model_set),
+                    "result_models": result_count,
                     "new_s": new_seconds,
+                    "sharded_s": None,
+                    "pr1_s": None,
                     "old_s": None,
                     "speedup": None,
                     "models_equal": None,
                 }
+
+                # Head-to-head: force the sharded tier onto big-int sizes.
+                if size < LARGE_SIZE_MIN:
+                    restore = _forced(table_max=0)
+                    try:
+                        sharded_seconds, sharded_result = _time_revise(t, p, name)
+                    finally:
+                        restore()
+                    record["sharded_s"] = sharded_seconds
+                    if (
+                        sharded_result.model_count() != result_count
+                        or _masks_digest(sharded_result) != _masks_digest(result)
+                    ):
+                        raise AssertionError(
+                            f"sharded/big-int mismatch: size={size} "
+                            f"seed={seed} op={name}"
+                        )
+                else:
+                    # Above the big-int cutoff new_s IS the sharded tier;
+                    # the PR 1 engine gets a killable subprocess instead.
+                    record["sharded_s"] = new_seconds
+                    outcome = _run_pr1_with_timeout(t, p, name, pr1_timeout)
+                    if outcome is None:
+                        record["pr1_s"] = "timeout"
+                    elif "error" in outcome:
+                        record["pr1_s"] = outcome["error"]
+                    else:
+                        record["pr1_s"] = outcome["seconds"]
+                        if (
+                            outcome["models"] != result_count
+                            or outcome["digest"] != _masks_digest(result)
+                        ):
+                            raise AssertionError(
+                                f"sharded/PR1 mismatch: size={size} "
+                                f"seed={seed} op={name}"
+                            )
+
                 if size <= old_max_size:
                     start = time.perf_counter()
                     _, reference_set = reference_revise(Theory([t]), p, name)
@@ -145,14 +296,113 @@ def run_benchmark(sizes, seeds, old_max_size):
                             f"engine mismatch: size={size} seed={seed} op={name}"
                         )
                 records.append(record)
-                shown = (
-                    f"{record['speedup']:.1f}x" if record["speedup"] else "old skipped"
-                )
+                pr1_shown = record["pr1_s"]
+                if isinstance(pr1_shown, float):
+                    pr1_shown = f"pr1={pr1_shown:.3f}s"
+                elif pr1_shown:
+                    pr1_shown = f"pr1={pr1_shown}"
+                else:
+                    pr1_shown = (
+                        f"{record['speedup']:.1f}x vs frozenset"
+                        if record["speedup"]
+                        else "old skipped"
+                    )
                 print(
                     f"  n={size:2d} seed={seed} {name:<9} "
-                    f"new={new_seconds:.4f}s ({shown})"
+                    f"new={new_seconds:.4f}s ({pr1_shown})"
                 )
     return records
+
+
+def run_spot_check(size, operators):
+    """Verify the sharded tier against the SAT blocking-clause fallback on
+    a sparse instance above the big-int cutoff (model sets must match
+    bit-for-bit)."""
+    print(f"\nspot check at {size} letters: sharded vs SAT fallback")
+    t, p, t_count, p_count = _workload(
+        size, seed=0, floor=16, cap=512,
+        t_clauses=3 * size, p_clauses=2 * size,
+    )
+    outcomes = {}
+    for name in operators:
+        _, sharded_result = _time_revise(t, p, name)
+        restore = _forced(shard_max=0)
+        try:
+            _, fallback_result = _time_revise(t, p, name)
+        finally:
+            restore()
+        matches = (
+            sharded_result.model_count() == fallback_result.model_count()
+            and _masks_digest(sharded_result) == _masks_digest(fallback_result)
+        )
+        if not matches:
+            raise AssertionError(f"sharded/SAT-fallback mismatch: op={name}")
+        outcomes[name] = sharded_result.model_count()
+        print(f"  {name:<9} identical ({outcomes[name]} models)")
+    return {
+        "size": size,
+        "t_models": t_count,
+        "p_models": p_count,
+        "result_models": outcomes,
+        "verified_identical": True,
+    }
+
+
+def run_batch_benchmark(sizes, operators):
+    """Batched workload: a request stream over shared theories x updates.
+
+    4 theories x 4 revising formulas cross into 16 distinct pairs; the
+    stream repeats each pair 4 times round-robin (64 requests) — the
+    serving shape: a small population of KBs, a small population of
+    updates, hot keys recurring.  Times the per-request ``revise`` loop
+    against one ``revise_many`` call on the same stream and verifies the
+    results coincide request-for-request.
+    """
+    from repro.revision import revise, revise_many
+
+    print("\nbatched workload: revise_many vs per-pair revise")
+    batch_records = []
+    for size in sizes:
+        theories = []
+        formulas = []
+        for seed in range(4):
+            t, p, _, _ = _workload(size, seed)
+            theories.append(t)
+            formulas.append(p)
+        distinct = [(t, p) for t in theories for p in formulas]
+        pairs = distinct * 4
+        for name in operators:
+            start = time.perf_counter()
+            singles = [revise(t, p, name) for t, p in pairs]
+            loop_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            batched = revise_many(pairs, name)
+            batch_seconds = time.perf_counter() - start
+            for single, result in zip(singles, batched):
+                if (
+                    single.alphabet != result.alphabet
+                    or single.bit_model_set != result.bit_model_set
+                ):
+                    raise AssertionError(
+                        f"batch mismatch: size={size} op={name}"
+                    )
+            speedup = loop_seconds / batch_seconds if batch_seconds > 0 else None
+            batch_records.append(
+                {
+                    "size": size,
+                    "operator": name,
+                    "pairs": len(pairs),
+                    "loop_s": loop_seconds,
+                    "batch_s": batch_seconds,
+                    "batch_speedup": speedup,
+                }
+            )
+            print(
+                f"  n={size:2d} {name:<9} pairs={len(pairs)} "
+                f"loop={loop_seconds:.4f}s batch={batch_seconds:.4f}s "
+                f"({speedup:.2f}x)"
+            )
+    return batch_records
 
 
 def summarise(records):
@@ -177,19 +427,93 @@ def summarise(records):
     }
 
 
+def summarise_sharded(records):
+    """Sharded-tier outcomes: head-to-head vs big-int below the cutoff,
+    completion vs the PR 1 engine above it."""
+    head_to_head = {}
+    large = {"completed": 0, "pr1_completed": 0, "pr1_timeouts": 0}
+    for record in records:
+        if record["size"] < LARGE_SIZE_MIN:
+            if record["sharded_s"] and record["sharded_s"] != record["new_s"]:
+                head_to_head.setdefault(str(record["size"]), []).append(
+                    record["new_s"] / record["sharded_s"]
+                )
+        else:
+            large["completed"] += 1
+            if isinstance(record["pr1_s"], float):
+                large["pr1_completed"] += 1
+            elif record["pr1_s"] == "timeout":
+                large["pr1_timeouts"] += 1
+    return {
+        "bigint_over_sharded_median_by_size": {
+            size: round(statistics.median(values), 2)
+            for size, values in head_to_head.items()
+        },
+        "large_sizes": large,
+    }
+
+
+def load_trajectory(path: Path) -> dict:
+    """The trajectory file: a ``runs`` list; PR 1's flat snapshot becomes
+    its first entry so nothing recorded is ever dropped."""
+    if path.exists():
+        data = json.loads(path.read_text())
+        if "runs" in data:
+            return data
+        first = dict(data)
+        first.setdefault("label", "pr1-bitmask-engine")
+        return {
+            "benchmark": first.get("benchmark", "revision_perf"),
+            "description": (
+                "Perf trajectory for the six model-based operators; one "
+                "entry per benchmarked engine generation, earliest first"
+            ),
+            "runs": [first],
+        }
+    return {
+        "benchmark": "revision_perf",
+        "description": (
+            "Perf trajectory for the six model-based operators; one "
+            "entry per benchmarked engine generation, earliest first"
+        ),
+        "runs": [],
+    }
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--sizes", type=int, nargs="+", default=list(DEFAULT_SIZES),
-        help="alphabet sizes to benchmark",
+        help="alphabet sizes to benchmark (the sharded tier serves 21-24)",
     )
     parser.add_argument(
         "--seeds", type=int, nargs="+", default=list(DEFAULT_SEEDS),
-        help="workload seeds per size",
+        help="workload seeds per size (first seed only above 20 letters)",
     )
     parser.add_argument(
         "--old-max-size", type=int, default=DEFAULT_OLD_MAX_SIZE,
         help="largest alphabet on which the frozenset engine is timed",
+    )
+    parser.add_argument(
+        "--operators", nargs="+", default=list(OPERATORS),
+        choices=list(OPERATORS),
+        help="operator subset to benchmark",
+    )
+    parser.add_argument(
+        "--pr1-timeout", type=float, default=DEFAULT_PR1_TIMEOUT,
+        help="seconds allowed to the pre-sharding engine at sharded sizes",
+    )
+    parser.add_argument(
+        "--spot-check-size", type=int, default=None,
+        help="verify sharded vs SAT fallback at this (sparse) size",
+    )
+    parser.add_argument(
+        "--batch", type=int, nargs="*", default=None, metavar="SIZE",
+        help="also run the batched workload (optionally at these sizes)",
+    )
+    parser.add_argument(
+        "--label", default="pr2-sharded-engine",
+        help="trajectory label for this run",
     )
     parser.add_argument(
         "--quick", action="store_true",
@@ -203,62 +527,104 @@ def main(argv=None):
     if args.quick:
         args.sizes = [6]
         args.seeds = [0]
+        if args.batch is not None and not args.batch:
+            args.batch = [6]
 
-    records = run_benchmark(args.sizes, args.seeds, args.old_max_size)
+    records = run_benchmark(
+        args.sizes, args.seeds, args.old_max_size, args.pr1_timeout,
+        args.operators,
+    )
     summary = summarise(records)
+    sharded_summary = summarise_sharded(records)
 
     payload = {
+        "label": args.label,
         "benchmark": "revision_perf",
         "description": (
-            "Six model-based operators, bitmask engine vs retained frozenset "
-            "engine, random_tp_pair workload with size-scaled clause counts"
+            "Six model-based operators: production dispatch (big-int + "
+            "sharded tiers) vs forced-sharded, the pre-sharding engine "
+            "under a timeout, and the retained frozenset engine"
         ),
         "workload": {
             **WORKLOAD_SPEC,
             "sizes": args.sizes,
             "seeds": args.seeds,
             "old_engine_max_size": args.old_max_size,
+            "pr1_timeout_s": args.pr1_timeout,
+            "operators": args.operators,
         },
         "engines": {
             "old": "repro.revision.reference (frozenset models, all-pairs min-subset)",
-            "new": "repro.revision via repro.logic.bitmodels (bit-parallel tables)",
+            "pr1": "big-int tables <= 20 letters, SAT + mask loops above (shard tier disabled)",
+            "new": "repro.revision via bitmodels + shards (big-int <= 20, sharded 21-24)",
+            "sharded": "shard tier forced at every size (numpy uint64 bitplanes)",
         },
         "models_verified_identical": all(
             r["models_equal"] for r in records if r["models_equal"] is not None
         ),
         "results": records,
         "summary": summary,
+        "sharded_summary": sharded_summary,
     }
-    args.json_path.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"\nwrote {args.json_path}")
+    if args.spot_check_size is not None:
+        payload["sharded_vs_sat_fallback"] = run_spot_check(
+            args.spot_check_size, args.operators
+        )
+    if args.batch is not None:
+        batch_sizes = args.batch or [12, 14]
+        payload["batch"] = run_batch_benchmark(batch_sizes, args.operators)
+
+    trajectory = load_trajectory(args.json_path)
+    trajectory["runs"].append(payload)
+    args.json_path.write_text(json.dumps(trajectory, indent=2) + "\n")
+    print(f"\nwrote {args.json_path} ({len(trajectory['runs'])} runs)")
 
     rows = []
-    for operator in OPERATORS:
+    for operator in args.operators:
         for size in args.sizes:
-            cell = summary.get(operator, {}).get(str(size))
             matching = [
                 r for r in records
                 if r["operator"] == operator and r["size"] == size
             ]
+            if not matching:
+                continue
+            cell = summary.get(operator, {}).get(str(size))
             new_median = statistics.median(r["new_s"] for r in matching)
             old_runs = [r["old_s"] for r in matching if r["old_s"] is not None]
+            pr1_runs = [r["pr1_s"] for r in matching if r["pr1_s"] is not None]
+            if pr1_runs:
+                pr1_cell = "/".join(
+                    f"{r:.2f}" if isinstance(r, float) else "timeout"
+                    for r in pr1_runs
+                )
+            else:
+                pr1_cell = "-"
             rows.append([
                 operator,
                 size,
                 f"{statistics.median(old_runs):.4f}" if old_runs else "-",
                 f"{new_median:.4f}",
+                pr1_cell,
                 f"{cell['median_speedup']:.1f}x" if cell else "-",
             ])
     lines = [
-        "E-perf: model-based revision, frozenset engine vs bitmask engine",
+        "E-perf: model-based revision across engine tiers",
         f"(median wall seconds over seeds {args.seeds}; "
-        f"old engine capped at {args.old_max_size} letters)",
+        f"frozenset engine capped at {args.old_max_size} letters; "
+        f"PR1 engine timed out at {args.pr1_timeout:.0f}s on sharded sizes)",
         "",
     ]
     lines += format_table(
-        ["operator", "letters", "old s", "new s", "speedup"], rows
+        ["operator", "letters", "old s", "new s", "pr1 s", "speedup"], rows
     )
-    write_result("revision_perf.txt", lines)
+    if args.json_path == JSON_PATH:
+        # Only official trajectory runs refresh the checked-in table;
+        # smoke runs pointed at a scratch JSON would otherwise clobber it
+        # with a 6-row artifact.
+        write_result("revision_perf.txt", lines)
+    else:
+        print()
+        print("\n".join(lines))
     return payload
 
 

@@ -50,6 +50,23 @@ def main() -> None:
     print("\nOne-shot revise() with Forbus on the paper's running example:")
     print(f"  models: {sorted(sorted(m) for m in result.model_set)}")
 
+    # --- batched revision: the serving-layer unit --------------------------
+    # A server does not revise once: it drains a queue of (T, P) pairs in
+    # which the same KBs and the same updates recur.  revise_many() answers
+    # a whole batch while compiling every distinct theory and update once
+    # (results are exactly those of per-pair revise(), in order).
+    from repro.revision import revise_many
+
+    offices = ["g | b", "g & ~b", "~g | ~b"]          # three office KBs ...
+    observation = "~g"                                 # ... one observation
+    batch = revise_many(
+        [(kb_text, observation) for kb_text in offices], operator="dalal"
+    )
+    print("\nBatched revision (revise_many, shared compilation):")
+    for kb_text, revised in zip(offices, batch):
+        models = sorted(sorted(m) for m in revised.model_set)
+        print(f"  {kb_text!r} * {observation!r}  ->  {models}")
+
 
 if __name__ == "__main__":
     main()

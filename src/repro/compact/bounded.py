@@ -24,11 +24,11 @@ from __future__ import annotations
 
 from typing import FrozenSet, Iterable, List, Optional, Sequence
 
+from ..logic.bitmodels import BitAlphabet
 from ..logic.formula import Formula, FormulaLike, as_formula, land, lnot, lor
 from ..logic.interpretation import subsets
 from ..logic.theory import Theory, TheoryLike
-from ..sat import is_satisfiable
-from ..sat import models as sat_models
+from ..sat import bit_models, is_satisfiable
 from .dalal import minimum_distance
 from .representation import LOGICAL, CompactRepresentation
 from .weber import omega_exact
@@ -93,17 +93,24 @@ def forbus_bounded(theory: TheoryLike, new_formula: FormulaLike) -> CompactRepre
 
 
 def delta_exact(theory: TheoryLike, new_formula: FormulaLike) -> List[FrozenSet[str]]:
-    """``δ(T, P)`` by model enumeration (used by formula (7))."""
-    from ..revision.distances import delta as delta_from_models
+    """``δ(T, P)`` by model enumeration (used by formula (7)).
+
+    Runs on the table engine: both model sets compile bit-parallel (big-int
+    or sharded tier by alphabet size) and the minimal differences come out
+    of the XOR-translation + subset-sum-closure pipeline of
+    :func:`repro.revision.model_based.delta_bits` — no per-interpretation
+    loop below the mask-tier cutoff.
+    """
+    from ..revision.model_based import delta_bits
 
     theory = Theory.coerce(theory)
     p_formula = as_formula(new_formula)
-    alphabet = sorted(theory.variables() | p_formula.variables())
-    t_models = frozenset(sat_models(theory.conjunction(), alphabet))
-    p_models = frozenset(sat_models(p_formula, alphabet))
-    if not t_models or not p_models:
+    alphabet = BitAlphabet.coerce(theory.variables() | p_formula.variables())
+    t_bits = bit_models(theory.conjunction(), alphabet)
+    p_bits = bit_models(p_formula, alphabet)
+    if not t_bits or not p_bits:
         raise ValueError("T or P is unsatisfiable: δ undefined")
-    return delta_from_models(t_models, p_models)
+    return [alphabet.set_of(diff) for diff in delta_bits(t_bits, p_bits)]
 
 
 def satoh_bounded(

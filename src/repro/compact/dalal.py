@@ -24,12 +24,13 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..circuits.exa import exa
+from ..logic import shards as _shards
 from ..logic.bitmodels import (
-    _TABLE_MAX_LETTERS,
     BitAlphabet,
     min_hamming_distance_tables,
     truth_table,
 )
+from ..logic.shards import ShardedTable
 from ..logic.formula import Formula, FormulaLike, as_formula, fresh_names, land
 from ..logic.theory import Theory, TheoryLike
 from ..sat import is_satisfiable
@@ -53,13 +54,22 @@ def minimum_distance(
     sets those cases aside; see Section 2.2.2).
     """
     t_formula, p_formula, alphabet = _prepare(theory, new_formula)
-    if len(alphabet) <= _TABLE_MAX_LETTERS:
-        bit_alphabet = BitAlphabet(alphabet)
+    level = _shards.tier(len(alphabet))
+    if level == "table":
+        bit_alphabet = BitAlphabet.coerce(alphabet)
         t_table = truth_table(t_formula, bit_alphabet)
         p_table = truth_table(p_formula, bit_alphabet)
         if not t_table or not p_table:
             raise ValueError("T or P is unsatisfiable: k_{T,P} undefined")
         k, _ = min_hamming_distance_tables(t_table, p_table, bit_alphabet)
+        return k
+    if level == "sharded":
+        bit_alphabet = BitAlphabet.coerce(alphabet)
+        t_sharded = ShardedTable.from_formula(t_formula, bit_alphabet)
+        p_sharded = ShardedTable.from_formula(p_formula, bit_alphabet)
+        if not t_sharded.any() or not p_sharded.any():
+            raise ValueError("T or P is unsatisfiable: k_{T,P} undefined")
+        k, _ = t_sharded.min_hamming(p_sharded)
         return k
     y_names = fresh_names("y_", len(alphabet), avoid=alphabet)
     renamed_t = t_formula.rename(dict(zip(alphabet, y_names)))

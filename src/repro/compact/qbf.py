@@ -43,6 +43,12 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Tuple
 
 from ..circuits.builder import CircuitBuilder
+from ..logic import bitmodels as _bitmodels
+from ..logic.bitmodels import (
+    BitAlphabet,
+    exists_table,
+    truth_table,
+)
 from ..logic.formula import (
     FALSE,
     TRUE,
@@ -87,7 +93,20 @@ def _constants(assignment: frozenset, names: Sequence[str]) -> List[Formula]:
 
 def _p_model_assignments(p_formula: Formula, vp: Sequence[str]):
     """Assignments over ``V(P)`` satisfying ``P`` — the surviving ``F_P(Z)``
-    instances after universal expansion (paper: the rest "simplify to ⊤")."""
+    instances after universal expansion (paper: the rest "simplify to ⊤").
+
+    ``P`` compiles once to its truth-table column and each candidate
+    assignment is a single bit test, instead of ``2^|V(P)|`` formula
+    evaluations; the historical smallest-first iteration order is kept so
+    the emitted conjunct order (and hence the built formulas) is unchanged.
+    """
+    if 0 < len(vp) <= _bitmodels._TABLE_MAX_LETTERS:
+        alphabet = BitAlphabet.coerce(vp)
+        table = truth_table(p_formula, alphabet)
+        for zeta in subsets(vp):
+            if table >> alphabet.mask_of(zeta) & 1:
+                yield zeta
+        return
     for zeta in subsets(vp):
         if p_formula.evaluate(zeta):
             yield zeta
@@ -164,6 +183,39 @@ def forbus_step(
     return land(core, *conjuncts)
 
 
+#: Work bound (table bits x node count) for the one-shot feasibility
+#: projection in :func:`satoh_step`; above it the per-assignment SAT probes
+#: remain the fallback.
+_PROJECTION_BUDGET = 1 << 28
+
+
+def _feasible_vp_parts(current: Formula, vp: Sequence[str]):
+    """The assignments ``w`` over ``V(P)`` with ``∃M |= current : M∩V(P)=w``.
+
+    One truth-table compile plus an existential smoothing of the non-``V(P)``
+    letters (:func:`repro.logic.bitmodels.exists_table`) replaces the
+    ``2^|V(P)|`` SAT probes of the naive route.  Returns ``None`` when the
+    combined alphabet is too large for the table tier — the caller then
+    falls back to probing.
+    """
+    all_letters = sorted(set(current.variables()) | set(vp))
+    if len(all_letters) > _bitmodels._TABLE_MAX_LETTERS:
+        return None
+    if (1 << len(all_letters)) * max(current.node_count(), 1) > _PROJECTION_BUDGET:
+        return None
+    alphabet = BitAlphabet.coerce(all_letters)
+    table = truth_table(current, alphabet)
+    vp_set = set(vp)
+    table = exists_table(
+        table, (n for n in all_letters if n not in vp_set), alphabet
+    )
+    return {
+        zeta
+        for zeta in subsets(vp)
+        if table >> alphabet.mask_of(zeta) & 1
+    }
+
+
 def satoh_step(
     current: Formula, new_formula: FormulaLike, y_names: Sequence[str]
 ) -> Formula:
@@ -197,13 +249,18 @@ def satoh_step(
     y_vars = [Var(name) for name in y_names]
     core = land(current.rename(dict(zip(vp, y_names))), p_formula)
     p_models = list(_p_model_assignments(p_formula, vp))
+    feasible = _feasible_vp_parts(current, vp)
     conjuncts: List[Formula] = []
     for w_assign in subsets(vp):
-        pin = land(
-            *(Var(n) if n in w_assign else lnot(Var(n)) for n in vp)
-        )
-        if not is_satisfiable(land(current, pin)):
-            continue  # no model of T has this V(P) part: nothing to compare
+        if feasible is not None:
+            if w_assign not in feasible:
+                continue  # no model of T has this V(P) part
+        else:
+            pin = land(
+                *(Var(n) if n in w_assign else lnot(Var(n)) for n in vp)
+            )
+            if not is_satisfiable(land(current, pin)):
+                continue  # no model of T has this V(P) part: nothing to compare
         w_consts = _constants(w_assign, vp)
         for zeta in p_models:
             z_consts = _constants(zeta, vp)

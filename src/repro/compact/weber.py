@@ -20,7 +20,6 @@ from typing import FrozenSet, Iterable, Optional, Tuple
 from ..logic.bitmodels import BitAlphabet
 from ..logic.formula import Formula, FormulaLike, as_formula, fresh_names, land
 from ..logic.theory import Theory, TheoryLike
-from ..revision.distances import omega_mask
 from ..sat import bit_models
 from .representation import QUERY, CompactRepresentation
 
@@ -32,14 +31,19 @@ def omega_exact(theory: TheoryLike, new_formula: FormulaLike) -> FrozenSet[str]:
     bitmask engine: ``Ω`` is the OR of the global minimal XOR differences,
     unpacked to letters only at the boundary.
     """
+    from ..revision.model_based import delta_bits
+
     theory = Theory.coerce(theory)
     formula = as_formula(new_formula)
-    alphabet = BitAlphabet(theory.variables() | formula.variables())
+    alphabet = BitAlphabet.coerce(theory.variables() | formula.variables())
     t_bits = bit_models(theory.conjunction(), alphabet)
     p_bits = bit_models(formula, alphabet)
-    if not t_bits.masks or not p_bits.masks:
+    if not t_bits or not p_bits:
         raise ValueError("T or P is unsatisfiable: Ω undefined")
-    return alphabet.set_of(omega_mask(t_bits.masks, p_bits.masks))
+    letters = 0
+    for diff in delta_bits(t_bits, p_bits):
+        letters |= diff
+    return alphabet.set_of(letters)
 
 
 def weber_compact(

@@ -9,18 +9,23 @@ Public surface:
 * :mod:`repro.logic.theory` — finite sets of formulas (syntax-sensitive);
 * :mod:`repro.logic.interpretation` — models as sets of letters;
 * :mod:`repro.logic.bitmodels` — the bitmask model-set engine (models as
-  ints, model sets as big-int truth tables).
+  ints, model sets as big-int truth tables);
+* :mod:`repro.logic.shards` — the sharded truth-table tier (numpy uint64
+  bitplanes with a pure-int fallback, for alphabets past the big-int
+  cutoff).
 """
 
 from .bitmodels import (
     BitAlphabet,
     BitModelSet,
+    exists_table,
     iter_set_bits,
     max_subset_masks,
     min_cardinality_masks,
     min_subset_masks,
     truth_table,
 )
+from .shards import ShardedTable
 
 from .formula import (
     FALSE,

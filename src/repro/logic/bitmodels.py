@@ -40,22 +40,39 @@ set iff the interpretation with mask ``j`` is in the set.  In this encoding
 
 The big-int encoding costs ``2^n / 8`` bytes per table, so it is the engine
 of choice up to ``n ≈ 20`` letters (``_TABLE_MAX_LETTERS``: 1 MiB per
-table); beyond the cutoff the SAT blocking-clause enumerator produces mask
-lists and the Level-1 operations take over.  All callers in
-:mod:`repro.sat.interface` and :mod:`repro.revision` apply that cutoff
-automatically.
+table).
+
+**Level 3 — sharded truth tables.**  One big-int per table is a memory-and-
+GIL wall, not a hardware one: every AND/XOR re-materialises the whole
+``2^n``-bit integer in one thread.  :mod:`repro.logic.shards` therefore
+splits the table into fixed-width chunks — a numpy ``uint64`` bitplane when
+numpy is available, a list of ``2^16``-bit integer shards otherwise, with a
+``multiprocessing`` shard map for the biggest alphabets — and reimplements
+every Level-2 primitive shard-wise.  That raises the effective table range
+to ``shards.SHARD_MAX_LETTERS`` (24 by default; 16 MiB bitplanes).
+
+Dispatch is three-tiered and decided by :func:`repro.logic.shards.tier`:
+big-int tables up to ``_TABLE_MAX_LETTERS`` (20, env
+``REPRO_TABLE_MAX_LETTERS``), sharded tables up to
+``shards.SHARD_MAX_LETTERS`` (24, env ``REPRO_SHARD_MAX_LETTERS``), and the
+SAT blocking-clause enumerator plus the Level-1 mask operations beyond
+that.  All callers in :mod:`repro.sat.interface` and :mod:`repro.revision`
+apply the dispatch automatically; :class:`BitModelSet` materialises its
+mask set lazily so sharded-tier results can stay in table form end to end.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from .formula import And, Formula, Iff, Implies, Not, Or, Top, Var, Xor, _Constant
 
-#: Above this many letters the ``2^n``-bit truth-table encoding is no longer
-#: worthwhile (1 MiB per table at 23 letters); callers fall back to SAT
-#: enumeration plus the mask-list operations.
-_TABLE_MAX_LETTERS = 20
+#: Above this many letters the ``2^n``-bit big-int encoding hands over to
+#: the sharded tier (:mod:`repro.logic.shards`), and beyond that to SAT
+#: enumeration plus the mask-list operations.  Env-overridable so harnesses
+#: can force the sharded tier onto small alphabets.
+_TABLE_MAX_LETTERS = int(os.environ.get("REPRO_TABLE_MAX_LETTERS", "20"))
 
 #: For each byte value, the positions of its set bits — used to stream the
 #: set bits of a big-int without quadratic shifting.
@@ -84,6 +101,13 @@ def iter_set_bits(value: int) -> Iterator[int]:
                 yield offset + position
 
 
+#: Interned alphabets (letter tuple -> instance); insertion order doubles
+#: as recency order (hits reinsert), so eviction is least-recently-used.
+#: See :meth:`BitAlphabet.coerce`.
+_INTERNED: Dict[Tuple[str, ...], "BitAlphabet"] = {}
+_INTERNED_MAX = 16
+
+
 class BitAlphabet:
     """A fixed bijection between letters and bit indices.
 
@@ -93,7 +117,7 @@ class BitAlphabet:
     mask enumeration order identical to the historical frozenset order.
     """
 
-    __slots__ = ("letters", "_index", "_columns", "_lows", "_layers")
+    __slots__ = ("letters", "_index", "_columns", "_lows", "_layers", "_full")
 
     def __init__(self, letters: Iterable[str]) -> None:
         if isinstance(letters, BitAlphabet):
@@ -105,10 +129,35 @@ class BitAlphabet:
         self._columns: Dict[int, int] = {}
         self._lows: Optional[List[int]] = None
         self._layers: Optional[List[int]] = None
+        self._full: Optional[int] = None
 
     @classmethod
     def coerce(cls, letters: "BitAlphabet | Iterable[str]") -> "BitAlphabet":
-        return letters if isinstance(letters, BitAlphabet) else cls(letters)
+        """Reuse an existing instance, interning fresh letter sets.
+
+        The memoised truth-table building blocks (columns, complement
+        masks, popcount layers, the all-ones table) only pay off when the
+        *same* instance is reused across operator calls, but the hot paths
+        construct the alphabet from raw letter iterables on every revision.
+        Interning by letter tuple turns those reconstructions into cache
+        hits; the LRU bound keeps a pathological stream of distinct
+        alphabets from pinning ``O(n * 2^n)``-bit memos alive (each
+        interned 20-letter alphabet can lazily hold several MiB of
+        columns, complement masks and popcount layers).
+        """
+        if isinstance(letters, BitAlphabet):
+            return letters
+        key = tuple(sorted(set(letters)))
+        cached = _INTERNED.get(key)
+        if cached is None:
+            cached = cls(key)
+        else:
+            # Refresh recency: insertion order doubles as the LRU order.
+            del _INTERNED[key]
+        _INTERNED[key] = cached
+        while len(_INTERNED) > _INTERNED_MAX:
+            _INTERNED.pop(next(iter(_INTERNED)))
+        return cached
 
     # -- basic protocol -----------------------------------------------------
 
@@ -172,8 +221,12 @@ class BitAlphabet:
 
     @property
     def full_table(self) -> int:
-        """The all-ones truth table (the valid formula)."""
-        return (1 << self.table_bits) - 1
+        """The all-ones truth table (the valid formula), memoised —
+        rebuilding a fresh ``2^n``-bit integer on every access was a
+        measurable cost inside the operator hot loops."""
+        if self._full is None:
+            self._full = (1 << self.table_bits) - 1
+        return self._full
 
     def all_masks(self) -> range:
         """Every interpretation over the alphabet, in mask order."""
@@ -408,6 +461,23 @@ def neighbors_table(table: int, alphabet: BitAlphabet) -> int:
     return result
 
 
+def exists_table(table: int, names: Iterable[str], alphabet: BitAlphabet) -> int:
+    """Existentially quantify the given letters out of a truth table.
+
+    After smoothing letter ``i``, position ``j`` is set iff ``j`` or
+    ``j ^ 2^i`` was — i.e. some assignment of the quantified letters
+    reaches a model.  Used to project a model table onto a sub-alphabet
+    without enumerating models (one swap-and-OR per quantified letter).
+    """
+    lows = alphabet._low_masks()
+    for name in names:
+        i = alphabet.bit(name)
+        half = 1 << i
+        low = lows[i]
+        table |= ((table >> half) & low) | ((table & low) << half)
+    return table
+
+
 def min_hamming_distance_tables(
     left: int, right: int, alphabet: BitAlphabet
 ) -> Tuple[int, int]:
@@ -438,13 +508,20 @@ def min_hamming_distance_tables(
 class BitModelSet:
     """An immutable set of interpretations in mask form over a BitAlphabet.
 
-    This is the engine-level counterpart of ``frozenset[frozenset[str]]``:
-    ``masks`` is a frozenset of ints, and :meth:`table` lazily materialises
-    the ``2^n``-bit characteristic integer for the bit-parallel operations
-    (only meaningful below the table cutoff).
+    This is the engine-level counterpart of ``frozenset[frozenset[str]]``.
+    The set carries up to three interchangeable encodings, each materialised
+    lazily from whichever one it was built with:
+
+    * :attr:`masks` — frozenset of packed ints (the Level-1 view);
+    * :meth:`table` — the ``2^n``-bit characteristic big-int (Level 2);
+    * :meth:`sharded` — the sharded table (Level 3).
+
+    Sharded-tier results stay in table form until a caller actually asks
+    for masks: counting, membership and emptiness never force the —
+    potentially multi-million-element — frozenset into existence.
     """
 
-    __slots__ = ("alphabet", "masks", "_table")
+    __slots__ = ("alphabet", "_masks", "_table", "_sharded", "_hash")
 
     def __init__(
         self,
@@ -452,13 +529,15 @@ class BitModelSet:
         masks: Iterable[int] = (),
     ) -> None:
         self.alphabet = BitAlphabet.coerce(alphabet)
-        self.masks: FrozenSet[int] = (
+        self._masks: Optional[FrozenSet[int]] = (
             masks if isinstance(masks, frozenset) else frozenset(masks)
         )
         self._table: Optional[int] = None
-        if self.masks:
+        self._sharded = None
+        self._hash: Optional[int] = None
+        if self._masks:
             universe = self.alphabet.universe
-            for mask in self.masks:
+            for mask in self._masks:
                 if mask < 0 or mask & ~universe:
                     raise ValueError(
                         f"mask {mask:#x} outside the {len(self.alphabet)}-letter alphabet"
@@ -477,13 +556,37 @@ class BitModelSet:
         return cls(bit_alphabet, (bit_alphabet.mask_of(m) for m in models))
 
     @classmethod
+    def _lazy(cls, alphabet: "BitAlphabet | Iterable[str]") -> "BitModelSet":
+        instance = cls.__new__(cls)
+        instance.alphabet = BitAlphabet.coerce(alphabet)
+        instance._masks = None
+        instance._table = None
+        instance._sharded = None
+        instance._hash = None
+        return instance
+
+    @classmethod
     def from_table(
         cls, alphabet: "BitAlphabet | Iterable[str]", table: int
     ) -> "BitModelSet":
-        """Build from a truth table, caching it for later table ops."""
-        bit_alphabet = BitAlphabet.coerce(alphabet)
-        instance = cls(bit_alphabet, frozenset(iter_set_bits(table)))
+        """Build from a truth table; the mask set materialises on demand."""
+        instance = cls._lazy(alphabet)
+        if table < 0 or table >> instance.alphabet.table_bits:
+            raise ValueError(
+                f"table wider than 2^{len(instance.alphabet)} bits"
+            )
         instance._table = table
+        return instance
+
+    @classmethod
+    def from_sharded(
+        cls, alphabet: "BitAlphabet | Iterable[str]", sharded
+    ) -> "BitModelSet":
+        """Build from a :class:`repro.logic.shards.ShardedTable` (Level 3)."""
+        instance = cls._lazy(alphabet)
+        if sharded.alphabet != instance.alphabet:
+            raise ValueError("sharded table ranges over a different alphabet")
+        instance._sharded = sharded
         return instance
 
     @classmethod
@@ -494,7 +597,8 @@ class BitModelSet:
 
         Requires the formula's letters to lie inside the alphabet and the
         alphabet to be small enough for the table encoding; callers wanting
-        the SAT fallback should use :func:`repro.sat.bit_models` instead.
+        the sharded tier or the SAT fallback should use
+        :func:`repro.sat.bit_models` instead.
         """
         bit_alphabet = BitAlphabet.coerce(alphabet)
         if len(bit_alphabet) > _TABLE_MAX_LETTERS:
@@ -506,11 +610,54 @@ class BitModelSet:
 
     # -- views --------------------------------------------------------------
 
+    @property
+    def masks(self) -> FrozenSet[int]:
+        """The packed-int mask set (materialised lazily from tables)."""
+        if self._masks is None:
+            if self._table is not None:
+                self._masks = frozenset(iter_set_bits(self._table))
+            elif self._sharded is not None:
+                self._masks = frozenset(self._sharded.iter_set_bits())
+            else:  # pragma: no cover - _lazy always sets one encoding
+                self._masks = frozenset()
+        return self._masks
+
     def table(self) -> int:
         """The characteristic ``2^n``-bit integer (lazily cached)."""
         if self._table is None:
-            self._table = table_of_masks(self.masks)
+            if self._sharded is not None:
+                self._table = self._sharded.to_int()
+            else:
+                self._table = table_of_masks(self.masks)
         return self._table
+
+    def sharded(self):
+        """The Level-3 sharded table (lazily cached)."""
+        if self._sharded is None:
+            from .shards import ShardedTable
+
+            if self._table is not None:
+                self._sharded = ShardedTable.from_int(self.alphabet, self._table)
+            else:
+                self._sharded = ShardedTable.from_masks(self.alphabet, self.masks)
+        return self._sharded
+
+    def iter_masks(self) -> Iterator[int]:
+        """Stream the masks without forcing the frozenset when a table
+        encoding is present (ascending order in that case)."""
+        if self._masks is not None:
+            return iter(self._masks)
+        if self._table is not None:
+            return iter_set_bits(self._table)
+        return self._sharded.iter_set_bits()
+
+    def count(self) -> int:
+        """Model count — a popcount when only a table encoding exists."""
+        if self._masks is not None:
+            return len(self._masks)
+        if self._table is not None:
+            return self._table.bit_count()
+        return self._sharded.popcount()
 
     def to_frozensets(self) -> FrozenSet[FrozenSet[str]]:
         """Unpack to the paper's frozenset-of-frozensets representation."""
@@ -520,26 +667,62 @@ class BitModelSet:
     # -- set protocol -------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self.masks)
+        return self.count()
 
     def __bool__(self) -> bool:
-        return bool(self.masks)
+        if self._masks is not None:
+            return bool(self._masks)
+        if self._table is not None:
+            return bool(self._table)
+        return self._sharded.any()
 
     def __iter__(self) -> Iterator[int]:
-        return iter(self.masks)
+        return self.iter_masks()
 
     def __contains__(self, mask: object) -> bool:
-        return mask in self.masks
+        if not isinstance(mask, int):
+            return False
+        if self._masks is not None:
+            return mask in self._masks
+        if mask < 0 or mask > self.alphabet.universe:
+            return False
+        if self._table is not None:
+            return bool(self._table >> mask & 1)
+        return self._sharded.get_bit(mask)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, BitModelSet):
             return NotImplemented
-        return self.alphabet == other.alphabet and self.masks == other.masks
+        if self.alphabet != other.alphabet:
+            return False
+        if self._masks is not None and other._masks is not None:
+            return self._masks == other._masks
+        return self.table() == other.table()
 
     def __hash__(self) -> int:
-        return hash((self.alphabet, self.masks))
+        # Stream an order-independent digest over the masks (splitmix-style
+        # per-element mix, XOR-combined) instead of hashing the frozenset:
+        # a sharded-tier set must be hashable without materialising
+        # millions of masks, and the digest is encoding-agnostic, so equal
+        # sets hash equal whichever representation they carry.  Cached —
+        # the stream is O(model count).
+        if self._hash is None:
+            mix = 0xFFFFFFFFFFFFFFFF
+            digest = 0
+            for mask in self.iter_masks():
+                x = (mask + 0x9E3779B97F4A7C15) & mix
+                x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & mix
+                x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & mix
+                digest ^= x ^ (x >> 31)
+            self._hash = hash((self.alphabet, digest))
+        return self._hash
 
     def __repr__(self) -> str:
+        if self.count() > 32:
+            return (
+                f"BitModelSet[{len(self.alphabet)} letters]"
+                f"({self.count()} models)"
+            )
         shown = ", ".join(
             "{" + ", ".join(sorted(m)) + "}"
             for m in sorted(self.to_frozensets(), key=sorted)

@@ -1,0 +1,909 @@
+"""Level-3 sharded truth tables: numpy bitplanes with a pure-int fallback.
+
+:mod:`repro.logic.bitmodels` stores a model set over ``n`` letters as one
+``2^n``-bit Python integer.  That encoding hits a wall around 20 letters:
+every AND/XOR re-materialises the whole big-int in one thread, so each
+operation is a fresh multi-megabyte allocation executed under the GIL.
+This module shards the same ``2^n`` table into fixed-width chunks so the
+word-level work runs on hardware-friendly buffers:
+
+* **numpy backend** — the table is a flat ``uint64`` bitplane (one machine
+  word per 64 table positions).  Elementwise connectives are single
+  vectorised calls, popcounts use ``np.bitwise_count``, and the structural
+  transforms (XOR translation, subset-sum closures, Hamming rings) become
+  strided slice operations on the word array;
+* **pure-int backend** — when numpy is unavailable the table is a list of
+  ``2^k``-bit integer shards (:data:`SHARD_BITS` wide).  Every primitive is
+  implemented shard-wise, so no single integer ever exceeds the shard
+  width, and the shard list is the unit of the multiprocessing map.
+
+Both backends implement the same primitive set as the Level-2 big-int
+encoding — formula compilation, ``& | ^ ~``, popcount rings,
+:meth:`ShardedTable.xor_translate`, :meth:`ShardedTable.neighbors`,
+:meth:`ShardedTable.minimal_elements`, :meth:`ShardedTable.min_hamming` and
+existential letter smoothing — which is what lets the revision operators
+run one selection rule over either tier (see
+:mod:`repro.revision.model_based`).
+
+**Parallel enumeration.**  Truth-table compilation is embarrassingly
+parallel across shards: shard ``s`` only needs to know its base offset to
+reconstruct every variable column.  :meth:`ShardedTable.from_formula`
+therefore fans the shard ranges of large alphabets out over a
+``multiprocessing`` pool (``processes=`` forces it; otherwise alphabets
+with at least :data:`PARALLEL_MIN_LETTERS` letters and more than one CPU
+opt in automatically), and :func:`map_shards` exposes the same shard-map
+for ad-hoc per-shard work.
+
+**Tier dispatch.**  :func:`tier` is the single decision point the engine
+layers share: ``"table"`` (big-int, up to ``bitmodels._TABLE_MAX_LETTERS``
+letters), ``"sharded"`` (this module, up to :data:`SHARD_MAX_LETTERS`,
+default 24, env ``REPRO_SHARD_MAX_LETTERS``), ``"masks"`` (SAT enumeration
+plus Level-1 mask lists) beyond that.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from . import bitmodels as _bitmodels
+from .bitmodels import BitAlphabet, iter_set_bits
+from .formula import And, Formula, Iff, Implies, Not, Or, Var, Xor, _Constant
+
+try:  # pragma: no cover - exercised via the CI matrix leg without numpy
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+if os.environ.get("REPRO_NO_NUMPY"):  # force the pure-int shard fallback
+    _np = None
+
+#: Width of one machine word in the numpy bitplane.
+WORD_BITS = 64
+
+#: Width (in bits) of one pure-int shard; must be a power of two >= 64.
+SHARD_BITS = 1 << int(os.environ.get("REPRO_SHARD_BITS_LOG2", "16"))
+
+#: Largest alphabet the sharded tier handles; beyond it the engine falls
+#: back to SAT enumeration plus mask-list selection.
+SHARD_MAX_LETTERS = int(os.environ.get("REPRO_SHARD_MAX_LETTERS", "24"))
+
+#: Alphabet size at which pure-int compilation fans out over processes.
+PARALLEL_MIN_LETTERS = int(os.environ.get("REPRO_SHARD_PARALLEL_LETTERS", "22"))
+
+#: For each bit index i < 6, the 64-bit mask of word positions whose bit i
+#: is CLEAR (the within-word complement column, cf. BitAlphabet._low_masks).
+LOW64: Tuple[int, ...] = tuple(
+    sum(1 << b for b in range(64) if not b >> i & 1) for i in range(6)
+)
+
+#: For each popcount 0..6, the 64-bit mask of word positions with exactly
+#: that popcount — the within-word slice of a Hamming ring.
+PAT64: Tuple[int, ...] = tuple(
+    sum(1 << b for b in range(64) if b.bit_count() == k) for k in range(7)
+)
+
+_WORD_FULL = (1 << WORD_BITS) - 1
+
+
+def tier(letter_count: int) -> str:
+    """Which engine tier handles an alphabet of ``letter_count`` letters.
+
+    Reads the cutoffs at call time so tests (and benchmark harnesses) can
+    retarget the dispatch by adjusting ``bitmodels._TABLE_MAX_LETTERS`` or
+    :data:`SHARD_MAX_LETTERS`.
+    """
+    if letter_count <= _bitmodels._TABLE_MAX_LETTERS:
+        return "table"
+    if letter_count <= SHARD_MAX_LETTERS:
+        return "sharded"
+    return "masks"
+
+
+def _use_numpy(backend: Optional[str]) -> bool:
+    if backend is None:
+        return _np is not None
+    if backend == "numpy":
+        if _np is None:
+            raise RuntimeError("numpy backend requested but numpy is unavailable")
+        return True
+    if backend == "int":
+        return False
+    raise ValueError(f"unknown shard backend {backend!r} (use 'numpy' or 'int')")
+
+
+# ---------------------------------------------------------------------------
+# Pure-int shard helpers
+# ---------------------------------------------------------------------------
+
+#: (bit index, shard bit-width) -> within-shard complement column, built by
+#: the same doubling recurrence as BitAlphabet.column.
+_SHARD_LOWS: Dict[Tuple[int, int], int] = {}
+
+#: shard bit-width -> per-popcount within-shard ring masks.
+_SHARD_RINGS: Dict[int, List[int]] = {}
+
+
+def _shard_low(i: int, shard_bits: int) -> int:
+    """Positions (within one ``shard_bits``-wide shard) whose bit ``i`` is
+    clear; requires ``2^i < shard_bits``."""
+    cached = _SHARD_LOWS.get((i, shard_bits))
+    if cached is not None:
+        return cached
+    half = 1 << i
+    block = (1 << half) - 1  # low half-period set
+    width = half << 1
+    while width < shard_bits:
+        block |= block << width
+        width <<= 1
+    _SHARD_LOWS[(i, shard_bits)] = block
+    return block
+
+
+def _shard_rings(shard_bits: int) -> List[int]:
+    """Within-shard popcount layers: ``rings[k]`` collects the offsets with
+    popcount ``k`` (Pascal-triangle doubling, as BitAlphabet.popcount_layers)."""
+    cached = _SHARD_RINGS.get(shard_bits)
+    if cached is not None:
+        return cached
+    layers = [1]
+    offset_bits = shard_bits.bit_length() - 1
+    for i in range(offset_bits):
+        shift = 1 << i
+        grown = [layers[0]]
+        for k in range(1, len(layers)):
+            grown.append(layers[k] | (layers[k - 1] << shift))
+        grown.append(layers[-1] << shift)
+        layers = grown
+    _SHARD_RINGS[shard_bits] = layers
+    return layers
+
+
+def _compile_shard_range(args) -> List[int]:
+    """Worker for the multiprocessing shard map: compile ``formula`` on the
+    shards ``start..stop`` (top-level so it pickles)."""
+    formula, letters, start, stop, shard_bits = args
+    alphabet = BitAlphabet(letters)
+    return [
+        _compile_one_shard(formula, alphabet, s, shard_bits)
+        for s in range(start, stop)
+    ]
+
+
+def _compile_one_shard(
+    formula: Formula, alphabet: BitAlphabet, shard_index: int, shard_bits: int
+) -> int:
+    """Evaluate ``formula`` on the ``shard_bits`` interpretations whose masks
+    lie in ``[shard_index * shard_bits, (shard_index + 1) * shard_bits)``.
+
+    Letters with ``2^i < shard_bits`` contribute the periodic within-shard
+    column; higher letters are constant across the shard (their value is a
+    bit of the shard's base offset).
+    """
+    full = (1 << shard_bits) - 1
+    base = shard_index * shard_bits
+    memo: Dict[int, int] = {}
+
+    def column(name: str) -> int:
+        i = alphabet.bit(name)
+        if (1 << i) < shard_bits:
+            return full ^ _shard_low(i, shard_bits)
+        return full if base >> i & 1 else 0
+
+    def walk(node: Formula) -> int:
+        cached = memo.get(id(node))
+        if cached is not None:
+            return cached
+        if isinstance(node, Var):
+            result = column(node.name)
+        elif isinstance(node, Not):
+            result = walk(node.operand) ^ full
+        elif isinstance(node, And):
+            result = full
+            for operand in node.operands:
+                result &= walk(operand)
+                if not result:
+                    break
+        elif isinstance(node, Or):
+            result = 0
+            for operand in node.operands:
+                result |= walk(operand)
+                if result == full:
+                    break
+        elif isinstance(node, Implies):
+            result = (walk(node.antecedent) ^ full) | walk(node.consequent)
+        elif isinstance(node, Iff):
+            result = walk(node.left) ^ walk(node.right) ^ full
+        elif isinstance(node, Xor):
+            result = walk(node.left) ^ walk(node.right)
+        elif isinstance(node, _Constant):
+            result = full if node.value else 0
+        else:
+            raise TypeError(f"cannot compile {type(node).__name__} to a truth table")
+        memo[id(node)] = result
+        return result
+
+    return walk(formula)
+
+
+def map_shards(
+    function: Callable[[int], object],
+    table: "ShardedTable",
+    processes: Optional[int] = None,
+) -> List[object]:
+    """Apply a picklable per-shard function to every shard of ``table``.
+
+    The generic multiprocessing shard map: shards are distributed over a
+    process pool when ``processes`` asks for one (or the alphabet crosses
+    :data:`PARALLEL_MIN_LETTERS` on a multi-core host); otherwise the map
+    runs inline.  ``function`` receives each shard as a plain int.
+    """
+    shards = table.int_shards()
+    workers = _pool_size(len(table.alphabet), processes)
+    if workers <= 1 or len(shards) <= 1:
+        return [function(shard) for shard in shards]
+    from multiprocessing import Pool
+
+    with Pool(workers) as pool:
+        return pool.map(function, shards)
+
+
+def _pool_size(letter_count: int, processes: Optional[int]) -> int:
+    if processes is not None:
+        return max(1, processes)
+    if letter_count < PARALLEL_MIN_LETTERS:
+        return 1
+    return max(1, os.cpu_count() or 1)
+
+
+# ---------------------------------------------------------------------------
+# ShardedTable
+# ---------------------------------------------------------------------------
+
+
+class ShardedTable:
+    """A ``2^n``-bit truth table split into fixed-width shards.
+
+    Instances are conceptually immutable: every operation returns a new
+    table (internal buffers are reused only where the result owns them).
+    Exactly one of the two storage fields is populated:
+
+    * ``_words`` — numpy ``uint64`` bitplane (``2^n / 64`` words);
+    * ``_shards`` — list of ``shard_bits``-wide Python ints.
+    """
+
+    __slots__ = ("alphabet", "_words", "_shards", "_shard_bits")
+
+    def __init__(self, alphabet, words=None, shards=None, shard_bits=None):
+        self.alphabet = BitAlphabet.coerce(alphabet)
+        self._words = words
+        self._shards = shards
+        self._shard_bits = shard_bits
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def _empty_like(cls, alphabet: BitAlphabet, backend: Optional[str],
+                    shard_bits: Optional[int]) -> "ShardedTable":
+        alphabet = BitAlphabet.coerce(alphabet)
+        if _use_numpy(backend):
+            nwords = max(1, alphabet.table_bits >> 6)
+            return cls(alphabet, words=_np.zeros(nwords, dtype=_np.uint64))
+        width = cls._int_shard_bits(alphabet, shard_bits)
+        nshards = max(1, alphabet.table_bits // width)
+        return cls(alphabet, shards=[0] * nshards, shard_bits=width)
+
+    @staticmethod
+    def _int_shard_bits(alphabet: BitAlphabet, shard_bits: Optional[int]) -> int:
+        width = SHARD_BITS if shard_bits is None else shard_bits
+        if width < WORD_BITS or width & (width - 1):
+            raise ValueError(f"shard width must be a power of two >= {WORD_BITS}")
+        return min(alphabet.table_bits, width) if alphabet.table_bits >= WORD_BITS \
+            else alphabet.table_bits
+
+    @classmethod
+    def zeros(cls, alphabet, backend: Optional[str] = None,
+              shard_bits: Optional[int] = None) -> "ShardedTable":
+        return cls._empty_like(alphabet, backend, shard_bits)
+
+    @classmethod
+    def full(cls, alphabet, backend: Optional[str] = None,
+             shard_bits: Optional[int] = None) -> "ShardedTable":
+        table = cls._empty_like(alphabet, backend, shard_bits)
+        if table._words is not None:
+            table._words[:] = _np.uint64(_WORD_FULL)
+            table._mask_top()
+        else:
+            shard_full = (1 << table._shard_bits) - 1
+            table._shards = [shard_full] * len(table._shards)
+        return table
+
+    @classmethod
+    def from_int(cls, alphabet, value: int, backend: Optional[str] = None,
+                 shard_bits: Optional[int] = None) -> "ShardedTable":
+        """Split a big-int truth table into shards."""
+        table = cls._empty_like(alphabet, backend, shard_bits)
+        bits = table.alphabet.table_bits
+        if value < 0 or value >> bits:
+            raise ValueError(f"table value wider than 2^{len(table.alphabet)} bits")
+        if table._words is not None:
+            nwords = len(table._words)
+            data = value.to_bytes(nwords * 8, "little")
+            table._words = _np.frombuffer(data, dtype="<u8").astype(
+                _np.uint64, copy=True
+            )
+        else:
+            width = table._shard_bits
+            mask = (1 << width) - 1
+            table._shards = [
+                (value >> (s * width)) & mask for s in range(len(table._shards))
+            ]
+        return table
+
+    @classmethod
+    def from_masks(cls, alphabet, masks: Iterable[int],
+                   backend: Optional[str] = None,
+                   shard_bits: Optional[int] = None) -> "ShardedTable":
+        table = cls._empty_like(alphabet, backend, shard_bits)
+        if table._words is not None:
+            words = table._words
+            for mask in masks:
+                words[mask >> 6] |= _np.uint64(1 << (mask & 63))
+        else:
+            width = table._shard_bits
+            shards = table._shards
+            for mask in masks:
+                shards[mask // width] |= 1 << (mask % width)
+        return table
+
+    @classmethod
+    def from_formula(cls, formula: Formula, alphabet,
+                     backend: Optional[str] = None,
+                     shard_bits: Optional[int] = None,
+                     processes: Optional[int] = None) -> "ShardedTable":
+        """Compile ``formula`` to its sharded truth table.
+
+        numpy backend: every connective is one vectorised elementwise call
+        over the word array (variable columns are synthesised per call —
+        within-word patterns for the low six letters, word-index bit tests
+        above them).  Pure-int backend: each shard compiles independently;
+        shard ranges fan out over a multiprocessing pool for alphabets at
+        or above :data:`PARALLEL_MIN_LETTERS` (or when ``processes`` is
+        given explicitly).
+        """
+        alphabet = BitAlphabet.coerce(alphabet)
+        extra = formula.variables() - set(alphabet.letters)
+        if extra:
+            raise ValueError(
+                f"formula letters {sorted(extra)} outside alphabet"
+            )
+        if _use_numpy(backend):
+            return cls(alphabet, words=_numpy_compile(formula, alphabet))
+        width = cls._int_shard_bits(alphabet, shard_bits)
+        nshards = max(1, alphabet.table_bits // width)
+        workers = _pool_size(len(alphabet), processes)
+        if workers <= 1 or nshards <= 1:
+            shards = [
+                _compile_one_shard(formula, alphabet, s, width)
+                for s in range(nshards)
+            ]
+        else:
+            from multiprocessing import Pool
+
+            chunk = (nshards + workers - 1) // workers
+            jobs = [
+                (formula, alphabet.letters, start, min(start + chunk, nshards), width)
+                for start in range(0, nshards, chunk)
+            ]
+            with Pool(len(jobs)) as pool:
+                shards = [
+                    shard
+                    for block in pool.map(_compile_shard_range, jobs)
+                    for shard in block
+                ]
+        return cls(alphabet, shards=shards, shard_bits=width)
+
+    # -- views --------------------------------------------------------------
+
+    @property
+    def backend(self) -> str:
+        return "numpy" if self._words is not None else "int"
+
+    @property
+    def table_bits(self) -> int:
+        return self.alphabet.table_bits
+
+    def int_shards(self) -> List[int]:
+        """The table as a list of shard-width ints (both backends).
+
+        For the numpy backend each :data:`SHARD_BITS`-sized word block is
+        packed into one int — the boundary used by :func:`map_shards`.
+        """
+        if self._shards is not None:
+            return list(self._shards)
+        words_per_shard = max(1, min(self.table_bits, SHARD_BITS) >> 6)
+        data = self._words.astype("<u8", copy=False).tobytes()
+        step = words_per_shard * 8
+        return [
+            int.from_bytes(data[i: i + step], "little")
+            for i in range(0, len(data), step)
+        ]
+
+    def to_int(self) -> int:
+        """Re-join the shards into the Level-2 big-int encoding."""
+        if self._words is not None:
+            return int.from_bytes(
+                self._words.astype("<u8", copy=False).tobytes(), "little"
+            )
+        value = 0
+        width = self._shard_bits
+        for index, shard in enumerate(self._shards):
+            if shard:
+                value |= shard << (index * width)
+        return value
+
+    def iter_set_bits(self) -> Iterator[int]:
+        """Stream the set table positions (i.e. the model masks), ascending."""
+        if self._words is not None:
+            words = self._words
+            for index in _np.flatnonzero(words):
+                base = int(index) << 6
+                for bit in iter_set_bits(int(words[index])):
+                    yield base + bit
+        else:
+            width = self._shard_bits
+            for index, shard in enumerate(self._shards):
+                if shard:
+                    base = index * width
+                    for bit in iter_set_bits(shard):
+                        yield base + bit
+
+    def to_masks(self) -> List[int]:
+        return list(self.iter_set_bits())
+
+    # -- scalar queries ------------------------------------------------------
+
+    def any(self) -> bool:
+        if self._words is not None:
+            return bool(self._words.any())
+        return any(self._shards)
+
+    __bool__ = any
+
+    def popcount(self) -> int:
+        """Number of set positions (= model count)."""
+        if self._words is not None:
+            if hasattr(_np, "bitwise_count"):
+                return int(_np.bitwise_count(self._words).sum())
+            return sum(int(w).bit_count() for w in self._words)  # pragma: no cover
+        return sum(shard.bit_count() for shard in self._shards)
+
+    def get_bit(self, mask: int) -> bool:
+        if self._words is not None:
+            return bool(int(self._words[mask >> 6]) >> (mask & 63) & 1)
+        width = self._shard_bits
+        return bool(self._shards[mask // width] >> (mask % width) & 1)
+
+    # -- elementwise algebra -------------------------------------------------
+
+    def _like(self, words=None, shards=None) -> "ShardedTable":
+        return ShardedTable(
+            self.alphabet, words=words, shards=shards, shard_bits=self._shard_bits
+        )
+
+    def _check_compatible(self, other: "ShardedTable") -> None:
+        if self.alphabet != other.alphabet:
+            raise ValueError("sharded tables range over different alphabets")
+        if self.backend != other.backend or self._shard_bits != other._shard_bits:
+            raise ValueError("sharded tables use different backends")
+
+    def __and__(self, other: "ShardedTable") -> "ShardedTable":
+        self._check_compatible(other)
+        if self._words is not None:
+            return self._like(words=self._words & other._words)
+        return self._like(
+            shards=[a & b for a, b in zip(self._shards, other._shards)]
+        )
+
+    def __or__(self, other: "ShardedTable") -> "ShardedTable":
+        self._check_compatible(other)
+        if self._words is not None:
+            return self._like(words=self._words | other._words)
+        return self._like(
+            shards=[a | b for a, b in zip(self._shards, other._shards)]
+        )
+
+    def __xor__(self, other: "ShardedTable") -> "ShardedTable":
+        self._check_compatible(other)
+        if self._words is not None:
+            return self._like(words=self._words ^ other._words)
+        return self._like(
+            shards=[a ^ b for a, b in zip(self._shards, other._shards)]
+        )
+
+    def __invert__(self) -> "ShardedTable":
+        if self._words is not None:
+            result = self._like(words=~self._words)
+            result._mask_top()
+            return result
+        shard_full = (1 << self._shard_bits) - 1
+        return self._like(shards=[shard ^ shard_full for shard in self._shards])
+
+    def _mask_top(self) -> None:
+        """Clear the unused high bits of a sub-word table (n < 6)."""
+        if self._words is not None and self.table_bits < WORD_BITS:
+            self._words[0] &= _np.uint64((1 << self.table_bits) - 1)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ShardedTable):
+            return NotImplemented
+        if self.alphabet != other.alphabet:
+            return False
+        if self.backend == other.backend and self._shard_bits == other._shard_bits:
+            if self._words is not None:
+                return bool((self._words == other._words).all())
+            return self._shards == other._shards
+        return self.to_int() == other.to_int()
+
+    def __hash__(self) -> int:
+        return hash((self.alphabet, self.to_int()))
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedTable[{len(self.alphabet)} letters, {self.backend}]"
+            f"({self.popcount()} models)"
+        )
+
+    # -- structural transforms ----------------------------------------------
+
+    def _swap_bit(self, i: int) -> "ShardedTable":
+        """The permutation ``j -> j ^ 2^i`` applied to the table positions."""
+        half = 1 << i
+        if self._words is not None:
+            words = self._words
+            if half < WORD_BITS:
+                low = _np.uint64(LOW64[i])
+                out = ((words >> _np.uint64(half)) & low) | (
+                    (words & low) << _np.uint64(half)
+                )
+            else:
+                stride = half >> 6
+                out = _np.ascontiguousarray(
+                    words.reshape(-1, 2, stride)[:, ::-1, :]
+                ).reshape(-1)
+            return self._like(words=out)
+        width = self._shard_bits
+        if half < width:
+            low = _shard_low(i, width)
+            return self._like(
+                shards=[
+                    ((shard >> half) & low) | ((shard & low) << half)
+                    for shard in self._shards
+                ]
+            )
+        stride = half // width
+        shards = self._shards
+        return self._like(
+            shards=[shards[s ^ stride] for s in range(len(shards))]
+        )
+
+    def xor_translate(self, mask: int) -> "ShardedTable":
+        """The table of ``{ j ^ mask : j in table }`` (cf.
+        :func:`repro.logic.bitmodels.xor_translate_table`).
+
+        The whole-word part of the permutation (mask bits >= 6 for numpy,
+        >= the shard width for pure-int shards) collapses into a single
+        reindexing pass — ``new[j] = old[j ^ hi]`` — so a translate costs
+        one gather plus at most ``log2(word)`` in-word swaps, instead of
+        one strided pass per set mask bit.  This is the inner loop of the
+        pointwise operators (one translate per model of ``T``).
+        """
+        if not mask:
+            return self
+        if self._words is not None:
+            words = self._words
+            hi = mask >> 6
+            if hi:
+                words = words[_word_indices(len(words)) ^ hi]
+            low = mask & 63
+            while low:
+                low_bit = low & -low
+                i = low_bit.bit_length() - 1
+                half = _np.uint64(1 << i)
+                pattern = _np.uint64(LOW64[i])
+                words = ((words >> half) & pattern) | ((words & pattern) << half)
+                low ^= low_bit
+            if words is self._words:  # pragma: no cover - mask != 0 above
+                words = words.copy()
+            return self._like(words=words)
+        width = self._shard_bits
+        shards = self._shards
+        hi = mask // width
+        if hi:
+            shards = [shards[s ^ hi] for s in range(len(shards))]
+        low = mask & (width - 1)
+        while low:
+            low_bit = low & -low
+            i = low_bit.bit_length() - 1
+            half = 1 << i
+            low_pattern = _shard_low(i, width)
+            shards = [
+                ((shard >> half) & low_pattern) | ((shard & low_pattern) << half)
+                for shard in shards
+            ]
+            low ^= low_bit
+        if shards is self._shards:  # pragma: no cover - mask != 0 above
+            shards = list(shards)
+        return self._like(shards=shards)
+
+    def _shift_up_or(self, i: int) -> None:
+        """In place: ``table |= (table restricted to bit-i-clear) << 2^i``."""
+        half = 1 << i
+        if self._words is not None:
+            words = self._words
+            if half < WORD_BITS:
+                low = _np.uint64(LOW64[i])
+                words |= (words & low) << _np.uint64(half)
+            else:
+                stride = half >> 6
+                view = words.reshape(-1, 2, stride)
+                view[:, 1, :] |= view[:, 0, :]
+            return
+        width = self._shard_bits
+        shards = self._shards
+        if half < width:
+            low = _shard_low(i, width)
+            for index, shard in enumerate(shards):
+                shards[index] = shard | ((shard & low) << half)
+            return
+        stride = half // width
+        for base in range(0, len(shards), 2 * stride):
+            for offset in range(stride):
+                shards[base + stride + offset] |= shards[base + offset]
+
+    def _copy(self) -> "ShardedTable":
+        if self._words is not None:
+            return self._like(words=self._words.copy())
+        return self._like(shards=list(self._shards))
+
+    def upward_closure(self) -> "ShardedTable":
+        """All supersets of the table's masks (subset-sum sweep per bit)."""
+        result = self._copy()
+        for i in range(len(self.alphabet)):
+            result._shift_up_or(i)
+        return result
+
+    def minimal_elements(self) -> "ShardedTable":
+        """Inclusion-minimal masks of the table (cf.
+        :func:`repro.logic.bitmodels.minimal_elements_table`)."""
+        strict = self.zeros_like()
+        for i in range(len(self.alphabet)):
+            lifted = self._restrict_low(i)
+            lifted._shift_up_only(i)
+            strict |= lifted
+        strict = strict.upward_closure()
+        return self & ~strict
+
+    def _restrict_low(self, i: int) -> "ShardedTable":
+        """The table restricted to positions whose bit ``i`` is clear."""
+        half = 1 << i
+        if self._words is not None:
+            if half < WORD_BITS:
+                return self._like(words=self._words & _np.uint64(LOW64[i]))
+            stride = half >> 6
+            out = self._words.copy().reshape(-1, 2, stride)
+            out[:, 1, :] = 0
+            return self._like(words=out.reshape(-1))
+        width = self._shard_bits
+        if half < width:
+            low = _shard_low(i, width)
+            return self._like(shards=[shard & low for shard in self._shards])
+        stride = half // width
+        shards = list(self._shards)
+        for base in range(0, len(shards), 2 * stride):
+            for offset in range(stride):
+                shards[base + stride + offset] = 0
+        return self._like(shards=shards)
+
+    def _shift_up_only(self, i: int) -> None:
+        """In place: move every (bit-i-clear) position up by ``2^i``,
+        clearing the source — assumes bit-i-set positions are empty."""
+        half = 1 << i
+        if self._words is not None:
+            words = self._words
+            if half < WORD_BITS:
+                low = _np.uint64(LOW64[i])
+                shifted = (words & low) << _np.uint64(half)
+                words[:] = shifted
+            else:
+                stride = half >> 6
+                view = words.reshape(-1, 2, stride)
+                view[:, 1, :] = view[:, 0, :]
+                view[:, 0, :] = 0
+            return
+        width = self._shard_bits
+        shards = self._shards
+        if half < width:
+            low = _shard_low(i, width)
+            for index, shard in enumerate(shards):
+                shards[index] = (shard & low) << half
+            return
+        stride = half // width
+        for base in range(0, len(shards), 2 * stride):
+            for offset in range(stride):
+                shards[base + stride + offset] = shards[base + offset]
+                shards[base + offset] = 0
+
+    def zeros_like(self) -> "ShardedTable":
+        if self._words is not None:
+            return self._like(words=_np.zeros_like(self._words))
+        return self._like(shards=[0] * len(self._shards))
+
+    def neighbors(self) -> "ShardedTable":
+        """All positions at Hamming distance exactly 1 from a set position."""
+        result = self.zeros_like()
+        for i in range(len(self.alphabet)):
+            result |= self._swap_bit(i)
+        return result
+
+    def exists_bits(self, bit_indices: Iterable[int]) -> "ShardedTable":
+        """Existential smoothing over the given letters: a position stays set
+        iff some assignment of those letters reaches a set position."""
+        result = self._copy()
+        for i in bit_indices:
+            result = result | result._swap_bit(i)
+        return result
+
+    def ring(self, k: int) -> "ShardedTable":
+        """The table restricted to positions with popcount exactly ``k``.
+
+        The popcount of position ``j`` splits as ``popcount(chunk index) +
+        popcount(offset)``, so the ring is a per-chunk AND against a
+        precomputed offset-ring mask — no per-position loop.
+        """
+        if self._words is not None:
+            nwords = len(self._words)
+            word_pc = _word_popcounts(nwords)
+            want = k - word_pc.astype(_np.int64)
+            valid = (want >= 0) & (want <= 6)
+            pattern = _pat64_array()[_np.clip(want, 0, 6)]
+            pattern[~valid] = 0
+            return self._like(words=self._words & pattern)
+        width = self._shard_bits
+        rings = _shard_rings(width)
+        shards = []
+        for index, shard in enumerate(self._shards):
+            offset_pc = k - index.bit_count()
+            if 0 <= offset_pc < len(rings):
+                shards.append(shard & rings[offset_pc])
+            else:
+                shards.append(0)
+        return self._like(shards=shards)
+
+    def first_ring(self) -> Tuple[int, "ShardedTable"]:
+        """``(k, ring)`` for the smallest non-empty popcount ring."""
+        for k in range(len(self.alphabet) + 1):
+            ring = self.ring(k)
+            if ring.any():
+                return k, ring
+        raise ValueError("first_ring of an empty table")
+
+    def min_hamming(self, other: "ShardedTable") -> Tuple[int, "ShardedTable"]:
+        """``(k, ball)``: minimum Hamming distance to ``other`` and the
+        radius-``k`` ball around ``self`` (cf.
+        :func:`repro.logic.bitmodels.min_hamming_distance_tables`)."""
+        if not self.any() or not other.any():
+            raise ValueError("min Hamming distance of an empty model table")
+        ball = self
+        distance = 0
+        while not (ball & other).any():
+            ball = ball | ball.neighbors()
+            distance += 1
+            if distance > len(self.alphabet):
+                raise AssertionError("Hamming ball failed to cover the space")
+        return distance, ball
+
+
+# ---------------------------------------------------------------------------
+# numpy compile helpers
+# ---------------------------------------------------------------------------
+
+_WORD_PC_CACHE: Dict[int, "object"] = {}
+_WORD_INDEX_CACHE: Dict[int, "object"] = {}
+_PAT64_ARRAY = None
+
+
+def _word_indices(nwords: int):
+    """``arange(nwords)`` as an index array — cached per bitplane length
+    (the XOR-gather of :meth:`ShardedTable.xor_translate` runs per model)."""
+    cached = _WORD_INDEX_CACHE.get(nwords)
+    if cached is None:
+        cached = _np.arange(nwords, dtype=_np.intp)
+        _WORD_INDEX_CACHE[nwords] = cached
+    return cached
+
+
+def _word_popcounts(nwords: int):
+    """popcount(word index) for each word — cached per bitplane length."""
+    cached = _WORD_PC_CACHE.get(nwords)
+    if cached is None:
+        indices = _np.arange(nwords, dtype=_np.uint64)
+        if hasattr(_np, "bitwise_count"):
+            cached = _np.bitwise_count(indices).astype(_np.int64)
+        else:  # pragma: no cover
+            cached = _np.array(
+                [int(i).bit_count() for i in range(nwords)], dtype=_np.int64
+            )
+        _WORD_PC_CACHE[nwords] = cached
+    return cached
+
+
+def _pat64_array():
+    global _PAT64_ARRAY
+    if _PAT64_ARRAY is None:
+        _PAT64_ARRAY = _np.array(PAT64, dtype=_np.uint64)
+    return _PAT64_ARRAY
+
+
+def _numpy_compile(formula: Formula, alphabet: BitAlphabet):
+    """Compile a formula to a uint64 bitplane, one vector op per connective.
+
+    Only variable columns are memoised (per call): clause-shaped formulas
+    share little else, and releasing intermediate arrays as the walk
+    unwinds keeps peak memory proportional to the formula depth.
+    """
+    nwords = max(1, alphabet.table_bits >> 6)
+    columns: Dict[str, object] = {}
+    full = _np.uint64(_WORD_FULL)
+
+    def column(name: str):
+        cached = columns.get(name)
+        if cached is not None:
+            return cached
+        i = alphabet.bit(name)
+        if i < 6:
+            col = _np.full(nwords, _np.uint64(_WORD_FULL ^ LOW64[i]))
+        else:
+            word_bit = (
+                _np.arange(nwords, dtype=_np.uint64) >> _np.uint64(i - 6)
+            ) & _np.uint64(1)
+            col = word_bit * full
+        columns[name] = col
+        return col
+
+    def walk(node: Formula):
+        if isinstance(node, Var):
+            return column(node.name)
+        if isinstance(node, Not):
+            return ~walk(node.operand)
+        if isinstance(node, And):
+            operands = iter(node.operands)
+            acc = walk(next(operands)).copy()
+            for operand in operands:
+                _np.bitwise_and(acc, walk(operand), out=acc)
+                if not acc.any():
+                    break
+            return acc
+        if isinstance(node, Or):
+            operands = iter(node.operands)
+            acc = walk(next(operands)).copy()
+            for operand in operands:
+                _np.bitwise_or(acc, walk(operand), out=acc)
+            return acc
+        if isinstance(node, Implies):
+            return ~walk(node.antecedent) | walk(node.consequent)
+        if isinstance(node, Iff):
+            return ~(walk(node.left) ^ walk(node.right))
+        if isinstance(node, Xor):
+            return walk(node.left) ^ walk(node.right)
+        if isinstance(node, _Constant):
+            value = _np.uint64(_WORD_FULL if node.value else 0)
+            return _np.full(nwords, value)
+        raise TypeError(f"cannot compile {type(node).__name__} to a truth table")
+
+    words = walk(formula)
+    if words.base is not None or any(words is col for col in columns.values()):
+        words = words.copy()
+    table = ShardedTable(alphabet, words=words)
+    table._mask_top()
+    return table._words

@@ -2,6 +2,7 @@
 
 from .agm import contract, counterfactual, expand
 from .base import RevisionOperator, RevisionResult
+from .batch import BatchCache, revise_many
 from .distances import (
     delta,
     delta_masks,
@@ -28,6 +29,7 @@ from .model_based import (
     SatohOperator,
     WeberOperator,
     WinslettOperator,
+    delta_bits,
 )
 from .reference import (
     REFERENCE_OPERATOR_NAMES,
@@ -45,6 +47,7 @@ from .registry import (
 )
 
 __all__ = [
+    "BatchCache",
     "BorgidaOperator",
     "DalalOperator",
     "FORMULA_BASED_NAMES",
@@ -64,6 +67,7 @@ __all__ = [
     "contract",
     "counterfactual",
     "delta",
+    "delta_bits",
     "delta_masks",
     "expand",
     "get_operator",
@@ -81,4 +85,5 @@ __all__ = [
     "reference_select",
     "revise",
     "revise_iterated",
+    "revise_many",
 ]

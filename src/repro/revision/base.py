@@ -27,12 +27,13 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
 
+from ..logic import shards as _shards
 from ..logic.bitmodels import (
-    _TABLE_MAX_LETTERS,
     BitAlphabet,
     BitModelSet,
     truth_table,
 )
+from ..logic.shards import ShardedTable
 from ..logic.formula import Formula, FormulaLike, as_formula, big_or, cube
 from ..logic.interpretation import Interpretation
 from ..logic.theory import Theory, TheoryLike
@@ -67,7 +68,7 @@ class RevisionResult:
                 )
             self._bits = model_set
         else:
-            bit_alphabet = BitAlphabet(self.alphabet)
+            bit_alphabet = BitAlphabet.coerce(self.alphabet)
             try:
                 self._bits = BitModelSet.from_interpretations(
                     bit_alphabet, model_set
@@ -97,20 +98,25 @@ class RevisionResult:
 
     def is_consistent(self) -> bool:
         """Whether ``T * P`` has any model."""
-        return bool(self._bits.masks)
+        return bool(self._bits)
+
+    def model_count(self) -> int:
+        """Number of models — a table popcount, so sharded-tier results
+        never have to materialise their mask sets to be sized."""
+        return self._bits.count()
 
     def satisfies(self, model: Iterable[str]) -> bool:
         """Model checking ``M |= T * P`` (M given over the result alphabet)."""
         restricted = frozenset(model) & self._alphabet_set
-        return self._bits.alphabet.mask_of(restricted) in self._bits.masks
+        return self._bits.alphabet.mask_of(restricted) in self._bits
 
     def entails(self, query: FormulaLike) -> bool:
         """Entailment ``T * P |= Q`` for a query over the result alphabet.
 
         Vacuously true when the result is inconsistent, as in the paper.
-        Below the truth-table cutoff the query compiles to one big-int
-        column and entailment is a single containment test of the model
-        table; larger alphabets fall back to per-model evaluation.
+        On both table tiers the query compiles to a table column and
+        entailment is a single containment test of the model table; only
+        mask-tier alphabets fall back to per-model evaluation.
         """
         formula = as_formula(query)
         extra = formula.variables() - self._alphabet_set
@@ -118,10 +124,15 @@ class RevisionResult:
             raise ValueError(
                 f"query letters {sorted(extra)} outside result alphabet"
             )
-        if len(self.alphabet) <= _TABLE_MAX_LETTERS:
+        level = _shards.tier(len(self.alphabet))
+        if level == "table":
             models_table = self._bits.table()
             query_table = truth_table(formula, self._bits.alphabet)
             return models_table & query_table == models_table
+        if level == "sharded":
+            models_table = self._bits.sharded()
+            query_table = ShardedTable.from_formula(formula, self._bits.alphabet)
+            return not (models_table & ~query_table).any()
         return all(formula.evaluate(model) for model in self.model_set)
 
     def formula(self) -> Formula:
@@ -142,10 +153,10 @@ class RevisionResult:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, RevisionResult):
             return NotImplemented
-        return (
-            self.alphabet == other.alphabet
-            and self._bits.masks == other._bits.masks
-        )
+        # BitModelSet equality is laziness-aware (tables compare as ints
+        # when the mask frozensets were never materialised) — important
+        # for sharded-tier results with millions of models.
+        return self.alphabet == other.alphabet and self._bits == other._bits
 
     def __repr__(self) -> str:
         shown = ", ".join(

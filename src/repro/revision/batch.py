@@ -1,0 +1,131 @@
+"""Batched revision: many ``(T, P)`` pairs through one compilation cache.
+
+The serving story for a revision engine is not one revision — it is a high
+rate of revise/query cycles against a comparatively small population of
+knowledge bases (the view-revision framing of arXiv:1301.5154 and
+arXiv:1411.2499: the same KB revised by a stream of updates, or the same
+update applied across many KBs).  Issued one `revise` at a time, every call
+re-compiles both truth tables and rebuilds the alphabet memos from scratch;
+issued as a batch, each distinct ``(formula, alphabet)`` compiles exactly
+once.
+
+:func:`revise_many` is that batch unit — and the unit a serving layer
+shards over workers: the cache is plain per-batch state with no global
+coordination, so splitting a workload into batches splits the compilation
+work with it.
+
+Guarantees:
+
+* results are *exactly* those of calling ``operator.revise(T, P)`` per
+  pair, in order (the hypothesis suite asserts this for all six
+  model-based operators);
+* each distinct theory/formula is compiled once per alphabet (model-set
+  compilation is keyed on the formula's structural hash and the alphabet's
+  letters), and a repeated ``(T, P)`` pair returns its memoised
+  :class:`RevisionResult` without re-running the selection rule — revision
+  is a pure function of the pair, so hot serving keys cost one dict probe;
+* formula-based (syntax-sensitive) operators are supported too — they
+  bypass the model-set cache and run the plain per-pair path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..logic.bitmodels import BitAlphabet, BitModelSet
+from ..logic.formula import Formula, FormulaLike, as_formula
+from ..logic.theory import Theory, TheoryLike
+from ..sat import bit_models as sat_bit_models
+from .base import RevisionResult
+from .model_based import ModelBasedOperator
+from .registry import get_operator
+
+
+class BatchCache:
+    """Per-batch model-set cache keyed by ``(formula, alphabet letters)``.
+
+    One cache instance is the sharing scope: hand the same cache to several
+    :func:`revise_many` calls to extend the sharing across them (e.g. a
+    server draining a queue batch by batch), or let ``revise_many`` create
+    a fresh one per call for strict isolation.
+    """
+
+    __slots__ = ("_model_sets", "_results", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._model_sets: Dict[Tuple[Formula, Tuple[str, ...]], BitModelSet] = {}
+        self._results: Dict[Tuple[str, Formula, Formula], RevisionResult] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def bit_models(self, formula: Formula, alphabet: BitAlphabet) -> BitModelSet:
+        """The model set of ``formula`` over ``alphabet``, compiled once."""
+        key = (formula, alphabet.letters)
+        cached = self._model_sets.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        bits = sat_bit_models(formula, alphabet)
+        self._model_sets[key] = bits
+        return bits
+
+    def result(self, operator: str, t_formula: Formula, formula: Formula):
+        """A previously computed revision of this exact pair, if any.
+
+        Revision is a pure function of ``(operator, T, P)``, so a serving
+        loop draining a queue with hot keys — the same KB hit by the same
+        update — can return the memoised :class:`RevisionResult` outright.
+        This is the seed of the incremental revision service the ROADMAP
+        names (cf. the view-revision workloads of arXiv:1301.5154).
+        """
+        return self._results.get((operator, t_formula, formula))
+
+    def store_result(
+        self,
+        operator: str,
+        t_formula: Formula,
+        formula: Formula,
+        result: RevisionResult,
+    ) -> None:
+        self._results[(operator, t_formula, formula)] = result
+
+
+def revise_many(
+    pairs: Iterable[Tuple[TheoryLike, FormulaLike]],
+    operator: str = "dalal",
+    cache: Optional[BatchCache] = None,
+) -> List[RevisionResult]:
+    """Revise every ``(T, P)`` pair under the named operator, sharing work.
+
+    Equivalent to ``[get_operator(operator).revise(t, p) for t, p in
+    pairs]`` but with model-set compilation shared across the batch: each
+    theory's table is compiled once per alphabet, repeated revising
+    formulas are compiled once, and interned alphabets share their
+    truth-table memos.  Pass an explicit ``cache`` to share compilations
+    across successive batches.
+    """
+    op = get_operator(operator)
+    if not isinstance(op, ModelBasedOperator):
+        return [op.revise(theory, formula) for theory, formula in pairs]
+    if cache is None:
+        cache = BatchCache()
+    results: List[RevisionResult] = []
+    for theory, formula in pairs:
+        theory = Theory.coerce(theory)
+        formula = as_formula(formula)
+        t_formula = theory.conjunction()
+        cached = cache.result(op.name, t_formula, formula)
+        if cached is not None:
+            cache.hits += 1
+            results.append(cached)
+            continue
+        alphabet = BitAlphabet.coerce(
+            t_formula.variables() | formula.variables()
+        )
+        t_bits = cache.bit_models(t_formula, alphabet)
+        p_bits = cache.bit_models(formula, alphabet)
+        result = op.revise_sets(t_bits, p_bits)
+        cache.store_result(op.name, t_formula, formula, result)
+        results.append(result)
+    return results

@@ -18,24 +18,27 @@ Global (revision-style — proximity judged against all models of ``T``):
   all inclusion-minimal differences.
 
 Every ``revise`` computes the ground-truth model set by enumeration on the
-bitmask engine (:mod:`repro.logic.bitmodels`).  Below the truth-table
-cutoff the selection rules run *bit-parallel*: a model set is one big-int,
-``{M △ N : N |= P}`` is an XOR-translation of that integer, ``min⊆`` is a
-subset-sum closure, and Hamming balls grow by single-bit flips — so the
-per-model work is a handful of big-int operations instead of a Python loop
-over models of ``P``.  Above the cutoff the same rules run on packed masks
-(XOR + popcount per pair).  The retained frozenset semantics lives in
-:mod:`repro.revision.reference` and the hypothesis suite asserts both
+bitmask engine (:mod:`repro.logic.bitmodels`).  Each selection rule is
+written *once*, against a small table-algebra protocol (:class:`_TableOps`
+for Level-2 big-int tables, :class:`_ShardOps` for the Level-3 sharded
+tables of :mod:`repro.logic.shards`): a model set is one table,
+``{M △ N : N |= P}`` is an XOR-translation of that table, ``min⊆`` is a
+subset-sum closure, and Hamming balls grow by single-bit flips.  The tier
+is picked per call by :func:`repro.logic.shards.tier` — big-int tables up
+to ``_TABLE_MAX_LETTERS`` letters, sharded tables up to
+``shards.SHARD_MAX_LETTERS``, and packed-mask loops (XOR + popcount per
+pair) beyond that.  The retained frozenset semantics lives in
+:mod:`repro.revision.reference` and the hypothesis suite asserts all
 engines agree; the containment relations among the six results (paper
 Fig. 2) are asserted by ``tests/test_revision_containment.py``.
 """
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, Sequence, Set, Tuple
+from typing import FrozenSet, Iterable, Iterator, List, Set, Tuple
 
+from ..logic import shards as _shards
 from ..logic.bitmodels import (
-    _TABLE_MAX_LETTERS,
     BitAlphabet,
     BitModelSet,
     iter_set_bits,
@@ -45,6 +48,7 @@ from ..logic.bitmodels import (
 )
 from ..logic.formula import FormulaLike, as_formula
 from ..logic.interpretation import Interpretation
+from ..logic.shards import ShardedTable
 from ..logic.theory import Theory, TheoryLike
 from .base import RevisionOperator, RevisionResult
 from .distances import (
@@ -58,6 +62,128 @@ from .distances import (
 ModelSet = FrozenSet[Interpretation]
 
 
+# ---------------------------------------------------------------------------
+# Table algebra protocol — one selection rule, two table tiers
+# ---------------------------------------------------------------------------
+
+
+class _TableOps:
+    """Level-2 adapter: tables are ``2^n``-bit Python ints."""
+
+    __slots__ = ("alphabet",)
+
+    def __init__(self, alphabet: BitAlphabet) -> None:
+        self.alphabet = alphabet
+
+    def table(self, bits: BitModelSet) -> int:
+        return bits.table()
+
+    def wrap(self, table: int) -> BitModelSet:
+        return BitModelSet.from_table(self.alphabet, table)
+
+    def zero(self) -> int:
+        return 0
+
+    def translate(self, table: int, mask: int) -> int:
+        return xor_translate_table(table, mask, self.alphabet)
+
+    def minimal(self, table: int) -> int:
+        return minimal_elements_table(table, self.alphabet)
+
+    def first_ring(self, table: int) -> Tuple[int, int]:
+        for k, layer in enumerate(self.alphabet.popcount_layers()):
+            ring = table & layer
+            if ring:
+                return k, ring
+        raise ValueError("first_ring of an empty table")
+
+    def min_hamming(self, left: int, right: int) -> Tuple[int, int]:
+        return min_hamming_distance_tables(left, right, self.alphabet)
+
+    def bits_of(self, table: int) -> Iterator[int]:
+        return iter_set_bits(table)
+
+
+class _ShardOps:
+    """Level-3 adapter: tables are :class:`ShardedTable` bitplanes."""
+
+    __slots__ = ("alphabet",)
+
+    def __init__(self, alphabet: BitAlphabet) -> None:
+        self.alphabet = alphabet
+
+    def table(self, bits: BitModelSet) -> ShardedTable:
+        return bits.sharded()
+
+    def wrap(self, table: ShardedTable) -> BitModelSet:
+        return BitModelSet.from_sharded(self.alphabet, table)
+
+    def zero(self) -> ShardedTable:
+        return ShardedTable.zeros(self.alphabet)
+
+    def translate(self, table: ShardedTable, mask: int) -> ShardedTable:
+        return table.xor_translate(mask)
+
+    def minimal(self, table: ShardedTable) -> ShardedTable:
+        return table.minimal_elements()
+
+    def first_ring(self, table: ShardedTable) -> Tuple[int, ShardedTable]:
+        return table.first_ring()
+
+    def min_hamming(
+        self, left: ShardedTable, right: ShardedTable
+    ) -> Tuple[int, ShardedTable]:
+        return left.min_hamming(right)
+
+    def bits_of(self, table: ShardedTable) -> Iterator[int]:
+        return table.iter_set_bits()
+
+
+def _ops_for(alphabet: BitAlphabet):
+    """The table adapter for the alphabet's tier (None for the mask tier)."""
+    level = _shards.tier(len(alphabet))
+    if level == "table":
+        return _TableOps(alphabet)
+    if level == "sharded":
+        return _ShardOps(alphabet)
+    return None
+
+
+def _delta_tab(ops, t_bits: BitModelSet, p_bits: BitModelSet):
+    """``delta(T, P)`` as a table: minimal elements of all differences.
+
+    ``{M △ N : M |= T, N |= P}`` is symmetric in the two roles, so the
+    union of translates loops over whichever model set is smaller — for a
+    dense theory revised by a narrow ``P`` (or vice versa) this changes the
+    loop count by orders of magnitude.
+    """
+    if t_bits.count() <= p_bits.count():
+        fixed, moved = p_bits, t_bits
+    else:
+        fixed, moved = t_bits, p_bits
+    fixed_tab = ops.table(fixed)
+    diffs = ops.zero()
+    for model in moved.iter_masks():
+        diffs |= ops.translate(fixed_tab, model)
+    return ops.minimal(diffs)
+
+
+def delta_bits(t_bits: BitModelSet, p_bits: BitModelSet) -> List[int]:
+    """``delta(T, P)`` as a sorted list of difference masks, tier-dispatched.
+
+    Public entry point for the compact constructions (formula (7) needs the
+    set itself); both model sets must be non-empty and share an alphabet.
+    """
+    if t_bits.alphabet != p_bits.alphabet:
+        raise ValueError("model sets range over different alphabets")
+    if not t_bits or not p_bits:
+        raise ValueError("delta of an empty model set")
+    ops = _ops_for(t_bits.alphabet)
+    if ops is None:
+        return sorted(delta_masks(t_bits.masks, p_bits.masks))
+    return sorted(ops.bits_of(_delta_tab(ops, t_bits, p_bits)))
+
+
 class ModelBasedOperator(RevisionOperator):
     """Shared driver: enumerate models bit-parallel, delegate the rule."""
 
@@ -66,40 +192,52 @@ class ModelBasedOperator(RevisionOperator):
     def revise(self, theory: TheoryLike, new_formula: FormulaLike) -> RevisionResult:
         theory = Theory.coerce(theory)
         formula = as_formula(new_formula)
-        alphabet = BitAlphabet(self._alphabet(theory, formula))
+        alphabet = BitAlphabet.coerce(self._alphabet(theory, formula))
         t_bits = self._bit_models_of(theory.conjunction(), alphabet)
         p_bits = self._bit_models_of(formula, alphabet)
+        return self.revise_sets(t_bits, p_bits)
+
+    def revise_sets(
+        self, t_bits: BitModelSet, p_bits: BitModelSet
+    ) -> RevisionResult:
+        """Apply the operator to already-compiled model sets.
+
+        This is the batched entry point (:func:`repro.revision.batch.
+        revise_many` compiles each distinct theory/formula once and feeds
+        the cached sets here); both sets must share an alphabet.
+        """
+        if t_bits.alphabet != p_bits.alphabet:
+            raise ValueError("model sets range over different alphabets")
         return RevisionResult(
-            self.name, alphabet.letters, self._select_bits(t_bits, p_bits)
+            self.name,
+            p_bits.alphabet.letters,
+            self._select_bits(t_bits, p_bits),
         )
 
     def revise_result(
         self, previous: RevisionResult, new_formula: FormulaLike
     ) -> RevisionResult:
         formula = as_formula(new_formula)
-        alphabet = BitAlphabet(set(previous.alphabet) | formula.variables())
+        alphabet = BitAlphabet.coerce(set(previous.alphabet) | formula.variables())
         t_bits = self._extend_bits(previous.bit_model_set, alphabet)
         p_bits = self._bit_models_of(formula, alphabet)
-        return RevisionResult(
-            self.name, alphabet.letters, self._select_bits(t_bits, p_bits)
-        )
+        return self.revise_sets(t_bits, p_bits)
 
     def _select_bits(self, t_bits: BitModelSet, p_bits: BitModelSet) -> BitModelSet:
         """Apply the operator's selection rule (degenerate cases shared)."""
-        if not p_bits.masks:
+        if not p_bits:
             return p_bits.with_masks(())
-        if not t_bits.masks:
+        if not t_bits:
             return p_bits
-        if len(p_bits.alphabet) <= _TABLE_MAX_LETTERS:
-            return p_bits.with_masks(self._select_tables(t_bits, p_bits))
-        return p_bits.with_masks(self._select_masks(t_bits.masks, p_bits.masks))
+        ops = _ops_for(p_bits.alphabet)
+        if ops is None:
+            return p_bits.with_masks(self._select_masks(t_bits.masks, p_bits.masks))
+        return ops.wrap(self._rule(ops, t_bits, p_bits))
 
-    # -- selection rules, two encodings each --------------------------------
+    # -- selection rules -----------------------------------------------------
 
-    def _select_tables(
-        self, t_bits: BitModelSet, p_bits: BitModelSet
-    ) -> Iterable[int]:
-        """Bit-parallel selection on big-int truth tables (small alphabets)."""
+    def _rule(self, ops, t_bits: BitModelSet, p_bits: BitModelSet):
+        """Bit-parallel selection on either table tier (returns a table)."""
         raise NotImplementedError
 
     def _select_masks(
@@ -107,6 +245,14 @@ class ModelBasedOperator(RevisionOperator):
     ) -> Iterable[int]:
         """Mask-at-a-time selection (any alphabet size)."""
         raise NotImplementedError
+
+    # Kept for API compatibility with pre-sharding callers/tests: the
+    # selection rule on big-int tables, returning the selected masks.
+    def _select_tables(
+        self, t_bits: BitModelSet, p_bits: BitModelSet
+    ) -> Iterable[int]:
+        ops = _TableOps(p_bits.alphabet)
+        return ops.bits_of(self._rule(ops, t_bits, p_bits))
 
     # Kept for API compatibility with pre-bitmask callers/tests.
     def _select(self, t_models: ModelSet, p_models: ModelSet) -> ModelSet:
@@ -116,7 +262,7 @@ class ModelBasedOperator(RevisionOperator):
             letters |= model
         for model in p_models:
             letters |= model
-        alphabet = BitAlphabet(letters)
+        alphabet = BitAlphabet.coerce(letters)
         selected = self._select_bits(
             BitModelSet.from_interpretations(alphabet, t_models),
             BitModelSet.from_interpretations(alphabet, p_models),
@@ -138,17 +284,14 @@ class WinslettOperator(ModelBasedOperator):
 
     name = "winslett"
 
-    def _select_tables(
-        self, t_bits: BitModelSet, p_bits: BitModelSet
-    ) -> Iterable[int]:
-        alphabet = t_bits.alphabet
-        p_table = p_bits.table()
-        selected = 0
-        for model in t_bits.masks:
-            diffs = xor_translate_table(p_table, model, alphabet)
-            minimal = minimal_elements_table(diffs, alphabet)
-            selected |= xor_translate_table(minimal, model, alphabet)
-        return iter_set_bits(selected)
+    def _rule(self, ops, t_bits: BitModelSet, p_bits: BitModelSet):
+        p_table = ops.table(p_bits)
+        selected = ops.zero()
+        for model in t_bits.iter_masks():
+            diffs = ops.translate(p_table, model)
+            minimal = ops.minimal(diffs)
+            selected |= ops.translate(minimal, model)
+        return selected
 
     def _select_masks(
         self, t_masks: FrozenSet[int], p_masks: FrozenSet[int]
@@ -165,13 +308,11 @@ class BorgidaOperator(ModelBasedOperator):
 
     name = "borgida"
 
-    def _select_tables(
-        self, t_bits: BitModelSet, p_bits: BitModelSet
-    ) -> Iterable[int]:
-        both = t_bits.masks & p_bits.masks
+    def _rule(self, ops, t_bits: BitModelSet, p_bits: BitModelSet):
+        both = ops.table(t_bits) & ops.table(p_bits)
         if both:
             return both
-        return WinslettOperator()._select_tables(t_bits, p_bits)
+        return WinslettOperator()._rule(ops, t_bits, p_bits)
 
     def _select_masks(
         self, t_masks: FrozenSet[int], p_masks: FrozenSet[int]
@@ -187,28 +328,22 @@ class ForbusOperator(ModelBasedOperator):
 
     ``M(T ◇ P) = { N |= P : ∃M |= T, |M △ N| = k_{M,P} }``.
 
-    Bit-parallel: the difference table intersected with the cached
-    popcount-``k`` layer tables finds the first non-empty distance ring
-    without touching individual models of ``P``.
+    Bit-parallel: the smallest non-empty popcount ring of the difference
+    table (cached layer tables on the big-int tier, chunk-index popcount
+    splitting on the sharded tier) finds the first distance ring without
+    touching individual models of ``P``.
     """
 
     name = "forbus"
 
-    def _select_tables(
-        self, t_bits: BitModelSet, p_bits: BitModelSet
-    ) -> Iterable[int]:
-        alphabet = t_bits.alphabet
-        p_table = p_bits.table()
-        layers = alphabet.popcount_layers()
-        selected = 0
-        for model in t_bits.masks:
-            diffs = xor_translate_table(p_table, model, alphabet)
-            for layer in layers:
-                ring = diffs & layer
-                if ring:
-                    selected |= xor_translate_table(ring, model, alphabet)
-                    break
-        return iter_set_bits(selected)
+    def _rule(self, ops, t_bits: BitModelSet, p_bits: BitModelSet):
+        p_table = ops.table(p_bits)
+        selected = ops.zero()
+        for model in t_bits.iter_masks():
+            diffs = ops.translate(p_table, model)
+            _, ring = ops.first_ring(diffs)
+            selected |= ops.translate(ring, model)
+        return selected
 
     def _select_masks(
         self, t_masks: FrozenSet[int], p_masks: FrozenSet[int]
@@ -225,33 +360,25 @@ class ForbusOperator(ModelBasedOperator):
         return selected
 
 
-def _delta_table(t_bits: BitModelSet, p_bits: BitModelSet) -> int:
-    """``delta(T, P)`` as a truth table: minimal elements of all differences."""
-    alphabet = t_bits.alphabet
-    p_table = p_bits.table()
-    diffs = 0
-    for model in t_bits.masks:
-        diffs |= xor_translate_table(p_table, model, alphabet)
-    return minimal_elements_table(diffs, alphabet)
-
-
 class SatohOperator(ModelBasedOperator):
     """Satoh's operator: global inclusion-minimal differences.
 
     ``M(T * P) = { N |= P : ∃M |= T, N △ M ∈ delta(T, P) }``.
+
+    The reachable set is assembled by translating the whole ``T`` table by
+    each member of ``delta`` — an antichain that is tiny in practice — so
+    the loop count no longer scales with the model count of ``T``.
     """
 
     name = "satoh"
 
-    def _select_tables(
-        self, t_bits: BitModelSet, p_bits: BitModelSet
-    ) -> Iterable[int]:
-        alphabet = t_bits.alphabet
-        delta_tab = _delta_table(t_bits, p_bits)
-        reachable = 0
-        for model in t_bits.masks:
-            reachable |= xor_translate_table(delta_tab, model, alphabet)
-        return iter_set_bits(reachable & p_bits.table())
+    def _rule(self, ops, t_bits: BitModelSet, p_bits: BitModelSet):
+        delta_tab = _delta_tab(ops, t_bits, p_bits)
+        t_table = ops.table(t_bits)
+        reachable = ops.zero()
+        for diff in ops.bits_of(delta_tab):
+            reachable |= ops.translate(t_table, diff)
+        return reachable & ops.table(p_bits)
 
     def _select_masks(
         self, t_masks: FrozenSet[int], p_masks: FrozenSet[int]
@@ -273,19 +400,15 @@ class DalalOperator(ModelBasedOperator):
 
     Bit-parallel: grow the Hamming ball around the whole ``T`` table one
     ring at a time; the first intersection with the ``P`` table is exactly
-    the selected model set.
+    the selected model set.  No per-model loop on either tier.
     """
 
     name = "dalal"
 
-    def _select_tables(
-        self, t_bits: BitModelSet, p_bits: BitModelSet
-    ) -> Iterable[int]:
-        p_table = p_bits.table()
-        _, ball = min_hamming_distance_tables(
-            t_bits.table(), p_table, t_bits.alphabet
-        )
-        return iter_set_bits(ball & p_table)
+    def _rule(self, ops, t_bits: BitModelSet, p_bits: BitModelSet):
+        p_table = ops.table(p_bits)
+        _, ball = ops.min_hamming(ops.table(t_bits), p_table)
+        return ball & p_table
 
     def _select_masks(
         self, t_masks: FrozenSet[int], p_masks: FrozenSet[int]
@@ -314,20 +437,17 @@ class WeberOperator(ModelBasedOperator):
 
     name = "weber"
 
-    def _select_tables(
-        self, t_bits: BitModelSet, p_bits: BitModelSet
-    ) -> Iterable[int]:
-        alphabet = t_bits.alphabet
-        delta_tab = _delta_table(t_bits, p_bits)
+    def _rule(self, ops, t_bits: BitModelSet, p_bits: BitModelSet):
+        delta_tab = _delta_tab(ops, t_bits, p_bits)
         allowed = 0
-        for diff in iter_set_bits(delta_tab):
+        for diff in ops.bits_of(delta_tab):
             allowed |= diff
-        reachable = t_bits.table()
+        reachable = ops.table(t_bits)
         while allowed:
             low = allowed & -allowed
-            reachable |= xor_translate_table(reachable, low, alphabet)
+            reachable |= ops.translate(reachable, low)
             allowed ^= low
-        return iter_set_bits(reachable & p_bits.table())
+        return reachable & ops.table(p_bits)
 
     def _select_masks(
         self, t_masks: FrozenSet[int], p_masks: FrozenSet[int]

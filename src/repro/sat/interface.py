@@ -16,13 +16,15 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
+from ..logic import bitmodels as _bitmodels
+from ..logic import shards as _shards
 from ..logic.bitmodels import (
-    _TABLE_MAX_LETTERS,
     BitAlphabet,
     BitModelSet,
     iter_set_bits,
     truth_table,
 )
+from ..logic.shards import ShardedTable
 from ..logic.cnf import tseitin
 from ..logic.formula import Formula, land, lnot
 from ..logic.interpretation import Interpretation
@@ -122,17 +124,25 @@ def query_equivalent(
 #: evaluation bound.
 _BRUTE_FORCE_BUDGET = 1 << 28
 
-#: Truth tables take ``2^n`` bits; above this many letters the encoding is
-#: abandoned regardless of formula size (bitmodels' cutoff, shared so the
-#: engine layers always agree on which encoding is in use).
-_BIT_PARALLEL_MAX_LETTERS = _TABLE_MAX_LETTERS
+#: Work bound for the sharded tier, measured in 64-bit words times formula
+#: node count (the sharded sweep touches one word per vectorised step).
+_SHARDED_WORD_BUDGET = 1 << 28
 
 
 def _wants_bit_parallel(formula: Formula, names: Sequence[str]) -> bool:
-    if len(names) > _BIT_PARALLEL_MAX_LETTERS:
+    """Big-int tier: alphabet under the (live) table cutoff and affordable."""
+    if len(names) > _bitmodels._TABLE_MAX_LETTERS:
         return False
     work = (1 << len(names)) * max(formula.node_count(), 1)
     return work <= _BRUTE_FORCE_BUDGET
+
+
+def _wants_sharded(formula: Formula, names: Sequence[str]) -> bool:
+    """Sharded tier: between the table cutoff and the shard cutoff."""
+    if _shards.tier(len(names)) != "sharded":
+        return False
+    words = max(1, (1 << len(names)) >> 6)
+    return words * max(formula.node_count(), 1) <= _SHARDED_WORD_BUDGET
 
 
 def models(
@@ -157,10 +167,20 @@ def models(
         names = sorted(set(alphabet))
     extra_letters = formula.variables() - set(names)
     if not extra_letters and _wants_bit_parallel(formula, names):
-        bit_alphabet = BitAlphabet(names)
+        bit_alphabet = BitAlphabet.coerce(names)
         table = truth_table(formula, bit_alphabet)
         produced = 0
         for mask in iter_set_bits(table):
+            yield bit_alphabet.set_of(mask)
+            produced += 1
+            if limit is not None and produced >= limit:
+                return
+        return
+    if not extra_letters and _wants_sharded(formula, names):
+        bit_alphabet = BitAlphabet.coerce(names)
+        sharded = ShardedTable.from_formula(formula, bit_alphabet)
+        produced = 0
+        for mask in sharded.iter_set_bits():
             yield bit_alphabet.set_of(mask)
             produced += 1
             if limit is not None and produced >= limit:
@@ -182,20 +202,26 @@ def bit_models(
 ) -> BitModelSet:
     """The model set of ``formula`` over ``alphabet`` in bitmask form.
 
-    This is the engine entry point used by the revision core: below the
-    truth-table cutoff the whole model set is produced by one bit-parallel
-    expression; above it (or when the formula mentions letters outside the
-    projection alphabet) the SAT blocking-clause enumerator fills the mask
-    set instead.
+    This is the engine entry point used by the revision core, dispatching
+    over the three tiers: below the truth-table cutoff the whole model set
+    is one big-int expression; between the table and shard cutoffs it is a
+    sharded-table compile (numpy bitplanes, masks left unmaterialised);
+    beyond that — or when the formula mentions letters outside the
+    projection alphabet — the SAT blocking-clause enumerator fills the
+    mask set instead.
     """
     if alphabet is None:
-        bit_alphabet = BitAlphabet(formula.variables())
+        bit_alphabet = BitAlphabet.coerce(formula.variables())
     else:
         bit_alphabet = BitAlphabet.coerce(alphabet)
     extra_letters = formula.variables() - set(bit_alphabet.letters)
     if not extra_letters and _wants_bit_parallel(formula, bit_alphabet.letters):
         return BitModelSet.from_table(
             bit_alphabet, truth_table(formula, bit_alphabet)
+        )
+    if not extra_letters and _wants_sharded(formula, bit_alphabet.letters):
+        return BitModelSet.from_sharded(
+            bit_alphabet, ShardedTable.from_formula(formula, bit_alphabet)
         )
     encoding = _encode([formula])
     projection = [encoding.var(name) for name in bit_alphabet.letters]

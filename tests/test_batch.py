@@ -1,0 +1,93 @@
+"""Batched revision front-end: exact per-pair equivalence and cache sharing."""
+
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.logic import Theory, parse
+from repro.revision import (
+    BatchCache,
+    MODEL_BASED_NAMES,
+    revise,
+    revise_many,
+)
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+
+LETTERS = ["a", "b", "c", "d", "e"]
+
+
+def _pair(seed: int, letter_count: int = 4):
+    from _util import random_tp_pair
+
+    return random_tp_pair(seed, LETTERS[:letter_count])
+
+
+class TestReviseMany:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=5_000), min_size=1, max_size=5),
+        st.integers(min_value=2, max_value=5),
+        st.sampled_from(sorted(MODEL_BASED_NAMES)),
+    )
+    def test_matches_per_pair_revise(self, seeds, letter_count, name):
+        pairs = [_pair(seed, letter_count) for seed in seeds]
+        batched = revise_many(pairs, name)
+        assert len(batched) == len(pairs)
+        for (t, p), result in zip(pairs, batched):
+            single = revise(t, p, name)
+            assert result.alphabet == single.alphabet
+            assert result.model_set == single.model_set
+            assert result.operator_name == single.operator_name
+
+    def test_formula_based_operators_fall_back_to_per_pair(self):
+        pairs = [_pair(seed) for seed in (1, 2)]
+        for name in ("gfuv", "nebel", "widtio"):
+            batched = revise_many(pairs, name)
+            for (t, p), result in zip(pairs, batched):
+                single = revise(t, p, name)
+                assert result.model_set == single.model_set, name
+
+    def test_shared_theory_compiles_once(self):
+        t = parse("a & (b | c)")
+        revisions = [parse("~a"), parse("~b & c"), parse("a ^ c")]
+        cache = BatchCache()
+        first = revise_many([(t, p) for p in revisions], "dalal", cache=cache)
+        # Distinct compilations: T once per alphabet + each P once.  The
+        # three pairs here share the alphabet {a, b, c}, so T misses once.
+        assert cache.misses == 1 + len(revisions)
+        # A second batch over the same cache returns the memoised results
+        # outright (revision is a pure function of (operator, T, P)).
+        before = cache.hits
+        second = revise_many([(t, p) for p in revisions], "dalal", cache=cache)
+        assert cache.misses == 1 + len(revisions)
+        assert cache.hits == before + len(revisions)
+        for old, new in zip(first, second):
+            assert new is old
+
+    def test_cache_keys_are_alphabet_sensitive(self):
+        t = parse("a | b")
+        cache = BatchCache()
+        results = revise_many(
+            [(t, parse("~a")), (t, parse("~a & c"))], "winslett", cache=cache
+        )
+        # Same T, but the second pair widens the alphabet with c: T must
+        # recompile over the larger alphabet rather than reuse stale models.
+        assert cache.misses == 4
+        assert results[0].alphabet == ("a", "b")
+        assert results[1].alphabet == ("a", "b", "c")
+        for (theory, formula), result in zip(
+            [(t, parse("~a")), (t, parse("~a & c"))], results
+        ):
+            assert result.model_set == revise(theory, formula, "winslett").model_set
+
+    def test_iterated_batch_equivalence_via_theory_objects(self):
+        theories = [Theory([parse("a & b")]), Theory([parse("~a | c")])]
+        formula = parse("~b")
+        pairs = [(theory, formula) for theory in theories]
+        for name in MODEL_BASED_NAMES:
+            batched = revise_many(pairs, name)
+            for (theory, p), result in zip(pairs, batched):
+                assert result.model_set == revise(theory, p, name).model_set
