@@ -8,13 +8,17 @@ the file is a trajectory across PRs, not a snapshot.
 Engines compared, per instance:
 
 * ``new_s``   — the production dispatch (big-int tables <= 20 letters, the
-  sharded tier of :mod:`repro.logic.shards` up to 24);
+  sharded tier of :mod:`repro.logic.shards` with batched pointwise kernels
+  up to ``shards.SHARD_MAX_LETTERS``, 26 by default);
 * ``sharded_s`` — the sharded tier *forced* (table cutoff dropped to 0), so
   18–20-letter instances compare big-int vs sharded head-to-head;
+* ``pr2_s``   — the PR 2 sharded engine (batched pointwise kernels
+  disabled: one full translate/minimal/translate sweep per T-model), run
+  in a killable subprocess with a timeout at sharded sizes;
 * ``pr1_s``   — the pre-sharding dispatch (shard tier disabled: big-int
-  tables <= 20, SAT enumeration + mask loops above), run in a killable
-  subprocess with a timeout at sharded sizes — "cannot complete" is a
-  recorded observation, not an inference;
+  tables <= 20, SAT enumeration + mask loops above), same subprocess
+  treatment — "cannot complete" is a recorded observation, not an
+  inference;
 * ``old_s``   — the retained frozenset reference engine
   (:func:`repro.revision.reference.reference_revise`), timed up to
   ``--old-max-size`` and used to verify model sets bit-for-bit.
@@ -52,6 +56,7 @@ DEFAULT_SIZES = (6, 8, 10, 12, 14)
 DEFAULT_SEEDS = (0, 1, 2)
 DEFAULT_OLD_MAX_SIZE = 12
 DEFAULT_PR1_TIMEOUT = 120.0
+DEFAULT_PR2_TIMEOUT = 240.0
 
 #: Alphabet sizes past the big-int cutoff use a bounded-density workload:
 #: the pointwise operators loop over models of T, so the model count — not
@@ -171,9 +176,22 @@ def _time_revise(t, p, name):
     return time.perf_counter() - start, result
 
 
-def _pr1_worker(t, p, name, conn):
-    """Subprocess body: time the pre-sharding dispatch (shard tier off)."""
-    _forced(shard_max=0)
+def _engine_worker(t, p, name, mode, conn):
+    """Subprocess body: time a retired engine generation.
+
+    ``mode="pr1"`` disables the shard tier (big-int <= 20 letters, SAT +
+    mask loops above); ``mode="pr2"`` keeps the sharded tier but disables
+    the batched pointwise kernels, i.e. the one-sweep-per-T-model engine
+    this PR replaces.
+    """
+    from repro.logic import shards
+
+    if mode == "pr1":
+        _forced(shard_max=0)
+    elif mode == "pr2":
+        shards.POINTWISE_BATCH = False
+    else:  # pragma: no cover - guarded by callers
+        raise ValueError(f"unknown engine mode {mode!r}")
     try:
         seconds, result = _time_revise(t, p, name)
         conn.send(
@@ -189,12 +207,12 @@ def _pr1_worker(t, p, name, conn):
         conn.close()
 
 
-def _run_pr1_with_timeout(t, p, name, timeout):
-    """The PR 1 engine in a killable subprocess: dict on completion,
+def _run_engine_with_timeout(t, p, name, mode, timeout):
+    """A retired engine in a killable subprocess: dict on completion,
     ``None`` on timeout."""
     parent, child = multiprocessing.Pipe(duplex=False)
     process = multiprocessing.Process(
-        target=_pr1_worker, args=(t, p, name, child)
+        target=_engine_worker, args=(t, p, name, mode, child)
     )
     process.start()
     child.close()
@@ -209,7 +227,7 @@ def _run_pr1_with_timeout(t, p, name, timeout):
     return payload
 
 
-def run_benchmark(sizes, seeds, old_max_size, pr1_timeout, operators):
+def run_benchmark(sizes, seeds, old_max_size, pr1_timeout, pr2_timeout, operators):
     from repro.logic import Theory
     from repro.revision import reference_revise
 
@@ -240,6 +258,8 @@ def run_benchmark(sizes, seeds, old_max_size, pr1_timeout, operators):
                     "result_models": result_count,
                     "new_s": new_seconds,
                     "sharded_s": None,
+                    "pr2_s": None,
+                    "pr2_speedup": None,
                     "pr1_s": None,
                     "old_s": None,
                     "speedup": None,
@@ -264,23 +284,32 @@ def run_benchmark(sizes, seeds, old_max_size, pr1_timeout, operators):
                         )
                 else:
                     # Above the big-int cutoff new_s IS the sharded tier;
-                    # the PR 1 engine gets a killable subprocess instead.
+                    # the retired engine generations get killable
+                    # subprocesses instead.
                     record["sharded_s"] = new_seconds
-                    outcome = _run_pr1_with_timeout(t, p, name, pr1_timeout)
-                    if outcome is None:
-                        record["pr1_s"] = "timeout"
-                    elif "error" in outcome:
-                        record["pr1_s"] = outcome["error"]
-                    else:
-                        record["pr1_s"] = outcome["seconds"]
-                        if (
-                            outcome["models"] != result_count
-                            or outcome["digest"] != _masks_digest(result)
-                        ):
-                            raise AssertionError(
-                                f"sharded/PR1 mismatch: size={size} "
-                                f"seed={seed} op={name}"
-                            )
+                    for mode, timeout, field in (
+                        ("pr2", pr2_timeout, "pr2_s"),
+                        ("pr1", pr1_timeout, "pr1_s"),
+                    ):
+                        outcome = _run_engine_with_timeout(
+                            t, p, name, mode, timeout
+                        )
+                        if outcome is None:
+                            record[field] = "timeout"
+                        elif "error" in outcome:
+                            record[field] = outcome["error"]
+                        else:
+                            record[field] = outcome["seconds"]
+                            if (
+                                outcome["models"] != result_count
+                                or outcome["digest"] != _masks_digest(result)
+                            ):
+                                raise AssertionError(
+                                    f"sharded/{mode} mismatch: size={size} "
+                                    f"seed={seed} op={name}"
+                                )
+                    if isinstance(record["pr2_s"], float) and new_seconds > 0:
+                        record["pr2_speedup"] = record["pr2_s"] / new_seconds
 
                 if size <= old_max_size:
                     start = time.perf_counter()
@@ -296,20 +325,23 @@ def run_benchmark(sizes, seeds, old_max_size, pr1_timeout, operators):
                             f"engine mismatch: size={size} seed={seed} op={name}"
                         )
                 records.append(record)
-                pr1_shown = record["pr1_s"]
-                if isinstance(pr1_shown, float):
-                    pr1_shown = f"pr1={pr1_shown:.3f}s"
-                elif pr1_shown:
-                    pr1_shown = f"pr1={pr1_shown}"
-                else:
-                    pr1_shown = (
+                shown = []
+                for field in ("pr2_s", "pr1_s"):
+                    value = record[field]
+                    if isinstance(value, float):
+                        shown.append(f"{field[:3]}={value:.3f}s")
+                    elif value:
+                        shown.append(f"{field[:3]}={value}")
+                if not shown:
+                    shown.append(
                         f"{record['speedup']:.1f}x vs frozenset"
                         if record["speedup"]
                         else "old skipped"
                     )
                 print(
                     f"  n={size:2d} seed={seed} {name:<9} "
-                    f"new={new_seconds:.4f}s ({pr1_shown})"
+                    f"new={new_seconds:.4f}s ({', '.join(shown)})",
+                    flush=True,
                 )
     return records
 
@@ -429,9 +461,16 @@ def summarise(records):
 
 def summarise_sharded(records):
     """Sharded-tier outcomes: head-to-head vs big-int below the cutoff,
-    completion vs the PR 1 engine above it."""
+    completion and speedup vs the retired engines above it."""
     head_to_head = {}
-    large = {"completed": 0, "pr1_completed": 0, "pr1_timeouts": 0}
+    pr2_speedups = {}
+    large = {
+        "completed": 0,
+        "pr2_completed": 0,
+        "pr2_timeouts": 0,
+        "pr1_completed": 0,
+        "pr1_timeouts": 0,
+    }
     for record in records:
         if record["size"] < LARGE_SIZE_MIN:
             if record["sharded_s"] and record["sharded_s"] != record["new_s"]:
@@ -440,14 +479,27 @@ def summarise_sharded(records):
                 )
         else:
             large["completed"] += 1
-            if isinstance(record["pr1_s"], float):
-                large["pr1_completed"] += 1
-            elif record["pr1_s"] == "timeout":
-                large["pr1_timeouts"] += 1
+            for mode in ("pr2", "pr1"):
+                value = record[f"{mode}_s"]
+                if isinstance(value, float):
+                    large[f"{mode}_completed"] += 1
+                elif value == "timeout":
+                    large[f"{mode}_timeouts"] += 1
+            if record["pr2_speedup"] is not None:
+                pr2_speedups.setdefault(str(record["size"]), {}).setdefault(
+                    record["operator"], []
+                ).append(record["pr2_speedup"])
     return {
         "bigint_over_sharded_median_by_size": {
             size: round(statistics.median(values), 2)
             for size, values in head_to_head.items()
+        },
+        "pr2_over_batched_median": {
+            size: {
+                operator: round(statistics.median(values), 2)
+                for operator, values in by_op.items()
+            }
+            for size, by_op in pr2_speedups.items()
         },
         "large_sizes": large,
     }
@@ -504,6 +556,11 @@ def main(argv=None):
         help="seconds allowed to the pre-sharding engine at sharded sizes",
     )
     parser.add_argument(
+        "--pr2-timeout", type=float, default=DEFAULT_PR2_TIMEOUT,
+        help="seconds allowed to the per-model sharded engine (batched "
+             "pointwise kernels disabled) at sharded sizes",
+    )
+    parser.add_argument(
         "--spot-check-size", type=int, default=None,
         help="verify sharded vs SAT fallback at this (sparse) size",
     )
@@ -512,7 +569,7 @@ def main(argv=None):
         help="also run the batched workload (optionally at these sizes)",
     )
     parser.add_argument(
-        "--label", default="pr2-sharded-engine",
+        "--label", default="pr3-batched-pointwise",
         help="trajectory label for this run",
     )
     parser.add_argument(
@@ -532,7 +589,7 @@ def main(argv=None):
 
     records = run_benchmark(
         args.sizes, args.seeds, args.old_max_size, args.pr1_timeout,
-        args.operators,
+        args.pr2_timeout, args.operators,
     )
     summary = summarise(records)
     sharded_summary = summarise_sharded(records)
@@ -551,12 +608,18 @@ def main(argv=None):
             "seeds": args.seeds,
             "old_engine_max_size": args.old_max_size,
             "pr1_timeout_s": args.pr1_timeout,
+            "pr2_timeout_s": args.pr2_timeout,
             "operators": args.operators,
         },
         "engines": {
             "old": "repro.revision.reference (frozenset models, all-pairs min-subset)",
             "pr1": "big-int tables <= 20 letters, SAT + mask loops above (shard tier disabled)",
-            "new": "repro.revision via bitmodels + shards (big-int <= 20, sharded 21-24)",
+            "pr2": "sharded tier with per-T-model sweeps (batched pointwise kernels disabled)",
+            "new": (
+                "repro.revision via bitmodels + shards (big-int <= 20, "
+                "sharded 21-26 with batched pointwise kernels + "
+                "REPRO_PARALLEL fan-out)"
+            ),
             "sharded": "shard tier forced at every size (numpy uint64 bitplanes)",
         },
         "models_verified_identical": all(
@@ -591,31 +654,35 @@ def main(argv=None):
             cell = summary.get(operator, {}).get(str(size))
             new_median = statistics.median(r["new_s"] for r in matching)
             old_runs = [r["old_s"] for r in matching if r["old_s"] is not None]
-            pr1_runs = [r["pr1_s"] for r in matching if r["pr1_s"] is not None]
-            if pr1_runs:
-                pr1_cell = "/".join(
-                    f"{r:.2f}" if isinstance(r, float) else "timeout"
-                    for r in pr1_runs
-                )
-            else:
-                pr1_cell = "-"
+            retired_cells = []
+            for field in ("pr2_s", "pr1_s"):
+                runs = [r[field] for r in matching if r[field] is not None]
+                if runs:
+                    retired_cells.append("/".join(
+                        f"{r:.2f}" if isinstance(r, float) else "timeout"
+                        for r in runs
+                    ))
+                else:
+                    retired_cells.append("-")
             rows.append([
                 operator,
                 size,
                 f"{statistics.median(old_runs):.4f}" if old_runs else "-",
                 f"{new_median:.4f}",
-                pr1_cell,
+                *retired_cells,
                 f"{cell['median_speedup']:.1f}x" if cell else "-",
             ])
     lines = [
         "E-perf: model-based revision across engine tiers",
         f"(median wall seconds over seeds {args.seeds}; "
         f"frozenset engine capped at {args.old_max_size} letters; "
-        f"PR1 engine timed out at {args.pr1_timeout:.0f}s on sharded sizes)",
+        f"PR2/PR1 engines timed out at {args.pr2_timeout:.0f}s/"
+        f"{args.pr1_timeout:.0f}s on sharded sizes)",
         "",
     ]
     lines += format_table(
-        ["operator", "letters", "old s", "new s", "pr1 s", "speedup"], rows
+        ["operator", "letters", "old s", "new s", "pr2 s", "pr1 s", "speedup"],
+        rows,
     )
     if args.json_path == JSON_PATH:
         # Only official trajectory runs refresh the checked-in table;

@@ -67,6 +67,48 @@ def main() -> None:
         models = sorted(sorted(m) for m in revised.model_set)
         print(f"  {kb_text!r} * {observation!r}  ->  {models}")
 
+    # --- warm KBs and multi-operator batches -------------------------------
+    # A serving loop that knows its hot KBs warms them before draining:
+    # warm() compiles the theory's truth table once, on whichever engine
+    # tier fits the alphabet, and every operator in the batch reuses it.
+    # Passing a *list* of operators revises each pair under all of them
+    # against that one compiled table.
+    from repro.revision import BatchCache
+
+    cache = BatchCache()
+    cache.warm("g | b")
+    per_pair = revise_many(
+        [("g | b", observation)], operator=["dalal", "winslett"], cache=cache
+    )
+    print("\nWarm path + multi-operator batch (one compiled table of T):")
+    for result in per_pair[0]:
+        models = sorted(sorted(m) for m in result.model_set)
+        print(f"  {result.operator_name:<8} -> {models}")
+
+    # --- scaling knobs: sharded tier and the parallel fan-out --------------
+    # Past the big-int cutoff (20 letters) model sets live on sharded
+    # truth tables, up to shards.SHARD_MAX_LETTERS (26 by default; env
+    # REPRO_SHARD_MAX_LETTERS overrides, and every cutoff is read live).
+    # There the pointwise operators (winslett/forbus/borgida) batch their
+    # per-T-model work into multi-model kernels, fanned out over workers:
+    #
+    #   REPRO_PARALLEL=8          # worker count (threads on the numpy
+    #                             # backend, processes on the pure-int
+    #                             # fallback); unset = auto at 22+ letters
+    #   REPRO_PARALLEL_BLOCK=16   # T-models per batched block (unset =
+    #                             # sized to a 16 MiB block buffer)
+    #   REPRO_POINTWISE_BATCH=0   # per-model reference path (debugging /
+    #                             # benchmarking only)
+    #
+    # Leave the knobs unset on small alphabets: below ~22 letters the
+    # fan-out overhead outweighs the work.
+    from repro.logic import shards
+
+    print("\nEngine tiers and parallel knobs:")
+    print(f"  shard-tier cutoff : {shards.SHARD_MAX_LETTERS} letters")
+    print(f"  tier at 23 letters: {shards.tier(23)!r}")
+    print(f"  parallel workers  : {shards.parallel_workers()} (auto)")
+
 
 if __name__ == "__main__":
     main()

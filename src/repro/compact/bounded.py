@@ -99,7 +99,10 @@ def delta_exact(theory: TheoryLike, new_formula: FormulaLike) -> List[FrozenSet[
     or sharded tier by alphabet size) and the minimal differences come out
     of the XOR-translation + subset-sum-closure pipeline of
     :func:`repro.revision.model_based.delta_bits` — no per-interpretation
-    loop below the mask-tier cutoff.
+    loop below the mask-tier cutoff, and on the sharded tier the union of
+    difference tables goes through the batched
+    :func:`repro.logic.shards.translate_union` kernel rather than one
+    bitplane pass per model.
     """
     from ..revision.model_based import delta_bits
 

@@ -28,8 +28,9 @@ def omega_exact(theory: TheoryLike, new_formula: FormulaLike) -> FrozenSet[str]:
     """``Ω = ∪ δ(T,P)`` by full model enumeration over ``V(T) ∪ V(P)``.
 
     Enumeration and the minimal-difference computation both run on the
-    bitmask engine: ``Ω`` is the OR of the global minimal XOR differences,
-    unpacked to letters only at the boundary.
+    bitmask engine (the batched translate-union kernels at sharded sizes):
+    ``Ω`` is the OR of the global minimal XOR differences, unpacked to
+    letters only at the boundary.
     """
     from ..revision.model_based import delta_bits
 

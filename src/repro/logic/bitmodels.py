@@ -48,17 +48,20 @@ GIL wall, not a hardware one: every AND/XOR re-materialises the whole
 splits the table into fixed-width chunks — a numpy ``uint64`` bitplane when
 numpy is available, a list of ``2^16``-bit integer shards otherwise, with a
 ``multiprocessing`` shard map for the biggest alphabets — and reimplements
-every Level-2 primitive shard-wise.  That raises the effective table range
-to ``shards.SHARD_MAX_LETTERS`` (24 by default; 16 MiB bitplanes).
+every Level-2 primitive shard-wise, including the batched multi-model
+kernels behind the pointwise operators.  That raises the effective table
+range to ``shards.SHARD_MAX_LETTERS`` (default 26; 8 MiB bitplanes).
 
-Dispatch is three-tiered and decided by :func:`repro.logic.shards.tier`:
-big-int tables up to ``_TABLE_MAX_LETTERS`` (20, env
+Dispatch is three-tiered and decided by :func:`repro.logic.shards.tier`,
+which reads both cutoffs live so env overrides are never misreported:
+big-int tables up to ``_TABLE_MAX_LETTERS`` (default 20, env
 ``REPRO_TABLE_MAX_LETTERS``), sharded tables up to
-``shards.SHARD_MAX_LETTERS`` (24, env ``REPRO_SHARD_MAX_LETTERS``), and the
-SAT blocking-clause enumerator plus the Level-1 mask operations beyond
-that.  All callers in :mod:`repro.sat.interface` and :mod:`repro.revision`
-apply the dispatch automatically; :class:`BitModelSet` materialises its
-mask set lazily so sharded-tier results can stay in table form end to end.
+``shards.SHARD_MAX_LETTERS`` (default 26, env ``REPRO_SHARD_MAX_LETTERS``),
+and the SAT blocking-clause enumerator plus the Level-1 mask operations
+beyond that.  All callers in :mod:`repro.sat.interface` and
+:mod:`repro.revision` apply the dispatch automatically;
+:class:`BitModelSet` materialises its mask set lazily so sharded-tier
+results can stay in table form end to end.
 """
 
 from __future__ import annotations

@@ -34,10 +34,39 @@ with at least :data:`PARALLEL_MIN_LETTERS` letters and more than one CPU
 opt in automatically), and :func:`map_shards` exposes the same shard-map
 for ad-hoc per-shard work.
 
+**Batched pointwise kernels.**  The pointwise revision operators
+(Winslett, Forbus, Borgida) ask one question per model ``M`` of ``T``:
+restrict the XOR-translated ``P`` table to its inclusion-minimal elements
+(or its first popcount ring), translate back, union.  Computed one model
+at a time that is ``~4n`` full bitplane passes *per model*;
+:func:`pointwise_select` batches it three ways, picked by density:
+
+* **mask kernels** — when the ``P`` table is sparse, the per-model work
+  collapses onto the model *masks* (a ``(block, |P|)`` XOR/popcount matrix
+  for the ring rule, a popcount-level antichain sweep for the minimal
+  rule) and never touches the bitplane;
+* **blocked bitplane kernels** — otherwise, blocks of T-models are
+  translated into one ``(block, words)`` array and a single
+  minimal/first-ring sweep runs over the whole block via numpy
+  broadcasting (one vectorised call per bit instead of one per model);
+* **parallel fan-out** — the blocks are mapped over a thread pool on the
+  numpy backend (the vectorised ops release the GIL), and over the
+  multiprocessing shard map on the pure-int backend (T-model ranges per
+  process).  Worker count and block size come from the ``REPRO_PARALLEL``
+  / ``REPRO_PARALLEL_BLOCK`` env knobs resolved by
+  :func:`parallel_workers` / :func:`parallel_block`;
+  ``REPRO_POINTWISE_BATCH=0`` disables batching entirely (the per-model
+  reference path the benchmark harness compares against).
+
+:func:`translate_union` applies the same batching to the other per-model
+loop of the engine, the union of translates behind ``delta(T, P)`` and
+Satoh's reachable set.
+
 **Tier dispatch.**  :func:`tier` is the single decision point the engine
 layers share: ``"table"`` (big-int, up to ``bitmodels._TABLE_MAX_LETTERS``
-letters), ``"sharded"`` (this module, up to :data:`SHARD_MAX_LETTERS`,
-default 24, env ``REPRO_SHARD_MAX_LETTERS``), ``"masks"`` (SAT enumeration
+letters), ``"sharded"`` (this module, up to :data:`SHARD_MAX_LETTERS` —
+read live, so env/runtime overrides are honoured; 26 unless
+``REPRO_SHARD_MAX_LETTERS`` says otherwise), ``"masks"`` (SAT enumeration
 plus Level-1 mask lists) beyond that.
 """
 
@@ -65,11 +94,32 @@ WORD_BITS = 64
 SHARD_BITS = 1 << int(os.environ.get("REPRO_SHARD_BITS_LOG2", "16"))
 
 #: Largest alphabet the sharded tier handles; beyond it the engine falls
-#: back to SAT enumeration plus mask-list selection.
-SHARD_MAX_LETTERS = int(os.environ.get("REPRO_SHARD_MAX_LETTERS", "24"))
+#: back to SAT enumeration plus mask-list selection.  Raised 24 -> 26 once
+#: the pointwise per-model loops were batched (bitplane memory was never
+#: the wall; per-model loop time was).
+SHARD_MAX_LETTERS = int(os.environ.get("REPRO_SHARD_MAX_LETTERS", "26"))
 
 #: Alphabet size at which pure-int compilation fans out over processes.
 PARALLEL_MIN_LETTERS = int(os.environ.get("REPRO_SHARD_PARALLEL_LETTERS", "22"))
+
+#: Batched pointwise kernels on/off (env ``REPRO_POINTWISE_BATCH=0`` keeps
+#: the per-model reference path; the perf harness flips this attribute to
+#: time the pre-batching engine under identical workloads).
+POINTWISE_BATCH = os.environ.get("REPRO_POINTWISE_BATCH", "1") != "0"
+
+#: Word budget for one batched block buffer (16 MiB of uint64): the default
+#: block size is however many T-model rows fit in it.
+_BLOCK_BUDGET_WORDS = 1 << 21
+
+#: Mask-kernel eligibility bounds: the sparse kernels materialise the P
+#: masks, so they are capped both absolutely and against the bitplane cost
+#: model (see :func:`pointwise_select`).
+_RING_MASK_MAX = 1 << 16
+_MIN_MASK_MAX = 1 << 14
+
+#: Largest ``|table| * |masks|`` product routed to the pair-matrix union
+#: kernel of :func:`translate_union` (4M pairs = one 32 MiB scratch array).
+_MASK_PAIR_BUDGET = 1 << 22
 
 #: For each bit index i < 6, the 64-bit mask of word positions whose bit i
 #: is CLEAR (the within-word complement column, cf. BitAlphabet._low_masks).
@@ -89,9 +139,11 @@ _WORD_FULL = (1 << WORD_BITS) - 1
 def tier(letter_count: int) -> str:
     """Which engine tier handles an alphabet of ``letter_count`` letters.
 
-    Reads the cutoffs at call time so tests (and benchmark harnesses) can
-    retarget the dispatch by adjusting ``bitmodels._TABLE_MAX_LETTERS`` or
-    :data:`SHARD_MAX_LETTERS`.
+    Reads the cutoffs at call time — ``bitmodels._TABLE_MAX_LETTERS`` and
+    :data:`SHARD_MAX_LETTERS` as they are *now*, not as they were at
+    import — so env overrides (``REPRO_TABLE_MAX_LETTERS``,
+    ``REPRO_SHARD_MAX_LETTERS``) and runtime retargeting by tests and
+    benchmark harnesses are always reported faithfully.
     """
     if letter_count <= _bitmodels._TABLE_MAX_LETTERS:
         return "table"
@@ -254,6 +306,35 @@ def _pool_size(letter_count: int, processes: Optional[int]) -> int:
     if letter_count < PARALLEL_MIN_LETTERS:
         return 1
     return max(1, os.cpu_count() or 1)
+
+
+def parallel_workers(letter_count: Optional[int] = None) -> int:
+    """Worker count for the batched pointwise fan-out.
+
+    ``REPRO_PARALLEL`` forces the count outright (``1`` means serial);
+    without it, alphabets below :data:`PARALLEL_MIN_LETTERS` stay serial
+    (fan-out overhead dwarfs the work) and larger ones use every CPU.
+    Read at call time so harnesses can retarget without reimporting.
+    """
+    raw = os.environ.get("REPRO_PARALLEL", "")
+    if raw:
+        return max(1, int(raw))
+    if letter_count is not None and letter_count < PARALLEL_MIN_LETTERS:
+        return 1
+    return max(1, os.cpu_count() or 1)
+
+
+def parallel_block(nwords: int) -> int:
+    """T-models per batched block for an ``nwords``-word bitplane.
+
+    ``REPRO_PARALLEL_BLOCK`` forces the row count; the default packs as
+    many rows as fit in :data:`_BLOCK_BUDGET_WORDS` (capped at 64 — past
+    that the broadcasting gain has long since saturated).
+    """
+    raw = os.environ.get("REPRO_PARALLEL_BLOCK", "")
+    if raw:
+        return max(1, int(raw))
+    return max(1, min(64, _BLOCK_BUDGET_WORDS // max(1, nwords)))
 
 
 # ---------------------------------------------------------------------------
@@ -907,3 +988,406 @@ def _numpy_compile(formula: Formula, alphabet: BitAlphabet):
     table = ShardedTable(alphabet, words=words)
     table._mask_top()
     return table._words
+
+
+# ---------------------------------------------------------------------------
+# Batched pointwise kernels
+# ---------------------------------------------------------------------------
+
+
+def _popcounts_array(values):
+    """Per-element popcount of a uint64 array (SWAR below numpy 2.0)."""
+    if hasattr(_np, "bitwise_count"):
+        return _np.bitwise_count(values)
+    x = values.astype(_np.uint64)  # pragma: no cover - legacy numpy only
+    x = x - ((x >> _np.uint64(1)) & _np.uint64(0x5555555555555555))
+    x = (x & _np.uint64(0x3333333333333333)) + (
+        (x >> _np.uint64(2)) & _np.uint64(0x3333333333333333)
+    )
+    x = (x + (x >> _np.uint64(4))) & _np.uint64(0x0F0F0F0F0F0F0F0F)
+    return (x * _np.uint64(0x0101010101010101)) >> _np.uint64(56)
+
+
+def _mask_array(table: "ShardedTable"):
+    """The set table positions as a sorted uint64 array (numpy backend).
+
+    Vectorised counterpart of :meth:`ShardedTable.iter_set_bits`: one pass
+    per word bit over the non-zero words only, so a sparse multi-megabyte
+    bitplane unpacks in a handful of array operations.
+    """
+    words = table._words
+    hot = _np.flatnonzero(words)
+    if not len(hot):
+        return _np.zeros(0, dtype=_np.uint64)
+    values = words[hot]
+    bases = hot.astype(_np.uint64) << _np.uint64(6)
+    pieces = []
+    for bit in range(WORD_BITS):
+        rows = (values >> _np.uint64(bit)) & _np.uint64(1)
+        picked = bases[rows.astype(bool)]
+        if len(picked):
+            pieces.append(picked + _np.uint64(bit))
+    out = _np.concatenate(pieces)
+    out.sort()
+    return out
+
+
+def table_mask_array(table: "ShardedTable"):
+    """A table's set positions in the cheapest bulk form for the batched
+    kernels: a sorted ``uint64`` array straight off a numpy bitplane (no
+    per-bit Python walk), a list of ints on the pure-int backend."""
+    if table._words is not None:
+        return _mask_array(table)
+    return list(table.iter_set_bits())
+
+
+def _plane_of_masks(alphabet: BitAlphabet, masks) -> "ShardedTable":
+    """A numpy-backed table with exactly the given positions set."""
+    table = ShardedTable.zeros(alphabet, backend="numpy")
+    if len(masks):
+        _np.bitwise_or.at(
+            table._words,
+            (masks >> _np.uint64(6)).astype(_np.intp),
+            _np.uint64(1) << (masks & _np.uint64(63)),
+        )
+    return table
+
+
+def _block_translate(source, masks):
+    """Row-wise XOR translation on the uint64 bitplane.
+
+    1-D ``source``: a fresh ``(len(masks), nwords)`` block whose row ``b``
+    is the bitplane translated by ``masks[b]`` (the whole-word part is one
+    2-D gather, sharing :func:`_word_indices`).  2-D ``source``: each row
+    translated by its own mask, reusing the buffer where possible — the
+    batched kernels own their blocks, and XOR translation is self-inverse,
+    so the same call translates a selected block back.
+    """
+    nwords = source.shape[-1]
+    hi = (masks >> _np.uint64(6)).astype(_np.intp)
+    if source.ndim == 1:
+        block = source[_word_indices(nwords)[None, :] ^ hi[:, None]]
+    elif hi.any():
+        rows = _np.arange(source.shape[0], dtype=_np.intp)[:, None]
+        block = source[rows, _word_indices(nwords)[None, :] ^ hi[:, None]]
+    else:
+        block = source
+    low = masks & _np.uint64(63)
+    for i in range(6):
+        rows = _np.nonzero(low & _np.uint64(1 << i))[0]
+        if len(rows):
+            half = _np.uint64(1 << i)
+            pattern = _np.uint64(LOW64[i])
+            sub = block[rows]
+            block[rows] = ((sub >> half) & pattern) | ((sub & pattern) << half)
+    return block
+
+
+def _block_restrict_low(block, i: int):
+    """Each row restricted to positions whose bit ``i`` is clear."""
+    half = 1 << i
+    if half < WORD_BITS:
+        return block & _np.uint64(LOW64[i])
+    stride = half >> 6
+    out = block.copy().reshape(block.shape[0], -1, 2, stride)
+    out[:, :, 1, :] = 0
+    return out.reshape(block.shape[0], -1)
+
+
+def _block_shift_up_only(block, i: int) -> None:
+    """In place, per row: move bit-i-clear positions up by ``2^i``."""
+    half = 1 << i
+    if half < WORD_BITS:
+        pattern = _np.uint64(LOW64[i])
+        block[:] = (block & pattern) << _np.uint64(half)
+        return
+    stride = half >> 6
+    view = block.reshape(block.shape[0], -1, 2, stride)
+    view[:, :, 1, :] = view[:, :, 0, :]
+    view[:, :, 0, :] = 0
+
+
+def _block_shift_up_or(block, i: int) -> None:
+    """In place, per row: ``row |= (row restricted to bit-i-clear) << 2^i``."""
+    half = 1 << i
+    if half < WORD_BITS:
+        pattern = _np.uint64(LOW64[i])
+        block |= (block & pattern) << _np.uint64(half)
+        return
+    stride = half >> 6
+    view = block.reshape(block.shape[0], -1, 2, stride)
+    view[:, :, 1, :] |= view[:, :, 0, :]
+
+
+def _block_minimal(block, letter_count: int):
+    """Row-wise inclusion-minimal elements — the
+    :meth:`ShardedTable.minimal_elements` sweep run once over the whole
+    block (one broadcast numpy call per bit instead of one per model)."""
+    strict = _np.zeros_like(block)
+    for i in range(letter_count):
+        lifted = _block_restrict_low(block, i)
+        _block_shift_up_only(lifted, i)
+        strict |= lifted
+    for i in range(letter_count):
+        _block_shift_up_or(strict, i)
+    return block & ~strict
+
+
+def _block_first_ring(block, letter_count: int):
+    """Row-wise first non-empty popcount ring.
+
+    Rings peel off level by level: rows whose ring at popcount ``k`` is
+    non-empty are finished and drop out of the remaining sweep, so the
+    loop runs ``max_row_k`` passes over a shrinking block.
+    """
+    nwords = block.shape[1]
+    word_pc = _word_popcounts(nwords)
+    result = _np.zeros_like(block)
+    remaining = _np.arange(block.shape[0])
+    for k in range(letter_count + 1):
+        if not len(remaining):
+            break
+        want = k - word_pc
+        pattern = _np.where(
+            (want >= 0) & (want <= 6),
+            _pat64_array()[_np.clip(want, 0, 6)],
+            _np.uint64(0),
+        )
+        rings = block[remaining] & pattern[None, :]
+        hit = rings.any(axis=1)
+        if hit.any():
+            result[remaining[hit]] = rings[hit]
+            remaining = remaining[~hit]
+    return result
+
+
+def _mask_pointwise_ring(t_masks, p_masks):
+    """Sparse Forbus kernel: selected P masks across all T-models.
+
+    For a block of T-models the differences are one XOR outer product;
+    a row's first ring is just its popcount minimum, so selection is a
+    broadcast compare — no bitplane is ever touched.
+    """
+    selected = _np.zeros(len(p_masks), dtype=bool)
+    rows = max(1, _MASK_PAIR_BUDGET // max(1, len(p_masks)))
+    for start in range(0, len(t_masks), rows):
+        chunk = t_masks[start:start + rows]
+        counts = _popcounts_array(chunk[:, None] ^ p_masks[None, :])
+        selected |= (counts == counts.min(axis=1)[:, None]).any(axis=0)
+    return p_masks[selected]
+
+
+def _mask_pointwise_minimal(t_masks, p_masks):
+    """Sparse Winslett kernel: selected P masks across all T-models.
+
+    Per T-model the diffs ``p ^ M`` are distinct (XOR is a bijection), so
+    the minimal ones come out of a popcount-level antichain sweep: walk
+    the levels ascending, kill candidates dominated by an already-accepted
+    minimal element (sufficient — any dominator contains a minimal one),
+    accept the survivors.  Each level is one vectorised subset test
+    against the accepted antichain, which stays small in practice.
+    """
+    selected = _np.zeros(len(p_masks), dtype=bool)
+    for model in t_masks:
+        diffs = p_masks ^ model
+        counts = _popcounts_array(diffs)
+        accepted = None
+        for level in _np.unique(counts):
+            idx = _np.nonzero(counts == level)[0]
+            cand = diffs[idx]
+            if accepted is not None:
+                dominated = (
+                    (accepted[:, None] & ~cand[None, :]) == 0
+                ).any(axis=0)
+                idx, cand = idx[~dominated], cand[~dominated]
+            if len(idx):
+                selected[idx] = True
+                accepted = (
+                    cand if accepted is None
+                    else _np.concatenate([accepted, cand])
+                )
+    return p_masks[selected]
+
+
+def _pointwise_serial(kind: str, table: "ShardedTable", masks) -> "ShardedTable":
+    """The per-model reference path (also the pure-int worker body)."""
+    selected = table.zeros_like()
+    for model in masks:
+        moved = table.xor_translate(model)
+        if kind == "minimal":
+            moved = moved.minimal_elements().xor_translate(model)
+        elif kind == "ring":
+            moved = moved.first_ring()[1].xor_translate(model)
+        selected |= moved
+    return selected
+
+
+def _pointwise_numpy(
+    kind: str, table: "ShardedTable", t_arr, processes: Optional[int] = None
+) -> "ShardedTable":
+    """Blocked bitplane kernels, fanned out over a thread pool.
+
+    Each block of T-models becomes one ``(rows, nwords)`` array: translate,
+    sweep, translate back, OR-reduce.  The numpy bitwise kernels release
+    the GIL, so threads scale on multi-core hosts; partials are OR-combined
+    in block order, which makes the result independent of worker count.
+    """
+    words = table._words
+    letter_count = len(table.alphabet)
+    rows = parallel_block(len(words))
+    chunks = [t_arr[start:start + rows] for start in range(0, len(t_arr), rows)]
+
+    def select(chunk):
+        block = _block_translate(words, chunk)
+        if kind == "minimal":
+            block = _block_translate(_block_minimal(block, letter_count), chunk)
+        elif kind == "ring":
+            block = _block_translate(_block_first_ring(block, letter_count), chunk)
+        return _np.bitwise_or.reduce(block, axis=0)
+
+    workers = (
+        max(1, processes) if processes is not None
+        else parallel_workers(letter_count)
+    )
+    if workers > 1 and len(chunks) > 1:
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            partials = list(pool.map(select, chunks))
+    else:
+        partials = [select(chunk) for chunk in chunks]
+    combined = partials[0]
+    for partial in partials[1:]:
+        combined |= partial
+    return ShardedTable(table.alphabet, words=combined)
+
+
+def _pointwise_range_worker(args) -> List[int]:
+    """Worker for the T-model-range fan-out (top-level so it pickles)."""
+    kind, letters, shard_list, shard_bits, masks = args
+    table = ShardedTable(
+        BitAlphabet(letters), shards=shard_list, shard_bits=shard_bits
+    )
+    return _pointwise_serial(kind, table, masks)._shards
+
+
+def _pointwise_int(
+    kind: str, table: "ShardedTable", masks, processes: Optional[int]
+) -> "ShardedTable":
+    """Pure-int backend: the shard map extended to T-model ranges.
+
+    Each process receives the whole (pickled) shard list plus a slice of
+    the T-models, runs the per-model loop on its range, and ships back a
+    partial selected table; the parent ORs the partials shard-wise.
+    """
+    workers = min(
+        _pool_size(len(table.alphabet), processes)
+        if processes is not None
+        else parallel_workers(len(table.alphabet)),
+        len(masks),
+    )
+    if workers <= 1:
+        return _pointwise_serial(kind, table, masks)
+    from multiprocessing import Pool
+
+    chunk = (len(masks) + workers - 1) // workers
+    jobs = [
+        (kind, table.alphabet.letters, table._shards, table._shard_bits,
+         masks[start:start + chunk])
+        for start in range(0, len(masks), chunk)
+    ]
+    with Pool(len(jobs)) as pool:
+        partials = pool.map(_pointwise_range_worker, jobs)
+    combined = partials[0]
+    for shard_list in partials[1:]:
+        combined = [a | b for a, b in zip(combined, shard_list)]
+    return ShardedTable(
+        table.alphabet, shards=combined, shard_bits=table._shard_bits
+    )
+
+
+def pointwise_select(
+    kind: str,
+    p_table: "ShardedTable",
+    t_masks,
+    processes: Optional[int] = None,
+) -> "ShardedTable":
+    """Batched pointwise selection over all T-models at once.
+
+    For every model ``M`` in ``t_masks``: XOR-translate ``p_table`` by
+    ``M``, keep the inclusion-minimal elements (``kind="minimal"``,
+    Winslett), the first popcount ring (``kind="ring"``, Forbus) or
+    everything (``kind="union"``, the translate-union of
+    :func:`translate_union`), translate back, and union the selections.
+    Equivalent to the per-model loop, bit for bit, for any worker count —
+    union is the only cross-model combine and it commutes.
+
+    Dispatch: sparse numpy tables use the mask kernels (the work collapses
+    onto the model masks), dense numpy tables the blocked bitplane kernels
+    under a thread pool, pure-int tables the per-model loop under the
+    multiprocessing T-model-range fan-out.  ``REPRO_POINTWISE_BATCH=0``
+    (or clearing :data:`POINTWISE_BATCH`) forces the serial reference
+    path.
+    """
+    if kind not in ("minimal", "ring", "union"):
+        raise ValueError(f"unknown pointwise kind {kind!r}")
+    if _np is not None and isinstance(t_masks, _np.ndarray):
+        masks = t_masks
+    else:
+        masks = t_masks if isinstance(t_masks, list) else list(t_masks)
+    if not len(masks):
+        return p_table.zeros_like()
+    if kind == "ring" and not p_table.any():
+        # Match the per-model loop: first_ring of an empty table raises.
+        raise ValueError("first_ring of an empty table")
+    if not POINTWISE_BATCH or p_table._words is None:
+        if _np is not None and isinstance(masks, _np.ndarray):
+            masks = [int(mask) for mask in masks]
+        if not POINTWISE_BATCH:
+            return _pointwise_serial(kind, p_table, masks)
+        return _pointwise_int(kind, p_table, masks, processes)
+    t_arr = _np.asarray(masks, dtype=_np.uint64)
+    count = p_table.popcount()
+    nwords = len(p_table._words)
+    letters = len(p_table.alphabet)
+    # Crude cost model: the bitplane sweep costs ~(4n+6) word passes per
+    # model; route to the mask kernels only when their per-model cost
+    # (|P| for rings, up to |P|^2 subset tests for minimality) undercuts
+    # it and the mask arrays stay small enough to materialise.
+    if kind == "union":
+        sparse = 0 < count * len(masks) <= _MASK_PAIR_BUDGET
+        if sparse:
+            pairs = (_mask_array(p_table)[None, :] ^ t_arr[:, None]).ravel()
+            return _plane_of_masks(p_table.alphabet, pairs)
+    elif kind == "ring":
+        sparse = 0 < count <= min(_RING_MASK_MAX, letters * nwords)
+        if sparse:
+            return _plane_of_masks(
+                p_table.alphabet,
+                _mask_pointwise_ring(t_arr, _mask_array(p_table)),
+            )
+    else:
+        sparse = (
+            0 < count <= _MIN_MASK_MAX
+            and count * count <= 8 * (4 * letters + 6) * nwords
+        )
+        if sparse:
+            return _plane_of_masks(
+                p_table.alphabet,
+                _mask_pointwise_minimal(t_arr, _mask_array(p_table)),
+            )
+    return _pointwise_numpy(kind, p_table, t_arr, processes)
+
+
+def translate_union(
+    table: "ShardedTable", masks, processes: Optional[int] = None
+) -> "ShardedTable":
+    """The union of ``table`` XOR-translated by every mask in ``masks``.
+
+    This is the inner loop of ``delta(T, P)`` (union of difference tables)
+    and of Satoh's reachable set; batching it is what keeps the global
+    operators tractable at the raised shard cutoff.  Sparse tables take
+    the pair-matrix route (one XOR outer product scattered onto a fresh
+    bitplane); dense ones the blocked gather under the thread pool.
+    """
+    return pointwise_select("union", table, masks, processes)

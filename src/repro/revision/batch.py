@@ -25,13 +25,18 @@ Guarantees:
   :class:`RevisionResult` without re-running the selection rule — revision
   is a pure function of the pair, so hot serving keys cost one dict probe;
 * formula-based (syntax-sensitive) operators are supported too — they
-  bypass the model-set cache and run the plain per-pair path.
+  bypass the model-set cache and run the plain per-pair path;
+* a batch may run *several* operators over the same pairs (pass a sequence
+  of names): all of them share one compiled sharded table of each ``T``,
+  and :meth:`BatchCache.warm` compiles a KB's table ahead of the batch —
+  the keyed warm path of the incremental revision service.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from ..logic import shards as _shards
 from ..logic.bitmodels import BitAlphabet, BitModelSet
 from ..logic.formula import Formula, FormulaLike, as_formula
 from ..logic.theory import Theory, TheoryLike
@@ -70,6 +75,40 @@ class BatchCache:
         self._model_sets[key] = bits
         return bits
 
+    def warm(
+        self,
+        theory: TheoryLike,
+        alphabet: "Optional[BitAlphabet | Iterable[str]]" = None,
+    ) -> BitModelSet:
+        """Precompile a KB's model set (and its engine-tier table) ahead of
+        a batch — the keyed warm path of the incremental revision service
+        the ROADMAP names.
+
+        A serving layer that knows which knowledge bases its queue will hit
+        calls ``warm`` once per KB (per alphabet) before draining: the
+        theory's truth table compiles now, on whichever tier
+        :func:`repro.logic.shards.tier` picks for the alphabet, and every
+        pointwise operator in the batch then reuses the one compiled
+        sharded table instead of recompiling per pair.  Returns the cached
+        :class:`BitModelSet`; a later :func:`revise_many` over the same
+        cache scores a hit for it.
+        """
+        theory = Theory.coerce(theory)
+        t_formula = theory.conjunction()
+        if alphabet is None:
+            bit_alphabet = BitAlphabet.coerce(t_formula.variables())
+        else:
+            bit_alphabet = BitAlphabet.coerce(alphabet)
+        bits = self.bit_models(t_formula, bit_alphabet)
+        # Force the tier encoding now: the point of warming is that the
+        # table is ready before the serving loop needs it.
+        level = _shards.tier(len(bit_alphabet))
+        if level == "sharded":
+            bits.sharded()
+        elif level == "table":
+            bits.table()
+        return bits
+
     def result(self, operator: str, t_formula: Formula, formula: Formula):
         """A previously computed revision of this exact pair, if any.
 
@@ -91,20 +130,64 @@ class BatchCache:
         self._results[(operator, t_formula, formula)] = result
 
 
+def _revise_one(
+    op, theory: Theory, t_formula: Formula, formula: Formula, cache: BatchCache
+):
+    """One cached revision: memoised result, else compile-once + select.
+
+    ``theory`` arrives coerced and ``t_formula`` is its (already built)
+    conjunction — multi-operator batches probe the result cache once per
+    operator without rebuilding either.
+    """
+    if not isinstance(op, ModelBasedOperator):
+        return op.revise(theory, formula)
+    cached = cache.result(op.name, t_formula, formula)
+    if cached is not None:
+        cache.hits += 1
+        return cached
+    alphabet = BitAlphabet.coerce(t_formula.variables() | formula.variables())
+    t_bits = cache.bit_models(t_formula, alphabet)
+    p_bits = cache.bit_models(formula, alphabet)
+    result = op.revise_sets(t_bits, p_bits)
+    cache.store_result(op.name, t_formula, formula, result)
+    return result
+
+
 def revise_many(
     pairs: Iterable[Tuple[TheoryLike, FormulaLike]],
-    operator: str = "dalal",
+    operator: "Union[str, Sequence[str]]" = "dalal",
     cache: Optional[BatchCache] = None,
-) -> List[RevisionResult]:
-    """Revise every ``(T, P)`` pair under the named operator, sharing work.
+):
+    """Revise every ``(T, P)`` pair under the named operator(s), sharing work.
 
     Equivalent to ``[get_operator(operator).revise(t, p) for t, p in
     pairs]`` but with model-set compilation shared across the batch: each
     theory's table is compiled once per alphabet, repeated revising
     formulas are compiled once, and interned alphabets share their
     truth-table memos.  Pass an explicit ``cache`` to share compilations
-    across successive batches.
+    across successive batches (and :meth:`BatchCache.warm` the hot KBs
+    before draining).
+
+    ``operator`` may also be a *sequence* of operator names: each pair is
+    then revised under every operator — against one compiled table of
+    ``T`` per alphabet, shared across all of them, where separate
+    single-operator calls would recompile — and the return value is a list
+    of per-pair result lists in operator order.
     """
+    if not isinstance(operator, str):
+        ops = [get_operator(name) for name in operator]
+        if cache is None:
+            cache = BatchCache()
+        nested: List[List[RevisionResult]] = []
+        for theory, formula in pairs:
+            theory = Theory.coerce(theory)
+            formula = as_formula(formula)
+            t_formula = theory.conjunction()
+            nested.append(
+                [_revise_one(op, theory, t_formula, formula, cache)
+                 for op in ops]
+            )
+        return nested
     op = get_operator(operator)
     if not isinstance(op, ModelBasedOperator):
         return [op.revise(theory, formula) for theory, formula in pairs]
@@ -114,18 +197,7 @@ def revise_many(
     for theory, formula in pairs:
         theory = Theory.coerce(theory)
         formula = as_formula(formula)
-        t_formula = theory.conjunction()
-        cached = cache.result(op.name, t_formula, formula)
-        if cached is not None:
-            cache.hits += 1
-            results.append(cached)
-            continue
-        alphabet = BitAlphabet.coerce(
-            t_formula.variables() | formula.variables()
+        results.append(
+            _revise_one(op, theory, theory.conjunction(), formula, cache)
         )
-        t_bits = cache.bit_models(t_formula, alphabet)
-        p_bits = cache.bit_models(formula, alphabet)
-        result = op.revise_sets(t_bits, p_bits)
-        cache.store_result(op.name, t_formula, formula, result)
-        results.append(result)
     return results

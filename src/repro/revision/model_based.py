@@ -23,13 +23,19 @@ written *once*, against a small table-algebra protocol (:class:`_TableOps`
 for Level-2 big-int tables, :class:`_ShardOps` for the Level-3 sharded
 tables of :mod:`repro.logic.shards`): a model set is one table,
 ``{M △ N : N |= P}`` is an XOR-translation of that table, ``min⊆`` is a
-subset-sum closure, and Hamming balls grow by single-bit flips.  The tier
-is picked per call by :func:`repro.logic.shards.tier` — big-int tables up
-to ``_TABLE_MAX_LETTERS`` letters, sharded tables up to
-``shards.SHARD_MAX_LETTERS``, and packed-mask loops (XOR + popcount per
-pair) beyond that.  The retained frozenset semantics lives in
-:mod:`repro.revision.reference` and the hypothesis suite asserts all
-engines agree; the containment relations among the six results (paper
+subset-sum closure, and Hamming balls grow by single-bit flips.  The
+per-T-model work of the pointwise operators (and the translate-union
+behind ``delta``/Satoh) goes through the protocol's batched entry points
+— ``pointwise_minimal`` / ``pointwise_ring`` / ``translate_union`` — which
+the sharded tier services with the multi-model kernels and the
+``REPRO_PARALLEL`` fan-out of :func:`repro.logic.shards.pointwise_select`
+instead of one full bitplane sweep per model.  The tier is picked per
+call by :func:`repro.logic.shards.tier` — big-int tables up to
+``_TABLE_MAX_LETTERS`` letters, sharded tables up to
+``shards.SHARD_MAX_LETTERS`` (both read live), and packed-mask loops
+(XOR + popcount per pair) beyond that.  The retained frozenset semantics
+lives in :mod:`repro.revision.reference` and the hypothesis suite asserts
+all engines agree; the containment relations among the six results (paper
 Fig. 2) are asserted by ``tests/test_revision_containment.py``.
 """
 
@@ -103,6 +109,40 @@ class _TableOps:
     def bits_of(self, table: int) -> Iterator[int]:
         return iter_set_bits(table)
 
+    def model_masks(self, bits: BitModelSet):
+        """A model set's masks in the form the tier's loops want."""
+        return bits.iter_masks()
+
+    def table_masks(self, table: int):
+        """A raw table's set positions, same contract as :meth:`model_masks`."""
+        return iter_set_bits(table)
+
+    def translate_union(self, table: int, masks: Iterable[int]) -> int:
+        """OR of the XOR-translates of ``table`` by every mask."""
+        union = self.zero()
+        for mask in masks:
+            union |= self.translate(table, mask)
+        return union
+
+    def pointwise_minimal(self, t_bits: BitModelSet, p_bits: BitModelSet) -> int:
+        """Winslett's rule: per T-model minimal differences, united."""
+        p_table = self.table(p_bits)
+        selected = self.zero()
+        for model in t_bits.iter_masks():
+            diffs = self.translate(p_table, model)
+            selected |= self.translate(self.minimal(diffs), model)
+        return selected
+
+    def pointwise_ring(self, t_bits: BitModelSet, p_bits: BitModelSet) -> int:
+        """Forbus' rule: per T-model first popcount ring, united."""
+        p_table = self.table(p_bits)
+        selected = self.zero()
+        for model in t_bits.iter_masks():
+            diffs = self.translate(p_table, model)
+            _, ring = self.first_ring(diffs)
+            selected |= self.translate(ring, model)
+        return selected
+
 
 class _ShardOps:
     """Level-3 adapter: tables are :class:`ShardedTable` bitplanes."""
@@ -138,6 +178,40 @@ class _ShardOps:
     def bits_of(self, table: ShardedTable) -> Iterator[int]:
         return table.iter_set_bits()
 
+    def translate_union(
+        self, table: ShardedTable, masks: Iterable[int]
+    ) -> ShardedTable:
+        """Batched union of translates (:func:`repro.logic.shards.translate_union`)."""
+        return _shards.translate_union(table, masks)
+
+    def model_masks(self, bits: BitModelSet):
+        """A model set's masks in bulk form for the batched kernels —
+        straight off the numpy bitplane when one exists, so a dense ``T``
+        never takes the per-bit Python walk of ``iter_masks``."""
+        if bits._masks is not None:
+            return list(bits._masks)
+        return _shards.table_mask_array(self.table(bits))
+
+    def table_masks(self, table: ShardedTable):
+        """A raw table's set positions in the same bulk form."""
+        return _shards.table_mask_array(table)
+
+    def pointwise_minimal(
+        self, t_bits: BitModelSet, p_bits: BitModelSet
+    ) -> ShardedTable:
+        """Winslett's rule via the batched multi-model kernels."""
+        return _shards.pointwise_select(
+            "minimal", self.table(p_bits), self.model_masks(t_bits)
+        )
+
+    def pointwise_ring(
+        self, t_bits: BitModelSet, p_bits: BitModelSet
+    ) -> ShardedTable:
+        """Forbus' rule via the batched multi-model kernels."""
+        return _shards.pointwise_select(
+            "ring", self.table(p_bits), self.model_masks(t_bits)
+        )
+
 
 def _ops_for(alphabet: BitAlphabet):
     """The table adapter for the alphabet's tier (None for the mask tier)."""
@@ -161,10 +235,7 @@ def _delta_tab(ops, t_bits: BitModelSet, p_bits: BitModelSet):
         fixed, moved = p_bits, t_bits
     else:
         fixed, moved = t_bits, p_bits
-    fixed_tab = ops.table(fixed)
-    diffs = ops.zero()
-    for model in moved.iter_masks():
-        diffs |= ops.translate(fixed_tab, model)
+    diffs = ops.translate_union(ops.table(fixed), ops.model_masks(moved))
     return ops.minimal(diffs)
 
 
@@ -275,23 +346,20 @@ class WinslettOperator(ModelBasedOperator):
 
     ``M(T ◇ P) = { N |= P : ∃M |= T, M △ N ∈ mu(M, P) }``.
 
-    Per model ``M`` of ``T``, the bit-parallel route XOR-translates the
-    whole ``P`` table by ``M`` (giving the table of differences), extracts
-    its inclusion-minimal elements with the subset-sum closure, and
-    translates back — ``N = M △ (M △ N)`` makes the selected models a
-    translation of the minimal-difference table.
+    Per model ``M`` of ``T``: XOR-translate the whole ``P`` table by ``M``
+    (giving the table of differences), extract its inclusion-minimal
+    elements with the subset-sum closure, and translate back —
+    ``N = M △ (M △ N)`` makes the selected models a translation of the
+    minimal-difference table.  The protocol's ``pointwise_minimal`` runs
+    that rule for whole blocks of T-models per sweep on the sharded tier
+    (mask kernels when ``P`` is sparse, broadcast bitplane blocks under
+    the ``REPRO_PARALLEL`` fan-out otherwise).
     """
 
     name = "winslett"
 
     def _rule(self, ops, t_bits: BitModelSet, p_bits: BitModelSet):
-        p_table = ops.table(p_bits)
-        selected = ops.zero()
-        for model in t_bits.iter_masks():
-            diffs = ops.translate(p_table, model)
-            minimal = ops.minimal(diffs)
-            selected |= ops.translate(minimal, model)
-        return selected
+        return ops.pointwise_minimal(t_bits, p_bits)
 
     def _select_masks(
         self, t_masks: FrozenSet[int], p_masks: FrozenSet[int]
@@ -331,19 +399,14 @@ class ForbusOperator(ModelBasedOperator):
     Bit-parallel: the smallest non-empty popcount ring of the difference
     table (cached layer tables on the big-int tier, chunk-index popcount
     splitting on the sharded tier) finds the first distance ring without
-    touching individual models of ``P``.
+    touching individual models of ``P``; ``pointwise_ring`` batches the
+    per-T-model rings into multi-model sweeps on the sharded tier.
     """
 
     name = "forbus"
 
     def _rule(self, ops, t_bits: BitModelSet, p_bits: BitModelSet):
-        p_table = ops.table(p_bits)
-        selected = ops.zero()
-        for model in t_bits.iter_masks():
-            diffs = ops.translate(p_table, model)
-            _, ring = ops.first_ring(diffs)
-            selected |= ops.translate(ring, model)
-        return selected
+        return ops.pointwise_ring(t_bits, p_bits)
 
     def _select_masks(
         self, t_masks: FrozenSet[int], p_masks: FrozenSet[int]
@@ -374,10 +437,9 @@ class SatohOperator(ModelBasedOperator):
 
     def _rule(self, ops, t_bits: BitModelSet, p_bits: BitModelSet):
         delta_tab = _delta_tab(ops, t_bits, p_bits)
-        t_table = ops.table(t_bits)
-        reachable = ops.zero()
-        for diff in ops.bits_of(delta_tab):
-            reachable |= ops.translate(t_table, diff)
+        reachable = ops.translate_union(
+            ops.table(t_bits), ops.table_masks(delta_tab)
+        )
         return reachable & ops.table(p_bits)
 
     def _select_masks(

@@ -126,7 +126,10 @@ _BRUTE_FORCE_BUDGET = 1 << 28
 
 #: Work bound for the sharded tier, measured in 64-bit words times formula
 #: node count (the sharded sweep touches one word per vectorised step).
-_SHARDED_WORD_BUDGET = 1 << 28
+#: Sized so the clause counts the perf workloads carry at the 26-letter
+#: shard cutoff (hundreds of nodes over 2^20 words) still compile on the
+#: vectorised sweep rather than falling back to per-model SAT enumeration.
+_SHARDED_WORD_BUDGET = 1 << 30
 
 
 def _wants_bit_parallel(formula: Formula, names: Sequence[str]) -> bool:

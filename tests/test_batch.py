@@ -91,3 +91,57 @@ class TestReviseMany:
             batched = revise_many(pairs, name)
             for (theory, p), result in zip(pairs, batched):
                 assert result.model_set == revise(theory, p, name).model_set
+
+
+class TestWarmAndMultiOperator:
+    def test_warm_precompiles_the_theory_table(self):
+        cache = BatchCache()
+        bits = cache.warm("a & (b | c)")
+        # Small alphabet -> the big-int tier table is forced eagerly.
+        assert bits._table is not None
+        assert cache.misses == 1
+        # The warmed compilation is the one the batch reuses: only the
+        # revising formulas miss.
+        revisions = [parse("~a"), parse("~b & c")]
+        revise_many([("a & (b | c)", p) for p in revisions], "winslett", cache=cache)
+        assert cache.misses == 1 + len(revisions)
+
+    def test_warm_accepts_an_explicit_alphabet(self):
+        cache = BatchCache()
+        bits = cache.warm("a | b", alphabet=["a", "b", "c"])
+        assert bits.alphabet.letters == ("a", "b", "c")
+        revise_many([("a | b", parse("~a & c"))], "dalal", cache=cache)
+        # T over the widened alphabet was already compiled by warm().
+        assert cache.misses == 2
+
+    def test_operator_sequence_matches_per_operator_calls(self):
+        pairs = [_pair(seed) for seed in (3, 4, 5)]
+        names = ["winslett", "forbus", "borgida", "dalal"]
+        nested = revise_many(pairs, names)
+        assert len(nested) == len(pairs)
+        for (t, p), row in zip(pairs, nested):
+            assert [r.operator_name for r in row] == names
+            for name, result in zip(names, row):
+                single = revise(t, p, name)
+                assert result.alphabet == single.alphabet
+                assert result.model_set == single.model_set
+
+    def test_operator_sequence_shares_one_compilation_of_t(self):
+        t = parse("a & (b | c)")
+        revisions = [parse("~a"), parse("~b & c")]
+        cache = BatchCache()
+        revise_many(
+            [(t, p) for p in revisions], ["winslett", "forbus", "satoh"],
+            cache=cache,
+        )
+        # T compiles once for the shared alphabet, each P once — the three
+        # operators all reuse those model sets (and the sharded/big-int
+        # table cached on them).
+        assert cache.misses == 1 + len(revisions)
+
+    def test_operator_sequence_supports_formula_based_names(self):
+        pairs = [_pair(6)]
+        nested = revise_many(pairs, ["dalal", "widtio"])
+        (t, p), = pairs
+        assert nested[0][0].model_set == revise(t, p, "dalal").model_set
+        assert nested[0][1].model_set == revise(t, p, "widtio").model_set
