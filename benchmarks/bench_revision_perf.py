@@ -28,6 +28,15 @@ the per-pair ``revise`` loop on a workload of shared theories and revising
 formulas.  ``--spot-check-size`` verifies the sharded tier against the SAT
 blocking-clause fallback on a sparse instance above the big-int cutoff.
 
+``--sparse-sizes`` runs the bounded-density sparse-tier workload
+(:mod:`repro.hardness.sparse_family`: letters × model-density
+parameterised cube DNFs) at the given alphabet sizes — the regime where
+the sharded tier cannot even compile a table past its letter cutoff.  Per
+operator it times the end-to-end pipeline and the selection alone on the
+sparse tier, verifies the model set bit-for-bit against the SAT mask
+loops (and, at sizes the sharded tier still serves, against the sharded
+engine head-to-head), and records which tier answered.
+
 Run ``python benchmarks/bench_revision_perf.py`` from the repo root
 (``--quick`` for the CI smoke cap).
 """
@@ -145,10 +154,13 @@ def _workload(size: int, seed: int, floor=None, cap=None, t_clauses=None,
 
 def _masks_digest(result) -> str:
     """Order-independent digest of a result's model masks (for comparing
-    across processes without shipping million-element sets)."""
+    across processes without shipping million-element sets).  Mask width
+    follows the alphabet (minimum 8 bytes, for continuity with earlier
+    runs), so 65+-letter sparse-tier results digest without overflow."""
+    width = max(8, (len(result.alphabet) + 7) // 8)
     digest = hashlib.sha256()
     for mask in sorted(result.bit_model_set.iter_masks()):
-        digest.update(mask.to_bytes(8, "little"))
+        digest.update(mask.to_bytes(width, "little"))
     return digest.hexdigest()
 
 
@@ -346,6 +358,185 @@ def run_benchmark(sizes, seeds, old_max_size, pr1_timeout, pr2_timeout, operator
     return records
 
 
+#: Fixed density of the sparse-tier workload: cube counts for T and P are
+#: held constant across alphabet sizes, so the records compare the cost of
+#: the *alphabet* (26 vs 32 vs 40 letters) at one model density — exactly
+#: the axis the sparse tier is supposed to flatten.
+DEFAULT_SPARSE_CUBES = (256, 192)
+
+
+def run_sparse_benchmark(sizes, t_cubes, p_cubes, operators):
+    """The sparse-tier workload: bounded density, growing alphabet.
+
+    Per size, one :mod:`repro.hardness.sparse_family` pair (t_cubes /
+    p_cubes full cubes — model counts exact and fixed across sizes); per
+    operator:
+
+    * ``new_s`` — end-to-end production ``revise`` (SAT enumeration +
+      selection; past the shard cutoff this IS the sparse tier);
+    * ``select_s`` — the selection alone on the sparse tier, against
+      pre-compiled model sets (the warm-serving shape);
+    * ``sharded_select_s`` — the same selection on the sharded bitplanes
+      where the alphabet still fits the shard cutoff, or the recorded
+      reason it cannot compile;
+    * ``masks_select_s`` — the same selection on the SAT tier's mask
+      loops, whose model set must match the sparse one bit for bit.
+    """
+    from repro.hardness import sparse_family
+    from repro.logic import bitmodels, shards
+    from repro.revision import revise
+    from repro.revision.registry import get_operator
+    from repro.sat import bit_models
+
+    print(
+        f"\nsparse tier: fixed density {t_cubes}x{p_cubes} models, "
+        f"sizes {list(sizes)}"
+    )
+    records = []
+    for size in sizes:
+        workload = sparse_family.build(size, t_cubes, p_cubes, seed=0)
+        start = time.perf_counter()
+        t_bits = bit_models(workload.t_formula, workload.letters)
+        p_bits = bit_models(workload.p_formula, workload.letters)
+        compile_seconds = time.perf_counter() - start
+        if sorted(t_bits.iter_masks()) != list(workload.t_masks):
+            raise AssertionError(f"T enumeration mismatch at {size} letters")
+        if sorted(p_bits.iter_masks()) != list(workload.p_masks):
+            raise AssertionError(f"P enumeration mismatch at {size} letters")
+        within_shard = size <= shards.SHARD_MAX_LETTERS
+        print(
+            f"  n={size}: compile {compile_seconds:.2f}s "
+            f"({t_bits.count()}x{p_bits.count()} models)", flush=True,
+        )
+        dense_tier = (
+            "table" if size <= bitmodels._TABLE_MAX_LETTERS
+            else "sharded" if within_shard
+            else None
+        )
+        for name in operators:
+            operator = get_operator(name)
+
+            # Selection on the sparse tier (forced below the dense-tier
+            # cutoffs by lowering SPARSE_MIN_LETTERS and, under the
+            # big-int cutoff, the table cutoff; the default dispatch
+            # above the shard cutoff).
+            saved_min = shards.SPARSE_MIN_LETTERS
+            restore_dense = _forced(
+                table_max=0 if dense_tier == "table" else None
+            )
+            if dense_tier is not None:
+                shards.SPARSE_MIN_LETTERS = size
+            try:
+                start = time.perf_counter()
+                sparse_result = operator.revise_sets(t_bits, p_bits)
+                sparse_seconds = time.perf_counter() - start
+            finally:
+                restore_dense()
+                shards.SPARSE_MIN_LETTERS = saved_min
+            if sparse_result.engine_tier not in ("sparse", "sparse-spill"):
+                raise AssertionError(
+                    f"expected the sparse tier, got {sparse_result.engine_tier}"
+                )
+            digest = _masks_digest(sparse_result)
+
+            # Head-to-head with the dense table tiers, where they exist.
+            if dense_tier is not None:
+                start = time.perf_counter()
+                sharded_result = operator.revise_sets(t_bits, p_bits)
+                sharded_seconds = time.perf_counter() - start
+                if (
+                    sharded_result.engine_tier != dense_tier
+                    or _masks_digest(sharded_result) != digest
+                ):
+                    raise AssertionError(
+                        f"sparse/{dense_tier} mismatch: size={size} op={name}"
+                    )
+            else:
+                sharded_seconds = (
+                    f"unavailable (shard cutoff {shards.SHARD_MAX_LETTERS})"
+                )
+
+            # Parity with the SAT tier's mask loops: disable the sparse
+            # tier AND drop the bitplane cutoffs, so the dispatch cannot
+            # serve the selection from any table at any size.
+            saved_tier = shards.SPARSE_TIER
+            shards.SPARSE_TIER = False
+            restore = _forced(table_max=0, shard_max=0)
+            try:
+                start = time.perf_counter()
+                masks_result = operator.revise_sets(t_bits, p_bits)
+                masks_seconds = time.perf_counter() - start
+            finally:
+                restore()
+                shards.SPARSE_TIER = saved_tier
+            if (
+                masks_result.engine_tier != "masks"
+                or _masks_digest(masks_result) != digest
+            ):
+                raise AssertionError(
+                    f"sparse/masks mismatch: size={size} op={name}"
+                )
+
+            # End-to-end production pipeline (enumeration + selection).
+            start = time.perf_counter()
+            end_result = revise(workload.t_formula, workload.p_formula, name)
+            end_seconds = time.perf_counter() - start
+            if _masks_digest(end_result) != digest:
+                raise AssertionError(
+                    f"pipeline mismatch: size={size} op={name}"
+                )
+
+            records.append(
+                {
+                    "size": size,
+                    "operator": name,
+                    "t_models": t_bits.count(),
+                    "p_models": p_bits.count(),
+                    "result_models": sparse_result.model_count(),
+                    "tier": sparse_result.engine_tier,
+                    "compile_s": compile_seconds,
+                    "new_s": end_seconds,
+                    "select_s": sparse_seconds,
+                    "sharded_select_s": sharded_seconds,
+                    "masks_select_s": masks_seconds,
+                    "masks_over_sparse": (
+                        masks_seconds / sparse_seconds
+                        if sparse_seconds > 0 else None
+                    ),
+                }
+            )
+            shown = (
+                f"sharded={sharded_seconds:.3f}s"
+                if isinstance(sharded_seconds, float)
+                else "sharded=n/a"
+            )
+            print(
+                f"  n={size:2d} {name:<9} select={sparse_seconds:.3f}s "
+                f"({shown}, masks={masks_seconds:.3f}s) "
+                f"end-to-end={end_seconds:.2f}s "
+                f"[{sparse_result.engine_tier}]",
+                flush=True,
+            )
+    return {
+        "workload": {
+            "generator": "repro.hardness.sparse_family.build",
+            "t_cubes": t_cubes,
+            "p_cubes": p_cubes,
+            "free_letters": 0,
+            "seed": 0,
+            "sizes": list(sizes),
+            "note": (
+                "full cubes: model counts are exactly the cube counts, "
+                "fixed across alphabet sizes"
+            ),
+        },
+        # Reaching this line means every parity assertion above passed —
+        # any mismatch raises and aborts the run instead of recording False.
+        "verified_identical": True,
+        "results": records,
+    }
+
+
 def run_spot_check(size, operators):
     """Verify the sharded tier against the SAT blocking-clause fallback on
     a sparse instance above the big-int cutoff (model sets must match
@@ -355,14 +546,27 @@ def run_spot_check(size, operators):
         size, seed=0, floor=16, cap=512,
         t_clauses=3 * size, p_clauses=2 * size,
     )
+    from repro.logic import shards
+
     outcomes = {}
     for name in operators:
         _, sharded_result = _time_revise(t, p, name)
+        # Disable the sparse tier too: with density-aware dispatch a
+        # bounded workload under shard_max=0 would otherwise land on the
+        # sparse carrier and this leg would stop exercising the mask loops
+        # it exists to verify.
         restore = _forced(shard_max=0)
+        saved_sparse = shards.SPARSE_TIER
+        shards.SPARSE_TIER = False
         try:
             _, fallback_result = _time_revise(t, p, name)
         finally:
+            shards.SPARSE_TIER = saved_sparse
             restore()
+        if fallback_result.engine_tier not in ("masks", "degenerate"):
+            raise AssertionError(
+                f"expected the SAT mask tier, got {fallback_result.engine_tier}"
+            )
         matches = (
             sharded_result.model_count() == fallback_result.model_count()
             and _masks_digest(sharded_result) == _masks_digest(fallback_result)
@@ -565,11 +769,23 @@ def main(argv=None):
         help="verify sharded vs SAT fallback at this (sparse) size",
     )
     parser.add_argument(
+        "--sparse-sizes", type=int, nargs="+", default=None, metavar="SIZE",
+        help="also run the bounded-density sparse-tier workload at these "
+             "alphabet sizes (e.g. 26 32 40; past the shard cutoff the "
+             "sharded engine cannot compile and the sparse tier serves)",
+    )
+    parser.add_argument(
+        "--sparse-cubes", type=int, nargs=2, default=list(DEFAULT_SPARSE_CUBES),
+        metavar=("T_CUBES", "P_CUBES"),
+        help="fixed model density of the sparse workload (T and P cube "
+             "counts, constant across sizes)",
+    )
+    parser.add_argument(
         "--batch", type=int, nargs="*", default=None, metavar="SIZE",
         help="also run the batched workload (optionally at these sizes)",
     )
     parser.add_argument(
-        "--label", default="pr3-batched-pointwise",
+        "--label", default="pr4-sparse-tier",
         help="trajectory label for this run",
     )
     parser.add_argument(
@@ -616,11 +832,17 @@ def main(argv=None):
             "pr1": "big-int tables <= 20 letters, SAT + mask loops above (shard tier disabled)",
             "pr2": "sharded tier with per-T-model sweeps (batched pointwise kernels disabled)",
             "new": (
-                "repro.revision via bitmodels + shards (big-int <= 20, "
-                "sharded 21-26 with batched pointwise kernels + "
-                "REPRO_PARALLEL fan-out)"
+                "repro.revision via bitmodels + shards + sparse (big-int "
+                "<= 20, sharded 21-26 with batched pointwise kernels + "
+                "REPRO_PARALLEL fan-out, density-aware sparse model-set "
+                "tier past the shard cutoff)"
             ),
             "sharded": "shard tier forced at every size (numpy uint64 bitplanes)",
+            "sparse": (
+                "sorted model-mask carriers (repro.logic.sparse): "
+                "density-proportional pair kernels, any alphabet size, "
+                "model counts bounded by REPRO_SPARSE_MAX_MODELS"
+            ),
         },
         "models_verified_identical": all(
             r["models_equal"] for r in records if r["models_equal"] is not None
@@ -632,6 +854,11 @@ def main(argv=None):
     if args.spot_check_size is not None:
         payload["sharded_vs_sat_fallback"] = run_spot_check(
             args.spot_check_size, args.operators
+        )
+    if args.sparse_sizes is not None:
+        payload["sparse_tier"] = run_sparse_benchmark(
+            args.sparse_sizes, args.sparse_cubes[0], args.sparse_cubes[1],
+            args.operators,
         )
     if args.batch is not None:
         batch_sizes = args.batch or [12, 14]
@@ -684,6 +911,36 @@ def main(argv=None):
         ["operator", "letters", "old s", "new s", "pr2 s", "pr1 s", "speedup"],
         rows,
     )
+    if args.sparse_sizes is not None:
+        sparse_payload = payload["sparse_tier"]
+        lines += [
+            "",
+            "Sparse tier: bounded-density workload "
+            f"({args.sparse_cubes[0]}x{args.sparse_cubes[1]} models, fixed "
+            "across sizes; select = selection only, sharded/masks = same "
+            "selection on the other tiers)",
+            "",
+        ]
+        lines += format_table(
+            ["operator", "letters", "select s", "sharded s", "masks s",
+             "end-to-end s", "tier"],
+            [
+                [
+                    r["operator"],
+                    r["size"],
+                    f"{r['select_s']:.4f}",
+                    (
+                        f"{r['sharded_select_s']:.4f}"
+                        if isinstance(r["sharded_select_s"], float)
+                        else "cannot compile"
+                    ),
+                    f"{r['masks_select_s']:.4f}",
+                    f"{r['new_s']:.2f}",
+                    r["tier"],
+                ]
+                for r in sparse_payload["results"]
+            ],
+        )
     if args.json_path == JSON_PATH:
         # Only official trajectory runs refresh the checked-in table;
         # smoke runs pointed at a scratch JSON would otherwise clobber it

@@ -109,6 +109,35 @@ def main() -> None:
     print(f"  tier at 23 letters: {shards.tier(23)!r}")
     print(f"  parallel workers  : {shards.parallel_workers()} (auto)")
 
+    # --- the sparse tier: past the cutoff, density is what matters --------
+    # Beyond shards.SHARD_MAX_LETTERS no truth table fits in memory — but a
+    # serving-shaped KB (a large schema with few admissible states) doesn't
+    # need one.  The fourth engine tier stores just the models, as a
+    # sorted mask array, and every selection rule runs in time proportional
+    # to the *model count*, not to 2^n.  Dispatch is automatic: feed
+    # shards.tier() a model-count bound (the operators do it for you) and
+    # bounded-density sets past the cutoff land on the sparse tier.
+    #
+    #   REPRO_SPARSE_MAX_MODELS=1048576  # density budget: carriers and
+    #                                    # intermediates above it spill to
+    #                                    # the SAT mask loops (identical
+    #                                    # results, no bound)
+    #   REPRO_SPARSE_MIN_LETTERS=21      # optionally serve sparse below
+    #                                    # the shard cutoff too
+    #   REPRO_SPARSE_TIER=0              # disable the tier entirely
+    #
+    # A 40-letter revision — twice the sharded cutoff, unthinkable on any
+    # bitplane (2^40 bits), instant on the sparse carrier:
+    from repro.hardness import sparse_family
+
+    workload = sparse_family.build(40, t_cubes=24, p_cubes=16, seed=0)
+    result = revise(workload.t_formula, workload.p_formula, "dalal")
+    print("\nSparse tier at 40 letters (24 x 16 models, exact semantics):")
+    print(f"  tier used    : {result.engine_tier}")
+    print(f"  result models: {result.model_count()}")
+    print(f"  tier at 40 letters, 1000 models: {shards.tier(40, 1000)!r}")
+    print(f"  tier at 40 letters, no bound   : {shards.tier(40)!r}")
+
 
 if __name__ == "__main__":
     main()

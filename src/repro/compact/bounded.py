@@ -95,14 +95,17 @@ def forbus_bounded(theory: TheoryLike, new_formula: FormulaLike) -> CompactRepre
 def delta_exact(theory: TheoryLike, new_formula: FormulaLike) -> List[FrozenSet[str]]:
     """``δ(T, P)`` by model enumeration (used by formula (7)).
 
-    Runs on the table engine: both model sets compile bit-parallel (big-int
+    Runs on the model-set engine: both sets compile bit-parallel (big-int
     or sharded tier by alphabet size) and the minimal differences come out
     of the XOR-translation + subset-sum-closure pipeline of
     :func:`repro.revision.model_based.delta_bits` — no per-interpretation
-    loop below the mask-tier cutoff, and on the sharded tier the union of
+    loop below the mask-tier cutoff.  On the sharded tier the union of
     difference tables goes through the batched
     :func:`repro.logic.shards.translate_union` kernel rather than one
-    bitplane pass per model.
+    bitplane pass per model; past the shard cutoff, bounded-density pairs
+    run the same pipeline on the sparse tier's pair kernels
+    (:func:`repro.logic.sparse.translate_union` + antichain sweep), so
+    formula (7) stays effective at 32–64+ letters.
     """
     from ..revision.model_based import delta_bits
 

@@ -12,11 +12,15 @@ models of ``T`` and models of ``P``.
 The minimum distance is computed *effectively* (the "effective procedures"
 the paper promises for its compactability results): ``k`` is the least value
 for which ``T[X/Y] ∧ P ∧ EXA(k, X, Y, W)`` is satisfiable — each probe is
-one SAT call on a polynomial-size formula.  Below the truth-table cutoff of
-the bitmask engine a faster route is taken: both formulas compile to
-``2^n``-bit model tables and ``k`` falls out of a Hamming-ball expansion
-(:func:`repro.logic.bitmodels.min_hamming_distance_tables`); the SAT-probe
-route remains the general-alphabet fallback.
+one SAT call on a polynomial-size formula.  Below the truth-table cutoffs
+of the bitmask engine a faster route is taken: both formulas compile to
+``2^n``-bit model tables (big-int or sharded bitplane by alphabet size)
+and ``k`` falls out of a Hamming-ball expansion
+(:func:`repro.logic.bitmodels.min_hamming_distance_tables`).  Past the
+shard cutoff, bounded-density pairs take the sparse tier instead —
+enumerate both model sets, then one blocked XOR/popcount pair sweep
+(:meth:`repro.logic.sparse.SparseModelSet.min_distance`); the SAT-probe
+route remains the general-alphabet, unbounded-density fallback.
 """
 
 from __future__ import annotations
@@ -33,7 +37,7 @@ from ..logic.bitmodels import (
 from ..logic.shards import ShardedTable
 from ..logic.formula import Formula, FormulaLike, as_formula, fresh_names, land
 from ..logic.theory import Theory, TheoryLike
-from ..sat import is_satisfiable
+from ..sat import bit_models, is_satisfiable, model_count_bound
 from .representation import QUERY, CompactRepresentation
 
 
@@ -71,6 +75,28 @@ def minimum_distance(
             raise ValueError("T or P is unsatisfiable: k_{T,P} undefined")
         k, _ = t_sharded.min_hamming(p_sharded)
         return k
+    # Past the shard cutoff: when the cheap structural CNF bound says both
+    # model sets fit the sparse budget — probe=False: the SAT-count probe
+    # would cost up to budget+1 blocking-clause solves just to say "no"
+    # before the EXA route, and a "yes" would re-enumerate via bit_models
+    # anyway — enumerate them and take the minimum over the blocked
+    # XOR/popcount pair sweep: k falls out density-proportionally, with no
+    # EXA circuit and no 2^n table.  Eligibility is tier()'s call, the one
+    # decision point the engine layers share.
+    budget = _shards.SPARSE_MAX_MODELS
+    bound_t = model_count_bound(t_formula, alphabet, budget, probe=False)
+    bound_p = (
+        model_count_bound(p_formula, alphabet, budget, probe=False)
+        if bound_t is not None else None
+    )
+    if bound_p is not None and _shards.tier(
+        len(alphabet), max(bound_t, bound_p)
+    ) == "sparse":
+        t_bits = bit_models(t_formula, alphabet)
+        p_bits = bit_models(p_formula, alphabet)
+        if not t_bits or not p_bits:
+            raise ValueError("T or P is unsatisfiable: k_{T,P} undefined")
+        return t_bits.sparse().min_distance(p_bits.sparse())
     y_names = fresh_names("y_", len(alphabet), avoid=alphabet)
     renamed_t = t_formula.rename(dict(zip(alphabet, y_names)))
     base = land(renamed_t, p_formula)

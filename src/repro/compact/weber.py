@@ -28,9 +28,11 @@ def omega_exact(theory: TheoryLike, new_formula: FormulaLike) -> FrozenSet[str]:
     """``Ω = ∪ δ(T,P)`` by full model enumeration over ``V(T) ∪ V(P)``.
 
     Enumeration and the minimal-difference computation both run on the
-    bitmask engine (the batched translate-union kernels at sharded sizes):
-    ``Ω`` is the OR of the global minimal XOR differences, unpacked to
-    letters only at the boundary.
+    bitmask engine — the batched translate-union kernels at sharded
+    sizes, the density-proportional sparse pair kernels past the shard
+    cutoff when the model counts fit the sparse budget: ``Ω`` is the OR
+    of the global minimal XOR differences, unpacked to letters only at
+    the boundary.
     """
     from ..revision.model_based import delta_bits
 

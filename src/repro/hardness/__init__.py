@@ -5,6 +5,10 @@ per-instance artifacts (``Q_pi``, ``W_pi``, ``M_pi``, ``C_pi``); the test
 suite verifies the claimed iff-reductions against brute-force 3-SAT for
 feasible ``n``, and the benchmark harness measures the size blow-up of
 explicit representations on these families (Tables 3/4 NO cells).
+
+:mod:`.sparse_family` is the one *positive* workload generator here: the
+large-alphabet, bounded-density (letters × model-density parameterised)
+pairs the sparse engine tier serves, with known ground-truth model sets.
 """
 
 from . import (
@@ -14,6 +18,7 @@ from . import (
     gfuv_family,
     iterated_family,
     nebel_family,
+    sparse_family,
     winslett_chain,
 )
 
@@ -24,5 +29,6 @@ __all__ = [
     "gfuv_family",
     "iterated_family",
     "nebel_family",
+    "sparse_family",
     "winslett_chain",
 ]

@@ -1,0 +1,134 @@
+"""Large-alphabet bounded-density workloads for the sparse engine tier.
+
+The reduction families in this package all target the paper's *negative*
+results; this module generates the *serving-shaped* workloads the sparse
+tier (:mod:`repro.logic.sparse`) exists for — view/update requests over
+large schemas with few admissible states (cf. arXiv:1301.5154,
+arXiv:1411.2499): alphabets far past the shard cutoff, model counts pinned
+exactly.
+
+Construction: ``T`` and ``P`` are DNFs of *cubes*.  A cube fixes
+``letters - free_letters`` letters, so it contributes exactly
+``2^free_letters`` models; cubes are drawn with distinct fixed parts over
+the non-free letters, making the model count of the whole DNF exactly
+``cubes * 2^free_letters`` (free letters range over every completion).
+Both the formulas *and* their ground-truth mask sets are exposed, so
+
+* benchmarks can run the full pipeline (SAT enumeration + selection) on a
+  density that is a *parameter*, not an accident of a random draw, and
+* tests can build :class:`~repro.logic.bitmodels.BitModelSet` carriers
+  directly from the known masks and check the engine's enumeration
+  against them.
+
+Parameterised by ``letters`` × model density (``t_cubes`` / ``p_cubes`` /
+``free_letters``) — the axes of the ``pr4-sparse-tier`` benchmark runs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..logic.formula import Formula, Var, big_and, big_or, lnot
+
+
+@dataclass(frozen=True)
+class SparseWorkload:
+    """One bounded-density ``(T, P)`` pair with known ground truth."""
+
+    letters: Tuple[str, ...]
+    t_formula: Formula
+    p_formula: Formula
+    #: Exact model masks of ``t_formula`` / ``p_formula`` over ``letters``
+    #: (bit ``i`` = the ``i``-th letter in sorted order, the engine's
+    #: convention), sorted ascending.
+    t_masks: Tuple[int, ...]
+    p_masks: Tuple[int, ...]
+    free_letters: int
+
+    @property
+    def letter_count(self) -> int:
+        return len(self.letters)
+
+    @property
+    def t_model_count(self) -> int:
+        return len(self.t_masks)
+
+    @property
+    def p_model_count(self) -> int:
+        return len(self.p_masks)
+
+
+def _draw_cubes(rng: random.Random, count: int, fixed_bits: int) -> List[int]:
+    """Distinct random assignments of the fixed letters."""
+    if count > (1 << fixed_bits):
+        raise ValueError(
+            f"cannot draw {count} distinct cubes over {fixed_bits} fixed letters"
+        )
+    seen: set = set()
+    while len(seen) < count:
+        seen.add(rng.getrandbits(fixed_bits))
+    return sorted(seen)
+
+
+def _dnf_of_cubes(
+    letters: Tuple[str, ...], cubes: List[int], free_letters: int
+) -> Formula:
+    """The DNF whose models are exactly the cubes × free completions.
+
+    The *low* ``free_letters`` letters (sorted order) are left free; cube
+    bit ``j`` decides the polarity of letter ``free_letters + j``.
+    """
+    fixed = letters[free_letters:]
+    disjuncts = []
+    for cube in cubes:
+        literals = [
+            Var(name) if (cube >> j) & 1 else lnot(Var(name))
+            for j, name in enumerate(fixed)
+        ]
+        disjuncts.append(big_and(literals))
+    return big_or(disjuncts)
+
+
+def _expand_masks(cubes: List[int], free_letters: int) -> Tuple[int, ...]:
+    """Ground-truth masks: every free completion of every cube."""
+    masks = []
+    for cube in cubes:
+        base = cube << free_letters
+        for completion in range(1 << free_letters):
+            masks.append(base | completion)
+    return tuple(sorted(masks))
+
+
+def build(
+    letter_count: int,
+    t_cubes: int,
+    p_cubes: int,
+    seed: int = 0,
+    free_letters: int = 0,
+) -> SparseWorkload:
+    """A bounded-density workload over ``letter_count`` letters.
+
+    ``T`` has exactly ``t_cubes * 2^free_letters`` models and ``P``
+    exactly ``p_cubes * 2^free_letters`` — density is the parameter.  The
+    same ``(letter_count, t_cubes, p_cubes, seed, free_letters)`` always
+    reproduces the same pair (one ``random.Random(seed)`` stream).
+    """
+    if letter_count < 1:
+        raise ValueError("letter_count must be positive")
+    if free_letters < 0 or free_letters >= letter_count:
+        raise ValueError("free_letters must lie in [0, letter_count)")
+    letters = tuple(f"v{i:03d}" for i in range(letter_count))
+    rng = random.Random(seed)
+    fixed_bits = letter_count - free_letters
+    t_fixed = _draw_cubes(rng, t_cubes, fixed_bits)
+    p_fixed = _draw_cubes(rng, p_cubes, fixed_bits)
+    return SparseWorkload(
+        letters=letters,
+        t_formula=_dnf_of_cubes(letters, t_fixed, free_letters),
+        p_formula=_dnf_of_cubes(letters, p_fixed, free_letters),
+        t_masks=_expand_masks(t_fixed, free_letters),
+        p_masks=_expand_masks(p_fixed, free_letters),
+        free_letters=free_letters,
+    )

@@ -12,7 +12,10 @@ Public surface:
   ints, model sets as big-int truth tables);
 * :mod:`repro.logic.shards` — the sharded truth-table tier (numpy uint64
   bitplanes with a pure-int fallback, for alphabets past the big-int
-  cutoff).
+  cutoff);
+* :mod:`repro.logic.sparse` — the sparse model-set tier (sorted mask
+  arrays, density-proportional, for bounded-density sets at any alphabet
+  size past the shard cutoff).
 """
 
 from .bitmodels import (
@@ -26,6 +29,7 @@ from .bitmodels import (
     truth_table,
 )
 from .shards import ShardedTable
+from .sparse import SparseModelSet, SparseSpill
 
 from .formula import (
     FALSE,
@@ -86,6 +90,9 @@ __all__ = [
     "Not",
     "Or",
     "ParseError",
+    "ShardedTable",
+    "SparseModelSet",
+    "SparseSpill",
     "Theory",
     "Top",
     "Var",

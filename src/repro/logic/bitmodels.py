@@ -52,16 +52,26 @@ every Level-2 primitive shard-wise, including the batched multi-model
 kernels behind the pointwise operators.  That raises the effective table
 range to ``shards.SHARD_MAX_LETTERS`` (default 26; 8 MiB bitplanes).
 
-Dispatch is three-tiered and decided by :func:`repro.logic.shards.tier`,
-which reads both cutoffs live so env overrides are never misreported:
+**Level 4 — sparse model sets.**  Both table tiers pay for the alphabet,
+not the models: a bounded-density KB over a large schema (a few thousand
+admissible states at 40 letters) fits no bitplane but fits a sorted array
+of model masks easily.  :mod:`repro.logic.sparse` stores exactly that —
+numpy uint64 column blocks (pure-int fallback) — and implements the
+selection rules density-proportionally, spilling to the SAT tier's mask
+loops when an intermediate crosses ``shards.SPARSE_MAX_MODELS`` (env
+``REPRO_SPARSE_MAX_MODELS``).
+
+Dispatch is four-tiered and decided by :func:`repro.logic.shards.tier`,
+which reads every cutoff live so env overrides are never misreported:
 big-int tables up to ``_TABLE_MAX_LETTERS`` (default 20, env
 ``REPRO_TABLE_MAX_LETTERS``), sharded tables up to
 ``shards.SHARD_MAX_LETTERS`` (default 26, env ``REPRO_SHARD_MAX_LETTERS``),
-and the SAT blocking-clause enumerator plus the Level-1 mask operations
-beyond that.  All callers in :mod:`repro.sat.interface` and
-:mod:`repro.revision` apply the dispatch automatically;
-:class:`BitModelSet` materialises its mask set lazily so sharded-tier
-results can stay in table form end to end.
+the sparse tier beyond that whenever a model-count bound fits the live
+``shards.SPARSE_MAX_MODELS`` budget, and the SAT blocking-clause
+enumerator plus the Level-1 mask operations otherwise.  All callers in
+:mod:`repro.sat.interface` and :mod:`repro.revision` apply the dispatch
+automatically; :class:`BitModelSet` materialises its mask set lazily so
+sharded- and sparse-tier results can stay in carrier form end to end.
 """
 
 from __future__ import annotations
@@ -517,14 +527,17 @@ class BitModelSet:
 
     * :attr:`masks` — frozenset of packed ints (the Level-1 view);
     * :meth:`table` — the ``2^n``-bit characteristic big-int (Level 2);
-    * :meth:`sharded` — the sharded table (Level 3).
+    * :meth:`sharded` — the sharded table (Level 3);
+    * :meth:`sparse` — the sorted model-mask carrier (Level 4,
+      :class:`repro.logic.sparse.SparseModelSet`).
 
-    Sharded-tier results stay in table form until a caller actually asks
-    for masks: counting, membership and emptiness never force the —
-    potentially multi-million-element — frozenset into existence.
+    Sharded- and sparse-tier results stay in carrier form until a caller
+    actually asks for masks: counting, membership and emptiness never
+    force the — potentially multi-million-element — frozenset into
+    existence.
     """
 
-    __slots__ = ("alphabet", "_masks", "_table", "_sharded", "_hash")
+    __slots__ = ("alphabet", "_masks", "_table", "_sharded", "_sparse", "_hash")
 
     def __init__(
         self,
@@ -537,6 +550,7 @@ class BitModelSet:
         )
         self._table: Optional[int] = None
         self._sharded = None
+        self._sparse = None
         self._hash: Optional[int] = None
         if self._masks:
             universe = self.alphabet.universe
@@ -565,6 +579,7 @@ class BitModelSet:
         instance._masks = None
         instance._table = None
         instance._sharded = None
+        instance._sparse = None
         instance._hash = None
         return instance
 
@@ -593,6 +608,17 @@ class BitModelSet:
         return instance
 
     @classmethod
+    def from_sparse(
+        cls, alphabet: "BitAlphabet | Iterable[str]", sparse
+    ) -> "BitModelSet":
+        """Build from a :class:`repro.logic.sparse.SparseModelSet` (Level 4)."""
+        instance = cls._lazy(alphabet)
+        if sparse.alphabet != instance.alphabet:
+            raise ValueError("sparse model set ranges over a different alphabet")
+        instance._sparse = sparse
+        return instance
+
+    @classmethod
     def from_formula(
         cls, formula: Formula, alphabet: "BitAlphabet | Iterable[str]"
     ) -> "BitModelSet":
@@ -606,8 +632,10 @@ class BitModelSet:
         bit_alphabet = BitAlphabet.coerce(alphabet)
         if len(bit_alphabet) > _TABLE_MAX_LETTERS:
             raise ValueError(
-                f"{len(bit_alphabet)} letters exceed the table cutoff "
-                f"({_TABLE_MAX_LETTERS}); use repro.sat.bit_models"
+                f"{len(bit_alphabet)} letters exceed the big-int table "
+                f"cutoff ({_TABLE_MAX_LETTERS}); use repro.sat.bit_models, "
+                f"which dispatches over all four tiers (sharded bitplanes, "
+                f"sparse model sets, SAT enumeration)"
             )
         return cls.from_table(bit_alphabet, truth_table(formula, bit_alphabet))
 
@@ -615,18 +643,25 @@ class BitModelSet:
 
     @property
     def masks(self) -> FrozenSet[int]:
-        """The packed-int mask set (materialised lazily from tables)."""
+        """The packed-int mask set (materialised lazily from carriers)."""
         if self._masks is None:
             if self._table is not None:
                 self._masks = frozenset(iter_set_bits(self._table))
             elif self._sharded is not None:
                 self._masks = frozenset(self._sharded.iter_set_bits())
+            elif self._sparse is not None:
+                self._masks = frozenset(self._sparse.iter_masks())
             else:  # pragma: no cover - _lazy always sets one encoding
                 self._masks = frozenset()
         return self._masks
 
     def table(self) -> int:
-        """The characteristic ``2^n``-bit integer (lazily cached)."""
+        """The characteristic ``2^n``-bit integer (lazily cached).
+
+        Callers on sparse-tier alphabets should stay on :meth:`sparse` —
+        materialising a ``2^n``-bit table past the shard cutoff defeats
+        the point of the density-proportional carrier.
+        """
         if self._table is None:
             if self._sharded is not None:
                 self._table = self._sharded.to_int()
@@ -645,14 +680,31 @@ class BitModelSet:
                 self._sharded = ShardedTable.from_masks(self.alphabet, self.masks)
         return self._sharded
 
+    def sparse(self):
+        """The Level-4 sparse carrier (lazily cached).
+
+        Raises :class:`repro.logic.sparse.SparseSpill` when the set
+        exceeds the live ``shards.SPARSE_MAX_MODELS`` budget — the tier
+        dispatch only routes bounded-density sets here.
+        """
+        if self._sparse is None:
+            from .sparse import SparseModelSet
+
+            self._sparse = SparseModelSet.from_masks(
+                self.alphabet, self.iter_masks()
+            )
+        return self._sparse
+
     def iter_masks(self) -> Iterator[int]:
-        """Stream the masks without forcing the frozenset when a table
+        """Stream the masks without forcing the frozenset when a carrier
         encoding is present (ascending order in that case)."""
         if self._masks is not None:
             return iter(self._masks)
         if self._table is not None:
             return iter_set_bits(self._table)
-        return self._sharded.iter_set_bits()
+        if self._sharded is not None:
+            return self._sharded.iter_set_bits()
+        return self._sparse.iter_masks()
 
     def count(self) -> int:
         """Model count — a popcount when only a table encoding exists."""
@@ -660,7 +712,9 @@ class BitModelSet:
             return len(self._masks)
         if self._table is not None:
             return self._table.bit_count()
-        return self._sharded.popcount()
+        if self._sharded is not None:
+            return self._sharded.popcount()
+        return self._sparse.count()
 
     def to_frozensets(self) -> FrozenSet[FrozenSet[str]]:
         """Unpack to the paper's frozenset-of-frozensets representation."""
@@ -677,7 +731,9 @@ class BitModelSet:
             return bool(self._masks)
         if self._table is not None:
             return bool(self._table)
-        return self._sharded.any()
+        if self._sharded is not None:
+            return self._sharded.any()
+        return self._sparse.any()
 
     def __iter__(self) -> Iterator[int]:
         return self.iter_masks()
@@ -691,7 +747,9 @@ class BitModelSet:
             return False
         if self._table is not None:
             return bool(self._table >> mask & 1)
-        return self._sharded.get_bit(mask)
+        if self._sharded is not None:
+            return self._sharded.get_bit(mask)
+        return mask in self._sparse
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, BitModelSet):
@@ -700,6 +758,10 @@ class BitModelSet:
             return False
         if self._masks is not None and other._masks is not None:
             return self._masks == other._masks
+        if self._sparse is not None or other._sparse is not None:
+            # Sparse sets live on large alphabets where a 2^n-bit table
+            # must never be materialised; masks are budget-bounded.
+            return frozenset(self.iter_masks()) == frozenset(other.iter_masks())
         return self.table() == other.table()
 
     def __hash__(self) -> int:

@@ -63,11 +63,27 @@ loop of the engine, the union of translates behind ``delta(T, P)`` and
 Satoh's reachable set.
 
 **Tier dispatch.**  :func:`tier` is the single decision point the engine
-layers share: ``"table"`` (big-int, up to ``bitmodels._TABLE_MAX_LETTERS``
-letters), ``"sharded"`` (this module, up to :data:`SHARD_MAX_LETTERS` —
-read live, so env/runtime overrides are honoured; 26 unless
-``REPRO_SHARD_MAX_LETTERS`` says otherwise), ``"masks"`` (SAT enumeration
-plus Level-1 mask lists) beyond that.
+layers share, and since the sparse tier landed it is *density-aware*:
+pass it a model-count bound alongside the alphabet size and it picks one
+of **four** tiers —
+
+* ``"table"`` — big-int truth tables, up to
+  ``bitmodels._TABLE_MAX_LETTERS`` letters;
+* ``"sharded"`` — this module, up to :data:`SHARD_MAX_LETTERS` (26 unless
+  ``REPRO_SHARD_MAX_LETTERS`` says otherwise);
+* ``"sparse"`` — the density-proportional model-mask engine of
+  :mod:`repro.logic.sparse`, for alphabets past the shard cutoff (or past
+  :data:`SPARSE_MIN_LETTERS`, when lowered) whose model-count bound fits
+  the :data:`SPARSE_MAX_MODELS` budget (env ``REPRO_SPARSE_MAX_MODELS``;
+  ``REPRO_SPARSE_TIER=0`` disables the tier);
+* ``"masks"`` — SAT enumeration plus Level-1 mask lists, beyond all of
+  the above.
+
+Every cutoff is read live, so env/runtime overrides by tests and
+benchmark harnesses are always honoured.  Without a model bound the
+dispatch degrades to the historical three tiers (sparse needs a density
+estimate — see :func:`repro.sat.interface.model_count_bound` for the
+cheap structural bound + SAT-count probe that supplies one).
 """
 
 from __future__ import annotations
@@ -101,6 +117,26 @@ SHARD_MAX_LETTERS = int(os.environ.get("REPRO_SHARD_MAX_LETTERS", "26"))
 
 #: Alphabet size at which pure-int compilation fans out over processes.
 PARALLEL_MIN_LETTERS = int(os.environ.get("REPRO_SHARD_PARALLEL_LETTERS", "22"))
+
+#: Model budget of the sparse tier (:mod:`repro.logic.sparse`): the largest
+#: model-set density the sorted-mask carrier accepts, both as the tier
+#: eligibility bound and as the spill threshold for intermediate results
+#: (a 2^20-mask carrier is 8 MiB at 64 letters — the same order as one
+#: sharded bitplane; unions beyond it spill to the SAT mask loops).
+#: Lives here — next to the other tier cutoffs — so :func:`tier` and the
+#: sparse module read one live knob and never import each other in a cycle.
+SPARSE_MAX_MODELS = int(os.environ.get("REPRO_SPARSE_MAX_MODELS", str(1 << 20)))
+
+#: Smallest alphabet the sparse tier may serve; 0 means "just past the
+#: shard cutoff" (the default: below the cutoff the bitplane tiers stay
+#: authoritative, above it sparse takes every bounded-density workload).
+#: Lower it (env ``REPRO_SPARSE_MIN_LETTERS``) to let low-density sets
+#: skip the bitplanes below the cutoff too.
+SPARSE_MIN_LETTERS = int(os.environ.get("REPRO_SPARSE_MIN_LETTERS", "0"))
+
+#: Sparse tier on/off (env ``REPRO_SPARSE_TIER=0`` disables it, restoring
+#: the pre-sparse three-tier dispatch).
+SPARSE_TIER = os.environ.get("REPRO_SPARSE_TIER", "1") != "0"
 
 #: Batched pointwise kernels on/off (env ``REPRO_POINTWISE_BATCH=0`` keeps
 #: the per-model reference path; the perf harness flips this attribute to
@@ -136,20 +172,44 @@ PAT64: Tuple[int, ...] = tuple(
 _WORD_FULL = (1 << WORD_BITS) - 1
 
 
-def tier(letter_count: int) -> str:
-    """Which engine tier handles an alphabet of ``letter_count`` letters.
+def sparse_min_letters() -> int:
+    """The live lower alphabet bound of the sparse tier (0 = cutoff + 1)."""
+    return SPARSE_MIN_LETTERS or SHARD_MAX_LETTERS + 1
 
-    Reads the cutoffs at call time — ``bitmodels._TABLE_MAX_LETTERS`` and
-    :data:`SHARD_MAX_LETTERS` as they are *now*, not as they were at
-    import — so env overrides (``REPRO_TABLE_MAX_LETTERS``,
-    ``REPRO_SHARD_MAX_LETTERS``) and runtime retargeting by tests and
-    benchmark harnesses are always reported faithfully.
+
+def tier(letter_count: int, model_bound: Optional[int] = None) -> str:
+    """Which engine tier handles ``letter_count`` letters at this density.
+
+    ``model_bound`` is an upper bound on the model counts involved (the
+    caller's sets when already compiled, or the cheap CNF bound / SAT-count
+    probe of :func:`repro.sat.interface.model_count_bound` before
+    compiling); with it the dispatch is four-tier — ``"table"`` /
+    ``"sharded"`` / ``"sparse"`` / ``"masks"`` — and bounded-density sets
+    past the shard cutoff land on the density-proportional sparse engine
+    instead of the SAT mask loops.  Without a bound the sparse tier is
+    never chosen (its carrier must fit :data:`SPARSE_MAX_MODELS` models).
+
+    Reads every cutoff at call time — ``bitmodels._TABLE_MAX_LETTERS``,
+    :data:`SHARD_MAX_LETTERS`, :data:`SPARSE_MAX_MODELS`,
+    :data:`SPARSE_MIN_LETTERS` and :data:`SPARSE_TIER` as they are *now*,
+    not as they were at import — so env overrides
+    (``REPRO_TABLE_MAX_LETTERS``, ``REPRO_SHARD_MAX_LETTERS``,
+    ``REPRO_SPARSE_MAX_MODELS``, ``REPRO_SPARSE_MIN_LETTERS``,
+    ``REPRO_SPARSE_TIER``) and runtime retargeting by tests and benchmark
+    harnesses are always reported faithfully.
     """
     if letter_count <= _bitmodels._TABLE_MAX_LETTERS:
         return "table"
+    sparse_ok = (
+        SPARSE_TIER
+        and model_bound is not None
+        and 0 <= model_bound <= SPARSE_MAX_MODELS
+    )
     if letter_count <= SHARD_MAX_LETTERS:
+        if sparse_ok and letter_count >= sparse_min_letters():
+            return "sparse"
         return "sharded"
-    return "masks"
+    return "sparse" if sparse_ok else "masks"
 
 
 def _use_numpy(backend: Optional[str]) -> bool:

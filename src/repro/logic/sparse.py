@@ -1,0 +1,806 @@
+"""Level-4 sparse model sets: density-proportional engine at any alphabet size.
+
+The three table tiers (big-int ≤ ``_TABLE_MAX_LETTERS``, sharded ≤
+``shards.SHARD_MAX_LETTERS``, SAT + per-model mask loops beyond) all pay for
+the *alphabet*: a truth table materialises all ``2^n`` positions even when a
+knowledge base has a few thousand models.  This module stores only the
+models themselves — the carrier is a **sorted, deduplicated array of model
+masks** — so every operation costs work proportional to the model count
+(*density*), never to ``2^n``.  That is what lifts the sharded tier's
+letter cutoff for bounded-density workloads: a 40-letter KB with 500
+admissible states is a 500-row array here, where the sharded tier would
+need a 2^40-bit bitplane it cannot even allocate.
+
+Two storage backends, mirroring :mod:`repro.logic.shards`:
+
+* **numpy backend** — masks live in a ``(models, words)`` ``uint64``
+  column-block array (one column per 64 letters; a single column up to 64
+  letters).  Rows are sorted ascending as integers and unique.  The hot
+  kernels — XOR pair matrices, popcount rings, antichain min⊆/max⊆
+  sweeps, Hamming-distance minima — are vectorised over the rows and
+  blocked by a pair budget, and the per-T-model fan-out of the pointwise
+  operators maps over a thread pool (the bitwise kernels release the GIL);
+* **pure-int backend** — a sorted tuple of Python ints (arbitrary
+  alphabet width), every kernel a per-model loop, with the pointwise
+  fan-out mapped over a ``multiprocessing`` pool.
+
+**Spill path.**  Selections (pointwise minimal/ring, Dalal's nearest set,
+Weber's confined set) return subsets of their inputs and can never grow,
+but *unions* can: translate-unions behind ``delta``/Satoh, Weber's
+Ω-closure, Hamming-ball growth.  Whenever an intermediate result would
+exceed the live model budget (``shards.SPARSE_MAX_MODELS``, env
+``REPRO_SPARSE_MAX_MODELS``) the operation raises :class:`SparseSpill` and
+the caller — see :meth:`repro.revision.model_based.ModelBasedOperator.
+_select_bits` — reruns the selection on the densest tier still available:
+the bitplanes when the alphabet fits their cutoffs, the SAT tier's
+mask-list loops beyond.  Either way the result is identical; only the
+cost model changes.
+
+Worker count for the pointwise fan-out comes from the same
+``REPRO_PARALLEL`` knob as the sharded tier (threads on numpy, processes
+on pure-int); results are bit-identical for any worker count because the
+only cross-model combine is a union, which commutes.
+
+Tier placement is decided by :func:`repro.logic.shards.tier` — pass it a
+model-count bound and alphabets beyond the shard cutoff dispatch here
+instead of to the SAT tier (see the four-tier table there).
+"""
+
+from __future__ import annotations
+
+import os
+from bisect import bisect_left
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from . import shards as _shards
+from .bitmodels import BitAlphabet, min_subset_masks, max_subset_masks
+
+try:  # pragma: no cover - exercised via the CI matrix leg without numpy
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+if os.environ.get("REPRO_NO_NUMPY"):  # force the pure-int fallback
+    _np = None
+
+#: Width of one column block (machine word) in the numpy carrier.
+WORD_BITS = 64
+
+#: Entry budget for one blocked pair kernel (XOR/popcount matrices): T-model
+#: chunks are sized so ``chunk * |P| * words`` stays under this.
+_PAIR_BUDGET = 1 << 22
+
+
+class SparseSpill(RuntimeError):
+    """An intermediate sparse result exceeded the live model budget.
+
+    Raised by the union-shaped operations (translate-union, Ω-closure,
+    Hamming-ball growth, :meth:`SparseModelSet.__or__`) and by carrier
+    construction when the model count crosses
+    ``shards.SPARSE_MAX_MODELS``; callers rerun the selection on the
+    densest bound-free tier still available (bitplanes within their
+    cutoffs, the SAT mask loops beyond) — the result is identical.
+    """
+
+
+def max_models() -> int:
+    """The live sparse model budget (``shards.SPARSE_MAX_MODELS``).
+
+    Read at call time, like every other tier knob, so env overrides and
+    runtime retargeting by tests and harnesses are always honoured.
+    """
+    return _shards.SPARSE_MAX_MODELS
+
+
+def _guard(count: int, context: str) -> None:
+    budget = max_models()
+    if count > budget:
+        raise SparseSpill(
+            f"{context}: {count} models exceed the sparse budget "
+            f"({budget}; env REPRO_SPARSE_MAX_MODELS)"
+        )
+
+
+def _use_numpy(backend: Optional[str]) -> bool:
+    # Deliberately local (not shards._use_numpy): each module's backend
+    # choice follows its *own* ``_np``, which tests retarget independently
+    # to force the pure-int fallback on one tier at a time.
+    if backend is None:
+        return _np is not None
+    if backend == "numpy":
+        if _np is None:
+            raise RuntimeError("numpy backend requested but numpy is unavailable")
+        return True
+    if backend == "int":
+        return False
+    raise ValueError(f"unknown sparse backend {backend!r} (use 'numpy' or 'int')")
+
+
+def _words_for(letter_count: int) -> int:
+    return max(1, (letter_count + WORD_BITS - 1) // WORD_BITS)
+
+
+#: Per-element popcount of a uint64 array — shared with the sharded tier
+#: (one SWAR fallback to maintain, not two).
+_popcounts = _shards._popcounts_array
+
+
+def _ints_to_cols(masks: Sequence[int], words: int):
+    """Pack python ints into a ``(len(masks), words)`` uint64 array."""
+    if not masks:
+        return _np.zeros((0, words), dtype=_np.uint64)
+    data = b"".join(mask.to_bytes(words * 8, "little") for mask in masks)
+    return _np.frombuffer(data, dtype="<u8").reshape(len(masks), words).astype(
+        _np.uint64, copy=True
+    )
+
+
+def _cols_to_ints(cols) -> Tuple[int, ...]:
+    """Unpack a column-block array into python ints, row order preserved."""
+    if not len(cols):
+        return ()
+    data = _np.ascontiguousarray(cols).astype("<u8", copy=False).tobytes()
+    step = cols.shape[1] * 8
+    return tuple(
+        int.from_bytes(data[i: i + step], "little")
+        for i in range(0, len(data), step)
+    )
+
+
+def _canon_cols(cols):
+    """Sort rows ascending as integers and drop duplicates."""
+    if len(cols) <= 1:
+        return _np.ascontiguousarray(cols)
+    words = cols.shape[1]
+    if words == 1:
+        return _np.unique(cols.ravel()).reshape(-1, 1)
+    # lexsort: the last key is primary, so feed columns least-significant
+    # first — the most significant word ends up deciding the order.
+    order = _np.lexsort(tuple(cols[:, j] for j in range(words)))
+    cols = cols[order]
+    keep = _np.ones(len(cols), dtype=bool)
+    keep[1:] = _np.any(cols[1:] != cols[:-1], axis=1)
+    return _np.ascontiguousarray(cols[keep])
+
+
+class SparseModelSet:
+    """An immutable sorted/deduplicated set of model masks over an alphabet.
+
+    The Level-4 carrier: rows are the models themselves, so storage and
+    work scale with the model count, not with ``2^n``.  Construction
+    enforces the live sparse budget (:class:`SparseSpill` beyond it) —
+    the tier dispatch only routes bounded-density sets here.
+    """
+
+    __slots__ = ("alphabet", "_cols", "_ints", "_pc")
+
+    def __init__(self, alphabet, cols=None, ints=None):
+        self.alphabet = BitAlphabet.coerce(alphabet)
+        self._cols = cols
+        self._ints: Optional[Tuple[int, ...]] = ints
+        self._pc = None
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_masks(
+        cls,
+        alphabet,
+        masks: Iterable[int],
+        backend: Optional[str] = None,
+    ) -> "SparseModelSet":
+        """Build from an iterable of model masks (sorted + deduplicated).
+
+        Raises :class:`SparseSpill` when the set exceeds the live budget
+        and ``ValueError`` for masks outside the alphabet.
+        """
+        alphabet = BitAlphabet.coerce(alphabet)
+        unique = sorted(set(masks))
+        _guard(len(unique), "sparse carrier construction")
+        universe = alphabet.universe
+        if unique and (unique[0] < 0 or unique[-1] > universe):
+            bad = next(m for m in unique if m < 0 or m > universe)
+            raise ValueError(
+                f"mask {bad:#x} outside the {len(alphabet)}-letter alphabet"
+            )
+        if _use_numpy(backend):
+            return cls(alphabet, cols=_ints_to_cols(unique, _words_for(len(alphabet))))
+        return cls(alphabet, ints=tuple(unique))
+
+    @classmethod
+    def empty(cls, alphabet, backend: Optional[str] = None) -> "SparseModelSet":
+        return cls.from_masks(alphabet, (), backend)
+
+    @classmethod
+    def from_table(cls, table, backend: Optional[str] = None) -> "SparseModelSet":
+        """Build from anything that streams set bits (a
+        :class:`~repro.logic.shards.ShardedTable`, a
+        :class:`~repro.logic.bitmodels.BitModelSet`, …)."""
+        return cls.from_masks(table.alphabet, table.iter_set_bits(), backend)
+
+    def _sibling(self, cols=None, ints=None) -> "SparseModelSet":
+        return SparseModelSet(self.alphabet, cols=cols, ints=ints)
+
+    # -- views --------------------------------------------------------------
+
+    @property
+    def backend(self) -> str:
+        return "numpy" if self._cols is not None else "int"
+
+    @property
+    def words(self) -> int:
+        """Column blocks per model (``ceil(n / 64)``)."""
+        return _words_for(len(self.alphabet))
+
+    def mask_list(self) -> Tuple[int, ...]:
+        """The models as a sorted tuple of python ints (cached)."""
+        if self._ints is None:
+            self._ints = _cols_to_ints(self._cols)
+        return self._ints
+
+    def iter_masks(self) -> Iterator[int]:
+        """Stream the model masks, ascending."""
+        return iter(self.mask_list())
+
+    iter_set_bits = iter_masks  # table-protocol alias (positions == masks)
+
+    def count(self) -> int:
+        if self._cols is not None:
+            return len(self._cols)
+        return len(self._ints)
+
+    def __len__(self) -> int:
+        return self.count()
+
+    def any(self) -> bool:
+        return self.count() > 0
+
+    __bool__ = any
+
+    def __iter__(self) -> Iterator[int]:
+        return self.iter_masks()
+
+    def __contains__(self, mask: object) -> bool:
+        if not isinstance(mask, int):
+            return False
+        ints = self.mask_list()
+        index = bisect_left(ints, mask)
+        return index < len(ints) and ints[index] == mask
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SparseModelSet):
+            return NotImplemented
+        return (
+            self.alphabet == other.alphabet
+            and self.mask_list() == other.mask_list()
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.alphabet, self.mask_list()))
+
+    def __repr__(self) -> str:
+        return (
+            f"SparseModelSet[{len(self.alphabet)} letters, {self.backend}]"
+            f"({self.count()} models)"
+        )
+
+    # -- internals ----------------------------------------------------------
+
+    def _require_cols(self):
+        if self._cols is None:
+            raise RuntimeError("numpy kernel invoked on a pure-int sparse set")
+        return self._cols
+
+    def _take(self, selector) -> "SparseModelSet":
+        """Row subset by boolean selector — sorted order is preserved."""
+        if self._cols is not None:
+            return self._sibling(cols=_np.ascontiguousarray(self._cols[selector]))
+        return self._sibling(
+            ints=tuple(m for m, keep in zip(self._ints, selector) if keep)
+        )
+
+    def popcounts(self):
+        """Per-model popcount (numpy: cached int64 array; int: list)."""
+        if self._pc is None:
+            if self._cols is not None:
+                self._pc = _popcounts(self._cols).sum(axis=1).astype(_np.int64)
+            else:
+                self._pc = [m.bit_count() for m in self._ints]
+        return self._pc
+
+    def _mask_words(self, mask: int):
+        """Split a mask into the per-column uint64 words."""
+        words = self.words
+        return _np.frombuffer(
+            mask.to_bytes(words * 8, "little"), dtype="<u8"
+        ).astype(_np.uint64)
+
+    # -- set algebra ---------------------------------------------------------
+
+    def _check_compatible(self, other: "SparseModelSet") -> None:
+        if self.alphabet != other.alphabet:
+            raise ValueError("sparse model sets range over different alphabets")
+
+    def __and__(self, other: "SparseModelSet") -> "SparseModelSet":
+        self._check_compatible(other)
+        if (
+            self._cols is not None
+            and other._cols is not None
+            and self.words == 1
+        ):
+            both = _np.intersect1d(
+                self._cols.ravel(), other._cols.ravel(), assume_unique=True
+            )
+            return self._sibling(cols=both.reshape(-1, 1))
+        mine = set(self.mask_list())
+        both = sorted(mine.intersection(other.mask_list()))
+        if self._cols is not None:
+            return self._sibling(cols=_ints_to_cols(both, self.words))
+        return self._sibling(ints=tuple(both))
+
+    def __or__(self, other: "SparseModelSet") -> "SparseModelSet":
+        self._check_compatible(other)
+        if (
+            self._cols is not None
+            and other._cols is not None
+            and self.words == 1
+        ):
+            union = _np.union1d(self._cols.ravel(), other._cols.ravel())
+            _guard(len(union), "sparse union")
+            return self._sibling(cols=union.reshape(-1, 1))
+        union = sorted(set(self.mask_list()).union(other.mask_list()))
+        _guard(len(union), "sparse union")
+        if self._cols is not None:
+            return self._sibling(cols=_ints_to_cols(union, self.words))
+        return self._sibling(ints=tuple(union))
+
+    def translate(self, mask: int) -> "SparseModelSet":
+        """The set ``{ m ^ mask : m in self }``.
+
+        XOR by a constant is a bijection, so the size is unchanged — only
+        a re-sort is needed, never a dedup or a budget check.
+        """
+        if not mask:
+            return self
+        if self._cols is not None:
+            moved = self._cols ^ self._mask_words(mask)[None, :]
+            return self._sibling(cols=_canon_cols(moved))
+        return self._sibling(ints=tuple(sorted(m ^ mask for m in self._ints)))
+
+    # -- popcount rings ------------------------------------------------------
+
+    def ring(self, k: int) -> "SparseModelSet":
+        """The models with popcount exactly ``k``."""
+        pc = self.popcounts()
+        if self._cols is not None:
+            return self._take(pc == k)
+        return self._take([c == k for c in pc])
+
+    def first_ring(self) -> Tuple[int, "SparseModelSet"]:
+        """``(k, ring)`` for the smallest non-empty popcount ring."""
+        if not self.count():
+            raise ValueError("first_ring of an empty model set")
+        pc = self.popcounts()
+        if self._cols is not None:
+            k = int(pc.min())
+        else:
+            k = min(pc)
+        return k, self.ring(k)
+
+    # -- antichain sweeps ----------------------------------------------------
+
+    def minimal_elements(self) -> "SparseModelSet":
+        """Inclusion-minimal masks (popcount-level antichain sweep)."""
+        if self._cols is None:
+            return self._sibling(ints=tuple(sorted(min_subset_masks(self._ints))))
+        keep = _minimal_rows(self._cols, _np.asarray(self.popcounts()))
+        return self._take(keep)
+
+    def maximal_elements(self) -> "SparseModelSet":
+        """Inclusion-maximal masks (mirror sweep, descending levels)."""
+        if self._cols is None:
+            return self._sibling(ints=tuple(sorted(max_subset_masks(self._ints))))
+        inverted = ~self._cols
+        if len(self.alphabet) % WORD_BITS or len(self.alphabet) < WORD_BITS:
+            # Mask the unused high bits so complement stays in-alphabet.
+            top = self.alphabet.universe
+            inverted = inverted & self._mask_words(top)[None, :]
+        counts = _popcounts(inverted).sum(axis=1).astype(_np.int64)
+        keep = _minimal_rows(inverted, counts)
+        return self._take(keep)
+
+    # -- Hamming geometry ----------------------------------------------------
+
+    def neighbors(self) -> "SparseModelSet":
+        """All masks at Hamming distance exactly 1 from a member."""
+        flips = [1 << i for i in range(len(self.alphabet))]
+        if self._cols is not None:
+            ints = self.mask_list()
+            grown = {m ^ f for m in ints for f in flips}
+            _guard(len(grown), "sparse neighbor growth")
+            return self._sibling(cols=_ints_to_cols(sorted(grown), self.words))
+        grown = {m ^ f for m in self._ints for f in flips}
+        _guard(len(grown), "sparse neighbor growth")
+        return self._sibling(ints=tuple(sorted(grown)))
+
+    def hamming_ball(self, radius: int) -> "SparseModelSet":
+        """All masks within Hamming distance ``radius`` of a member.
+
+        Grows one ring at a time; density-proportional only for small
+        radii — the budget guard spills before the ball gets dense.
+        """
+        ball = self
+        for _ in range(radius):
+            ball = ball | ball.neighbors()
+        return ball
+
+    def min_distance(self, other: "SparseModelSet") -> int:
+        """Minimum Hamming distance between members of the two sets.
+
+        A blocked XOR/popcount pair sweep: ``O(|self|·|other|)`` popcounts
+        and never any ball materialisation.
+        """
+        self._check_compatible(other)
+        if not self.count() or not other.count():
+            raise ValueError("min Hamming distance of an empty model set")
+        return min_distance_select(self, other)[0]
+
+
+def _minimal_rows(cols, counts):
+    """Boolean selector of the inclusion-minimal rows of ``cols``.
+
+    The level sweep of :func:`repro.logic.bitmodels.min_subset_masks`,
+    vectorised: walk popcount levels ascending; a candidate is dominated
+    iff an already-accepted row is a submask (``accepted & ~cand == 0``
+    on every word); accept the survivors into the antichain.  Candidate
+    blocks are chunked against the pair budget.
+    """
+    keep = _np.zeros(len(cols), dtype=bool)
+    accepted = None
+    words = cols.shape[1]
+    for level in _np.unique(counts):
+        idx = _np.nonzero(counts == level)[0]
+        cand = cols[idx]
+        if accepted is not None and len(idx):
+            chunk = max(1, _PAIR_BUDGET // max(1, len(accepted) * words))
+            surviving = []
+            for start in range(0, len(idx), chunk):
+                part = cand[start:start + chunk]
+                dominated = (
+                    (accepted[:, None, :] & ~part[None, :, :]) == 0
+                ).all(axis=2).any(axis=0)
+                surviving.append(~dominated)
+            alive = _np.concatenate(surviving)
+            idx, cand = idx[alive], cand[alive]
+        if len(idx):
+            keep[idx] = True
+            accepted = (
+                cand if accepted is None else _np.concatenate([accepted, cand])
+            )
+    return keep
+
+
+# ---------------------------------------------------------------------------
+# Pair kernels (the density-proportional counterparts of the bitplane sweeps)
+# ---------------------------------------------------------------------------
+
+
+def _rows_void(cols):
+    """Rows of a ``(m, w)`` uint64 array as one void element each — the
+    fixed-width byte view that lets row-wise membership (:func:`numpy.isin`)
+    and uniqueness run vectorised for any word count."""
+    arr = _np.ascontiguousarray(cols)
+    void = _np.dtype((_np.void, arr.dtype.itemsize * arr.shape[1]))
+    return arr.view(void).ravel()
+
+
+def _pair_counts(t_cols, p_cols):
+    """``(|T|, |P|)`` Hamming-distance matrix (popcount of the XOR)."""
+    counts = None
+    for j in range(t_cols.shape[1]):
+        part = _popcounts(t_cols[:, j][:, None] ^ p_cols[None, :, j])
+        counts = part.astype(_np.int32) if counts is None else counts + part
+    return counts
+
+
+def _t_chunk_rows(p_count: int, words: int) -> int:
+    return max(1, _PAIR_BUDGET // max(1, p_count * words))
+
+
+def _fanout_chunks(chunks, select, letter_count, processes):
+    """OR-combine ``select(chunk) -> bool array`` over a thread pool.
+
+    Union is the only combine, so the result is independent of worker
+    count and chunk order; threads suffice because the numpy kernels
+    release the GIL.
+    """
+    workers = (
+        max(1, processes) if processes is not None
+        else _shards.parallel_workers(letter_count)
+    )
+    if workers > 1 and len(chunks) > 1:
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            partials = list(pool.map(select, chunks))
+    else:
+        partials = [select(chunk) for chunk in chunks]
+    combined = partials[0]
+    for partial in partials[1:]:
+        combined |= partial
+    return combined
+
+
+def _pointwise_numpy(kind, p_set, t_cols, processes):
+    p_cols = p_set._require_cols()
+    words = p_cols.shape[1]
+    rows = _t_chunk_rows(len(p_cols), words)
+    chunks = [t_cols[start:start + rows] for start in range(0, len(t_cols), rows)]
+
+    if kind == "ring":
+        def select(chunk):
+            counts = _pair_counts(chunk, p_cols)
+            return (counts == counts.min(axis=1, keepdims=True)).any(axis=0)
+    else:  # minimal
+        def select(chunk):
+            picked = _np.zeros(len(p_cols), dtype=bool)
+            for row in chunk:
+                diffs = p_cols ^ row[None, :]
+                counts = _popcounts(diffs).sum(axis=1).astype(_np.int64)
+                picked |= _minimal_rows(diffs, counts)
+            return picked
+
+    selected = _fanout_chunks(
+        chunks, select, len(p_set.alphabet), processes
+    )
+    return p_set._take(selected)
+
+
+def _pointwise_int_serial(kind, p_ints, t_ints):
+    """Per-model reference loop (also the multiprocessing worker body)."""
+    selected = set()
+    for model in t_ints:
+        if kind == "ring":
+            best = min((model ^ p).bit_count() for p in p_ints)
+            selected.update(p for p in p_ints if (model ^ p).bit_count() == best)
+        else:  # minimal: XOR is a bijection, so diffs are distinct per model
+            diffs = min_subset_masks(model ^ p for p in p_ints)
+            selected.update(model ^ diff for diff in diffs)
+    return selected
+
+
+def _sparse_range_worker(args):
+    """Top-level (picklable) worker for the pure-int process fan-out."""
+    kind, p_ints, t_chunk = args
+    return _pointwise_int_serial(kind, p_ints, t_chunk)
+
+
+def _pointwise_int(kind, p_set, t_ints, processes):
+    workers = (
+        max(1, processes) if processes is not None
+        else _shards.parallel_workers(len(p_set.alphabet))
+    )
+    workers = min(workers, len(t_ints))
+    p_ints = p_set.mask_list()
+    if workers <= 1:
+        selected = _pointwise_int_serial(kind, p_ints, t_ints)
+    else:
+        from multiprocessing import Pool
+
+        chunk = (len(t_ints) + workers - 1) // workers
+        jobs = [
+            (kind, p_ints, t_ints[start:start + chunk])
+            for start in range(0, len(t_ints), chunk)
+        ]
+        with Pool(len(jobs)) as pool:
+            partials = pool.map(_sparse_range_worker, jobs)
+        selected = set().union(*partials)
+    return p_set._sibling(ints=tuple(sorted(selected)))
+
+
+def _coerce_masks(t_masks) -> List[int]:
+    if isinstance(t_masks, SparseModelSet):
+        return list(t_masks.mask_list())
+    if _np is not None and isinstance(t_masks, _np.ndarray):
+        return [int(m) for m in t_masks]
+    return list(t_masks)
+
+
+def pointwise_select(
+    kind: str,
+    p_set: SparseModelSet,
+    t_masks,
+    processes: Optional[int] = None,
+) -> SparseModelSet:
+    """Batched pointwise selection over all T-models, density-proportional.
+
+    Same contract as :func:`repro.logic.shards.pointwise_select`, on the
+    sparse carrier: for every model ``M`` in ``t_masks``, XOR-translate
+    ``p_set`` by ``M``, keep the inclusion-minimal differences
+    (``"minimal"``, Winslett), the smallest-popcount ring (``"ring"``,
+    Forbus) or everything (``"union"``), translate back, union.  For the
+    selecting kinds the result is a subset of ``p_set`` (translation is
+    self-inverse), so no bitplane and no budget risk; only ``"union"`` can
+    grow and spill.  Bit-identical for any worker count — union is the
+    only cross-model combine.
+    """
+    if kind not in ("minimal", "ring", "union"):
+        raise ValueError(f"unknown pointwise kind {kind!r}")
+    if kind == "union":
+        return translate_union(p_set, t_masks, processes)
+    if not p_set.count():
+        if kind == "ring":
+            # Match the dense tiers: first_ring of an empty table raises.
+            raise ValueError("first_ring of an empty model set")
+        return p_set
+    masks = _coerce_masks(t_masks)
+    if not masks:
+        return p_set._sibling(
+            cols=p_set._cols[:0] if p_set._cols is not None else None,
+            ints=() if p_set._cols is None else None,
+        )
+    if p_set._cols is not None:
+        t_cols = _ints_to_cols(masks, p_set.words)
+        return _pointwise_numpy(kind, p_set, t_cols, processes)
+    return _pointwise_int(kind, p_set, masks, processes)
+
+
+def translate_union(
+    table: SparseModelSet, masks, processes: Optional[int] = None
+) -> SparseModelSet:
+    """The union of ``table`` XOR-translated by every mask in ``masks``.
+
+    The sparse form of the loop behind ``delta(T, P)`` and Satoh's
+    reachable set: all ``|table| * |masks|`` pair XORs, blocked and
+    deduplicated incrementally; raises :class:`SparseSpill` as soon as the
+    running union crosses the budget (the caller then reruns the selection
+    on the SAT tier).
+    """
+    masks = _coerce_masks(masks)
+    if not masks:
+        return table._sibling(
+            cols=table._cols[:0] if table._cols is not None else None,
+            ints=() if table._cols is None else None,
+        )
+    if table._cols is not None:
+        cols = table._cols
+        words = cols.shape[1]
+        t_cols = _ints_to_cols(masks, words)
+        running = None
+        rows = _t_chunk_rows(len(cols), words)
+        for start in range(0, len(t_cols), rows):
+            chunk = t_cols[start:start + rows]
+            pairs = (chunk[:, None, :] ^ cols[None, :, :]).reshape(-1, words)
+            fresh = _canon_cols(pairs)
+            running = (
+                fresh if running is None
+                else _canon_cols(_np.concatenate([running, fresh]))
+            )
+            _guard(len(running), "sparse translate-union")
+        return table._sibling(cols=running)
+    ints = table.mask_list()
+    union = set()
+    for mask in masks:
+        union.update(mask ^ m for m in ints)
+        _guard(len(union), "sparse translate-union")
+    return table._sibling(ints=tuple(sorted(union)))
+
+
+def min_distance_select(
+    t_set: SparseModelSet, p_set: SparseModelSet
+) -> Tuple[int, SparseModelSet]:
+    """``(k, selected)``: the minimum Hamming distance between the two sets
+    and the members of ``p_set`` attaining it — Dalal's selection without
+    ever materialising a Hamming ball (blocked pair sweep)."""
+    t_set._check_compatible(p_set)
+    if not t_set.count() or not p_set.count():
+        raise ValueError("min Hamming distance of an empty model set")
+    if t_set._cols is not None and p_set._cols is not None:
+        p_cols = p_set._cols
+        words = p_cols.shape[1]
+        rows = _t_chunk_rows(len(p_cols), words)
+        best = None
+        per_p = None
+        for start in range(0, len(t_set._cols), rows):
+            counts = _pair_counts(t_set._cols[start:start + rows], p_cols)
+            chunk_min = counts.min(axis=0)
+            per_p = chunk_min if per_p is None else _np.minimum(per_p, chunk_min)
+        best = int(per_p.min())
+        return best, p_set._take(per_p == best)
+    t_ints = t_set.mask_list()
+    per_p = [
+        min((p ^ t).bit_count() for t in t_ints) for p in p_set.mask_list()
+    ]
+    best = min(per_p)
+    return best, p_set._take([d == best for d in per_p])
+
+
+def reachable_select(
+    t_set: SparseModelSet, p_set: SparseModelSet, delta_set: SparseModelSet
+) -> SparseModelSet:
+    """Members of ``p_set`` at a ``delta_set``-difference from some member
+    of ``t_set`` — Satoh's selection as a membership pair sweep.
+
+    The dense tiers materialise the reachable set (``T`` translated by
+    every delta member, ``|T| * |delta|`` masks) and intersect with ``P``;
+    at sparse densities that union is exactly the explosion the tier must
+    avoid, while ``{ (t, p) : t △ p ∈ delta }`` needs only
+    ``|T| * |P|`` membership probes into the delta antichain.
+    """
+    t_set._check_compatible(p_set)
+    t_set._check_compatible(delta_set)
+    if not t_set.count() or not p_set.count() or not delta_set.count():
+        return p_set._take(
+            _np.zeros(p_set.count(), dtype=bool)
+            if p_set._cols is not None
+            else [False] * p_set.count()
+        )
+    if (
+        t_set._cols is not None
+        and p_set._cols is not None
+        and delta_set._cols is not None
+    ):
+        p_cols = p_set._cols
+        words = p_cols.shape[1]
+        selected = _np.zeros(len(p_cols), dtype=bool)
+        rows = _t_chunk_rows(len(p_cols), words)
+        if words == 1:
+            t_arr = t_set._cols.ravel()
+            p_arr = p_cols.ravel()
+            d_arr = delta_set._cols.ravel()
+            for start in range(0, len(t_arr), rows):
+                pairs = t_arr[start:start + rows][:, None] ^ p_arr[None, :]
+                selected |= _np.isin(pairs, d_arr).any(axis=0)
+        else:
+            d_void = _rows_void(delta_set._cols)
+            for start in range(0, len(t_set._cols), rows):
+                chunk = t_set._cols[start:start + rows]
+                pairs = (chunk[:, None, :] ^ p_cols[None, :, :]).reshape(-1, words)
+                member = _np.isin(_rows_void(pairs), d_void)
+                selected |= member.reshape(len(chunk), -1).any(axis=0)
+        return p_set._take(selected)
+    delta_ints = set(delta_set.mask_list())
+    t_ints = t_set.mask_list()
+    return p_set._take(
+        [
+            any((p ^ t) in delta_ints for t in t_ints)
+            for p in p_set.mask_list()
+        ]
+    )
+
+
+def confined_select(
+    t_set: SparseModelSet, p_set: SparseModelSet, allowed: int
+) -> SparseModelSet:
+    """Members of ``p_set`` whose difference from some member of ``t_set``
+    is confined to the ``allowed`` letters — Weber's selection without the
+    ``2^|Ω|`` closure of the dense tiers (one blocked pair sweep)."""
+    t_set._check_compatible(p_set)
+    if not t_set.count() or not p_set.count():
+        return p_set._take(
+            _np.zeros(p_set.count(), dtype=bool)
+            if p_set._cols is not None
+            else [False] * p_set.count()
+        )
+    forbidden = t_set.alphabet.universe & ~allowed
+    if t_set._cols is not None and p_set._cols is not None:
+        p_cols = p_set._cols
+        words = p_cols.shape[1]
+        bad = p_set._mask_words(forbidden)
+        rows = _t_chunk_rows(len(p_cols), words)
+        selected = _np.zeros(len(p_cols), dtype=bool)
+        for start in range(0, len(t_set._cols), rows):
+            chunk = t_set._cols[start:start + rows]
+            ok = None
+            for j in range(words):
+                part = ((chunk[:, j][:, None] ^ p_cols[None, :, j]) & bad[j]) == 0
+                ok = part if ok is None else (ok & part)
+            selected |= ok.any(axis=0)
+        return p_set._take(selected)
+    t_ints = t_set.mask_list()
+    return p_set._take(
+        [
+            any((p ^ t) & forbidden == 0 for t in t_ints)
+            for p in p_set.mask_list()
+        ]
+    )

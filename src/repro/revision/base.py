@@ -51,6 +51,13 @@ class RevisionResult:
         model_set: frozenset of interpretations (each a frozenset of
             letters) — a lazily materialised view of the bitmask-backed
             model set, see :attr:`bit_model_set`.
+        engine_tier: which engine tier actually served the selection
+            (``"table"`` / ``"sharded"`` / ``"sparse"`` / ``"masks"``,
+            ``"sparse-spill"`` for a budget spill rerun on the densest
+            tier still available, ``"degenerate"`` when a trivial case
+            short-circuited) — set by the model-based operators, ``None``
+            elsewhere.  This is the observability hook the batch/serving
+            layer aggregates.
     """
 
     def __init__(
@@ -60,6 +67,7 @@ class RevisionResult:
         model_set: Union[BitModelSet, Iterable[Interpretation]],
     ) -> None:
         self.operator_name = operator_name
+        self.engine_tier: Optional[str] = None
         self.alphabet: Tuple[str, ...] = tuple(sorted(set(alphabet)))
         if isinstance(model_set, BitModelSet):
             if model_set.alphabet.letters != self.alphabet:

@@ -27,13 +27,20 @@ Guarantees:
 * formula-based (syntax-sensitive) operators are supported too — they
   bypass the model-set cache and run the plain per-pair path;
 * a batch may run *several* operators over the same pairs (pass a sequence
-  of names): all of them share one compiled sharded table of each ``T``,
-  and :meth:`BatchCache.warm` compiles a KB's table ahead of the batch —
-  the keyed warm path of the incremental revision service.
+  of names): all of them share one compiled table of each ``T``, and
+  :meth:`BatchCache.warm` compiles a KB's carrier ahead of the batch —
+  on whichever of the four engine tiers the density-aware dispatch picks,
+  including the sparse model-mask carrier past the shard cutoff — the
+  keyed warm path of the incremental revision service;
+* the cache reports which engine tier served each pair
+  (:attr:`BatchCache.tier_counts`, fed by ``RevisionResult.engine_tier``),
+  so a serving layer can observe tier choice per batch and pre-pay it
+  with :meth:`BatchCache.warm`.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..logic import shards as _shards
@@ -55,13 +62,22 @@ class BatchCache:
     a fresh one per call for strict isolation.
     """
 
-    __slots__ = ("_model_sets", "_results", "hits", "misses")
+    __slots__ = ("_model_sets", "_results", "hits", "misses", "tier_counts")
 
     def __init__(self) -> None:
         self._model_sets: Dict[Tuple[Formula, Tuple[str, ...]], BitModelSet] = {}
         self._results: Dict[Tuple[str, Formula, Formula], RevisionResult] = {}
         self.hits = 0
         self.misses = 0
+        #: Which engine tier served each pair of the batch — a Counter over
+        #: the ``RevisionResult.engine_tier`` labels (``"table"`` /
+        #: ``"sharded"`` / ``"sparse"`` / ``"masks"`` / ``"sparse-spill"``
+        #: / ``"degenerate"``), plus ``"memoised"`` for result-cache hits
+        #: and ``"formula-based"`` for syntax-sensitive operators.  The
+        #: serving layer's observability hook: it says, per batch, how
+        #: much traffic ran density-proportionally vs on bitplanes vs on
+        #: the SAT mask loops.
+        self.tier_counts: Counter = Counter()
 
     def bit_models(self, formula: Formula, alphabet: BitAlphabet) -> BitModelSet:
         """The model set of ``formula`` over ``alphabet``, compiled once."""
@@ -86,12 +102,13 @@ class BatchCache:
 
         A serving layer that knows which knowledge bases its queue will hit
         calls ``warm`` once per KB (per alphabet) before draining: the
-        theory's truth table compiles now, on whichever tier
-        :func:`repro.logic.shards.tier` picks for the alphabet, and every
-        pointwise operator in the batch then reuses the one compiled
-        sharded table instead of recompiling per pair.  Returns the cached
-        :class:`BitModelSet`; a later :func:`revise_many` over the same
-        cache scores a hit for it.
+        theory's carrier compiles now, on whichever of the four tiers
+        :func:`repro.logic.shards.tier` picks for the alphabet *and
+        density* (big-int table, sharded bitplane, or the sparse mask
+        carrier past the shard cutoff), and every operator in the batch
+        then reuses that one compiled carrier instead of recompiling per
+        pair.  Returns the cached :class:`BitModelSet`; a later
+        :func:`revise_many` over the same cache scores a hit for it.
         """
         theory = Theory.coerce(theory)
         t_formula = theory.conjunction()
@@ -101,9 +118,15 @@ class BatchCache:
             bit_alphabet = BitAlphabet.coerce(alphabet)
         bits = self.bit_models(t_formula, bit_alphabet)
         # Force the tier encoding now: the point of warming is that the
-        # table is ready before the serving loop needs it.
-        level = _shards.tier(len(bit_alphabet))
-        if level == "sharded":
+        # carrier is ready before the serving loop needs it.  The model
+        # count is exact at this point (the set just compiled), so the
+        # density-aware dispatch is too: past the shard cutoff a
+        # bounded-density KB precompiles its sparse carrier here and the
+        # batch's selections start density-proportional on request one.
+        level = _shards.tier(len(bit_alphabet), bits.count())
+        if level == "sparse":
+            bits.sparse()
+        elif level == "sharded":
             bits.sharded()
         elif level == "table":
             bits.table()
@@ -140,15 +163,18 @@ def _revise_one(
     operator without rebuilding either.
     """
     if not isinstance(op, ModelBasedOperator):
+        cache.tier_counts["formula-based"] += 1
         return op.revise(theory, formula)
     cached = cache.result(op.name, t_formula, formula)
     if cached is not None:
         cache.hits += 1
+        cache.tier_counts["memoised"] += 1
         return cached
     alphabet = BitAlphabet.coerce(t_formula.variables() | formula.variables())
     t_bits = cache.bit_models(t_formula, alphabet)
     p_bits = cache.bit_models(formula, alphabet)
     result = op.revise_sets(t_bits, p_bits)
+    cache.tier_counts[result.engine_tier or "unknown"] += 1
     cache.store_result(op.name, t_formula, formula, result)
     return result
 

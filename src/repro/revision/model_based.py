@@ -21,29 +21,46 @@ Every ``revise`` computes the ground-truth model set by enumeration on the
 bitmask engine (:mod:`repro.logic.bitmodels`).  Each selection rule is
 written *once*, against a small table-algebra protocol (:class:`_TableOps`
 for Level-2 big-int tables, :class:`_ShardOps` for the Level-3 sharded
-tables of :mod:`repro.logic.shards`): a model set is one table,
-``{M △ N : N |= P}`` is an XOR-translation of that table, ``min⊆`` is a
-subset-sum closure, and Hamming balls grow by single-bit flips.  The
+tables of :mod:`repro.logic.shards`, :class:`_SparseOps` for the Level-4
+sorted-mask carriers of :mod:`repro.logic.sparse`): a model set is one
+table, ``{M △ N : N |= P}`` is an XOR-translation of that table, ``min⊆``
+is a subset-sum closure (an antichain sweep on the sparse carrier), and
+Dalal's/Weber's global proximity go through the protocol's
+``min_distance_select`` / ``confined_select`` entries — Hamming-ball
+growth and the Ω-closure on the bitplane tiers, blocked XOR/popcount pair
+sweeps on the sparse tier, which never materialises a ball.  The
 per-T-model work of the pointwise operators (and the translate-union
-behind ``delta``/Satoh) goes through the protocol's batched entry points
-— ``pointwise_minimal`` / ``pointwise_ring`` / ``translate_union`` — which
+behind ``delta``/Satoh) goes through the batched entry points —
+``pointwise_minimal`` / ``pointwise_ring`` / ``translate_union`` — which
 the sharded tier services with the multi-model kernels and the
-``REPRO_PARALLEL`` fan-out of :func:`repro.logic.shards.pointwise_select`
-instead of one full bitplane sweep per model.  The tier is picked per
-call by :func:`repro.logic.shards.tier` — big-int tables up to
+``REPRO_PARALLEL`` fan-out of :func:`repro.logic.shards.pointwise_select`,
+and the sparse tier with the density-proportional pair kernels of
+:func:`repro.logic.sparse.pointwise_select` (same env knob, threads on
+numpy, processes on pure-int).
+
+The tier is picked per call by :func:`repro.logic.shards.tier`, fed the
+model counts of the sets at hand: big-int tables up to
 ``_TABLE_MAX_LETTERS`` letters, sharded tables up to
-``shards.SHARD_MAX_LETTERS`` (both read live), and packed-mask loops
-(XOR + popcount per pair) beyond that.  The retained frozenset semantics
-lives in :mod:`repro.revision.reference` and the hypothesis suite asserts
-all engines agree; the containment relations among the six results (paper
+``shards.SHARD_MAX_LETTERS``, sparse carriers past the shard cutoff while
+the counts fit ``shards.SPARSE_MAX_MODELS`` (all read live), and
+packed-mask loops (XOR + popcount per pair) beyond that.  When a sparse
+intermediate outgrows the budget mid-rule the engine catches
+:class:`repro.logic.sparse.SparseSpill` and reruns the selection on the
+mask loops — same result, no density bound.  Every
+:class:`RevisionResult` records the tier that actually served it in
+``engine_tier``.  The retained frozenset semantics lives in
+:mod:`repro.revision.reference` and the hypothesis suite asserts all
+engines agree; the containment relations among the six results (paper
 Fig. 2) are asserted by ``tests/test_revision_containment.py``.
 """
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, Iterator, List, Set, Tuple
+from typing import FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
 from ..logic import shards as _shards
+from ..logic import sparse as _sparse
+from ..logic.sparse import SparseModelSet, SparseSpill
 from ..logic.bitmodels import (
     BitAlphabet,
     BitModelSet,
@@ -73,7 +90,42 @@ ModelSet = FrozenSet[Interpretation]
 # ---------------------------------------------------------------------------
 
 
-class _TableOps:
+class _DenseSelectMixin:
+    """Dalal's and Weber's global selections on the bitplane tiers.
+
+    Generic over the table protocol (``min_hamming`` / ``translate`` /
+    ``& | |=``), shared by the big-int and sharded adapters; the sparse
+    adapter replaces both with pair sweeps that never materialise a
+    Hamming ball or a ``2^|Ω|`` closure.
+    """
+
+    def min_distance_select(self, t_table, p_table):
+        """``(k, selected)``: minimum Hamming distance between the tables
+        and the members of ``p_table`` attaining it (Dalal's rule)."""
+        k, ball = self.min_hamming(t_table, p_table)
+        return k, ball & p_table
+
+    def confined_select(self, t_table, p_table, allowed: int):
+        """Members of ``p_table`` within an ``allowed``-confined difference
+        of ``t_table`` (Weber's rule): close ``T`` under single-bit flips
+        of the allowed letters (flips commute, one pass per letter), then
+        intersect."""
+        reachable = t_table
+        while allowed:
+            low = allowed & -allowed
+            reachable |= self.translate(reachable, low)
+            allowed ^= low
+        return reachable & p_table
+
+    def reachable_select(self, t_table, p_table, delta_tab):
+        """Members of ``p_table`` at a ``delta``-difference from ``t_table``
+        (Satoh's rule): translate ``T`` by every delta member — an
+        antichain that is tiny on dense workloads — and intersect."""
+        reachable = self.translate_union(t_table, self.table_masks(delta_tab))
+        return reachable & p_table
+
+
+class _TableOps(_DenseSelectMixin):
     """Level-2 adapter: tables are ``2^n``-bit Python ints."""
 
     __slots__ = ("alphabet",)
@@ -144,7 +196,7 @@ class _TableOps:
         return selected
 
 
-class _ShardOps:
+class _ShardOps(_DenseSelectMixin):
     """Level-3 adapter: tables are :class:`ShardedTable` bitplanes."""
 
     __slots__ = ("alphabet",)
@@ -213,13 +265,114 @@ class _ShardOps:
         )
 
 
-def _ops_for(alphabet: BitAlphabet):
-    """The table adapter for the alphabet's tier (None for the mask tier)."""
-    level = _shards.tier(len(alphabet))
+class _SparseOps:
+    """Level-4 adapter: tables are :class:`SparseModelSet` mask carriers.
+
+    Every entry is density-proportional; the union-shaped ones
+    (``translate_union``, hence ``delta``/Satoh) raise
+    :class:`SparseSpill` past the live budget, which the operator driver
+    turns into a rerun on the mask tier.
+    """
+
+    __slots__ = ("alphabet",)
+
+    def __init__(self, alphabet: BitAlphabet) -> None:
+        self.alphabet = alphabet
+
+    def table(self, bits: BitModelSet) -> SparseModelSet:
+        return bits.sparse()
+
+    def wrap(self, table: SparseModelSet) -> BitModelSet:
+        return BitModelSet.from_sparse(self.alphabet, table)
+
+    def zero(self) -> SparseModelSet:
+        return SparseModelSet.empty(self.alphabet)
+
+    def translate(self, table: SparseModelSet, mask: int) -> SparseModelSet:
+        return table.translate(mask)
+
+    def minimal(self, table: SparseModelSet) -> SparseModelSet:
+        return table.minimal_elements()
+
+    def first_ring(self, table: SparseModelSet) -> Tuple[int, SparseModelSet]:
+        return table.first_ring()
+
+    def bits_of(self, table: SparseModelSet) -> Iterator[int]:
+        return table.iter_masks()
+
+    def model_masks(self, bits: BitModelSet):
+        """A model set's masks in bulk form — the sparse carrier itself
+        (it iterates ascending and the kernels read its columns)."""
+        return bits.sparse()
+
+    def table_masks(self, table: SparseModelSet):
+        return table
+
+    def translate_union(
+        self, table: SparseModelSet, masks
+    ) -> SparseModelSet:
+        """Budget-guarded union of translates
+        (:func:`repro.logic.sparse.translate_union`)."""
+        return _sparse.translate_union(table, masks)
+
+    def pointwise_minimal(
+        self, t_bits: BitModelSet, p_bits: BitModelSet
+    ) -> SparseModelSet:
+        """Winslett's rule via the density-proportional pair kernels."""
+        return _sparse.pointwise_select(
+            "minimal", self.table(p_bits), self.model_masks(t_bits)
+        )
+
+    def pointwise_ring(
+        self, t_bits: BitModelSet, p_bits: BitModelSet
+    ) -> SparseModelSet:
+        """Forbus' rule via the density-proportional pair kernels."""
+        return _sparse.pointwise_select(
+            "ring", self.table(p_bits), self.model_masks(t_bits)
+        )
+
+    def min_distance_select(
+        self, t_table: SparseModelSet, p_table: SparseModelSet
+    ) -> Tuple[int, SparseModelSet]:
+        """Dalal's rule as a blocked pair sweep — no Hamming ball."""
+        return _sparse.min_distance_select(t_table, p_table)
+
+    def confined_select(
+        self, t_table: SparseModelSet, p_table: SparseModelSet, allowed: int
+    ) -> SparseModelSet:
+        """Weber's rule as a blocked pair sweep — no ``2^|Ω|`` closure."""
+        return _sparse.confined_select(t_table, p_table, allowed)
+
+    def reachable_select(
+        self,
+        t_table: SparseModelSet,
+        p_table: SparseModelSet,
+        delta_tab: SparseModelSet,
+    ) -> SparseModelSet:
+        """Satoh's rule as a membership pair sweep — the reachable set
+        (``|T| * |delta|`` masks) is never materialised."""
+        return _sparse.reachable_select(t_table, p_table, delta_tab)
+
+
+#: Adapter class -> the tier label reported on results (see
+#: :meth:`ModelBasedOperator._select_bits_tiered`).
+_OPS_TIERS = {_TableOps: "table", _ShardOps: "sharded", _SparseOps: "sparse"}
+
+
+def _ops_for(alphabet: BitAlphabet, model_bound: Optional[int] = None):
+    """The table adapter for the alphabet's tier (None for the mask tier).
+
+    ``model_bound`` — an upper bound on the model counts at hand — is what
+    makes the dispatch density-aware: past the shard cutoff, bounded sets
+    land on :class:`_SparseOps` instead of the mask loops.
+    """
+    level = _shards.tier(len(alphabet), model_bound)
     if level == "table":
         return _TableOps(alphabet)
     if level == "sharded":
         return _ShardOps(alphabet)
+    if level == "sparse":
+        return _SparseOps(alphabet)
     return None
 
 
@@ -244,15 +397,25 @@ def delta_bits(t_bits: BitModelSet, p_bits: BitModelSet) -> List[int]:
 
     Public entry point for the compact constructions (formula (7) needs the
     set itself); both model sets must be non-empty and share an alphabet.
+    Density-aware: past the shard cutoff, bounded-density sets run the
+    union-of-translates on the sparse pair kernels, falling back to the
+    mask loops when the difference union outgrows the sparse budget.
     """
     if t_bits.alphabet != p_bits.alphabet:
         raise ValueError("model sets range over different alphabets")
     if not t_bits or not p_bits:
         raise ValueError("delta of an empty model set")
-    ops = _ops_for(t_bits.alphabet)
-    if ops is None:
-        return sorted(delta_masks(t_bits.masks, p_bits.masks))
-    return sorted(ops.bits_of(_delta_tab(ops, t_bits, p_bits)))
+    ops = _ops_for(t_bits.alphabet, max(t_bits.count(), p_bits.count()))
+    if ops is not None:
+        try:
+            return sorted(ops.bits_of(_delta_tab(ops, t_bits, p_bits)))
+        except SparseSpill:
+            # A sparse spill says nothing about *table* feasibility:
+            # within the bitplane cutoffs rerun there, not on the loops.
+            ops = _ops_for(t_bits.alphabet)
+            if ops is not None:
+                return sorted(ops.bits_of(_delta_tab(ops, t_bits, p_bits)))
+    return sorted(delta_masks(t_bits.masks, p_bits.masks))
 
 
 class ModelBasedOperator(RevisionOperator):
@@ -279,11 +442,10 @@ class ModelBasedOperator(RevisionOperator):
         """
         if t_bits.alphabet != p_bits.alphabet:
             raise ValueError("model sets range over different alphabets")
-        return RevisionResult(
-            self.name,
-            p_bits.alphabet.letters,
-            self._select_bits(t_bits, p_bits),
-        )
+        selected, level = self._select_bits_tiered(t_bits, p_bits)
+        result = RevisionResult(self.name, p_bits.alphabet.letters, selected)
+        result.engine_tier = level
+        return result
 
     def revise_result(
         self, previous: RevisionResult, new_formula: FormulaLike
@@ -296,14 +458,44 @@ class ModelBasedOperator(RevisionOperator):
 
     def _select_bits(self, t_bits: BitModelSet, p_bits: BitModelSet) -> BitModelSet:
         """Apply the operator's selection rule (degenerate cases shared)."""
+        return self._select_bits_tiered(t_bits, p_bits)[0]
+
+    def _select_bits_tiered(
+        self, t_bits: BitModelSet, p_bits: BitModelSet
+    ) -> Tuple[BitModelSet, str]:
+        """Selection plus the tier that actually served it.
+
+        The tier label is what :class:`RevisionResult.engine_tier` and the
+        batch layer's per-pair reporting surface; ``"sparse-spill"`` marks
+        a sparse attempt whose intermediate outgrew the budget and was
+        rerun on the densest tier still available — the bitplanes when the
+        alphabet is within their cutoffs (a spill says nothing about
+        *table* feasibility), the mask loops beyond (identical result
+        either way).
+        """
         if not p_bits:
-            return p_bits.with_masks(())
+            return p_bits.with_masks(()), "degenerate"
         if not t_bits:
-            return p_bits
-        ops = _ops_for(p_bits.alphabet)
-        if ops is None:
-            return p_bits.with_masks(self._select_masks(t_bits.masks, p_bits.masks))
-        return ops.wrap(self._rule(ops, t_bits, p_bits))
+            return p_bits, "degenerate"
+        ops = _ops_for(p_bits.alphabet, max(t_bits.count(), p_bits.count()))
+        if ops is not None:
+            level = _OPS_TIERS[type(ops)]
+            try:
+                return ops.wrap(self._rule(ops, t_bits, p_bits)), level
+            except SparseSpill:
+                level = "sparse-spill"
+                fallback = _ops_for(p_bits.alphabet)  # no bound: never sparse
+                if fallback is not None:
+                    return (
+                        fallback.wrap(self._rule(fallback, t_bits, p_bits)),
+                        level,
+                    )
+        else:
+            level = "masks"
+        selected = p_bits.with_masks(
+            self._select_masks(t_bits.masks, p_bits.masks)
+        )
+        return selected, level
 
     # -- selection rules -----------------------------------------------------
 
@@ -428,19 +620,23 @@ class SatohOperator(ModelBasedOperator):
 
     ``M(T * P) = { N |= P : ∃M |= T, N △ M ∈ delta(T, P) }``.
 
-    The reachable set is assembled by translating the whole ``T`` table by
-    each member of ``delta`` — an antichain that is tiny in practice — so
-    the loop count no longer scales with the model count of ``T``.
+    On the bitplane tiers the reachable set is assembled by translating
+    the whole ``T`` table by each member of ``delta`` — an antichain that
+    is tiny on dense workloads — so the loop count no longer scales with
+    the model count of ``T``.  On the sparse tier ``delta`` can be huge
+    (random bounded-density sets are near-antichains) and the reachable
+    union is exactly the density explosion the tier must avoid, so
+    ``reachable_select`` runs the rule as ``|T| * |P|`` membership probes
+    into the delta set instead.
     """
 
     name = "satoh"
 
     def _rule(self, ops, t_bits: BitModelSet, p_bits: BitModelSet):
         delta_tab = _delta_tab(ops, t_bits, p_bits)
-        reachable = ops.translate_union(
-            ops.table(t_bits), ops.table_masks(delta_tab)
+        return ops.reachable_select(
+            ops.table(t_bits), ops.table(p_bits), delta_tab
         )
-        return reachable & ops.table(p_bits)
 
     def _select_masks(
         self, t_masks: FrozenSet[int], p_masks: FrozenSet[int]
@@ -460,17 +656,20 @@ class DalalOperator(ModelBasedOperator):
 
     ``M(T * P) = { N |= P : ∃M |= T, |N △ M| = k_{T,P} }``.
 
-    Bit-parallel: grow the Hamming ball around the whole ``T`` table one
-    ring at a time; the first intersection with the ``P`` table is exactly
-    the selected model set.  No per-model loop on either tier.
+    On the bitplane tiers: grow the Hamming ball around the whole ``T``
+    table one ring at a time; the first intersection with the ``P`` table
+    is exactly the selected model set.  On the sparse tier the same
+    selection is a blocked XOR/popcount pair sweep that never materialises
+    a ball.  Either way ``min_distance_select`` does it — no per-model
+    Python loop on any tier.
     """
 
     name = "dalal"
 
     def _rule(self, ops, t_bits: BitModelSet, p_bits: BitModelSet):
         p_table = ops.table(p_bits)
-        _, ball = ops.min_hamming(ops.table(t_bits), p_table)
-        return ball & p_table
+        _, selected = ops.min_distance_select(ops.table(t_bits), p_table)
+        return selected
 
     def _select_masks(
         self, t_masks: FrozenSet[int], p_masks: FrozenSet[int]
@@ -491,10 +690,13 @@ class WeberOperator(ModelBasedOperator):
 
     ``M(T * P) = { N |= P : ∃M |= T, N △ M ⊆ Omega }``.
 
-    Bit-parallel: closing the ``T`` table under single-bit flips of the
-    ``Omega`` letters yields every interpretation within an ``Omega``-
-    confined difference of ``T`` (flips commute, so one pass per letter
-    suffices); intersecting with the ``P`` table finishes the selection.
+    On the bitplane tiers: closing the ``T`` table under single-bit flips
+    of the ``Omega`` letters yields every interpretation within an
+    ``Omega``-confined difference of ``T`` (flips commute, so one pass per
+    letter suffices); intersecting with the ``P`` table finishes the
+    selection.  On the sparse tier ``confined_select`` runs the same rule
+    as a pair sweep — the ``2^|Omega|`` closure would be exactly the
+    density explosion the tier exists to avoid.
     """
 
     name = "weber"
@@ -504,12 +706,9 @@ class WeberOperator(ModelBasedOperator):
         allowed = 0
         for diff in ops.bits_of(delta_tab):
             allowed |= diff
-        reachable = ops.table(t_bits)
-        while allowed:
-            low = allowed & -allowed
-            reachable |= ops.translate(reachable, low)
-            allowed ^= low
-        return reachable & ops.table(p_bits)
+        return ops.confined_select(
+            ops.table(t_bits), ops.table(p_bits), allowed
+        )
 
     def _select_masks(
         self, t_masks: FrozenSet[int], p_masks: FrozenSet[int]

@@ -10,6 +10,7 @@ from .interface import (
     equivalent,
     is_satisfiable,
     is_valid,
+    model_count_bound,
     models,
     query_equivalent,
     satisfies,
@@ -27,6 +28,7 @@ __all__ = [
     "equivalent",
     "is_satisfiable",
     "is_valid",
+    "model_count_bound",
     "models",
     "query_equivalent",
     "read_dimacs",

@@ -26,7 +26,7 @@ from ..logic.bitmodels import (
 )
 from ..logic.shards import ShardedTable
 from ..logic.cnf import tseitin
-from ..logic.formula import Formula, land, lnot
+from ..logic.formula import And, Formula, Not, Or, Var, _Constant, land, lnot
 from ..logic.interpretation import Interpretation
 from .enumerate import enumerate_models
 from .solver import CnfInstance, Solver
@@ -205,13 +205,17 @@ def bit_models(
 ) -> BitModelSet:
     """The model set of ``formula`` over ``alphabet`` in bitmask form.
 
-    This is the engine entry point used by the revision core, dispatching
-    over the three tiers: below the truth-table cutoff the whole model set
-    is one big-int expression; between the table and shard cutoffs it is a
-    sharded-table compile (numpy bitplanes, masks left unmaterialised);
-    beyond that — or when the formula mentions letters outside the
-    projection alphabet — the SAT blocking-clause enumerator fills the
-    mask set instead.
+    This is the engine entry point used by the revision core: below the
+    truth-table cutoff the whole model set is one big-int expression;
+    between the table and shard cutoffs it is a sharded-table compile
+    (numpy bitplanes, masks left unmaterialised); beyond that — or when
+    the formula mentions letters outside the projection alphabet — the
+    SAT blocking-clause enumerator fills the mask set.  The enumerated
+    set is what the fourth (sparse) tier's carrier is built from: the
+    operators feed its model count to :func:`repro.logic.shards.tier`,
+    which routes bounded-density sets to the density-proportional sparse
+    engine instead of the per-pair mask loops (see
+    :func:`model_count_bound` for the pre-compilation density estimate).
     """
     if alphabet is None:
         bit_alphabet = BitAlphabet.coerce(formula.variables())
@@ -248,6 +252,103 @@ def count_models(
     for _ in models(formula, alphabet, limit):
         total += 1
     return total
+
+
+def _literal_name(node: Formula) -> Optional[str]:
+    """The letter of a literal (``x`` / ``~x``), None for anything else."""
+    if isinstance(node, Var):
+        return node.name
+    if isinstance(node, Not) and isinstance(node.operand, Var):
+        return node.operand.name
+    return None
+
+
+def _structural_bound(
+    node: Formula, names: FrozenSet[str], cap: int
+) -> int:
+    """A cheap, sound upper bound on the *projected* model count over the
+    ``names`` alphabet (capped at ``cap``).
+
+    Recursion over the formula shape: a literal halves the space, a
+    conjunction is bounded by its tightest conjunct *and* by the distinct
+    letters its literal conjuncts fix, a disjunction by the sum of its
+    disjuncts — so a DNF of ``m`` full cubes over ``n`` letters bounds to
+    ``m`` exactly, without touching a solver.  Anything else (Xor, Iff,
+    Implies, bare Not of a compound) falls back to ``2^n``.  Only letters
+    *inside* the alphabet may tighten the bound: a literal on a projected-
+    away letter constrains nothing the projection can see.
+    """
+    letter_count = len(names)
+    full = min(cap, 1 << letter_count) if letter_count < 64 else cap
+    literal = _literal_name(node)
+    if literal is not None:
+        if literal not in names:
+            return full
+        return min(cap, 1 << (letter_count - 1)) if letter_count >= 1 else 1
+    if isinstance(node, _Constant):
+        return 0 if not node.value else full
+    if isinstance(node, And):
+        fixed = set()
+        best = full
+        for operand in node.operands:
+            name = _literal_name(operand)
+            if name is not None:
+                if name in names:
+                    fixed.add(name)
+            else:
+                best = min(best, _structural_bound(operand, names, cap))
+        free = letter_count - len(fixed)
+        if free < 64:
+            best = min(best, 1 << max(0, free))
+        return min(cap, best)
+    if isinstance(node, Or):
+        total = 0
+        for operand in node.operands:
+            total += _structural_bound(operand, names, cap)
+            if total >= cap:
+                return cap
+        return total
+    return full
+
+
+def model_count_bound(
+    formula: Formula,
+    alphabet: "Optional[BitAlphabet | Iterable[str]]" = None,
+    budget: Optional[int] = None,
+    probe: bool = True,
+) -> Optional[int]:
+    """An upper bound on ``formula``'s model count over ``alphabet``, or
+    ``None`` when no bound at or below ``budget`` could be established.
+
+    This is the density estimate the four-tier dispatch of
+    :func:`repro.logic.shards.tier` wants before anything is compiled —
+    "does this knowledge base fit the sparse carrier?" — answered in two
+    stages:
+
+    * a **cheap structural bound** from the formula shape (conjuncts fix
+      letters, disjuncts add, a cube DNF bounds to its cube count), no
+      solver involved;
+    * failing that, and only when ``probe`` is true, a **SAT-count
+      probe**: blocking-clause enumeration capped at ``budget + 1``
+      models — an exact count when it stops early, ``None`` (density too
+      high for the sparse tier) when it doesn't.
+
+    ``budget`` defaults to the live sparse budget
+    (``shards.SPARSE_MAX_MODELS``).
+    """
+    if budget is None:
+        budget = _shards.SPARSE_MAX_MODELS
+    if alphabet is None:
+        names: Sequence[str] = sorted(formula.variables())
+    else:
+        names = sorted(set(alphabet))
+    bound = _structural_bound(formula, frozenset(names), budget + 1)
+    if bound <= budget:
+        return bound
+    if not probe:
+        return None
+    counted = count_models(formula, names, limit=budget + 1)
+    return counted if counted <= budget else None
 
 
 def satisfies(model: Iterable[str], formula: Formula) -> bool:

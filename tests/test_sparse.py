@@ -1,0 +1,589 @@
+"""Sparse model-set tier: kernel equivalence, dispatch, spill, determinism.
+
+Four layers of assurance for :mod:`repro.logic.sparse` (the fourth engine
+tier — sorted model-mask carriers with density-proportional kernels):
+
+* hypothesis equivalence of the sparse kernels against brute-force mask
+  arithmetic at 6-10 letters and at a 70-letter column-block alphabet, on
+  both storage backends (numpy uint64 column blocks and the pure-int
+  fallback);
+* the operator level: all six model-based operators forced onto the
+  sparse tier return model sets bit-identical to the big-int and sharded
+  dispatches, on both backends;
+* the spill path: when an intermediate crosses the
+  ``shards.SPARSE_MAX_MODELS`` budget the engine reruns the selection on
+  the SAT tier's mask loops and the result is identical (the
+  ``sparse-spill`` tier label records that it happened);
+* determinism: worker count (``REPRO_PARALLEL`` / ``processes=``, threads
+  on numpy, processes on pure-int) never changes a selected set.
+
+Plus the surrounding wiring: four-tier ``shards.tier`` dispatch, the
+``model_count_bound`` density probe, the ``sparse_family`` workload
+generator's ground truth, and ``BatchCache`` warm/tier reporting.
+"""
+
+import contextlib
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.logic import bitmodels, shards, sparse
+from repro.logic.bitmodels import (
+    BitAlphabet,
+    BitModelSet,
+    min_subset_masks,
+)
+from repro.logic.sparse import (
+    SparseModelSet,
+    SparseSpill,
+    confined_select,
+    min_distance_select,
+    pointwise_select,
+    translate_union,
+)
+
+LETTERS = ["a", "b", "c", "d", "e", "f", "g", "h", "i", "j"]
+
+BACKENDS = ["int"] + (["numpy"] if sparse._np is not None else [])
+
+WIDE = BitAlphabet([f"w{i:03d}" for i in range(70)])
+
+
+@contextlib.contextmanager
+def forced_tiers(table_max=0, shard_max=0):
+    """Force the dispatch past the dense tiers (sparse serves when the
+    density bound fits, the mask loops otherwise)."""
+    saved = (bitmodels._TABLE_MAX_LETTERS, shards.SHARD_MAX_LETTERS)
+    bitmodels._TABLE_MAX_LETTERS = table_max
+    shards.SHARD_MAX_LETTERS = shard_max
+    try:
+        yield
+    finally:
+        bitmodels._TABLE_MAX_LETTERS, shards.SHARD_MAX_LETTERS = saved
+
+
+@contextlib.contextmanager
+def sparse_budget(budget):
+    saved = shards.SPARSE_MAX_MODELS
+    shards.SPARSE_MAX_MODELS = budget
+    try:
+        yield
+    finally:
+        shards.SPARSE_MAX_MODELS = saved
+
+
+@contextlib.contextmanager
+def int_backend(monkeypatch_like=None):
+    saved = sparse._np
+    sparse._np = None
+    try:
+        yield
+    finally:
+        sparse._np = saved
+
+
+def build_set(alphabet, masks, backend):
+    return SparseModelSet.from_masks(alphabet, masks, backend)
+
+
+@st.composite
+def mask_sets(draw, max_letters=10):
+    n = draw(st.integers(min_value=4, max_value=max_letters))
+    alphabet = BitAlphabet(LETTERS[:n])
+    universe = alphabet.universe
+    t_masks = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=universe),
+            min_size=1, max_size=10, unique=True,
+        )
+    )
+    p_masks = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=universe),
+            min_size=1, max_size=12, unique=True,
+        )
+    )
+    return alphabet, sorted(t_masks), sorted(p_masks)
+
+
+@st.composite
+def wide_mask_sets(draw):
+    """Masks over a 70-letter alphabet — the >64-letter column-block path."""
+    universe = WIDE.universe
+    t_masks = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=universe),
+            min_size=1, max_size=6, unique=True,
+        )
+    )
+    p_masks = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=universe),
+            min_size=1, max_size=8, unique=True,
+        )
+    )
+    return WIDE, sorted(t_masks), sorted(p_masks)
+
+
+# ---------------------------------------------------------------------------
+# Kernel equivalence vs brute-force mask arithmetic
+# ---------------------------------------------------------------------------
+
+
+def reference_pointwise(kind, t_masks, p_masks):
+    selected = set()
+    for model in t_masks:
+        if kind == "ring":
+            best = min((model ^ p).bit_count() for p in p_masks)
+            selected |= {p for p in p_masks if (model ^ p).bit_count() == best}
+        elif kind == "minimal":
+            diffs = min_subset_masks(model ^ p for p in p_masks)
+            selected |= {model ^ d for d in diffs}
+        else:
+            selected |= {model ^ p for p in p_masks}
+    return selected
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("kind", ["minimal", "ring", "union"])
+class TestKernelEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(case=st.one_of(mask_sets(), wide_mask_sets()))
+    def test_pointwise_matches_reference(self, backend, kind, case):
+        alphabet, t_masks, p_masks = case
+        p_set = build_set(alphabet, p_masks, backend)
+        got = pointwise_select(kind, p_set, t_masks)
+        assert set(got.iter_masks()) == reference_pointwise(kind, t_masks, p_masks)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestSetAlgebra:
+    @settings(max_examples=25, deadline=None)
+    @given(case=st.one_of(mask_sets(), wide_mask_sets()))
+    def test_algebra_and_sweeps_match_reference(self, backend, case):
+        alphabet, t_masks, p_masks = case
+        t = build_set(alphabet, t_masks, backend)
+        p = build_set(alphabet, p_masks, backend)
+        assert list(t.iter_masks()) == t_masks  # sorted + deduplicated
+        assert list((t & p).iter_masks()) == sorted(set(t_masks) & set(p_masks))
+        assert list((t | p).iter_masks()) == sorted(set(t_masks) | set(p_masks))
+        mask = t_masks[0] ^ p_masks[-1]
+        assert list(t.translate(mask).iter_masks()) == sorted(
+            m ^ mask for m in t_masks
+        )
+        assert set(t.minimal_elements().iter_masks()) == set(
+            min_subset_masks(t_masks)
+        )
+        from repro.logic.bitmodels import max_subset_masks
+
+        assert set(t.maximal_elements().iter_masks()) == set(
+            max_subset_masks(t_masks)
+        )
+        k, ring = p.first_ring()
+        best = min(m.bit_count() for m in p_masks)
+        assert k == best
+        assert set(ring.iter_masks()) == {
+            m for m in p_masks if m.bit_count() == best
+        }
+
+    @settings(max_examples=25, deadline=None)
+    @given(case=st.one_of(mask_sets(), wide_mask_sets()))
+    def test_global_selections_match_reference(self, backend, case):
+        alphabet, t_masks, p_masks = case
+        t = build_set(alphabet, t_masks, backend)
+        p = build_set(alphabet, p_masks, backend)
+        k, selected = min_distance_select(t, p)
+        per_p = {
+            pm: min((pm ^ tm).bit_count() for tm in t_masks) for pm in p_masks
+        }
+        assert k == min(per_p.values())
+        assert set(selected.iter_masks()) == {
+            pm for pm, d in per_p.items() if d == k
+        }
+        assert t.min_distance(p) == k
+        allowed = t_masks[0] | p_masks[0]
+        got = confined_select(t, p, allowed)
+        forbidden = alphabet.universe & ~allowed
+        assert set(got.iter_masks()) == {
+            pm
+            for pm in p_masks
+            if any((pm ^ tm) & forbidden == 0 for tm in t_masks)
+        }
+
+    def test_neighbors_and_hamming_ball(self, backend):
+        alphabet = BitAlphabet(LETTERS[:6])
+        t = build_set(alphabet, [0b000011, 0b110000], backend)
+        grown = t.neighbors()
+        expected = {
+            m ^ (1 << i) for m in (0b000011, 0b110000) for i in range(6)
+        }
+        assert set(grown.iter_masks()) == expected
+        ball = t.hamming_ball(1)
+        assert set(ball.iter_masks()) == expected | {0b000011, 0b110000}
+
+
+# ---------------------------------------------------------------------------
+# Determinism: worker count never changes a selected set
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("kind", ["minimal", "ring", "union"])
+class TestWorkerDeterminism:
+    def test_processes_parameter(self, kind):
+        alphabet = BitAlphabet(LETTERS[:8])
+        t_masks = list(range(0, alphabet.universe, 23))
+        p_masks = list(range(1, alphabet.universe, 17))
+        for backend in BACKENDS:
+            p_set = build_set(alphabet, p_masks, backend)
+            serial = pointwise_select(kind, p_set, t_masks, processes=1)
+            fanned = pointwise_select(kind, p_set, t_masks, processes=3)
+            assert serial == fanned
+            assert set(serial.iter_masks()) == reference_pointwise(
+                kind, t_masks, p_masks
+            )
+
+    def test_repro_parallel_env(self, kind, monkeypatch):
+        alphabet = BitAlphabet(LETTERS[:7])
+        t_masks = list(range(0, alphabet.universe, 11))
+        p_masks = list(range(2, alphabet.universe, 13))
+        for backend in BACKENDS:
+            p_set = build_set(alphabet, p_masks, backend)
+            monkeypatch.delenv("REPRO_PARALLEL", raising=False)
+            serial = pointwise_select(kind, p_set, t_masks)
+            monkeypatch.setenv("REPRO_PARALLEL", "3")
+            fanned = pointwise_select(kind, p_set, t_masks)
+            assert serial == fanned
+
+
+# ---------------------------------------------------------------------------
+# Spill path: budget overruns rerun on the SAT tier, identically
+# ---------------------------------------------------------------------------
+
+
+class TestSpill:
+    def test_translate_union_raises_past_budget(self):
+        alphabet = BitAlphabet(LETTERS[:8])
+        for backend in BACKENDS:
+            table = build_set(alphabet, list(range(0, 200, 3)), backend)
+            with sparse_budget(16):
+                with pytest.raises(SparseSpill):
+                    translate_union(table, list(range(0, 200, 7)))
+
+    def test_carrier_construction_respects_budget(self):
+        alphabet = BitAlphabet(LETTERS[:8])
+        with sparse_budget(4):
+            with pytest.raises(SparseSpill):
+                SparseModelSet.from_masks(alphabet, range(10))
+
+    def test_union_and_ball_respect_budget(self):
+        alphabet = BitAlphabet(LETTERS[:8])
+        for backend in BACKENDS:
+            left = build_set(alphabet, range(0, 40, 2), backend)
+            right = build_set(alphabet, range(1, 41, 2), backend)
+            with sparse_budget(30):
+                with pytest.raises(SparseSpill):
+                    left | right
+                with pytest.raises(SparseSpill):
+                    left.hamming_ball(2)
+
+
+# ---------------------------------------------------------------------------
+# Operator level: sparse vs sharded vs big-int, spill parity, tier labels
+# ---------------------------------------------------------------------------
+
+
+def _random_tp(draw_seed: int, letter_count: int):
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(
+        0, str(Path(__file__).resolve().parent.parent / "benchmarks")
+    )
+    from _util import random_tp_pair
+
+    return random_tp_pair(draw_seed, LETTERS[:letter_count])
+
+
+class TestOperatorEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=2, max_value=6),
+        st.data(),
+    )
+    def test_sparse_matches_big_int_and_sharded(self, seed, letter_count, data):
+        from repro.revision import MODEL_BASED_NAMES, revise
+
+        name = data.draw(st.sampled_from(sorted(MODEL_BASED_NAMES)))
+        t, p = _random_tp(seed, letter_count)
+        reference = revise(t, p, name)
+        assert reference.engine_tier in ("table", "degenerate")
+        with forced_tiers(table_max=0, shard_max=0):
+            on_sparse = revise(t, p, name)
+        with forced_tiers(table_max=0, shard_max=26):
+            on_sharded = revise(t, p, name)
+        assert on_sharded.engine_tier in ("sharded", "degenerate")
+        assert on_sparse.engine_tier in ("sparse", "sparse-spill", "degenerate")
+        assert on_sparse.alphabet == reference.alphabet
+        assert on_sparse.bit_model_set == reference.bit_model_set
+        assert on_sharded.bit_model_set == reference.bit_model_set
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=5_000),
+        st.data(),
+    )
+    def test_int_backend_matches(self, seed, data):
+        from repro.revision import MODEL_BASED_NAMES, revise
+
+        name = data.draw(st.sampled_from(sorted(MODEL_BASED_NAMES)))
+        t, p = _random_tp(seed, 4)
+        reference = revise(t, p, name)
+        with int_backend():
+            with forced_tiers():
+                on_sparse = revise(t, p, name)
+        assert on_sparse.bit_model_set == reference.bit_model_set
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.data(),
+    )
+    def test_spill_parity_with_sat_tier(self, seed, data):
+        """A budget that admits the inputs but not the intermediates must
+        still produce the SAT tier's exact result (spill parity)."""
+        from repro.revision import MODEL_BASED_NAMES, revise
+
+        name = data.draw(st.sampled_from(sorted(MODEL_BASED_NAMES)))
+        t, p = _random_tp(seed, 5)
+        reference = revise(t, p, name)
+        from repro.sat import bit_models
+
+        letters = sorted(t.variables() | p.variables())
+        counts = [
+            bit_models(t, letters).count(), bit_models(p, letters).count()
+        ]
+        budget = max(max(counts), 1)
+        with forced_tiers():
+            with sparse_budget(budget):
+                squeezed = revise(t, p, name)
+        assert squeezed.bit_model_set == reference.bit_model_set
+        assert squeezed.engine_tier in (
+            "sparse", "sparse-spill", "masks", "degenerate"
+        )
+
+    def test_spill_reruns_on_dense_tier_when_available(self):
+        """With the sparse tier lowered below the bitplane cutoffs, a
+        budget spill must re-dispatch to the table/sharded tier — not to
+        the per-pair mask loops — and still match the reference."""
+        from repro.revision import revise
+        from repro.sat import bit_models
+
+        t, p = _random_tp(0, 5)  # seed 0: delta's union outgrows the inputs
+        reference = revise(t, p, "satoh")
+        letters = sorted(t.variables() | p.variables())
+        budget = max(
+            bit_models(t, letters).count(), bit_models(p, letters).count()
+        )
+        saved_min = shards.SPARSE_MIN_LETTERS
+        shards.SPARSE_MIN_LETTERS = 1
+        try:
+            with forced_tiers(table_max=0, shard_max=26):
+                with sparse_budget(budget):
+                    spilled = revise(t, p, "satoh")
+        finally:
+            shards.SPARSE_MIN_LETTERS = saved_min
+        assert spilled.bit_model_set == reference.bit_model_set
+        assert spilled.engine_tier == "sparse-spill"
+        # The rerun really came off a bitplane, not the mask loops.
+        assert spilled.bit_model_set._sharded is not None
+
+    def test_delta_bits_sparse_matches_table(self):
+        from repro.revision import delta_bits
+        from repro.sat import bit_models
+
+        t, p = _random_tp(23, 6)
+        alphabet = BitAlphabet(LETTERS[:6])
+        reference = delta_bits(bit_models(t, alphabet), bit_models(p, alphabet))
+        with forced_tiers():
+            t_bits = bit_models(t, alphabet)
+            p_bits = bit_models(p, alphabet)
+            assert delta_bits(t_bits, p_bits) == reference
+
+    def test_minimum_distance_sparse_route(self):
+        from repro.compact.dalal import minimum_distance
+        from repro.logic import Theory
+
+        t, p = _random_tp(11, 6)
+        reference = minimum_distance(Theory([t]), p)
+        with forced_tiers():
+            assert minimum_distance(Theory([t]), p) == reference
+
+
+# ---------------------------------------------------------------------------
+# Dispatch: four tiers, live knobs
+# ---------------------------------------------------------------------------
+
+
+class TestTierDispatch:
+    def test_four_tier_decisions(self):
+        table_max = bitmodels._TABLE_MAX_LETTERS
+        shard_max = shards.SHARD_MAX_LETTERS
+        assert shards.tier(table_max) == "table"
+        assert shards.tier(shard_max) == "sharded"
+        assert shards.tier(shard_max + 10) == "masks"
+        assert shards.tier(shard_max + 10, model_bound=100) == "sparse"
+        assert shards.tier(
+            shard_max + 10, model_bound=shards.SPARSE_MAX_MODELS + 1
+        ) == "masks"
+        # Below the shard cutoff the bitplanes stay authoritative...
+        assert shards.tier(shard_max, model_bound=100) == "sharded"
+        # ...unless SPARSE_MIN_LETTERS is lowered.
+        saved = shards.SPARSE_MIN_LETTERS
+        shards.SPARSE_MIN_LETTERS = shard_max
+        try:
+            assert shards.tier(shard_max, model_bound=100) == "sparse"
+        finally:
+            shards.SPARSE_MIN_LETTERS = saved
+
+    def test_sparse_tier_can_be_disabled(self):
+        saved = shards.SPARSE_TIER
+        shards.SPARSE_TIER = False
+        try:
+            assert shards.tier(
+                shards.SHARD_MAX_LETTERS + 10, model_bound=10
+            ) == "masks"
+        finally:
+            shards.SPARSE_TIER = saved
+
+    def test_model_count_bound_structural_and_probe(self):
+        from repro.hardness import sparse_family
+        from repro.logic import parse
+        from repro.sat import model_count_bound
+
+        w = sparse_family.build(30, t_cubes=12, p_cubes=5, seed=1)
+        # Cube DNFs bound structurally — no solver call needed.
+        assert model_count_bound(w.t_formula, w.letters, probe=False) == 12
+        # Xor only bounds structurally to 2^n; with a budget below that
+        # the SAT-count probe must answer exactly (4 = 2 xor models x 2
+        # completions of the free letter).
+        formula = parse("a ^ b")
+        assert model_count_bound(formula, ["a", "b", "c"], budget=50) == 8
+        assert model_count_bound(formula, ["a", "b", "c"], budget=5) == 4
+        assert model_count_bound(formula, ["a", "b"], budget=1, probe=False) is None
+        assert model_count_bound(formula, ["a", "b"], budget=1) is None
+
+    def test_model_count_bound_sound_under_projection(self):
+        """Literals on projected-away letters must not tighten the bound:
+        c & d over {a, b} has 4 projected models, not 1."""
+        from repro.logic import parse
+        from repro.sat import count_models, model_count_bound
+
+        formula = parse("c & d")
+        bound = model_count_bound(formula, ["a", "b"], budget=50, probe=False)
+        actual = count_models(formula, ["a", "b"])
+        assert actual == 4
+        assert bound is not None and bound >= actual
+        mixed = parse("a & c & (b | d)")
+        bound = model_count_bound(mixed, ["a", "b"], budget=50, probe=False)
+        assert bound is not None and bound >= count_models(mixed, ["a", "b"])
+
+
+# ---------------------------------------------------------------------------
+# Workload family: ground truth and determinism
+# ---------------------------------------------------------------------------
+
+
+class TestSparseFamily:
+    def test_ground_truth_matches_enumeration(self):
+        from repro.hardness import sparse_family
+        from repro.sat import bit_models
+
+        w = sparse_family.build(12, t_cubes=9, p_cubes=4, seed=7, free_letters=2)
+        assert w.t_model_count == 9 * 4 and w.p_model_count == 4 * 4
+        assert sorted(bit_models(w.t_formula, w.letters).iter_masks()) == list(
+            w.t_masks
+        )
+        assert sorted(bit_models(w.p_formula, w.letters).iter_masks()) == list(
+            w.p_masks
+        )
+
+    def test_deterministic_and_density_exact(self):
+        from repro.hardness import sparse_family
+
+        first = sparse_family.build(40, t_cubes=50, p_cubes=30, seed=3)
+        again = sparse_family.build(40, t_cubes=50, p_cubes=30, seed=3)
+        assert first.t_masks == again.t_masks
+        assert first.p_masks == again.p_masks
+        assert first.t_model_count == 50 and first.p_model_count == 30
+        with pytest.raises(ValueError):
+            sparse_family.build(4, t_cubes=100, p_cubes=1, seed=0)
+
+
+# ---------------------------------------------------------------------------
+# Batch layer: warm precompiles the sparse carrier, tiers are reported
+# ---------------------------------------------------------------------------
+
+
+class TestBatchObservability:
+    def test_warm_precompiles_sparse_carrier(self):
+        from repro.hardness import sparse_family
+        from repro.revision import BatchCache
+
+        w = sparse_family.build(30, t_cubes=10, p_cubes=5, seed=2)
+        cache = BatchCache()
+        bits = cache.warm(w.t_formula, w.letters)
+        assert bits._sparse is not None  # carrier ready before the batch
+        assert sorted(bits.iter_masks()) == list(w.t_masks)
+
+    def test_tier_counts_report_serving_tier(self):
+        from repro.hardness import sparse_family
+        from repro.revision import BatchCache, revise_many
+
+        w = sparse_family.build(30, t_cubes=10, p_cubes=5, seed=2)
+        cache = BatchCache()
+        pairs = [(w.t_formula, w.p_formula)] * 2
+        results = revise_many(pairs, operator="dalal", cache=cache)
+        assert results[0].engine_tier == "sparse"
+        assert results[0].bit_model_set == results[1].bit_model_set
+        assert cache.tier_counts["sparse"] == 1
+        assert cache.tier_counts["memoised"] == 1
+
+    def test_small_alphabets_report_table_tier(self):
+        from repro.revision import BatchCache, revise_many
+
+        cache = BatchCache()
+        revise_many([("a & b", "~a")], operator="dalal", cache=cache)
+        assert cache.tier_counts["table"] == 1
+
+
+# ---------------------------------------------------------------------------
+# BitModelSet sparse encoding
+# ---------------------------------------------------------------------------
+
+
+class TestBitModelSetSparse:
+    def test_sparse_backed_set_defers_mask_materialisation(self):
+        alphabet = BitAlphabet(LETTERS[:8])
+        carrier = SparseModelSet.from_masks(alphabet, [3, 77, 200])
+        bits = BitModelSet.from_sparse(alphabet, carrier)
+        assert bits._masks is None
+        assert bits.count() == 3 and len(bits) == 3 and bool(bits)
+        assert 77 in bits and 78 not in bits
+        assert bits._masks is None  # still no frozenset
+        assert bits.masks == frozenset({3, 77, 200})
+
+    def test_cross_encoding_equality(self):
+        alphabet = BitAlphabet(LETTERS[:6])
+        carrier = SparseModelSet.from_masks(alphabet, [1, 2, 5])
+        from_sparse = BitModelSet.from_sparse(alphabet, carrier)
+        from_table = BitModelSet.from_table(alphabet, 0b100110)
+        from_masks = BitModelSet(alphabet, [1, 2, 5])
+        assert from_sparse == from_table == from_masks
+        assert hash(from_sparse) == hash(from_masks)
+
+    def test_wide_alphabet_equality_never_builds_tables(self):
+        carrier = SparseModelSet.from_masks(WIDE, [1 << 69, 5])
+        left = BitModelSet.from_sparse(WIDE, carrier)
+        right = BitModelSet(WIDE, [5, 1 << 69])
+        assert left == right  # would be a 2^70-bit table otherwise
