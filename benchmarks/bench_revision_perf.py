@@ -35,7 +35,11 @@ the sharded tier cannot even compile a table past its letter cutoff.  Per
 operator it times the end-to-end pipeline and the selection alone on the
 sparse tier, verifies the model set bit-for-bit against the SAT mask
 loops (and, at sizes the sharded tier still serves, against the sharded
-engine head-to-head), and records which tier answered.
+engine head-to-head), and records which tier answered.  Past the shard
+cutoff it also A/Bs the **enumeration phase**: the incremental AllSAT
+enumerator of :mod:`repro.sat.allsat` against the PR 4 blocking-clause
+loop (``REPRO_ALLSAT=0``) on the same formulas, plus a per-operator
+end-to-end cross-check — masks must be bit-identical on every path.
 
 Run ``python benchmarks/bench_revision_perf.py`` from the repo root
 (``--quick`` for the CI smoke cap).
@@ -47,6 +51,7 @@ import argparse
 import hashlib
 import json
 import multiprocessing
+import os
 import statistics
 import sys
 import time
@@ -386,15 +391,17 @@ def run_sparse_benchmark(sizes, t_cubes, p_cubes, operators):
     from repro.logic import bitmodels, shards
     from repro.revision import revise
     from repro.revision.registry import get_operator
-    from repro.sat import bit_models
+    from repro.sat import allsat, bit_models
 
     print(
         f"\nsparse tier: fixed density {t_cubes}x{p_cubes} models, "
         f"sizes {list(sizes)}"
     )
     records = []
+    enumeration_records = []
     for size in sizes:
         workload = sparse_family.build(size, t_cubes, p_cubes, seed=0)
+        stats_before = dict(allsat.STATS)
         start = time.perf_counter()
         t_bits = bit_models(workload.t_formula, workload.letters)
         p_bits = bit_models(workload.p_formula, workload.letters)
@@ -404,6 +411,56 @@ def run_sparse_benchmark(sizes, t_cubes, p_cubes, operators):
         if sorted(p_bits.iter_masks()) != list(workload.p_masks):
             raise AssertionError(f"P enumeration mismatch at {size} letters")
         within_shard = size <= shards.SHARD_MAX_LETTERS
+        # Enumeration A/B: past the shard cutoff the compile above IS the
+        # incremental AllSAT enumerator — time the PR 4 blocking-clause
+        # loop on the same formulas (REPRO_ALLSAT=0, read live) and verify
+        # it reproduces the same masks bit for bit.
+        if not within_shard:
+            if allsat.STATS["enumerations"] <= stats_before["enumerations"]:
+                raise AssertionError(
+                    f"allsat enumerator not exercised at {size} letters"
+                )
+            os.environ["REPRO_ALLSAT"] = "0"
+            try:
+                start = time.perf_counter()
+                t_blocking = bit_models(workload.t_formula, workload.letters)
+                p_blocking = bit_models(workload.p_formula, workload.letters)
+                blocking_seconds = time.perf_counter() - start
+            finally:
+                del os.environ["REPRO_ALLSAT"]
+            if sorted(t_blocking.iter_masks()) != list(workload.t_masks):
+                raise AssertionError(
+                    f"blocking-loop T mismatch at {size} letters"
+                )
+            if sorted(p_blocking.iter_masks()) != list(workload.p_masks):
+                raise AssertionError(
+                    f"blocking-loop P mismatch at {size} letters"
+                )
+            enumeration_records.append(
+                {
+                    "size": size,
+                    "models": t_bits.count() + p_bits.count(),
+                    "allsat_compile_s": compile_seconds,
+                    "blocking_compile_s": blocking_seconds,
+                    "enum_speedup": (
+                        blocking_seconds / compile_seconds
+                        if compile_seconds > 0 else None
+                    ),
+                    "cubes": allsat.STATS["cubes"] - stats_before["cubes"],
+                    "resumes": (
+                        allsat.STATS["resumes"] - stats_before["resumes"]
+                    ),
+                }
+            )
+            shown_speedup = (
+                f"{blocking_seconds / compile_seconds:.1f}x"
+                if compile_seconds > 0 else "n/a"
+            )
+            print(
+                f"  n={size}: enumeration allsat={compile_seconds:.2f}s "
+                f"blocking={blocking_seconds:.2f}s "
+                f"({shown_speedup}, identical masks)", flush=True,
+            )
         print(
             f"  n={size}: compile {compile_seconds:.2f}s "
             f"({t_bits.count()}x{p_bits.count()} models)", flush=True,
@@ -486,6 +543,27 @@ def run_sparse_benchmark(sizes, t_cubes, p_cubes, operators):
                     f"pipeline mismatch: size={size} op={name}"
                 )
 
+            # PR 4 cross-check: the same end-to-end pipeline with the
+            # incremental enumerator disabled (blocking-clause loop) must
+            # produce bit-identical result masks for every operator.
+            if not within_shard:
+                os.environ["REPRO_ALLSAT"] = "0"
+                try:
+                    start = time.perf_counter()
+                    pr4_result = revise(
+                        workload.t_formula, workload.p_formula, name
+                    )
+                    pr4_end_seconds = time.perf_counter() - start
+                finally:
+                    del os.environ["REPRO_ALLSAT"]
+                if _masks_digest(pr4_result) != digest:
+                    raise AssertionError(
+                        f"allsat/blocking pipeline mismatch: size={size} "
+                        f"op={name}"
+                    )
+            else:
+                pr4_end_seconds = None
+
             records.append(
                 {
                     "size": size,
@@ -496,6 +574,7 @@ def run_sparse_benchmark(sizes, t_cubes, p_cubes, operators):
                     "tier": sparse_result.engine_tier,
                     "compile_s": compile_seconds,
                     "new_s": end_seconds,
+                    "pr4_end_s": pr4_end_seconds,
                     "select_s": sparse_seconds,
                     "sharded_select_s": sharded_seconds,
                     "masks_select_s": masks_seconds,
@@ -510,10 +589,14 @@ def run_sparse_benchmark(sizes, t_cubes, p_cubes, operators):
                 if isinstance(sharded_seconds, float)
                 else "sharded=n/a"
             )
+            pr4_shown = (
+                f" pr4-end={pr4_end_seconds:.2f}s"
+                if pr4_end_seconds is not None else ""
+            )
             print(
                 f"  n={size:2d} {name:<9} select={sparse_seconds:.3f}s "
                 f"({shown}, masks={masks_seconds:.3f}s) "
-                f"end-to-end={end_seconds:.2f}s "
+                f"end-to-end={end_seconds:.2f}s{pr4_shown} "
                 f"[{sparse_result.engine_tier}]",
                 flush=True,
             )
@@ -533,6 +616,11 @@ def run_sparse_benchmark(sizes, t_cubes, p_cubes, operators):
         # Reaching this line means every parity assertion above passed —
         # any mismatch raises and aborts the run instead of recording False.
         "verified_identical": True,
+        #: Enumeration A/B past the shard cutoff: the incremental AllSAT
+        #: enumerator vs the PR 4 blocking-clause loop on the same
+        #: formulas, masks verified identical (plus per-operator
+        #: ``pr4_end_s`` end-to-end cross-checks in ``results``).
+        "enumeration": enumeration_records,
         "results": records,
     }
 
@@ -785,7 +873,7 @@ def main(argv=None):
         help="also run the batched workload (optionally at these sizes)",
     )
     parser.add_argument(
-        "--label", default="pr4-sparse-tier",
+        "--label", default="pr5-allsat-enumerator",
         help="trajectory label for this run",
     )
     parser.add_argument(
@@ -842,6 +930,13 @@ def main(argv=None):
                 "sorted model-mask carriers (repro.logic.sparse): "
                 "density-proportional pair kernels, any alphabet size, "
                 "model counts bounded by REPRO_SPARSE_MAX_MODELS"
+            ),
+            "allsat": (
+                "incremental AllSAT enumeration (repro.sat.allsat): "
+                "resume-don't-restart chronological search with cube "
+                "generalization and component splitting feeds the SAT "
+                "tier; REPRO_ALLSAT=0 restores the blocking-clause loop "
+                "(the A/B in sparse_tier.enumeration)"
             ),
         },
         "models_verified_identical": all(
@@ -923,7 +1018,7 @@ def main(argv=None):
         ]
         lines += format_table(
             ["operator", "letters", "select s", "sharded s", "masks s",
-             "end-to-end s", "tier"],
+             "end-to-end s", "pr4 end s", "tier"],
             [
                 [
                     r["operator"],
@@ -936,11 +1031,41 @@ def main(argv=None):
                     ),
                     f"{r['masks_select_s']:.4f}",
                     f"{r['new_s']:.2f}",
+                    (
+                        f"{r['pr4_end_s']:.2f}"
+                        if r.get("pr4_end_s") is not None else "-"
+                    ),
                     r["tier"],
                 ]
                 for r in sparse_payload["results"]
             ],
         )
+        if sparse_payload["enumeration"]:
+            lines += [
+                "",
+                "Enumeration A/B (incremental AllSAT vs blocking-clause "
+                "loop, identical masks):",
+                "",
+            ]
+            lines += format_table(
+                ["letters", "models", "allsat s", "blocking s", "speedup",
+                 "cubes", "resumes"],
+                [
+                    [
+                        r["size"],
+                        r["models"],
+                        f"{r['allsat_compile_s']:.3f}",
+                        f"{r['blocking_compile_s']:.3f}",
+                        (
+                            f"{r['enum_speedup']:.1f}x"
+                            if r["enum_speedup"] is not None else "n/a"
+                        ),
+                        r["cubes"],
+                        r["resumes"],
+                    ]
+                    for r in sparse_payload["enumeration"]
+                ],
+            )
     if args.json_path == JSON_PATH:
         # Only official trajectory runs refresh the checked-in table;
         # smoke runs pointed at a scratch JSON would otherwise clobber it

@@ -138,6 +138,37 @@ def main() -> None:
     print(f"  tier at 40 letters, 1000 models: {shards.tier(40, 1000)!r}")
     print(f"  tier at 40 letters, no bound   : {shards.tier(40)!r}")
 
+    # --- the enumeration path: incremental AllSAT ---------------------------
+    # Past the bitplane cutoffs the model sets themselves come out of a
+    # SAT solver.  Since PR 5 that is the *incremental* enumerator of
+    # repro.sat.allsat: one solver per enumeration, resumed
+    # chronologically after each model (no blocking clauses, no
+    # quadratic restart cost), emitting *cubes* — partial models whose
+    # don't-care letters cover 2^k total models — straight into the
+    # sparse tier's mask carrier.  Knobs:
+    #
+    #   REPRO_ALLSAT=0             # back to the blocking-clause loop
+    #                              # (A/B timing, parity checking)
+    #   REPRO_ALLSAT_CUBES=0       # disable cube generalization
+    #   REPRO_ALLSAT_COMPONENTS=0  # disable component splitting
+    #
+    # The same machinery answers model counting on the cubes (sum of
+    # 2^k, nothing materialised) and, in BatchCache, compiles a drifting
+    # update stream incrementally: the previous P's carrier is
+    # re-checked against the new P and only the delta (new & ~old) is
+    # enumerated, under assumptions (REPRO_INCREMENTAL_CARRIER=0
+    # disables).  Queries against mask-tier results run on the carrier
+    # too: RevisionResult.entails evaluates the query formula once per
+    # node, vectorised over the model rows.
+    from repro.sat import allsat
+
+    print("\nIncremental AllSAT enumeration:")
+    print(f"  enumerations : {allsat.STATS['enumerations']}")
+    print(f"  solver resumes per model set: see allsat.STATS "
+          f"(cubes {allsat.STATS['cubes']}, models {allsat.STATS['models']})")
+    print(f"  result entails its own first letter? "
+          f"{result.entails(sorted(workload.letters)[0])}")
+
 
 if __name__ == "__main__":
     main()

@@ -67,11 +67,15 @@ big-int tables up to ``_TABLE_MAX_LETTERS`` (default 20, env
 ``REPRO_TABLE_MAX_LETTERS``), sharded tables up to
 ``shards.SHARD_MAX_LETTERS`` (default 26, env ``REPRO_SHARD_MAX_LETTERS``),
 the sparse tier beyond that whenever a model-count bound fits the live
-``shards.SPARSE_MAX_MODELS`` budget, and the SAT blocking-clause
-enumerator plus the Level-1 mask operations otherwise.  All callers in
-:mod:`repro.sat.interface` and :mod:`repro.revision` apply the dispatch
-automatically; :class:`BitModelSet` materialises its mask set lazily so
-sharded- and sparse-tier results can stay in carrier form end to end.
+``shards.SPARSE_MAX_MODELS`` budget, and the SAT tier plus the Level-1
+mask operations otherwise.  The SAT tier's model sets come from the
+incremental AllSAT enumerator of :mod:`repro.sat.allsat` (resumable
+chronological search emitting don't-care *cubes* straight into masks or
+sparse column blocks; ``REPRO_ALLSAT=0`` keeps the old blocking-clause
+loop).  All callers in :mod:`repro.sat.interface` and
+:mod:`repro.revision` apply the dispatch automatically;
+:class:`BitModelSet` materialises its mask set lazily so sharded- and
+sparse-tier results can stay in carrier form end to end.
 """
 
 from __future__ import annotations
@@ -346,6 +350,42 @@ def truth_table(formula: Formula, alphabet: "BitAlphabet | Iterable[str]") -> in
             raise TypeError(f"cannot compile {type(node).__name__} to a truth table")
         memo[id(node)] = result
         return result
+
+    return walk(formula)
+
+
+def evaluate_mask(
+    formula: Formula, mask: int, alphabet: "BitAlphabet | Iterable[str]"
+) -> bool:
+    """Evaluate ``formula`` on a packed interpretation mask.
+
+    The mask-level counterpart of :meth:`Formula.evaluate`: letter lookups
+    are bit tests instead of frozenset probes, so callers holding mask
+    carriers (the sparse tier, the incremental-carrier re-check) never
+    unpack an Interpretation just to ask a truth value.  For whole
+    carriers at once use :func:`repro.logic.sparse.evaluate_formula`,
+    which vectorises the same recursion over the column blocks.
+    """
+    alphabet = BitAlphabet.coerce(alphabet)
+
+    def walk(node: Formula) -> bool:
+        if isinstance(node, Var):
+            return bool(mask >> alphabet.bit(node.name) & 1)
+        if isinstance(node, Not):
+            return not walk(node.operand)
+        if isinstance(node, And):
+            return all(walk(operand) for operand in node.operands)
+        if isinstance(node, Or):
+            return any(walk(operand) for operand in node.operands)
+        if isinstance(node, Implies):
+            return not walk(node.antecedent) or walk(node.consequent)
+        if isinstance(node, Iff):
+            return walk(node.left) == walk(node.right)
+        if isinstance(node, Xor):
+            return walk(node.left) != walk(node.right)
+        if isinstance(node, _Constant):
+            return node.value
+        raise TypeError(f"cannot evaluate {type(node).__name__} on a mask")
 
     return walk(formula)
 

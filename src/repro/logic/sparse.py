@@ -218,6 +218,31 @@ class SparseModelSet:
         :class:`~repro.logic.bitmodels.BitModelSet`, …)."""
         return cls.from_masks(table.alphabet, table.iter_set_bits(), backend)
 
+    @classmethod
+    def from_cubes(
+        cls,
+        alphabet,
+        cubes: "Iterable[Tuple[int, Sequence[int]]]",
+        backend: Optional[str] = None,
+    ) -> "SparseModelSet":
+        """Build the carrier straight from partial-model cubes.
+
+        Each cube is ``(base_mask, free_bit_masks)`` — a fixed mask plus
+        the single-bit masks of its don't-care letters — and expands to
+        ``2^len(free)`` model rows by doubling (:func:`expand_cubes`),
+        going directly into the carrier (uint64 column blocks on the
+        numpy backend) with no per-model frozenset/Interpretation
+        intermediates.  This is the emission path of the incremental
+        AllSAT enumerator (:mod:`repro.sat.allsat`): a DNF-shaped KB
+        lands here as one row block per cube.  Raises
+        :class:`SparseSpill` as soon as the running expansion would cross
+        the live budget — *before* a wide cube materialises (a 40-free-
+        bit cube must spill, not fill memory).
+        """
+        return cls.from_masks(
+            alphabet, expand_cubes(cubes, budget=max_models()), backend
+        )
+
     def _sibling(self, cols=None, ints=None) -> "SparseModelSet":
         return SparseModelSet(self.alphabet, cols=cols, ints=ints)
 
@@ -478,6 +503,118 @@ def _minimal_rows(cols, counts):
                 cand if accepted is None else _np.concatenate([accepted, cand])
             )
     return keep
+
+
+def expand_cubes(
+    cubes: "Iterable[Tuple[int, Sequence[int]]]",
+    budget: Optional[int] = None,
+):
+    """Stream packed model masks out of ``(base_mask, free_bit_masks)`` cubes.
+
+    The one canonical cube expansion (every other emission path delegates
+    here): per cube, double the running block once per free bit, so the
+    completions come out in ascending free-completion order.  With a
+    ``budget``, :class:`SparseSpill` is raised as soon as the running
+    total *would* cross it — checked before each doubling, so a cube with
+    dozens of free bits spills immediately instead of materialising
+    ``2^k`` masks first.
+    """
+
+    def overflow(count: int) -> SparseSpill:
+        return SparseSpill(
+            f"sparse cube expansion: {count} models exceed the sparse "
+            f"budget ({budget}; env REPRO_SPARSE_MAX_MODELS)"
+        )
+
+    total = 0
+    for base, free_bits in cubes:
+        expansions = [base]
+        for bit in free_bits:
+            if budget is not None and total + 2 * len(expansions) > budget:
+                raise overflow(total + 2 * len(expansions))
+            expansions += [mask | bit for mask in expansions]
+        total += len(expansions)
+        if budget is not None and total > budget:
+            raise overflow(total)
+        yield from expansions
+
+
+# ---------------------------------------------------------------------------
+# Formula evaluation over the carrier rows
+# ---------------------------------------------------------------------------
+
+
+def evaluate_formula(formula, model_set: "SparseModelSet"):
+    """Truth value of ``formula`` on every model of the carrier at once.
+
+    Returns a boolean vector aligned with :meth:`SparseModelSet.iter_masks`
+    order (a numpy bool array on the numpy backend, a list of bools on
+    pure-int).  One pass per formula node, vectorised over the rows: a
+    variable is a bit test on its column word, connectives are elementwise
+    boolean ops.  This is what lets ``RevisionResult.entails`` answer on
+    the sparse carrier at mask-tier alphabets — ``O(nodes)`` vector ops
+    instead of a per-model ``Formula.evaluate`` walk over frozensets —
+    and what the incremental-carrier path uses to re-check the previous
+    model set against a new constraint.
+    """
+    from .formula import And, Iff, Implies, Not, Or, Var, Xor, _Constant
+
+    alphabet = model_set.alphabet
+    cols = model_set._cols
+    if cols is not None:
+        count = len(cols)
+        memo = {}
+
+        def walk(node):
+            cached = memo.get(id(node))
+            if cached is not None:
+                return cached
+            if isinstance(node, Var):
+                bit = alphabet.bit(node.name)
+                word, offset = divmod(bit, WORD_BITS)
+                result = (
+                    cols[:, word] >> _np.uint64(offset) & _np.uint64(1)
+                ).astype(bool)
+            elif isinstance(node, Not):
+                result = ~walk(node.operand)
+            elif isinstance(node, And):
+                result = _np.ones(count, dtype=bool)
+                for operand in node.operands:
+                    result = result & walk(operand)
+            elif isinstance(node, Or):
+                result = _np.zeros(count, dtype=bool)
+                for operand in node.operands:
+                    result = result | walk(operand)
+            elif isinstance(node, Implies):
+                result = ~walk(node.antecedent) | walk(node.consequent)
+            elif isinstance(node, Iff):
+                result = walk(node.left) == walk(node.right)
+            elif isinstance(node, Xor):
+                result = walk(node.left) != walk(node.right)
+            elif isinstance(node, _Constant):
+                result = (
+                    _np.ones(count, dtype=bool)
+                    if node.value
+                    else _np.zeros(count, dtype=bool)
+                )
+            else:
+                raise TypeError(
+                    f"cannot evaluate {type(node).__name__} on a carrier"
+                )
+            memo[id(node)] = result
+            return result
+
+        return walk(formula)
+
+    # Pure-int fallback: one shared mask-level recursion per model
+    # (:func:`repro.logic.bitmodels.evaluate_mask` — a single source of
+    # truth for the connective semantics).
+    from .bitmodels import evaluate_mask
+
+    return [
+        evaluate_mask(formula, mask, alphabet)
+        for mask in model_set.mask_list()
+    ]
 
 
 # ---------------------------------------------------------------------------

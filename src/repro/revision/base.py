@@ -28,11 +28,13 @@ from abc import ABC, abstractmethod
 from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..logic import shards as _shards
+from ..logic import sparse as _sparse
 from ..logic.bitmodels import (
     BitAlphabet,
     BitModelSet,
     truth_table,
 )
+from ..logic.sparse import SparseSpill
 from ..logic.shards import ShardedTable
 from ..logic.formula import Formula, FormulaLike, as_formula, big_or, cube
 from ..logic.interpretation import Interpretation
@@ -123,8 +125,13 @@ class RevisionResult:
 
         Vacuously true when the result is inconsistent, as in the paper.
         On both table tiers the query compiles to a table column and
-        entailment is a single containment test of the model table; only
-        mask-tier alphabets fall back to per-model evaluation.
+        entailment is a single containment test of the model table; at
+        mask-tier alphabets the query is evaluated on the *sparse carrier*
+        — one vectorised pass per formula node over the model rows
+        (:func:`repro.logic.sparse.evaluate_formula`) — so a 40-letter
+        result answers queries without ever materialising per-model
+        frozensets.  Only results too dense for the sparse budget fall
+        back to per-model evaluation.
         """
         formula = as_formula(query)
         extra = formula.variables() - self._alphabet_set
@@ -141,7 +148,17 @@ class RevisionResult:
             models_table = self._bits.sharded()
             query_table = ShardedTable.from_formula(formula, self._bits.alphabet)
             return not (models_table & ~query_table).any()
-        return all(formula.evaluate(model) for model in self.model_set)
+        if self._bits.count() > _shards.SPARSE_MAX_MODELS:
+            # Denser than the sparse budget: building the carrier would
+            # sort the whole mask set per query only to spill — go
+            # straight to per-model evaluation.
+            return all(formula.evaluate(model) for model in self.model_set)
+        try:
+            carrier = self._bits.sparse()
+        except SparseSpill:  # pragma: no cover - budget shrank mid-query
+            return all(formula.evaluate(model) for model in self.model_set)
+        values = _sparse.evaluate_formula(formula, carrier)
+        return all(values) if isinstance(values, list) else bool(values.all())
 
     def formula(self) -> Formula:
         """The *explicit* propositional representation: one cube per model.

@@ -40,6 +40,7 @@ Guarantees:
 
 from __future__ import annotations
 
+import os
 from collections import Counter
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -48,9 +49,17 @@ from ..logic.bitmodels import BitAlphabet, BitModelSet
 from ..logic.formula import Formula, FormulaLike, as_formula
 from ..logic.theory import Theory, TheoryLike
 from ..sat import bit_models as sat_bit_models
+from ..sat import incremental_bit_models as sat_incremental_bit_models
 from .base import RevisionResult
 from .model_based import ModelBasedOperator
 from .registry import get_operator
+
+#: Incremental carrier on/off (env ``REPRO_INCREMENTAL_CARRIER=0`` at
+#: import; retarget the module attribute for in-process A/B): when a
+#: batch re-enumerates a *different* formula over an alphabet past the
+#: bitplane cutoffs, seed it from the previous carrier instead of
+#: enumerating from scratch (see :meth:`BatchCache.bit_models`).
+INCREMENTAL_CARRIER = os.environ.get("REPRO_INCREMENTAL_CARRIER", "1") != "0"
 
 
 class BatchCache:
@@ -62,13 +71,32 @@ class BatchCache:
     a fresh one per call for strict isolation.
     """
 
-    __slots__ = ("_model_sets", "_results", "hits", "misses", "tier_counts")
+    __slots__ = (
+        "_model_sets",
+        "_results",
+        "_last_enumerated",
+        "hits",
+        "misses",
+        "incremental",
+        "tier_counts",
+    )
 
     def __init__(self) -> None:
         self._model_sets: Dict[Tuple[Formula, Tuple[str, ...]], BitModelSet] = {}
         self._results: Dict[Tuple[str, Formula, Formula], RevisionResult] = {}
+        #: Per (alphabet, role), the latest formula/model-set pair that went
+        #: through SAT enumeration — the seed of the incremental-carrier
+        #: path.  Keyed by role ("theory" / "update") so a drifting update
+        #: stream seeds from the previous *update*, never from the KB.
+        self._last_enumerated: Dict[
+            Tuple[Tuple[str, ...], Optional[str]], Tuple[Formula, BitModelSet]
+        ] = {}
         self.hits = 0
         self.misses = 0
+        #: How many compiles the incremental-carrier path served (re-check
+        #: of the previous carrier + delta enumeration under assumptions,
+        #: see :func:`repro.sat.incremental_bit_models`).
+        self.incremental = 0
         #: Which engine tier served each pair of the batch — a Counter over
         #: the ``RevisionResult.engine_tier`` labels (``"table"`` /
         #: ``"sharded"`` / ``"sparse"`` / ``"masks"`` / ``"sparse-spill"``
@@ -79,15 +107,47 @@ class BatchCache:
         #: the SAT mask loops.
         self.tier_counts: Counter = Counter()
 
-    def bit_models(self, formula: Formula, alphabet: BitAlphabet) -> BitModelSet:
-        """The model set of ``formula`` over ``alphabet``, compiled once."""
+    def bit_models(
+        self,
+        formula: Formula,
+        alphabet: BitAlphabet,
+        role: Optional[str] = None,
+    ) -> BitModelSet:
+        """The model set of ``formula`` over ``alphabet``, compiled once.
+
+        Past the bitplane cutoffs — where compilation means SAT
+        enumeration — a miss is served *incrementally* when this cache has
+        already enumerated a formula in the same ``role`` ("theory" /
+        "update") over the same alphabet: the previous carrier is
+        re-checked against the new formula and only the delta
+        (``new ∧ ¬old``) is enumerated, under assumptions
+        (:func:`repro.sat.incremental_bit_models`).  For the serving shape
+        the ROADMAP names — one KB, a stream of revising formulas that
+        drift a little per request — each ``P`` compile then costs a
+        vectorised re-check plus a handful of solver resumes instead of a
+        full enumeration.  Results are exactly those of a fresh compile;
+        ``REPRO_INCREMENTAL_CARRIER=0`` disables the path.
+        """
         key = (formula, alphabet.letters)
         cached = self._model_sets.get(key)
         if cached is not None:
             self.hits += 1
             return cached
         self.misses += 1
-        bits = sat_bit_models(formula, alphabet)
+        bits = None
+        enumerated = len(alphabet) > _shards.SHARD_MAX_LETTERS
+        seed_key = (alphabet.letters, role)
+        if enumerated and INCREMENTAL_CARRIER:
+            previous = self._last_enumerated.get(seed_key)
+            if previous is not None:
+                bits = sat_incremental_bit_models(
+                    formula, alphabet, previous[0], previous[1]
+                )
+                self.incremental += 1
+        if bits is None:
+            bits = sat_bit_models(formula, alphabet)
+        if enumerated:
+            self._last_enumerated[seed_key] = (formula, bits)
         self._model_sets[key] = bits
         return bits
 
@@ -116,7 +176,7 @@ class BatchCache:
             bit_alphabet = BitAlphabet.coerce(t_formula.variables())
         else:
             bit_alphabet = BitAlphabet.coerce(alphabet)
-        bits = self.bit_models(t_formula, bit_alphabet)
+        bits = self.bit_models(t_formula, bit_alphabet, role="theory")
         # Force the tier encoding now: the point of warming is that the
         # carrier is ready before the serving loop needs it.  The model
         # count is exact at this point (the set just compiled), so the
@@ -171,8 +231,8 @@ def _revise_one(
         cache.tier_counts["memoised"] += 1
         return cached
     alphabet = BitAlphabet.coerce(t_formula.variables() | formula.variables())
-    t_bits = cache.bit_models(t_formula, alphabet)
-    p_bits = cache.bit_models(formula, alphabet)
+    t_bits = cache.bit_models(t_formula, alphabet, role="theory")
+    p_bits = cache.bit_models(formula, alphabet, role="update")
     result = op.revise_sets(t_bits, p_bits)
     cache.tier_counts[result.engine_tier or "unknown"] += 1
     cache.store_result(op.name, t_formula, formula, result)

@@ -18,8 +18,13 @@ Global (revision-style — proximity judged against all models of ``T``):
   all inclusion-minimal differences.
 
 Every ``revise`` computes the ground-truth model set by enumeration on the
-bitmask engine (:mod:`repro.logic.bitmodels`).  Each selection rule is
-written *once*, against a small table-algebra protocol (:class:`_TableOps`
+bitmask engine (:mod:`repro.logic.bitmodels`); past the bitplane cutoffs
+the enumeration itself is the incremental AllSAT subsystem of
+:mod:`repro.sat.allsat` — resume-don't-restart chronological search whose
+cubes land directly in the sparse tier's mask carrier, so the
+enumeration phase of a large-alphabet revision is ``O(#cubes)`` solver
+resumes instead of the old quadratic blocking-clause loop.  Each
+selection rule is written *once*, against a small table-algebra protocol (:class:`_TableOps`
 for Level-2 big-int tables, :class:`_ShardOps` for the Level-3 sharded
 tables of :mod:`repro.logic.shards`, :class:`_SparseOps` for the Level-4
 sorted-mask carriers of :mod:`repro.logic.sparse`): a model set is one

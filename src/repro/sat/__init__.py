@@ -1,13 +1,17 @@
-"""SAT substrate: DPLL solver, model enumeration, formula-level interface."""
+"""SAT substrate: DPLL solver, incremental AllSAT enumeration, formula
+interface."""
 
+from . import allsat
+from .allsat import enumerate_cubes
 from .dimacs import read_dimacs, write_dimacs
 from .enumerate import count_models as count_cnf_models
-from .enumerate import enumerate_models
+from .enumerate import enumerate_models, enumerate_models_blocking
 from .interface import (
     bit_models,
     count_models,
     entails,
     equivalent,
+    incremental_bit_models,
     is_satisfiable,
     is_valid,
     model_count_bound,
@@ -20,12 +24,16 @@ from .solver import CnfInstance, Solver
 __all__ = [
     "CnfInstance",
     "Solver",
+    "allsat",
     "bit_models",
     "count_cnf_models",
     "count_models",
     "entails",
+    "enumerate_cubes",
     "enumerate_models",
+    "enumerate_models_blocking",
     "equivalent",
+    "incremental_bit_models",
     "is_satisfiable",
     "is_valid",
     "model_count_bound",

@@ -1,0 +1,583 @@
+"""Incremental AllSAT: projected model enumeration without blocking clauses.
+
+The classic blocking-clause loop (kept in :mod:`repro.sat.enumerate` as the
+``REPRO_ALLSAT=0`` reference path) restarts DPLL from scratch per model
+against an ever-growing clause pile — quadratic in the model count, and the
+dominant cost of the large-alphabet revision pipeline once the sparse tier
+made the selections density-proportional.  This module replaces it with a
+**resume-don't-restart** enumerator built on three layered ideas, the
+standard repertoire of modern AllSAT solvers (chronological-backtracking
+enumeration à la Grumberg et al.; projected enumeration with cube
+generalization as in Möhle & Biere's dualizing enumerators):
+
+* **chronological resumption** — one :class:`~repro.sat.solver.Solver`
+  per enumeration, branching on the projection variables *first* (so every
+  auxiliary/Tseitin decision happens below a complete projected
+  assignment).  After emitting a model the solver backtracks to the
+  deepest still-open projection decision and *continues the same search*
+  (:meth:`Solver.next_model`): no re-propagation of the clause database,
+  no blocking clauses, each projected model visited exactly once;
+
+* **cube generalization** — at each model, walk the trailing decisions
+  and test projection variables for *don't-care* status (every clause
+  their literal satisfies must have another satisfying literal — an
+  occurrence-list check against the current trail).  A maximal don't-care
+  suffix is emitted as one :class:`Cube` covering ``2^k`` models and then
+  popped without flipping, so a DNF-shaped KB enumerates in ``O(#cubes)``
+  solver resumes instead of ``O(#models)``.  Restricting generalization
+  to a *suffix of first-phase decisions* is what keeps the stream
+  duplicate-free without blocking clauses: everything deeper than the
+  flip point is covered by the cube, everything shallower is untouched;
+
+* **component splitting** — after level-0/assumption propagation the
+  residual CNF often decomposes into variable-disjoint components
+  (union-find over the unsatisfied clauses).  Each component is
+  enumerated independently and the cross-product is emitted as combined
+  cubes: ``m₁ + m₂`` solves replace ``m₁ · m₂``.  Clause-free projection
+  variables (letters the formula never mentions, or letters freed by
+  level-0 propagation) never even reach the solver — they ride along as
+  free bits of every cube.
+
+Everything is deterministic: the solver branches deterministically, cube
+expansion enumerates free-bit completions in ascending order, and
+components combine in sorted order — so tests and benchmarks reproduce
+exactly, and the *set* of projected models is identical to the
+blocking-clause loop's (the hypothesis suite in ``tests/test_allsat.py``
+asserts it across projections, limits and degenerate shapes).
+
+Knobs:
+
+* ``REPRO_ALLSAT=0`` — disable the incremental enumerator entirely;
+  :func:`repro.sat.enumerate.enumerate_models` then runs the blocking-
+  clause loop (A/B timing, parity testing).  Read **live** at every
+  call, so harnesses can flip it in-process;
+* :data:`CUBES` / :data:`COMPONENTS` — disable cube generalization /
+  component splitting individually.  Initialised once at import from
+  ``REPRO_ALLSAT_CUBES=0`` / ``REPRO_ALLSAT_COMPONENTS=0``; for
+  in-process A/B, retarget the *module attributes* (as the hypothesis
+  suite does), not the environment.
+
+:data:`STATS` counts enumerations, solver resumes, cubes and models — the
+CI perf-smoke leg asserts the enumerator actually served the sparse-tier
+workload, and benchmarks report cube compression ratios from it.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .solver import CnfInstance, Solver
+
+#: Cube generalization on/off (env ``REPRO_ALLSAT_CUBES=0`` at import);
+#: a module attribute — tests and harnesses retarget it at runtime.
+CUBES = os.environ.get("REPRO_ALLSAT_CUBES", "1") != "0"
+
+#: Component splitting on/off (env ``REPRO_ALLSAT_COMPONENTS=0`` at
+#: import); a module attribute, retargetable at runtime like :data:`CUBES`.
+COMPONENTS = os.environ.get("REPRO_ALLSAT_COMPONENTS", "1") != "0"
+
+#: Running counters for observability: how many enumerations ran, how many
+#: solver resumes / emitted cubes / covered models they produced, and how
+#: many components were split off.  Monotonic per process; the CI smoke leg
+#: asserts they move when the enumerator is supposed to serve.
+STATS: Dict[str, int] = {
+    "enumerations": 0,
+    "resumes": 0,
+    "cubes": 0,
+    "models": 0,
+    "components": 0,
+}
+
+
+def enabled() -> bool:
+    """Whether the incremental enumerator is live (env ``REPRO_ALLSAT``).
+
+    Read at call time, like the tier knobs of :mod:`repro.logic.shards`,
+    so benchmark harnesses can A/B the blocking-clause loop in-process.
+    """
+    return os.environ.get("REPRO_ALLSAT", "1") != "0"
+
+
+class Cube:
+    """A partial projected model: fixed literals plus don't-care variables.
+
+    ``lits`` are signed literals over the projection variables whose value
+    is fixed (sorted by variable); ``free`` are projection variables whose
+    value is arbitrary — the cube covers ``2^len(free)`` total models.
+    """
+
+    __slots__ = ("lits", "free")
+
+    def __init__(self, lits: Tuple[int, ...], free: Tuple[int, ...]) -> None:
+        self.lits = lits
+        self.free = free
+
+    def model_count(self) -> int:
+        """Number of total projected models the cube covers."""
+        return 1 << len(self.free)
+
+    def iter_models(self) -> Iterator[Tuple[int, ...]]:
+        """Expand to total projected models, free completions ascending.
+
+        Completion ``c`` assigns bit ``j`` of ``c`` to ``free[j]``; each
+        yielded model is the merged literal tuple sorted by variable —
+        the same shape the blocking-clause loop yields.
+        """
+        free = self.free
+        if not free:
+            yield self.lits
+            return
+        lits = self.lits
+        for completion in range(1 << len(free)):
+            merged = list(lits)
+            merged.extend(
+                var if completion >> j & 1 else -var
+                for j, var in enumerate(free)
+            )
+            merged.sort(key=abs)
+            yield tuple(merged)
+
+    def mask_pair(self, bit_of: Dict[int, int]) -> Tuple[int, Tuple[int, ...]]:
+        """The cube as ``(base_mask, free_bit_masks)`` under a variable →
+        alphabet-bit map — the input shape of the canonical expansion
+        (:func:`repro.logic.sparse.expand_cubes`) and of
+        :meth:`repro.logic.sparse.SparseModelSet.from_cubes`."""
+        base = 0
+        for lit in self.lits:
+            if lit > 0:
+                base |= 1 << bit_of[lit]
+        return base, tuple(1 << bit_of[var] for var in self.free)
+
+    def __repr__(self) -> str:
+        return f"Cube(lits={self.lits!r}, free={self.free!r})"
+
+
+def _dont_care(
+    solver: Solver,
+    lit: int,
+    covered: Set[int],
+    occurrences: Dict[int, List[int]],
+) -> bool:
+    """Whether flipping ``lit``'s variable (jointly with the already
+    ``covered`` ones) keeps every clause satisfied under the current trail.
+
+    ``lit`` is true on the trail; only clauses where it occurs positively
+    can lose their support, and each needs another satisfying literal on a
+    variable outside the covered set.  Fixed (assumption/level-0) and
+    auxiliary literals qualify — the cube keeps them at their current
+    values.
+    """
+    value = solver._value
+    clauses = solver.clauses
+    for clause_index in occurrences.get(lit, ()):
+        clause = clauses[clause_index]
+        for other in clause:
+            if other != lit and value(other) == 1 and abs(other) not in covered:
+                break
+        else:
+            return False
+    return True
+
+
+class _ComponentEnumerator:
+    """Resumable cube stream over one CNF (sub-)problem.
+
+    Drives a single :class:`Solver` through the projection-first search,
+    emitting a (possibly generalized) cube per solver model and resuming
+    chronologically — the per-component engine :func:`enumerate_cubes`
+    multiplies into cross-products.
+    """
+
+    def __init__(
+        self,
+        instance: CnfInstance,
+        projection: Sequence[int],
+        variables: Optional[Set[int]] = None,
+        generalize: bool = True,
+    ) -> None:
+        self.projection = list(projection)
+        self.generalize = generalize
+        self.solver = Solver(instance)
+        self.solver.set_branch_priority(self.projection)
+        if variables is not None:
+            # Branch only inside the component: everything else is either
+            # already decided or clause-free (covered as cube free bits).
+            self.solver.set_branch_skip(
+                var for var in range(1, instance.num_vars + 1)
+                if var not in variables
+            )
+        self._proj_set = set(self.projection)
+        self._occurrences: Optional[Dict[int, List[int]]] = None
+        self._started = False
+        self._exhausted = False
+
+    def _occ(self) -> Dict[int, List[int]]:
+        if self._occurrences is None:
+            occurrences: Dict[int, List[int]] = {}
+            for index, clause in enumerate(self.solver.clauses):
+                for lit in clause:
+                    occurrences.setdefault(lit, []).append(index)
+            self._occurrences = occurrences
+        return self._occurrences
+
+    def cubes(self) -> Iterator[Cube]:
+        """Stream the projected cubes (each projected model covered once)."""
+        if self._exhausted:
+            return
+        solver = self.solver
+        proj_set = self._proj_set
+        if not self._started:
+            self._started = True
+            found = solver.solve()
+        else:  # pragma: no cover - cubes() is consumed once per component
+            found = solver.next_model()
+        while found:
+            STATS["resumes"] += 1
+            # Generalize: walk decision levels deepest-first, growing the
+            # don't-care suffix until a decision resists (the flip point).
+            covered: Set[int] = set()
+            flip_lit: Optional[int] = None
+            if self.generalize:
+                occurrences = self._occ()
+                generalizing = True
+                for segment in reversed(solver.decision_segments()):
+                    decision = segment[0]
+                    if abs(decision) not in proj_set:
+                        # Auxiliary level: it holds no projection literal
+                        # (projection-first branching), so popping it never
+                        # changes the projected model — always covered.
+                        continue
+                    if decision < 0:
+                        # Second phase: both subtrees explored, pop — but
+                        # its value pins the cube, so no shallower variable
+                        # may be generalized past it (the shallower flip
+                        # subtree would revisit this variable's two phases,
+                        # which the cube holds fixed).
+                        generalizing = False
+                        continue
+                    # A first-phase projection decision joins the don't-care
+                    # set only while the whole deeper suffix is covered and
+                    # (a) every clause its literal satisfies has another
+                    # satisfying literal outside the set, and (b) its level
+                    # forced no other projection literal (flipping it would
+                    # release those forced values, which the cube fixes).
+                    if (
+                        generalizing
+                        and all(
+                            abs(lit) not in proj_set for lit in segment[1:]
+                        )
+                        and _dont_care(solver, decision, covered, occurrences)
+                    ):
+                        covered.add(decision)
+                        continue
+                    flip_lit = decision
+                    break
+            else:
+                for decision in reversed(solver.decisions()):
+                    if decision > 0 and decision in proj_set:
+                        flip_lit = decision
+                        break
+            value_of = solver.value_of
+            lits = tuple(
+                var if value_of(var) else -var
+                for var in self.projection
+                if var not in covered
+            )
+            yield Cube(lits, tuple(sorted(covered)))
+            if flip_lit is None:
+                self._exhausted = True
+                return
+            target = flip_lit
+            found = solver.next_model(flip=lambda lit: lit == target)
+        self._exhausted = True
+
+
+def _split_components(
+    residual: List[List[int]], projection_vars: Set[int]
+) -> List[Tuple[List[List[int]], List[int]]]:
+    """Partition residual clauses into variable-connected components.
+
+    Union-find over the variables, linked through shared clauses; returns
+    ``(clauses, projection_vars)`` per component, deterministically ordered
+    by smallest member variable.  Components with no projection variable
+    still come back (they must be checked satisfiable).
+    """
+    parent: Dict[int, int] = {}
+
+    def find(var: int) -> int:
+        root = var
+        while parent[root] != root:
+            root = parent[root]
+        while parent[var] != root:
+            parent[var], var = root, parent[var]
+        return root
+
+    def union(left: int, right: int) -> None:
+        left, right = find(left), find(right)
+        if left != right:
+            if left > right:
+                left, right = right, left
+            parent[right] = left
+
+    for clause in residual:
+        first = abs(clause[0])
+        parent.setdefault(first, first)
+        for lit in clause[1:]:
+            var = abs(lit)
+            parent.setdefault(var, var)
+            union(first, var)
+
+    grouped_clauses: Dict[int, List[List[int]]] = {}
+    for clause in residual:
+        grouped_clauses.setdefault(find(abs(clause[0])), []).append(clause)
+    grouped_projection: Dict[int, List[int]] = {}
+    for var in sorted(projection_vars):
+        if var in parent:
+            grouped_projection.setdefault(find(var), []).append(var)
+    return [
+        (grouped_clauses[root], grouped_projection.get(root, []))
+        for root in sorted(grouped_clauses)
+    ]
+
+
+def _merge_cubes(parts: Sequence[Cube]) -> Cube:
+    """Combine per-component cubes (disjoint variables) into one."""
+    lits: List[int] = []
+    free: List[int] = []
+    for part in parts:
+        lits.extend(part.lits)
+        free.extend(part.free)
+    lits.sort(key=abs)
+    free.sort()
+    return Cube(tuple(lits), tuple(free))
+
+
+def enumerate_cubes(
+    instance: CnfInstance,
+    projection: Optional[Sequence[int]] = None,
+    limit: Optional[int] = None,
+    assumptions: Sequence[int] = (),
+    generalize: Optional[bool] = None,
+    split: Optional[bool] = None,
+) -> Iterator[Cube]:
+    """Yield cubes jointly covering every projected model exactly once.
+
+    The incremental counterpart of the blocking-clause
+    :func:`repro.sat.enumerate.enumerate_models`: same projection
+    semantics (each *projected* model covered exactly once; without a
+    projection, all variables), but models arrive grouped into
+    :class:`Cube` partial assignments whose free variables the caller
+    expands — or counts as ``2^k`` without expanding.
+
+    ``limit`` bounds the number of *models* covered: the stream stops
+    after the cube that reaches it (the final cube may overshoot; callers
+    expanding models apply the exact cap).  ``assumptions`` constrain the
+    search like :meth:`Solver.solve` assumptions do — the incremental-
+    carrier path enumerates deltas under them.  ``generalize`` / ``split``
+    override the live :data:`CUBES` / :data:`COMPONENTS` defaults.
+    """
+    if generalize is None:
+        generalize = CUBES
+    if split is None:
+        split = COMPONENTS
+    if instance.has_empty_clause:
+        return
+    if projection is None:
+        proj_vars = list(range(1, instance.num_vars + 1))
+    else:
+        proj_vars = sorted(set(projection))
+    STATS["enumerations"] += 1
+
+    # Prime: level-0 units + assumptions.  Conflict here means no models.
+    probe = Solver(instance)
+    if not probe.prime(assumptions):
+        return
+
+    # Split the CNF under the primed assignment: clauses already satisfied
+    # are gone for good (their supporting literal sits at or below the
+    # assumption level and never backtracks), falsified literals drop out.
+    fixed: List[int] = []
+    residual: List[List[int]] = []
+    value = probe._value
+    for clause in probe.clauses:
+        reduced: List[int] = []
+        satisfied = False
+        for lit in clause:
+            lit_value = value(lit)
+            if lit_value == 1:
+                satisfied = True
+                break
+            if lit_value == -1:
+                reduced.append(lit)
+        if not satisfied:
+            residual.append(reduced)
+    constrained: Set[int] = set()
+    for clause in residual:
+        for lit in clause:
+            constrained.add(abs(lit))
+    free: List[int] = []
+    for var in proj_vars:
+        assigned = probe.value_of(var)
+        if assigned is not None:
+            fixed.append(var if assigned else -var)
+        elif var not in constrained:
+            free.append(var)
+    fixed_tuple = tuple(fixed)
+    free_tuple = tuple(free)
+
+    def emitted(cube: Cube) -> Cube:
+        STATS["cubes"] += 1
+        STATS["models"] += cube.model_count()
+        return cube
+
+    if not residual:
+        # Everything decided by propagation: one cube covers it all.
+        yield emitted(Cube(fixed_tuple, free_tuple))
+        return
+
+    proj_set = set(proj_vars)
+    components = (
+        _split_components(residual, proj_set)
+        if split
+        else [(residual, sorted(constrained & proj_set))]
+    )
+    if len(components) > 1:
+        STATS["components"] += len(components)
+
+    def component_instance(clauses: List[List[int]]) -> CnfInstance:
+        sub = CnfInstance(instance.num_vars)
+        sub.clauses = clauses
+        return sub
+
+    enumerators: List[_ComponentEnumerator] = []
+    for clauses, component_projection in components:
+        component_vars = {abs(lit) for clause in clauses for lit in clause}
+        enumerator = _ComponentEnumerator(
+            component_instance(clauses),
+            component_projection,
+            variables=component_vars,
+            generalize=generalize,
+        )
+        if not component_projection:
+            # No projected letter in sight: only satisfiability matters —
+            # and it must be settled before anything is yielded.
+            for _ in enumerator.cubes():
+                break
+            else:
+                return  # unsatisfiable component: no models at all
+            continue
+        enumerators.append(enumerator)
+
+    base = Cube(fixed_tuple, free_tuple)
+    if not enumerators:
+        yield emitted(base)
+        return
+
+    if len(enumerators) == 1:
+        # The common (connected-CNF) case streams: each next() costs one
+        # solver resume, never a full collection pass.
+        produced = 0
+        for cube in enumerators[0].cubes():
+            merged = emitted(_merge_cubes([base, cube]))
+            yield merged
+            produced += merged.model_count()
+            if limit is not None and produced >= limit:
+                return
+        return
+
+    streams: List[List[Cube]] = []
+    for enumerator in enumerators:
+        collected: List[Cube] = []
+        produced = 0
+        for cube in enumerator.cubes():
+            collected.append(cube)
+            produced += cube.model_count()
+            if limit is not None and produced >= limit:
+                break
+        if not collected:
+            return  # unsatisfiable component
+        streams.append(collected)
+
+    produced = 0
+    indices = [0] * len(streams)
+    while True:
+        parts = [base] + [stream[i] for stream, i in zip(streams, indices)]
+        cube = emitted(_merge_cubes(parts))
+        yield cube
+        produced += cube.model_count()
+        if limit is not None and produced >= limit:
+            return
+        # Odometer over the component streams, last component fastest.
+        position = len(streams) - 1
+        while position >= 0:
+            indices[position] += 1
+            if indices[position] < len(streams[position]):
+                break
+            indices[position] = 0
+            position -= 1
+        if position < 0:
+            return
+
+
+def enumerate_models(
+    instance: CnfInstance,
+    projection: Optional[Sequence[int]] = None,
+    limit: Optional[int] = None,
+    assumptions: Sequence[int] = (),
+) -> Iterator[Tuple[int, ...]]:
+    """Projected total models via the incremental enumerator.
+
+    Same contract as the blocking-clause
+    :func:`repro.sat.enumerate.enumerate_models` — each yielded value a
+    tuple of signed literals over the (sorted) projection variables, each
+    projected model exactly once, at most ``limit`` of them — produced by
+    expanding :func:`enumerate_cubes` deterministically.
+    """
+    produced = 0
+    for cube in enumerate_cubes(instance, projection, limit, assumptions):
+        for model in cube.iter_models():
+            yield model
+            produced += 1
+            if limit is not None and produced >= limit:
+                return
+
+
+def count_models(
+    instance: CnfInstance,
+    projection: Optional[Sequence[int]] = None,
+    limit: Optional[int] = None,
+    assumptions: Sequence[int] = (),
+) -> int:
+    """Count projected models on the cubes — ``sum(2^k)``, no expansion.
+
+    This is what makes the dispatch probe of
+    :func:`repro.sat.interface.model_count_bound` cheap at large
+    alphabets: a DNF-shaped KB counts in ``O(#cubes)`` solver resumes and
+    never materializes a single per-model object.  A non-positive
+    ``limit`` is 0 immediately (the cap semantics, uniform across tiers).
+    """
+    if limit is not None and limit <= 0:
+        return 0
+    total = 0
+    for cube in enumerate_cubes(instance, projection, limit, assumptions):
+        total += cube.model_count()
+        if limit is not None and total >= limit:
+            return limit
+    return total
+
+
+def cube_masks(
+    cubes: Iterable[Cube], bit_of: Dict[int, int]
+) -> Iterator[int]:
+    """Expand cubes straight into packed model masks.
+
+    ``bit_of`` maps solver variables to alphabet bit positions.  This is
+    the direct-to-mask emission path of :func:`repro.sat.bit_models`: no
+    per-model tuples, dicts, frozensets or Interpretation objects — one
+    int per covered model, free completions ascending.  Delegates to the
+    one canonical expansion, :func:`repro.logic.sparse.expand_cubes`.
+    """
+    from ..logic.sparse import expand_cubes
+
+    return expand_cubes(cube.mask_pair(bit_of) for cube in cubes)

@@ -18,17 +18,21 @@ from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence
 
 from ..logic import bitmodels as _bitmodels
 from ..logic import shards as _shards
+from ..logic import sparse as _sparse
 from ..logic.bitmodels import (
     BitAlphabet,
     BitModelSet,
+    evaluate_mask,
     iter_set_bits,
     truth_table,
 )
 from ..logic.shards import ShardedTable
+from ..logic.sparse import SparseModelSet, SparseSpill
 from ..logic.cnf import tseitin
 from ..logic.formula import And, Formula, Not, Or, Var, _Constant, land, lnot
 from ..logic.interpretation import Interpretation
-from .enumerate import enumerate_models
+from . import allsat as _allsat
+from .enumerate import enumerate_models, enumerate_models_blocking
 from .solver import CnfInstance, Solver
 
 
@@ -50,18 +54,40 @@ class _Encoding:
         return index
 
     def add_formula(self, formula: Formula) -> None:
-        result = tseitin(formula, prefix="_sat")
+        self._add_clauses(tseitin(formula, prefix="_sat"), asserted=True)
+
+    def add_formula_unasserted(self, formula: Formula) -> int:
+        """Encode ``formula``'s definitional clauses *without* asserting its
+        root, and return the root as a signed solver literal.
+
+        With the two-sided Tseitin clauses in place, the root literal is
+        true exactly when the formula holds — so assuming (or adding) its
+        negation constrains the search to ``¬formula``.  This is what the
+        incremental-carrier path uses to enumerate only the delta
+        ``new ∧ ¬old`` under assumptions.
+        """
+        return self._add_clauses(tseitin(formula, prefix="_sat"), asserted=False)
+
+    def _add_clauses(self, result, asserted: bool) -> int:
         # Auxiliary letters must be fresh per formula: rename on the fly.
         rename: Dict[str, str] = {}
         for aux in result.aux_names:
             rename[aux] = f"_sat{self.instance.num_vars}_{aux}"
-        for clause in result.clauses:
+        clauses = result.clauses
+        if not asserted:
+            # tseitin() appends the root-asserting unit clause last; the
+            # definitional clauses before it are kept in full.
+            clauses = clauses[:-1]
+        for clause in clauses:
             ints = []
             for name, positive in clause:
                 actual = rename.get(name, name)
                 index = self.var(actual)
                 ints.append(index if positive else -index)
             self.instance.add_clause(ints)
+        root_name, root_positive = result.root
+        index = self.var(rename.get(root_name, root_name))
+        return index if root_positive else -index
 
 
 def _encode(formulas: Iterable[Formula]) -> _Encoding:
@@ -118,7 +144,7 @@ def query_equivalent(
 
 
 #: Work bound for the bit-parallel truth-table fast path (table width times
-#: formula node count); above it, SAT enumeration with blocking clauses wins.
+#: formula node count); above it, incremental SAT enumeration wins.
 #: The bit-parallel sweep processes a machine word of interpretations per
 #: big-int word operation, so the budget is far above the old per-model
 #: evaluation bound.
@@ -148,6 +174,25 @@ def _wants_sharded(formula: Formula, names: Sequence[str]) -> bool:
     return words * max(formula.node_count(), 1) <= _SHARDED_WORD_BUDGET
 
 
+def _projected_engine(formula: Formula, names: Sequence[str]) -> str:
+    """Which engine serves ``formula`` projected onto ``names``.
+
+    The one dispatch ladder behind :func:`models`, :func:`bit_models` and
+    :func:`count_models`: ``"table"`` (bit-parallel big-int sweep) under
+    the table cutoff, ``"sharded"`` (bitplane compile) under the shard
+    cutoff, ``"sat"`` (incremental enumeration) beyond — and always
+    ``"sat"`` when the formula mentions letters outside the projection,
+    which only the solver can quantify away.
+    """
+    if formula.variables() - set(names):
+        return "sat"
+    if _wants_bit_parallel(formula, names):
+        return "table"
+    if _wants_sharded(formula, names):
+        return "sharded"
+    return "sat"
+
+
 def models(
     formula: Formula,
     alphabet: Optional[Iterable[str]] = None,
@@ -160,16 +205,19 @@ def models(
 
     Two engines, chosen by a cost estimate: a bit-parallel truth-table
     sweep for small alphabets (the formula compiles to one big-int column;
-    see :mod:`repro.logic.bitmodels`), SAT with blocking clauses otherwise.
-    The sweep yields masks in ascending order over the sorted alphabet —
-    the same deterministic order as the historical per-model evaluation.
+    see :mod:`repro.logic.bitmodels`), incremental SAT enumeration
+    (:mod:`repro.sat.allsat`; the blocking-clause loop under
+    ``REPRO_ALLSAT=0``) otherwise.  The sweep yields masks in ascending
+    order over the sorted alphabet — the same deterministic order as the
+    historical per-model evaluation; the SAT engines' order is
+    engine-defined (the model *set* is identical).
     """
     if alphabet is None:
         names = sorted(formula.variables())
     else:
         names = sorted(set(alphabet))
-    extra_letters = formula.variables() - set(names)
-    if not extra_letters and _wants_bit_parallel(formula, names):
+    engine = _projected_engine(formula, names)
+    if engine == "table":
         bit_alphabet = BitAlphabet.coerce(names)
         table = truth_table(formula, bit_alphabet)
         produced = 0
@@ -179,7 +227,7 @@ def models(
             if limit is not None and produced >= limit:
                 return
         return
-    if not extra_letters and _wants_sharded(formula, names):
+    if engine == "sharded":
         bit_alphabet = BitAlphabet.coerce(names)
         sharded = ShardedTable.from_formula(formula, bit_alphabet)
         produced = 0
@@ -210,36 +258,115 @@ def bit_models(
     between the table and shard cutoffs it is a sharded-table compile
     (numpy bitplanes, masks left unmaterialised); beyond that — or when
     the formula mentions letters outside the projection alphabet — the
-    SAT blocking-clause enumerator fills the mask set.  The enumerated
-    set is what the fourth (sparse) tier's carrier is built from: the
-    operators feed its model count to :func:`repro.logic.shards.tier`,
-    which routes bounded-density sets to the density-proportional sparse
-    engine instead of the per-pair mask loops (see
-    :func:`model_count_bound` for the pre-compilation density estimate).
+    incremental AllSAT enumerator of :mod:`repro.sat.allsat` fills the
+    set, emitting *cubes* (partial models with don't-care letters)
+    straight into packed masks — and, past every bitplane cutoff, straight
+    into the sparse tier's :class:`~repro.logic.sparse.SparseModelSet`
+    column blocks, so the carrier the selection rules run on is built in
+    one pass (``REPRO_ALLSAT=0`` restores the blocking-clause loop).  The
+    operators feed the enumerated set's model count to
+    :func:`repro.logic.shards.tier`, which routes bounded-density sets to
+    the density-proportional sparse engine instead of the per-pair mask
+    loops (see :func:`model_count_bound` for the pre-compilation density
+    estimate).
     """
     if alphabet is None:
         bit_alphabet = BitAlphabet.coerce(formula.variables())
     else:
         bit_alphabet = BitAlphabet.coerce(alphabet)
-    extra_letters = formula.variables() - set(bit_alphabet.letters)
-    if not extra_letters and _wants_bit_parallel(formula, bit_alphabet.letters):
+    engine = _projected_engine(formula, bit_alphabet.letters)
+    if engine == "table":
         return BitModelSet.from_table(
             bit_alphabet, truth_table(formula, bit_alphabet)
         )
-    if not extra_letters and _wants_sharded(formula, bit_alphabet.letters):
+    if engine == "sharded":
         return BitModelSet.from_sharded(
             bit_alphabet, ShardedTable.from_formula(formula, bit_alphabet)
         )
-    encoding = _encode([formula])
+    return _enumerated_bit_models(formula, bit_alphabet)
+
+
+def _projection_bits(
+    encoding: _Encoding, bit_alphabet: BitAlphabet
+) -> Tuple[List[int], Dict[int, int]]:
+    """Solver projection variables for the alphabet plus their bit map."""
     projection = [encoding.var(name) for name in bit_alphabet.letters]
-    masks = []
-    for projected in enumerate_models(encoding.instance, projection):
+    bit_of = {
+        var: bit_alphabet.bit(encoding.name_of[var]) for var in projection
+    }
+    return projection, bit_of
+
+
+def _blocking_mask_stream(
+    instance: CnfInstance, projection: List[int], bit_of: Dict[int, int]
+) -> Iterator[int]:
+    """Packed masks out of the blocking-clause loop (``REPRO_ALLSAT=0``)."""
+    for projected in enumerate_models_blocking(instance, projection):
         mask = 0
         for lit in projected:
             if lit > 0:
-                mask |= 1 << bit_alphabet.bit(encoding.name_of[lit])
-        masks.append(mask)
+                mask |= 1 << bit_of[lit]
+        yield mask
+
+
+def _wrap_enumerated_masks(
+    bit_alphabet: BitAlphabet, masks: List[int]
+) -> BitModelSet:
+    """An enumerated mask list as a :class:`BitModelSet` — carried on the
+    sparse column blocks when the alphabet is past every bitplane cutoff
+    and the set fits the budget (so the selection rules find their
+    carrier pre-built), a plain mask set otherwise."""
+    if _shards.tier(len(bit_alphabet)) == "masks" and _shards.SPARSE_TIER:
+        try:
+            return BitModelSet.from_sparse(
+                bit_alphabet, SparseModelSet.from_masks(bit_alphabet, masks)
+            )
+        except SparseSpill:
+            pass
     return BitModelSet(bit_alphabet, masks)
+
+
+def _enumerated_bit_models(
+    formula: Formula, bit_alphabet: BitAlphabet
+) -> BitModelSet:
+    """The SAT-tier model set: incremental cubes straight to masks.
+
+    With the AllSAT enumerator live, cubes expand directly into packed
+    mask ints (no per-model tuples, dicts or Interpretation objects); on
+    sparse-tier alphabets the cubes expand into the
+    :class:`~repro.logic.sparse.SparseModelSet` column blocks themselves,
+    so the carrier the selection rules run on is built in one pass and the
+    mask frozenset never materialises.  ``REPRO_ALLSAT=0`` restores the
+    blocking-clause loop.
+    """
+    encoding = _encode([formula])
+    projection, bit_of = _projection_bits(encoding, bit_alphabet)
+    if _allsat.enabled():
+        cubes = list(_allsat.enumerate_cubes(encoding.instance, projection))
+        if (
+            _shards.tier(len(bit_alphabet)) == "masks"
+            and _shards.SPARSE_TIER
+        ):
+            # Past every bitplane cutoff the sparse carrier is the target
+            # representation: emit the cubes straight into it.
+            try:
+                carrier = SparseModelSet.from_cubes(
+                    bit_alphabet,
+                    (cube.mask_pair(bit_of) for cube in cubes),
+                )
+                return BitModelSet.from_sparse(bit_alphabet, carrier)
+            except SparseSpill:
+                # Denser than the sparse budget: fall through to the
+                # plain mask set, re-expanding the cubes already in hand
+                # (the solver does not run again).
+                pass
+        return BitModelSet(
+            bit_alphabet, _allsat.cube_masks(cubes, bit_of)
+        )
+    return _wrap_enumerated_masks(
+        bit_alphabet,
+        list(_blocking_mask_stream(encoding.instance, projection, bit_of)),
+    )
 
 
 def count_models(
@@ -247,9 +374,35 @@ def count_models(
     alphabet: Optional[Iterable[str]] = None,
     limit: Optional[int] = None,
 ) -> int:
-    """Count models of ``formula`` over ``alphabet``."""
+    """Count models of ``formula`` over ``alphabet`` (capped at ``limit``).
+
+    Never materialises per-model objects: the table tiers answer with a
+    popcount, and the SAT tier sums ``2^k`` over the incremental
+    enumerator's cubes (:func:`repro.sat.allsat.count_models`) — this is
+    what keeps the :func:`model_count_bound` dispatch probe cheap at
+    40-letter alphabets.  ``REPRO_ALLSAT=0`` falls back to counting the
+    blocking-clause stream.  A non-positive ``limit`` is 0 on every tier.
+    """
+    if limit is not None and limit <= 0:
+        return 0
+    if alphabet is None:
+        names: Sequence[str] = sorted(formula.variables())
+    else:
+        names = sorted(set(alphabet))
+    engine = _projected_engine(formula, names)
+    if engine == "table":
+        count = truth_table(formula, BitAlphabet.coerce(names)).bit_count()
+        return count if limit is None else min(count, limit)
+    if engine == "sharded":
+        sharded = ShardedTable.from_formula(formula, BitAlphabet.coerce(names))
+        count = sharded.popcount()
+        return count if limit is None else min(count, limit)
+    encoding = _encode([formula])
+    projection = [encoding.var(name) for name in names]
+    if _allsat.enabled():
+        return _allsat.count_models(encoding.instance, projection, limit)
     total = 0
-    for _ in models(formula, alphabet, limit):
+    for _ in enumerate_models_blocking(encoding.instance, projection, limit):
         total += 1
     return total
 
@@ -329,9 +482,11 @@ def model_count_bound(
       letters, disjuncts add, a cube DNF bounds to its cube count), no
       solver involved;
     * failing that, and only when ``probe`` is true, a **SAT-count
-      probe**: blocking-clause enumeration capped at ``budget + 1``
-      models — an exact count when it stops early, ``None`` (density too
-      high for the sparse tier) when it doesn't.
+      probe**: incremental enumeration capped at ``budget + 1`` models —
+      counted as ``sum(2^k)`` over the enumerator's cubes, with no
+      per-model object ever materialised — an exact count when it stops
+      early, ``None`` (density too high for the sparse tier) when it
+      doesn't.
 
     ``budget`` defaults to the live sparse budget
     (``shards.SPARSE_MAX_MODELS``).
@@ -349,6 +504,74 @@ def model_count_bound(
         return None
     counted = count_models(formula, names, limit=budget + 1)
     return counted if counted <= budget else None
+
+
+def incremental_bit_models(
+    formula: Formula,
+    alphabet: "BitAlphabet | Iterable[str]",
+    previous_formula: Formula,
+    previous_bits: BitModelSet,
+) -> BitModelSet:
+    """The model set of ``formula``, seeded from a previously enumerated one.
+
+    The incremental-carrier path of the revision service
+    (:class:`repro.revision.batch.BatchCache`): when only the revising
+    formula changes between requests over the same alphabet,
+
+    ``models(new) = { m ∈ models(old) : m |= new }  ∪  models(new ∧ ¬old)``
+
+    — the left part *re-checks the old carrier* against the new constraint
+    (vectorised over the sparse column blocks when available), and the
+    right part *enumerates only the delta*: the old formula's definitional
+    clauses are encoded without asserting their root
+    (:meth:`_Encoding.add_formula_unasserted`) and the enumeration runs
+    under the assumption ``¬root(old)``.  For a stream of small edits the
+    delta is a few models where a fresh enumeration would redo all of
+    them; the result is exactly :func:`bit_models`'s (the hypothesis suite
+    asserts parity).
+
+    ``previous_bits`` must be ``models(previous_formula)`` over the same
+    alphabet, and both formulas' letters must lie inside it.
+    """
+    bit_alphabet = BitAlphabet.coerce(alphabet)
+    if previous_bits.alphabet != bit_alphabet:
+        raise ValueError("previous model set ranges over a different alphabet")
+    extra = (formula.variables() | previous_formula.variables()) - set(
+        bit_alphabet.letters
+    )
+    if extra:
+        raise ValueError(
+            f"formula letters {sorted(extra)} outside the carrier alphabet"
+        )
+    # Re-check the old carrier against the new constraint.
+    try:
+        carrier = previous_bits.sparse()
+        flags = _sparse.evaluate_formula(formula, carrier)
+        kept = [
+            mask for mask, ok in zip(carrier.iter_masks(), flags) if ok
+        ]
+    except SparseSpill:
+        kept = [
+            mask
+            for mask in previous_bits.iter_masks()
+            if evaluate_mask(formula, mask, bit_alphabet)
+        ]
+    # Enumerate only the delta: models of ``new ∧ ¬old``.
+    encoding = _encode([formula])
+    old_root = encoding.add_formula_unasserted(previous_formula)
+    projection, bit_of = _projection_bits(encoding, bit_alphabet)
+    if _allsat.enabled():
+        delta = _allsat.cube_masks(
+            _allsat.enumerate_cubes(
+                encoding.instance, projection, assumptions=[-old_root]
+            ),
+            bit_of,
+        )
+    else:
+        encoding.instance.add_clause([-old_root])
+        delta = _blocking_mask_stream(encoding.instance, projection, bit_of)
+    kept.extend(delta)
+    return _wrap_enumerated_masks(bit_alphabet, kept)
 
 
 def satisfies(model: Iterable[str], formula: Formula) -> bool:

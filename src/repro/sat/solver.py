@@ -4,13 +4,29 @@ The solver operates on integer literals in the usual DIMACS convention:
 variables are ``1..n`` and the literal ``-v`` is the negation of ``v``.
 Features:
 
-* two-watched-literal unit propagation,
+* two-watched-literal unit propagation (the watched pair lives in
+  solver-owned side arrays, never inside the clause lists — so clause
+  lists are immutable and shared, see below),
 * conflict-driven branching-order scores (a light VSIDS variant: bump the
   variables of conflicting clauses and decay periodically),
 * optional assumption literals (used by the incremental model-enumeration
   layer),
+* a resumable search protocol (:meth:`Solver.next_model`) for the
+  chronological AllSAT enumerator of :mod:`repro.sat.allsat`: after a
+  model, the search backtracks to the deepest still-open decision and
+  *continues* instead of restarting against blocking clauses,
 * deterministic behaviour — no randomness, so every test and benchmark is
   reproducible.
+
+**Copy-on-write clause storage.**  ``Solver(instance)`` does *not* deep-copy
+the clause lists: it takes a shallow copy of the clause container, shares
+the (immutable) clause prefix with the instance, and appends
+solver-private clauses — blocking clauses, incremental additions — to its
+own tail.  The watched-literal machinery keeps its state in per-clause
+side arrays instead of reordering clause lists in place, which is what
+makes the sharing safe; repeated probes (``query_equivalent``, streams of
+``is_satisfiable`` calls) no longer pay a full clause-database copy per
+solver.
 
 This is the substrate standing in for the abstract NP/coNP oracles of the
 paper: every entailment test ``T * P |= Q``, consistency check inside
@@ -19,7 +35,7 @@ paper: every entailment test ``T * P |= Q``, consistency check inside
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 
 class CnfInstance:
@@ -64,17 +80,22 @@ class CnfInstance:
 
 
 class Solver:
-    """DPLL with watched literals over a :class:`CnfInstance` snapshot.
+    """DPLL with watched literals over a :class:`CnfInstance`.
 
-    The instance is copied at construction: adding clauses to the original
-    afterwards does not affect the solver.  For the incremental patterns the
-    library needs (blocking clauses during enumeration), create the solver
-    once and call :meth:`add_clause` on it directly.
+    The clause *prefix* is shared with the instance (the solver never
+    mutates clause lists); clauses added through :meth:`add_clause`
+    afterwards are private to the solver.  For the incremental patterns
+    the library needs (blocking clauses during enumeration), create the
+    solver once and call :meth:`add_clause` on it directly — adding
+    clauses to the original instance after construction does not affect
+    the solver.
     """
 
     def __init__(self, instance: CnfInstance) -> None:
         self.num_vars = instance.num_vars
-        self.clauses: List[List[int]] = [list(c) for c in instance.clauses]
+        # Shallow copy: clause lists are shared immutably with the
+        # instance; only the container is private (for blocking clauses).
+        self.clauses: List[List[int]] = list(instance.clauses)
         self._unsat_forever = instance.has_empty_clause
         # assignment[v] in (-1 unassigned, 0 false, 1 true)
         self._assign: List[int] = [-1] * (self.num_vars + 1)
@@ -83,12 +104,21 @@ class Solver:
         self._trail_lim: List[int] = []
         self._activity: List[float] = [0.0] * (self.num_vars + 1)
         self._watches: Dict[int, List[int]] = {}
+        self._conflicts = 0
+        # Branching control for projected enumeration: vars to decide
+        # first, and vars to skip entirely (clause-free letters whose
+        # value cannot matter).  See set_branch_priority / set_branch_skip.
+        self._priority: Optional[List[bool]] = None
+        self._skip: Optional[List[bool]] = None
         self._init_watches()
 
     # -- construction helpers -------------------------------------------------
 
     def _init_watches(self) -> None:
         self._units: List[int] = []
+        # Per-clause watched literal pair, stored outside the clause lists
+        # so the (shared) clauses themselves are never reordered.
+        self._watch_pair: List[Optional[List[int]]] = [None] * len(self.clauses)
         for index, clause in enumerate(self.clauses):
             self._watch_clause(index, clause)
 
@@ -99,7 +129,9 @@ class Solver:
         if len(clause) == 1:
             self._units.append(clause[0])
             return
-        for lit in clause[:2]:
+        pair = [clause[0], clause[1]]
+        self._watch_pair[index] = pair
+        for lit in pair:
             self._watches.setdefault(-lit, []).append(index)
 
     def add_clause(self, clause: Iterable[int]) -> None:
@@ -117,6 +149,7 @@ class Solver:
                 seen.add(lit)
                 out.append(lit)
         self.clauses.append(out)
+        self._watch_pair.append(None)
         self._watch_clause(len(self.clauses) - 1, out)
 
     def _grow(self, new_num_vars: int) -> None:
@@ -124,7 +157,36 @@ class Solver:
         self._assign.extend([-1] * extra)
         self._level.extend([0] * extra)
         self._activity.extend([0.0] * extra)
+        if self._priority is not None:
+            self._priority.extend([False] * extra)
+        if self._skip is not None:
+            self._skip.extend([False] * extra)
         self.num_vars = new_num_vars
+
+    # -- branching control ----------------------------------------------------
+
+    def set_branch_priority(self, variables: Iterable[int]) -> None:
+        """Prefer these variables when branching (projection-first search).
+
+        The enumeration layer sets the projection variables as priority so
+        every auxiliary (Tseitin) decision happens *after* the projected
+        assignment is complete — the invariant that makes chronological
+        backtracking over projected models duplicate-free.
+        """
+        flags = [False] * (self.num_vars + 1)
+        for var in variables:
+            flags[var] = True
+        self._priority = flags
+
+    def set_branch_skip(self, variables: Iterable[int]) -> None:
+        """Never branch on these variables (and do not require them for a
+        model).  Only sound for variables that occur in no unsatisfied
+        clause — the enumeration layer uses it for clause-free letters,
+        which it re-expands as free bits of every emitted cube."""
+        flags = [False] * (self.num_vars + 1)
+        for var in variables:
+            flags[var] = True
+        self._skip = flags
 
     # -- assignment primitives --------------------------------------------------
 
@@ -134,6 +196,35 @@ class Solver:
         if val < 0:
             return -1
         return val if lit > 0 else 1 - val
+
+    def value_of(self, var: int) -> Optional[bool]:
+        """Current assignment of ``var`` (None when unassigned) — trail
+        introspection for the enumeration layer."""
+        val = self._assign[var]
+        return None if val < 0 else bool(val)
+
+    def decisions(self) -> List[int]:
+        """The decision literals above the assumption level, in level order.
+
+        A positive literal is a first-phase decision (its negation is still
+        unexplored), a negative literal a second-phase one.  Empty before
+        :meth:`solve` / after exhaustion.
+        """
+        return [segment[0] for segment in self.decision_segments()]
+
+    def decision_segments(self) -> List[List[int]]:
+        """Per decision level, its trail slice (decision literal first,
+        the literals it propagated after) — the introspection the AllSAT
+        layer's cube generalization needs: a decision whose level forced
+        other projection literals cannot be generalized away."""
+        out: List[List[int]] = []
+        limits = self._trail_lim
+        for level in range(1, len(limits)):
+            start = limits[level]
+            end = limits[level + 1] if level + 1 < len(limits) else len(self._trail)
+            if start < end:
+                out.append(self._trail[start:end])
+        return out
 
     def _enqueue(self, lit: int) -> bool:
         val = self._value(lit)
@@ -166,23 +257,26 @@ class Solver:
                 clause_index = watch_list[position]
                 position += 1
                 clause = self.clauses[clause_index]
-                # Normalise: make clause[1] the falsified watch (-lit).
-                if clause[0] == -lit:
-                    clause[0], clause[1] = clause[1], clause[0]
-                if self._value(clause[0]) == 1:
+                pair = self._watch_pair[clause_index]
+                # pair holds the two watched literals; -lit is falsified.
+                if pair[0] == -lit:
+                    slot, other = 0, pair[1]
+                else:
+                    slot, other = 1, pair[0]
+                if self._value(other) == 1:
                     keep.append(clause_index)
                     continue
                 moved = False
-                for alt in range(2, len(clause)):
-                    if self._value(clause[alt]) != 0:
-                        clause[1], clause[alt] = clause[alt], clause[1]
-                        self._watches.setdefault(-clause[1], []).append(clause_index)
+                for alt in clause:
+                    if alt != other and alt != -lit and self._value(alt) != 0:
+                        pair[slot] = alt
+                        self._watches.setdefault(-alt, []).append(clause_index)
                         moved = True
                         break
                 if moved:
                     continue
                 keep.append(clause_index)
-                if not self._enqueue(clause[0]):
+                if not self._enqueue(other):
                     conflict = clause
                     keep.extend(watch_list[position:])
                     break
@@ -210,30 +304,60 @@ class Solver:
         self._activity = [a * 0.9 for a in self._activity]
 
     def _pick_branch(self) -> int:
+        assign = self._assign
+        activity = self._activity
+        priority = self._priority
+        skip = self._skip
         best_var = 0
         best_activity = -1.0
+        pref_var = 0
+        pref_activity = -1.0
         for var in range(1, self.num_vars + 1):
-            if self._assign[var] < 0 and self._activity[var] > best_activity:
+            if assign[var] >= 0:
+                continue
+            if skip is not None and skip[var]:
+                continue
+            value = activity[var]
+            if priority is not None and priority[var]:
+                if value > pref_activity:
+                    pref_var = var
+                    pref_activity = value
+            elif value > best_activity:
                 best_var = var
-                best_activity = self._activity[var]
-        return best_var
+                best_activity = value
+        return pref_var or best_var
 
     # -- main search ----------------------------------------------------------------
 
     def solve(self, assumptions: Sequence[int] = ()) -> bool:
-        """Decide satisfiability under the given assumption literals."""
+        """Decide satisfiability under the given assumption literals.
+
+        On success the trail holds a total assignment (read it with
+        :meth:`model`) and the search can be *resumed* towards further
+        models with :meth:`next_model` — calling :meth:`solve` again
+        instead restarts from scratch.
+        """
+        if not self.prime(assumptions):
+            return False
+        return self._search(len(self._trail))
+
+    def prime(self, assumptions: Sequence[int] = ()) -> bool:
+        """Propagate level-0 units and the assumptions, without branching.
+
+        Leaves the solver at the assumption level on success (trail and
+        assignments inspectable — the enumeration layer reads the forced
+        literals here to simplify and split the CNF); returns ``False``
+        and resets to level 0 when the formula is already conflicting.
+        """
         if self._unsat_forever:
             return False
         self._backtrack_to(0)
-        # Level-0 units (original unit clauses).
         for lit in self._units:
             if not self._enqueue(lit):
                 return False
         if self._propagate(0) is not None:
             return False
         root = len(self._trail)
-
-        # Assumption level.
         self._trail_lim.append(len(self._trail))
         for lit in assumptions:
             if abs(lit) > self.num_vars:
@@ -244,30 +368,71 @@ class Solver:
         if self._propagate(root) is not None:
             self._backtrack_to(0)
             return False
+        return True
 
-        conflicts = 0
+    def _search(self, queue_start: int) -> bool:
+        """Branch/propagate until a total model or exhaustion.
+
+        The shared engine behind :meth:`solve` (fresh search) and
+        :meth:`next_model` (resumed search): propagate, on conflict flip
+        the deepest first-phase decision chronologically, branch when
+        propagation settles.  Returns ``True`` with the trail at the
+        model, or ``False`` (solver reset to level 0) when the remaining
+        search space under the assumptions is exhausted.
+        """
         while True:
-            branch_var = self._pick_branch()
-            if branch_var == 0:
-                return True  # all assigned, no conflict
-            # Try positive phase first (deterministic).
-            self._trail_lim.append(len(self._trail))
-            queue_start = len(self._trail)
-            self._enqueue(branch_var)
-            while True:
-                conflict = self._propagate(queue_start)
-                if conflict is None:
-                    break
+            conflict = self._propagate(queue_start)
+            while conflict is not None:
                 self._bump_clause(conflict)
-                conflicts += 1
-                if conflicts % 256 == 0:
+                self._conflicts += 1
+                if self._conflicts % 256 == 0:
                     self._decay()
-                # Chronological backtracking with phase flip.
                 flipped = self._flip_last_decision()
                 if flipped is None:
                     self._backtrack_to(0)
                     return False
-                queue_start = flipped
+                conflict = self._propagate(flipped)
+            branch_var = self._pick_branch()
+            if branch_var == 0:
+                return True  # all (non-skipped) vars assigned, no conflict
+            # Try positive phase first (deterministic).
+            self._trail_lim.append(len(self._trail))
+            queue_start = len(self._trail)
+            self._enqueue(branch_var)
+
+    def next_model(self, flip: Optional[Callable[[int], bool]] = None) -> bool:
+        """Resume the search after a model found by :meth:`solve`.
+
+        Chronological continuation: walk the decision levels from the
+        deepest; second-phase decisions are popped (both phases explored),
+        and each first-phase decision literal is offered to ``flip`` —
+        ``True`` explores its second phase from the same depth (the normal
+        next-model step), ``False`` pops the level as *covered* (the
+        enumeration layer answers ``False`` for auxiliary completions and
+        for decisions generalised into an emitted cube).  Returns ``True``
+        at the next total model, ``False`` (solver reset to level 0) when
+        the search space is exhausted.
+
+        No blocking clause is ever added: the clause database — and hence
+        propagation cost — stays exactly as large as the input.
+        """
+        if self._unsat_forever:
+            return False
+        while len(self._trail_lim) > 1:
+            level = len(self._trail_lim) - 1
+            boundary = self._trail_lim[level]
+            decision = self._trail[boundary]
+            self._backtrack_to(level)
+            if decision > 0 and (flip is None or flip(decision)):
+                self._trail_lim.append(len(self._trail))
+                position = len(self._trail)
+                if self._enqueue(-decision):
+                    if self._search(position):
+                        return True
+                    return False
+                self._backtrack_to(level)
+        self._backtrack_to(0)
+        return False
 
     def _flip_last_decision(self) -> Optional[int]:
         """Undo the deepest decision still on its first phase and flip it.
@@ -300,7 +465,8 @@ class Solver:
         """The satisfying assignment from the last successful :meth:`solve`.
 
         Unassigned variables (possible when the formula does not constrain
-        them) default to false.
+        them, or when they were excluded via :meth:`set_branch_skip`)
+        default to false.
         """
         out: List[int] = []
         for var in range(1, self.num_vars + 1):
