@@ -48,6 +48,7 @@ Run ``python benchmarks/bench_revision_perf.py`` from the repo root
 from __future__ import annotations
 
 import argparse
+import gc
 import hashlib
 import json
 import multiprocessing
@@ -625,6 +626,162 @@ def run_sparse_benchmark(sizes, t_cubes, p_cubes, operators):
     }
 
 
+def run_cdcl_benchmark(sizes, model_count, seeds, reps=2):
+    """The clause-heavy CDCL workload: learning on vs off, masks verified.
+
+    Per (size, seed), one :mod:`repro.hardness.clause_family` pair — a
+    planted-selector CNF whose ground-truth model set is known exactly —
+    enumerated to cubes twice: with clause learning (``REPRO_CDCL=1``, the
+    default CDCL core) and without (``REPRO_CDCL=0``, the PR 5
+    chronological search).  Both runs must reproduce the planted masks bit
+    for bit; the first seed of each size additionally re-enumerates under
+    ``REPRO_PARALLEL=2`` with the component/prefix fan-out live and checks
+    the masks a third time (worker count may change the cube partition,
+    never the model set).
+
+    Timings are **CPU seconds** (``time.process_time``, min over ``reps``)
+    — the enumeration legs are single-threaded and CPU-bound, and CPU time
+    is immune to the co-tenant steal that dominates wall-clock variance on
+    shared runners.
+    """
+    from repro.hardness import clause_family
+    from repro.sat import allsat
+    from repro.sat.interface import _Encoding
+
+    print(
+        f"\ncdcl allsat: clause family, {model_count} planted models, "
+        f"sizes {list(sizes)}, seeds {list(seeds)}"
+    )
+    records = []
+
+    def _enumerate(workload, letters, cdcl, parallel):
+        saved_cdcl = os.environ.get("REPRO_CDCL")
+        os.environ["REPRO_CDCL"] = cdcl
+        try:
+            best = None
+            masks = None
+            for _ in range(reps if not parallel else 1):
+                enc = _Encoding()
+                enc.add_formula(workload.t_formula)
+                projection = sorted(enc.var(name) for name in letters)
+                bit_of = {
+                    enc.var(name): bit for bit, name in enumerate(letters)
+                }
+                gc.collect()
+                gc.disable()
+                start = time.process_time()
+                cubes = list(
+                    allsat.enumerate_cubes(
+                        enc.instance, projection, parallel=parallel
+                    )
+                )
+                elapsed = time.process_time() - start
+                gc.enable()
+                best = elapsed if best is None else min(best, elapsed)
+                masks = tuple(sorted(allsat.cube_masks(cubes, bit_of)))
+        finally:
+            if saved_cdcl is None:
+                del os.environ["REPRO_CDCL"]
+            else:
+                os.environ["REPRO_CDCL"] = saved_cdcl
+        return best, masks
+
+    for size in sizes:
+        for index, seed in enumerate(seeds):
+            workload = clause_family.build(
+                size, model_count, model_count, seed=seed,
+                noise_per_letter=9.0, noise_width=(3, 4),
+            )
+            letters = sorted(workload.letters)
+            stats_before = dict(allsat.STATS)
+            cdcl_seconds, cdcl_masks = _enumerate(
+                workload, letters, "1", False
+            )
+            conflicts = allsat.STATS["conflicts"] - stats_before["conflicts"]
+            learned = allsat.STATS["learned"] - stats_before["learned"]
+            chrono_seconds, chrono_masks = _enumerate(
+                workload, letters, "0", False
+            )
+            if cdcl_masks != workload.t_masks:
+                raise AssertionError(
+                    f"CDCL masks diverge from ground truth at {size} "
+                    f"letters (seed {seed})"
+                )
+            if chrono_masks != workload.t_masks:
+                raise AssertionError(
+                    f"chronological masks diverge from ground truth at "
+                    f"{size} letters (seed {seed})"
+                )
+            if conflicts <= 0 or learned <= 0:
+                raise AssertionError(
+                    f"CDCL counters did not fire at {size} letters "
+                    f"(seed {seed}): conflicts={conflicts} learned={learned}"
+                )
+            parallel_identical = None
+            if index == 0:
+                saved_workers = os.environ.get("REPRO_PARALLEL")
+                os.environ["REPRO_PARALLEL"] = "2"
+                try:
+                    _, parallel_masks = _enumerate(
+                        workload, letters, "1", True
+                    )
+                finally:
+                    if saved_workers is None:
+                        del os.environ["REPRO_PARALLEL"]
+                    else:
+                        os.environ["REPRO_PARALLEL"] = saved_workers
+                if parallel_masks != workload.t_masks:
+                    raise AssertionError(
+                        f"parallel masks diverge at {size} letters "
+                        f"(seed {seed})"
+                    )
+                parallel_identical = True
+            speedup = (
+                chrono_seconds / cdcl_seconds if cdcl_seconds > 0 else None
+            )
+            records.append(
+                {
+                    "size": size,
+                    "seed": seed,
+                    "models": workload.t_model_count,
+                    "clauses": workload.clause_counts[0],
+                    "cdcl_cpu_s": cdcl_seconds,
+                    "chrono_cpu_s": chrono_seconds,
+                    "enum_speedup": speedup,
+                    "conflicts": conflicts,
+                    "learned": learned,
+                    "parallel_masks_identical": parallel_identical,
+                }
+            )
+            shown = f"{speedup:.1f}x" if speedup is not None else "n/a"
+            print(
+                f"  n={size} seed={seed}: cdcl={cdcl_seconds:.2f}s "
+                f"chrono={chrono_seconds:.2f}s ({shown}, "
+                f"{conflicts} conflicts, {learned} learned, "
+                f"identical masks)", flush=True,
+            )
+    return {
+        "workload": {
+            "generator": "repro.hardness.clause_family.build",
+            "t_models": model_count,
+            "p_models": model_count,
+            "noise_per_letter": 9.0,
+            "noise_width": [3, 4],
+            "sizes": list(sizes),
+            "seeds": list(seeds),
+            "note": (
+                "planted-selector CNF, clause order adversarial for "
+                "chronological search; ground-truth masks exact at every "
+                "size"
+            ),
+        },
+        "timing": f"CPU seconds (time.process_time), min over {reps} reps",
+        # Reaching this line means every mask assertion above passed.
+        "verified_identical": True,
+        "results": records,
+    }
+
+
 def run_spot_check(size, operators):
     """Verify the sharded tier against the SAT blocking-clause fallback on
     a sparse instance above the big-int cutoff (model sets must match
@@ -873,6 +1030,21 @@ def main(argv=None):
         help="also run the batched workload (optionally at these sizes)",
     )
     parser.add_argument(
+        "--cdcl-sizes", type=int, nargs="+", default=None, metavar="SIZE",
+        help="also run the clause-heavy CDCL workload "
+             "(repro.hardness.clause_family) at these alphabet sizes, "
+             "A/Bing clause learning against the chronological search "
+             "(REPRO_CDCL=0) with masks verified against ground truth",
+    )
+    parser.add_argument(
+        "--cdcl-models", type=int, default=448,
+        help="planted model count of the CDCL workload (T and P)",
+    )
+    parser.add_argument(
+        "--cdcl-seeds", type=int, nargs="+", default=[7, 11, 13],
+        help="workload seeds for the CDCL clause family",
+    )
+    parser.add_argument(
         "--label", default="pr5-allsat-enumerator",
         help="trajectory label for this run",
     )
@@ -933,10 +1105,13 @@ def main(argv=None):
             ),
             "allsat": (
                 "incremental AllSAT enumeration (repro.sat.allsat): "
-                "resume-don't-restart chronological search with cube "
-                "generalization and component splitting feeds the SAT "
-                "tier; REPRO_ALLSAT=0 restores the blocking-clause loop "
-                "(the A/B in sparse_tier.enumeration)"
+                "resume-don't-restart CDCL search (first-UIP learning, "
+                "VSIDS, floor-clamped backjumps; REPRO_CDCL=0 restores "
+                "the chronological PR 5 search) with cube generalization, "
+                "component splitting and the REPRO_PARALLEL fan-out feeds "
+                "the SAT tier; REPRO_ALLSAT=0 restores the blocking-"
+                "clause loop (the A/Bs in sparse_tier.enumeration and "
+                "cdcl_allsat)"
             ),
         },
         "models_verified_identical": all(
@@ -958,6 +1133,11 @@ def main(argv=None):
     if args.batch is not None:
         batch_sizes = args.batch or [12, 14]
         payload["batch"] = run_batch_benchmark(batch_sizes, args.operators)
+    if args.cdcl_sizes is not None:
+        payload["cdcl_allsat"] = run_cdcl_benchmark(
+            args.cdcl_sizes, args.cdcl_models, args.cdcl_seeds,
+            reps=1 if args.quick else 2,
+        )
 
     trajectory = load_trajectory(args.json_path)
     trajectory["runs"].append(payload)

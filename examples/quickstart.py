@@ -141,16 +141,31 @@ def main() -> None:
     # --- the enumeration path: incremental AllSAT ---------------------------
     # Past the bitplane cutoffs the model sets themselves come out of a
     # SAT solver.  Since PR 5 that is the *incremental* enumerator of
-    # repro.sat.allsat: one solver per enumeration, resumed
-    # chronologically after each model (no blocking clauses, no
-    # quadratic restart cost), emitting *cubes* — partial models whose
-    # don't-care letters cover 2^k total models — straight into the
-    # sparse tier's mask carrier.  Knobs:
+    # repro.sat.allsat: one solver per enumeration, resumed after each
+    # model (no blocking clauses, no quadratic restart cost), emitting
+    # *cubes* — partial models whose don't-care letters cover 2^k total
+    # models — straight into the sparse tier's mask carrier.  Since PR 6
+    # the solver underneath is a CDCL search: first-UIP clause learning,
+    # VSIDS branching, Luby restarts (gated off during enumeration so
+    # the cube stream stays duplicate-free) and learned-clause DB
+    # reduction — on clause-heavy CNF shapes the "no further models"
+    # proof is where chronological search pays exponentially.  Knobs:
     #
     #   REPRO_ALLSAT=0             # back to the blocking-clause loop
     #                              # (A/B timing, parity checking)
     #   REPRO_ALLSAT_CUBES=0       # disable cube generalization
     #   REPRO_ALLSAT_COMPONENTS=0  # disable component splitting
+    #   REPRO_CDCL=0               # back to the chronological PR 5
+    #                              # search (learning/VSIDS/restarts off;
+    #                              # model sets identical either way)
+    #   REPRO_ALLSAT_PARALLEL=0    # disable the process fan-out that
+    #                              # enumerates independent components
+    #                              # (and, for one big component,
+    #                              # disjoint decision-prefix subtrees)
+    #                              # over REPRO_PARALLEL workers; any
+    #                              # worker count yields bit-identical
+    #                              # masks, only the cube partition and
+    #                              # wall-clock change
     #
     # The same machinery answers model counting on the cubes (sum of
     # 2^k, nothing materialised) and, in BatchCache, compiles a drifting
@@ -166,6 +181,10 @@ def main() -> None:
     print(f"  enumerations : {allsat.STATS['enumerations']}")
     print(f"  solver resumes per model set: see allsat.STATS "
           f"(cubes {allsat.STATS['cubes']}, models {allsat.STATS['models']})")
+    print(f"  CDCL observability: conflicts {allsat.STATS['conflicts']}, "
+          f"learned {allsat.STATS['learned']}, "
+          f"restarts {allsat.STATS['restarts']}, "
+          f"max backjump {allsat.STATS['max_backjump']}")
     print(f"  result entails its own first letter? "
           f"{result.entails(sorted(workload.letters)[0])}")
 

@@ -6,13 +6,16 @@ suite verifies the claimed iff-reductions against brute-force 3-SAT for
 feasible ``n``, and the benchmark harness measures the size blow-up of
 explicit representations on these families (Tables 3/4 NO cells).
 
-:mod:`.sparse_family` is the one *positive* workload generator here: the
-large-alphabet, bounded-density (letters × model-density parameterised)
-pairs the sparse engine tier serves, with known ground-truth model sets.
+:mod:`.sparse_family` and :mod:`.clause_family` are the two *positive*
+workload generators here: the former builds large-alphabet, bounded-density
+(letters × model-density parameterised) DNF-shaped pairs for the sparse
+engine tier, the latter clause-heavy planted-selector CNFs that stress the
+solver core — both with known ground-truth model sets.
 """
 
 from . import (
     bounded_gfuv,
+    clause_family,
     dalal_weber_family,
     forbus_family,
     gfuv_family,
@@ -24,6 +27,7 @@ from . import (
 
 __all__ = [
     "bounded_gfuv",
+    "clause_family",
     "dalal_weber_family",
     "forbus_family",
     "gfuv_family",

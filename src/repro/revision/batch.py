@@ -46,7 +46,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..logic import shards as _shards
 from ..logic.bitmodels import BitAlphabet, BitModelSet
-from ..logic.formula import Formula, FormulaLike, as_formula
+from ..logic.formula import And, Formula, FormulaLike, as_formula
 from ..logic.theory import Theory, TheoryLike
 from ..sat import bit_models as sat_bit_models
 from ..sat import incremental_bit_models as sat_incremental_bit_models
@@ -61,6 +61,33 @@ from .registry import get_operator
 #: enumerating from scratch (see :meth:`BatchCache.bit_models`).
 INCREMENTAL_CARRIER = os.environ.get("REPRO_INCREMENTAL_CARRIER", "1") != "0"
 
+#: How many recent carriers the per-(alphabet, role) LRU keeps as seed
+#: candidates for the incremental path (``REPRO_CARRIER_LRU``; 1 restores
+#: the PR 5 latest-only behaviour exactly).
+CARRIER_LRU_SIZE = max(1, int(os.environ.get("REPRO_CARRIER_LRU", "4")))
+
+
+def _carrier_signature(formula: Formula) -> frozenset:
+    """Cheap relatedness fingerprint: the set of top-level conjuncts.
+
+    A drifting update stream typically edits one conjunct of a big
+    conjunction per request; two formulas sharing most conjuncts have a
+    small delta ``new ∧ ¬old``, which is exactly what makes an
+    incremental-carrier seed cheap.  Non-conjunctions fingerprint as a
+    singleton, so any exact resubmission still scores 1.0.
+    """
+    if isinstance(formula, And):
+        return frozenset(formula.operands)
+    return frozenset((formula,))
+
+
+def _relatedness(left: frozenset, right: frozenset) -> float:
+    """Jaccard similarity of two carrier signatures (0.0 when disjoint)."""
+    union = len(left | right)
+    if union == 0:
+        return 1.0
+    return len(left & right) / union
+
 
 class BatchCache:
     """Per-batch model-set cache keyed by ``(formula, alphabet letters)``.
@@ -74,34 +101,47 @@ class BatchCache:
     __slots__ = (
         "_model_sets",
         "_results",
-        "_last_enumerated",
+        "_carrier_lru",
         "hits",
         "misses",
         "incremental",
+        "carrier_lru_hits",
+        "carrier_lru_related",
         "tier_counts",
     )
 
     def __init__(self) -> None:
         self._model_sets: Dict[Tuple[Formula, Tuple[str, ...]], BitModelSet] = {}
         self._results: Dict[Tuple[str, Formula, Formula], RevisionResult] = {}
-        #: Per (alphabet, role), the latest formula/model-set pair that went
-        #: through SAT enumeration — the seed of the incremental-carrier
-        #: path.  Keyed by role ("theory" / "update") so a drifting update
-        #: stream seeds from the previous *update*, never from the KB.
-        self._last_enumerated: Dict[
-            Tuple[Tuple[str, ...], Optional[str]], Tuple[Formula, BitModelSet]
+        #: Per (alphabet, role), an LRU (most recent last) of the last
+        #: :data:`CARRIER_LRU_SIZE` formulas that went through SAT
+        #: enumeration, with their model sets and relatedness signatures —
+        #: the seed candidates of the incremental-carrier path.  Keyed by
+        #: role ("theory" / "update") so a drifting update stream seeds
+        #: from a previous *update*, never from the KB.
+        self._carrier_lru: Dict[
+            Tuple[Tuple[str, ...], Optional[str]],
+            List[Tuple[Formula, BitModelSet, frozenset]],
         ] = {}
         self.hits = 0
         self.misses = 0
         #: How many compiles the incremental-carrier path served (re-check
-        #: of the previous carrier + delta enumeration under assumptions,
+        #: of a previous carrier + delta enumeration under assumptions,
         #: see :func:`repro.sat.incremental_bit_models`).
         self.incremental = 0
+        #: How many incremental seeds the carrier LRU supplied at all, and
+        #: how many of those the relatedness test steered to an *older*
+        #: entry than the most recent one (the cases a latest-only cache
+        #: would have seeded worse or not at all).
+        self.carrier_lru_hits = 0
+        self.carrier_lru_related = 0
         #: Which engine tier served each pair of the batch — a Counter over
         #: the ``RevisionResult.engine_tier`` labels (``"table"`` /
         #: ``"sharded"`` / ``"sparse"`` / ``"masks"`` / ``"sparse-spill"``
-        #: / ``"degenerate"``), plus ``"memoised"`` for result-cache hits
-        #: and ``"formula-based"`` for syntax-sensitive operators.  The
+        #: / ``"degenerate"``), plus ``"memoised"`` for result-cache hits,
+        #: ``"formula-based"`` for syntax-sensitive operators, and the
+        #: ``"carrier-lru-seed"`` / ``"carrier-lru-related"`` marks the
+        #: incremental-carrier LRU leaves per seeded compile.  The
         #: serving layer's observability hook: it says, per batch, how
         #: much traffic ran density-proportionally vs on bitplanes vs on
         #: the SAT mask loops.
@@ -117,16 +157,21 @@ class BatchCache:
 
         Past the bitplane cutoffs — where compilation means SAT
         enumeration — a miss is served *incrementally* when this cache has
-        already enumerated a formula in the same ``role`` ("theory" /
-        "update") over the same alphabet: the previous carrier is
-        re-checked against the new formula and only the delta
+        already enumerated formulas in the same ``role`` ("theory" /
+        "update") over the same alphabet: an LRU of the last
+        :data:`CARRIER_LRU_SIZE` carriers is probed with a cheap
+        relatedness test (Jaccard over top-level conjuncts), the closest
+        carrier is re-checked against the new formula, and only the delta
         (``new ∧ ¬old``) is enumerated, under assumptions
         (:func:`repro.sat.incremental_bit_models`).  For the serving shape
-        the ROADMAP names — one KB, a stream of revising formulas that
-        drift a little per request — each ``P`` compile then costs a
-        vectorised re-check plus a handful of solver resumes instead of a
-        full enumeration.  Results are exactly those of a fresh compile;
-        ``REPRO_INCREMENTAL_CARRIER=0`` disables the path.
+        the ROADMAP names — one KB, interleaved streams of revising
+        formulas that each drift a little per request — each ``P`` compile
+        then costs a vectorised re-check plus a handful of solver resumes
+        instead of a full enumeration, even when unrelated requests landed
+        in between.  Ties and zero-overlap probes fall back to the most
+        recent carrier (the PR 5 behaviour; ``REPRO_CARRIER_LRU=1`` pins
+        the cache to exactly that).  Results are exactly those of a fresh
+        compile; ``REPRO_INCREMENTAL_CARRIER=0`` disables the path.
         """
         key = (formula, alphabet.letters)
         cached = self._model_sets.get(key)
@@ -137,17 +182,37 @@ class BatchCache:
         bits = None
         enumerated = len(alphabet) > _shards.SHARD_MAX_LETTERS
         seed_key = (alphabet.letters, role)
+        signature = None
         if enumerated and INCREMENTAL_CARRIER:
-            previous = self._last_enumerated.get(seed_key)
-            if previous is not None:
+            lru = self._carrier_lru.get(seed_key)
+            if lru:
+                signature = _carrier_signature(formula)
+                # Most recent last: on a tie the later (more recent) entry
+                # wins, so a zero-overlap probe degrades to latest-only.
+                best_index = max(
+                    range(len(lru)),
+                    key=lambda i: (_relatedness(signature, lru[i][2]), i),
+                )
+                seed_formula, seed_bits, _ = lru[best_index]
                 bits = sat_incremental_bit_models(
-                    formula, alphabet, previous[0], previous[1]
+                    formula, alphabet, seed_formula, seed_bits
                 )
                 self.incremental += 1
+                self.carrier_lru_hits += 1
+                self.tier_counts["carrier-lru-seed"] += 1
+                if best_index != len(lru) - 1:
+                    self.carrier_lru_related += 1
+                    self.tier_counts["carrier-lru-related"] += 1
         if bits is None:
             bits = sat_bit_models(formula, alphabet)
         if enumerated:
-            self._last_enumerated[seed_key] = (formula, bits)
+            if signature is None:
+                signature = _carrier_signature(formula)
+            lru = self._carrier_lru.setdefault(seed_key, [])
+            lru[:] = [entry for entry in lru if entry[0] != formula]
+            lru.append((formula, bits, signature))
+            if len(lru) > CARRIER_LRU_SIZE:
+                del lru[0]
         self._model_sets[key] = bits
         return bits
 

@@ -45,21 +45,40 @@ exactly, and the *set* of projected models is identical to the
 blocking-clause loop's (the hypothesis suite in ``tests/test_allsat.py``
 asserts it across projections, limits and degenerate shapes).
 
+A fourth layer arrived with the CDCL solver core: on clause-heavy
+(non-DNF) shapes the "no further models" proof inside each region is now a
+first-UIP learning search instead of exponential chronological
+backtracking (see :mod:`repro.sat.solver` for why learning is sound under
+resumes), and independent cube streams — one per connected component, or
+disjoint decision-prefix subtrees of one large component — can fan out
+over worker processes.  Combines are union-only (cube lists concatenate;
+masks and carriers are built by sorted-deduplicating expansion), so the
+emitted *model set* is bit-identical for any worker count.
+
 Knobs:
 
 * ``REPRO_ALLSAT=0`` — disable the incremental enumerator entirely;
   :func:`repro.sat.enumerate.enumerate_models` then runs the blocking-
   clause loop (A/B timing, parity testing).  Read **live** at every
   call, so harnesses can flip it in-process;
-* :data:`CUBES` / :data:`COMPONENTS` — disable cube generalization /
-  component splitting individually.  Initialised once at import from
-  ``REPRO_ALLSAT_CUBES=0`` / ``REPRO_ALLSAT_COMPONENTS=0``; for
+* ``REPRO_CDCL=0`` — disable clause learning in the solver core (read at
+  every :class:`~repro.sat.solver.Solver` construction, see
+  :func:`repro.sat.solver.cdcl_enabled`) — the chronological-DPLL A/B
+  baseline;
+* :data:`CUBES` / :data:`COMPONENTS` / :data:`PARALLEL` — disable cube
+  generalization / component splitting / process fan-out individually.
+  Initialised once at import from ``REPRO_ALLSAT_CUBES=0`` /
+  ``REPRO_ALLSAT_COMPONENTS=0`` / ``REPRO_ALLSAT_PARALLEL=0``; for
   in-process A/B, retarget the *module attributes* (as the hypothesis
-  suite does), not the environment.
+  suite does), not the environment.  The fan-out width itself comes from
+  :func:`repro.logic.shards.parallel_workers` (``REPRO_PARALLEL``), like
+  the sparse tier's.
 
-:data:`STATS` counts enumerations, solver resumes, cubes and models — the
-CI perf-smoke leg asserts the enumerator actually served the sparse-tier
-workload, and benchmarks report cube compression ratios from it.
+:data:`STATS` counts enumerations, solver resumes, cubes and models, plus
+the CDCL counters (conflicts, learned clauses, restarts, deepest
+backjump) and the parallel fan-out shape — the CI perf-smoke legs assert
+the enumerator actually served the workload, and benchmarks report cube
+compression ratios and learning activity from it.
 """
 
 from __future__ import annotations
@@ -77,16 +96,45 @@ CUBES = os.environ.get("REPRO_ALLSAT_CUBES", "1") != "0"
 #: import); a module attribute, retargetable at runtime like :data:`CUBES`.
 COMPONENTS = os.environ.get("REPRO_ALLSAT_COMPONENTS", "1") != "0"
 
+#: Process fan-out on/off (env ``REPRO_ALLSAT_PARALLEL=0`` at import); a
+#: module attribute.  Even when on, fan-out engages only for unlimited
+#: enumerations and only when ``repro.logic.shards.parallel_workers``
+#: grants more than one worker for the projection size.
+PARALLEL = os.environ.get("REPRO_ALLSAT_PARALLEL", "1") != "0"
+
+#: Prefix-split a *single* component only when its projection has at
+#: least this many variables (below that, subtree setup dwarfs the work).
+PARALLEL_SPLIT_MIN_VARS = 6
+
+#: Oversplit factor: a lone component is cut into roughly this many
+#: decision-prefix subtrees per worker, so uneven subtrees load-balance.
+PARALLEL_SPLIT_FACTOR = 4
+
+#: Hard cap on the prefix depth (2^depth subtrees).
+PARALLEL_SPLIT_MAX_DEPTH = 8
+
 #: Running counters for observability: how many enumerations ran, how many
-#: solver resumes / emitted cubes / covered models they produced, and how
-#: many components were split off.  Monotonic per process; the CI smoke leg
-#: asserts they move when the enumerator is supposed to serve.
+#: solver resumes / emitted cubes / covered models they produced, how many
+#: components were split off, the CDCL activity behind them (conflicts,
+#: learned clauses, restarts, deepest backjump — folded in from each
+#: solver), and the parallel fan-out shape (fan-outs run, subproblems
+#: dispatched, workers of the last fan-out).  Monotonic per process except
+#: ``max_backjump`` (a high-water mark) and ``parallel_workers`` (last
+#: value); the CI smoke legs assert they move when the enumerator is
+#: supposed to serve.
 STATS: Dict[str, int] = {
     "enumerations": 0,
     "resumes": 0,
     "cubes": 0,
     "models": 0,
     "components": 0,
+    "conflicts": 0,
+    "learned": 0,
+    "restarts": 0,
+    "max_backjump": 0,
+    "parallel_enumerations": 0,
+    "parallel_components": 0,
+    "parallel_workers": 0,
 }
 
 
@@ -208,18 +256,37 @@ class _ComponentEnumerator:
                 if var not in variables
             )
         self._proj_set = set(self.projection)
+        # Snapshot before any solving: everything past this index is a
+        # learned clause (or a tombstone after DB reduction).  Cube
+        # generalization must hold every *input* clause satisfied; learned
+        # clauses are implied by the input, so checking them would be
+        # redundant — and, post-reduction, would trip over tombstones.
+        self._input_clause_count = len(self.solver.clauses)
         self._occurrences: Optional[Dict[int, List[int]]] = None
+        self._stats_seen = {"conflicts": 0, "learned": 0, "restarts": 0}
         self._started = False
         self._exhausted = False
 
     def _occ(self) -> Dict[int, List[int]]:
         if self._occurrences is None:
             occurrences: Dict[int, List[int]] = {}
-            for index, clause in enumerate(self.solver.clauses):
-                for lit in clause:
+            for index in range(self._input_clause_count):
+                for lit in self.solver.clauses[index]:
                     occurrences.setdefault(lit, []).append(index)
             self._occurrences = occurrences
         return self._occurrences
+
+    def _sync_stats(self) -> None:
+        """Fold the solver's CDCL counters into the module :data:`STATS`."""
+        stats = self.solver.search_stats()
+        seen = self._stats_seen
+        for key in ("conflicts", "learned", "restarts"):
+            delta = stats[key] - seen[key]
+            if delta:
+                STATS[key] += delta
+                seen[key] = stats[key]
+        if stats["max_backjump"] > STATS["max_backjump"]:
+            STATS["max_backjump"] = stats["max_backjump"]
 
     def cubes(self) -> Iterator[Cube]:
         """Stream the projected cubes (each projected model covered once)."""
@@ -234,6 +301,7 @@ class _ComponentEnumerator:
             found = solver.next_model()
         while found:
             STATS["resumes"] += 1
+            self._sync_stats()
             # Generalize: walk decision levels deepest-first, growing the
             # don't-care suffix until a decision resists (the flip point).
             covered: Set[int] = set()
@@ -290,6 +358,7 @@ class _ComponentEnumerator:
                 return
             target = flip_lit
             found = solver.next_model(flip=lambda lit: lit == target)
+        self._sync_stats()
         self._exhausted = True
 
 
@@ -353,6 +422,99 @@ def _merge_cubes(parts: Sequence[Cube]) -> Cube:
     return Cube(tuple(lits), tuple(free))
 
 
+def _component_worker(args: tuple) -> Tuple[List[Tuple[tuple, tuple]], Dict[str, int]]:
+    """Top-level (picklable) worker: enumerate one component subproblem.
+
+    ``prefix`` literals are added as unit clauses — a decision-prefix
+    subtree of the component's search space; the prefix vars propagate at
+    level 0 and come back fixed in every cube, so subtree cube lists from
+    complementary prefixes union into exactly the component's stream.
+    Returns plain ``(lits, free)`` tuples plus this subproblem's STATS
+    delta (worker processes are forked, so in-place STATS mutations would
+    be lost).
+    """
+    num_vars, clauses, projection, variables, prefix, generalize = args
+    before = {key: STATS[key] for key in ("resumes", "conflicts", "learned", "restarts")}
+    sub = CnfInstance(num_vars)
+    sub.clauses = [list(clause) for clause in clauses]
+    for lit in prefix:
+        sub.clauses.append([lit])
+    enumerator = _ComponentEnumerator(
+        sub, projection, variables=set(variables), generalize=generalize
+    )
+    out = [(cube.lits, cube.free) for cube in enumerator.cubes()]
+    counters = {key: STATS[key] - before[key] for key in before}
+    counters["max_backjump"] = STATS["max_backjump"]
+    return out, counters
+
+
+def _parallel_component_cubes(
+    components: List[Tuple[List[List[int]], List[int]]],
+    num_vars: int,
+    generalize: bool,
+    workers: int,
+) -> Optional[List[List[Cube]]]:
+    """Fan the component cube streams over worker processes.
+
+    Multiple components parallelize as-is; a *single* large component is
+    cut into ``2^depth`` disjoint decision-prefix subtrees over its first
+    (sorted) projection variables.  Returns the collected cube list per
+    projection-bearing component — union-only combining, so the covered
+    model set is identical for every worker count — or ``None`` when some
+    component is unsatisfiable (a component is unsatisfiable iff *all* of
+    its subtrees come back empty).
+    """
+    jobs: List[Tuple[int, tuple]] = []
+    for comp_id, (clauses, projection) in enumerate(components):
+        variables = sorted({abs(lit) for clause in clauses for lit in clause})
+        prefixes: List[Tuple[int, ...]] = [()]
+        if len(components) == 1 and len(projection) >= PARALLEL_SPLIT_MIN_VARS:
+            depth = 0
+            while (
+                (1 << depth) < workers * PARALLEL_SPLIT_FACTOR
+                and depth < len(projection) - 1
+                and depth < PARALLEL_SPLIT_MAX_DEPTH
+            ):
+                depth += 1
+            split_vars = sorted(projection)[:depth]
+            prefixes = [
+                tuple(
+                    var if code >> position & 1 else -var
+                    for position, var in enumerate(split_vars)
+                )
+                for code in range(1 << depth)
+            ]
+        for prefix in prefixes:
+            jobs.append(
+                (
+                    comp_id,
+                    (num_vars, clauses, projection, variables, prefix, generalize),
+                )
+            )
+    from multiprocessing import Pool
+
+    pool_size = min(workers, len(jobs))
+    with Pool(pool_size) as pool:
+        outcomes = pool.map(_component_worker, [args for _, args in jobs])
+    STATS["parallel_enumerations"] += 1
+    STATS["parallel_components"] += len(jobs)
+    STATS["parallel_workers"] = pool_size
+    per_component: List[List[Cube]] = [[] for _ in components]
+    for (comp_id, _), (cubes, counters) in zip(jobs, outcomes):
+        per_component[comp_id].extend(Cube(lits, free) for lits, free in cubes)
+        for key in ("resumes", "conflicts", "learned", "restarts"):
+            STATS[key] += counters[key]
+        if counters["max_backjump"] > STATS["max_backjump"]:
+            STATS["max_backjump"] = counters["max_backjump"]
+    streams: List[List[Cube]] = []
+    for (clauses, projection), cubes in zip(components, per_component):
+        if not cubes:
+            return None  # unsatisfiable component: no models at all
+        if projection:
+            streams.append(cubes)
+    return streams
+
+
 def enumerate_cubes(
     instance: CnfInstance,
     projection: Optional[Sequence[int]] = None,
@@ -360,6 +522,7 @@ def enumerate_cubes(
     assumptions: Sequence[int] = (),
     generalize: Optional[bool] = None,
     split: Optional[bool] = None,
+    parallel: Optional[bool] = None,
 ) -> Iterator[Cube]:
     """Yield cubes jointly covering every projected model exactly once.
 
@@ -375,12 +538,17 @@ def enumerate_cubes(
     expanding models apply the exact cap).  ``assumptions`` constrain the
     search like :meth:`Solver.solve` assumptions do — the incremental-
     carrier path enumerates deltas under them.  ``generalize`` / ``split``
-    override the live :data:`CUBES` / :data:`COMPONENTS` defaults.
+    / ``parallel`` override the live :data:`CUBES` / :data:`COMPONENTS` /
+    :data:`PARALLEL` defaults; fan-out additionally requires an unlimited
+    enumeration and more than one granted worker, and changes only the
+    cube partition — never the covered model set.
     """
     if generalize is None:
         generalize = CUBES
     if split is None:
         split = COMPONENTS
+    if parallel is None:
+        parallel = PARALLEL
     if instance.has_empty_clause:
         return
     if projection is None:
@@ -445,6 +613,41 @@ def enumerate_cubes(
     if len(components) > 1:
         STATS["components"] += len(components)
 
+    base = Cube(fixed_tuple, free_tuple)
+
+    workers = 1
+    if parallel and limit is None:
+        from ..logic import shards as _shards
+
+        workers = _shards.parallel_workers(len(proj_vars))
+    if workers > 1:
+        streams = _parallel_component_cubes(
+            components, instance.num_vars, generalize, workers
+        )
+        if streams is None:
+            return  # unsatisfiable component
+        if not streams:
+            yield emitted(base)
+            return
+        if len(streams) == 1:
+            for cube in streams[0]:
+                yield emitted(_merge_cubes([base, cube]))
+            return
+        indices = [0] * len(streams)
+        while True:
+            parts = [base] + [stream[i] for stream, i in zip(streams, indices)]
+            yield emitted(_merge_cubes(parts))
+            # Odometer over the component streams, last component fastest.
+            position = len(streams) - 1
+            while position >= 0:
+                indices[position] += 1
+                if indices[position] < len(streams[position]):
+                    break
+                indices[position] = 0
+                position -= 1
+            if position < 0:
+                return
+
     def component_instance(clauses: List[List[int]]) -> CnfInstance:
         sub = CnfInstance(instance.num_vars)
         sub.clauses = clauses
@@ -469,7 +672,6 @@ def enumerate_cubes(
             continue
         enumerators.append(enumerator)
 
-    base = Cube(fixed_tuple, free_tuple)
     if not enumerators:
         yield emitted(base)
         return

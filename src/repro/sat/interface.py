@@ -80,7 +80,10 @@ class _Encoding:
             clauses = clauses[:-1]
         for clause in clauses:
             ints = []
-            for name, positive in clause:
+            # Clauses are frozensets; iterate literals in sorted order so
+            # variable numbering (first-encounter allocation) and watched
+            # literal choice do not depend on PYTHONHASHSEED.
+            for name, positive in sorted(clause):
                 actual = rename.get(name, name)
                 index = self.var(actual)
                 ints.append(index if positive else -index)

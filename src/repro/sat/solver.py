@@ -1,4 +1,4 @@
-"""A from-scratch DPLL SAT solver with two-watched-literals.
+"""A from-scratch CDCL SAT solver with two-watched-literals.
 
 The solver operates on integer literals in the usual DIMACS convention:
 variables are ``1..n`` and the literal ``-v`` is the negation of ``v``.
@@ -7,26 +7,58 @@ Features:
 * two-watched-literal unit propagation (the watched pair lives in
   solver-owned side arrays, never inside the clause lists — so clause
   lists are immutable and shared, see below),
-* conflict-driven branching-order scores (a light VSIDS variant: bump the
-  variables of conflicting clauses and decay periodically),
+* **CDCL**: first-UIP conflict analysis with clause learning and
+  non-chronological backjumping (``REPRO_CDCL=0`` restores the plain
+  chronological DPLL for A/B parity runs),
+* MiniSat-style VSIDS branching — bump every variable the conflict
+  analysis touches by a growing increment and rescale, which is the
+  exponential-decay scheme ``dpll2.py`` in SNIPPETS.md sketches (the
+  ``REPRO_CDCL=0`` path keeps the original light variant: bump the
+  conflicting clause, decay periodically),
+* Luby-sequence restarts, *automatically disabled while the solver is
+  mid-enumeration* (see below) so the resumable AllSAT stream stays
+  duplicate-free,
+* learned-clause database reduction keyed by clause activity with LBD
+  (glue) protection, tombstoning clause slots so indices stay stable,
 * optional assumption literals (used by the incremental model-enumeration
   layer),
 * a resumable search protocol (:meth:`Solver.next_model`) for the
-  chronological AllSAT enumerator of :mod:`repro.sat.allsat`: after a
-  model, the search backtracks to the deepest still-open decision and
-  *continues* instead of restarting against blocking clauses,
+  AllSAT enumerator of :mod:`repro.sat.allsat`: after a model, the search
+  backtracks to the deepest still-open decision and *continues* instead
+  of restarting against blocking clauses,
 * deterministic behaviour — no randomness, so every test and benchmark is
   reproducible.
+
+**CDCL under resumable enumeration.**  Learned clauses are derived by
+resolution over the clause database only (decisions and assumptions are
+never resolved away — they stay in the learned clause as literals), so
+every learned clause is *implied by the input formula* and can never
+exclude a model: learning is sound across ``next_model`` resumes, across
+repeated ``solve`` calls with different assumptions, and for the
+blocking-clause loop.  What is **not** free is the backjump: the
+enumerator encodes "these models were already emitted" purely in the
+*flipped* (second-phase, negative) decisions on the trail, so jumping
+above the deepest flipped decision would tear down the guard and revisit
+emitted models.  The solver therefore clamps every backjump to the
+deepest flipped-decision level (the *enumeration floor*); a conflict at
+or below the floor falls back to the chronological
+:meth:`_flip_last_decision`, which is exactly the PR 5 behaviour.
+Between two emitted models the region below the floor contains no
+emitted model, so full first-UIP backjumping applies there.  Restarts
+reuse the same floor: they only fire when no flipped decision exists —
+i.e. before the first model of an enumeration and in every plain
+``solve`` — and are thereby "disabled during enumeration" without any
+extra bookkeeping.
 
 **Copy-on-write clause storage.**  ``Solver(instance)`` does *not* deep-copy
 the clause lists: it takes a shallow copy of the clause container, shares
 the (immutable) clause prefix with the instance, and appends
-solver-private clauses — blocking clauses, incremental additions — to its
-own tail.  The watched-literal machinery keeps its state in per-clause
-side arrays instead of reordering clause lists in place, which is what
-makes the sharing safe; repeated probes (``query_equivalent``, streams of
-``is_satisfiable`` calls) no longer pay a full clause-database copy per
-solver.
+solver-private clauses — blocking clauses, learned clauses, incremental
+additions — to its own tail.  The watched-literal machinery keeps its
+state in per-clause side arrays instead of reordering clause lists in
+place, which is what makes the sharing safe.  Learned-clause reduction
+*tombstones* a slot (sets it to ``None``) instead of compacting the list,
+so clause indices — including the shared prefix — never move.
 
 This is the substrate standing in for the abstract NP/coNP oracles of the
 paper: every entailment test ``T * P |= Q``, consistency check inside
@@ -35,7 +67,38 @@ paper: every entailment test ``T * P |= Q``, consistency check inside
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+import os
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+#: Conflicts before the first restart; later restarts scale by the Luby
+#: sequence.  Module attribute so tests can shrink it to force restarts.
+RESTART_BASE = 128
+
+#: Initial learned-clause budget before a database reduction; grows by
+#: half after every reduction.  Module attribute for the same reason.
+LEARNED_BASE = 2000
+
+
+def cdcl_enabled() -> bool:
+    """Whether clause learning is live (env ``REPRO_CDCL``, default on).
+
+    Read at :class:`Solver` construction — like ``REPRO_ALLSAT`` it can be
+    flipped in-process between solver instances for A/B parity runs.
+    """
+    return os.environ.get("REPRO_CDCL", "1") != "0"
+
+
+def _luby(index: int) -> int:
+    """The Luby restart sequence 1,1,2,1,1,2,4,… (``index`` 0-based)."""
+    size, sequence = 1, 0
+    while size < index + 1:
+        sequence += 1
+        size = 2 * size + 1
+    while size - 1 != index:
+        size = (size - 1) // 2
+        sequence -= 1
+        index %= size
+    return 1 << sequence
 
 
 class CnfInstance:
@@ -80,31 +143,47 @@ class CnfInstance:
 
 
 class Solver:
-    """DPLL with watched literals over a :class:`CnfInstance`.
+    """CDCL with watched literals over a :class:`CnfInstance`.
 
     The clause *prefix* is shared with the instance (the solver never
     mutates clause lists); clauses added through :meth:`add_clause`
-    afterwards are private to the solver.  For the incremental patterns
-    the library needs (blocking clauses during enumeration), create the
-    solver once and call :meth:`add_clause` on it directly — adding
-    clauses to the original instance after construction does not affect
-    the solver.
+    afterwards — and clauses the solver learns — are private to the
+    solver.  For the incremental patterns the library needs (blocking
+    clauses during enumeration), create the solver once and call
+    :meth:`add_clause` on it directly — adding clauses to the original
+    instance after construction does not affect the solver.
     """
 
     def __init__(self, instance: CnfInstance) -> None:
         self.num_vars = instance.num_vars
         # Shallow copy: clause lists are shared immutably with the
-        # instance; only the container is private (for blocking clauses).
-        self.clauses: List[List[int]] = list(instance.clauses)
+        # instance; only the container is private (for blocking/learned
+        # clauses).  Learned slots may later hold None (tombstones).
+        self.clauses: List[Optional[List[int]]] = list(instance.clauses)
         self._unsat_forever = instance.has_empty_clause
         # assignment[v] in (-1 unassigned, 0 false, 1 true)
         self._assign: List[int] = [-1] * (self.num_vars + 1)
         self._level: List[int] = [0] * (self.num_vars + 1)
+        self._reason: List[Optional[int]] = [None] * (self.num_vars + 1)
         self._trail: List[int] = []
         self._trail_lim: List[int] = []
         self._activity: List[float] = [0.0] * (self.num_vars + 1)
         self._watches: Dict[int, List[int]] = {}
         self._conflicts = 0
+        # CDCL state: learned-clause metadata ([lbd, activity] per
+        # reducible clause index), VSIDS/clause-activity increments,
+        # restart schedule, and observability counters.
+        self._cdcl = cdcl_enabled()
+        self._learned_info: Dict[int, List[float]] = {}
+        self._learned_units: Set[int] = set()
+        self._max_learned = LEARNED_BASE
+        self._var_inc = 1.0
+        self._cla_inc = 1.0
+        self._conflicts_since_restart = 0
+        self._restart_limit = RESTART_BASE
+        self._stat_learned = 0
+        self._stat_restarts = 0
+        self._stat_max_backjump = 0
         # Branching control for projected enumeration: vars to decide
         # first, and vars to skip entirely (clause-free letters whose
         # value cannot matter).  See set_branch_priority / set_branch_skip.
@@ -156,6 +235,7 @@ class Solver:
         extra = new_num_vars - self.num_vars
         self._assign.extend([-1] * extra)
         self._level.extend([0] * extra)
+        self._reason.extend([None] * extra)
         self._activity.extend([0.0] * extra)
         if self._priority is not None:
             self._priority.extend([False] * extra)
@@ -216,7 +296,9 @@ class Solver:
         """Per decision level, its trail slice (decision literal first,
         the literals it propagated after) — the introspection the AllSAT
         layer's cube generalization needs: a decision whose level forced
-        other projection literals cannot be generalized away."""
+        other projection literals cannot be generalized away.  Literals a
+        clamped CDCL backjump *asserts into* an older level appear in that
+        level's slice, after the original decision."""
         out: List[List[int]] = []
         limits = self._trail_lim
         for level in range(1, len(limits)):
@@ -226,7 +308,7 @@ class Solver:
                 out.append(self._trail[start:end])
         return out
 
-    def _enqueue(self, lit: int) -> bool:
+    def _enqueue(self, lit: int, reason: Optional[int] = None) -> bool:
         val = self._value(lit)
         if val == 0:
             return False
@@ -235,49 +317,59 @@ class Solver:
         var = abs(lit)
         self._assign[var] = 1 if lit > 0 else 0
         self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
         self._trail.append(lit)
         return True
 
-    def _propagate(self, queue_start: int) -> Optional[List[int]]:
+    def _propagate(self, queue_start: int) -> Optional[int]:
         """Unit propagation from trail position ``queue_start``.
 
-        Returns a conflicting clause, or ``None`` on success.
+        Returns the index of a conflicting clause, or ``None`` on success.
         """
+        trail = self._trail
+        assign = self._assign
+        clauses = self.clauses
+        watch_pair = self._watch_pair
+        watches = self._watches
         head = queue_start
-        while head < len(self._trail):
-            lit = self._trail[head]
+        while head < len(trail):
+            lit = trail[head]
             head += 1
-            watch_list = self._watches.get(lit)
+            watch_list = watches.get(lit)
             if not watch_list:
                 continue
             keep: List[int] = []
-            conflict: Optional[List[int]] = None
+            conflict: Optional[int] = None
             position = 0
             while position < len(watch_list):
                 clause_index = watch_list[position]
                 position += 1
-                clause = self.clauses[clause_index]
-                pair = self._watch_pair[clause_index]
+                pair = watch_pair[clause_index]
                 # pair holds the two watched literals; -lit is falsified.
                 if pair[0] == -lit:
                     slot, other = 0, pair[1]
                 else:
                     slot, other = 1, pair[0]
-                if self._value(other) == 1:
+                # Inline of _value(other) == 1 — this loop is the hottest
+                # code in the solver, and the call overhead dominates it.
+                value = assign[other if other > 0 else -other]
+                if value >= 0 and (value == 1) == (other > 0):
                     keep.append(clause_index)
                     continue
                 moved = False
-                for alt in clause:
-                    if alt != other and alt != -lit and self._value(alt) != 0:
-                        pair[slot] = alt
-                        self._watches.setdefault(-alt, []).append(clause_index)
-                        moved = True
-                        break
+                for alt in clauses[clause_index]:
+                    if alt != other and alt != -lit:
+                        value = assign[alt if alt > 0 else -alt]
+                        if value < 0 or (value == 1) == (alt > 0):
+                            pair[slot] = alt
+                            watches.setdefault(-alt, []).append(clause_index)
+                            moved = True
+                            break
                 if moved:
                     continue
                 keep.append(clause_index)
-                if not self._enqueue(other):
-                    conflict = clause
+                if not self._enqueue(other, clause_index):
+                    conflict = clause_index
                     keep.extend(watch_list[position:])
                     break
             watch_list[:] = keep
@@ -290,7 +382,9 @@ class Solver:
             return
         boundary = self._trail_lim[level]
         for lit in reversed(self._trail[boundary:]):
-            self._assign[abs(lit)] = -1
+            var = abs(lit)
+            self._assign[var] = -1
+            self._reason[var] = None
         del self._trail[boundary:]
         del self._trail_lim[level:]
 
@@ -302,6 +396,25 @@ class Solver:
 
     def _decay(self) -> None:
         self._activity = [a * 0.9 for a in self._activity]
+
+    def _bump_var(self, var: int) -> None:
+        """MiniSat VSIDS: growing increment, rescale near overflow."""
+        value = self._activity[var] + self._var_inc
+        self._activity[var] = value
+        if value > 1e100:
+            self._activity = [a * 1e-100 for a in self._activity]
+            self._var_inc *= 1e-100
+
+    def _bump_clause_activity(self, index: int) -> None:
+        info = self._learned_info.get(index)
+        if info is None:
+            return
+        info[1] += self._cla_inc
+        if info[1] > 1e20:
+            inverse = 1e-20
+            for other in self._learned_info.values():
+                other[1] *= inverse
+            self._cla_inc *= inverse
 
     def _pick_branch(self) -> int:
         assign = self._assign
@@ -326,6 +439,202 @@ class Solver:
                 best_var = var
                 best_activity = value
         return pref_var or best_var
+
+    # -- conflict analysis (CDCL) ------------------------------------------------
+
+    def _enum_floor(self) -> int:
+        """The deepest flipped-decision level (the enumeration barrier).
+
+        Flipped (negative) decisions are the only record of already-emitted
+        models, so no backjump may cross the deepest one.  Returns 1 (the
+        assumption level) when no decision has been flipped — i.e. outside
+        enumeration resumes — which is also the restart-safety test.
+        """
+        trail = self._trail
+        limits = self._trail_lim
+        for segment in range(len(limits) - 1, 0, -1):
+            start = limits[segment]
+            if start < len(trail) and trail[start] < 0:
+                return segment + 1
+        return 1
+
+    def _analyze(
+        self, conflict_index: int
+    ) -> Optional[Tuple[int, List[int], int, int]]:
+        """First-UIP conflict analysis.
+
+        Resolves the conflicting clause backwards along the trail (over
+        reason clauses only — decisions and assumptions are kept as
+        literals, which is what makes the result implied by the clause
+        database alone) until a single literal of the conflict level
+        remains.  Returns ``(uip, other_literals, assert_level, lbd)``, or
+        ``None`` in the degenerate cases where the conflict holds no
+        resolvable conflict-level literal (the caller then falls back to
+        chronological flipping).
+        """
+        clauses = self.clauses
+        level_of = self._level
+        reason_of = self._reason
+        trail = self._trail
+        current = len(self._trail_lim)
+        seen: Set[int] = set()
+        learned: List[int] = []
+        levels: Set[int] = set()
+        counter = 0
+        index = len(trail)
+        pending: Sequence[int] = clauses[conflict_index]
+        self._bump_clause_activity(conflict_index)
+        while True:
+            for lit in pending:
+                var = lit if lit > 0 else -lit
+                if var in seen:
+                    continue
+                lvl = level_of[var]
+                if lvl == 0:
+                    continue  # root-implied: drop from the learned clause
+                seen.add(var)
+                self._bump_var(var)
+                if lvl >= current:
+                    counter += 1
+                else:
+                    learned.append(lit)
+                    levels.add(lvl)
+            if counter == 0:
+                return None  # conflict entirely below the current level
+            while True:
+                index -= 1
+                if index < 0:
+                    return None
+                lit = trail[index]
+                var = lit if lit > 0 else -lit
+                if var in seen and level_of[var] >= current:
+                    break
+            counter -= 1
+            if counter == 0:
+                uip = -lit
+                break
+            reason_index = reason_of[var]
+            if reason_index is None:
+                return None  # reached a decision before isolating the UIP
+            self._bump_clause_activity(reason_index)
+            pending = clauses[reason_index]
+        assert_level = 1
+        for other in learned:
+            lvl = level_of[abs(other)]
+            if lvl > assert_level:
+                assert_level = lvl
+        lbd = len(levels) + 1
+        return uip, learned, assert_level, lbd
+
+    def _attach_learned(self, uip: int, learned: List[int], lbd: int) -> Optional[int]:
+        """Store a learned clause and hook it into the watch scheme.
+
+        Returns the clause index to use as the asserted UIP's reason.  A
+        learned *unit* is implied by the clause database alone, so it also
+        joins :attr:`_units` for replay by every future :meth:`prime`; it
+        gets a self-pair watch (conflict trigger) instead of propagation
+        wiring, because a unit below the backjump target would otherwise
+        go silent after deeper backtracking.
+        """
+        self._stat_learned += 1
+        index = len(self.clauses)
+        if not learned:
+            if uip in self._learned_units:
+                return None
+            self._learned_units.add(uip)
+            self.clauses.append([uip])
+            self._units.append(uip)
+            pair = [uip, uip]
+            self._watch_pair.append(pair)
+            self._watches.setdefault(-uip, []).append(index)
+            return None
+        clause = [uip]
+        clause.extend(learned)
+        # Watch the UIP and the highest-level other literal: the standard
+        # choice that keeps the watch invariant across future backtracking.
+        best = 1
+        best_level = self._level[abs(clause[1])]
+        for position in range(2, len(clause)):
+            lvl = self._level[abs(clause[position])]
+            if lvl > best_level:
+                best, best_level = position, lvl
+        clause[1], clause[best] = clause[best], clause[1]
+        self.clauses.append(clause)
+        pair = [clause[0], clause[1]]
+        self._watch_pair.append(pair)
+        self._watches.setdefault(-clause[0], []).append(index)
+        self._watches.setdefault(-clause[1], []).append(index)
+        self._learned_info[index] = [lbd, self._cla_inc]
+        return index
+
+    def _reduce_learned(self) -> None:
+        """Drop the low-activity half of the learned DB (tombstoning).
+
+        Glue clauses (LBD ≤ 2) and clauses currently locked as a reason on
+        the trail are protected.  Slots are set to ``None`` rather than
+        compacted so every stored clause index — shared prefix, reasons,
+        watch lists — stays valid.
+        """
+        info = self._learned_info
+        locked = {reason for reason in self._reason if reason is not None}
+        victims = sorted(
+            (idx for idx in info if idx not in locked and info[idx][0] > 2),
+            key=lambda idx: (info[idx][1], -idx),
+        )
+        for idx in victims[: len(victims) // 2]:
+            pair = self._watch_pair[idx]
+            for lit in {pair[0], pair[1]}:
+                bucket = self._watches.get(-lit)
+                if bucket is not None and idx in bucket:
+                    bucket.remove(idx)
+            self.clauses[idx] = None
+            self._watch_pair[idx] = None
+            del info[idx]
+        self._max_learned += self._max_learned // 2
+
+    def _handle_conflict(self, conflict_index: int) -> Optional[int]:
+        """Resolve a conflict; returns the trail position to re-propagate
+        from, or ``None`` when the search space is exhausted.
+
+        CDCL path: analyze to the first UIP, backjump to the assertion
+        level — clamped to the enumeration floor so flipped decisions
+        guarding emitted models survive — and assert the UIP.  Conflicts
+        at or below the floor, and degenerate analyses, fall back to the
+        chronological flip (the ``REPRO_CDCL=0`` behaviour, which is also
+        the entire strategy of the legacy path).
+        """
+        self._conflicts += 1
+        if not self._cdcl:
+            self._bump_clause(self.clauses[conflict_index])
+            if self._conflicts % 256 == 0:
+                self._decay()
+            return self._flip_last_decision()
+        self._conflicts_since_restart += 1
+        floor = self._enum_floor()
+        current = len(self._trail_lim)
+        if current <= floor:
+            return self._flip_last_decision()
+        analysis = self._analyze(conflict_index)
+        self._var_inc /= 0.95
+        self._cla_inc /= 0.999
+        if analysis is None:
+            return self._flip_last_decision()
+        uip, learned, assert_level, lbd = analysis
+        target = assert_level if assert_level > floor else floor
+        jump = current - target
+        if jump > self._stat_max_backjump:
+            self._stat_max_backjump = jump
+        self._backtrack_to(target)
+        reason_index = self._attach_learned(uip, learned, lbd)
+        position = len(self._trail)
+        if not self._enqueue(uip, reason_index):
+            return self._flip_last_decision()
+        # Reduce only after the UIP's reason is on the trail (locked), so
+        # the clause just learned can never be tombstoned out from under
+        # its own assertion.
+        if len(self._learned_info) >= self._max_learned:
+            self._reduce_learned()
+        return position
 
     # -- main search ----------------------------------------------------------------
 
@@ -374,27 +683,37 @@ class Solver:
         """Branch/propagate until a total model or exhaustion.
 
         The shared engine behind :meth:`solve` (fresh search) and
-        :meth:`next_model` (resumed search): propagate, on conflict flip
-        the deepest first-phase decision chronologically, branch when
-        propagation settles.  Returns ``True`` with the trail at the
-        model, or ``False`` (solver reset to level 0) when the remaining
-        search space under the assumptions is exhausted.
+        :meth:`next_model` (resumed search): propagate, resolve conflicts
+        through :meth:`_handle_conflict` (first-UIP backjumping, or the
+        chronological flip under ``REPRO_CDCL=0`` / at the enumeration
+        floor), restart on the Luby schedule when no flipped decision is
+        live, branch when propagation settles.  Returns ``True`` with the
+        trail at the model, or ``False`` (solver reset to level 0) when
+        the remaining search space under the assumptions is exhausted.
         """
         while True:
             conflict = self._propagate(queue_start)
             while conflict is not None:
-                self._bump_clause(conflict)
-                self._conflicts += 1
-                if self._conflicts % 256 == 0:
-                    self._decay()
-                flipped = self._flip_last_decision()
-                if flipped is None:
+                resume = self._handle_conflict(conflict)
+                if resume is None:
                     self._backtrack_to(0)
                     return False
-                conflict = self._propagate(flipped)
+                conflict = self._propagate(resume)
             branch_var = self._pick_branch()
             if branch_var == 0:
                 return True  # all (non-skipped) vars assigned, no conflict
+            if (
+                self._cdcl
+                and self._conflicts_since_restart >= self._restart_limit
+                and len(self._trail_lim) > 1
+                and self._enum_floor() == 1
+            ):
+                self._stat_restarts += 1
+                self._conflicts_since_restart = 0
+                self._restart_limit = RESTART_BASE * _luby(self._stat_restarts)
+                self._backtrack_to(1)
+                queue_start = len(self._trail)
+                continue
             # Try positive phase first (deterministic).
             self._trail_lim.append(len(self._trail))
             queue_start = len(self._trail)
@@ -413,8 +732,9 @@ class Solver:
         at the next total model, ``False`` (solver reset to level 0) when
         the search space is exhausted.
 
-        No blocking clause is ever added: the clause database — and hence
-        propagation cost — stays exactly as large as the input.
+        No blocking clause is ever added: the clause database grows only
+        by learned clauses, which are implied by the input and never
+        exclude a model.
         """
         if self._unsat_forever:
             return False
@@ -473,3 +793,13 @@ class Solver:
             value = self._assign[var]
             out.append(var if value == 1 else -var)
         return out
+
+    def search_stats(self) -> Dict[str, int]:
+        """CDCL observability counters (monotonic per solver):
+        conflicts, learned clauses, restarts, deepest backjump."""
+        return {
+            "conflicts": self._conflicts,
+            "learned": self._stat_learned,
+            "restarts": self._stat_restarts,
+            "max_backjump": self._stat_max_backjump,
+        }
