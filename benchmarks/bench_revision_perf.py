@@ -48,6 +48,7 @@ Run ``python benchmarks/bench_revision_perf.py`` from the repo root
 from __future__ import annotations
 
 import argparse
+import contextlib
 import gc
 import hashlib
 import json
@@ -782,6 +783,144 @@ def run_cdcl_benchmark(sizes, model_count, seeds, reps=2):
     }
 
 
+def run_governance_benchmark(sizes, model_count, seeds, reps=3):
+    """Checkpoint overhead: the PR 6 clause-family CDCL leg, governed.
+
+    Re-runs the serial CDCL enumeration per (size, seed) twice — bare,
+    and inside a generous :class:`repro.runtime.Budget` (distant
+    deadline plus a large model budget, so every cooperative checkpoint
+    performs the full poll: clock read, cancel flag, model-budget
+    compare — without ever tripping) — and reports the CPU-time
+    overhead of the governed run.  Masks must reproduce the planted
+    ground truth in both modes.  Timings are CPU seconds
+    (``time.process_time``), min over ``reps``.
+    """
+    from repro import runtime
+    from repro.hardness import clause_family
+    from repro.sat import allsat
+    from repro.sat.interface import _Encoding
+
+    print(
+        f"\ngovernance overhead: clause family, {model_count} planted "
+        f"models, sizes {list(sizes)}, seeds {list(seeds)}"
+    )
+
+    def _enumerate(workload, letters, governed):
+        saved_cdcl = os.environ.get("REPRO_CDCL")
+        os.environ["REPRO_CDCL"] = "1"
+        try:
+            best = None
+            masks = None
+            for _ in range(reps):
+                enc = _Encoding()
+                enc.add_formula(workload.t_formula)
+                projection = sorted(enc.var(name) for name in letters)
+                bit_of = {
+                    enc.var(name): bit for bit, name in enumerate(letters)
+                }
+                budget = (
+                    runtime.Budget(deadline=3600.0, max_models=1 << 40)
+                    if governed else contextlib.nullcontext()
+                )
+                gc.collect()
+                gc.disable()
+                with budget:
+                    start = time.process_time()
+                    cubes = list(
+                        allsat.enumerate_cubes(enc.instance, projection)
+                    )
+                    elapsed = time.process_time() - start
+                gc.enable()
+                best = elapsed if best is None else min(best, elapsed)
+                masks = tuple(sorted(allsat.cube_masks(cubes, bit_of)))
+        finally:
+            if saved_cdcl is None:
+                del os.environ["REPRO_CDCL"]
+            else:
+                os.environ["REPRO_CDCL"] = saved_cdcl
+        return best, masks
+
+    records = []
+    checkpoints_before = runtime.STATS["checkpoints"]
+    for size in sizes:
+        for seed in seeds:
+            workload = clause_family.build(
+                size, model_count, model_count, seed=seed,
+                noise_per_letter=9.0, noise_width=(3, 4),
+            )
+            letters = sorted(workload.letters)
+            bare_seconds, bare_masks = _enumerate(workload, letters, False)
+            governed_seconds, governed_masks = _enumerate(
+                workload, letters, True
+            )
+            if bare_masks != workload.t_masks:
+                raise AssertionError(
+                    f"bare masks diverge from ground truth at {size} "
+                    f"letters (seed {seed})"
+                )
+            if governed_masks != workload.t_masks:
+                raise AssertionError(
+                    f"governed masks diverge from ground truth at {size} "
+                    f"letters (seed {seed})"
+                )
+            overhead_pct = (
+                (governed_seconds - bare_seconds) / bare_seconds * 100.0
+                if bare_seconds > 0 else 0.0
+            )
+            records.append(
+                {
+                    "size": size,
+                    "seed": seed,
+                    "models": workload.t_model_count,
+                    "bare_cpu_s": bare_seconds,
+                    "governed_cpu_s": governed_seconds,
+                    "overhead_pct": overhead_pct,
+                }
+            )
+            print(
+                f"  n={size} seed={seed}: bare={bare_seconds:.2f}s "
+                f"governed={governed_seconds:.2f}s "
+                f"({overhead_pct:+.1f}%, identical masks)", flush=True,
+            )
+    total_bare = sum(r["bare_cpu_s"] for r in records)
+    total_governed = sum(r["governed_cpu_s"] for r in records)
+    aggregate_pct = (
+        (total_governed - total_bare) / total_bare * 100.0
+        if total_bare > 0 else 0.0
+    )
+    checkpoints = runtime.STATS["checkpoints"] - checkpoints_before
+    if checkpoints <= 0:
+        raise AssertionError(
+            "governed runs polled no checkpoints; governance was inert"
+        )
+    print(
+        f"  aggregate: bare={total_bare:.2f}s governed={total_governed:.2f}s "
+        f"({aggregate_pct:+.1f}%, {checkpoints} checkpoints polled)"
+    )
+    return {
+        "workload": {
+            "generator": "repro.hardness.clause_family.build",
+            "t_models": model_count,
+            "p_models": model_count,
+            "noise_per_letter": 9.0,
+            "noise_width": [3, 4],
+            "sizes": list(sizes),
+            "seeds": list(seeds),
+        },
+        "budget": {
+            "deadline_s": 3600.0,
+            "max_models": 1 << 40,
+            "checkpoint_interval": runtime.CHECKPOINT_INTERVAL,
+        },
+        "timing": f"CPU seconds (time.process_time), min over {reps} reps",
+        "checkpoints_polled": checkpoints,
+        # Reaching this line means every mask assertion above passed.
+        "verified_identical": True,
+        "aggregate_overhead_pct": aggregate_pct,
+        "results": records,
+    }
+
+
 def run_spot_check(size, operators):
     """Verify the sharded tier against the SAT blocking-clause fallback on
     a sparse instance above the big-int cutoff (model sets must match
@@ -1045,6 +1184,12 @@ def main(argv=None):
         help="workload seeds for the CDCL clause family",
     )
     parser.add_argument(
+        "--governance", action="store_true",
+        help="also measure the repro.runtime checkpoint overhead on the "
+             "CDCL clause-family leg (bare vs inside a generous Budget; "
+             "uses the --cdcl-sizes/--cdcl-models/--cdcl-seeds workload)",
+    )
+    parser.add_argument(
         "--label", default="pr5-allsat-enumerator",
         help="trajectory label for this run",
     )
@@ -1137,6 +1282,13 @@ def main(argv=None):
         payload["cdcl_allsat"] = run_cdcl_benchmark(
             args.cdcl_sizes, args.cdcl_models, args.cdcl_seeds,
             reps=1 if args.quick else 2,
+        )
+    if args.governance:
+        if args.cdcl_sizes is None:
+            parser.error("--governance needs --cdcl-sizes for its workload")
+        payload["governance"] = run_governance_benchmark(
+            args.cdcl_sizes, args.cdcl_models, args.cdcl_seeds,
+            reps=1 if args.quick else 3,
         )
 
     trajectory = load_trajectory(args.json_path)

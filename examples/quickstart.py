@@ -188,6 +188,58 @@ def main() -> None:
     print(f"  result entails its own first letter? "
           f"{result.entails(sorted(workload.letters)[0])}")
 
+    # --- resource governance: budgets, deadlines, degradation ---------------
+    # A serving layer cannot sit on an engine whose only failure mode is
+    # an unhandled exception.  repro.runtime gives every hot loop a
+    # cooperative contract:
+    #
+    #   with runtime.Budget(deadline=0.5):        # wall-clock seconds
+    #       ...                                   # raises EngineTimeout
+    #   with runtime.Budget(max_models=10_000):   # cumulative model cap
+    #       ...                                   # raises BudgetExceeded
+    #   with runtime.Budget(max_words=1 << 24):   # per-allocation cap
+    #       ...                                   # raises MemoryBudgetExceeded
+    #
+    # Deadlines and cancellation (Budget.cancel()) land at checkpoints
+    # polled by the CDCL search loop (every 64 decisions/conflicts), the
+    # cube stream (every cube), the blocked table kernels (every block)
+    # and the batch driver (every pair) — and the interrupted operation
+    # stays *resumable*: re-enter a CubeStream's cubes() and it continues
+    # exactly where the raise landed, duplicate-free and lossless.
+    #
+    # MemoryBudgetExceeded is-a MemoryError on purpose: a tier that
+    # overflows its budget *degrades* instead of crashing, one rung down
+    # the chain documented on shards.tier() —
+    #
+    #   sharded compile OOM -> sparse (if the density bound fits) -> masks
+    #   sparse spill        -> dense bound-free tier             -> masks
+    #   table OOM           -> masks
+    #
+    # — with bit-identical results on every rung and each hop counted in
+    # runtime.STATS (plus per-edge "demotions:<from>-><to>" keys) and the
+    # batch layer's tier_counts.  Process fan-outs survive dead workers
+    # too: the crashed worker's range is re-run inline (masks identical
+    # for any crash pattern), and while a deadline governs, fan-out is
+    # disabled outright — children cannot observe the parent's checkpoints.
+    #
+    # All of it is testable on demand via the deterministic fault registry:
+    #
+    #   REPRO_FAULTS="worker-crash@1"            # kill the 1st pool job
+    #   REPRO_FAULTS="alloc-oom@3"               # fail the 3rd allocation
+    #   REPRO_FAULTS="shard-compile-oom@1"       # OOM the 1st shard compile
+    #   REPRO_FAULTS="propagate-delay@5:0.01"    # slow the 5th propagate
+    #   REPRO_FAULTS="seed=7;worker-crash@r"     # seeded random occurrence
+    #
+    from repro import runtime
+
+    with runtime.Budget(deadline=30.0, max_models=1 << 20) as budget:
+        governed = revise(workload.t_formula, workload.p_formula, "winslett")
+    print("\nResource governance (repro.runtime):")
+    print(f"  governed result models : {governed.model_count()}")
+    print(f"  models charged         : {budget.models_charged}")
+    print(f"  checkpoints served     : {runtime.STATS['checkpoints']}")
+    print(f"  demotions (this run)   : {runtime.STATS['demotions']}")
+
 
 if __name__ == "__main__":
     main()

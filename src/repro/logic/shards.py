@@ -91,6 +91,10 @@ from __future__ import annotations
 import os
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro import runtime as _runtime
+from repro.runtime import faults as _faults
+from repro.runtime import pool as _pool
+
 from . import bitmodels as _bitmodels
 from .bitmodels import BitAlphabet, iter_set_bits
 from .formula import And, Formula, Iff, Implies, Not, Or, Var, Xor, _Constant
@@ -197,6 +201,27 @@ def tier(letter_count: int, model_bound: Optional[int] = None) -> str:
     ``REPRO_SPARSE_MAX_MODELS``, ``REPRO_SPARSE_MIN_LETTERS``,
     ``REPRO_SPARSE_TIER``) and runtime retargeting by tests and benchmark
     harnesses are always reported faithfully.
+
+    **Degradation chain.**  The answer is the *preferred* tier, not a
+    hard commitment: when a tier's compile or kernel exceeds its memory
+    budget (a real ``MemoryError`` or a
+    :class:`repro.runtime.MemoryBudgetExceeded` from an active
+    :class:`repro.runtime.Budget`, or a
+    :class:`repro.logic.sparse.SparseSpill`), the dispatch layers retry
+    one tier down instead of crashing:
+
+    * ``"sharded"`` compile OOM → ``"sparse"`` (when the model bound
+      fits :data:`SPARSE_MAX_MODELS`) → ``"masks"``;
+    * ``"sparse"`` spill → the dense bound-free tier for the alphabet
+      (``"sharded"`` under the cutoff) → ``"masks"``;
+    * ``"table"`` OOM → ``"masks"``.
+
+    ``"masks"`` — the SAT mask loop — is the terminal tier: density
+    proportional, no table allocation, always succeeds.  Demotions are
+    recorded in :data:`repro.runtime.STATS` (``demotions`` plus
+    per-edge ``demotions:<from>-><to>`` keys) and surface in the batch
+    driver's ``tier_counts`` (see
+    :func:`repro.revision.model_based._select_bits_tiered`).
     """
     if letter_count <= _bitmodels._TABLE_MAX_LETTERS:
         return "table"
@@ -348,16 +373,20 @@ def map_shards(
     The generic multiprocessing shard map: shards are distributed over a
     process pool when ``processes`` asks for one (or the alphabet crosses
     :data:`PARALLEL_MIN_LETTERS` on a multi-core host); otherwise the map
-    runs inline.  ``function`` receives each shard as a plain int.
+    runs inline.  ``function`` receives each shard as a plain int.  The
+    fan-out rides :func:`repro.runtime.pool.map_with_recovery` (dead
+    workers are retried inline, no orphans on interrupt) and stays
+    serial while a deadline governs (children cannot checkpoint).
     """
     shards = table.int_shards()
     workers = _pool_size(len(table.alphabet), processes)
+    if not _runtime.allows_fanout():
+        workers = 1
     if workers <= 1 or len(shards) <= 1:
         return [function(shard) for shard in shards]
-    from multiprocessing import Pool
-
-    with Pool(workers) as pool:
-        return pool.map(function, shards)
+    return _pool.map_with_recovery(
+        function, shards, workers=workers, label="shard map"
+    )
 
 
 def _pool_size(letter_count: int, processes: Optional[int]) -> int:
@@ -429,9 +458,13 @@ class ShardedTable:
         alphabet = BitAlphabet.coerce(alphabet)
         if _use_numpy(backend):
             nwords = max(1, alphabet.table_bits >> 6)
+            _runtime.charge_words(nwords, "sharded bitplane allocation")
             return cls(alphabet, words=_np.zeros(nwords, dtype=_np.uint64))
         width = cls._int_shard_bits(alphabet, shard_bits)
         nshards = max(1, alphabet.table_bits // width)
+        _runtime.charge_words(
+            nshards * (width >> 6), "sharded int-shard allocation"
+        )
         return cls(alphabet, shards=[0] * nshards, shard_bits=width)
 
     @staticmethod
@@ -508,9 +541,15 @@ class ShardedTable:
         over the word array (variable columns are synthesised per call —
         within-word patterns for the low six letters, word-index bit tests
         above them).  Pure-int backend: each shard compiles independently;
-        shard ranges fan out over a multiprocessing pool for alphabets at
+        shard ranges fan out over the crash-tolerant pool of
+        :func:`repro.runtime.pool.map_with_recovery` for alphabets at
         or above :data:`PARALLEL_MIN_LETTERS` (or when ``processes`` is
-        given explicitly).
+        given explicitly), serial while a deadline governs.
+
+        A compile that overflows the active memory budget (or trips the
+        ``shard-compile-oom`` injection point) raises ``MemoryError``;
+        the dispatch layers catch it and retry one tier down — see the
+        degradation chain in :func:`tier`.
         """
         alphabet = BitAlphabet.coerce(alphabet)
         extra = formula.variables() - set(alphabet.letters)
@@ -518,30 +557,42 @@ class ShardedTable:
             raise ValueError(
                 f"formula letters {sorted(extra)} outside alphabet"
             )
+        if _faults.ACTIVE and _faults.trip("shard-compile-oom") is not None:
+            raise MemoryError(
+                f"injected shard-compile-oom fault for {len(alphabet)} letters"
+            )
         if _use_numpy(backend):
+            _runtime.charge_words(
+                max(1, alphabet.table_bits >> 6), "sharded bitplane compile"
+            )
             return cls(alphabet, words=_numpy_compile(formula, alphabet))
         width = cls._int_shard_bits(alphabet, shard_bits)
         nshards = max(1, alphabet.table_bits // width)
+        _runtime.charge_words(
+            nshards * (width >> 6), "sharded int-shard compile"
+        )
         workers = _pool_size(len(alphabet), processes)
+        if not _runtime.allows_fanout():
+            workers = 1
         if workers <= 1 or nshards <= 1:
-            shards = [
-                _compile_one_shard(formula, alphabet, s, width)
-                for s in range(nshards)
-            ]
+            shards = []
+            for s in range(nshards):
+                _runtime.checkpoint()
+                shards.append(_compile_one_shard(formula, alphabet, s, width))
         else:
-            from multiprocessing import Pool
-
             chunk = (nshards + workers - 1) // workers
             jobs = [
                 (formula, alphabet.letters, start, min(start + chunk, nshards), width)
                 for start in range(0, nshards, chunk)
             ]
-            with Pool(len(jobs)) as pool:
-                shards = [
-                    shard
-                    for block in pool.map(_compile_shard_range, jobs)
-                    for shard in block
-                ]
+            shards = [
+                shard
+                for block in _pool.map_with_recovery(
+                    _compile_shard_range, jobs, workers=len(jobs),
+                    label="shard compile fan-out",
+                )
+                for shard in block
+            ]
         return cls(alphabet, shards=shards, shard_bits=width)
 
     # -- views --------------------------------------------------------------
@@ -1273,6 +1324,7 @@ def _pointwise_serial(kind: str, table: "ShardedTable", masks) -> "ShardedTable"
     """The per-model reference path (also the pure-int worker body)."""
     selected = table.zeros_like()
     for model in masks:
+        _runtime.checkpoint()
         moved = table.xor_translate(model)
         if kind == "minimal":
             moved = moved.minimal_elements().xor_translate(model)
@@ -1291,6 +1343,10 @@ def _pointwise_numpy(
     sweep, translate back, OR-reduce.  The numpy bitwise kernels release
     the GIL, so threads scale on multi-core hosts; partials are OR-combined
     in block order, which makes the result independent of worker count.
+    Each block checkpoints and charges its scratch array against the
+    active budget before the sweep; the pool
+    (:func:`repro.runtime.pool.map_threads`) cancels pending blocks the
+    moment one raises, so deadlines bite within one block.
     """
     words = table._words
     letter_count = len(table.alphabet)
@@ -1298,6 +1354,10 @@ def _pointwise_numpy(
     chunks = [t_arr[start:start + rows] for start in range(0, len(t_arr), rows)]
 
     def select(chunk):
+        _runtime.checkpoint()
+        _runtime.charge_words(
+            len(chunk) * len(words), "pointwise block buffer"
+        )
         block = _block_translate(words, chunk)
         if kind == "minimal":
             block = _block_translate(_block_minimal(block, letter_count), chunk)
@@ -1309,13 +1369,7 @@ def _pointwise_numpy(
         max(1, processes) if processes is not None
         else parallel_workers(letter_count)
     )
-    if workers > 1 and len(chunks) > 1:
-        from concurrent.futures import ThreadPoolExecutor
-
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            partials = list(pool.map(select, chunks))
-    else:
-        partials = [select(chunk) for chunk in chunks]
+    partials = _pool.map_threads(select, chunks, workers)
     combined = partials[0]
     for partial in partials[1:]:
         combined |= partial
@@ -1339,6 +1393,9 @@ def _pointwise_int(
     Each process receives the whole (pickled) shard list plus a slice of
     the T-models, runs the per-model loop on its range, and ships back a
     partial selected table; the parent ORs the partials shard-wise.
+    Rides :func:`repro.runtime.pool.map_with_recovery` — a crashed
+    worker's range is re-run inline (union commutes, so the masks stay
+    bit-identical) — and goes serial while a deadline governs.
     """
     workers = min(
         _pool_size(len(table.alphabet), processes)
@@ -1346,18 +1403,20 @@ def _pointwise_int(
         else parallel_workers(len(table.alphabet)),
         len(masks),
     )
+    if not _runtime.allows_fanout():
+        workers = 1
     if workers <= 1:
         return _pointwise_serial(kind, table, masks)
-    from multiprocessing import Pool
-
     chunk = (len(masks) + workers - 1) // workers
     jobs = [
         (kind, table.alphabet.letters, table._shards, table._shard_bits,
          masks[start:start + chunk])
         for start in range(0, len(masks), chunk)
     ]
-    with Pool(len(jobs)) as pool:
-        partials = pool.map(_pointwise_range_worker, jobs)
+    partials = _pool.map_with_recovery(
+        _pointwise_range_worker, jobs, workers=len(jobs),
+        label="pointwise T-range fan-out",
+    )
     combined = partials[0]
     for shard_list in partials[1:]:
         combined = [a | b for a, b in zip(combined, shard_list)]

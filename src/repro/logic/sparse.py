@@ -52,6 +52,9 @@ import os
 from bisect import bisect_left
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro import runtime as _runtime
+from repro.runtime import pool as _pool
+
 from . import shards as _shards
 from .bitmodels import BitAlphabet, min_subset_masks, max_subset_masks
 
@@ -96,8 +99,9 @@ def _guard(count: int, context: str) -> None:
     budget = max_models()
     if count > budget:
         raise SparseSpill(
-            f"{context}: {count} models exceed the sparse budget "
-            f"({budget}; env REPRO_SPARSE_MAX_MODELS)"
+            f"{context}: {count} models exceed the live sparse model "
+            f"budget REPRO_SPARSE_MAX_MODELS={budget} "
+            f"(shards.SPARSE_MAX_MODELS)"
         )
 
 
@@ -521,9 +525,23 @@ def expand_cubes(
     """
 
     def overflow(count: int) -> SparseSpill:
+        # Name the knob that actually bound: the live env-tunable budget
+        # when the caller passed it through, the explicit argument
+        # otherwise — so a degradation log says which limit to raise.
+        live = max_models()
+        if budget == live:
+            knob = (
+                f"the live sparse model budget "
+                f"REPRO_SPARSE_MAX_MODELS={budget}"
+            )
+        else:
+            knob = (
+                f"the explicit budget={budget} argument "
+                f"(REPRO_SPARSE_MAX_MODELS={live} is not the binding "
+                f"limit here)"
+            )
         return SparseSpill(
-            f"sparse cube expansion: {count} models exceed the sparse "
-            f"budget ({budget}; env REPRO_SPARSE_MAX_MODELS)"
+            f"sparse cube expansion: {count} models exceed {knob}"
         )
 
     total = 0
@@ -649,19 +667,21 @@ def _fanout_chunks(chunks, select, letter_count, processes):
 
     Union is the only combine, so the result is independent of worker
     count and chunk order; threads suffice because the numpy kernels
-    release the GIL.
+    release the GIL.  Every chunk polls a governance checkpoint first,
+    and the pool (:func:`repro.runtime.pool.map_threads`) cancels the
+    pending chunks as soon as one raises — a deadline mid-sweep stops
+    promptly and leaks nothing.
     """
     workers = (
         max(1, processes) if processes is not None
         else _shards.parallel_workers(letter_count)
     )
-    if workers > 1 and len(chunks) > 1:
-        from concurrent.futures import ThreadPoolExecutor
 
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            partials = list(pool.map(select, chunks))
-    else:
-        partials = [select(chunk) for chunk in chunks]
+    def checked(chunk):
+        _runtime.checkpoint()
+        return select(chunk)
+
+    partials = _pool.map_threads(checked, chunks, workers)
     combined = partials[0]
     for partial in partials[1:]:
         combined |= partial
@@ -697,6 +717,7 @@ def _pointwise_int_serial(kind, p_ints, t_ints):
     """Per-model reference loop (also the multiprocessing worker body)."""
     selected = set()
     for model in t_ints:
+        _runtime.checkpoint()
         if kind == "ring":
             best = min((model ^ p).bit_count() for p in p_ints)
             selected.update(p for p in p_ints if (model ^ p).bit_count() == best)
@@ -718,19 +739,25 @@ def _pointwise_int(kind, p_set, t_ints, processes):
         else _shards.parallel_workers(len(p_set.alphabet))
     )
     workers = min(workers, len(t_ints))
+    if not _runtime.allows_fanout():
+        # Children can't observe the parent's deadline/cancellation;
+        # the serial loop below checkpoints cooperatively instead.
+        workers = 1
     p_ints = p_set.mask_list()
     if workers <= 1:
         selected = _pointwise_int_serial(kind, p_ints, t_ints)
     else:
-        from multiprocessing import Pool
-
         chunk = (len(t_ints) + workers - 1) // workers
         jobs = [
             (kind, p_ints, t_ints[start:start + chunk])
             for start in range(0, len(t_ints), chunk)
         ]
-        with Pool(len(jobs)) as pool:
-            partials = pool.map(_sparse_range_worker, jobs)
+        partials = _pool.map_with_recovery(
+            _sparse_range_worker,
+            jobs,
+            workers=len(jobs),
+            label="sparse T-range fan-out",
+        )
         selected = set().union(*partials)
     return p_set._sibling(ints=tuple(sorted(selected)))
 
@@ -806,7 +833,11 @@ def translate_union(
         running = None
         rows = _t_chunk_rows(len(cols), words)
         for start in range(0, len(t_cols), rows):
+            _runtime.checkpoint()
             chunk = t_cols[start:start + rows]
+            _runtime.charge_words(
+                len(chunk) * len(cols) * words, "sparse translate-union block"
+            )
             pairs = (chunk[:, None, :] ^ cols[None, :, :]).reshape(-1, words)
             fresh = _canon_cols(pairs)
             running = (
@@ -818,6 +849,7 @@ def translate_union(
     ints = table.mask_list()
     union = set()
     for mask in masks:
+        _runtime.checkpoint()
         union.update(mask ^ m for m in ints)
         _guard(len(union), "sparse translate-union")
     return table._sibling(ints=tuple(sorted(union)))
@@ -839,6 +871,7 @@ def min_distance_select(
         best = None
         per_p = None
         for start in range(0, len(t_set._cols), rows):
+            _runtime.checkpoint()
             counts = _pair_counts(t_set._cols[start:start + rows], p_cols)
             chunk_min = counts.min(axis=0)
             per_p = chunk_min if per_p is None else _np.minimum(per_p, chunk_min)
@@ -886,11 +919,13 @@ def reachable_select(
             p_arr = p_cols.ravel()
             d_arr = delta_set._cols.ravel()
             for start in range(0, len(t_arr), rows):
+                _runtime.checkpoint()
                 pairs = t_arr[start:start + rows][:, None] ^ p_arr[None, :]
                 selected |= _np.isin(pairs, d_arr).any(axis=0)
         else:
             d_void = _rows_void(delta_set._cols)
             for start in range(0, len(t_set._cols), rows):
+                _runtime.checkpoint()
                 chunk = t_set._cols[start:start + rows]
                 pairs = (chunk[:, None, :] ^ p_cols[None, :, :]).reshape(-1, words)
                 member = _np.isin(_rows_void(pairs), d_void)
@@ -927,6 +962,7 @@ def confined_select(
         rows = _t_chunk_rows(len(p_cols), words)
         selected = _np.zeros(len(p_cols), dtype=bool)
         for start in range(0, len(t_set._cols), rows):
+            _runtime.checkpoint()
             chunk = t_set._cols[start:start + rows]
             ok = None
             for j in range(words):

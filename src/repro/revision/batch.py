@@ -44,8 +44,11 @@ import os
 from collections import Counter
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro import runtime as _runtime
+
 from ..logic import shards as _shards
 from ..logic.bitmodels import BitAlphabet, BitModelSet
+from ..logic.sparse import SparseSpill
 from ..logic.formula import And, Formula, FormulaLike, as_formula
 from ..logic.theory import Theory, TheoryLike
 from ..sat import bit_models as sat_bit_models
@@ -248,13 +251,21 @@ class BatchCache:
         # density-aware dispatch is too: past the shard cutoff a
         # bounded-density KB precompiles its sparse carrier here and the
         # batch's selections start density-proportional on request one.
+        # Tier forcing is an optimisation, never a commitment: if the
+        # preferred encoding overflows its budget here (sparse spill or a
+        # memory cap), leave the carrier lazy — the selection path will
+        # demote down the chain of :func:`repro.logic.shards.tier` at
+        # revise time — and record the miss so the serving layer sees it.
         level = _shards.tier(len(bit_alphabet), bits.count())
-        if level == "sparse":
-            bits.sparse()
-        elif level == "sharded":
-            bits.sharded()
-        elif level == "table":
-            bits.table()
+        try:
+            if level == "sparse":
+                bits.sparse()
+            elif level == "sharded":
+                bits.sharded()
+            elif level == "table":
+                bits.table()
+        except (SparseSpill, MemoryError):
+            self.tier_counts[f"warm-{level}-deferred"] += 1
         return bits
 
     def result(self, operator: str, t_formula: Formula, formula: Formula):
@@ -285,8 +296,11 @@ def _revise_one(
 
     ``theory`` arrives coerced and ``t_formula`` is its (already built)
     conjunction — multi-operator batches probe the result cache once per
-    operator without rebuilding either.
+    operator without rebuilding either.  Checkpoints once per pair, so a
+    deadline or cancellation lands between revisions and the results
+    already appended stay valid.
     """
+    _runtime.checkpoint()
     if not isinstance(op, ModelBasedOperator):
         cache.tier_counts["formula-based"] += 1
         return op.revise(theory, formula)

@@ -48,10 +48,15 @@ model counts of the sets at hand: big-int tables up to
 ``_TABLE_MAX_LETTERS`` letters, sharded tables up to
 ``shards.SHARD_MAX_LETTERS``, sparse carriers past the shard cutoff while
 the counts fit ``shards.SPARSE_MAX_MODELS`` (all read live), and
-packed-mask loops (XOR + popcount per pair) beyond that.  When a sparse
-intermediate outgrows the budget mid-rule the engine catches
-:class:`repro.logic.sparse.SparseSpill` and reruns the selection on the
-mask loops — same result, no density bound.  Every
+packed-mask loops (XOR + popcount per pair) beyond that.  The pick is a
+preference, not a commitment: when a tier fails mid-rule — a sparse
+intermediate outgrows its budget (:class:`repro.logic.sparse.SparseSpill`)
+or a bitplane compile overflows memory (``MemoryError``, including
+:class:`repro.runtime.MemoryBudgetExceeded` from an active budget) — the
+driver retries one tier down the degradation chain documented on
+:func:`repro.logic.shards.tier`, ending on the always-feasible mask
+loops; the result is bit-identical on every rung, and each hop is
+counted by :func:`repro.runtime.record_demotion`.  Every
 :class:`RevisionResult` records the tier that actually served it in
 ``engine_tier``.  The retained frozenset semantics lives in
 :mod:`repro.revision.reference` and the hypothesis suite asserts all
@@ -62,6 +67,8 @@ Fig. 2) are asserted by ``tests/test_revision_containment.py``.
 from __future__ import annotations
 
 from typing import FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro import runtime as _runtime
 
 from ..logic import shards as _shards
 from ..logic import sparse as _sparse
@@ -360,8 +367,16 @@ class _SparseOps:
 
 
 #: Adapter class -> the tier label reported on results (see
-#: :meth:`ModelBasedOperator._select_bits_tiered`).
+#: :meth:`ModelBasedOperator._select_bits_tiered` and
+#: :func:`_tier_attempts`).
 _OPS_TIERS = {_TableOps: "table", _ShardOps: "sharded", _SparseOps: "sparse"}
+
+
+#: Failures that demote a selection one tier down instead of crashing:
+#: a sparse intermediate past its budget, or a bitplane allocation the
+#: host (or an active :class:`repro.runtime.Budget`) refused.  Note
+#: ``repro.runtime.MemoryBudgetExceeded`` *is a* ``MemoryError``.
+_DEMOTABLE = (SparseSpill, MemoryError)
 
 
 def _ops_for(alphabet: BitAlphabet, model_bound: Optional[int] = None):
@@ -371,7 +386,10 @@ def _ops_for(alphabet: BitAlphabet, model_bound: Optional[int] = None):
     makes the dispatch density-aware: past the shard cutoff, bounded sets
     land on :class:`_SparseOps` instead of the mask loops.
     """
-    level = _shards.tier(len(alphabet), model_bound)
+    return _ops_for_level(alphabet, _shards.tier(len(alphabet), model_bound))
+
+
+def _ops_for_level(alphabet: BitAlphabet, level: str):
     if level == "table":
         return _TableOps(alphabet)
     if level == "sharded":
@@ -379,6 +397,38 @@ def _ops_for(alphabet: BitAlphabet, model_bound: Optional[int] = None):
     if level == "sparse":
         return _SparseOps(alphabet)
     return None
+
+
+def _tier_attempts(
+    alphabet: BitAlphabet, model_bound: Optional[int]
+) -> List[str]:
+    """The degradation chain for this alphabet/density, preferred first.
+
+    Realises the chain documented on :func:`repro.logic.shards.tier`:
+    the preferred tier, then — should it raise one of
+    :data:`_DEMOTABLE` — each successively cheaper tier, ending on the
+    always-feasible ``"masks"`` loops.  A spilled sparse attempt retries
+    on the densest *bound-free* tier first (a spill says nothing about
+    bitplane feasibility); a sharded compile OOM retries on sparse when
+    the density bound fits its budget.
+    """
+    first = _shards.tier(len(alphabet), model_bound)
+    attempts = [first]
+    if first == "sparse":
+        dense = _shards.tier(len(alphabet))  # no bound: never sparse
+        if dense != "masks":
+            attempts.append(dense)
+    elif first in ("table", "sharded"):
+        sparse_ok = (
+            _shards.SPARSE_TIER
+            and model_bound is not None
+            and 0 <= model_bound <= _shards.SPARSE_MAX_MODELS
+        )
+        if first == "sharded" and sparse_ok:
+            attempts.append("sparse")
+    if attempts[-1] != "masks":
+        attempts.append("masks")
+    return attempts
 
 
 def _delta_tab(ops, t_bits: BitModelSet, p_bits: BitModelSet):
@@ -410,16 +460,20 @@ def delta_bits(t_bits: BitModelSet, p_bits: BitModelSet) -> List[int]:
         raise ValueError("model sets range over different alphabets")
     if not t_bits or not p_bits:
         raise ValueError("delta of an empty model set")
-    ops = _ops_for(t_bits.alphabet, max(t_bits.count(), p_bits.count()))
-    if ops is not None:
+    attempts = _tier_attempts(
+        t_bits.alphabet, max(t_bits.count(), p_bits.count())
+    )
+    for position, level in enumerate(attempts):
+        if position:
+            _runtime.record_demotion(attempts[position - 1], level)
+        ops = _ops_for_level(t_bits.alphabet, level)
+        if ops is None:
+            break
         try:
             return sorted(ops.bits_of(_delta_tab(ops, t_bits, p_bits)))
-        except SparseSpill:
-            # A sparse spill says nothing about *table* feasibility:
-            # within the bitplane cutoffs rerun there, not on the loops.
-            ops = _ops_for(t_bits.alphabet)
-            if ops is not None:
-                return sorted(ops.bits_of(_delta_tab(ops, t_bits, p_bits)))
+        except _DEMOTABLE:
+            if position + 1 == len(attempts):
+                raise
     return sorted(delta_masks(t_bits.masks, p_bits.masks))
 
 
@@ -471,36 +525,45 @@ class ModelBasedOperator(RevisionOperator):
         """Selection plus the tier that actually served it.
 
         The tier label is what :class:`RevisionResult.engine_tier` and the
-        batch layer's per-pair reporting surface; ``"sparse-spill"`` marks
-        a sparse attempt whose intermediate outgrew the budget and was
-        rerun on the densest tier still available — the bitplanes when the
-        alphabet is within their cutoffs (a spill says nothing about
-        *table* feasibility), the mask loops beyond (identical result
-        either way).
+        batch layer's per-pair reporting surface.  A demoted selection —
+        the preferred tier raised one of :data:`_DEMOTABLE` and a rung of
+        :func:`_tier_attempts` served instead — is labelled
+        ``"sparse-spill"`` when the preferred tier was sparse (the
+        historical name; the intermediate outgrew the budget) and
+        ``"<preferred>-demoted-<served>"`` otherwise, e.g.
+        ``"sharded-demoted-sparse"`` for a compile OOM absorbed by the
+        sparse carrier.  The selected set is bit-identical on every rung;
+        each hop is counted by :func:`repro.runtime.record_demotion`.
         """
         if not p_bits:
             return p_bits.with_masks(()), "degenerate"
         if not t_bits:
             return p_bits, "degenerate"
-        ops = _ops_for(p_bits.alphabet, max(t_bits.count(), p_bits.count()))
-        if ops is not None:
-            level = _OPS_TIERS[type(ops)]
-            try:
-                return ops.wrap(self._rule(ops, t_bits, p_bits)), level
-            except SparseSpill:
-                level = "sparse-spill"
-                fallback = _ops_for(p_bits.alphabet)  # no bound: never sparse
-                if fallback is not None:
-                    return (
-                        fallback.wrap(self._rule(fallback, t_bits, p_bits)),
-                        level,
-                    )
-        else:
-            level = "masks"
-        selected = p_bits.with_masks(
-            self._select_masks(t_bits.masks, p_bits.masks)
+        attempts = _tier_attempts(
+            p_bits.alphabet, max(t_bits.count(), p_bits.count())
         )
-        return selected, level
+        first = attempts[0]
+        for position, level in enumerate(attempts):
+            if position:
+                _runtime.record_demotion(attempts[position - 1], level)
+                label = (
+                    "sparse-spill" if first == "sparse"
+                    else f"{first}-demoted-{level}"
+                )
+            else:
+                label = level
+            ops = _ops_for_level(p_bits.alphabet, level)
+            if ops is None:
+                selected = p_bits.with_masks(
+                    self._select_masks(t_bits.masks, p_bits.masks)
+                )
+                return selected, label
+            try:
+                return ops.wrap(self._rule(ops, t_bits, p_bits)), label
+            except _DEMOTABLE:
+                if position + 1 == len(attempts):
+                    raise
+        raise AssertionError("tier attempts exhausted without a mask rung")
 
     # -- selection rules -----------------------------------------------------
 

@@ -1,0 +1,143 @@
+"""Deterministic fault injection for the resource-governance layer.
+
+Robustness claims ("masks bit-identical under any worker-crash pattern",
+"compile OOM degrades one tier down") are only worth anything if CI can
+actually make those failures happen on demand.  This registry turns the
+``REPRO_FAULTS`` environment string into a set of armed fault points
+that the engine consults at well-defined sites:
+
+``worker-crash@K``
+    the K-th job dispatched to a process pool dies with ``os._exit(1)``
+    (decided parent-side at submit time, so the pattern is independent
+    of the multiprocessing start method; the parent's inline retry of
+    the same job is immune by construction).
+``alloc-oom@N``
+    the N-th charged allocation (:func:`repro.runtime.charge_words`)
+    raises ``MemoryError``.
+``shard-compile-oom@N``
+    the N-th sharded-table compile raises ``MemoryError`` before any
+    bitplane is materialised.
+``propagate-delay@M:S``
+    the M-th unit-propagation call sleeps ``S`` seconds — a slow-solver
+    stand-in for deadline tests.
+
+Entries are separated by ``;`` (or ``,``); an index of ``r`` draws a
+deterministic pseudo-random occurrence in 1..8 from the ``seed=N`` entry
+(default seed 0), so seeded sweeps explore crash patterns reproducibly:
+
+    REPRO_FAULTS="worker-crash@1;alloc-oom@3;propagate-delay@5:0.01"
+    REPRO_FAULTS="seed=7;worker-crash@r"
+
+The registry is read once at import; tests re-arm it with
+:func:`reset`.  ``ACTIVE`` is a plain module bool so hot loops can gate
+the whole machinery on one attribute load.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, Optional, Tuple
+
+ENV_VAR = "REPRO_FAULTS"
+
+#: Fault points the engine consults.  Arming an unknown point is a spec
+#: typo and raises immediately rather than silently never firing.
+POINTS = (
+    "worker-crash",
+    "alloc-oom",
+    "shard-compile-oom",
+    "propagate-delay",
+)
+
+#: True when at least one fault point is armed — the one-load hot gate.
+ACTIVE = False
+
+#: How often each armed point has fired, plus the grand total.
+STATS: Dict[str, int] = {"injected": 0}
+
+_targets: Dict[str, Tuple[int, Optional[str]]] = {}
+_counters: Dict[str, int] = {}
+
+
+def _drawn_index(seed: int, salt: int) -> int:
+    """Deterministic occurrence index in 1..8 for an ``@r`` entry."""
+    state = (seed * 2 + salt + 1) & 0xFFFFFFFFFFFFFFFF
+    state = (state * 6364136223846793005 + 1442695040888963407) % (1 << 64)
+    return 1 + ((state >> 33) % 8)
+
+
+def reset(spec: Optional[str] = None) -> None:
+    """Re-arm the registry from *spec* (default: the env var, or disarm).
+
+    Counters always restart from zero, so a test can deterministically
+    target "the Nth occurrence after this point".
+    """
+    global ACTIVE
+    if spec is None:
+        spec = os.environ.get(ENV_VAR, "")
+    _targets.clear()
+    _counters.clear()
+    seed = 0
+    entries = []
+    for raw in spec.replace(",", ";").split(";"):
+        raw = raw.strip()
+        if not raw:
+            continue
+        if raw.startswith("seed="):
+            seed = int(raw[len("seed="):], 0)
+            continue
+        name, sep, rest = raw.partition("@")
+        name = name.strip()
+        if not sep or name not in POINTS:
+            raise ValueError(
+                f"{ENV_VAR}: unknown fault entry {raw!r} "
+                f"(points: {', '.join(POINTS)})"
+            )
+        index_text, _, param = rest.partition(":")
+        entries.append((name, index_text.strip(), param.strip() or None))
+    for salt, (name, index_text, param) in enumerate(entries):
+        if index_text == "r":
+            index = _drawn_index(seed, salt + sum(ord(c) for c in name))
+        else:
+            index = int(index_text, 0)
+            if index < 1:
+                raise ValueError(
+                    f"{ENV_VAR}: {name}@{index}: occurrence index is 1-based"
+                )
+        _targets[name] = (index, param)
+        _counters[name] = 0
+    ACTIVE = bool(_targets)
+
+
+def armed(point: str) -> bool:
+    """True when *point* is armed (fired or not)."""
+    return point in _targets
+
+
+def trip(point: str) -> Optional[str]:
+    """Count one occurrence of *point*; non-None when the fault fires.
+
+    Returns the entry's parameter string (possibly ``""``) on the armed
+    occurrence, ``None`` otherwise — callers must test ``is not None``.
+    """
+    target = _targets.get(point)
+    if target is None:
+        return None
+    _counters[point] += 1
+    index, param = target
+    if _counters[point] != index:
+        return None
+    STATS["injected"] += 1
+    STATS[point] = STATS.get(point, 0) + 1
+    return param if param is not None else ""
+
+
+def propagate_pause() -> None:
+    """The ``propagate-delay`` site: sleep the armed entry's seconds."""
+    param = trip("propagate-delay")
+    if param:
+        time.sleep(float(param))
+
+
+reset()

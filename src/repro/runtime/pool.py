@@ -1,0 +1,114 @@
+"""Crash-tolerant fan-out maps shared by the parallel kernels.
+
+:func:`map_with_recovery` is the process-pool workhorse: ordered
+results, dead-worker detection via ``BrokenProcessPool``, bounded
+inline retry of every job the dead worker took down, and
+context-managed shutdown with ``cancel_futures=True`` so an error or
+``KeyboardInterrupt`` mid-map leaks no orphan workers.  Because every
+combine in the engine is a union (order- and partition-independent),
+re-running a lost range inline reproduces bit-identical masks for any
+crash pattern.
+
+:func:`map_threads` is the thread-pool sibling used by the blocked
+numpy kernels: same ordered-map contract and prompt-cancel shutdown
+semantics (threads cannot be killed, but pending chunks are dropped the
+moment one chunk raises — e.g. at a deadline checkpoint).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from typing import Any, Callable, List, Sequence
+
+from repro import runtime as _runtime
+from repro.runtime import faults as _faults
+
+
+def _invoke(payload):
+    """Worker-side trampoline (top-level so it pickles).
+
+    A job doomed by the ``worker-crash`` fault dies only in a child:
+    the parent-pid guard makes the parent's inline retry of the very
+    same payload immune by construction.
+    """
+    function, args, doomed, parent = payload
+    if doomed and os.getpid() != parent:
+        os._exit(1)
+    return function(args)
+
+
+def map_with_recovery(
+    function: Callable[[Any], Any],
+    jobs: Sequence[Any],
+    workers: int,
+    label: str = "parallel fan-out",
+) -> List[Any]:
+    """Ordered ``[function(job) for job in jobs]`` over a process pool.
+
+    If a worker dies mid-map the pool breaks; every job without a
+    result is then re-run inline in the parent (one bounded retry —
+    a failure there propagates).  The executor is always shut down with
+    ``cancel_futures=True``, so nothing is leaked on any exit path.
+    Checkpoints are polled between result collections, keeping
+    deadlines live even here (callers normally avoid process fan-out
+    under a deadline via :func:`repro.runtime.allows_fanout`).
+    """
+    jobs = list(jobs)
+    if not jobs:
+        return []
+    parent = os.getpid()
+    payloads = []
+    for args in jobs:
+        doomed = _faults.ACTIVE and _faults.trip("worker-crash") is not None
+        payloads.append((function, args, doomed, parent))
+    results: List[Any] = [None] * len(jobs)
+    done = [False] * len(jobs)
+    broken = False
+    executor = ProcessPoolExecutor(max_workers=min(workers, len(jobs)))
+    try:
+        futures = [executor.submit(_invoke, payload) for payload in payloads]
+        for index, future in enumerate(futures):
+            _runtime.checkpoint()
+            try:
+                results[index] = future.result()
+                done[index] = True
+            except BrokenExecutor:
+                broken = True
+    finally:
+        executor.shutdown(wait=not broken, cancel_futures=True)
+    if broken:
+        _runtime.STATS["worker_crashes"] += 1
+        for index, finished in enumerate(done):
+            if not finished:
+                _runtime.STATS["inline_retries"] += 1
+                results[index] = function(jobs[index])
+    return results
+
+
+def map_threads(
+    function: Callable[[Any], Any],
+    items: Sequence[Any],
+    workers: int,
+) -> List[Any]:
+    """Ordered thread-pool map with prompt-cancel shutdown.
+
+    Pending items are cancelled as soon as any item raises (the running
+    ones finish — threads are cooperative); results come back in input
+    order, so union combines stay worker-count-independent.
+    """
+    items = list(items)
+    if not items:
+        return []
+    if workers <= 1 or len(items) == 1:
+        return [function(item) for item in items]
+    executor = ThreadPoolExecutor(max_workers=min(workers, len(items)))
+    try:
+        futures = [executor.submit(function, item) for item in items]
+        return [future.result() for future in futures]
+    finally:
+        executor.shutdown(wait=True, cancel_futures=True)

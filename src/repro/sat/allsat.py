@@ -86,6 +86,9 @@ from __future__ import annotations
 import os
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
+from repro import runtime as _runtime
+from repro.runtime import pool as _pool
+
 from .solver import CnfInstance, Solver
 
 #: Cube generalization on/off (env ``REPRO_ALLSAT_CUBES=0`` at import);
@@ -264,8 +267,15 @@ class _ComponentEnumerator:
         self._input_clause_count = len(self.solver.clauses)
         self._occurrences: Optional[Dict[int, List[int]]] = None
         self._stats_seen = {"conflicts": 0, "learned": 0, "restarts": 0}
-        self._started = False
-        self._exhausted = False
+        # Resumable-stream state machine (see next_cube):
+        #   unstarted  — no solver call yet
+        #   advancing  — a search was interrupted mid-flight (budget
+        #                checkpoint raise); resume_search continues it
+        #   yielded    — the last cube was handed out; advance via the
+        #                stashed flip target next
+        #   exhausted  — the stream is complete
+        self._state = "unstarted"
+        self._flip_target: Optional[int] = None
 
     def _occ(self) -> Dict[int, List[int]]:
         if self._occurrences is None:
@@ -288,78 +298,114 @@ class _ComponentEnumerator:
         if stats["max_backjump"] > STATS["max_backjump"]:
             STATS["max_backjump"] = stats["max_backjump"]
 
-    def cubes(self) -> Iterator[Cube]:
-        """Stream the projected cubes (each projected model covered once)."""
-        if self._exhausted:
-            return
+    def _generalized_cube(self) -> Tuple[Cube, Optional[int]]:
+        """Build the cube for the model on the trail, plus its flip point.
+
+        Generalize: walk decision levels deepest-first, growing the
+        don't-care suffix until a decision resists (the flip point).
+        """
         solver = self.solver
         proj_set = self._proj_set
-        if not self._started:
-            self._started = True
-            found = solver.solve()
-        else:  # pragma: no cover - cubes() is consumed once per component
-            found = solver.next_model()
-        while found:
-            STATS["resumes"] += 1
-            self._sync_stats()
-            # Generalize: walk decision levels deepest-first, growing the
-            # don't-care suffix until a decision resists (the flip point).
-            covered: Set[int] = set()
-            flip_lit: Optional[int] = None
-            if self.generalize:
-                occurrences = self._occ()
-                generalizing = True
-                for segment in reversed(solver.decision_segments()):
-                    decision = segment[0]
-                    if abs(decision) not in proj_set:
-                        # Auxiliary level: it holds no projection literal
-                        # (projection-first branching), so popping it never
-                        # changes the projected model — always covered.
-                        continue
-                    if decision < 0:
-                        # Second phase: both subtrees explored, pop — but
-                        # its value pins the cube, so no shallower variable
-                        # may be generalized past it (the shallower flip
-                        # subtree would revisit this variable's two phases,
-                        # which the cube holds fixed).
-                        generalizing = False
-                        continue
-                    # A first-phase projection decision joins the don't-care
-                    # set only while the whole deeper suffix is covered and
-                    # (a) every clause its literal satisfies has another
-                    # satisfying literal outside the set, and (b) its level
-                    # forced no other projection literal (flipping it would
-                    # release those forced values, which the cube fixes).
-                    if (
-                        generalizing
-                        and all(
-                            abs(lit) not in proj_set for lit in segment[1:]
-                        )
-                        and _dont_care(solver, decision, covered, occurrences)
-                    ):
-                        covered.add(decision)
-                        continue
+        covered: Set[int] = set()
+        flip_lit: Optional[int] = None
+        if self.generalize:
+            occurrences = self._occ()
+            generalizing = True
+            for segment in reversed(solver.decision_segments()):
+                decision = segment[0]
+                if abs(decision) not in proj_set:
+                    # Auxiliary level: it holds no projection literal
+                    # (projection-first branching), so popping it never
+                    # changes the projected model — always covered.
+                    continue
+                if decision < 0:
+                    # Second phase: both subtrees explored, pop — but
+                    # its value pins the cube, so no shallower variable
+                    # may be generalized past it (the shallower flip
+                    # subtree would revisit this variable's two phases,
+                    # which the cube holds fixed).
+                    generalizing = False
+                    continue
+                # A first-phase projection decision joins the don't-care
+                # set only while the whole deeper suffix is covered and
+                # (a) every clause its literal satisfies has another
+                # satisfying literal outside the set, and (b) its level
+                # forced no other projection literal (flipping it would
+                # release those forced values, which the cube fixes).
+                if (
+                    generalizing
+                    and all(
+                        abs(lit) not in proj_set for lit in segment[1:]
+                    )
+                    and _dont_care(solver, decision, covered, occurrences)
+                ):
+                    covered.add(decision)
+                    continue
+                flip_lit = decision
+                break
+        else:
+            for decision in reversed(solver.decisions()):
+                if decision > 0 and decision in proj_set:
                     flip_lit = decision
                     break
-            else:
-                for decision in reversed(solver.decisions()):
-                    if decision > 0 and decision in proj_set:
-                        flip_lit = decision
-                        break
-            value_of = solver.value_of
-            lits = tuple(
-                var if value_of(var) else -var
-                for var in self.projection
-                if var not in covered
-            )
-            yield Cube(lits, tuple(sorted(covered)))
-            if flip_lit is None:
-                self._exhausted = True
-                return
-            target = flip_lit
+        value_of = solver.value_of
+        lits = tuple(
+            var if value_of(var) else -var
+            for var in self.projection
+            if var not in covered
+        )
+        return Cube(lits, tuple(sorted(covered))), flip_lit
+
+    def next_cube(self) -> Optional[Cube]:
+        """Advance the stream one cube; ``None`` when exhausted.
+
+        The resumable entry point: if the previous call was interrupted
+        by a budget checkpoint raise (deadline, cancellation) the solver
+        search picks up exactly where it stopped, and a cube built but
+        never handed out is delivered before any new solving — so an
+        interrupted stream, resumed, is still duplicate-free and
+        lossless.
+        """
+        solver = self.solver
+        state = self._state
+        if state == "exhausted":
+            return None
+        if state == "unstarted":
+            self._state = "advancing"
+            found = solver.solve()
+        elif state == "yielded":
+            if self._flip_target is None:
+                # The last cube had no flip point: stream complete.
+                self._sync_stats()
+                self._state = "exhausted"
+                return None
+            target = self._flip_target
+            self._state = "advancing"
             found = solver.next_model(flip=lambda lit: lit == target)
+        else:  # "advancing": a checkpoint raise interrupted the search
+            found = solver.resume_search()
+        if not found:
+            self._sync_stats()
+            self._state = "exhausted"
+            return None
+        STATS["resumes"] += 1
         self._sync_stats()
-        self._exhausted = True
+        cube, flip_lit = self._generalized_cube()
+        self._flip_target = flip_lit
+        self._state = "yielded"
+        return cube
+
+    def cubes(self) -> Iterator[Cube]:
+        """Stream the projected cubes (each projected model covered once).
+
+        A disposable generator view over :meth:`next_cube` — abandoning
+        it and calling :meth:`cubes` again continues the same stream.
+        """
+        while True:
+            cube = self.next_cube()
+            if cube is None:
+                return
+            yield cube
 
 
 def _split_components(
@@ -463,6 +509,12 @@ def _parallel_component_cubes(
     model set is identical for every worker count — or ``None`` when some
     component is unsatisfiable (a component is unsatisfiable iff *all* of
     its subtrees come back empty).
+
+    The fan-out runs through :func:`repro.runtime.pool.map_with_recovery`:
+    a crashed worker's jobs are re-run inline in the parent, and since the
+    combine is a pure union the masks stay bit-identical for any crash
+    pattern; executor shutdown always cancels pending futures, so no
+    orphan worker survives an error or ``KeyboardInterrupt`` mid-map.
     """
     jobs: List[Tuple[int, tuple]] = []
     for comp_id, (clauses, projection) in enumerate(components):
@@ -491,11 +543,13 @@ def _parallel_component_cubes(
                     (num_vars, clauses, projection, variables, prefix, generalize),
                 )
             )
-    from multiprocessing import Pool
-
     pool_size = min(workers, len(jobs))
-    with Pool(pool_size) as pool:
-        outcomes = pool.map(_component_worker, [args for _, args in jobs])
+    outcomes = _pool.map_with_recovery(
+        _component_worker,
+        [args for _, args in jobs],
+        workers=pool_size,
+        label="allsat component fan-out",
+    )
     STATS["parallel_enumerations"] += 1
     STATS["parallel_components"] += len(jobs)
     STATS["parallel_workers"] = pool_size
@@ -515,53 +569,22 @@ def _parallel_component_cubes(
     return streams
 
 
-def enumerate_cubes(
+def _primed_split(
     instance: CnfInstance,
-    projection: Optional[Sequence[int]] = None,
-    limit: Optional[int] = None,
-    assumptions: Sequence[int] = (),
-    generalize: Optional[bool] = None,
-    split: Optional[bool] = None,
-    parallel: Optional[bool] = None,
-) -> Iterator[Cube]:
-    """Yield cubes jointly covering every projected model exactly once.
+    proj_vars: Sequence[int],
+    assumptions: Sequence[int],
+) -> Optional[Tuple[Tuple[int, ...], Tuple[int, ...], List[List[int]], Set[int]]]:
+    """Prime level-0 units + assumptions and split the reduced CNF.
 
-    The incremental counterpart of the blocking-clause
-    :func:`repro.sat.enumerate.enumerate_models`: same projection
-    semantics (each *projected* model covered exactly once; without a
-    projection, all variables), but models arrive grouped into
-    :class:`Cube` partial assignments whose free variables the caller
-    expands — or counts as ``2^k`` without expanding.
-
-    ``limit`` bounds the number of *models* covered: the stream stops
-    after the cube that reaches it (the final cube may overshoot; callers
-    expanding models apply the exact cap).  ``assumptions`` constrain the
-    search like :meth:`Solver.solve` assumptions do — the incremental-
-    carrier path enumerates deltas under them.  ``generalize`` / ``split``
-    / ``parallel`` override the live :data:`CUBES` / :data:`COMPONENTS` /
-    :data:`PARALLEL` defaults; fan-out additionally requires an unlimited
-    enumeration and more than one granted worker, and changes only the
-    cube partition — never the covered model set.
+    Returns ``None`` when the instance conflicts under the assumptions
+    (no models), else ``(fixed, free, residual, constrained)``: the
+    projection literals already decided by propagation, the projection
+    variables no residual clause mentions (free bits of every cube), the
+    reduced unsatisfied clauses, and the set of variables they mention.
     """
-    if generalize is None:
-        generalize = CUBES
-    if split is None:
-        split = COMPONENTS
-    if parallel is None:
-        parallel = PARALLEL
-    if instance.has_empty_clause:
-        return
-    if projection is None:
-        proj_vars = list(range(1, instance.num_vars + 1))
-    else:
-        proj_vars = sorted(set(projection))
-    STATS["enumerations"] += 1
-
-    # Prime: level-0 units + assumptions.  Conflict here means no models.
     probe = Solver(instance)
     if not probe.prime(assumptions):
-        return
-
+        return None
     # Split the CNF under the primed assignment: clauses already satisfied
     # are gone for good (their supporting literal sits at or below the
     # assumption level and never backtracks), falsified literals drop out.
@@ -591,12 +614,311 @@ def enumerate_cubes(
             fixed.append(var if assigned else -var)
         elif var not in constrained:
             free.append(var)
-    fixed_tuple = tuple(fixed)
-    free_tuple = tuple(free)
+    return tuple(fixed), tuple(free), residual, constrained
+
+
+class CubeStream:
+    """A resumable projected cube stream — the serial enumeration engine.
+
+    Reifies :func:`enumerate_cubes`'s serial paths as an object whose
+    entire progress (primed split, per-component solver state machines,
+    collection buffers, the cross-product odometer, the produced-model
+    counter) persists across interrupts: when a budget checkpoint raises
+    (:class:`repro.runtime.EngineTimeout`, cancellation, model-budget
+    exhaustion) mid-stream, calling :meth:`cubes` again *continues* the
+    same stream — the interrupted solver search resumes in place, a cube
+    charged but never handed out is delivered first, and the completed
+    stream is exactly the uninterrupted one: duplicate-free and lossless.
+
+    Every emitted cube passes one :func:`repro.runtime.checkpoint` and
+    charges its covered models against the governing budget *before* it
+    is handed out, so deadlines land within one cube and budget raises
+    never lose the cube they interrupted.
+    """
+
+    def __init__(
+        self,
+        instance: CnfInstance,
+        projection: Optional[Sequence[int]] = None,
+        limit: Optional[int] = None,
+        assumptions: Sequence[int] = (),
+        generalize: Optional[bool] = None,
+        split: Optional[bool] = None,
+    ) -> None:
+        self._instance = instance
+        if projection is None:
+            self._proj_vars = list(range(1, instance.num_vars + 1))
+        else:
+            self._proj_vars = sorted(set(projection))
+        self._limit = limit
+        self._assumptions = tuple(assumptions)
+        self._generalize = CUBES if generalize is None else generalize
+        self._split = COMPONENTS if split is None else split
+        self._state = "new"  # new | live | done
+        self._stopped = False
+        self._pending: Optional[Cube] = None
+        self._base: Optional[Cube] = None
+        self._checkers: List[_ComponentEnumerator] = []
+        self._checker_pos = 0
+        self._enumerators: List[_ComponentEnumerator] = []
+        self._emitted_base = False
+        self._produced = 0
+        self._collected: Optional[List[List[Cube]]] = None
+        self._bucket_produced: List[int] = []
+        self._collect_pos = 0
+        self._indices: Optional[List[int]] = None
+
+    @property
+    def produced(self) -> int:
+        """Models covered by the cubes handed out so far."""
+        return self._produced
+
+    def _prime(self) -> bool:
+        """One-time setup; False when the instance has no models."""
+        instance = self._instance
+        if instance.has_empty_clause:
+            return False
+        STATS["enumerations"] += 1
+        primed = _primed_split(instance, self._proj_vars, self._assumptions)
+        if primed is None:
+            return False
+        fixed_tuple, free_tuple, residual, constrained = primed
+        self._base = Cube(fixed_tuple, free_tuple)
+        if not residual:
+            return True  # everything decided by propagation: base only
+        proj_set = set(self._proj_vars)
+        components = (
+            _split_components(residual, proj_set)
+            if self._split
+            else [(residual, sorted(constrained & proj_set))]
+        )
+        if len(components) > 1:
+            STATS["components"] += len(components)
+        for clauses, component_projection in components:
+            component_vars = {abs(lit) for clause in clauses for lit in clause}
+            sub = CnfInstance(instance.num_vars)
+            sub.clauses = clauses
+            enumerator = _ComponentEnumerator(
+                sub,
+                component_projection,
+                variables=component_vars,
+                generalize=self._generalize,
+            )
+            if component_projection:
+                self._enumerators.append(enumerator)
+            else:
+                # No projected letter in sight: only satisfiability
+                # matters — settled in _next before anything is yielded.
+                self._checkers.append(enumerator)
+        return True
+
+    def _note(self, cube: Cube) -> Cube:
+        STATS["cubes"] += 1
+        STATS["models"] += cube.model_count()
+        self._produced += cube.model_count()
+        return cube
+
+    def _deliver(self) -> Cube:
+        """Checkpoint, charge and hand out the stashed cube.
+
+        A raise here (deadline, cancellation, model budget) keeps the
+        cube in ``_pending``; the resumed stream delivers it first.
+        """
+        cube = self._pending
+        _runtime.checkpoint()
+        _runtime.charge_models(cube.model_count())
+        self._pending = None
+        return cube
+
+    def _next(self) -> Optional[Cube]:
+        if self._pending is not None:
+            return self._deliver()
+        if self._stopped:
+            return None
+        # Projection-free components: one satisfiability check each,
+        # before any cube is yielded.
+        while self._checker_pos < len(self._checkers):
+            if self._checkers[self._checker_pos].next_cube() is None:
+                self._stopped = True
+                return None  # unsatisfiable component: no models at all
+            self._checker_pos += 1
+        if not self._enumerators:
+            if self._emitted_base:
+                self._stopped = True
+                return None
+            self._emitted_base = True
+            self._stopped = True
+            self._pending = self._note(self._base)
+            return self._deliver()
+        if len(self._enumerators) == 1:
+            # The common (connected-CNF) case streams: each cube costs
+            # one solver resume, never a full collection pass.
+            part = self._enumerators[0].next_cube()
+            if part is None:
+                self._stopped = True
+                return None
+            cube = self._note(_merge_cubes([self._base, part]))
+            if self._limit is not None and self._produced >= self._limit:
+                self._stopped = True
+            self._pending = cube
+            return self._deliver()
+        # Multiple projection-bearing components: collect each stream
+        # once, then cross-product through the odometer.
+        if self._collected is None:
+            self._collected = [[] for _ in self._enumerators]
+            self._bucket_produced = [0] * len(self._enumerators)
+        while self._collect_pos < len(self._enumerators):
+            position = self._collect_pos
+            enumerator = self._enumerators[position]
+            bucket = self._collected[position]
+            while (
+                self._limit is None
+                or self._bucket_produced[position] < self._limit
+            ):
+                part = enumerator.next_cube()
+                if part is None:
+                    break
+                bucket.append(part)
+                self._bucket_produced[position] += part.model_count()
+            if not bucket:
+                self._stopped = True
+                return None  # unsatisfiable component
+            self._collect_pos += 1
+        if self._indices is None:
+            self._indices = [0] * len(self._collected)
+        parts = [self._base] + [
+            bucket[i] for bucket, i in zip(self._collected, self._indices)
+        ]
+        cube = self._note(_merge_cubes(parts))
+        # Advance the odometer (last component fastest) *before* the
+        # delivery checkpoint, so an interrupted charge never replays
+        # the same index vector on resume.
+        position = len(self._collected) - 1
+        while position >= 0:
+            self._indices[position] += 1
+            if self._indices[position] < len(self._collected[position]):
+                break
+            self._indices[position] = 0
+            position -= 1
+        if position < 0:
+            self._stopped = True
+        if self._limit is not None and self._produced >= self._limit:
+            self._stopped = True
+        self._pending = cube
+        return self._deliver()
+
+    def cubes(self) -> Iterator[Cube]:
+        """Stream the cubes; re-callable — resumes after an interrupt."""
+        if self._state == "done":
+            return
+        if self._state == "new":
+            # Flip to "live" only after priming succeeds: a budget raise
+            # inside the priming solve leaves the stream "new", and the
+            # next call simply primes again (nothing was yielded yet).
+            if not self._prime():
+                self._state = "done"
+                return
+            self._state = "live"
+        while True:
+            cube = self._next()
+            if cube is None:
+                self._state = "done"
+                return
+            yield cube
+
+
+def enumerate_cubes(
+    instance: CnfInstance,
+    projection: Optional[Sequence[int]] = None,
+    limit: Optional[int] = None,
+    assumptions: Sequence[int] = (),
+    generalize: Optional[bool] = None,
+    split: Optional[bool] = None,
+    parallel: Optional[bool] = None,
+) -> Iterator[Cube]:
+    """Yield cubes jointly covering every projected model exactly once.
+
+    The incremental counterpart of the blocking-clause
+    :func:`repro.sat.enumerate.enumerate_models`: same projection
+    semantics (each *projected* model covered exactly once; without a
+    projection, all variables), but models arrive grouped into
+    :class:`Cube` partial assignments whose free variables the caller
+    expands — or counts as ``2^k`` without expanding.
+
+    ``limit`` bounds the number of *models* covered: the stream stops
+    after the cube that reaches it (the final cube may overshoot; callers
+    expanding models apply the exact cap).  ``assumptions`` constrain the
+    search like :meth:`Solver.solve` assumptions do — the incremental-
+    carrier path enumerates deltas under them.  ``generalize`` / ``split``
+    / ``parallel`` override the live :data:`CUBES` / :data:`COMPONENTS` /
+    :data:`PARALLEL` defaults; fan-out additionally requires an unlimited
+    enumeration, more than one granted worker, and no governing deadline
+    (worker processes cannot observe the parent's checkpoints — under a
+    deadline or cancellable :class:`repro.runtime.Budget` the resumable
+    serial engine serves instead), and changes only the cube partition —
+    never the covered model set.
+
+    Serial enumerations run on a :class:`CubeStream`, so a budget
+    checkpoint raise mid-stream is resumable: hold on to the stream
+    object (construct it directly) to continue after an interrupt.
+    """
+    if generalize is None:
+        generalize = CUBES
+    if split is None:
+        split = COMPONENTS
+    if parallel is None:
+        parallel = PARALLEL
+    if instance.has_empty_clause:
+        return
+    if projection is None:
+        proj_vars = list(range(1, instance.num_vars + 1))
+    else:
+        proj_vars = sorted(set(projection))
+
+    workers = 1
+    if parallel and limit is None and _runtime.allows_fanout():
+        from ..logic import shards as _shards
+
+        workers = _shards.parallel_workers(len(proj_vars))
+    if workers > 1:
+        yield from _enumerate_parallel(
+            instance, proj_vars, assumptions, generalize, split, workers
+        )
+        return
+
+    stream = CubeStream(
+        instance,
+        projection=proj_vars,
+        limit=limit,
+        assumptions=assumptions,
+        generalize=generalize,
+        split=split,
+    )
+    yield from stream.cubes()
+
+
+def _enumerate_parallel(
+    instance: CnfInstance,
+    proj_vars: List[int],
+    assumptions: Sequence[int],
+    generalize: bool,
+    split: bool,
+    workers: int,
+) -> Iterator[Cube]:
+    """The process fan-out path of :func:`enumerate_cubes` (unlimited
+    enumerations only): collect per-component cube lists from the worker
+    pool, then merge/odometer exactly like the serial engine."""
+    STATS["enumerations"] += 1
+    primed = _primed_split(instance, proj_vars, assumptions)
+    if primed is None:
+        return
+    fixed_tuple, free_tuple, residual, constrained = primed
 
     def emitted(cube: Cube) -> Cube:
         STATS["cubes"] += 1
         STATS["models"] += cube.model_count()
+        _runtime.checkpoint()
+        _runtime.charge_models(cube.model_count())
         return cube
 
     if not residual:
@@ -614,102 +936,22 @@ def enumerate_cubes(
         STATS["components"] += len(components)
 
     base = Cube(fixed_tuple, free_tuple)
-
-    workers = 1
-    if parallel and limit is None:
-        from ..logic import shards as _shards
-
-        workers = _shards.parallel_workers(len(proj_vars))
-    if workers > 1:
-        streams = _parallel_component_cubes(
-            components, instance.num_vars, generalize, workers
-        )
-        if streams is None:
-            return  # unsatisfiable component
-        if not streams:
-            yield emitted(base)
-            return
-        if len(streams) == 1:
-            for cube in streams[0]:
-                yield emitted(_merge_cubes([base, cube]))
-            return
-        indices = [0] * len(streams)
-        while True:
-            parts = [base] + [stream[i] for stream, i in zip(streams, indices)]
-            yield emitted(_merge_cubes(parts))
-            # Odometer over the component streams, last component fastest.
-            position = len(streams) - 1
-            while position >= 0:
-                indices[position] += 1
-                if indices[position] < len(streams[position]):
-                    break
-                indices[position] = 0
-                position -= 1
-            if position < 0:
-                return
-
-    def component_instance(clauses: List[List[int]]) -> CnfInstance:
-        sub = CnfInstance(instance.num_vars)
-        sub.clauses = clauses
-        return sub
-
-    enumerators: List[_ComponentEnumerator] = []
-    for clauses, component_projection in components:
-        component_vars = {abs(lit) for clause in clauses for lit in clause}
-        enumerator = _ComponentEnumerator(
-            component_instance(clauses),
-            component_projection,
-            variables=component_vars,
-            generalize=generalize,
-        )
-        if not component_projection:
-            # No projected letter in sight: only satisfiability matters —
-            # and it must be settled before anything is yielded.
-            for _ in enumerator.cubes():
-                break
-            else:
-                return  # unsatisfiable component: no models at all
-            continue
-        enumerators.append(enumerator)
-
-    if not enumerators:
+    streams = _parallel_component_cubes(
+        components, instance.num_vars, generalize, workers
+    )
+    if streams is None:
+        return  # unsatisfiable component
+    if not streams:
         yield emitted(base)
         return
-
-    if len(enumerators) == 1:
-        # The common (connected-CNF) case streams: each next() costs one
-        # solver resume, never a full collection pass.
-        produced = 0
-        for cube in enumerators[0].cubes():
-            merged = emitted(_merge_cubes([base, cube]))
-            yield merged
-            produced += merged.model_count()
-            if limit is not None and produced >= limit:
-                return
+    if len(streams) == 1:
+        for cube in streams[0]:
+            yield emitted(_merge_cubes([base, cube]))
         return
-
-    streams: List[List[Cube]] = []
-    for enumerator in enumerators:
-        collected: List[Cube] = []
-        produced = 0
-        for cube in enumerator.cubes():
-            collected.append(cube)
-            produced += cube.model_count()
-            if limit is not None and produced >= limit:
-                break
-        if not collected:
-            return  # unsatisfiable component
-        streams.append(collected)
-
-    produced = 0
     indices = [0] * len(streams)
     while True:
         parts = [base] + [stream[i] for stream, i in zip(streams, indices)]
-        cube = emitted(_merge_cubes(parts))
-        yield cube
-        produced += cube.model_count()
-        if limit is not None and produced >= limit:
-            return
+        yield emitted(_merge_cubes(parts))
         # Odometer over the component streams, last component fastest.
         position = len(streams) - 1
         while position >= 0:

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
+from repro import runtime as _runtime
+
 from ..logic import bitmodels as _bitmodels
 from ..logic import shards as _shards
 from ..logic import sparse as _sparse
@@ -272,6 +274,13 @@ def bit_models(
     the density-proportional sparse engine instead of the per-pair mask
     loops (see :func:`model_count_bound` for the pre-compilation density
     estimate).
+
+    A table/sharded compile that overflows memory (a host
+    ``MemoryError`` or the word cap of an active
+    :class:`repro.runtime.Budget`) demotes to the SAT enumerator — the
+    terminal, density-proportional tier — instead of crashing; the model
+    set is identical either way and the hop is counted by
+    :func:`repro.runtime.record_demotion`.
     """
     if alphabet is None:
         bit_alphabet = BitAlphabet.coerce(formula.variables())
@@ -279,13 +288,19 @@ def bit_models(
         bit_alphabet = BitAlphabet.coerce(alphabet)
     engine = _projected_engine(formula, bit_alphabet.letters)
     if engine == "table":
-        return BitModelSet.from_table(
-            bit_alphabet, truth_table(formula, bit_alphabet)
-        )
-    if engine == "sharded":
-        return BitModelSet.from_sharded(
-            bit_alphabet, ShardedTable.from_formula(formula, bit_alphabet)
-        )
+        try:
+            return BitModelSet.from_table(
+                bit_alphabet, truth_table(formula, bit_alphabet)
+            )
+        except MemoryError:
+            _runtime.record_demotion("table", "masks")
+    elif engine == "sharded":
+        try:
+            return BitModelSet.from_sharded(
+                bit_alphabet, ShardedTable.from_formula(formula, bit_alphabet)
+            )
+        except MemoryError:
+            _runtime.record_demotion("sharded", "masks")
     return _enumerated_bit_models(formula, bit_alphabet)
 
 
@@ -394,12 +409,20 @@ def count_models(
         names = sorted(set(alphabet))
     engine = _projected_engine(formula, names)
     if engine == "table":
-        count = truth_table(formula, BitAlphabet.coerce(names)).bit_count()
-        return count if limit is None else min(count, limit)
-    if engine == "sharded":
-        sharded = ShardedTable.from_formula(formula, BitAlphabet.coerce(names))
-        count = sharded.popcount()
-        return count if limit is None else min(count, limit)
+        try:
+            count = truth_table(formula, BitAlphabet.coerce(names)).bit_count()
+            return count if limit is None else min(count, limit)
+        except MemoryError:
+            _runtime.record_demotion("table", "masks")
+    elif engine == "sharded":
+        try:
+            sharded = ShardedTable.from_formula(
+                formula, BitAlphabet.coerce(names)
+            )
+            count = sharded.popcount()
+            return count if limit is None else min(count, limit)
+        except MemoryError:
+            _runtime.record_demotion("sharded", "masks")
     encoding = _encode([formula])
     projection = [encoding.var(name) for name in names]
     if _allsat.enabled():

@@ -70,6 +70,9 @@ from __future__ import annotations
 import os
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro import runtime as _runtime
+from repro.runtime import faults as _faults
+
 #: Conflicts before the first restart; later restarts scale by the Luby
 #: sequence.  Module attribute so tests can shrink it to force restarts.
 RESTART_BASE = 128
@@ -189,6 +192,10 @@ class Solver:
         # value cannot matter).  See set_branch_priority / set_branch_skip.
         self._priority: Optional[List[bool]] = None
         self._skip: Optional[List[bool]] = None
+        # Conflict stashed when a budget checkpoint interrupts _search
+        # mid-conflict-chain; resume_search replays it so no falsified
+        # clause is ever skipped across an interrupt.
+        self._pending_conflict: Optional[int] = None
         self._init_watches()
 
     # -- construction helpers -------------------------------------------------
@@ -326,6 +333,8 @@ class Solver:
 
         Returns the index of a conflicting clause, or ``None`` on success.
         """
+        if _faults.ACTIVE:
+            _faults.propagate_pause()
         trail = self._trail
         assign = self._assign
         clauses = self.clauses
@@ -660,6 +669,7 @@ class Solver:
         """
         if self._unsat_forever:
             return False
+        self._pending_conflict = None
         self._backtrack_to(0)
         for lit in self._units:
             if not self._enqueue(lit):
@@ -679,7 +689,7 @@ class Solver:
             return False
         return True
 
-    def _search(self, queue_start: int) -> bool:
+    def _search(self, queue_start: int, conflict: Optional[int] = None) -> bool:
         """Branch/propagate until a total model or exhaustion.
 
         The shared engine behind :meth:`solve` (fresh search) and
@@ -690,10 +700,33 @@ class Solver:
         live, branch when propagation settles.  Returns ``True`` with the
         trail at the model, or ``False`` (solver reset to level 0) when
         the remaining search space under the assumptions is exhausted.
+
+        Under an active :class:`repro.runtime.Budget` the loop polls a
+        checkpoint every :data:`repro.runtime.CHECKPOINT_INTERVAL`
+        decisions/conflicts.  A checkpoint raise leaves the trail intact
+        and the search resumable via :meth:`resume_search`: at the branch
+        point the trail is fully propagated, and mid-conflict-chain the
+        unresolved conflict is stashed in ``_pending_conflict`` (a bare
+        re-propagation would not rediscover it) and replayed on resume.
+        ``conflict`` is that replayed conflict — only
+        :meth:`resume_search` passes it.
         """
-        while True:
+        budget = _runtime.current()
+        interval = _runtime.CHECKPOINT_INTERVAL
+        poll = 0
+        if conflict is None:
             conflict = self._propagate(queue_start)
+        while True:
             while conflict is not None:
+                if budget is not None:
+                    poll += 1
+                    if poll >= interval:
+                        poll = 0
+                        try:
+                            budget.checkpoint()
+                        except BaseException:
+                            self._pending_conflict = conflict
+                            raise
                 resume = self._handle_conflict(conflict)
                 if resume is None:
                     self._backtrack_to(0)
@@ -702,6 +735,13 @@ class Solver:
             branch_var = self._pick_branch()
             if branch_var == 0:
                 return True  # all (non-skipped) vars assigned, no conflict
+            if budget is not None:
+                poll += 1
+                if poll >= interval:
+                    poll = 0
+                    # Trail fully propagated: a raise here resumes with a
+                    # plain _search(len(self._trail)).
+                    budget.checkpoint()
             if (
                 self._cdcl
                 and self._conflicts_since_restart >= self._restart_limit
@@ -712,12 +752,31 @@ class Solver:
                 self._conflicts_since_restart = 0
                 self._restart_limit = RESTART_BASE * _luby(self._stat_restarts)
                 self._backtrack_to(1)
-                queue_start = len(self._trail)
+                conflict = self._propagate(len(self._trail))
                 continue
             # Try positive phase first (deterministic).
             self._trail_lim.append(len(self._trail))
             queue_start = len(self._trail)
             self._enqueue(branch_var)
+            conflict = self._propagate(queue_start)
+
+    def resume_search(self) -> bool:
+        """Continue a search interrupted by a budget checkpoint raise.
+
+        Picks up exactly where :meth:`_search` stopped — replaying the
+        stashed conflict if the interrupt landed mid-conflict-chain,
+        otherwise propagating from the end of the trail (a no-op at the
+        settled branch point).  Same return contract as :meth:`solve` /
+        :meth:`next_model`: ``True`` with the trail at the next model,
+        ``False`` when the remaining space is exhausted.  Calling it on a
+        solver that was never interrupted is safe and simply continues
+        the search from the current trail.
+        """
+        if self._unsat_forever:
+            return False
+        pending = self._pending_conflict
+        self._pending_conflict = None
+        return self._search(len(self._trail), conflict=pending)
 
     def next_model(self, flip: Optional[Callable[[int], bool]] = None) -> bool:
         """Resume the search after a model found by :meth:`solve`.
@@ -738,6 +797,7 @@ class Solver:
         """
         if self._unsat_forever:
             return False
+        self._pending_conflict = None
         while len(self._trail_lim) > 1:
             level = len(self._trail_lim) - 1
             boundary = self._trail_lim[level]
