@@ -41,6 +41,12 @@ enumerator of :mod:`repro.sat.allsat` against the PR 4 blocking-clause
 loop (``REPRO_ALLSAT=0``) on the same formulas, plus a per-operator
 end-to-end cross-check — masks must be bit-identical on every path.
 
+``--store-sizes`` runs the artifact-store leg on the same bounded-density
+family: one cold ``BatchCache.warm`` against an empty ``repro.store``
+directory (SAT enumeration + artifact publish) vs a simulated process
+restart warming off the disk artifact (store hit, no enumeration), masks
+verified bit-identical to ground truth on both paths.
+
 Run ``python benchmarks/bench_revision_perf.py`` from the repo root
 (``--quick`` for the CI smoke cap).
 """
@@ -1025,6 +1031,89 @@ def run_batch_benchmark(sizes, operators):
     return batch_records
 
 
+def run_store_benchmark(sizes, t_cubes, p_cubes):
+    """Artifact-store leg: cold compile vs warm restart against disk.
+
+    Per size (past the shard cutoff, where compilation means SAT
+    enumeration): warm a ``BatchCache`` against an empty store (cold —
+    pays enumeration + the artifact publish), then simulate a process
+    restart (fresh cache, fresh store handle via
+    ``repro.store.reset_active``) and warm again — the carrier must come
+    off disk (``store-hit`` fires, no enumeration) with masks
+    bit-identical to the exact ground truth of the generator.
+    """
+    import shutil
+    import tempfile
+
+    from repro import runtime as repro_runtime
+    from repro import store as repro_store
+    from repro.hardness.sparse_family import build as build_sparse
+    from repro.revision.batch import BatchCache
+
+    print("\nartifact store: cold compile vs warm restart")
+    records = []
+    saved_env = os.environ.get("REPRO_STORE")
+    root = tempfile.mkdtemp(prefix="repro-store-bench-")
+    try:
+        os.environ["REPRO_STORE"] = root
+        repro_store.reset_active()
+        for size in sizes:
+            workload = build_sparse(size, t_cubes, p_cubes, seed=7)
+            truth = sorted(workload.t_masks)
+            store_dir = os.path.join(root, str(size))
+            os.makedirs(store_dir)
+            os.environ["REPRO_STORE"] = store_dir
+            repro_runtime.STATS.reset()
+
+            repro_store.reset_active()
+            cold_cache = BatchCache()
+            start = time.perf_counter()
+            cold_bits = cold_cache.warm(workload.t_formula)
+            cold_seconds = time.perf_counter() - start
+            if sorted(cold_bits.iter_masks()) != truth:
+                raise AssertionError(f"cold masks wrong at size={size}")
+            if cold_cache.tier_counts["store-put"] < 1:
+                raise AssertionError(f"no artifact published at size={size}")
+
+            # The restart: nothing survives but the directory.
+            repro_store.reset_active()
+            warm_cache = BatchCache()
+            start = time.perf_counter()
+            warm_bits = warm_cache.warm(workload.t_formula)
+            warm_seconds = time.perf_counter() - start
+            if sorted(warm_bits.iter_masks()) != truth:
+                raise AssertionError(f"disk-warm masks wrong at size={size}")
+            if warm_cache.tier_counts["store-hit"] < 1:
+                raise AssertionError(f"store never hit at size={size}")
+
+            speedup = cold_seconds / warm_seconds if warm_seconds > 0 else None
+            records.append({
+                "size": size,
+                "t_cubes": t_cubes,
+                "p_cubes": p_cubes,
+                "models": len(truth),
+                "cold_s": cold_seconds,
+                "warm_restart_s": warm_seconds,
+                "warm_restart_speedup": speedup,
+                "store_hits": warm_cache.tier_counts["store-hit"],
+                "store_corrupt": repro_runtime.STATS["store-corrupt"],
+                "masks_verified_identical": True,
+            })
+            print(
+                f"  n={size:2d} models={len(truth):5d} "
+                f"cold={cold_seconds:.4f}s warm-restart={warm_seconds:.4f}s "
+                f"({speedup:.1f}x)"
+            )
+    finally:
+        if saved_env is None:
+            os.environ.pop("REPRO_STORE", None)
+        else:
+            os.environ["REPRO_STORE"] = saved_env
+        repro_store.reset_active()
+        shutil.rmtree(root, ignore_errors=True)
+    return records
+
+
 def summarise(records):
     """Per-operator per-size median speedups (where the old engine ran)."""
     summary = {}
@@ -1169,6 +1258,11 @@ def main(argv=None):
         help="also run the batched workload (optionally at these sizes)",
     )
     parser.add_argument(
+        "--store-sizes", type=int, nargs="+", default=None, metavar="SIZE",
+        help="also run the artifact-store leg (cold compile vs warm "
+             "restart off disk) at these alphabet sizes (e.g. 32 40)",
+    )
+    parser.add_argument(
         "--cdcl-sizes", type=int, nargs="+", default=None, metavar="SIZE",
         help="also run the clause-heavy CDCL workload "
              "(repro.hardness.clause_family) at these alphabet sizes, "
@@ -1278,6 +1372,10 @@ def main(argv=None):
     if args.batch is not None:
         batch_sizes = args.batch or [12, 14]
         payload["batch"] = run_batch_benchmark(batch_sizes, args.operators)
+    if args.store_sizes is not None:
+        payload["artifact_store"] = run_store_benchmark(
+            args.store_sizes, args.sparse_cubes[0], args.sparse_cubes[1],
+        )
     if args.cdcl_sizes is not None:
         payload["cdcl_allsat"] = run_cdcl_benchmark(
             args.cdcl_sizes, args.cdcl_models, args.cdcl_seeds,
@@ -1293,7 +1391,17 @@ def main(argv=None):
 
     trajectory = load_trajectory(args.json_path)
     trajectory["runs"].append(payload)
-    args.json_path.write_text(json.dumps(trajectory, indent=2) + "\n")
+    # Crash-safe append: the trajectory is an accumulating record across
+    # PRs, so an interrupted run must never truncate it — write the whole
+    # file to a temp sibling, fsync, then atomically swap it in.
+    tmp_path = args.json_path.with_name(
+        f"{args.json_path.name}.tmp.{os.getpid()}"
+    )
+    with open(tmp_path, "w") as handle:
+        handle.write(json.dumps(trajectory, indent=2) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, args.json_path)
     print(f"\nwrote {args.json_path} ({len(trajectory['runs'])} runs)")
 
     rows = []

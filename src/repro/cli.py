@@ -6,18 +6,23 @@ Subcommands:
   (and optionally the compiled representation's size);
 * ``ask``     — decide ``T * P1 * ... * Pm |= Q``;
 * ``compile`` — print the compact representation of the revision;
-* ``operators`` — list the available operators and their Table 3/4 rows.
+* ``operators`` — list the available operators and their Table 3/4 rows;
+* ``store`` — inspect and maintain a persistent artifact store
+  (``verify`` / ``ls`` / ``gc``).
 
 Examples::
 
     python -m repro revise -o dalal "g | b" "~g"
     python -m repro ask -o winslett "g | b" "~g" --query b
     python -m repro compile -o weber "a & b & c" "~a | ~b"
+    python -m repro store ls --dir /var/cache/repro
+    REPRO_STORE=/var/cache/repro python -m repro store verify
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional, Sequence
 
@@ -84,6 +89,40 @@ def _build_parser() -> argparse.ArgumentParser:
     add_common(p_compile)
 
     sub.add_parser("operators", help="list operators and compactability rows")
+
+    p_store = sub.add_parser(
+        "store", help="inspect/maintain a persistent artifact store"
+    )
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+
+    def add_store_dir(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--dir",
+            dest="store_dir",
+            default=None,
+            help="store directory (default: the REPRO_STORE env var)",
+        )
+
+    p_verify = store_sub.add_parser(
+        "verify", help="checksum every artifact; quarantine the bad ones"
+    )
+    add_store_dir(p_verify)
+
+    p_ls = store_sub.add_parser(
+        "ls", help="list artifacts: key, kind, size, age, hits"
+    )
+    add_store_dir(p_ls)
+
+    p_gc = store_sub.add_parser(
+        "gc", help="evict least-recently-hit artifacts down to the budget"
+    )
+    add_store_dir(p_gc)
+    p_gc.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="byte budget to drop to (default: REPRO_STORE_MAX_BYTES)",
+    )
     return parser
 
 
@@ -137,11 +176,76 @@ def _cmd_operators(_: argparse.Namespace) -> int:
     return 0
 
 
+def _open_store(args: argparse.Namespace):
+    from . import store as repro_store
+
+    root = args.store_dir or os.environ.get(repro_store.ENV_DIR, "").strip()
+    if not root:
+        raise ValueError(
+            "no store directory: pass --dir or set REPRO_STORE"
+        )
+    if not os.path.isdir(root):
+        raise ValueError(f"store directory {root!r} does not exist")
+    return repro_store.ArtifactStore(root)
+
+
+def _fmt_bytes(count: int) -> str:
+    value = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.0f}{unit}" if unit == "B" else f"{value:.1f}{unit}"
+        value /= 1024
+    return f"{count}B"  # pragma: no cover - unreachable
+
+
+def _fmt_age(seconds: float) -> str:
+    if seconds < 120:
+        return f"{seconds:.0f}s"
+    if seconds < 7200:
+        return f"{seconds / 60:.0f}m"
+    if seconds < 172800:
+        return f"{seconds / 3600:.1f}h"
+    return f"{seconds / 86400:.1f}d"
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    store = _open_store(args)
+    if args.store_command == "verify":
+        report = store.verify()
+        print(f"checked     : {report['checked']}")
+        print(f"ok          : {report['ok']}")
+        print(f"quarantined : {len(report['quarantined'])}")
+        for name in report["quarantined"]:
+            print(f"  {name}")
+        return 0 if not report["quarantined"] else 1
+    if args.store_command == "ls":
+        rows = store.entries()
+        total = 0
+        print(f"{'KEY':16s} {'KIND':8s} {'SIZE':>9s} {'AGE':>7s} {'HITS':>5s}")
+        for row in rows:
+            total += int(row["bytes"])
+            print(
+                f"{str(row['key'])[:16]:16s} {str(row['kind']):8s} "
+                f"{_fmt_bytes(int(row['bytes'])):>9s} "
+                f"{_fmt_age(float(row['age_s'])):>7s} {int(row['hits']):>5d}"
+            )
+        print(f"{len(rows)} artifacts, {_fmt_bytes(total)} "
+              f"(budget {_fmt_bytes(store.max_bytes())})")
+        return 0
+    # gc
+    report = store.gc(args.max_bytes)
+    print(f"evicted   : {report['evicted']}")
+    print(f"freed     : {_fmt_bytes(report['freed_bytes'])}")
+    print(f"remaining : {_fmt_bytes(report['remaining_bytes'])}")
+    return 0
+
+
 _COMMANDS = {
     "revise": _cmd_revise,
     "ask": _cmd_ask,
     "compile": _cmd_compile,
     "operators": _cmd_operators,
+    "store": _cmd_store,
 }
 
 

@@ -595,6 +595,46 @@ class ShardedTable:
             ]
         return cls(alphabet, shards=shards, shard_bits=width)
 
+    @classmethod
+    def from_payload(cls, alphabet, buffer, backend: Optional[str] = None,
+                     shard_bits: Optional[int] = None) -> "ShardedTable":
+        """Rebuild a table from its :meth:`payload_bytes` image.
+
+        Unlike the sparse carrier, the bitplane is **copied** out of
+        *buffer* into an owned writable array: `ShardedTable` reuses its
+        buffers in-place where an operation owns the result (top-word
+        masking, shard expansion), so a zero-copy view over a store mmap
+        would fault — correctness over the copy cost here.  Geometry
+        mismatches raise ``ValueError``; the bytes are trusted — callers
+        checksum first.
+        """
+        alphabet = BitAlphabet.coerce(alphabet)
+        view = memoryview(buffer)
+        expected = max(1, alphabet.table_bits >> 6) * 8
+        if view.nbytes != expected:
+            raise ValueError(
+                f"sharded payload is {view.nbytes} bytes, a "
+                f"{len(alphabet)}-letter bitplane needs {expected}"
+            )
+        if _use_numpy(backend):
+            _runtime.charge_words(expected >> 3, "sharded bitplane load")
+            return cls(alphabet, words=_np.frombuffer(view, dtype="<u8").astype(
+                _np.uint64, copy=True
+            ))
+        return cls.from_int(
+            alphabet, int.from_bytes(view.tobytes(), "little"),
+            backend="int", shard_bits=shard_bits,
+        )
+
+    def payload_bytes(self) -> bytes:
+        """The bitplane as little-endian 64-bit words, backend-independent
+        (the sharded int backend re-joins through :meth:`to_int`, so both
+        backends produce the identical image)."""
+        if self._words is not None:
+            return self._words.astype("<u8", copy=False).tobytes()
+        return self.to_int().to_bytes(max(1, self.table_bits >> 6) * 8,
+                                      "little")
+
     # -- views --------------------------------------------------------------
 
     @property

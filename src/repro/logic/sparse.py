@@ -247,6 +247,59 @@ class SparseModelSet:
             alphabet, expand_cubes(cubes, budget=max_models()), backend
         )
 
+    @classmethod
+    def from_payload(
+        cls,
+        alphabet,
+        buffer,
+        rows: int,
+        backend: Optional[str] = None,
+    ) -> "SparseModelSet":
+        """Rebuild a carrier from its :meth:`payload_bytes` image.
+
+        *buffer* is any buffer of ``rows * words * 8`` little-endian
+        bytes — a ``memoryview`` over a checksummed store mmap keeps the
+        numpy path **zero-copy**: the rows become a read-only ``<u8``
+        view straight over the mapped pages, shared across forked
+        workers.  That is safe because the carrier is immutable (no
+        kernel writes into ``_cols``).  Geometry mismatches raise
+        ``ValueError``; the bytes themselves are trusted — callers
+        checksum first.
+        """
+        alphabet = BitAlphabet.coerce(alphabet)
+        words = _words_for(len(alphabet))
+        view = memoryview(buffer)
+        if view.nbytes != rows * words * 8:
+            raise ValueError(
+                f"sparse payload is {view.nbytes} bytes, {rows} rows of "
+                f"{words} words need {rows * words * 8}"
+            )
+        if _use_numpy(backend):
+            cols = _np.frombuffer(view, dtype="<u8").reshape(rows, words)
+            return cls(alphabet, cols=cols)
+        step = words * 8
+        data = view.tobytes()
+        return cls(alphabet, ints=tuple(
+            int.from_bytes(data[i: i + step], "little")
+            for i in range(0, len(data), step)
+        ))
+
+    def payload_bytes(self) -> bytes:
+        """The rows as little-endian 64-bit words, backend-independent.
+
+        The image is identical whichever backend built the carrier, so a
+        store written under numpy is read bit-for-bit by the pure-int
+        fallback and vice versa.
+        """
+        if self._cols is not None:
+            return _np.ascontiguousarray(self._cols).astype(
+                "<u8", copy=False
+            ).tobytes()
+        step = _words_for(len(self.alphabet)) * 8
+        return b"".join(
+            mask.to_bytes(step, "little") for mask in (self._ints or ())
+        )
+
     def _sibling(self, cols=None, ints=None) -> "SparseModelSet":
         return SparseModelSet(self.alphabet, cols=cols, ints=ints)
 

@@ -45,13 +45,16 @@ from collections import Counter
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro import runtime as _runtime
+from repro import store as _store
 
 from ..logic import shards as _shards
+from ..logic import sparse as _sparse
 from ..logic.bitmodels import BitAlphabet, BitModelSet
 from ..logic.sparse import SparseSpill
 from ..logic.formula import And, Formula, FormulaLike, as_formula
 from ..logic.theory import Theory, TheoryLike
 from ..sat import bit_models as sat_bit_models
+from ..sat import compilation_tier as sat_compilation_tier
 from ..sat import incremental_bit_models as sat_incremental_bit_models
 from .base import RevisionResult
 from .model_based import ModelBasedOperator
@@ -186,7 +189,17 @@ class BatchCache:
         enumerated = len(alphabet) > _shards.SHARD_MAX_LETTERS
         seed_key = (alphabet.letters, role)
         signature = None
-        if enumerated and INCREMENTAL_CARRIER:
+        store = _store.active()
+        if store is not None:
+            tier_label = sat_compilation_tier(formula, alphabet.letters)
+            if tier_label in ("sat", "sharded"):
+                # Second-level cache: a restarted process probes disk
+                # before paying SAT enumeration or a bitplane compile.
+                # The big-int table tier recompiles faster than a read
+                # and is never probed.
+                bits = self._store_probe(store, formula, alphabet,
+                                         tier_label)
+        if bits is None and enumerated and INCREMENTAL_CARRIER:
             lru = self._carrier_lru.get(seed_key)
             if lru:
                 signature = _carrier_signature(formula)
@@ -218,6 +231,88 @@ class BatchCache:
                 del lru[0]
         self._model_sets[key] = bits
         return bits
+
+    def _store_probe(
+        self,
+        store: "_store.ArtifactStore",
+        formula: Formula,
+        alphabet: BitAlphabet,
+        tier_label: str,
+    ) -> Optional[BitModelSet]:
+        """Load ``formula``'s carrier from the artifact store, or None.
+
+        A hit returns the wrapped model set (bit-identical to a fresh
+        compile: the store checksums every payload before handing it
+        over, and any mismatch was quarantined and reads as a miss
+        here).  The SAT tier probes the enumerated *sparse* carrier, the
+        sharded tier its bitplane; counters land in
+        :attr:`tier_counts` as ``store-hit`` / ``store-miss`` /
+        ``store-corrupt``.
+        """
+        kind = "sparse" if tier_label == "sat" else "sharded"
+        key = _store.artifact_key(kind, formula, alphabet.letters)
+        corrupt_before = store.stats["corrupt"]
+        if kind == "sparse":
+            carrier = store.get_sparse(key, alphabet)
+            if carrier is not None and carrier.count() > _sparse.max_models():
+                # A valid artifact from a run with a larger sparse
+                # budget: not corrupt, just not loadable under the live
+                # knob — leave it on disk and recompile.
+                carrier = None
+        else:
+            carrier = store.get_sharded(key, alphabet)
+        corrupt = store.stats["corrupt"] - corrupt_before
+        if corrupt:
+            self.tier_counts["store-corrupt"] += corrupt
+        if carrier is None:
+            self.tier_counts["store-miss"] += 1
+            return None
+        self.tier_counts["store-hit"] += 1
+        if kind == "sparse":
+            return BitModelSet.from_sparse(alphabet, carrier)
+        return BitModelSet.from_sharded(alphabet, carrier)
+
+    def _store_persist(
+        self,
+        formula: Formula,
+        alphabet: BitAlphabet,
+        kind: str,
+        carrier,
+    ) -> None:
+        """Publish a freshly forced carrier to the active store, if any.
+
+        Failures are counted, never raised — the in-memory carrier the
+        caller just compiled is already correct, and persistence must
+        not break it.
+        """
+        store = _store.active()
+        if store is None:
+            return
+        key = _store.artifact_key(kind, formula, alphabet.letters)
+        evictions_before = store.stats["evictions"]
+        if kind == "sparse":
+            published = store.put_sparse(key, carrier)
+        else:
+            published = store.put_sharded(key, carrier)
+        self.tier_counts["store-put" if published else "store-put-failed"] \
+            += 1
+        evicted = store.stats["evictions"] - evictions_before
+        if evicted:
+            self.tier_counts["store-evict"] += evicted
+
+    def reset_counters(self) -> None:
+        """Zero every observability counter, keeping the compiled state.
+
+        Tests and the bench measure counter deltas across phases of one
+        cache's life; this resets the meters without dropping the model
+        sets, carrier LRU or memoised results.
+        """
+        self.hits = 0
+        self.misses = 0
+        self.incremental = 0
+        self.carrier_lru_hits = 0
+        self.carrier_lru_related = 0
+        self.tier_counts.clear()
 
     def warm(
         self,
@@ -257,15 +352,21 @@ class BatchCache:
         # demote down the chain of :func:`repro.logic.shards.tier` at
         # revise time — and record the miss so the serving layer sees it.
         level = _shards.tier(len(bit_alphabet), bits.count())
+        persist = None
         try:
             if level == "sparse":
-                bits.sparse()
+                persist = ("sparse", bits.sparse())
             elif level == "sharded":
-                bits.sharded()
+                persist = ("sharded", bits.sharded())
             elif level == "table":
                 bits.table()
         except (SparseSpill, MemoryError):
             self.tier_counts[f"warm-{level}-deferred"] += 1
+        if persist is not None:
+            # Warming is also the store's write path: the carrier this
+            # process just paid for survives the process (the table tier
+            # recompiles faster than a disk read and is not persisted).
+            self._store_persist(t_formula, bit_alphabet, *persist)
         return bits
 
     def result(self, operator: str, t_formula: Formula, formula: Formula):

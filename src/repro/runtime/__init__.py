@@ -47,6 +47,7 @@ __all__ = [
     "EngineTimeout",
     "MemoryBudgetExceeded",
     "STATS",
+    "Stats",
     "allows_fanout",
     "charge_models",
     "charge_words",
@@ -61,20 +62,44 @@ __all__ = [
 #: governance stays under the <5% overhead target on the bench legs.
 CHECKPOINT_INTERVAL = 64
 
+#: Counter keys STATS always carries (and that :meth:`Stats.reset`
+#: restores); dynamic keys — per-edge demotions, store corruption —
+#: are dropped entirely on reset.
+_BASELINE_KEYS = (
+    "budgets",
+    "checkpoints",
+    "timeouts",
+    "cancelled",
+    "model_budget_exceeded",
+    "memory_budget_exceeded",
+    "demotions",
+    "worker_crashes",
+    "inline_retries",
+    "store-corrupt",
+)
+
+
+class Stats(Dict[str, int]):
+    """The engine's counter dict, resettable in place.
+
+    A plain ``dict`` subclass so every existing ``STATS["key"] += 1``
+    site keeps working, plus :meth:`reset` so tests and the bench stop
+    hand-zeroing module globals.
+    """
+
+    def reset(self) -> None:
+        """Zero the baseline counters and drop every dynamic key."""
+        self.clear()
+        self.update({key: 0 for key in _BASELINE_KEYS})
+
+
 #: Governance counters: checkpoints served, budget trips, tier
 #: demotions (plus per-edge ``demotions:<from>-><to>`` keys), worker
-#: crashes survived and inline retries run by :mod:`repro.runtime.pool`.
-STATS: Dict[str, int] = {
-    "budgets": 0,
-    "checkpoints": 0,
-    "timeouts": 0,
-    "cancelled": 0,
-    "model_budget_exceeded": 0,
-    "memory_budget_exceeded": 0,
-    "demotions": 0,
-    "worker_crashes": 0,
-    "inline_retries": 0,
-}
+#: crashes survived, inline retries run by :mod:`repro.runtime.pool`
+#: and artifact-store corruption events (``store-corrupt``, counted by
+#: :mod:`repro.store` whenever a read quarantines a file).
+STATS = Stats()
+STATS.reset()
 
 
 class EngineTimeout(RuntimeError):

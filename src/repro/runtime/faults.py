@@ -20,6 +20,17 @@ that the engine consults at well-defined sites:
 ``propagate-delay@M:S``
     the M-th unit-propagation call sleeps ``S`` seconds — a slow-solver
     stand-in for deadline tests.
+``store-torn-write@N[:bytes]``
+    the N-th artifact publish in :mod:`repro.store` crashes mid-write:
+    only a prefix (``bytes`` long, default half the blob) reaches the
+    temp file and the atomic rename never happens.
+``store-bit-flip@N[:bit]``
+    the N-th artifact publish flips one payload bit *after* the
+    checksum was computed — the on-disk file is genuinely corrupt and
+    must be quarantined by the next read.
+``store-fsync-fail@N``
+    the N-th artifact publish fails its ``fsync`` with ``EIO``; the
+    publish is abandoned cleanly.
 
 Entries are separated by ``;`` (or ``,``); an index of ``r`` draws a
 deterministic pseudo-random occurrence in 1..8 from the ``seed=N`` entry
@@ -48,6 +59,9 @@ POINTS = (
     "alloc-oom",
     "shard-compile-oom",
     "propagate-delay",
+    "store-torn-write",
+    "store-bit-flip",
+    "store-fsync-fail",
 )
 
 #: True when at least one fault point is armed — the one-load hot gate.

@@ -8,6 +8,7 @@ from .enumerate import count_models as count_cnf_models
 from .enumerate import enumerate_models, enumerate_models_blocking
 from .interface import (
     bit_models,
+    compilation_tier,
     count_models,
     entails,
     equivalent,
@@ -26,6 +27,7 @@ __all__ = [
     "Solver",
     "allsat",
     "bit_models",
+    "compilation_tier",
     "count_cnf_models",
     "count_models",
     "entails",

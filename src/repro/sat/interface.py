@@ -198,6 +198,27 @@ def _projected_engine(formula: Formula, names: Sequence[str]) -> str:
     return "sat"
 
 
+def compilation_tier(
+    formula: Formula,
+    alphabet: Optional[Iterable[str]] = None,
+) -> str:
+    """The engine tier that would serve ``formula`` over ``alphabet``.
+
+    Public face of the dispatch ladder — ``"table"``, ``"sharded"`` or
+    ``"sat"`` — for layers that need the routing decision *without*
+    triggering the compile: the artifact store keys its persistence
+    policy on it (sharded tiers persist bitplanes, the SAT tier persists
+    the enumerated sparse carrier; the big-int table tier recompiles
+    faster than a disk read).  Same live knobs, same answer as
+    :func:`models`/:func:`bit_models` would act on at this instant.
+    """
+    if alphabet is None:
+        names = sorted(formula.variables())
+    else:
+        names = sorted(set(alphabet))
+    return _projected_engine(formula, names)
+
+
 def models(
     formula: Formula,
     alphabet: Optional[Iterable[str]] = None,

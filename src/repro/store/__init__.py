@@ -1,0 +1,583 @@
+"""Crash-safe persistent store for compiled artifacts.
+
+``BatchCache`` amortises compilation *within* a process; this package
+makes the expensive carriers — sparse model-set row blocks and sharded
+bitplanes — survive process restarts and be shared across workers, which
+is the storage half of the revision-as-a-service item in the ROADMAP
+(the view-revision workloads of arXiv:1301.5154 / arXiv:1411.2499 are
+long-lived revise-then-query streams over a hot KB population; paying
+the SAT enumeration again on every restart forfeits everything PRs 4-6
+amortised).
+
+Guarantees, in the order they matter:
+
+* **Never serve a wrong bit.**  Every read checksums the payload
+  (:func:`repro.store.format.verify_payload`); a mismatch quarantines
+  the file, counts ``store-corrupt`` in :data:`repro.runtime.STATS`, and
+  returns a miss so the caller recompiles from source.  Corruption can
+  cost time, never correctness.
+* **Crash-safe writes.**  Publishing is write-to-temp + ``fsync`` +
+  atomic ``os.replace`` (+ directory fsync): a reader observes either
+  the previous version or the new one, never a prefix.  A crash mid-
+  write leaves only a temp file, which the startup recovery sweep
+  (:meth:`ArtifactStore.recover`) deletes along with any structurally
+  torn artifact.
+* **Single writer at a time.**  Writers (and the sweep/GC) take an
+  advisory ``flock`` on ``<root>/.lock``, so concurrent processes never
+  interleave publishes.  Readers take no lock — the atomic rename makes
+  that safe — and mmap the payload read-only, so forked
+  :mod:`repro.runtime.pool` workers share the pages zero-copy.
+* **Bounded size.**  ``REPRO_STORE_MAX_BYTES`` (read live) budgets the
+  store; eviction drops the least-recently-*hit* artifacts (hits bump
+  the file mtime) until the budget holds.
+
+The store a process uses is named by the live ``REPRO_STORE`` env var
+(:func:`active`; unset/empty disables persistence entirely).  Failures
+on the write path — full disk, fsync errors, injected faults — are
+swallowed and counted: persistence is an optimisation, and a broken
+store must never break a compile that already succeeded.
+
+Deterministic fault injection (``REPRO_FAULTS``, see
+:mod:`repro.runtime.faults`): ``store-torn-write@N[:bytes]`` truncates
+the N-th artifact write mid-temp-file (simulated crash),
+``store-bit-flip@N[:bit]`` flips a payload bit of the N-th write after
+its checksum was computed, ``store-fsync-fail@N`` fails the N-th
+artifact fsync.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import errno
+import json
+import mmap
+import os
+import time
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro import runtime as _runtime
+from repro.runtime import faults as _faults
+
+from ..logic.shards import ShardedTable
+from ..logic.sparse import SparseModelSet
+from . import format as _format
+from .format import (  # re-exported: the public addressing/format surface
+    ArtifactHeader,
+    CorruptArtifact,
+    SUFFIX,
+    TornArtifact,
+    artifact_key,
+)
+
+try:  # pragma: no cover - POSIX everywhere we run; gate anyway
+    import fcntl as _fcntl
+except ImportError:  # pragma: no cover
+    _fcntl = None
+
+__all__ = [
+    "ArtifactHeader",
+    "ArtifactStore",
+    "CorruptArtifact",
+    "DEFAULT_MAX_BYTES",
+    "ENV_DIR",
+    "ENV_MAX_BYTES",
+    "SUFFIX",
+    "TornArtifact",
+    "active",
+    "artifact_key",
+    "reset_active",
+]
+
+#: Env var naming the store directory; unset or empty disables the store.
+ENV_DIR = "REPRO_STORE"
+
+#: Env var bounding the store's total artifact bytes (read live).
+ENV_MAX_BYTES = "REPRO_STORE_MAX_BYTES"
+
+#: Default byte budget when neither the env var nor the constructor set one.
+DEFAULT_MAX_BYTES = 1 << 30
+
+
+class ArtifactStore:
+    """One on-disk artifact store rooted at a directory.
+
+    Construction creates the directory if needed and runs the startup
+    recovery sweep (temp files and torn artifacts are deleted) unless
+    ``recover=False``.  Instances are cheap; per-instance ``stats``
+    count hits/misses/puts/evictions/corruption for observability.
+    """
+
+    def __init__(self, root, max_bytes: Optional[int] = None,
+                 recover: bool = True) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._max_bytes = max_bytes
+        #: Per-instance counters; the engine-wide ``store-corrupt`` total
+        #: additionally lands in :data:`repro.runtime.STATS`.
+        self.stats: Dict[str, int] = {
+            "hits": 0,
+            "misses": 0,
+            "puts": 0,
+            "refreshed": 0,
+            "put_failures": 0,
+            "evictions": 0,
+            "corrupt": 0,
+            "recovered_tmp": 0,
+            "recovered_torn": 0,
+        }
+        if recover:
+            self.recover()
+
+    # -- paths and locking --------------------------------------------------
+
+    def path_for(self, key: str) -> Path:
+        """The artifact file a *key* publishes to."""
+        if not key or any(c in key for c in "/\\\x00"):
+            raise ValueError(f"invalid artifact key {key!r}")
+        return self.root / f"{key}{SUFFIX}"
+
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / "quarantine"
+
+    @contextlib.contextmanager
+    def _lock(self) -> Iterator[None]:
+        """Advisory exclusive lock serialising writers, GC and the sweep.
+
+        Readers deliberately take no lock: publishes are atomic renames,
+        so a read sees a complete old or new version either way.
+        """
+        if _fcntl is None:  # pragma: no cover - non-POSIX fallback
+            yield
+            return
+        with open(self.root / ".lock", "wb") as handle:
+            _fcntl.flock(handle, _fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                _fcntl.flock(handle, _fcntl.LOCK_UN)
+
+    def max_bytes(self) -> int:
+        """The live byte budget: env override first, then the constructor
+        value, then :data:`DEFAULT_MAX_BYTES`."""
+        raw = os.environ.get(ENV_MAX_BYTES, "").strip()
+        if raw:
+            return max(0, int(raw))
+        if self._max_bytes is not None:
+            return self._max_bytes
+        return DEFAULT_MAX_BYTES
+
+    # -- startup recovery ---------------------------------------------------
+
+    def recover(self) -> Dict[str, int]:
+        """Sweep temp files and torn artifacts left by crashed writers.
+
+        Cheap by design — header-level validation only (magic, sizes,
+        header checksum); payload checksums are verified on every read
+        anyway.  Returns ``{"tmp": n, "torn": m}``.
+        """
+        removed_tmp = 0
+        removed_torn = 0
+        with self._lock():
+            for path in self.root.glob(f"*{SUFFIX}.tmp.*"):
+                with contextlib.suppress(OSError):
+                    path.unlink()
+                    removed_tmp += 1
+            for path in self.root.glob(f"*{SUFFIX}"):
+                try:
+                    size = path.stat().st_size
+                    with open(path, "rb") as handle:
+                        head = handle.read(
+                            min(size, _format.MIN_FILE_BYTES + 65536)
+                        )
+                    _format.decode_header(head, size)
+                except TornArtifact:
+                    with contextlib.suppress(OSError):
+                        path.unlink()
+                        removed_torn += 1
+                except OSError:
+                    continue
+        self.stats["recovered_tmp"] += removed_tmp
+        self.stats["recovered_torn"] += removed_torn
+        return {"tmp": removed_tmp, "torn": removed_torn}
+
+    # -- writes -------------------------------------------------------------
+
+    def put_sparse(self, key: str, sparse: SparseModelSet) -> bool:
+        """Persist a sparse carrier under *key*; True when it is on disk
+        afterwards (newly published or already present)."""
+        blob, payload_offset = _format.encode(
+            _format.KIND_SPARSE, sparse.alphabet.letters, sparse.count(),
+            sparse.payload_bytes(),
+        )
+        return self._put(key, blob, payload_offset)
+
+    def put_sharded(self, key: str, table: ShardedTable) -> bool:
+        """Persist a sharded bitplane under *key* (see :meth:`put_sparse`)."""
+        payload = table.payload_bytes()
+        blob, payload_offset = _format.encode(
+            _format.KIND_SHARDED, table.alphabet.letters, len(payload) // 8,
+            payload,
+        )
+        return self._put(key, blob, payload_offset)
+
+    def _put(self, key: str, blob: bytes, payload_offset: int) -> bool:
+        """Crash-safe publish: temp + fsync + atomic rename, under the
+        writer lock, with the three store fault points armed.
+
+        Never raises on I/O trouble — a failed put is a counted no-op,
+        because the caller already holds the compiled artifact in memory
+        and must not lose it to a persistence problem.
+        """
+        path = self.path_for(key)
+        if _faults.ACTIVE:
+            param = _faults.trip("store-bit-flip")
+            if param is not None and len(blob) > payload_offset:
+                bit = int(param, 0) if param else 0
+                bit %= (len(blob) - payload_offset) * 8
+                corrupted = bytearray(blob)
+                corrupted[payload_offset + (bit >> 3)] ^= 1 << (bit & 7)
+                blob = bytes(corrupted)
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        try:
+            with self._lock():
+                if path.exists():
+                    # Same key, same content (keys are content-derived):
+                    # just refresh recency so eviction keeps hot artifacts.
+                    os.utime(path)
+                    self.stats["refreshed"] += 1
+                    return True
+                torn = _faults.trip("store-torn-write") if _faults.ACTIVE \
+                    else None
+                with open(tmp, "wb") as handle:
+                    if torn is not None:
+                        # Simulated crash mid-write: a prefix lands in the
+                        # temp file and the publish never happens.  The
+                        # torn temp is deliberately left behind — exactly
+                        # what a real crash leaves — for recover() to sweep.
+                        cut = int(torn, 0) if torn else len(blob) // 2
+                        handle.write(blob[:max(0, min(cut, len(blob)))])
+                        handle.flush()
+                        os.fsync(handle.fileno())
+                        self.stats["put_failures"] += 1
+                        return False
+                    handle.write(blob)
+                    handle.flush()
+                    if _faults.ACTIVE and \
+                            _faults.trip("store-fsync-fail") is not None:
+                        raise OSError(errno.EIO, "injected store-fsync-fail")
+                    os.fsync(handle.fileno())
+                os.replace(tmp, path)
+                self._fsync_dir()
+                self.stats["puts"] += 1
+                self._evict_to_budget(self.max_bytes(), protect={path})
+            return True
+        except OSError:
+            self.stats["put_failures"] += 1
+            with contextlib.suppress(OSError):
+                tmp.unlink()
+            return False
+
+    def _fsync_dir(self) -> None:
+        with contextlib.suppress(OSError):
+            fd = os.open(self.root, os.O_RDONLY)
+            try:
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+
+    # -- reads --------------------------------------------------------------
+
+    def get_sparse(self, key: str, alphabet,
+                   backend: Optional[str] = None) -> Optional[SparseModelSet]:
+        """The sparse carrier stored under *key*, or None (miss).
+
+        The payload is checksummed before a single row is exposed; on the
+        numpy backend the returned carrier is a zero-copy read-only view
+        over the file's mmap — forked pool workers share the pages.  Any
+        mismatch (checksum, kind, alphabet, geometry) quarantines the
+        file and reads as a miss, so the caller recompiles from source.
+        """
+        loaded = self._read(key, _format.KIND_SPARSE)
+        if loaded is None:
+            return None
+        header, payload = loaded
+        path = self.path_for(key)
+        letters = tuple(
+            alphabet.letters if hasattr(alphabet, "letters")
+            else sorted(alphabet)
+        )
+        if header.letters != letters:
+            self._quarantine(path, "alphabet mismatch")
+            return None
+        try:
+            sparse = SparseModelSet.from_payload(
+                letters, payload, header.count, backend
+            )
+        except ValueError:
+            self._quarantine(path, "payload geometry mismatch")
+            return None
+        self._record_hit(key, path)
+        return sparse
+
+    def get_sharded(self, key: str, alphabet,
+                    backend: Optional[str] = None) -> Optional[ShardedTable]:
+        """The sharded bitplane stored under *key*, or None (miss)."""
+        loaded = self._read(key, _format.KIND_SHARDED)
+        if loaded is None:
+            return None
+        header, payload = loaded
+        path = self.path_for(key)
+        letters = tuple(
+            alphabet.letters if hasattr(alphabet, "letters")
+            else sorted(alphabet)
+        )
+        if header.letters != letters:
+            self._quarantine(path, "alphabet mismatch")
+            return None
+        try:
+            table = ShardedTable.from_payload(letters, payload, backend)
+        except ValueError:
+            self._quarantine(path, "payload geometry mismatch")
+            return None
+        self._record_hit(key, path)
+        return table
+
+    def _read(self, key: str,
+              expected_kind: int) -> Optional[Tuple[ArtifactHeader, memoryview]]:
+        """Open, map and fully validate one artifact; None on any miss.
+
+        Torn or corrupt files are quarantined here — the returned payload
+        has survived the checksum, so downstream decoding can trust every
+        byte (bar geometry checks, which the callers keep).
+        """
+        path = self.path_for(key)
+        try:
+            handle = open(path, "rb")
+        except FileNotFoundError:
+            self.stats["misses"] += 1
+            return None
+        except OSError:
+            self.stats["misses"] += 1
+            return None
+        try:
+            mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        except (ValueError, OSError):
+            # Zero-length or unmappable: an interrupted write at best.
+            handle.close()
+            self._quarantine(path, "unmappable file")
+            return None
+        handle.close()  # the mapping keeps the pages; fd is not needed
+        view = memoryview(mapped)
+        payload = None
+        try:
+            header = _format.decode_header(view, len(mapped))
+            if header.kind != expected_kind:
+                raise CorruptArtifact(
+                    f"artifact kind {header.kind_name} where "
+                    f"{_format.KIND_NAMES[expected_kind]} was expected"
+                )
+            payload = view[header.payload_offset:
+                           header.payload_offset + header.payload_len]
+            _format.verify_payload(header, payload)
+        except (TornArtifact, CorruptArtifact):
+            if payload is not None:
+                payload.release()
+            view.release()
+            mapped.close()
+            self._quarantine(path, "checksum or structure mismatch")
+            return None
+        return header, payload
+
+    def _record_hit(self, key: str, path: Path) -> None:
+        self.stats["hits"] += 1
+        with contextlib.suppress(OSError):
+            os.utime(path)  # hit recency drives eviction order
+        self._bump_hit_count(key)
+
+    # -- hit accounting (best-effort, for `repro store ls`) -----------------
+
+    @property
+    def _hits_path(self) -> Path:
+        return self.root / "hits.json"
+
+    def hit_counts(self) -> Dict[str, int]:
+        """Cumulative per-key hit counts (best-effort sidecar)."""
+        try:
+            data = json.loads(self._hits_path.read_text())
+        except (OSError, ValueError):
+            return {}
+        return {k: int(v) for k, v in data.items()} if isinstance(data, dict) \
+            else {}
+
+    def _bump_hit_count(self, key: str) -> None:
+        # Best-effort observability, written with the same temp+rename
+        # discipline so a crash can never truncate it; a lost increment
+        # under concurrent readers is acceptable.
+        try:
+            counts = self.hit_counts()
+            counts[key] = counts.get(key, 0) + 1
+            tmp = self._hits_path.with_name(f"hits.json.tmp.{os.getpid()}")
+            tmp.write_text(json.dumps(counts, sort_keys=True))
+            os.replace(tmp, self._hits_path)
+        except OSError:
+            pass
+
+    # -- quarantine ---------------------------------------------------------
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a bad file out of the serving namespace, never deleting
+        the evidence, and count it everywhere observability looks."""
+        self.stats["corrupt"] += 1
+        _runtime.STATS["store-corrupt"] = \
+            _runtime.STATS.get("store-corrupt", 0) + 1
+        self.stats["misses"] += 1
+        with contextlib.suppress(OSError):
+            self.quarantine_dir.mkdir(exist_ok=True)
+            target = self.quarantine_dir / path.name
+            serial = 0
+            while target.exists():
+                serial += 1
+                target = self.quarantine_dir / f"{path.name}.{serial}"
+            with self._lock():
+                os.replace(path, target)
+
+    # -- inventory, verification, eviction ----------------------------------
+
+    def entries(self) -> List[Dict[str, object]]:
+        """One dict per artifact: key, kind, letters, count, bytes, age_s."""
+        now = time.time()
+        rows: List[Dict[str, object]] = []
+        hits = self.hit_counts()
+        for path in sorted(self.root.glob(f"*{SUFFIX}")):
+            key = path.name[: -len(SUFFIX)]
+            try:
+                stat = path.stat()
+                with open(path, "rb") as handle:
+                    head = handle.read(
+                        min(stat.st_size, _format.MIN_FILE_BYTES + 65536)
+                    )
+                header = _format.decode_header(head, stat.st_size)
+            except (OSError, TornArtifact):
+                continue
+            rows.append({
+                "key": key,
+                "kind": header.kind_name,
+                "letters": len(header.letters),
+                "count": header.count,
+                "bytes": stat.st_size,
+                "age_s": max(0.0, now - stat.st_mtime),
+                "hits": hits.get(key, 0),
+            })
+        return rows
+
+    def total_bytes(self) -> int:
+        total = 0
+        for path in self.root.glob(f"*{SUFFIX}"):
+            with contextlib.suppress(OSError):
+                total += path.stat().st_size
+        return total
+
+    def verify(self) -> Dict[str, object]:
+        """Checksum every artifact end to end; quarantine the bad ones.
+
+        Returns ``{"checked": n, "ok": m, "quarantined": [names...]}`` —
+        the workhorse of ``repro store verify``.
+        """
+        checked = 0
+        quarantined: List[str] = []
+        for path in sorted(self.root.glob(f"*{SUFFIX}")):
+            checked += 1
+            try:
+                size = path.stat().st_size
+                with open(path, "rb") as handle:
+                    data = handle.read()
+                header = _format.decode_header(data, size)
+                _format.verify_payload(
+                    header,
+                    memoryview(data)[header.payload_offset:
+                                     header.payload_offset
+                                     + header.payload_len],
+                )
+            except OSError:
+                continue
+            except (TornArtifact, CorruptArtifact):
+                self._quarantine(path, "verify sweep")
+                quarantined.append(path.name)
+        return {
+            "checked": checked,
+            "ok": checked - len(quarantined),
+            "quarantined": quarantined,
+        }
+
+    def gc(self, max_bytes: Optional[int] = None) -> Dict[str, int]:
+        """Evict least-recently-hit artifacts down to the byte budget."""
+        budget = self.max_bytes() if max_bytes is None else max(0, max_bytes)
+        with self._lock():
+            evicted, freed = self._evict_to_budget(budget, protect=())
+        return {"evicted": evicted, "freed_bytes": freed,
+                "remaining_bytes": self.total_bytes()}
+
+    def _evict_to_budget(self, budget: int,
+                         protect=frozenset()) -> Tuple[int, int]:
+        """Delete oldest-hit artifacts until the budget holds (lock held).
+
+        The just-published file is protected so a tight budget degrades
+        to "store holds exactly the newest artifact", never to a publish
+        that immediately deletes itself ahead of older-but-hot entries.
+        """
+        entries = []
+        total = 0
+        for path in self.root.glob(f"*{SUFFIX}"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        if total <= budget:
+            return 0, 0
+        evicted = 0
+        freed = 0
+        for _, size, path in sorted(entries, key=lambda e: e[0]):
+            if total <= budget:
+                break
+            if path in protect:
+                continue
+            with contextlib.suppress(OSError):
+                path.unlink()
+                total -= size
+                freed += size
+                evicted += 1
+        self.stats["evictions"] += evicted
+        return evicted, freed
+
+
+# -- the live store ---------------------------------------------------------
+
+_active_stores: Dict[str, ArtifactStore] = {}
+
+
+def active() -> Optional[ArtifactStore]:
+    """The store named by the live ``REPRO_STORE`` env var, or None.
+
+    Read at call time like every other engine knob; one
+    :class:`ArtifactStore` instance is kept per directory (its recovery
+    sweep runs once per process per directory).
+    """
+    root = os.environ.get(ENV_DIR, "").strip()
+    if not root:
+        return None
+    key = os.path.abspath(root)
+    store = _active_stores.get(key)
+    if store is None:
+        store = ArtifactStore(key)
+        _active_stores[key] = store
+    return store
+
+
+def reset_active() -> None:
+    """Drop the per-process store instances (tests and restart
+    simulations: the next :func:`active` re-opens and re-sweeps)."""
+    _active_stores.clear()

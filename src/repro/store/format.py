@@ -1,0 +1,208 @@
+"""Versioned on-disk format for compiled artifacts (``.rpa`` files).
+
+One artifact file holds one compiled carrier — a
+:class:`~repro.logic.sparse.SparseModelSet` row block or a
+:class:`~repro.logic.shards.ShardedTable` bitplane — in a layout that is
+*backend-independent*: the payload is the little-endian 64-bit-word image
+of the carrier, identical whether it was produced by the numpy or the
+pure-int backend, so a store written by one backend is read by the other
+bit-for-bit.
+
+Layout (version 1)::
+
+    offset 0   magic      b"RPAS"                     4 bytes
+           4   version    u16                          2
+           6   kind       u8   (1 sparse, 2 sharded)   1
+           7   reserved   u8                           1
+           8   count      u64  rows (sparse) /         8
+                               u64 words (sharded)
+          16   payload_len u64                         8
+          24   payload_crc u32  (zlib.crc32)           4
+          28   alpha_len  u32                          4
+          32   alphabet   utf-8, letters \\x00-joined   alpha_len
+           .   header_crc u32  over bytes [0, here)    4
+           .   zero pad to the next 8-byte boundary
+           .   payload    payload_len bytes
+
+The two checksums split responsibility: ``header_crc`` (plus the size
+arithmetic) detects *torn* files — a write that never finished — which
+the startup recovery sweep deletes; ``payload_crc`` detects *corrupt*
+payloads (bit rot, partial sector writes that survived a rename), which
+every read verifies before handing out a single bit, quarantining the
+file on mismatch.  The 8-byte payload alignment is what makes zero-copy
+``numpy.frombuffer`` reads off an mmap legal.
+
+Artifact *keys* are content-derived (:func:`artifact_key`): a SHA-256
+over the kind, the alphabet letters and the formula's structural repr —
+deterministic across processes and ``PYTHONHASHSEED`` values, so every
+worker of :mod:`repro.runtime.pool` computes the same file name for the
+same compile.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Tuple
+
+MAGIC = b"RPAS"
+VERSION = 1
+
+KIND_SPARSE = 1
+KIND_SHARDED = 2
+
+KIND_NAMES = {KIND_SPARSE: "sparse", KIND_SHARDED: "sharded"}
+KIND_CODES = {name: code for code, name in KIND_NAMES.items()}
+
+#: Fixed-width header prefix (everything before the alphabet blob).
+_FIXED = struct.Struct("<4sHBBQQII")
+
+#: Suffix every published artifact file carries.
+SUFFIX = ".rpa"
+
+#: The smallest structurally valid file: fixed header + empty alphabet +
+#: header crc (padding may be zero bytes wide when already aligned).
+MIN_FILE_BYTES = _FIXED.size + 4
+
+
+class TornArtifact(ValueError):
+    """The file is structurally incomplete — an interrupted write.
+
+    Raised for truncation, magic/version mismatch, impossible lengths or
+    a header-checksum mismatch.  The startup recovery sweep deletes such
+    files outright; a read that encounters one quarantines it.
+    """
+
+
+class CorruptArtifact(ValueError):
+    """The header parsed but the payload checksum does not match.
+
+    The file finished writing and then rotted (or was written through a
+    ``store-bit-flip`` fault); reads quarantine it and fall back to a
+    recompile so no corrupt bit is ever served.
+    """
+
+
+@dataclass(frozen=True)
+class ArtifactHeader:
+    """Decoded header of one artifact file."""
+
+    kind: int
+    letters: Tuple[str, ...]
+    count: int
+    payload_offset: int
+    payload_len: int
+    payload_crc: int
+
+    @property
+    def kind_name(self) -> str:
+        return KIND_NAMES.get(self.kind, f"kind-{self.kind}")
+
+    @property
+    def file_size(self) -> int:
+        return self.payload_offset + self.payload_len
+
+
+def _align8(offset: int) -> int:
+    return (offset + 7) & ~7
+
+
+def artifact_key(kind: str, formula, letters: Tuple[str, ...]) -> str:
+    """Deterministic store key for a compiled artifact.
+
+    SHA-256 over the kind name, the alphabet letters and the formula's
+    structural ``repr`` — stable across processes and hash seeds (the
+    engine's formula reprs recurse over plain tuples and strings), so
+    concurrent workers and restarted processes always address the same
+    file for the same compile.
+    """
+    digest = hashlib.sha256()
+    digest.update(kind.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update("\x00".join(letters).encode("utf-8"))
+    digest.update(b"\x00\x00")
+    digest.update(repr(formula).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def encode(kind: int, letters: Tuple[str, ...], count: int,
+           payload: bytes) -> Tuple[bytes, int]:
+    """Serialise one artifact; returns ``(blob, payload_offset)``.
+
+    ``payload_offset`` is exposed so the fault-injection site can flip a
+    payload bit *after* the checksum was computed (the on-disk image is
+    then genuinely corrupt, exactly like bit rot).
+    """
+    if kind not in KIND_NAMES:
+        raise ValueError(f"unknown artifact kind {kind}")
+    blob = "\x00".join(letters).encode("utf-8")
+    fixed = _FIXED.pack(
+        MAGIC, VERSION, kind, 0,
+        count, len(payload), zlib.crc32(payload), len(blob),
+    )
+    header = fixed + blob
+    header += struct.pack("<I", zlib.crc32(header))
+    payload_offset = _align8(len(header))
+    return (
+        header + b"\x00" * (payload_offset - len(header)) + payload,
+        payload_offset,
+    )
+
+
+def decode_header(buffer, file_size: int) -> ArtifactHeader:
+    """Parse and validate an artifact header from *buffer*.
+
+    *buffer* must expose at least the header bytes (the whole file or an
+    mmap both work).  Structural problems raise :class:`TornArtifact`;
+    the payload checksum is **not** verified here — callers holding the
+    payload bytes do that separately (see :func:`verify_payload`), so the
+    cheap startup sweep can validate headers without touching payloads.
+    """
+    if file_size < MIN_FILE_BYTES:
+        raise TornArtifact(f"file is {file_size} bytes, header needs "
+                           f"{MIN_FILE_BYTES}")
+    try:
+        magic, version, kind, _, count, payload_len, payload_crc, alpha_len \
+            = _FIXED.unpack(bytes(buffer[:_FIXED.size]))
+    except struct.error as error:  # pragma: no cover - guarded by size check
+        raise TornArtifact(str(error))
+    if magic != MAGIC:
+        raise TornArtifact(f"bad magic {magic!r}")
+    if version != VERSION:
+        raise TornArtifact(f"unsupported version {version}")
+    if kind not in KIND_NAMES:
+        raise TornArtifact(f"unknown kind byte {kind}")
+    header_len = _FIXED.size + alpha_len
+    if file_size < header_len + 4:
+        raise TornArtifact("file truncated inside the alphabet blob")
+    header = bytes(buffer[:header_len])
+    (stored_crc,) = struct.unpack(
+        "<I", bytes(buffer[header_len:header_len + 4])
+    )
+    if zlib.crc32(header) != stored_crc:
+        raise TornArtifact("header checksum mismatch")
+    payload_offset = _align8(header_len + 4)
+    if file_size != payload_offset + payload_len:
+        raise TornArtifact(
+            f"file is {file_size} bytes, header promises "
+            f"{payload_offset + payload_len}"
+        )
+    blob = header[_FIXED.size:]
+    letters = tuple(blob.decode("utf-8").split("\x00")) if blob else ()
+    return ArtifactHeader(
+        kind=kind, letters=letters, count=count,
+        payload_offset=payload_offset, payload_len=payload_len,
+        payload_crc=payload_crc,
+    )
+
+
+def verify_payload(header: ArtifactHeader, payload) -> None:
+    """Checksum *payload* against the header; :class:`CorruptArtifact` on
+    mismatch.  *payload* may be any buffer (a ``memoryview`` over an mmap
+    keeps this zero-copy)."""
+    if zlib.crc32(payload) != header.payload_crc:
+        raise CorruptArtifact(
+            f"payload checksum mismatch over {header.payload_len} bytes"
+        )
