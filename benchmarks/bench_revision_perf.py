@@ -1114,6 +1114,125 @@ def run_store_benchmark(sizes, t_cubes, p_cubes):
     return records
 
 
+def run_telemetry_benchmark(sizes, model_count, seeds, reps=3,
+                            baseline=None):
+    """Telemetry leg: trace-on vs trace-off cost of :mod:`repro.obs`.
+
+    Per (size, seed), one clause-family revise pipeline (SAT enumeration
+    + sparse selection, a fresh ``BatchCache`` per rep so every rep pays
+    the full compile) timed three ways:
+
+    * trace off (``REPRO_TRACE`` unset — the production default): the
+      ``span()`` sites must be no-ops, so this is the number that must
+      stay within noise of the pre-telemetry engine;
+    * trace on (a live JSONL sink): measures the full cost of span
+      emission, event serialisation and histogram feeding;
+    * against an optional *baseline* mapping (``"size:seed"`` → seconds
+      measured on the pre-telemetry tree with the identical harness),
+      recording the trace-off regression directly.
+
+    Timings are CPU seconds (``time.process_time``, min over *reps*);
+    masks are verified bit-identical between the traced and untraced
+    runs, and the trace must parse back into a single well-formed tree.
+    """
+    import tempfile
+
+    from repro import obs
+    from repro.hardness import clause_family
+    from repro.revision.batch import BatchCache, revise_many
+
+    print(
+        f"\ntelemetry: trace-on vs trace-off, clause family "
+        f"({model_count} planted models), sizes {list(sizes)}"
+    )
+    records = []
+    for size in sizes:
+        for seed in seeds:
+            workload = clause_family.build(
+                size, model_count, model_count, seed=seed
+            )
+            pairs = [([workload.t_formula], workload.p_formula)]
+
+            def timed(trace_path):
+                best = None
+                masks = None
+                spans = 0
+                for _ in range(reps):
+                    obs.reset()
+                    if trace_path:
+                        open(trace_path, "w").close()  # fresh file per rep
+                        obs.configure(trace_path)
+                    cache = BatchCache()
+                    gc.collect()
+                    gc.disable()
+                    start = time.process_time()
+                    results = revise_many(pairs, "dalal", cache=cache)
+                    elapsed = time.process_time() - start
+                    gc.enable()
+                    if trace_path:
+                        spans = obs.REGISTRY.get("obs.trace.spans")
+                        obs.close()
+                    best = elapsed if best is None else min(best, elapsed)
+                    masks = results[0].bit_model_set.masks
+                return best, masks, spans
+
+            off_seconds, off_masks, _ = timed(None)
+            snapshot = obs.REGISTRY.snapshot()
+            if any(name.startswith("span.") for name in
+                   snapshot["histograms"]):
+                raise AssertionError("trace-off run fed span histograms")
+            handle, trace_path = tempfile.mkstemp(suffix=".jsonl")
+            os.close(handle)
+            try:
+                on_seconds, on_masks, spans = timed(trace_path)
+                events = obs.load_events(trace_path)
+                roots, _, diagnostics = obs.build_forest(events)
+            finally:
+                os.unlink(trace_path)
+            if on_masks != off_masks:
+                raise AssertionError(
+                    f"traced masks diverge at size={size} seed={seed}"
+                )
+            if diagnostics != {"unmatched_exits": 0, "unclosed": 0}:
+                raise AssertionError(f"malformed trace: {diagnostics}")
+            overhead_on = (
+                (on_seconds - off_seconds) / off_seconds
+                if off_seconds > 0 else None
+            )
+            record = {
+                "size": size,
+                "seed": seed,
+                "models": model_count,
+                "trace_off_s": off_seconds,
+                "trace_on_s": on_seconds,
+                "trace_on_overhead": overhead_on,
+                "spans": spans,
+                "trace_events": len(events),
+                "trace_roots": len(roots),
+                "masks_verified_identical": True,
+            }
+            base_key = f"{size}:{seed}"
+            if baseline and base_key in baseline:
+                base_seconds = float(baseline[base_key])
+                record["pre_telemetry_baseline_s"] = base_seconds
+                record["trace_off_vs_baseline"] = (
+                    (off_seconds - base_seconds) / base_seconds
+                    if base_seconds > 0 else None
+                )
+            print(
+                f"  n={size:2d} seed={seed} off={off_seconds:.4f}s "
+                f"on={on_seconds:.4f}s "
+                f"(+{100.0 * (overhead_on or 0.0):.1f}%, "
+                f"{spans} spans, {len(events)} events)"
+                + (
+                    f" vs-baseline={100.0 * record['trace_off_vs_baseline']:+.1f}%"
+                    if "trace_off_vs_baseline" in record else ""
+                )
+            )
+            records.append(record)
+    return records
+
+
 def summarise(records):
     """Per-operator per-size median speedups (where the old engine ran)."""
     summary = {}
@@ -1278,6 +1397,27 @@ def main(argv=None):
         help="workload seeds for the CDCL clause family",
     )
     parser.add_argument(
+        "--telemetry-sizes", type=int, nargs="+", default=None,
+        metavar="SIZE",
+        help="also run the telemetry overhead leg (trace-on vs trace-off "
+             "revise on the clause family) at these alphabet sizes "
+             "(e.g. 32 40)",
+    )
+    parser.add_argument(
+        "--telemetry-models", type=int, default=64,
+        help="planted model count of the telemetry-leg workload",
+    )
+    parser.add_argument(
+        "--telemetry-seeds", type=int, nargs="+", default=[7],
+        help="workload seeds for the telemetry leg",
+    )
+    parser.add_argument(
+        "--telemetry-baseline", type=Path, default=None,
+        help="JSON file mapping 'size:seed' to pre-telemetry trace-off "
+             "seconds (same harness run on the previous tree); recorded "
+             "per record as the trace-off regression",
+    )
+    parser.add_argument(
         "--governance", action="store_true",
         help="also measure the repro.runtime checkpoint overhead on the "
              "CDCL clause-family leg (bare vs inside a generous Budget; "
@@ -1380,6 +1520,17 @@ def main(argv=None):
         payload["cdcl_allsat"] = run_cdcl_benchmark(
             args.cdcl_sizes, args.cdcl_models, args.cdcl_seeds,
             reps=1 if args.quick else 2,
+        )
+    if args.telemetry_sizes is not None:
+        baseline = None
+        if args.telemetry_baseline is not None:
+            with open(args.telemetry_baseline) as handle:
+                baseline = json.load(handle)
+        payload["telemetry"] = run_telemetry_benchmark(
+            args.telemetry_sizes, args.telemetry_models,
+            args.telemetry_seeds,
+            reps=1 if args.quick else 3,
+            baseline=baseline,
         )
     if args.governance:
         if args.cdcl_sizes is None:

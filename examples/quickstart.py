@@ -311,6 +311,66 @@ def main() -> None:
             del _os.environ["REPRO_STORE"]
             repro_store.reset_active()
 
+    # ----------------------------------------------------------------
+    # Observability: one registry, nested spans, cross-process traces
+    # ----------------------------------------------------------------
+    #
+    # Everything the engine counts flows through one thread-safe
+    # metrics registry (repro.obs.REGISTRY), keyed by dotted names:
+    #
+    #   runtime.*     governance (checkpoints, budget trips, demotions,
+    #                 worker crashes) — behind repro.runtime.STATS
+    #   allsat.*      solver counters (conflicts, propagations, learned
+    #                 clauses, cubes, models) — behind allsat.STATS
+    #   faults.*      injected-fault counts — behind faults.STATS
+    #   batch.tier.*  which tier served each revision — mirrored from
+    #                 BatchCache.tier_counts
+    #   store.*       artifact-store traffic — mirrored from
+    #                 ArtifactStore.stats
+    #   span.<name>.s log-scale latency histograms, fed on span exit
+    #                 (only while tracing is on)
+    #
+    # The historical counter bags still work exactly as before — they
+    # are views over the registry now — and repro.obs.reset() zeroes
+    # everything in one call, including deltas merged back from pool
+    # workers (each worker ships its counter deltas home with its
+    # result, so parallel runs read as if they ran inline).
+    #
+    # Dump the registry from the CLI (text, JSON, or Prometheus
+    # exposition; the `--` form runs a command first in-process):
+    #
+    #   python -m repro stats
+    #   python -m repro stats --format prom -- revise -o dalal "g|b" "~g"
+    #
+    # Tracing: set REPRO_TRACE=<path> and every hot-path stage — tier
+    # dispatch, table/sparse compiles, SAT enumeration, pointwise
+    # kernels, store probe/publish, the batch driver — appends nested
+    # B/E span events to that JSONL file, pool workers included (their
+    # spans are buffered, shipped back, and re-parented under the
+    # parent's span, so `repro trace show` renders one tree):
+    #
+    #   REPRO_TRACE=/tmp/trace.jsonl python -m repro revise "g|b" "~g"
+    #   python -m repro trace show /tmp/trace.jsonl
+    #
+    # The rendering shows per-span total/self milliseconds, the serving
+    # tier of each revise, and a per-tier time rollup — the fastest way
+    # to answer "where did that batch spend its time, and on which
+    # tier".  With REPRO_TRACE unset, span() is a shared no-op and the
+    # registry records nothing trace-related: the hot path stays at
+    # noise-level overhead (the pr9-telemetry bench leg measures it).
+    from repro import obs as repro_obs
+
+    repro_obs.reset()
+    revise(workload.t_formula, workload.p_formula, operator="dalal")
+    fired = {
+        name: value
+        for name, value in repro_obs.REGISTRY.counters().items()
+        if value and name.startswith(("allsat.", "runtime."))
+    }
+    print("\nTelemetry (repro stats view, non-zero engine counters):")
+    for name in sorted(fired)[:6]:
+        print(f"  {name:32s} {fired[name]}")
+
 
 if __name__ == "__main__":
     main()

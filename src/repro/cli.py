@@ -8,7 +8,10 @@ Subcommands:
 * ``compile`` — print the compact representation of the revision;
 * ``operators`` — list the available operators and their Table 3/4 rows;
 * ``store`` — inspect and maintain a persistent artifact store
-  (``verify`` / ``ls`` / ``gc``).
+  (``verify`` / ``ls`` / ``gc``);
+* ``stats`` — dump the in-process metrics registry (text / JSON /
+  Prometheus exposition), optionally after running another subcommand;
+* ``trace`` — render a ``REPRO_TRACE`` JSONL span trace as a tree.
 
 Examples::
 
@@ -17,6 +20,9 @@ Examples::
     python -m repro compile -o weber "a & b & c" "~a | ~b"
     python -m repro store ls --dir /var/cache/repro
     REPRO_STORE=/var/cache/repro python -m repro store verify
+    python -m repro stats --format prom -- revise -o dalal "g | b" "~g"
+    REPRO_TRACE=/tmp/t.jsonl python -m repro revise "g | b" "~g" && \\
+        python -m repro trace show /tmp/t.jsonl
 """
 
 from __future__ import annotations
@@ -123,6 +129,32 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="byte budget to drop to (default: REPRO_STORE_MAX_BYTES)",
     )
+
+    p_stats = sub.add_parser(
+        "stats", help="dump the in-process metrics registry"
+    )
+    p_stats.add_argument(
+        "--format",
+        dest="stats_format",
+        default="text",
+        choices=["text", "json", "prom"],
+        help="output format (default: text)",
+    )
+    p_stats.add_argument(
+        "run",
+        nargs=argparse.REMAINDER,
+        help="optional subcommand to run first (its metrics are dumped); "
+        "separate with --, e.g. stats -- revise ...",
+    )
+
+    p_trace = sub.add_parser(
+        "trace", help="inspect a REPRO_TRACE span trace"
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_show = trace_sub.add_parser(
+        "show", help="render the span tree with self/total times"
+    )
+    p_show.add_argument("trace_file", help="JSONL trace file to render")
     return parser
 
 
@@ -240,12 +272,59 @@ def _cmd_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Dump the metrics registry, optionally after running a subcommand.
+
+    A bare ``repro stats`` in a fresh process shows mostly-zero baseline
+    counters (each CLI invocation is its own process); the useful form
+    runs work first in the *same* process: ``repro stats --format prom
+    -- revise -o dalal "g | b" "~g"``.  The inner command's stdout goes
+    to stderr so the exposition stays machine-readable.
+    """
+    import contextlib
+    import json as _json
+
+    from . import obs as _obs
+
+    inner = list(args.run)
+    if inner and inner[0] == "--":
+        inner = inner[1:]
+    if inner:
+        if inner[0] in ("stats", "trace"):
+            raise ValueError(f"stats cannot wrap {inner[0]!r}")
+        with contextlib.redirect_stdout(sys.stderr):
+            main(inner)
+    registry = _obs.REGISTRY
+    if args.stats_format == "json":
+        print(_json.dumps(registry.snapshot(), indent=2, sort_keys=True))
+    elif args.stats_format == "prom":
+        sys.stdout.write(registry.render_prometheus())
+    else:
+        sys.stdout.write(registry.render_text())
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from . import obs as _obs
+
+    try:
+        events = _obs.load_events(args.trace_file)
+    except OSError as error:
+        raise ValueError(f"cannot read trace: {error}")
+    roots, _, diagnostics = _obs.build_forest(events)
+    for line in _obs.render_tree(roots, diagnostics):
+        print(line)
+    return 0
+
+
 _COMMANDS = {
     "revise": _cmd_revise,
     "ask": _cmd_ask,
     "compile": _cmd_compile,
     "operators": _cmd_operators,
     "store": _cmd_store,
+    "stats": _cmd_stats,
+    "trace": _cmd_trace,
 }
 
 

@@ -91,6 +91,7 @@ from __future__ import annotations
 import os
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro import obs as _obs
 from repro import runtime as _runtime
 from repro.runtime import faults as _faults
 from repro.runtime import pool as _pool
@@ -557,6 +558,17 @@ class ShardedTable:
             raise ValueError(
                 f"formula letters {sorted(extra)} outside alphabet"
             )
+        with _obs.span(
+            "shards.compile", letters=len(alphabet),
+            backend="numpy" if _use_numpy(backend) else "int",
+        ):
+            return cls._from_formula_impl(
+                formula, alphabet, backend, shard_bits, processes
+            )
+
+    @classmethod
+    def _from_formula_impl(cls, formula, alphabet, backend,
+                           shard_bits, processes):
         if _faults.ACTIVE and _faults.trip("shard-compile-oom") is not None:
             raise MemoryError(
                 f"injected shard-compile-oom fault for {len(alphabet)} letters"
@@ -1496,6 +1508,19 @@ def pointwise_select(
         masks = t_masks if isinstance(t_masks, list) else list(t_masks)
     if not len(masks):
         return p_table.zeros_like()
+    with _obs.span(
+        "kernel.pointwise", kind=kind, tier="sharded",
+        letters=len(p_table.alphabet), models=len(masks),
+    ):
+        return _pointwise_select_impl(kind, p_table, masks, processes)
+
+
+def _pointwise_select_impl(
+    kind: str,
+    p_table: "ShardedTable",
+    masks,
+    processes: Optional[int],
+) -> "ShardedTable":
     if kind == "ring" and not p_table.any():
         # Match the per-model loop: first_ring of an empty table raises.
         raise ValueError("first_ring of an empty table")

@@ -52,6 +52,7 @@ import os
 from bisect import bisect_left
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro import obs as _obs
 from repro import runtime as _runtime
 from repro.runtime import pool as _pool
 
@@ -845,6 +846,19 @@ def pointwise_select(
         raise ValueError(f"unknown pointwise kind {kind!r}")
     if kind == "union":
         return translate_union(p_set, t_masks, processes)
+    with _obs.span(
+        "kernel.pointwise", kind=kind, tier="sparse",
+        letters=len(p_set.alphabet), models=p_set.count(),
+    ):
+        return _pointwise_dispatch(kind, p_set, t_masks, processes)
+
+
+def _pointwise_dispatch(
+    kind: str,
+    p_set: SparseModelSet,
+    t_masks,
+    processes: Optional[int],
+) -> SparseModelSet:
     if not p_set.count():
         if kind == "ring":
             # Match the dense tiers: first_ring of an empty table raises.
@@ -879,6 +893,16 @@ def translate_union(
             cols=table._cols[:0] if table._cols is not None else None,
             ints=() if table._cols is None else None,
         )
+    with _obs.span(
+        "kernel.pointwise", kind="union", tier="sparse",
+        letters=len(table.alphabet), models=len(masks),
+    ):
+        return _translate_union_impl(table, masks)
+
+
+def _translate_union_impl(
+    table: SparseModelSet, masks
+) -> SparseModelSet:
     if table._cols is not None:
         cols = table._cols
         words = cols.shape[1]
@@ -917,6 +941,16 @@ def min_distance_select(
     t_set._check_compatible(p_set)
     if not t_set.count() or not p_set.count():
         raise ValueError("min Hamming distance of an empty model set")
+    with _obs.span(
+        "kernel.min_distance", tier="sparse",
+        letters=len(t_set.alphabet),
+    ):
+        return _min_distance_select_impl(t_set, p_set)
+
+
+def _min_distance_select_impl(
+    t_set: SparseModelSet, p_set: SparseModelSet
+) -> Tuple[int, SparseModelSet]:
     if t_set._cols is not None and p_set._cols is not None:
         p_cols = p_set._cols
         words = p_cols.shape[1]
@@ -952,6 +986,15 @@ def reachable_select(
     """
     t_set._check_compatible(p_set)
     t_set._check_compatible(delta_set)
+    with _obs.span(
+        "kernel.reachable", tier="sparse", letters=len(t_set.alphabet),
+    ):
+        return _reachable_select_impl(t_set, p_set, delta_set)
+
+
+def _reachable_select_impl(
+    t_set: SparseModelSet, p_set: SparseModelSet, delta_set: SparseModelSet
+) -> SparseModelSet:
     if not t_set.count() or not p_set.count() or not delta_set.count():
         return p_set._take(
             _np.zeros(p_set.count(), dtype=bool)
@@ -1007,6 +1050,15 @@ def confined_select(
             if p_set._cols is not None
             else [False] * p_set.count()
         )
+    with _obs.span(
+        "kernel.confined", tier="sparse", letters=len(t_set.alphabet),
+    ):
+        return _confined_select_impl(t_set, p_set, allowed)
+
+
+def _confined_select_impl(
+    t_set: SparseModelSet, p_set: SparseModelSet, allowed: int
+) -> SparseModelSet:
     forbidden = t_set.alphabet.universe & ~allowed
     if t_set._cols is not None and p_set._cols is not None:
         p_cols = p_set._cols

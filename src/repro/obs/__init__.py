@@ -1,0 +1,67 @@
+"""Unified telemetry for the revision engine.
+
+``repro.obs`` is the one place the engine reports through:
+
+* :mod:`repro.obs.metrics` — the process-global :data:`REGISTRY` of
+  counters, gauges and log-scale latency histograms, plus the
+  :class:`CounterGroup` / :class:`MirrorCounter` shims that keep the
+  historical counter bags (``runtime.STATS``, ``allsat.STATS``,
+  ``faults.STATS``, ``BatchCache.tier_counts``, ``ArtifactStore.stats``)
+  working while backing them with one thread-safe store;
+* :mod:`repro.obs.trace` — nested spans over the hot path (tier
+  dispatch, compiles, SAT enumeration, pointwise kernels, store
+  probe/publish, the batch driver), written as JSONL under
+  ``REPRO_TRACE=<path>`` and merged across pool workers so a parallel
+  revise still reads as one tree.
+
+Surfacing: ``repro stats`` dumps the registry (text/JSON/Prometheus),
+``repro trace show <file>`` renders a trace.  :func:`reset` zeroes the
+entire registry in one call.
+"""
+
+from __future__ import annotations
+
+from .metrics import REGISTRY, CounterGroup, MirrorCounter, Registry
+from .trace import (
+    ENV_TRACE,
+    adopt,
+    build_forest,
+    close,
+    configure,
+    current_span_id,
+    load_events,
+    merge_worker,
+    render_tree,
+    span,
+    tracing,
+    worker_capture_begin,
+    worker_capture_end,
+)
+
+__all__ = [
+    "ENV_TRACE",
+    "REGISTRY",
+    "CounterGroup",
+    "MirrorCounter",
+    "Registry",
+    "adopt",
+    "build_forest",
+    "close",
+    "configure",
+    "current_span_id",
+    "load_events",
+    "merge_worker",
+    "render_tree",
+    "reset",
+    "span",
+    "tracing",
+    "worker_capture_begin",
+    "worker_capture_end",
+]
+
+
+def reset() -> None:
+    """Zero every metric in the registry — counters to their declared
+    baselines, dynamic keys and histograms dropped, merged worker
+    deltas included."""
+    REGISTRY.reset()

@@ -1,0 +1,550 @@
+"""The engine-wide metrics registry: counters, gauges, histograms.
+
+One process-global :class:`Registry` (:data:`REGISTRY`) holds every
+metric the engine emits, keyed by dotted name.  The naming scheme is
+``<group>.<metric>``, where the group identifies the subsystem:
+
+``runtime.*``
+    governance counters (checkpoints, budget trips, demotions, worker
+    crashes) — the registry view behind ``repro.runtime.STATS``;
+``allsat.*``
+    solver/enumeration counters (conflicts, propagations, learned,
+    cubes, models, …) — behind ``repro.sat.allsat.STATS``;
+``faults.*``
+    injected-fault counts — behind ``repro.runtime.faults.STATS``;
+``batch.tier.*``
+    per-tier revision counts — mirrored from ``BatchCache.tier_counts``;
+``store.*``
+    artifact-store traffic — mirrored from ``ArtifactStore.stats``;
+``obs.trace.*``
+    span/trace bookkeeping (only non-zero while tracing is on);
+``span.<name>.s``
+    log-scale latency histograms, one per span name, observed in
+    seconds on span exit (again: only while tracing is on).
+
+Three access styles share the registry:
+
+* direct — ``REGISTRY.inc("pool.worker_merges")``;
+* :class:`CounterGroup` — a ``MutableMapping`` shim that makes a dotted
+  prefix look like the plain counter dicts the engine always had
+  (``STATS["conflicts"] += 1`` keeps working, ``STATS.inc("conflicts")``
+  is the atomic spelling for hot/threaded sites);
+* :class:`MirrorCounter` — a ``collections.Counter`` whose item writes
+  mirror their deltas into the registry, for per-instance counter bags
+  (``BatchCache.tier_counts``, ``ArtifactStore.stats``) that must stay
+  instance-local *and* visible globally.
+
+Everything mutates under one ``threading.Lock`` (re-initialised in
+forked children via ``os.register_at_fork``), which is what makes the
+threaded ``REPRO_PARALLEL`` fan-out safe: :meth:`Registry.inc` and
+:meth:`CounterGroup.inc` are atomic read-modify-writes.
+
+Cross-process flow: a pool worker snapshots the registry on entry
+(:meth:`Registry.capture_baseline`), runs the job, and ships the delta
+(:meth:`Registry.capture_delta`) back with its result; the parent folds
+it in with :meth:`Registry.merge`.  Counters merge by addition,
+high-water keys (declared ``max``) by maximum, histograms bucket-wise.
+
+:meth:`Registry.reset` zeroes the whole registry in one call —
+counters back to their declared baselines, dynamic keys and histograms
+dropped — which is the single reset the bench and tests rely on.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import re
+import threading
+from collections import Counter
+from typing import Dict, Iterator, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "REGISTRY",
+    "CounterGroup",
+    "MirrorCounter",
+    "Registry",
+]
+
+#: Histogram bucket exponents are clamped to this range: the smallest
+#: bucket is ``<= 2^_MIN_EXP`` seconds (~1 us), the largest finite one
+#: ``<= 2^_MAX_EXP`` (~128 s); anything slower lands in ``+Inf``.
+_MIN_EXP = -20
+_MAX_EXP = 7
+
+
+def _bucket_exponent(seconds: float) -> int:
+    """The log2 bucket for a latency: smallest ``e`` with ``v <= 2^e``."""
+    if seconds <= 0.0:
+        return _MIN_EXP
+    _, exponent = math.frexp(seconds)  # v in [2^(e-1), 2^e)
+    return min(max(exponent, _MIN_EXP), _MAX_EXP + 1)
+
+
+class _Hist:
+    """One log-scale latency histogram: count, sum, sparse log2 buckets."""
+
+    __slots__ = ("count", "total", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.buckets: Dict[int, int] = {}
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        exponent = _bucket_exponent(seconds)
+        self.buckets[exponent] = self.buckets.get(exponent, 0) + 1
+
+
+class Registry:
+    """Thread-safe metric store keyed by dotted name.
+
+    Scalar metrics live in one flat dict; each key has a merge mode —
+    ``add`` (the default: counters) or ``max`` (high-water marks such as
+    ``allsat.max_backjump``) — that governs both cross-process merging
+    and worker-delta capture.  Latency histograms are separate
+    (:meth:`observe`).  See the module docstring for the naming scheme.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._values: Dict[str, int] = {}
+        self._modes: Dict[str, str] = {}
+        self._hists: Dict[str, _Hist] = {}
+        #: prefix -> (baseline keys, max keys) for declared groups, so
+        #: reset() can restore the always-present counters.
+        self._groups: Dict[str, Tuple[Tuple[str, ...], Tuple[str, ...]]] = {}
+
+    # -- fork safety --------------------------------------------------
+
+    def _after_fork(self) -> None:
+        """Replace the lock in a forked child (the parent may hold it)."""
+        self._lock = threading.Lock()
+
+    # -- declaration --------------------------------------------------
+
+    def declare_group(
+        self,
+        prefix: str,
+        baseline: Sequence[str] = (),
+        max_keys: Sequence[str] = (),
+    ) -> None:
+        """Register a counter group: seed its baseline keys at zero and
+        record which keys merge by maximum instead of addition."""
+        baseline = tuple(baseline)
+        max_keys = tuple(max_keys)
+        with self._lock:
+            self._groups[prefix] = (baseline, max_keys)
+            for key in max_keys:
+                self._modes[f"{prefix}.{key}"] = "max"
+            for key in baseline:
+                self._values.setdefault(f"{prefix}.{key}", 0)
+
+    # -- scalar metrics -----------------------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> int:
+        """Atomically add *amount* to counter *name*; returns the new value."""
+        with self._lock:
+            value = self._values.get(name, 0) + amount
+            self._values[name] = value
+            return value
+
+    def put(self, name: str, value: int) -> None:
+        """Set *name* to an absolute value (last-write-wins gauges)."""
+        with self._lock:
+            self._values[name] = value
+
+    def max_update(self, name: str, value: int) -> None:
+        """Raise *name* to *value* if larger (high-water marks)."""
+        with self._lock:
+            if value > self._values.get(name, 0):
+                self._values[name] = value
+
+    def get(self, name: str, default: int = 0) -> int:
+        with self._lock:
+            return self._values.get(name, default)
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one latency sample in histogram *name* (seconds)."""
+        with self._lock:
+            hist = self._hists.get(name)
+            if hist is None:
+                hist = self._hists[name] = _Hist()
+            hist.observe(seconds)
+
+    # -- group plumbing (used by CounterGroup) ------------------------
+
+    def _group_keys(self, prefix: str) -> Tuple[str, ...]:
+        start = prefix + "."
+        with self._lock:
+            return tuple(
+                name[len(start):]
+                for name in self._values
+                if name.startswith(start)
+            )
+
+    def _delete(self, name: str) -> None:
+        with self._lock:
+            del self._values[name]
+
+    def _contains(self, name: str) -> bool:
+        with self._lock:
+            return name in self._values
+
+    def reset_prefix(self, prefix: str) -> None:
+        """Drop every metric under ``prefix.``, then reseed the group's
+        baseline keys (if declared) at zero."""
+        start = prefix + "."
+        with self._lock:
+            for name in [n for n in self._values if n.startswith(start)]:
+                del self._values[name]
+            for name in [n for n in self._hists if n.startswith(start)]:
+                del self._hists[name]
+            baseline, _ = self._groups.get(prefix, ((), ()))
+            for key in baseline:
+                self._values[f"{prefix}.{key}"] = 0
+
+    def reset(self) -> None:
+        """Zero the whole registry: every counter back to its declared
+        baseline, every dynamic key and histogram dropped.  This is the
+        single reset the ISSUE's "one ``reset()``" refers to; the
+        per-group ``STATS.reset()`` spellings delegate here."""
+        with self._lock:
+            self._values.clear()
+            self._hists.clear()
+            for prefix, (baseline, _) in self._groups.items():
+                for key in baseline:
+                    self._values[f"{prefix}.{key}"] = 0
+
+    # -- dumps --------------------------------------------------------
+
+    def counters(self) -> Dict[str, int]:
+        """A sorted copy of every scalar metric."""
+        with self._lock:
+            return dict(sorted(self._values.items()))
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-ready dump: counters plus histogram summaries."""
+        with self._lock:
+            hists = {
+                name: {
+                    "count": hist.count,
+                    "sum_s": hist.total,
+                    "buckets": {
+                        ("+Inf" if exp > _MAX_EXP else repr(2.0 ** exp)): n
+                        for exp, n in sorted(hist.buckets.items())
+                    },
+                }
+                for name, hist in sorted(self._hists.items())
+            }
+            return {
+                "counters": dict(sorted(self._values.items())),
+                "histograms": hists,
+            }
+
+    def render_text(self) -> str:
+        """Human-readable dump, grouped by dotted prefix."""
+        snap = self.snapshot()
+        lines = []
+        last_group = None
+        for name, value in snap["counters"].items():  # type: ignore[union-attr]
+            group = name.split(".", 1)[0]
+            if group != last_group:
+                if last_group is not None:
+                    lines.append("")
+                lines.append(f"[{group}]")
+                last_group = group
+            lines.append(f"  {name:40s} {value}")
+        hists = snap["histograms"]
+        if hists:
+            lines.append("")
+            lines.append("[latency]")
+            for name, hist in hists.items():  # type: ignore[union-attr]
+                count = hist["count"]
+                mean_ms = 1000.0 * hist["sum_s"] / count if count else 0.0
+                lines.append(
+                    f"  {name:40s} n={count} mean={mean_ms:.3f}ms"
+                )
+        return "\n".join(lines)
+
+    def render_prometheus(self) -> str:
+        """Prometheus-style text exposition (counters + histograms)."""
+        out = []
+        snap = self.snapshot()
+        for name, value in snap["counters"].items():  # type: ignore[union-attr]
+            metric = _prom_name(name)
+            out.append(f"# TYPE {metric} counter")
+            out.append(f"{metric} {value}")
+        for name, hist in snap["histograms"].items():  # type: ignore[union-attr]
+            metric = _prom_name(name) + "_seconds"
+            out.append(f"# TYPE {metric} histogram")
+            cumulative = 0
+            for le, count in hist["buckets"].items():
+                cumulative += count
+                bound = le if le == "+Inf" else le
+                out.append(f'{metric}_bucket{{le="{bound}"}} {cumulative}')
+            if "+Inf" not in hist["buckets"]:
+                out.append(f'{metric}_bucket{{le="+Inf"}} {hist["count"]}')
+            out.append(f"{metric}_sum {hist['sum_s']}")
+            out.append(f"{metric}_count {hist['count']}")
+        return "\n".join(out)
+
+    # -- cross-process aggregation ------------------------------------
+
+    def capture_baseline(self) -> Dict[str, object]:
+        """Snapshot for delta capture (taken by a pool worker on entry)."""
+        with self._lock:
+            return {
+                "values": dict(self._values),
+                "hist_counts": {
+                    name: (hist.count, hist.total, dict(hist.buckets))
+                    for name, hist in self._hists.items()
+                },
+            }
+
+    def capture_delta(self, baseline: Mapping[str, object]) -> Dict[str, object]:
+        """What changed since *baseline*, as a mergeable envelope.
+
+        ``add``-mode keys ship their numeric delta, ``max``-mode keys
+        their absolute value (the parent takes the maximum); histograms
+        ship per-bucket count deltas.
+        """
+        base_values: Mapping[str, int] = baseline["values"]  # type: ignore[assignment]
+        base_hists: Mapping[str, Tuple[int, float, Dict[int, int]]] = (
+            baseline["hist_counts"]  # type: ignore[assignment]
+        )
+        add: Dict[str, int] = {}
+        high: Dict[str, int] = {}
+        hists: Dict[str, Dict[str, object]] = {}
+        with self._lock:
+            for name, value in self._values.items():
+                if self._modes.get(name) == "max":
+                    if value > base_values.get(name, 0):
+                        high[name] = value
+                    continue
+                delta = value - base_values.get(name, 0)
+                if delta:
+                    add[name] = delta
+            for name, hist in self._hists.items():
+                b_count, b_total, b_buckets = base_hists.get(
+                    name, (0, 0.0, {})
+                )
+                if hist.count == b_count:
+                    continue
+                hists[name] = {
+                    "count": hist.count - b_count,
+                    "total": hist.total - b_total,
+                    "buckets": {
+                        exp: n - b_buckets.get(exp, 0)
+                        for exp, n in hist.buckets.items()
+                        if n != b_buckets.get(exp, 0)
+                    },
+                }
+        return {"add": add, "max": high, "hist": hists}
+
+    def merge(self, envelope: Mapping[str, object]) -> None:
+        """Fold a worker's :meth:`capture_delta` envelope into this
+        registry (addition / maximum / bucket-wise, per mode)."""
+        with self._lock:
+            for name, delta in envelope.get("add", {}).items():  # type: ignore[union-attr]
+                self._values[name] = self._values.get(name, 0) + delta
+            for name, value in envelope.get("max", {}).items():  # type: ignore[union-attr]
+                if value > self._values.get(name, 0):
+                    self._values[name] = value
+            for name, delta in envelope.get("hist", {}).items():  # type: ignore[union-attr]
+                hist = self._hists.get(name)
+                if hist is None:
+                    hist = self._hists[name] = _Hist()
+                hist.count += delta["count"]
+                hist.total += delta["total"]
+                for exp, n in delta["buckets"].items():
+                    exp = int(exp)
+                    hist.buckets[exp] = hist.buckets.get(exp, 0) + n
+
+
+def _prom_name(name: str) -> str:
+    """``allsat.max_backjump`` -> ``repro_allsat_max_backjump``."""
+    return "repro_" + re.sub(r"[^a-zA-Z0-9_]", "_", name)
+
+
+#: The process-global registry every subsystem reports through.
+REGISTRY = Registry()
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - POSIX
+    os.register_at_fork(after_in_child=REGISTRY._after_fork)
+
+
+class CounterGroup(Dict[str, int]):
+    """A dict-shaped view of one registry prefix.
+
+    Subclasses ``dict`` only so long-standing ``isinstance``/typing
+    expectations hold; all storage lives in the registry (the inherited
+    dict is never populated).  Every historical idiom over the engine's
+    counter bags keeps working — ``STATS["cubes"] += 1``,
+    ``dict(STATS)``, ``"learned" in STATS``, ``STATS.get(k, 0)``,
+    ``STATS.items()`` — while new/hot call sites use :meth:`inc` and
+    :meth:`max_update`, which are atomic under the registry lock (the
+    ``+=`` spelling is a read *then* a write and is only safe on
+    single-threaded paths).
+
+    ``baseline`` keys always exist (and survive :meth:`reset` at zero);
+    ``max_keys`` merge by maximum when worker deltas are folded in.
+    """
+
+    def __init__(
+        self,
+        prefix: str,
+        baseline: Sequence[str] = (),
+        max_keys: Sequence[str] = (),
+        registry: Optional[Registry] = None,
+    ) -> None:
+        super().__init__()
+        self._prefix = prefix
+        self._registry = registry if registry is not None else REGISTRY
+        self._registry.declare_group(prefix, baseline, max_keys)
+
+    def _full(self, key: str) -> str:
+        return f"{self._prefix}.{key}"
+
+    # -- mapping protocol ---------------------------------------------
+
+    def __getitem__(self, key: str) -> int:
+        full = self._full(key)
+        if not self._registry._contains(full):
+            raise KeyError(key)
+        return self._registry.get(full)
+
+    def __setitem__(self, key: str, value: int) -> None:
+        self._registry.put(self._full(key), value)
+
+    def __delitem__(self, key: str) -> None:
+        try:
+            self._registry._delete(self._full(key))
+        except KeyError:
+            raise KeyError(key) from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._registry._group_keys(self._prefix))
+
+    def __len__(self) -> int:
+        return len(self._registry._group_keys(self._prefix))
+
+    def __contains__(self, key: object) -> bool:
+        return isinstance(key, str) and self._registry._contains(
+            self._full(key)
+        )
+
+    def __bool__(self) -> bool:
+        # The inherited dict storage is never populated; truthiness must
+        # come from the registry view.
+        return len(self) > 0
+
+    def copy(self) -> Dict[str, int]:
+        return dict(self.items())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CounterGroup({self._prefix!r}, {dict(self.items())!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Mapping):
+            return dict(self.items()) == dict(other)
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    def keys(self):
+        return dict(self.items()).keys()
+
+    def values(self):
+        return dict(self.items()).values()
+
+    def items(self):
+        return {
+            key: self._registry.get(self._full(key))
+            for key in self._registry._group_keys(self._prefix)
+        }.items()
+
+    def get(self, key: str, default: Optional[int] = None):
+        full = self._full(key)
+        if self._registry._contains(full):
+            return self._registry.get(full)
+        return default
+
+    def update(self, *args, **kwargs) -> None:
+        for key, value in dict(*args, **kwargs).items():
+            self[key] = value
+
+    def clear(self) -> None:
+        for key in self._registry._group_keys(self._prefix):
+            self._registry._delete(self._full(key))
+
+    def pop(self, key: str, *default):
+        try:
+            value = self[key]
+        except KeyError:
+            if default:
+                return default[0]
+            raise
+        del self[key]
+        return value
+
+    # -- the atomic spellings -----------------------------------------
+
+    def inc(self, key: str, amount: int = 1) -> int:
+        """Atomic ``self[key] += amount`` (safe from worker threads)."""
+        return self._registry.inc(self._full(key), amount)
+
+    def max_update(self, key: str, value: int) -> None:
+        """Atomic ``self[key] = max(self[key], value)``."""
+        self._registry.max_update(self._full(key), value)
+
+    def reset(self) -> None:
+        """Drop the group's dynamic keys, zero its baseline — including
+        any deltas merged from pool workers, which land on the same
+        registry keys."""
+        self._registry.reset_prefix(self._prefix)
+
+
+class MirrorCounter(Counter):
+    """A ``collections.Counter`` whose item writes mirror into the
+    registry.
+
+    For per-instance counter bags (``BatchCache.tier_counts``,
+    ``ArtifactStore.stats``): reads and iteration are instance-local
+    and lock-free, but every ``counter[key] = value`` also applies the
+    *delta* to ``<prefix>.<key>`` in the registry, so ``repro stats``
+    sees the aggregate across instances.  Only item assignment mirrors
+    (the engine's bags are bumped exclusively via ``+=``/``[k] = v``);
+    :meth:`clear` withdraws this instance's contribution from the
+    registry.
+    """
+
+    def __init__(self, prefix: str, registry: Optional[Registry] = None) -> None:
+        super().__init__()
+        self._prefix = prefix
+        self._registry = registry if registry is not None else REGISTRY
+
+    def __setitem__(self, key: str, value: int) -> None:
+        delta = value - self.get(key, 0)
+        if delta:
+            self._registry.inc(f"{self._prefix}.{key}", delta)
+        super().__setitem__(key, value)
+
+    def __delitem__(self, key: str) -> None:
+        value = self.get(key, 0)
+        if value:
+            self._registry.inc(f"{self._prefix}.{key}", -value)
+        super().__delitem__(key)
+
+    def clear(self) -> None:
+        for key, value in self.items():
+            if value:
+                self._registry.inc(f"{self._prefix}.{key}", -value)
+        super().clear()
+
+    def __reduce__(self):  # pragma: no cover - Counter pickling support
+        return (type(self), (self._prefix,), None, None, iter(self.items()))

@@ -1,0 +1,500 @@
+"""Nested spans and the JSONL trace writer.
+
+Tracing is off by default and the fast path is a genuine no-op:
+:func:`span` costs one module-attribute load and returns a shared
+do-nothing context manager, no timestamps are taken and no latency
+histograms are fed.  Setting ``REPRO_TRACE=<path>`` (read at import,
+or live via :func:`configure`) turns every :func:`span` site in the
+engine into two JSONL events appended to *path*:
+
+``{"ev": "B", "id", "par", "name", "ts", "pid", "tid", "attrs"}``
+    span begin — ``id`` is ``"<pid>-<seq>"`` (unique across the pool
+    fan-out), ``par`` the enclosing span's id or ``null`` for a root,
+    ``ts`` epoch seconds.
+``{"ev": "E", "id", "ts", "dur", "attrs"}``
+    span end — ``dur`` is the monotonic duration in seconds; ``attrs``
+    carries values attached after entry via :meth:`_Span.set` (tier
+    decisions, conflict counts, cache verdicts).
+
+Span nesting is tracked per thread; :func:`adopt` re-parents work that
+hops threads (the blocked-kernel thread pool), and pool workers buffer
+their events in memory (:func:`worker_capture_begin` /
+:func:`worker_capture_end`) so only the parent process ever writes the
+file — :func:`merge_worker` re-parents each worker's root spans under
+the parent's current span and appends the buffered events, which is
+how a parallel run still renders as one tree.
+
+On span exit (tracing on) the duration also feeds the
+``span.<name>.s`` histogram and the ``obs.trace.*`` counters in
+:data:`repro.obs.metrics.REGISTRY` — with tracing off those stay
+silent, which CI asserts.
+
+The second half of the module is the reader used by
+``repro trace show``: :func:`load_events`, :func:`build_forest` (B/E
+matching, orphan/unclosed diagnostics) and :func:`render_tree`
+(per-span total and self milliseconds, tier attribution, per-tier
+rollup).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from typing import Any, Dict, IO, List, Optional, Sequence, Tuple
+
+from .metrics import REGISTRY
+
+__all__ = [
+    "ENV_TRACE",
+    "adopt",
+    "build_forest",
+    "close",
+    "configure",
+    "current_span_id",
+    "load_events",
+    "merge_worker",
+    "render_tree",
+    "span",
+    "tracing",
+    "worker_capture_begin",
+    "worker_capture_end",
+]
+
+ENV_TRACE = "REPRO_TRACE"
+
+_seq = itertools.count(1)
+_local = threading.local()
+
+
+def _stack() -> List[str]:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    return stack
+
+
+class _FileSink:
+    """Append-only JSONL writer, one line per event, flushed per emit."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._file: Optional[IO[str]] = open(path, "a", encoding="utf-8")
+        self._lock = threading.Lock()
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        line = json.dumps(event, separators=(",", ":"), default=str)
+        with self._lock:
+            if self._file is not None:
+                self._file.write(line + "\n")
+                self._file.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+    def _after_fork(self) -> None:
+        # A forked child shares the parent's file offset; it must never
+        # write (workers buffer instead), so drop the handle defensively.
+        self._lock = threading.Lock()
+        self._file = None
+
+
+class _BufferSink:
+    """In-memory event buffer used inside pool workers."""
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, Any]] = []
+        self._lock = threading.Lock()
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        with self._lock:
+            self.events.append(event)
+
+    def close(self) -> None:  # pragma: no cover - interface symmetry
+        pass
+
+
+_sink: Optional[Any] = None
+
+
+def tracing() -> bool:
+    """True when a trace sink is active (spans are being recorded)."""
+    return _sink is not None
+
+
+def configure(target: Optional[str]) -> None:
+    """Point tracing at a JSONL *target* path, or disable with ``None``.
+
+    Replaces (and closes) any active file sink.  Tests use this
+    directly; production runs set ``REPRO_TRACE`` instead.
+    """
+    global _sink
+    old = _sink
+    _sink = _FileSink(target) if target else None
+    if old is not None and isinstance(old, _FileSink):
+        old.close()
+
+
+def close() -> None:
+    """Flush and close the active trace sink (alias: ``configure(None)``)."""
+    configure(None)
+
+
+def current_span_id() -> Optional[str]:
+    """The innermost open span's id on this thread, or ``None``."""
+    stack = getattr(_local, "stack", None)
+    return stack[-1] if stack else None
+
+
+class _NoopSpan:
+    """The shared do-nothing span returned while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+
+_NOOP = _NoopSpan()
+
+
+class _Span:
+    """One live span: emits B on entry, E (with duration) on exit."""
+
+    __slots__ = ("name", "id", "_attrs", "_exit_attrs", "_t0", "_sink")
+
+    def __init__(self, name: str, attrs: Dict[str, Any]) -> None:
+        self.name = name
+        self._attrs = attrs
+        self._exit_attrs: Optional[Dict[str, Any]] = None
+        self._sink = _sink
+
+    def __enter__(self) -> "_Span":
+        sink = self._sink
+        self.id = f"{os.getpid()}-{next(_seq)}"
+        stack = _stack()
+        parent = stack[-1] if stack else None
+        stack.append(self.id)
+        event: Dict[str, Any] = {
+            "ev": "B",
+            "id": self.id,
+            "par": parent,
+            "name": self.name,
+            "ts": time.time(),
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+        }
+        if self._attrs:
+            event["attrs"] = self._attrs
+        if sink is not None:
+            sink.emit(event)
+        self._t0 = time.perf_counter()
+        return self
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach an attribute reported on span exit (tier, counts, …)."""
+        if self._exit_attrs is None:
+            self._exit_attrs = {}
+        self._exit_attrs[key] = value
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        duration = time.perf_counter() - self._t0
+        stack = _stack()
+        if stack and stack[-1] == self.id:
+            stack.pop()
+        elif self.id in stack:  # pragma: no cover - unbalanced exit guard
+            stack.remove(self.id)
+        event: Dict[str, Any] = {
+            "ev": "E",
+            "id": self.id,
+            "ts": time.time(),
+            "dur": duration,
+        }
+        if exc_type is not None:
+            self.set("error", getattr(exc_type, "__name__", str(exc_type)))
+        if self._exit_attrs:
+            event["attrs"] = self._exit_attrs
+        sink = self._sink
+        if sink is not None:
+            sink.emit(event)
+        REGISTRY.observe(f"span.{self.name}.s", duration)
+        REGISTRY.inc("obs.trace.spans")
+
+
+def span(name: str, **attrs: Any) -> Any:
+    """Open a nested span (context manager): ``with span("revise", op=o):``.
+
+    With tracing off this returns a shared no-op and records nothing —
+    not even latency histograms — so the hot path stays untouched.
+    """
+    if _sink is None:
+        return _NOOP
+    return _Span(name, attrs)
+
+
+class _Adopt:
+    """Context manager that re-parents this thread under *parent_id*."""
+
+    __slots__ = ("_parent", "_saved")
+
+    def __init__(self, parent_id: Optional[str]) -> None:
+        self._parent = parent_id
+
+    def __enter__(self) -> "_Adopt":
+        stack = _stack()
+        self._saved = stack[:]
+        stack[:] = [self._parent] if self._parent else []
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        _stack()[:] = self._saved
+
+
+def adopt(parent_id: Optional[str]) -> _Adopt:
+    """Run a block on another thread as a child of *parent_id*.
+
+    The blocked-kernel thread pool wraps each chunk in
+    ``adopt(current_span_id())`` captured on the submitting thread, so
+    chunk spans nest under the kernel span instead of floating as
+    roots.
+    """
+    return _Adopt(parent_id)
+
+
+# ---------------------------------------------------------------------------
+# Cross-process capture and merge (pool workers)
+# ---------------------------------------------------------------------------
+
+
+def worker_capture_begin() -> Tuple[Any, Any, Optional[_BufferSink]]:
+    """Start capturing telemetry inside a pool worker.
+
+    Snapshots the (fork-inherited) registry for delta capture and, when
+    tracing is on, swaps the sink for an in-memory buffer so the child
+    never touches the parent's trace file.  The worker's span stack is
+    cleared: its spans become roots, re-parented at merge time.
+    """
+    global _sink
+    baseline = REGISTRY.capture_baseline()
+    saved = _sink
+    buffer = _BufferSink() if saved is not None else None
+    _sink = buffer
+    _local.stack = []
+    return (baseline, saved, buffer)
+
+
+def worker_capture_end(token: Tuple[Any, Any, Optional[_BufferSink]]) -> Dict[str, Any]:
+    """Finish a worker capture; returns the envelope to ship back.
+
+    The envelope is plain picklable data: the registry delta since
+    :func:`worker_capture_begin` plus any buffered span events.
+    """
+    global _sink
+    baseline, saved, buffer = token
+    _sink = saved
+    return {
+        "metrics": REGISTRY.capture_delta(baseline),
+        "events": buffer.events if buffer is not None else [],
+    }
+
+
+def merge_worker(envelope: Dict[str, Any]) -> None:
+    """Fold one worker envelope into this process.
+
+    Metric deltas merge into the registry; buffered span events are
+    appended to the live trace with each worker root re-parented under
+    the parent's current span, so ``repro trace show`` renders the
+    fan-out as one tree.
+    """
+    REGISTRY.merge(envelope.get("metrics", {}))
+    events = envelope.get("events") or []
+    sink = _sink
+    if not events or sink is None:
+        return
+    parent = current_span_id()
+    merged = 0
+    for event in events:
+        if (
+            parent is not None
+            and event.get("ev") == "B"
+            and event.get("par") is None
+        ):
+            event = dict(event)
+            event["par"] = parent
+        sink.emit(event)
+        merged += 1
+    REGISTRY.inc("obs.trace.worker_events", merged)
+    REGISTRY.inc("obs.trace.worker_merges")
+
+
+def _after_fork() -> None:
+    sink = _sink
+    if isinstance(sink, _FileSink):
+        sink._after_fork()
+    _local.stack = []
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - POSIX
+    os.register_at_fork(after_in_child=_after_fork)
+
+
+# ---------------------------------------------------------------------------
+# Trace reading (the `repro trace show` backend)
+# ---------------------------------------------------------------------------
+
+
+def load_events(path: str) -> List[Dict[str, Any]]:
+    """Parse a JSONL trace file; raises ``ValueError`` with the line
+    number on malformed input."""
+    events = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}:{lineno}: malformed trace line ({error})"
+                ) from None
+            if not isinstance(event, dict) or "ev" not in event:
+                raise ValueError(f"{path}:{lineno}: not a trace event")
+            events.append(event)
+    return events
+
+
+def build_forest(
+    events: Sequence[Dict[str, Any]],
+) -> Tuple[List[Dict[str, Any]], Dict[str, Dict[str, Any]], Dict[str, int]]:
+    """Match B/E events into span records.
+
+    Returns ``(roots, spans_by_id, diagnostics)``.  Each span record
+    holds ``name/par/ts/pid/tid/attrs/children/dur`` (``dur`` is
+    ``None`` for unclosed spans — e.g. from a crashed worker).
+    Diagnostics count ``unmatched_exits`` and ``unclosed`` spans.
+    """
+    spans: Dict[str, Dict[str, Any]] = {}
+    roots: List[Dict[str, Any]] = []
+    unmatched = 0
+    for event in events:
+        if event.get("ev") == "B":
+            record = {
+                "id": event.get("id"),
+                "name": event.get("name", "?"),
+                "par": event.get("par"),
+                "ts": event.get("ts", 0.0),
+                "pid": event.get("pid"),
+                "tid": event.get("tid"),
+                "attrs": dict(event.get("attrs") or {}),
+                "children": [],
+                "dur": None,
+            }
+            spans[record["id"]] = record
+            parent = spans.get(record["par"]) if record["par"] else None
+            if parent is not None:
+                parent["children"].append(record)
+            else:
+                roots.append(record)
+        elif event.get("ev") == "E":
+            record = spans.get(event.get("id"))
+            if record is None:
+                unmatched += 1
+                continue
+            record["dur"] = event.get("dur")
+            record["attrs"].update(event.get("attrs") or {})
+    unclosed = sum(1 for record in spans.values() if record["dur"] is None)
+    return roots, spans, {"unmatched_exits": unmatched, "unclosed": unclosed}
+
+
+def _self_seconds(record: Dict[str, Any]) -> Optional[float]:
+    if record["dur"] is None:
+        return None
+    child_total = sum(
+        child["dur"] for child in record["children"]
+        if child["dur"] is not None
+    )
+    return max(0.0, record["dur"] - child_total)
+
+
+def _format_span(record: Dict[str, Any], root_pid: Optional[int]) -> str:
+    if record["dur"] is None:
+        timing = "UNCLOSED"
+    else:
+        self_s = _self_seconds(record)
+        timing = (
+            f"total={1000.0 * record['dur']:.3f}ms "
+            f"self={1000.0 * self_s:.3f}ms"
+        )
+    parts = [record["name"], timing]
+    if root_pid is not None and record["pid"] not in (None, root_pid):
+        parts.insert(1, f"[pid {record['pid']}]")
+    attrs = record["attrs"]
+    tier = attrs.get("tier") or attrs.get("engine")
+    ordered = []
+    if tier is not None:
+        ordered.append(("tier", tier))
+    for key in sorted(attrs):
+        if key in ("tier", "engine"):
+            continue
+        ordered.append((key, attrs[key]))
+    parts.extend(f"{key}={value}" for key, value in ordered)
+    return " ".join(str(part) for part in parts)
+
+
+def render_tree(
+    roots: Sequence[Dict[str, Any]],
+    diagnostics: Optional[Dict[str, int]] = None,
+) -> List[str]:
+    """Render a span forest as indented text lines with per-span total
+    and self times, tier attribution, and a per-tier rollup."""
+    lines: List[str] = []
+    tier_totals: Dict[str, Tuple[int, float]] = {}
+    root_pid = roots[0]["pid"] if roots else None
+
+    def walk(record: Dict[str, Any], prefix: str, is_last: bool) -> None:
+        connector = "└─ " if is_last else "├─ "
+        lines.append(prefix + connector + _format_span(record, root_pid))
+        tier = record["attrs"].get("tier") or record["attrs"].get("engine")
+        if tier is not None:
+            count, total = tier_totals.get(str(tier), (0, 0.0))
+            tier_totals[str(tier)] = (
+                count + 1, total + (record["dur"] or 0.0)
+            )
+        child_prefix = prefix + ("   " if is_last else "│  ")
+        for index, child in enumerate(record["children"]):
+            walk(child, child_prefix, index == len(record["children"]) - 1)
+
+    for index, root in enumerate(roots):
+        walk(root, "", index == len(roots) - 1)
+    if tier_totals:
+        lines.append("")
+        rollup = ", ".join(
+            f"{tier}={count} ({1000.0 * total:.1f}ms)"
+            for tier, (count, total) in sorted(tier_totals.items())
+        )
+        lines.append(f"tier totals: {rollup}")
+    if diagnostics and (
+        diagnostics.get("unclosed") or diagnostics.get("unmatched_exits")
+    ):
+        lines.append(
+            f"warning: {diagnostics.get('unclosed', 0)} unclosed span(s), "
+            f"{diagnostics.get('unmatched_exits', 0)} unmatched exit(s)"
+        )
+    return lines
+
+
+# Activate tracing from the environment at import: the production knob.
+if os.environ.get(ENV_TRACE, "").strip():
+    configure(os.environ[ENV_TRACE].strip())

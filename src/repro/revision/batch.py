@@ -44,8 +44,10 @@ import os
 from collections import Counter
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro import obs as _obs
 from repro import runtime as _runtime
 from repro import store as _store
+from repro.obs import metrics as _metrics
 
 from ..logic import shards as _shards
 from ..logic import sparse as _sparse
@@ -150,8 +152,11 @@ class BatchCache:
         #: incremental-carrier LRU leaves per seeded compile.  The
         #: serving layer's observability hook: it says, per batch, how
         #: much traffic ran density-proportionally vs on bitplanes vs on
-        #: the SAT mask loops.
-        self.tier_counts: Counter = Counter()
+        #: the SAT mask loops.  A :class:`repro.obs.MirrorCounter`: still
+        #: a per-instance ``Counter``, but every bump also lands on
+        #: ``batch.tier.<label>`` in the metrics registry, so ``repro
+        #: stats`` aggregates tier choice across caches.
+        self.tier_counts: Counter = _metrics.MirrorCounter("batch.tier")
 
     def bit_models(
         self,
@@ -185,6 +190,26 @@ class BatchCache:
             self.hits += 1
             return cached
         self.misses += 1
+        with _obs.span(
+            "batch.compile",
+            role=role or "?",
+            letters=len(alphabet.letters),
+        ) as compile_span:
+            bits, source = self._compile_miss(formula, alphabet, role)
+            compile_span.set("source", source)
+        self._model_sets[key] = bits
+        return bits
+
+    def _compile_miss(
+        self,
+        formula: Formula,
+        alphabet: BitAlphabet,
+        role: Optional[str],
+    ) -> Tuple[BitModelSet, str]:
+        """Serve one model-set miss; returns ``(bits, source)`` where
+        ``source`` names the path that paid for it (``store`` /
+        ``incremental`` / ``fresh``)."""
+        source = "fresh"
         bits = None
         enumerated = len(alphabet) > _shards.SHARD_MAX_LETTERS
         seed_key = (alphabet.letters, role)
@@ -199,6 +224,8 @@ class BatchCache:
                 # and is never probed.
                 bits = self._store_probe(store, formula, alphabet,
                                          tier_label)
+                if bits is not None:
+                    source = "store"
         if bits is None and enumerated and INCREMENTAL_CARRIER:
             lru = self._carrier_lru.get(seed_key)
             if lru:
@@ -213,6 +240,7 @@ class BatchCache:
                 bits = sat_incremental_bit_models(
                     formula, alphabet, seed_formula, seed_bits
                 )
+                source = "incremental"
                 self.incremental += 1
                 self.carrier_lru_hits += 1
                 self.tier_counts["carrier-lru-seed"] += 1
@@ -229,8 +257,7 @@ class BatchCache:
             lru.append((formula, bits, signature))
             if len(lru) > CARRIER_LRU_SIZE:
                 del lru[0]
-        self._model_sets[key] = bits
-        return bits
+        return bits, source
 
     def _store_probe(
         self,
@@ -251,26 +278,32 @@ class BatchCache:
         """
         kind = "sparse" if tier_label == "sat" else "sharded"
         key = _store.artifact_key(kind, formula, alphabet.letters)
-        corrupt_before = store.stats["corrupt"]
-        if kind == "sparse":
-            carrier = store.get_sparse(key, alphabet)
-            if carrier is not None and carrier.count() > _sparse.max_models():
-                # A valid artifact from a run with a larger sparse
-                # budget: not corrupt, just not loadable under the live
-                # knob — leave it on disk and recompile.
-                carrier = None
-        else:
-            carrier = store.get_sharded(key, alphabet)
-        corrupt = store.stats["corrupt"] - corrupt_before
-        if corrupt:
-            self.tier_counts["store-corrupt"] += corrupt
-        if carrier is None:
-            self.tier_counts["store-miss"] += 1
-            return None
-        self.tier_counts["store-hit"] += 1
-        if kind == "sparse":
-            return BitModelSet.from_sparse(alphabet, carrier)
-        return BitModelSet.from_sharded(alphabet, carrier)
+        with _obs.span("store.probe", kind=kind) as probe_span:
+            corrupt_before = store.stats["corrupt"]
+            if kind == "sparse":
+                carrier = store.get_sparse(key, alphabet)
+                if (
+                    carrier is not None
+                    and carrier.count() > _sparse.max_models()
+                ):
+                    # A valid artifact from a run with a larger sparse
+                    # budget: not corrupt, just not loadable under the
+                    # live knob — leave it on disk and recompile.
+                    carrier = None
+            else:
+                carrier = store.get_sharded(key, alphabet)
+            corrupt = store.stats["corrupt"] - corrupt_before
+            if corrupt:
+                self.tier_counts["store-corrupt"] += corrupt
+                probe_span.set("corrupt", corrupt)
+            probe_span.set("hit", carrier is not None)
+            if carrier is None:
+                self.tier_counts["store-miss"] += 1
+                return None
+            self.tier_counts["store-hit"] += 1
+            if kind == "sparse":
+                return BitModelSet.from_sparse(alphabet, carrier)
+            return BitModelSet.from_sharded(alphabet, carrier)
 
     def _store_persist(
         self,
@@ -289,16 +322,20 @@ class BatchCache:
         if store is None:
             return
         key = _store.artifact_key(kind, formula, alphabet.letters)
-        evictions_before = store.stats["evictions"]
-        if kind == "sparse":
-            published = store.put_sparse(key, carrier)
-        else:
-            published = store.put_sharded(key, carrier)
-        self.tier_counts["store-put" if published else "store-put-failed"] \
-            += 1
-        evicted = store.stats["evictions"] - evictions_before
-        if evicted:
-            self.tier_counts["store-evict"] += evicted
+        with _obs.span("store.publish", kind=kind) as publish_span:
+            evictions_before = store.stats["evictions"]
+            if kind == "sparse":
+                published = store.put_sparse(key, carrier)
+            else:
+                published = store.put_sharded(key, carrier)
+            self.tier_counts[
+                "store-put" if published else "store-put-failed"
+            ] += 1
+            publish_span.set("published", published)
+            evicted = store.stats["evictions"] - evictions_before
+            if evicted:
+                self.tier_counts["store-evict"] += evicted
+                publish_span.set("evicted", evicted)
 
     def reset_counters(self) -> None:
         """Zero every observability counter, keeping the compiled state.
@@ -306,6 +343,11 @@ class BatchCache:
         Tests and the bench measure counter deltas across phases of one
         cache's life; this resets the meters without dropping the model
         sets, carrier LRU or memoised results.
+
+        Also zeroes the registry's ``batch.tier.*`` view — including any
+        deltas merged back from pool workers, which live only in the
+        registry (a parent-side ``tier_counts.clear()`` alone cannot see
+        them) — so a reset really does start the meters from zero.
         """
         self.hits = 0
         self.misses = 0
@@ -313,6 +355,7 @@ class BatchCache:
         self.carrier_lru_hits = 0
         self.carrier_lru_related = 0
         self.tier_counts.clear()
+        _metrics.REGISTRY.reset_prefix("batch.tier")
 
     def warm(
         self,
@@ -339,6 +382,17 @@ class BatchCache:
             bit_alphabet = BitAlphabet.coerce(t_formula.variables())
         else:
             bit_alphabet = BitAlphabet.coerce(alphabet)
+        with _obs.span(
+            "batch.warm", letters=len(bit_alphabet.letters)
+        ) as warm_span:
+            return self._warm_impl(t_formula, bit_alphabet, warm_span)
+
+    def _warm_impl(
+        self,
+        t_formula: Formula,
+        bit_alphabet: BitAlphabet,
+        warm_span,
+    ) -> BitModelSet:
         bits = self.bit_models(t_formula, bit_alphabet, role="theory")
         # Force the tier encoding now: the point of warming is that the
         # carrier is ready before the serving loop needs it.  The model
@@ -362,6 +416,8 @@ class BatchCache:
                 bits.table()
         except (SparseSpill, MemoryError):
             self.tier_counts[f"warm-{level}-deferred"] += 1
+            warm_span.set("deferred", level)
+        warm_span.set("tier", level)
         if persist is not None:
             # Warming is also the store's write path: the carrier this
             # process just paid for survives the process (the table tier
@@ -402,21 +458,29 @@ def _revise_one(
     already appended stay valid.
     """
     _runtime.checkpoint()
-    if not isinstance(op, ModelBasedOperator):
-        cache.tier_counts["formula-based"] += 1
-        return op.revise(theory, formula)
-    cached = cache.result(op.name, t_formula, formula)
-    if cached is not None:
-        cache.hits += 1
-        cache.tier_counts["memoised"] += 1
-        return cached
-    alphabet = BitAlphabet.coerce(t_formula.variables() | formula.variables())
-    t_bits = cache.bit_models(t_formula, alphabet, role="theory")
-    p_bits = cache.bit_models(formula, alphabet, role="update")
-    result = op.revise_sets(t_bits, p_bits)
-    cache.tier_counts[result.engine_tier or "unknown"] += 1
-    cache.store_result(op.name, t_formula, formula, result)
-    return result
+    with _obs.span("revise", op=op.name) as revise_span:
+        if not isinstance(op, ModelBasedOperator):
+            cache.tier_counts["formula-based"] += 1
+            revise_span.set("tier", "formula-based")
+            return op.revise(theory, formula)
+        cached = cache.result(op.name, t_formula, formula)
+        if cached is not None:
+            cache.hits += 1
+            cache.tier_counts["memoised"] += 1
+            revise_span.set("tier", cached.engine_tier or "memoised")
+            revise_span.set("memoised", True)
+            return cached
+        alphabet = BitAlphabet.coerce(
+            t_formula.variables() | formula.variables()
+        )
+        revise_span.set("letters", len(alphabet.letters))
+        t_bits = cache.bit_models(t_formula, alphabet, role="theory")
+        p_bits = cache.bit_models(formula, alphabet, role="update")
+        result = op.revise_sets(t_bits, p_bits)
+        cache.tier_counts[result.engine_tier or "unknown"] += 1
+        revise_span.set("tier", result.engine_tier or "unknown")
+        cache.store_result(op.name, t_formula, formula, result)
+        return result
 
 
 def revise_many(
@@ -445,14 +509,18 @@ def revise_many(
         if cache is None:
             cache = BatchCache()
         nested: List[List[RevisionResult]] = []
-        for theory, formula in pairs:
-            theory = Theory.coerce(theory)
-            formula = as_formula(formula)
-            t_formula = theory.conjunction()
-            nested.append(
-                [_revise_one(op, theory, t_formula, formula, cache)
-                 for op in ops]
-            )
+        with _obs.span(
+            "batch.revise_many", ops=len(ops)
+        ) as batch_span:
+            for theory, formula in pairs:
+                theory = Theory.coerce(theory)
+                formula = as_formula(formula)
+                t_formula = theory.conjunction()
+                nested.append(
+                    [_revise_one(op, theory, t_formula, formula, cache)
+                     for op in ops]
+                )
+            batch_span.set("pairs", len(nested))
         return nested
     op = get_operator(operator)
     if not isinstance(op, ModelBasedOperator):
@@ -460,10 +528,12 @@ def revise_many(
     if cache is None:
         cache = BatchCache()
     results: List[RevisionResult] = []
-    for theory, formula in pairs:
-        theory = Theory.coerce(theory)
-        formula = as_formula(formula)
-        results.append(
-            _revise_one(op, theory, theory.conjunction(), formula, cache)
-        )
+    with _obs.span("batch.revise_many", ops=1) as batch_span:
+        for theory, formula in pairs:
+            theory = Theory.coerce(theory)
+            formula = as_formula(formula)
+            results.append(
+                _revise_one(op, theory, theory.conjunction(), formula, cache)
+            )
+        batch_span.set("pairs", len(results))
     return results

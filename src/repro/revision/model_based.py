@@ -68,6 +68,7 @@ from __future__ import annotations
 
 from typing import FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
+from repro import obs as _obs
 from repro import runtime as _runtime
 
 from ..logic import shards as _shards
@@ -460,6 +461,15 @@ def delta_bits(t_bits: BitModelSet, p_bits: BitModelSet) -> List[int]:
         raise ValueError("model sets range over different alphabets")
     if not t_bits or not p_bits:
         raise ValueError("delta of an empty model set")
+    with _obs.span(
+        "delta", letters=len(t_bits.alphabet.letters)
+    ) as delta_span:
+        return _delta_bits_impl(t_bits, p_bits, delta_span)
+
+
+def _delta_bits_impl(
+    t_bits: BitModelSet, p_bits: BitModelSet, delta_span
+) -> List[int]:
     attempts = _tier_attempts(
         t_bits.alphabet, max(t_bits.count(), p_bits.count())
     )
@@ -470,10 +480,12 @@ def delta_bits(t_bits: BitModelSet, p_bits: BitModelSet) -> List[int]:
         if ops is None:
             break
         try:
+            delta_span.set("tier", level)
             return sorted(ops.bits_of(_delta_tab(ops, t_bits, p_bits)))
         except _DEMOTABLE:
             if position + 1 == len(attempts):
                 raise
+    delta_span.set("tier", "masks")
     return sorted(delta_masks(t_bits.masks, p_bits.masks))
 
 
@@ -486,9 +498,14 @@ class ModelBasedOperator(RevisionOperator):
         theory = Theory.coerce(theory)
         formula = as_formula(new_formula)
         alphabet = BitAlphabet.coerce(self._alphabet(theory, formula))
-        t_bits = self._bit_models_of(theory.conjunction(), alphabet)
-        p_bits = self._bit_models_of(formula, alphabet)
-        return self.revise_sets(t_bits, p_bits)
+        with _obs.span(
+            "revise", op=self.name, letters=len(alphabet.letters)
+        ) as revise_span:
+            t_bits = self._bit_models_of(theory.conjunction(), alphabet)
+            p_bits = self._bit_models_of(formula, alphabet)
+            result = self.revise_sets(t_bits, p_bits)
+            revise_span.set("tier", result.engine_tier)
+            return result
 
     def revise_sets(
         self, t_bits: BitModelSet, p_bits: BitModelSet
@@ -534,7 +551,21 @@ class ModelBasedOperator(RevisionOperator):
         ``"sharded-demoted-sparse"`` for a compile OOM absorbed by the
         sparse carrier.  The selected set is bit-identical on every rung;
         each hop is counted by :func:`repro.runtime.record_demotion`.
+
+        Under ``REPRO_TRACE`` the whole dispatch runs in a ``select``
+        span whose ``tier`` attribute is the served tier's label — the
+        trace-side twin of ``engine_tier``.
         """
+        with _obs.span(
+            "select", op=self.name, letters=len(p_bits.alphabet.letters)
+        ) as select_span:
+            selected, label = self._select_bits_tiered_impl(t_bits, p_bits)
+            select_span.set("tier", label)
+            return selected, label
+
+    def _select_bits_tiered_impl(
+        self, t_bits: BitModelSet, p_bits: BitModelSet
+    ) -> Tuple[BitModelSet, str]:
         if not p_bits:
             return p_bits.with_masks(()), "degenerate"
         if not t_bits:

@@ -35,7 +35,9 @@ process-pool map in :mod:`repro.runtime.pool`.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional
+from typing import List, Optional
+
+from repro.obs import metrics as _metrics
 
 from . import faults
 
@@ -79,18 +81,32 @@ _BASELINE_KEYS = (
 )
 
 
-class Stats(Dict[str, int]):
-    """The engine's counter dict, resettable in place.
+class Stats(_metrics.CounterGroup):
+    """The engine's counter bag, now a ``runtime.*`` registry view.
 
-    A plain ``dict`` subclass so every existing ``STATS["key"] += 1``
-    site keeps working, plus :meth:`reset` so tests and the bench stop
-    hand-zeroing module globals.
+    Still dict-shaped, so every existing ``STATS["key"] += 1`` site
+    keeps working on single-threaded paths; threaded sites (the
+    ``REPRO_PARALLEL`` kernels checkpoint from worker threads) go
+    through the atomic :meth:`inc`.  Storage lives in
+    :data:`repro.obs.metrics.REGISTRY` under ``runtime.<key>``, which
+    is what ``repro stats`` dumps and what pool-worker deltas merge
+    into.
     """
 
+    def __init__(self) -> None:
+        super().__init__("runtime", baseline=_BASELINE_KEYS)
+
     def reset(self) -> None:
-        """Zero the baseline counters and drop every dynamic key."""
-        self.clear()
-        self.update({key: 0 for key in _BASELINE_KEYS})
+        """Zero the baseline counters and drop every dynamic key.
+
+        Also clears the fault-injection counters
+        (:data:`repro.runtime.faults.STATS`): both groups carry
+        pool-worker deltas merged by :mod:`repro.runtime.pool`, and a
+        reset that left stale fault/crash counts behind used to make
+        post-fan-out assertions lie.
+        """
+        super().reset()
+        faults.STATS.reset()
 
 
 #: Governance counters: checkpoints served, budget trips, tier
@@ -99,7 +115,6 @@ class Stats(Dict[str, int]):
 #: and artifact-store corruption events (``store-corrupt``, counted by
 #: :mod:`repro.store` whenever a read quarantines a file).
 STATS = Stats()
-STATS.reset()
 
 
 class EngineTimeout(RuntimeError):
@@ -174,7 +189,7 @@ class Budget:
         )
         _stack.append(self)
         _ACTIVE = self
-        STATS["budgets"] += 1
+        STATS.inc("budgets")
         return self
 
     def __exit__(self, *exc_info) -> None:
@@ -202,11 +217,11 @@ class Budget:
     def checkpoint(self) -> None:
         """Raise if cancelled or past the deadline; otherwise a no-op."""
         if self._cancelled:
-            STATS["cancelled"] += 1
+            STATS.inc("cancelled")
             raise Cancelled("operation cancelled at a checkpoint")
         expires = self._expires
         if expires is not None and time.monotonic() > expires:
-            STATS["timeouts"] += 1
+            STATS.inc("timeouts")
             raise EngineTimeout(
                 f"deadline of {self.deadline}s exceeded at a checkpoint"
             )
@@ -216,7 +231,7 @@ class Budget:
         self.models_charged += count
         cap = self.max_models
         if cap is not None and self.models_charged > cap:
-            STATS["model_budget_exceeded"] += 1
+            STATS.inc("model_budget_exceeded")
             raise BudgetExceeded(
                 f"model budget exhausted: {self.models_charged} models "
                 f"charged against max_models={cap}"
@@ -226,7 +241,7 @@ class Budget:
         """Check a prospective allocation of *count* words against the cap."""
         cap = self.max_words
         if cap is not None and count > cap:
-            STATS["memory_budget_exceeded"] += 1
+            STATS.inc("memory_budget_exceeded")
             raise MemoryBudgetExceeded(
                 f"{context}: {count} words exceed max_words={cap}"
             )
@@ -241,7 +256,7 @@ def checkpoint() -> None:
     """Poll the governing budget; no-op (one load) when none is active."""
     budget = _ACTIVE
     if budget is not None:
-        STATS["checkpoints"] += 1
+        STATS.inc("checkpoints")
         budget.checkpoint()
 
 
@@ -280,6 +295,5 @@ def allows_fanout() -> bool:
 
 def record_demotion(from_tier: str, to_tier: str) -> None:
     """Count one tier demotion (also keyed per ``from->to`` edge)."""
-    STATS["demotions"] += 1
-    key = f"demotions:{from_tier}->{to_tier}"
-    STATS[key] = STATS.get(key, 0) + 1
+    STATS.inc("demotions")
+    STATS.inc(f"demotions:{from_tier}->{to_tier}")

@@ -50,6 +50,8 @@ import os
 import time
 from typing import Dict, Optional, Tuple
 
+from repro.obs import metrics as _metrics
+
 ENV_VAR = "REPRO_FAULTS"
 
 #: Fault points the engine consults.  Arming an unknown point is a spec
@@ -67,8 +69,11 @@ POINTS = (
 #: True when at least one fault point is armed — the one-load hot gate.
 ACTIVE = False
 
-#: How often each armed point has fired, plus the grand total.
-STATS: Dict[str, int] = {"injected": 0}
+#: How often each armed point has fired, plus the grand total.  A
+#: ``faults.*`` registry view: worker-injected faults merged back by
+#: :mod:`repro.runtime.pool` land here too, and
+#: ``repro.runtime.STATS.reset()`` clears the group.
+STATS = _metrics.CounterGroup("faults", baseline=("injected",))
 
 _targets: Dict[str, Tuple[int, Optional[str]]] = {}
 _counters: Dict[str, int] = {}
@@ -142,8 +147,8 @@ def trip(point: str) -> Optional[str]:
     index, param = target
     if _counters[point] != index:
         return None
-    STATS["injected"] += 1
-    STATS[point] = STATS.get(point, 0) + 1
+    STATS.inc("injected")
+    STATS.inc(point)
     return param if param is not None else ""
 
 

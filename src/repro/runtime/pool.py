@@ -9,10 +9,22 @@ combine in the engine is a union (order- and partition-independent),
 re-running a lost range inline reproduces bit-identical masks for any
 crash pattern.
 
+Telemetry rides the same map: each worker snapshots the metrics
+registry on entry and ships its deltas (plus any buffered span events)
+back inside a :class:`_WorkerEnvelope`; the parent folds them in via
+:func:`repro.obs.merge_worker` as results arrive, so counters bumped
+and spans opened inside a child show up in the parent's ``repro
+stats`` / trace as if the work ran inline.  A crashed worker's
+envelope is lost with it — the inline retry re-runs the job in the
+parent, where its telemetry is recorded directly, and the retry batch
+is wrapped in a ``pool.retry`` span naming the lost job indices.
+
 :func:`map_threads` is the thread-pool sibling used by the blocked
 numpy kernels: same ordered-map contract and prompt-cancel shutdown
 semantics (threads cannot be killed, but pending chunks are dropped the
-moment one chunk raises — e.g. at a deadline checkpoint).
+moment one chunk raises — e.g. at a deadline checkpoint).  Span-wise,
+each chunk adopts the submitting thread's open span as its parent, so
+chunk-level spans nest under the kernel that fanned them out.
 """
 
 from __future__ import annotations
@@ -25,8 +37,25 @@ from concurrent.futures import (
 )
 from typing import Any, Callable, List, Sequence
 
+from repro import obs as _obs
 from repro import runtime as _runtime
 from repro.runtime import faults as _faults
+
+
+class _WorkerEnvelope:
+    """A worker's result plus its telemetry deltas (picklable)."""
+
+    __slots__ = ("value", "telemetry")
+
+    def __init__(self, value, telemetry) -> None:
+        self.value = value
+        self.telemetry = telemetry
+
+    def __getstate__(self):
+        return (self.value, self.telemetry)
+
+    def __setstate__(self, state) -> None:
+        self.value, self.telemetry = state
 
 
 def _invoke(payload):
@@ -34,12 +63,21 @@ def _invoke(payload):
 
     A job doomed by the ``worker-crash`` fault dies only in a child:
     the parent-pid guard makes the parent's inline retry of the very
-    same payload immune by construction.
+    same payload immune by construction.  Surviving jobs come back
+    wrapped in a :class:`_WorkerEnvelope` carrying the worker's metric
+    deltas and buffered span events.
     """
     function, args, doomed, parent = payload
-    if doomed and os.getpid() != parent:
+    if os.getpid() == parent:
+        return function(args)
+    if doomed:
         os._exit(1)
-    return function(args)
+    token = _obs.worker_capture_begin()
+    try:
+        value = function(args)
+    finally:
+        envelope = _obs.worker_capture_end(token)
+    return _WorkerEnvelope(value, envelope)
 
 
 def map_with_recovery(
@@ -57,6 +95,10 @@ def map_with_recovery(
     Checkpoints are polled between result collections, keeping
     deadlines live even here (callers normally avoid process fan-out
     under a deadline via :func:`repro.runtime.allows_fanout`).
+
+    Each surviving worker's telemetry envelope is merged into the
+    parent registry/trace as its result arrives; the whole map runs
+    under a ``pool.map`` span so merged worker spans nest there.
     """
     jobs = list(jobs)
     if not jobs:
@@ -69,24 +111,41 @@ def map_with_recovery(
     results: List[Any] = [None] * len(jobs)
     done = [False] * len(jobs)
     broken = False
-    executor = ProcessPoolExecutor(max_workers=min(workers, len(jobs)))
-    try:
-        futures = [executor.submit(_invoke, payload) for payload in payloads]
-        for index, future in enumerate(futures):
-            _runtime.checkpoint()
-            try:
-                results[index] = future.result()
+    with _obs.span(
+        "pool.map", label=label, jobs=len(jobs),
+        workers=min(workers, len(jobs)),
+    ) as pool_span:
+        executor = ProcessPoolExecutor(max_workers=min(workers, len(jobs)))
+        try:
+            futures = [
+                executor.submit(_invoke, payload) for payload in payloads
+            ]
+            for index, future in enumerate(futures):
+                _runtime.checkpoint()
+                try:
+                    value = future.result()
+                except BrokenExecutor:
+                    broken = True
+                    continue
+                if isinstance(value, _WorkerEnvelope):
+                    _obs.merge_worker(value.telemetry)
+                    value = value.value
+                results[index] = value
                 done[index] = True
-            except BrokenExecutor:
-                broken = True
-    finally:
-        executor.shutdown(wait=not broken, cancel_futures=True)
-    if broken:
-        _runtime.STATS["worker_crashes"] += 1
-        for index, finished in enumerate(done):
-            if not finished:
-                _runtime.STATS["inline_retries"] += 1
-                results[index] = function(jobs[index])
+        finally:
+            executor.shutdown(wait=not broken, cancel_futures=True)
+        if broken:
+            _runtime.STATS.inc("worker_crashes")
+            lost = [index for index, finished in enumerate(done)
+                    if not finished]
+            pool_span.set("crashed", True)
+            with _obs.span(
+                "pool.retry", label=label, jobs=len(lost),
+                indices=lost[:16],
+            ):
+                for index in lost:
+                    _runtime.STATS.inc("inline_retries")
+                    results[index] = function(jobs[index])
     return results
 
 
@@ -106,6 +165,14 @@ def map_threads(
         return []
     if workers <= 1 or len(items) == 1:
         return [function(item) for item in items]
+    if _obs.tracing():
+        parent_span = _obs.current_span_id()
+        inner = function
+
+        def function(item, _inner=inner, _parent=parent_span):
+            with _obs.adopt(_parent):
+                return _inner(item)
+
     executor = ThreadPoolExecutor(max_workers=min(workers, len(items)))
     try:
         futures = [executor.submit(function, item) for item in items]

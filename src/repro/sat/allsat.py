@@ -86,6 +86,7 @@ from __future__ import annotations
 import os
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
+from repro import obs as _obs
 from repro import runtime as _runtime
 from repro.runtime import pool as _pool
 
@@ -124,21 +125,31 @@ PARALLEL_SPLIT_MAX_DEPTH = 8
 #: dispatched, workers of the last fan-out).  Monotonic per process except
 #: ``max_backjump`` (a high-water mark) and ``parallel_workers`` (last
 #: value); the CI smoke legs assert they move when the enumerator is
-#: supposed to serve.
-STATS: Dict[str, int] = {
-    "enumerations": 0,
-    "resumes": 0,
-    "cubes": 0,
-    "models": 0,
-    "components": 0,
-    "conflicts": 0,
-    "learned": 0,
-    "restarts": 0,
-    "max_backjump": 0,
-    "parallel_enumerations": 0,
-    "parallel_components": 0,
-    "parallel_workers": 0,
-}
+#: supposed to serve.  Since PR 9 this is an ``allsat.*`` view of
+#: :data:`repro.obs.metrics.REGISTRY`: thread-safe, merged across pool
+#: workers, and covered by the one registry ``reset()``; the CDCL fold
+#: also carries ``propagations`` (trail literals propagated) and
+#: ``learned_db`` (live learned-clause count, a high-water gauge).
+STATS = _obs.CounterGroup(
+    "allsat",
+    baseline=(
+        "enumerations",
+        "resumes",
+        "cubes",
+        "models",
+        "components",
+        "conflicts",
+        "propagations",
+        "learned",
+        "learned_db",
+        "restarts",
+        "max_backjump",
+        "parallel_enumerations",
+        "parallel_components",
+        "parallel_workers",
+    ),
+    max_keys=("max_backjump", "learned_db"),
+)
 
 
 def enabled() -> bool:
@@ -266,7 +277,9 @@ class _ComponentEnumerator:
         # redundant — and, post-reduction, would trip over tombstones.
         self._input_clause_count = len(self.solver.clauses)
         self._occurrences: Optional[Dict[int, List[int]]] = None
-        self._stats_seen = {"conflicts": 0, "learned": 0, "restarts": 0}
+        self._stats_seen = {
+            "conflicts": 0, "learned": 0, "restarts": 0, "propagations": 0,
+        }
         # Resumable-stream state machine (see next_cube):
         #   unstarted  — no solver call yet
         #   advancing  — a search was interrupted mid-flight (budget
@@ -290,13 +303,13 @@ class _ComponentEnumerator:
         """Fold the solver's CDCL counters into the module :data:`STATS`."""
         stats = self.solver.search_stats()
         seen = self._stats_seen
-        for key in ("conflicts", "learned", "restarts"):
+        for key in ("conflicts", "learned", "restarts", "propagations"):
             delta = stats[key] - seen[key]
             if delta:
-                STATS[key] += delta
+                STATS.inc(key, delta)
                 seen[key] = stats[key]
-        if stats["max_backjump"] > STATS["max_backjump"]:
-            STATS["max_backjump"] = stats["max_backjump"]
+        STATS.max_update("max_backjump", stats["max_backjump"])
+        STATS.max_update("learned_db", stats["learned_db"])
 
     def _generalized_cube(self) -> Tuple[Cube, Optional[int]]:
         """Build the cube for the model on the trail, plus its flip point.
@@ -388,7 +401,7 @@ class _ComponentEnumerator:
             self._sync_stats()
             self._state = "exhausted"
             return None
-        STATS["resumes"] += 1
+        STATS.inc("resumes")
         self._sync_stats()
         cube, flip_lit = self._generalized_cube()
         self._flip_target = flip_lit
@@ -468,30 +481,33 @@ def _merge_cubes(parts: Sequence[Cube]) -> Cube:
     return Cube(tuple(lits), tuple(free))
 
 
-def _component_worker(args: tuple) -> Tuple[List[Tuple[tuple, tuple]], Dict[str, int]]:
+def _component_worker(args: tuple) -> List[Tuple[tuple, tuple]]:
     """Top-level (picklable) worker: enumerate one component subproblem.
 
     ``prefix`` literals are added as unit clauses — a decision-prefix
     subtree of the component's search space; the prefix vars propagate at
     level 0 and come back fixed in every cube, so subtree cube lists from
     complementary prefixes union into exactly the component's stream.
-    Returns plain ``(lits, free)`` tuples plus this subproblem's STATS
-    delta (worker processes are forked, so in-place STATS mutations would
-    be lost).
+    Returns plain ``(lits, free)`` tuples.  The STATS this subproblem
+    bumps land in the worker's registry and ride back to the parent in
+    the pool's telemetry envelope (:mod:`repro.runtime.pool`) — the old
+    hand-rolled counter delta this function used to return is exactly
+    what that envelope now carries for *every* fan-out.
     """
     num_vars, clauses, projection, variables, prefix, generalize = args
-    before = {key: STATS[key] for key in ("resumes", "conflicts", "learned", "restarts")}
-    sub = CnfInstance(num_vars)
-    sub.clauses = [list(clause) for clause in clauses]
-    for lit in prefix:
-        sub.clauses.append([lit])
-    enumerator = _ComponentEnumerator(
-        sub, projection, variables=set(variables), generalize=generalize
-    )
-    out = [(cube.lits, cube.free) for cube in enumerator.cubes()]
-    counters = {key: STATS[key] - before[key] for key in before}
-    counters["max_backjump"] = STATS["max_backjump"]
-    return out, counters
+    with _obs.span(
+        "sat.component", vars=len(variables), prefix=len(prefix)
+    ) as comp_span:
+        sub = CnfInstance(num_vars)
+        sub.clauses = [list(clause) for clause in clauses]
+        for lit in prefix:
+            sub.clauses.append([lit])
+        enumerator = _ComponentEnumerator(
+            sub, projection, variables=set(variables), generalize=generalize
+        )
+        out = [(cube.lits, cube.free) for cube in enumerator.cubes()]
+        comp_span.set("cubes", len(out))
+    return out
 
 
 def _parallel_component_cubes(
@@ -550,16 +566,12 @@ def _parallel_component_cubes(
         workers=pool_size,
         label="allsat component fan-out",
     )
-    STATS["parallel_enumerations"] += 1
-    STATS["parallel_components"] += len(jobs)
+    STATS.inc("parallel_enumerations")
+    STATS.inc("parallel_components", len(jobs))
     STATS["parallel_workers"] = pool_size
     per_component: List[List[Cube]] = [[] for _ in components]
-    for (comp_id, _), (cubes, counters) in zip(jobs, outcomes):
+    for (comp_id, _), cubes in zip(jobs, outcomes):
         per_component[comp_id].extend(Cube(lits, free) for lits, free in cubes)
-        for key in ("resumes", "conflicts", "learned", "restarts"):
-            STATS[key] += counters[key]
-        if counters["max_backjump"] > STATS["max_backjump"]:
-            STATS["max_backjump"] = counters["max_backjump"]
     streams: List[List[Cube]] = []
     for (clauses, projection), cubes in zip(components, per_component):
         if not cubes:
@@ -678,7 +690,7 @@ class CubeStream:
         instance = self._instance
         if instance.has_empty_clause:
             return False
-        STATS["enumerations"] += 1
+        STATS.inc("enumerations")
         primed = _primed_split(instance, self._proj_vars, self._assumptions)
         if primed is None:
             return False
@@ -693,7 +705,7 @@ class CubeStream:
             else [(residual, sorted(constrained & proj_set))]
         )
         if len(components) > 1:
-            STATS["components"] += len(components)
+            STATS.inc("components", len(components))
         for clauses, component_projection in components:
             component_vars = {abs(lit) for clause in clauses for lit in clause}
             sub = CnfInstance(instance.num_vars)
@@ -713,8 +725,8 @@ class CubeStream:
         return True
 
     def _note(self, cube: Cube) -> Cube:
-        STATS["cubes"] += 1
-        STATS["models"] += cube.model_count()
+        STATS.inc("cubes")
+        STATS.inc("models", cube.model_count())
         self._produced += cube.model_count()
         return cube
 
@@ -908,15 +920,15 @@ def _enumerate_parallel(
     """The process fan-out path of :func:`enumerate_cubes` (unlimited
     enumerations only): collect per-component cube lists from the worker
     pool, then merge/odometer exactly like the serial engine."""
-    STATS["enumerations"] += 1
+    STATS.inc("enumerations")
     primed = _primed_split(instance, proj_vars, assumptions)
     if primed is None:
         return
     fixed_tuple, free_tuple, residual, constrained = primed
 
     def emitted(cube: Cube) -> Cube:
-        STATS["cubes"] += 1
-        STATS["models"] += cube.model_count()
+        STATS.inc("cubes")
+        STATS.inc("models", cube.model_count())
         _runtime.checkpoint()
         _runtime.charge_models(cube.model_count())
         return cube
@@ -933,7 +945,7 @@ def _enumerate_parallel(
         else [(residual, sorted(constrained & proj_set))]
     )
     if len(components) > 1:
-        STATS["components"] += len(components)
+        STATS.inc("components", len(components))
 
     base = Cube(fixed_tuple, free_tuple)
     streams = _parallel_component_cubes(

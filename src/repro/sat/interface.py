@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
+from repro import obs as _obs
 from repro import runtime as _runtime
 
 from ..logic import bitmodels as _bitmodels
@@ -308,21 +309,29 @@ def bit_models(
     else:
         bit_alphabet = BitAlphabet.coerce(alphabet)
     engine = _projected_engine(formula, bit_alphabet.letters)
-    if engine == "table":
-        try:
-            return BitModelSet.from_table(
-                bit_alphabet, truth_table(formula, bit_alphabet)
-            )
-        except MemoryError:
-            _runtime.record_demotion("table", "masks")
-    elif engine == "sharded":
-        try:
-            return BitModelSet.from_sharded(
-                bit_alphabet, ShardedTable.from_formula(formula, bit_alphabet)
-            )
-        except MemoryError:
-            _runtime.record_demotion("sharded", "masks")
-    return _enumerated_bit_models(formula, bit_alphabet)
+    with _obs.span(
+        "compile", letters=len(bit_alphabet.letters), engine=engine
+    ) as compile_span:
+        if engine == "table":
+            try:
+                return BitModelSet.from_table(
+                    bit_alphabet, truth_table(formula, bit_alphabet)
+                )
+            except MemoryError:
+                _runtime.record_demotion("table", "masks")
+                compile_span.set("demoted", "table->masks")
+        elif engine == "sharded":
+            try:
+                return BitModelSet.from_sharded(
+                    bit_alphabet,
+                    ShardedTable.from_formula(formula, bit_alphabet),
+                )
+            except MemoryError:
+                _runtime.record_demotion("sharded", "masks")
+                compile_span.set("demoted", "sharded->masks")
+        if engine != "sat":
+            compile_span.set("engine", "sat")
+        return _enumerated_bit_models(formula, bit_alphabet)
 
 
 def _projection_bits(
@@ -378,6 +387,42 @@ def _enumerated_bit_models(
     mask frozenset never materialises.  ``REPRO_ALLSAT=0`` restores the
     blocking-clause loop.
     """
+    with _obs.span(
+        "sat.enumerate", letters=len(bit_alphabet.letters)
+    ) as sat_span:
+        before = (
+            {key: _allsat.STATS.get(key, 0) for key in _ENUM_DELTA_KEYS}
+            if _obs.tracing() else None
+        )
+        try:
+            return _enumerated_bit_models_impl(formula, bit_alphabet)
+        finally:
+            if before is not None:
+                for key in _ENUM_DELTA_KEYS:
+                    sat_span.set(
+                        key, _allsat.STATS.get(key, 0) - before[key]
+                    )
+                sat_span.set(
+                    "learned_db", _allsat.STATS.get("learned_db", 0)
+                )
+
+
+#: The per-enumeration CDCL activity reported on ``sat.enumerate`` spans
+#: (deltas of the ``allsat.*`` counters across the call, workers included).
+_ENUM_DELTA_KEYS = (
+    "cubes",
+    "models",
+    "resumes",
+    "conflicts",
+    "propagations",
+    "learned",
+    "restarts",
+)
+
+
+def _enumerated_bit_models_impl(
+    formula: Formula, bit_alphabet: BitAlphabet
+) -> BitModelSet:
     encoding = _encode([formula])
     projection, bit_of = _projection_bits(encoding, bit_alphabet)
     if _allsat.enabled():
@@ -447,7 +492,12 @@ def count_models(
     encoding = _encode([formula])
     projection = [encoding.var(name) for name in names]
     if _allsat.enabled():
-        return _allsat.count_models(encoding.instance, projection, limit)
+        with _obs.span(
+            "sat.count", letters=len(names)
+        ) as count_span:
+            count = _allsat.count_models(encoding.instance, projection, limit)
+            count_span.set("count", count)
+            return count
     total = 0
     for _ in enumerate_models_blocking(encoding.instance, projection, limit):
         total += 1
@@ -591,6 +641,21 @@ def incremental_bit_models(
             f"formula letters {sorted(extra)} outside the carrier alphabet"
         )
     # Re-check the old carrier against the new constraint.
+    with _obs.span(
+        "sat.incremental", letters=len(bit_alphabet.letters)
+    ) as inc_span:
+        return _incremental_bit_models_impl(
+            formula, bit_alphabet, previous_formula, previous_bits, inc_span
+        )
+
+
+def _incremental_bit_models_impl(
+    formula: Formula,
+    bit_alphabet: BitAlphabet,
+    previous_formula: Formula,
+    previous_bits: BitModelSet,
+    inc_span,
+) -> BitModelSet:
     try:
         carrier = previous_bits.sparse()
         flags = _sparse.evaluate_formula(formula, carrier)
@@ -617,7 +682,11 @@ def incremental_bit_models(
     else:
         encoding.instance.add_clause([-old_root])
         delta = _blocking_mask_stream(encoding.instance, projection, bit_of)
+    kept = list(kept)
+    count = len(kept)
     kept.extend(delta)
+    inc_span.set("kept", count)
+    inc_span.set("delta", len(kept) - count)
     return _wrap_enumerated_masks(bit_alphabet, kept)
 
 

@@ -187,6 +187,7 @@ class Solver:
         self._stat_learned = 0
         self._stat_restarts = 0
         self._stat_max_backjump = 0
+        self._stat_propagations = 0
         # Branching control for projected enumeration: vars to decide
         # first, and vars to skip entirely (clause-free letters whose
         # value cannot matter).  See set_branch_priority / set_branch_skip.
@@ -383,7 +384,9 @@ class Solver:
                     break
             watch_list[:] = keep
             if conflict is not None:
+                self._stat_propagations += head - queue_start
                 return conflict
+        self._stat_propagations += head - queue_start
         return None
 
     def _backtrack_to(self, level: int) -> None:
@@ -855,11 +858,15 @@ class Solver:
         return out
 
     def search_stats(self) -> Dict[str, int]:
-        """CDCL observability counters (monotonic per solver):
-        conflicts, learned clauses, restarts, deepest backjump."""
+        """CDCL observability counters: conflicts, learned clauses,
+        restarts, deepest backjump, trail literals propagated (all
+        monotonic per solver) and the live learned-DB size (a gauge —
+        clause-DB reduction shrinks it)."""
         return {
             "conflicts": self._conflicts,
             "learned": self._stat_learned,
             "restarts": self._stat_restarts,
             "max_backjump": self._stat_max_backjump,
+            "propagations": self._stat_propagations,
+            "learned_db": len(self._learned_info),
         }

@@ -57,6 +57,7 @@ from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro import runtime as _runtime
+from repro.obs import metrics as _metrics
 from repro.runtime import faults as _faults
 
 from ..logic.shards import ShardedTable
@@ -114,18 +115,15 @@ class ArtifactStore:
         self.root.mkdir(parents=True, exist_ok=True)
         self._max_bytes = max_bytes
         #: Per-instance counters; the engine-wide ``store-corrupt`` total
-        #: additionally lands in :data:`repro.runtime.STATS`.
-        self.stats: Dict[str, int] = {
-            "hits": 0,
-            "misses": 0,
-            "puts": 0,
-            "refreshed": 0,
-            "put_failures": 0,
-            "evictions": 0,
-            "corrupt": 0,
-            "recovered_tmp": 0,
-            "recovered_torn": 0,
-        }
+        #: additionally lands in :data:`repro.runtime.STATS`.  A
+        #: :class:`repro.obs.MirrorCounter`: every bump also feeds the
+        #: ``store.<key>`` registry view (aggregated across instances,
+        #: and across pool workers via the envelope merge).
+        self.stats: Dict[str, int] = _metrics.MirrorCounter("store")
+        for _key in ("hits", "misses", "puts", "refreshed",
+                     "put_failures", "evictions", "corrupt",
+                     "recovered_tmp", "recovered_torn"):
+            self.stats[_key] = 0
         if recover:
             self.recover()
 
@@ -430,8 +428,7 @@ class ArtifactStore:
         """Move a bad file out of the serving namespace, never deleting
         the evidence, and count it everywhere observability looks."""
         self.stats["corrupt"] += 1
-        _runtime.STATS["store-corrupt"] = \
-            _runtime.STATS.get("store-corrupt", 0) + 1
+        _runtime.STATS.inc("store-corrupt")
         self.stats["misses"] += 1
         with contextlib.suppress(OSError):
             self.quarantine_dir.mkdir(exist_ok=True)
