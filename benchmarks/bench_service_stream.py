@@ -1,0 +1,274 @@
+"""Service-stream benchmark: the resilient front-end under load.
+
+Drives :class:`repro.service.RevisionService` with a zipfian request
+stream — a small population of KBs whose popularity follows 1/rank and
+whose update chains *drift* (hot KBs accumulate and occasionally reset
+their chains, so the worker-side chain memo sees both prefix hits and
+fresh work) — and records latency percentiles and throughput twice:
+
+* **faults off** — the plain serving baseline;
+* **1% crash rate** — every 100th request is dispatched with a
+  ``fault_once="crash"`` directive, so the worker that picks it up dies
+  and the front-end must retry it on a restarted/other worker.
+
+Every response in both runs is verified bit-identical against the
+engine run inline (``get_operator(...).iterate``), and the two runs are
+verified against each other — the crash run must cost latency, never
+bits.  The run appends a ``pr10-service`` entry to
+``BENCH_revision_perf.json`` (the file is an append-only trajectory
+across PRs).
+
+Run ``python benchmarks/bench_service_stream.py`` from the repo root
+(``--quick`` for the CI smoke cap).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_revision_perf import load_trajectory
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_revision_perf.json"
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: Theories the KB population draws from (cycled by KB index).
+THEORIES = (
+    "a & b",
+    "(a | b) & c",
+    "a & (b | c)",
+    "(a | b) & (b | c)",
+    "a | (b & c)",
+    "(a & b) | (a & c)",
+)
+
+#: Update formulas the drifting chains draw from.
+UPDATES = ("~a", "~b", "~c", "a | b", "b & ~c", "~a & ~c", "c", "a & ~b")
+
+
+def build_stream(kbs, requests, seed, crash_every=None):
+    """The zipfian drifting-chain stream, deterministic in *seed*.
+
+    Returns ``(name, theory, chain, fault_once)`` tuples.  KB k is drawn
+    with weight 1/(k+1); each draw extends the KB's chain with
+    probability 0.5 (capped at 4 updates) and resets it to one fresh
+    update with probability 0.2 — the drift keeps the worker-side chain
+    memo honest (prefix hits happen, but so does fresh work).
+    """
+    rng = random.Random(seed)
+    weights = [1.0 / (rank + 1) for rank in range(kbs)]
+    chains = {k: [UPDATES[k % len(UPDATES)]] for k in range(kbs)}
+    stream = []
+    for index in range(requests):
+        k = rng.choices(range(kbs), weights=weights)[0]
+        roll = rng.random()
+        if roll < 0.2:
+            chains[k] = [rng.choice(UPDATES)]
+        elif roll < 0.7 and len(chains[k]) < 4:
+            chains[k] = chains[k] + [rng.choice(UPDATES)]
+        fault = None
+        if crash_every and index % crash_every == crash_every // 2:
+            fault = "crash"
+        stream.append((
+            f"kb-{k:02d}",
+            THEORIES[k % len(THEORIES)],
+            tuple(chains[k]),
+            fault,
+        ))
+    return stream
+
+
+def ground_truth(stream):
+    """Masks per request, from the engine run inline (memoised per chain)."""
+    from repro.logic.formula import as_formula
+    from repro.logic.theory import Theory
+    from repro.revision.registry import get_operator
+
+    memo = {}
+    truth = []
+    for _, theory, chain, _ in stream:
+        key = (theory, chain)
+        if key not in memo:
+            result = get_operator("dalal").iterate(
+                Theory.coerce((theory,)), [as_formula(u) for u in chain]
+            )
+            memo[key] = sorted(result.bit_model_set.iter_masks())
+        truth.append(memo[key])
+    return truth
+
+
+def run_stream(stream, workers, inflight, label):
+    """One pass of *stream* through a fresh service; returns the record."""
+    from repro.service import Request, RevisionService, ServiceConfig
+    from repro.service.frontend import STATS
+
+    STATS.reset()
+    config = ServiceConfig(workers=workers, queue_limit=max(64, inflight * 2))
+    latencies = []
+    responses = []
+    started = time.perf_counter()
+    with RevisionService(config) as service:
+        pending = []
+        for kb, theory, chain, fault in stream:
+            pending.append(service.submit(Request(
+                kind="revise", kb=kb, theory=theory, updates=chain,
+                fault_once=fault,
+            )))
+            while len(pending) >= inflight:
+                responses.append(pending.pop(0).result(300))
+        responses.extend(future.result(300) for future in pending)
+    wall = time.perf_counter() - started
+    for response in responses:
+        if response.status != "ok":
+            raise AssertionError(
+                f"{label}: request failed with {response.status}: "
+                f"{response.error}"
+            )
+        latencies.append(response.latency_s)
+    latencies.sort()
+
+    def percentile(q):
+        return latencies[min(len(latencies) - 1,
+                             int(q * (len(latencies) - 1)))]
+
+    record = {
+        "label": label,
+        "requests": len(stream),
+        "workers": workers,
+        "inflight": inflight,
+        "wall_s": wall,
+        "throughput_rps": len(stream) / wall if wall > 0 else None,
+        "p50_s": percentile(0.50),
+        "p99_s": percentile(0.99),
+        "max_s": latencies[-1],
+        "retries": STATS["retries"],
+        "worker_deaths": STATS["worker_deaths"],
+        "worker_restarts": STATS["worker_restarts"],
+        "hedges": STATS["hedges"],
+        "shed": STATS["shed"],
+        "queue_peak": STATS["queue_peak"],
+    }
+    print(
+        f"  {label:<12} {len(stream)} reqs in {wall:.2f}s "
+        f"({record['throughput_rps']:.0f} rps) "
+        f"p50={record['p50_s'] * 1000:.1f}ms "
+        f"p99={record['p99_s'] * 1000:.1f}ms "
+        f"retries={record['retries']} deaths={record['worker_deaths']}",
+        flush=True,
+    )
+    return record, [r.masks for r in responses]
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--kbs", type=int, default=12,
+                        help="KB population size (popularity ~ 1/rank)")
+    parser.add_argument("--requests", type=int, default=400,
+                        help="stream length per run")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="service worker processes")
+    parser.add_argument("--inflight", type=int, default=16,
+                        help="submission window (requests in flight)")
+    parser.add_argument("--crash-every", type=int, default=100,
+                        help="crash-run fault period (100 = 1%% crash rate)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--label", default="pr10-service",
+                        help="trajectory label for this run")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: short stream")
+    parser.add_argument("--json-path", type=Path, default=JSON_PATH)
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.requests = 80
+        args.kbs = 6
+
+    stream = build_stream(args.kbs, args.requests, args.seed)
+    truth = ground_truth(stream)
+    print(
+        f"service stream: {args.requests} requests over {args.kbs} KBs "
+        f"(zipfian, drifting chains, {len(set((t, c) for _, t, c, _ in stream))} "
+        f"distinct chains), {args.workers} workers",
+        flush=True,
+    )
+
+    clean_record, clean_masks = run_stream(
+        stream, args.workers, args.inflight, "faults-off"
+    )
+    crash_stream = build_stream(
+        args.kbs, args.requests, args.seed, crash_every=args.crash_every
+    )
+    doomed = sum(1 for _, _, _, fault in crash_stream if fault)
+    crash_record, crash_masks = run_stream(
+        crash_stream, args.workers, args.inflight, "crash-1pct"
+    )
+    if crash_record["worker_deaths"] < doomed:
+        raise AssertionError(
+            f"crash run injected {doomed} faults but only "
+            f"{crash_record['worker_deaths']} worker deaths were observed"
+        )
+
+    # The robustness contract: crashes cost latency, never bits.
+    if clean_masks != truth:
+        raise AssertionError("faults-off masks diverge from ground truth")
+    if crash_masks != truth:
+        raise AssertionError("crash-run masks diverge from ground truth")
+    print(
+        f"  verified: {len(truth)} responses bit-identical to ground truth "
+        f"on both runs ({doomed} crashes injected)",
+        flush=True,
+    )
+
+    payload = {
+        "label": args.label,
+        "benchmark": "service_stream",
+        "description": (
+            "Resilient revision service under a zipfian drifting-chain "
+            "stream: latency percentiles and throughput, faults off vs a "
+            "1% injected worker-crash rate; every response verified "
+            "bit-identical to the engine run inline on both runs"
+        ),
+        "workload": {
+            "generator": "benchmarks.bench_service_stream.build_stream",
+            "kbs": args.kbs,
+            "requests": args.requests,
+            "seed": args.seed,
+            "popularity": "weight 1/(rank+1)",
+            "drift": (
+                "per draw: p=0.2 reset chain to one fresh update, p=0.5 "
+                "extend (cap 4 updates)"
+            ),
+            "crash_every": args.crash_every,
+            "workers": args.workers,
+            "inflight": args.inflight,
+        },
+        "verified_identical": True,
+        "results": [clean_record, crash_record],
+    }
+    trajectory = load_trajectory(args.json_path)
+    trajectory["runs"].append(payload)
+    # Crash-safe append — the trajectory accumulates across PRs, so an
+    # interrupted run must never truncate it.
+    tmp_path = args.json_path.with_name(
+        f"{args.json_path.name}.tmp.{os.getpid()}"
+    )
+    with open(tmp_path, "w") as handle:
+        handle.write(json.dumps(trajectory, indent=2) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, args.json_path)
+    print(f"\nwrote {args.json_path} ({len(trajectory['runs'])} runs)")
+    return payload
+
+
+if __name__ == "__main__":
+    main()

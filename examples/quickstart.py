@@ -371,6 +371,51 @@ def main() -> None:
     for name in sorted(fired)[:6]:
         print(f"  {name:32s} {fired[name]}")
 
+    # ----------------------------------------------------------------
+    # Serving: the resilient revision service
+    # ----------------------------------------------------------------
+    #
+    # repro.service turns the batch engine into a long-lived service: a
+    # supervisor owns worker processes (heartbeat liveness, hung workers
+    # killed, dead ones restarted with bounded backoff), and an asyncio
+    # front-end accepts revise/query/warm requests with per-request
+    # deadlines mapped onto repro.runtime.Budget inside the worker.
+    # Because a request frame is a pure description (KB name, formula
+    # strings, operator), a request whose worker crashes is simply
+    # retried on another worker and the answer is bit-identical — the
+    # retry/restart/shed/hedge counters under service.* are the only
+    # trace the failure leaves.  Admission control sheds with a typed
+    # response when the bounded queue fills, per-KB round-robin keeps a
+    # hot KB from starving the rest, a circuit breaker marks a KB
+    # "poisoned" after N consecutive worker deaths on one request, and
+    # over-pressure requests are served one engine tier down (the
+    # response says so in engine_tier/degraded).
+    #
+    # The same loop is scriptable from the CLI — JSONL requests in,
+    # JSONL responses out, counters on stderr:
+    #
+    #   echo '{"kb": "fleet", "theory": "g | b", "updates": ["~g"]}' \
+    #     | python -m repro serve --workers 2
+    from repro.service import RevisionService, ServiceClient
+
+    with RevisionService(workers=2) as service:
+        client = ServiceClient(service, timeout=60)
+        revised = client.revise("fleet", "g | b", ("~g",))
+        entails = client.query("fleet", "g | b", ("~g",), query="b")
+        print("\nRevision service (supervised workers, deadlines, retry):")
+        print(f"  revise status/tier : {revised.status} "
+              f"[{revised.engine_tier}] pid={revised.worker_pid}")
+        print(f"  masks              : {revised.masks} "
+              f"over {revised.letters}")
+        print(f"  query b after ~g   : entailed={entails.entailed}")
+    service_counters = {
+        name: value
+        for name, value in repro_obs.REGISTRY.counters().items()
+        if value and name.startswith("service.")
+    }
+    for name in sorted(service_counters)[:4]:
+        print(f"  {name:32s} {service_counters[name]}")
+
 
 if __name__ == "__main__":
     main()

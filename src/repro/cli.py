@@ -9,6 +9,10 @@ Subcommands:
 * ``operators`` — list the available operators and their Table 3/4 rows;
 * ``store`` — inspect and maintain a persistent artifact store
   (``verify`` / ``ls`` / ``gc``);
+* ``serve`` — run the resilient revision service over a JSONL request
+  stream (stdin or a file): one request object per line in, one
+  response object per line out, supervision/retry/shed counters to
+  stderr on exit;
 * ``stats`` — dump the in-process metrics registry (text / JSON /
   Prometheus exposition), optionally after running another subcommand;
 * ``trace`` — render a ``REPRO_TRACE`` JSONL span trace as a tree.
@@ -19,6 +23,8 @@ Examples::
     python -m repro ask -o winslett "g | b" "~g" --query b
     python -m repro compile -o weber "a & b & c" "~a | ~b"
     python -m repro store ls --dir /var/cache/repro
+    echo '{"kind":"revise","kb":"k","theory":"g | b","updates":["~g"],"query":"b"}' \\
+        | python -m repro serve --workers 2
     REPRO_STORE=/var/cache/repro python -m repro store verify
     python -m repro stats --format prom -- revise -o dalal "g | b" "~g"
     REPRO_TRACE=/tmp/t.jsonl python -m repro revise "g | b" "~g" && \\
@@ -128,6 +134,62 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="byte budget to drop to (default: REPRO_STORE_MAX_BYTES)",
+    )
+
+    p_serve = sub.add_parser(
+        "serve", help="serve a JSONL request stream through the "
+        "supervised revision service"
+    )
+    p_serve.add_argument(
+        "--requests", default="-",
+        help="JSONL request file, '-' for stdin (default)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=2,
+        help="worker processes (default: 2)",
+    )
+    p_serve.add_argument(
+        "--queue-limit", type=int, default=64,
+        help="admission queue bound; excess requests shed (default: 64)",
+    )
+    p_serve.add_argument(
+        "--inflight", type=int, default=32,
+        help="max outstanding submissions before draining (default: 32)",
+    )
+    p_serve.add_argument(
+        "--operator", default="dalal", choices=sorted(OPERATORS),
+        help="operator for requests that don't name one (default: dalal)",
+    )
+    p_serve.add_argument(
+        "--deadline", type=float, default=None,
+        help="default per-request deadline in seconds",
+    )
+    p_serve.add_argument(
+        "--heartbeat", type=float, default=0.25,
+        help="worker heartbeat period in seconds (default: 0.25)",
+    )
+    p_serve.add_argument(
+        "--hang-timeout", type=float, default=30.0,
+        help="hang deadline for deadline-less requests (default: 30)",
+    )
+    p_serve.add_argument(
+        "--hedge-after", type=float, default=None,
+        help="race a second worker on requests slower than this (off "
+        "by default)",
+    )
+    p_serve.add_argument(
+        "--breaker-threshold", type=int, default=3,
+        help="consecutive worker deaths on one request before its KB "
+        "is poisoned (default: 3)",
+    )
+    p_serve.add_argument(
+        "--breaker-cooldown", type=float, default=5.0,
+        help="seconds a poisoned KB stays rejected (default: 5)",
+    )
+    p_serve.add_argument(
+        "--degrade-watermark", type=int, default=None,
+        help="queued-request count past which admissions degrade "
+        "(off by default)",
     )
 
     p_stats = sub.add_parser(
@@ -272,6 +334,62 @@ def _cmd_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Drain a JSONL request stream through a supervised service.
+
+    Responses come out on stdout in *submission order* (JSONL, one
+    object per line), so diffing two runs — faults on vs off — is a
+    plain line comparison; the serving-side counters land on stderr.
+    """
+    import contextlib
+    import json as _json
+    from collections import deque
+
+    from .service import Request, RevisionService, ServiceConfig
+    from .service.frontend import STATS as service_stats
+
+    config = ServiceConfig(
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        heartbeat_s=args.heartbeat,
+        hang_timeout_s=args.hang_timeout,
+        hedge_after_s=args.hedge_after,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown,
+        degrade_watermark=args.degrade_watermark,
+    )
+    if args.requests == "-":
+        stream_cm = contextlib.nullcontext(sys.stdin)
+    else:
+        stream_cm = open(args.requests, "r")
+
+    def emit(future) -> None:
+        response = future.result()
+        print(_json.dumps(response.to_dict(), sort_keys=True), flush=True)
+
+    with stream_cm as stream, RevisionService(config) as service:
+        outstanding = deque()
+        for line in stream:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            payload = _json.loads(line)
+            payload.setdefault("operator", args.operator)
+            if args.deadline is not None:
+                payload.setdefault("deadline", args.deadline)
+            outstanding.append(service.submit(Request.from_dict(payload)))
+            while len(outstanding) >= args.inflight:
+                emit(outstanding.popleft())
+        while outstanding:
+            emit(outstanding.popleft())
+    for key in ("admitted", "completed", "shed", "retries",
+                "worker_deaths", "worker_restarts", "worker_hangs",
+                "hedges", "degraded", "timeouts", "breaker_opens",
+                "queue_peak"):
+        print(f"service.{key} = {service_stats[key]}", file=sys.stderr)
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     """Dump the metrics registry, optionally after running a subcommand.
 
@@ -323,6 +441,7 @@ _COMMANDS = {
     "compile": _cmd_compile,
     "operators": _cmd_operators,
     "store": _cmd_store,
+    "serve": _cmd_serve,
     "stats": _cmd_stats,
     "trace": _cmd_trace,
 }

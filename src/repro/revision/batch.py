@@ -109,6 +109,7 @@ class BatchCache:
     __slots__ = (
         "_model_sets",
         "_results",
+        "_chains",
         "_carrier_lru",
         "hits",
         "misses",
@@ -121,6 +122,14 @@ class BatchCache:
     def __init__(self) -> None:
         self._model_sets: Dict[Tuple[Formula, Tuple[str, ...]], BitModelSet] = {}
         self._results: Dict[Tuple[str, Formula, Formula], RevisionResult] = {}
+        #: Iterated-revision memo: ``(op, T, (P1, ..., Pk))`` → the result
+        #: of the whole left-associative chain prefix.  The service's
+        #: revise-then-query streams resubmit a KB with a *growing* update
+        #: chain; :meth:`revise_chain` resumes from the longest memoised
+        #: prefix instead of replaying the chain from scratch.
+        self._chains: Dict[
+            Tuple[str, Formula, Tuple[Formula, ...]], RevisionResult
+        ] = {}
         #: Per (alphabet, role), an LRU (most recent last) of the last
         #: :data:`CARRIER_LRU_SIZE` formulas that went through SAT
         #: enumeration, with their model sets and relatedness signatures —
@@ -424,6 +433,63 @@ class BatchCache:
             # recompiles faster than a disk read and is not persisted).
             self._store_persist(t_formula, bit_alphabet, *persist)
         return bits
+
+    def revise_chain(
+        self,
+        theory: TheoryLike,
+        updates: Sequence[FormulaLike],
+        operator: str = "dalal",
+    ) -> RevisionResult:
+        """Iterated cached revision ``T * P1 * ... * Pm`` (left-associative).
+
+        The request unit of the revision service: a KB plus its update
+        chain.  Chain *prefixes* are memoised per ``(operator, T)`` — a
+        stream that keeps appending updates to the same KB resumes from
+        the longest already-computed prefix and pays only for the new
+        suffix, and a crashed worker's retry replays the whole chain to a
+        bit-identical result (revision is a pure function of the chain).
+        The first step runs through the compile-shared :func:`revise_many`
+        path (so it probes the artifact store and the carrier LRU exactly
+        like a batch pair); later steps thread the model set through
+        ``operator.revise_result``.  Formula-based operators fall through
+        to ``operator.iterate`` uncached.
+        """
+        op = get_operator(operator)
+        theory = Theory.coerce(theory)
+        formulas = [as_formula(update) for update in updates]
+        t_formula = theory.conjunction()
+        if not isinstance(op, ModelBasedOperator):
+            self.tier_counts["formula-based"] += 1
+            return op.iterate(theory, formulas)
+        if not formulas:
+            return op.iterate(theory, ())
+        with _obs.span(
+            "batch.revise_chain", op=op.name, steps=len(formulas)
+        ) as chain_span:
+            result = None
+            start = 0
+            for length in range(len(formulas), 0, -1):
+                key = (op.name, t_formula, tuple(formulas[:length]))
+                cached = self._chains.get(key)
+                if cached is not None:
+                    self.hits += 1
+                    self.tier_counts["chain-memoised"] += 1
+                    result = cached
+                    start = length
+                    break
+            chain_span.set("resumed_at", start)
+            if result is None:
+                result = _revise_one(op, theory, t_formula, formulas[0], self)
+                self._chains[(op.name, t_formula, (formulas[0],))] = result
+                start = 1
+            for step in range(start, len(formulas)):
+                _runtime.checkpoint()
+                result = op.revise_result(result, formulas[step])
+                self.tier_counts[result.engine_tier or "unknown"] += 1
+                self._chains[
+                    (op.name, t_formula, tuple(formulas[:step + 1]))
+                ] = result
+            return result
 
     def result(self, operator: str, t_formula: Formula, formula: Formula):
         """A previously computed revision of this exact pair, if any.

@@ -31,6 +31,20 @@ that the engine consults at well-defined sites:
 ``store-fsync-fail@N``
     the N-th artifact publish fails its ``fsync`` with ``EIO``; the
     publish is abandoned cleanly.
+``service-worker-crash@N``
+    the N-th request dispatched by :mod:`repro.service` is doomed: the
+    worker that picks it up dies with ``os._exit(1)`` before replying
+    (decided front-end-side at dispatch time, mirroring
+    ``worker-crash``, so retries of the same request are immune).
+``service-worker-hang@N[:S]``
+    the N-th dispatched service request makes its worker sleep ``S``
+    seconds (default 3600 — i.e. far past any heartbeat/hang deadline)
+    instead of answering, so the supervisor must detect the hang and
+    kill/restart the worker.
+``service-queue-full@N``
+    the N-th admission decision in the service front-end behaves as if
+    the bounded queue were full: the request is shed with a typed
+    response instead of being enqueued.
 
 Entries are separated by ``;`` (or ``,``); an index of ``r`` draws a
 deterministic pseudo-random occurrence in 1..8 from the ``seed=N`` entry
@@ -64,6 +78,9 @@ POINTS = (
     "store-torn-write",
     "store-bit-flip",
     "store-fsync-fail",
+    "service-worker-crash",
+    "service-worker-hang",
+    "service-queue-full",
 )
 
 #: True when at least one fault point is armed — the one-load hot gate.

@@ -34,6 +34,7 @@ from concurrent.futures import (
     BrokenExecutor,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
+    TimeoutError as _FutureTimeout,
 )
 from typing import Any, Callable, List, Sequence
 
@@ -80,6 +81,33 @@ def _invoke(payload):
     return _WorkerEnvelope(value, envelope)
 
 
+#: How often the result-collection loop polls checkpoints while a
+#: budget is active — bounds how stale a deadline can get mid-map.
+_RESULT_POLL_S = 0.25
+
+
+def _kill_executor(executor: ProcessPoolExecutor) -> None:
+    """Tear a pool down *now*: terminate workers, drop pending jobs.
+
+    The deadline/cancellation exit path — a worker grinding on a job
+    cannot observe the parent's checkpoints, so waiting for it would
+    turn an ``EngineTimeout`` into an unbounded stall (and an early
+    ``raise`` without this would leak orphan workers past the map).
+    """
+    processes = list((getattr(executor, "_processes", None) or {}).values())
+    for process in processes:
+        try:
+            process.terminate()
+        except Exception:
+            pass
+    executor.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        process.join(timeout=2.0)
+        if process.is_alive():
+            process.kill()
+            process.join(timeout=2.0)
+
+
 def map_with_recovery(
     function: Callable[[Any], Any],
     jobs: Sequence[Any],
@@ -92,9 +120,14 @@ def map_with_recovery(
     result is then re-run inline in the parent (one bounded retry —
     a failure there propagates).  The executor is always shut down with
     ``cancel_futures=True``, so nothing is leaked on any exit path.
-    Checkpoints are polled between result collections, keeping
-    deadlines live even here (callers normally avoid process fan-out
-    under a deadline via :func:`repro.runtime.allows_fanout`).
+    While a budget is active, result collection polls checkpoints every
+    :data:`_RESULT_POLL_S`; if the caller's deadline expires (or the
+    budget is cancelled) mid-map, the pool's worker processes are
+    terminated and pending jobs dropped *before* the ``EngineTimeout``
+    propagates — a timeout never leaks orphan workers (callers normally
+    avoid process fan-out under a deadline via
+    :func:`repro.runtime.allows_fanout`, but the service layer and
+    direct users get the guarantee regardless).
 
     Each surviving worker's telemetry envelope is merged into the
     parent registry/trace as its result arrives; the whole map runs
@@ -116,24 +149,42 @@ def map_with_recovery(
         workers=min(workers, len(jobs)),
     ) as pool_span:
         executor = ProcessPoolExecutor(max_workers=min(workers, len(jobs)))
+        killed = False
         try:
             futures = [
                 executor.submit(_invoke, payload) for payload in payloads
             ]
             for index, future in enumerate(futures):
-                _runtime.checkpoint()
                 try:
-                    value = future.result()
+                    if _runtime.current() is None:
+                        value = future.result()
+                    else:
+                        # Poll so a deadline or cancellation lands within
+                        # _RESULT_POLL_S even while a child is mid-job.
+                        while True:
+                            _runtime.checkpoint()
+                            try:
+                                value = future.result(_RESULT_POLL_S)
+                                break
+                            except _FutureTimeout:
+                                continue
                 except BrokenExecutor:
                     broken = True
                     continue
+                except _runtime.EngineTimeout:
+                    _runtime.STATS.inc("pool_deadline_kills")
+                    pool_span.set("deadline_killed", True)
+                    killed = True
+                    _kill_executor(executor)
+                    raise
                 if isinstance(value, _WorkerEnvelope):
                     _obs.merge_worker(value.telemetry)
                     value = value.value
                 results[index] = value
                 done[index] = True
         finally:
-            executor.shutdown(wait=not broken, cancel_futures=True)
+            if not killed:
+                executor.shutdown(wait=not broken, cancel_futures=True)
         if broken:
             _runtime.STATS.inc("worker_crashes")
             lost = [index for index, finished in enumerate(done)

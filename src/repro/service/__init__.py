@@ -1,0 +1,38 @@
+"""``repro.service`` — the resilient revision service.
+
+The serving half of the ROADMAP's revision-as-a-service item: a
+supervised pool of worker processes (each owning a
+:class:`repro.revision.batch.BatchCache` that probes the shared
+artifact store) behind an asyncio front-end with per-request deadlines,
+crash retry, straggler hedging, bounded admission with per-KB fairness,
+circuit breaking, and graceful tier degradation.  See
+:mod:`repro.service.frontend` for the policy story,
+:mod:`repro.service.supervisor` for the process mechanics and
+:mod:`repro.service.protocol` for the request/response contract.
+
+Quick use::
+
+    from repro.service import RevisionService, ServiceClient
+
+    with RevisionService(workers=2) as service:
+        client = ServiceClient(service)
+        response = client.revise("kb1", "a & b", ["~a"], query="b")
+        assert response.ok and response.entailed
+
+Fault points (``REPRO_FAULTS``): ``service-worker-crash@N``,
+``service-worker-hang@N[:S]``, ``service-queue-full@N``.  Counters:
+``service.*`` in ``repro stats``.
+"""
+
+from .client import ServiceClient
+from .frontend import STATS, RevisionService, ServiceConfig
+from .protocol import Request, Response
+
+__all__ = [
+    "Request",
+    "Response",
+    "RevisionService",
+    "ServiceClient",
+    "ServiceConfig",
+    "STATS",
+]

@@ -1,0 +1,71 @@
+"""Thin synchronous client over an in-process :class:`RevisionService`.
+
+The convenience layer the quickstart and the tests speak: build a
+:class:`Request`, submit it, wait for the :class:`Response`.  One
+client may be shared across threads (submission is thread-safe); the
+service does the serialising.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from .frontend import RevisionService
+from .protocol import Request, Response
+
+
+class ServiceClient:
+    """Revise / query / warm helpers against a running service."""
+
+    def __init__(self, service: RevisionService,
+                 timeout: Optional[float] = None) -> None:
+        self._service = service
+        #: Client-side wait cap (independent of request deadlines).
+        self.timeout = timeout
+
+    def call(self, request: Request) -> Response:
+        return self._service.call(request, timeout=self.timeout)
+
+    def revise(
+        self,
+        kb: str,
+        theory: Union[str, Sequence[str]],
+        updates: Union[str, Sequence[str]],
+        query: Optional[str] = None,
+        operator: str = "dalal",
+        deadline: Optional[float] = None,
+        max_models: Optional[int] = None,
+        max_words: Optional[int] = None,
+        fault_once: Optional[str] = None,
+    ) -> Response:
+        """``T * P1 * ... * Pm`` (and optionally entailment of *query*)."""
+        return self.call(Request(
+            kind="revise", kb=kb, theory=theory, updates=updates,
+            query=query, operator=operator, deadline=deadline,
+            max_models=max_models, max_words=max_words,
+            fault_once=fault_once,
+        ))
+
+    def query(
+        self,
+        kb: str,
+        theory: Union[str, Sequence[str]],
+        updates: Union[str, Sequence[str]],
+        query: str,
+        operator: str = "dalal",
+        deadline: Optional[float] = None,
+    ) -> Response:
+        """Entailment against the revised KB, without shipping masks."""
+        return self.call(Request(
+            kind="query", kb=kb, theory=theory, updates=updates,
+            query=query, operator=operator, deadline=deadline,
+        ))
+
+    def warm(self, kb: str, theory: Union[str, Sequence[str]],
+             deadline: Optional[float] = None) -> Response:
+        """Precompile (and persist, if a store is active) a KB's carrier."""
+        return self.call(Request(kind="warm", kb=kb, theory=theory,
+                                 deadline=deadline))
+
+    def ping(self) -> Response:
+        return self.call(Request(kind="ping", kb="__ping__"))

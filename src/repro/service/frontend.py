@@ -1,0 +1,670 @@
+"""The revision service front-end: admission, dispatch, supervision policy.
+
+:class:`RevisionService` runs an asyncio event loop on a background
+thread; every piece of mutable state — queues, worker slots, breakers —
+is touched only from that thread, so there are no locks.  Callers on
+any thread :meth:`submit` a :class:`repro.service.protocol.Request` and
+get a ``concurrent.futures.Future`` resolving to a
+:class:`repro.service.protocol.Response`; worker reader threads post
+messages into the loop via ``call_soon_threadsafe``.
+
+The robustness policy, end to end:
+
+* **Admission** — a bounded queue (``queue_limit``) with per-KB
+  fairness: requests queue per KB and dispatch round-robins across
+  KBs, so one hot KB cannot starve the rest.  A full queue (or the
+  ``service-queue-full`` fault) sheds with a typed ``shed`` response —
+  never a hang.  Past ``degrade_watermark`` queued requests, new
+  admissions are marked degraded: their worker budget gets a tight
+  ``max_words`` cap, the engine's own tier chain
+  (:func:`repro.revision.model_based._tier_attempts`) demotes the
+  selection, and the response reports the served tier.
+* **Deadlines** — a request's ``deadline`` starts at admission; queue
+  wait spends it, the remainder maps onto the worker's
+  :class:`repro.runtime.Budget`, and a request that expires while
+  queued resolves ``timeout`` without ever occupying a worker.
+* **Retry** — a worker death (crash, hang-kill, unresponsive-idle
+  kill) requeues its request at the *front* of its KB queue; results
+  are bit-identical on any worker (shared store + pure revision), so
+  the retry is invisible except in the counters.
+* **Breaker** — ``breaker_threshold`` consecutive worker deaths on the
+  *same request* mark the KB poisoned: the request resolves
+  ``poisoned``, and further requests for that KB are rejected until
+  ``breaker_cooldown_s`` passes (then one probe is admitted again).
+* **Hedging** — with ``hedge_after_s`` set, a request still running
+  past it is raced onto an idle worker; first result wins, the
+  straggler's is discarded as stale.
+* **Supervision** — idle workers heartbeat; silence kills and
+  restarts them with exponential backoff.  Busy workers are silent by
+  design and get a hang deadline (request deadline + grace, or
+  ``hang_timeout_s``); the ``service-worker-hang`` fault drives this
+  path on demand.
+
+Every decision is counted in ``service.*`` metrics (``repro stats``)
+and spanned under ``service.admit`` / ``service.dispatch`` /
+``service.complete`` when tracing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional
+
+from repro import obs as _obs
+from repro.obs import metrics as _metrics
+from repro.runtime import faults as _faults
+
+from .protocol import Request, Response
+from .supervisor import BUSY, DEAD, IDLE, STARTING, Supervisor, WorkerSlot
+
+#: Serving-side counters (``service.*`` in the registry, dumped by
+#: ``repro stats``).  ``queue_depth`` is a live gauge, ``queue_peak`` a
+#: high-water mark; everything else counts events.
+STATS = _metrics.CounterGroup(
+    "service",
+    baseline=(
+        "admitted",
+        "completed",
+        "shed",
+        "poisoned",
+        "poisoned_rejects",
+        "retries",
+        "worker_deaths",
+        "worker_hangs",
+        "worker_restarts",
+        "idle_worker_kills",
+        "hedges",
+        "hedge_wins",
+        "hedge_losses",
+        "degraded",
+        "timeouts",
+        "breaker_opens",
+        "breaker_closes",
+        "stale_results",
+        "queue_depth",
+        "queue_peak",
+    ),
+)
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables of one :class:`RevisionService` (all policy in one bag)."""
+
+    workers: int = 2
+    queue_limit: int = 64
+    heartbeat_s: float = 0.25
+    #: An idle worker silent past ``idle_timeout_factor * heartbeat_s``
+    #: is presumed wedged and killed.
+    idle_timeout_factor: float = 6.0
+    #: Extra wall clock a busy worker gets past its request's deadline
+    #: before the supervisor declares it hung.
+    hang_grace_s: float = 1.0
+    #: Hang deadline for requests *without* a deadline of their own.
+    hang_timeout_s: float = 30.0
+    #: Race a second worker on requests running past this (None = off).
+    hedge_after_s: Optional[float] = None
+    #: Consecutive worker deaths on one request before its KB is poisoned.
+    breaker_threshold: int = 3
+    breaker_cooldown_s: float = 5.0
+    backoff_base_s: float = 0.05
+    backoff_max_s: float = 2.0
+    #: Queued-request count past which new admissions degrade (None = off).
+    degrade_watermark: Optional[int] = None
+    #: The word cap applied to degraded requests' budgets.
+    degrade_max_words: int = 1 << 12
+    monitor_interval_s: Optional[float] = None
+
+    def monitor_interval(self) -> float:
+        if self.monitor_interval_s is not None:
+            return self.monitor_interval_s
+        return max(0.01, self.heartbeat_s / 2.0)
+
+
+class _Pending:
+    """One admitted request's life on the loop thread."""
+
+    __slots__ = (
+        "request", "future", "seq", "enqueued_at", "deadline_at",
+        "first_dispatch_at", "attempts", "deaths", "degraded", "hedged",
+        "running", "done",
+    )
+
+    def __init__(self, request: Request, future, seq: int,
+                 now: float) -> None:
+        self.request = request
+        self.future = future
+        self.seq = seq
+        self.enqueued_at = now
+        self.deadline_at = (
+            None if request.deadline is None else now + request.deadline
+        )
+        self.first_dispatch_at: Optional[float] = None
+        self.attempts = 0
+        #: Worker deaths while running this request (breaker input).
+        self.deaths = 0
+        self.degraded = False
+        self.hedged = False
+        #: Slot indexes currently executing this request (2 when hedged).
+        self.running: set = set()
+        self.done = False
+
+
+class RevisionService:
+    """The long-lived serving loop — see the module docstring."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None,
+                 **overrides) -> None:
+        if config is None:
+            config = ServiceConfig(**overrides)
+        elif overrides:
+            raise ValueError("pass either a config or keyword overrides")
+        self.config = config
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._supervisor: Optional[Supervisor] = None
+        self._monitor_task = None
+        self._closing = False
+        self._started = False
+        self._seq = itertools.count(1)
+        self._by_seq: Dict[int, _Pending] = {}
+        self._kb_queues: Dict[str, Deque[_Pending]] = {}
+        self._kb_ring: Deque[str] = deque()
+        self._queued = 0
+        #: KB → monotonic instant its breaker opened.
+        self._breakers: Dict[str, float] = {}
+        #: Seqs whose hedge lost the race — their late result (or death)
+        #: is expected and counted as ``hedge_losses``, not an anomaly.
+        self._hedge_stragglers: set = set()
+
+    # -- lifecycle (caller thread) ----------------------------------------
+
+    def start(self) -> "RevisionService":
+        if self._started:
+            return self
+        self._closing = False
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        self._supervisor = Supervisor(
+            workers=self.config.workers,
+            heartbeat_s=self.config.heartbeat_s,
+            post=self._post,
+            backoff_base_s=self.config.backoff_base_s,
+            backoff_max_s=self.config.backoff_max_s,
+        )
+        ready = threading.Event()
+
+        def _run() -> None:
+            asyncio.set_event_loop(loop)
+            loop.call_soon(ready.set)
+            loop.run_forever()
+
+        self._thread = threading.Thread(
+            target=_run, daemon=True, name="repro-service-loop"
+        )
+        self._thread.start()
+        ready.wait()
+        asyncio.run_coroutine_threadsafe(self._startup(), loop).result()
+        self._started = True
+        return self
+
+    def stop(self) -> None:
+        if not self._started:
+            return
+        loop = self._loop
+        asyncio.run_coroutine_threadsafe(self._shutdown(), loop).result()
+        loop.call_soon_threadsafe(loop.stop)
+        self._thread.join(timeout=5.0)
+        loop.close()
+        self._started = False
+
+    def __enter__(self) -> "RevisionService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def submit(self, request: Request):
+        """Enqueue *request*; returns a ``concurrent.futures.Future`` of
+        the :class:`Response` (thread-safe)."""
+        if not self._started:
+            raise RuntimeError("service is not running (call start())")
+        return asyncio.run_coroutine_threadsafe(
+            self._submit(request), self._loop
+        )
+
+    def call(self, request: Request,
+             timeout: Optional[float] = None) -> Response:
+        """Synchronous :meth:`submit` + wait."""
+        return self.submit(request).result(timeout)
+
+    def live_worker_pids(self) -> List[int]:
+        supervisor = self._supervisor
+        return supervisor.live_pids() if supervisor is not None else []
+
+    # -- loop-thread internals --------------------------------------------
+
+    def _post(self, event: tuple) -> None:
+        loop = self._loop
+        if loop is None:
+            return
+        try:
+            loop.call_soon_threadsafe(self._on_event, event)
+        except RuntimeError:
+            pass  # loop already closed during shutdown
+
+    async def _startup(self) -> None:
+        self._supervisor.start()
+        self._monitor_task = asyncio.ensure_future(self._monitor())
+
+    async def _shutdown(self) -> None:
+        self._closing = True
+        if self._monitor_task is not None:
+            self._monitor_task.cancel()
+            self._monitor_task = None
+        for pending in list(self._by_seq.values()):
+            self._resolve(pending, Response(
+                status="shutdown", kind=pending.request.kind,
+                kb=pending.request.kb,
+            ))
+        self._kb_queues.clear()
+        self._kb_ring.clear()
+        self._queued = 0
+        STATS["queue_depth"] = 0
+        self._supervisor.stop()
+
+    async def _submit(self, request: Request) -> Response:
+        outcome = self._admit(request)
+        if isinstance(outcome, Response):
+            return outcome
+        return await outcome.future
+
+    # -- admission --------------------------------------------------------
+
+    def _admit(self, request: Request):
+        now = time.monotonic()
+        with _obs.span("service.admit", kb=request.kb,
+                       kind=request.kind) as admit_span:
+            if self._closing:
+                admit_span.set("outcome", "shutdown")
+                return Response(status="shutdown", kind=request.kind,
+                                kb=request.kb)
+            if (_faults.ACTIVE
+                    and _faults.trip("service-queue-full") is not None):
+                STATS.inc("shed")
+                admit_span.set("outcome", "shed-fault")
+                return Response(status="shed", kind=request.kind,
+                                kb=request.kb,
+                                error="admission queue full (injected)")
+            opened_at = self._breakers.get(request.kb)
+            if opened_at is not None:
+                if now - opened_at < self.config.breaker_cooldown_s:
+                    STATS.inc("poisoned_rejects")
+                    admit_span.set("outcome", "poisoned")
+                    return Response(
+                        status="poisoned", kind=request.kind, kb=request.kb,
+                        error=f"KB {request.kb!r} poisoned by the circuit "
+                              f"breaker (cooldown "
+                              f"{self.config.breaker_cooldown_s}s)",
+                    )
+                # Cooled down: close the breaker and admit this probe.
+                del self._breakers[request.kb]
+                STATS.inc("breaker_closes")
+            if self._queued >= self.config.queue_limit:
+                STATS.inc("shed")
+                admit_span.set("outcome", "shed")
+                return Response(status="shed", kind=request.kind,
+                                kb=request.kb,
+                                error="admission queue full")
+            pending = _Pending(request, self._loop.create_future(),
+                               next(self._seq), now)
+            watermark = self.config.degrade_watermark
+            if watermark is not None and self._queued >= watermark:
+                pending.degraded = True
+                STATS.inc("degraded")
+            self._by_seq[pending.seq] = pending
+            self._enqueue(pending, front=False)
+            STATS.inc("admitted")
+            admit_span.set("outcome", "admitted")
+            admit_span.set("queued", self._queued)
+        self._dispatch_idle()
+        return pending
+
+    def _enqueue(self, pending: _Pending, front: bool) -> None:
+        kb = pending.request.kb
+        queue = self._kb_queues.get(kb)
+        if queue is None:
+            queue = self._kb_queues[kb] = deque()
+            self._kb_ring.append(kb)
+        if front:
+            queue.appendleft(pending)
+        else:
+            queue.append(pending)
+        self._queued += 1
+        STATS["queue_depth"] = self._queued
+        STATS.max_update("queue_peak", self._queued)
+
+    def _next_queued(self) -> Optional[_Pending]:
+        """Round-robin across KBs, dropping expired entries as found."""
+        # Terminates: every iteration either consumes one queued entry
+        # or drops one empty KB from the ring.
+        now = time.monotonic()
+        while self._kb_ring:
+            kb = self._kb_ring[0]
+            queue = self._kb_queues.get(kb)
+            if not queue:
+                self._kb_ring.popleft()
+                self._kb_queues.pop(kb, None)
+                continue
+            pending = queue.popleft()
+            self._kb_ring.rotate(-1)
+            if not queue:
+                self._kb_queues.pop(kb, None)
+                try:
+                    self._kb_ring.remove(kb)
+                except ValueError:
+                    pass
+            self._queued -= 1
+            STATS["queue_depth"] = self._queued
+            if pending.done:
+                continue
+            if pending.deadline_at is not None and now > pending.deadline_at:
+                STATS.inc("timeouts")
+                self._resolve(pending, Response(
+                    status="timeout", kind=pending.request.kind,
+                    kb=pending.request.kb,
+                    error="deadline expired while queued",
+                ))
+                continue
+            return pending
+        return None
+
+    # -- dispatch ---------------------------------------------------------
+
+    def _idle_slot(self) -> Optional[WorkerSlot]:
+        for slot in self._supervisor.slots:
+            if slot.state == IDLE:
+                return slot
+        return None
+
+    def _dispatch_idle(self) -> None:
+        while True:
+            slot = self._idle_slot()
+            if slot is None:
+                return
+            pending = self._next_queued()
+            if pending is None:
+                return
+            self._dispatch(pending, slot, hedge=False)
+
+    def _dispatch(self, pending: _Pending, slot: WorkerSlot,
+                  hedge: bool) -> None:
+        now = time.monotonic()
+        request = pending.request
+        remaining = None
+        if pending.deadline_at is not None:
+            remaining = pending.deadline_at - now
+            if remaining <= 0:
+                STATS.inc("timeouts")
+                self._resolve(pending, Response(
+                    status="timeout", kind=request.kind, kb=request.kb,
+                    error="deadline expired before dispatch",
+                ))
+                return
+        frame = request.frame()
+        frame["deadline"] = remaining
+        if pending.degraded:
+            cap = self.config.degrade_max_words
+            if request.max_words is not None:
+                cap = min(cap, request.max_words)
+            frame["max_words"] = cap
+            frame["degraded"] = True
+        fault = None
+        if request.fault_once is not None:
+            # "crash" / "hang:S", optionally "@K" to doom the first K
+            # dispatches (how tests drive the breaker: K deaths on one
+            # request).  The registry points below are the CI-facing way.
+            directive, sep, count_text = request.fault_once.rpartition("@")
+            if sep and count_text.isdigit():
+                count = int(count_text)
+                fault = directive
+                request.fault_once = (
+                    f"{directive}@{count - 1}" if count > 1 else None
+                )
+            else:
+                fault, request.fault_once = request.fault_once, None
+        elif _faults.ACTIVE:
+            param = _faults.trip("service-worker-crash")
+            if param is not None:
+                fault = "crash"
+            else:
+                param = _faults.trip("service-worker-hang")
+                if param is not None:
+                    fault = f"hang:{param}" if param else "hang"
+        if fault:
+            frame["fault"] = fault
+        with _obs.span("service.dispatch", kb=request.kb, seq=pending.seq,
+                       worker=slot.index, attempt=pending.attempts + 1,
+                       hedge=hedge):
+            try:
+                slot.conn.send(("req", pending.seq, frame))
+            except (OSError, ValueError, BrokenPipeError):
+                # The worker died between its last message and this send;
+                # put the request back and run the normal death path.
+                self._enqueue(pending, front=True)
+                self._worker_died(slot, reason="send-failed")
+                return
+        pending.attempts += 1
+        if pending.first_dispatch_at is None:
+            pending.first_dispatch_at = now
+        pending.running.add(slot.index)
+        if hedge:
+            pending.hedged = True
+            STATS.inc("hedges")
+        slot.state = BUSY
+        slot.seq = pending.seq
+        slot.attempt = pending.attempts
+        if remaining is not None:
+            slot.hang_deadline = now + remaining + self.config.hang_grace_s
+        else:
+            slot.hang_deadline = now + self.config.hang_timeout_s
+
+    # -- worker events ----------------------------------------------------
+
+    def _on_event(self, event: tuple) -> None:
+        tag = event[0]
+        slot = self._supervisor.slots[event[1]]
+        generation = event[2]
+        if generation != slot.generation:
+            return  # a message read under a process that was replaced
+        if tag == "eof":
+            if slot.state != DEAD:
+                self._worker_died(slot, reason="eof")
+            return
+        message = event[3]
+        slot.last_seen = time.monotonic()
+        if message[0] == "hb":
+            if slot.state == STARTING:
+                slot.state = IDLE
+                self._dispatch_idle()
+            return
+        if message[0] == "res":
+            _, seq, payload, envelope = message
+            if envelope is not None:
+                try:
+                    _obs.merge_worker(envelope)
+                except Exception:
+                    pass
+            slot.state = IDLE
+            slot.seq = None
+            slot.hang_deadline = None
+            slot.streak = 0
+            pending = self._by_seq.get(seq)
+            if pending is None or pending.done:
+                if seq in self._hedge_stragglers:
+                    self._hedge_stragglers.discard(seq)
+                    STATS.inc("hedge_losses")
+                else:
+                    STATS.inc("stale_results")
+            else:
+                pending.running.discard(slot.index)
+                self._complete(pending, payload, slot)
+            self._dispatch_idle()
+
+    def _complete(self, pending: _Pending, payload: dict,
+                  slot: WorkerSlot) -> None:
+        response = Response.from_dict(payload)
+        response.attempts = pending.attempts
+        response.hedged = pending.hedged
+        response.degraded = pending.degraded or response.degraded
+        latency = time.monotonic() - pending.enqueued_at
+        response.latency_s = latency
+        if pending.hedged:
+            STATS.inc("hedge_wins")
+            if pending.running:
+                # The losing copy is still computing somewhere; its late
+                # result (or death) should read as a hedge loss.
+                self._hedge_stragglers.add(pending.seq)
+        STATS.inc("completed")
+        _metrics.REGISTRY.observe("service.latency.s", latency)
+        with _obs.span("service.complete", kb=response.kb,
+                       status=response.status, worker=slot.index,
+                       tier=response.engine_tier or "?"):
+            pass
+        self._resolve(pending, response)
+
+    def _resolve(self, pending: _Pending, response: Response) -> None:
+        if pending.done:
+            return
+        pending.done = True
+        self._by_seq.pop(pending.seq, None)
+        if response.attempts == 0:
+            response.attempts = pending.attempts
+        if not pending.future.done():
+            pending.future.set_result(response)
+
+    def _worker_died(self, slot: WorkerSlot, reason: str) -> None:
+        """One worker's death: account, maybe requeue/poison, restart."""
+        busy_seq = slot.seq
+        slot.state = DEAD
+        slot.seq = None
+        slot.hang_deadline = None
+        slot.streak += 1
+        STATS.inc("worker_deaths")
+        if slot.conn is not None:
+            try:
+                slot.conn.close()
+            except OSError:
+                pass
+        if busy_seq is not None and busy_seq in self._hedge_stragglers:
+            self._hedge_stragglers.discard(busy_seq)
+            STATS.inc("hedge_losses")
+        if busy_seq is not None:
+            pending = self._by_seq.get(busy_seq)
+            if pending is not None and not pending.done:
+                pending.running.discard(slot.index)
+                pending.deaths += 1
+                if pending.deaths >= self.config.breaker_threshold:
+                    self._breakers[pending.request.kb] = time.monotonic()
+                    STATS.inc("breaker_opens")
+                    STATS.inc("poisoned")
+                    self._resolve(pending, Response(
+                        status="poisoned", kind=pending.request.kind,
+                        kb=pending.request.kb,
+                        error=f"{pending.deaths} consecutive worker deaths "
+                              f"on this request ({reason})",
+                    ))
+                elif pending.running:
+                    pass  # a hedged copy is still alive; let it answer
+                else:
+                    STATS.inc("retries")
+                    self._enqueue(pending, front=True)
+        if self._closing:
+            return
+        delay = self._supervisor.restart_delay(slot)
+        generation = slot.generation
+        self._loop.call_later(delay, self._restart, slot, generation)
+
+    def _restart(self, slot: WorkerSlot, generation: int) -> None:
+        if self._closing or slot.generation != generation:
+            return
+        if slot.state != DEAD:
+            return
+        self._supervisor.spawn(slot)
+        STATS.inc("worker_restarts")
+
+    # -- the monitor ------------------------------------------------------
+
+    async def _monitor(self) -> None:
+        interval = self.config.monitor_interval()
+        idle_limit = (self.config.idle_timeout_factor
+                      * self.config.heartbeat_s)
+        while not self._closing:
+            try:
+                await asyncio.sleep(interval)
+            except asyncio.CancelledError:
+                return
+            now = time.monotonic()
+            for slot in self._supervisor.slots:
+                if (slot.state == BUSY and slot.hang_deadline is not None
+                        and now > slot.hang_deadline):
+                    STATS.inc("worker_hangs")
+                    self._supervisor.kill(slot)
+                    self._worker_died(slot, reason="hang")
+                elif (slot.state in (IDLE, STARTING)
+                        and now - slot.last_seen > idle_limit):
+                    STATS.inc("idle_worker_kills")
+                    self._supervisor.kill(slot)
+                    self._worker_died(slot, reason="unresponsive-idle")
+            self._expire_queued(now)
+            self._maybe_hedge(now)
+            self._dispatch_idle()
+
+    def _expire_queued(self, now: float) -> None:
+        for kb in list(self._kb_queues):
+            queue = self._kb_queues.get(kb)
+            if not queue:
+                continue
+            keep = deque()
+            for pending in queue:
+                if (pending.deadline_at is not None
+                        and now > pending.deadline_at
+                        and not pending.done):
+                    STATS.inc("timeouts")
+                    self._queued -= 1
+                    self._resolve(pending, Response(
+                        status="timeout", kind=pending.request.kind,
+                        kb=pending.request.kb,
+                        error="deadline expired while queued",
+                    ))
+                else:
+                    keep.append(pending)
+            if len(keep) != len(queue):
+                if keep:
+                    self._kb_queues[kb] = keep
+                else:
+                    self._kb_queues.pop(kb, None)
+                    try:
+                        self._kb_ring.remove(kb)
+                    except ValueError:
+                        pass
+                STATS["queue_depth"] = self._queued
+
+    def _maybe_hedge(self, now: float) -> None:
+        hedge_after = self.config.hedge_after_s
+        if hedge_after is None:
+            return
+        for pending in list(self._by_seq.values()):
+            if (pending.done or pending.hedged or not pending.running
+                    or pending.first_dispatch_at is None
+                    or now - pending.first_dispatch_at < hedge_after):
+                continue
+            slot = self._idle_slot()
+            if slot is None:
+                return
+            self._dispatch(pending, slot, hedge=True)

@@ -1,0 +1,154 @@
+"""Request/response types of the revision service.
+
+The wire unit is deliberately *stringly*: a request names its KB, its
+theory and update formulas as parseable text, so the same frame travels
+unchanged over a worker :class:`multiprocessing.Pipe`, through the
+``repro serve`` JSONL stdin/stdout loop, and through the in-process
+:class:`repro.service.ServiceClient` — and a retried frame is
+byte-identical to the original, which is what makes retries after a
+worker crash safe (revision is a pure function of the frame, and the
+workers share one read-only artifact store).
+
+Statuses a caller can see:
+
+``ok``
+    the request completed; revise/warm responses carry the result's
+    sorted model masks + alphabet letters (the bit-identity contract the
+    tests assert), queries carry ``entailed``.
+``timeout`` / ``budget``
+    the per-request :class:`repro.runtime.Budget` tripped inside the
+    worker (deadline wall-clock, or the model/word caps past any
+    demotion the engine could offer).
+``shed``
+    admission control refused the request — the bounded queue was full
+    (or the ``service-queue-full`` fault point said to behave as if).
+``poisoned``
+    the circuit breaker is open for this KB: N consecutive worker
+    deaths on the same request; retried no further until the cooldown.
+``error``
+    the worker raised; ``error`` carries the message.
+``shutdown``
+    the service stopped while the request was still queued.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: Request kinds the worker understands.
+KINDS = ("revise", "query", "warm", "ping")
+
+#: Terminal response statuses.
+STATUSES = (
+    "ok", "timeout", "budget", "shed", "poisoned", "error", "shutdown",
+)
+
+
+@dataclass
+class Request:
+    """One service request: a KB, its update chain, an optional query.
+
+    ``kb`` is the admission/fairness/breaker key — requests for the same
+    KB queue together and trip the same circuit breaker.  ``theory`` and
+    ``updates`` are formula strings (or anything
+    :func:`repro.logic.formula.as_formula` coerces); ``deadline`` is
+    seconds granted from admission, mapped onto the worker's
+    :class:`repro.runtime.Budget` together with ``max_models`` /
+    ``max_words``.  ``fault_once`` is the per-request test hook: a
+    ``"crash"`` or ``"hang[:seconds]"`` directive consumed at the first
+    dispatch of this request — append ``"@K"`` (e.g. ``"crash@3"``) to
+    doom the first K dispatches, which is how tests drive the circuit
+    breaker (the registry-level ``service-worker-*`` points are the
+    CI-facing equivalent).
+    """
+
+    kind: str = "revise"
+    kb: str = "default"
+    theory: Optional[Sequence[str]] = None
+    updates: Tuple[str, ...] = ()
+    query: Optional[str] = None
+    operator: str = "dalal"
+    deadline: Optional[float] = None
+    max_models: Optional[int] = None
+    max_words: Optional[int] = None
+    fault_once: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"unknown request kind {self.kind!r} (kinds: {KINDS})"
+            )
+        if isinstance(self.theory, str):
+            self.theory = (self.theory,)
+        elif self.theory is not None:
+            self.theory = tuple(self.theory)
+        if isinstance(self.updates, str):
+            self.updates = (self.updates,)
+        else:
+            self.updates = tuple(self.updates)
+
+    def frame(self) -> Dict[str, Any]:
+        """The JSON-ready dict shipped to a worker (faults stripped —
+        fault directives are decided front-end-side per dispatch)."""
+        payload = asdict(self)
+        payload.pop("fault_once", None)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Request":
+        known = {f: payload[f] for f in cls.__dataclass_fields__
+                 if f in payload}
+        return cls(**known)
+
+
+@dataclass
+class Response:
+    """What the caller gets back — result bits plus the serving story.
+
+    ``masks``/``letters`` are the revise/warm result's sorted model
+    masks over its sorted alphabet: the canonical form two runs are
+    compared in ("bit-identical" means these lists are equal).
+    ``engine_tier`` is the tier that actually served the selection,
+    demotion labels included (``"sharded-demoted-sparse"`` etc.), so a
+    degraded request reports the tier it was served at.  ``attempts`` is
+    how many dispatches the request took (1 = no retry), ``hedged``
+    whether a second copy was raced, ``degraded`` whether admission
+    applied pressure caps before the worker ran.
+    """
+
+    status: str = "ok"
+    kind: str = "revise"
+    kb: str = "default"
+    masks: Optional[List[int]] = None
+    letters: Optional[Tuple[str, ...]] = None
+    entailed: Optional[bool] = None
+    model_count: Optional[int] = None
+    engine_tier: Optional[str] = None
+    operator: Optional[str] = None
+    attempts: int = 0
+    hedged: bool = False
+    degraded: bool = False
+    worker_pid: Optional[int] = None
+    latency_s: Optional[float] = None
+    error: Optional[str] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload = asdict(self)
+        if not payload.get("extra"):
+            payload.pop("extra", None)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Response":
+        known = {f: payload[f] for f in cls.__dataclass_fields__
+                 if f in payload}
+        response = cls(**known)
+        if response.letters is not None:
+            response.letters = tuple(response.letters)
+        return response

@@ -1,0 +1,213 @@
+"""Worker-process supervision: spawn, watch, kill, restart — bounded.
+
+The :class:`Supervisor` owns the process-level mechanics the front-end
+policy sits on: spawning workers over duplex Pipes, one reader thread
+per worker posting every message (and the EOF of a death) through a
+thread-safe ``post`` callable into the front-end's event loop, SIGKILL
+teardown of hung workers, and exponential restart backoff so a
+crash-looping worker cannot storm the host.
+
+Liveness has two distinct shapes, and the supervisor keeps them apart:
+
+* an **idle** worker heartbeats every ``heartbeat_s`` from its wait
+  loop; silence past a small multiple means the process is wedged or
+  gone — kill and restart.
+* a **busy** worker is silent by design; the front-end arms a per-slot
+  ``hang_deadline`` (request deadline + grace, or the hang-timeout
+  default) and the monitor kills the worker only past that.
+
+Every kill funnels through the same death path as a genuine crash (the
+reader thread sees EOF), so crash, hang and kill are one code path for
+retry/breaker accounting.  Generations make late messages harmless: a
+slot's generation bumps on every (re)spawn and each posted event carries
+the generation it was read under — the front-end drops events from a
+generation that is no longer live.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from .worker import worker_main
+
+#: Slot lifecycle states.
+STARTING, IDLE, BUSY, DEAD = "starting", "idle", "busy", "dead"
+
+
+def _context() -> multiprocessing.context.BaseContext:
+    """Fork when the platform has it (cheap, inherits the warm import
+    state); spawn otherwise — the worker entry point is importable."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+class WorkerSlot:
+    """One supervised worker position (the process behind it rotates)."""
+
+    __slots__ = (
+        "index", "process", "conn", "state", "generation", "last_seen",
+        "seq", "attempt", "hang_deadline", "streak", "restarts",
+    )
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.process = None
+        self.conn = None
+        self.state = DEAD
+        #: Bumped on every spawn; events from older generations are stale.
+        self.generation = 0
+        self.last_seen = 0.0
+        #: The seq / attempt of the request this slot is busy with.
+        self.seq: Optional[int] = None
+        self.attempt = 0
+        #: Monotonic instant past which a busy worker counts as hung.
+        self.hang_deadline: Optional[float] = None
+        #: Consecutive deaths without a completed request (backoff input).
+        self.streak = 0
+        self.restarts = 0
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid if self.process is not None else None
+
+
+class Supervisor:
+    """Spawn/kill/restart mechanics for a fixed-size slot array.
+
+    ``post(event)`` must be thread-safe (the front-end passes
+    ``loop.call_soon_threadsafe``); events are ``("msg", index,
+    generation, message)`` and ``("eof", index, generation)``.  Policy —
+    what to do on a death, when to restart — lives in the front-end;
+    the supervisor only provides the primitives plus
+    :meth:`restart_delay`'s bounded exponential backoff.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        heartbeat_s: float,
+        post: Callable[[tuple], None],
+        backoff_base_s: float = 0.05,
+        backoff_max_s: float = 2.0,
+        worker_config: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.heartbeat_s = heartbeat_s
+        self.backoff_base_s = backoff_base_s
+        self.backoff_max_s = backoff_max_s
+        self._post = post
+        self._ctx = _context()
+        self._config = dict(worker_config or {})
+        self._config.setdefault("heartbeat_s", heartbeat_s)
+        self._readers: List[threading.Thread] = []
+        self.slots = [WorkerSlot(index) for index in range(workers)]
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> None:
+        for slot in self.slots:
+            self.spawn(slot)
+
+    def spawn(self, slot: WorkerSlot) -> None:
+        """(Re)start the process behind *slot*; state goes ``starting``
+        until its handshake heartbeat arrives."""
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(child_conn, self._config),
+            daemon=True,
+            name=f"repro-service-worker-{slot.index}",
+        )
+        process.start()
+        # The parent's copy of the child end must close, or the reader
+        # thread would never see EOF when the worker dies.
+        child_conn.close()
+        slot.process = process
+        slot.conn = parent_conn
+        slot.state = STARTING
+        slot.generation += 1
+        slot.last_seen = time.monotonic()
+        slot.seq = None
+        slot.hang_deadline = None
+        reader = threading.Thread(
+            target=self._read_loop,
+            args=(slot.index, parent_conn, slot.generation),
+            daemon=True,
+            name=f"repro-service-reader-{slot.index}",
+        )
+        reader.start()
+        self._readers.append(reader)
+
+    def _read_loop(self, index: int, conn, generation: int) -> None:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                self._post(("eof", index, generation))
+                return
+            self._post(("msg", index, generation, message))
+
+    def restart_delay(self, slot: WorkerSlot) -> float:
+        """Exponential backoff from the slot's consecutive-death streak."""
+        return min(
+            self.backoff_base_s * (2 ** max(0, slot.streak - 1)),
+            self.backoff_max_s,
+        )
+
+    # -- teardown ---------------------------------------------------------
+
+    def kill(self, slot: WorkerSlot) -> None:
+        """SIGKILL the slot's process; the reader's EOF is the death
+        signal, so hangs and crashes share one downstream path."""
+        process = slot.process
+        if process is not None and process.is_alive():
+            try:
+                process.kill()
+            except Exception:
+                pass
+        slot.state = DEAD
+
+    def stop(self, drain_timeout_s: float = 2.0) -> None:
+        """Orderly shutdown: ask, wait briefly, then make sure.
+
+        No worker survives this call — the acceptance criterion is "no
+        orphan processes after shutdown", enforced by terminate + kill
+        escalation on anything that ignored the stop frame.
+        """
+        for slot in self.slots:
+            if slot.conn is not None and slot.state != DEAD:
+                try:
+                    slot.conn.send(("stop",))
+                except (OSError, ValueError, BrokenPipeError):
+                    pass
+        deadline = time.monotonic() + drain_timeout_s
+        for slot in self.slots:
+            process = slot.process
+            if process is None:
+                continue
+            process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=1.0)
+            slot.state = DEAD
+            if slot.conn is not None:
+                try:
+                    slot.conn.close()
+                except OSError:
+                    pass
+        for reader in self._readers:
+            reader.join(timeout=1.0)
+
+    def live_pids(self) -> List[int]:
+        """PIDs of still-running worker processes (test/shutdown probe)."""
+        return [
+            slot.process.pid
+            for slot in self.slots
+            if slot.process is not None and slot.process.is_alive()
+        ]
